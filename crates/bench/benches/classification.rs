@@ -1,0 +1,19 @@
+//! E1: classification latency for the paper's queries (syntactic cases are
+//! instant; 2way-determined ones pay for the tripath search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa::classify;
+use cqa_query::examples;
+
+fn bench_classification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("classify");
+    for (name, q) in examples::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &q, |b, q| {
+            b.iter(|| std::hint::black_box(classify(q)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_classification);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E8: the Theorem 10.5 combined solver on mixed multi-component q6
+//! databases, against its literal (non-component) variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa::solvers::{certain_combined, certain_thm105_literal, CertKConfig};
+use cqa_query::examples;
+use cqa_workloads::{q6_certk_hard, q6_triangle_grid, random_db, RandomDbConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mixed_db(seed: u64, scale: usize) -> cqa_model::Database {
+    let q6 = examples::q6();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = random_db(
+        &mut rng,
+        &q6,
+        &RandomDbConfig { blocks: scale, max_block_size: 2, domain: scale },
+    );
+    db.absorb(&q6_triangle_grid(scale / 2)).unwrap();
+    db.absorb(&q6_certk_hard(2 + scale % 5)).unwrap();
+    db
+}
+
+fn bench_combined(c: &mut Criterion) {
+    let q6 = examples::q6();
+    let mut g = c.benchmark_group("combined_q6");
+    g.sample_size(10);
+    for scale in [8usize, 16, 32, 64] {
+        let db = mixed_db(scale as u64, scale);
+        g.bench_with_input(BenchmarkId::new("per_component", db.len()), &db, |b, db| {
+            b.iter(|| std::hint::black_box(certain_combined(&q6, db, CertKConfig::new(2))))
+        });
+        g.bench_with_input(BenchmarkId::new("literal", db.len()), &db, |b, db| {
+            b.iter(|| std::hint::black_box(certain_thm105_literal(&q6, db, CertKConfig::new(2))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_combined);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E10: the dichotomy's empirical signature — polynomial Cert₂ vs the
+//! exponential brute-force baseline on contested q3 instances where both
+//! are applicable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa::solvers::{certain_brute_budgeted, certk, CertKConfig};
+use cqa_query::examples;
+use cqa_workloads::q3_escape_db;
+
+fn bench_shape(c: &mut Criterion) {
+    let q3 = examples::q3();
+    let mut g = c.benchmark_group("dichotomy_shape_q3");
+    g.sample_size(10);
+    // Escape databases have 2^n repairs but brute force with component
+    // ordering prunes well; Cert₂ answers without search. The series shows
+    // the widening gap.
+    for n in [8usize, 16, 32, 64] {
+        let db = q3_escape_db(n);
+        g.bench_with_input(BenchmarkId::new("cert2", n), &db, |b, db| {
+            b.iter(|| std::hint::black_box(certk(&q3, db, CertKConfig::new(2))))
+        });
+        g.bench_with_input(BenchmarkId::new("brute", n), &db, |b, db| {
+            b.iter(|| std::hint::black_box(certain_brute_budgeted(&q3, db, u64::MAX)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_shape);
+criterion_main!(benches);

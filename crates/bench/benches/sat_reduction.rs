@@ -1,0 +1,36 @@
+//! E3: building D[φ] (linear) and falsifying-repair search on satisfiable
+//! gadget databases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqa::solvers::certain_brute_budgeted;
+use cqa::tripath::SearchConfig;
+use cqa_query::examples;
+use cqa_reductions::SatReduction;
+use cqa_sat::{random_3sat, to_occ3_normal_form};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_reduction(c: &mut Criterion) {
+    let q2 = examples::q2();
+    let reduction = SatReduction::new(&q2, &SearchConfig::default()).expect("gadget");
+    let mut rng = StdRng::seed_from_u64(5);
+
+    let mut g = c.benchmark_group("sat_gadget");
+    g.sample_size(10);
+    for n_vars in [4u32, 8, 16, 32] {
+        // Under-constrained: satisfiable with high probability, so the
+        // search finds a falsifying repair fast.
+        let phi = to_occ3_normal_form(&random_3sat(&mut rng, n_vars, n_vars as usize));
+        g.bench_with_input(BenchmarkId::new("build", n_vars), &phi, |b, phi| {
+            b.iter(|| std::hint::black_box(reduction.database(phi).unwrap()))
+        });
+        let db = reduction.database(&phi).unwrap();
+        g.bench_with_input(BenchmarkId::new("falsify", n_vars), &db, |b, db| {
+            b.iter(|| std::hint::black_box(certain_brute_budgeted(&q2, db, 100_000_000)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

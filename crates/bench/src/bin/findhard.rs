@@ -1,0 +1,76 @@
+//! Randomized search for `Cert_k`-defeating instances (Theorem 10.1
+//! witnesses): `q6` databases that are *certain* but that `Cert_k` cannot
+//! derive. The `q6_cert2_breaker` instances shipped in `cqa-workloads`
+//! were found with this tool.
+//!
+//! Strategy: sample unions of full `q6` triangles over a small element
+//! pool of size (#triangles + 1). Blocks are the pool elements, solution-
+//! graph cliques are the triangles, and certainty is exactly a Hall-
+//! condition violation between blocks and triangles (Proposition 10.3) —
+//! a *global counting* property, which is precisely what the local greedy
+//! fixpoint struggles to see.
+//!
+//! ```text
+//! cargo run --release -p cqa-bench --bin findhard -- [seed] [k] [max_trials]
+//! ```
+
+use cqa::solvers::{certain_brute, certk, CertKConfig};
+use cqa_query::examples;
+use cqa_workloads::q6_triangle_union;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(11);
+    let k: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+    let max_trials: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(400_000);
+
+    let q6 = examples::q6();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut found = 0u32;
+    let mut certain_seen = 0u64;
+    println!("searching for certain q6 instances that defeat Cert_{k} (seed {seed}) …");
+    for trial in 0..max_trials {
+        let m = rng.gen_range(3..=7 + k); // triangles; scale with k
+        let pool: Vec<u64> = (1..=m as u64 + 1).collect();
+        let mut triples: Vec<[u64; 3]> = Vec::new();
+        for _ in 0..m {
+            let mut t: Vec<u64> = pool.choose_multiple(&mut rng, 3).copied().collect();
+            t.shuffle(&mut rng);
+            triples.push([t[0], t[1], t[2]]);
+        }
+        // Every pool element must occur, else it is a free block.
+        let mut used = vec![false; m + 2];
+        for t in &triples {
+            for &e in t {
+                used[e as usize] = true;
+            }
+        }
+        if !pool.iter().all(|&e| used[e as usize]) {
+            continue;
+        }
+        let db = q6_triangle_union(&triples);
+        if !certain_brute(&q6, &db) {
+            continue;
+        }
+        certain_seen += 1;
+        if certk(&q6, &db, CertKConfig::new(k)).is_certain() {
+            continue;
+        }
+        found += 1;
+        println!(
+            "FOUND (trial {trial}): {} facts, triples {triples:?}, Cert_{}={:?}",
+            db.len(),
+            k + 1,
+            certk(&q6, &db, CertKConfig::new(k + 1))
+        );
+        if found >= 5 {
+            break;
+        }
+    }
+    println!("\ncertain instances sampled: {certain_seen}; Cert_{k} failures found: {found}");
+    if found == 0 {
+        println!("(none — try more trials, a different seed, or larger m for bigger k)");
+    }
+}

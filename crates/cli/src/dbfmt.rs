@@ -1,0 +1,218 @@
+//! A line-oriented text format for databases.
+//!
+//! ```text
+//! # comments start with '#'
+//! R(alice bob | search lee)     # key positions before the bar
+//! R(alice bob | cloud kim)      # same key: a block of two facts
+//! R2(x1 | y)                    # R1/R2 for self-join-free databases
+//! ```
+//!
+//! Every fact must agree on arity and key length; the signature is
+//! inferred from the first fact.
+
+use cqa_model::{Database, Elem, Fact, RelId, Signature};
+use std::fmt::Write as _;
+
+/// A parse failure with line information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DbFmtError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for DbFmtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DbFmtError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, DbFmtError> {
+    Err(DbFmtError { line, message: message.into() })
+}
+
+/// Parse one fact line: `R(a b | c d)`.
+fn parse_fact(line: usize, text: &str) -> Result<(RelId, Vec<Elem>, usize), DbFmtError> {
+    let text = text.trim();
+    let open = match text.find('(') {
+        Some(i) => i,
+        None => return err(line, "expected '(' in fact"),
+    };
+    let close = match text.rfind(')') {
+        Some(i) if i > open => i,
+        _ => return err(line, "expected closing ')'"),
+    };
+    let rel = match text[..open].trim() {
+        "R" => RelId::R,
+        "R1" => RelId::R1,
+        "R2" => RelId::R2,
+        other => return err(line, format!("unknown relation {other:?} (use R, R1 or R2)")),
+    };
+    let inner = &text[open + 1..close];
+    let (key_part, val_part) = match inner.find('|') {
+        Some(bar) => (&inner[..bar], &inner[bar + 1..]),
+        None => ("", inner),
+    };
+    // Tokenize with awareness of ⟨…⟩ pair elements (which contain commas):
+    // a token is either a balanced ⟨…⟩ group or a run of non-separator
+    // characters.
+    fn tokens(s: &str) -> Vec<Elem> {
+        let mut out = Vec::new();
+        let mut cur = String::new();
+        let mut depth = 0usize;
+        for c in s.chars() {
+            match c {
+                '⟨' => {
+                    depth += 1;
+                    cur.push(c);
+                }
+                '⟩' => {
+                    depth = depth.saturating_sub(1);
+                    cur.push(c);
+                }
+                c if depth == 0 && (c.is_whitespace() || c == ',') => {
+                    if !cur.is_empty() {
+                        out.push(Elem::named(std::mem::take(&mut cur)));
+                    }
+                }
+                c => cur.push(c),
+            }
+        }
+        if !cur.is_empty() {
+            out.push(Elem::named(cur));
+        }
+        out
+    }
+    let split = tokens;
+    let key = split(key_part);
+    let vals = split(val_part);
+    let key_len = key.len();
+    let mut tuple = key;
+    tuple.extend(vals);
+    if tuple.is_empty() {
+        return err(line, "fact with no elements");
+    }
+    Ok((rel, tuple, key_len))
+}
+
+/// Parse a whole database file.
+pub fn parse_database(input: &str) -> Result<Database, DbFmtError> {
+    let mut db: Option<Database> = None;
+    let mut sig_key_len: usize = 0;
+    for (i, raw) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (rel, tuple, key_len) = parse_fact(line_no, line)?;
+        let database = match &mut db {
+            Some(d) => {
+                if key_len != sig_key_len {
+                    return err(line_no, format!(
+                        "key length {key_len} differs from the first fact's {sig_key_len}"
+                    ));
+                }
+                d
+            }
+            None => {
+                let sig = Signature::new(tuple.len(), key_len)
+                    .map_err(|e| DbFmtError { line: line_no, message: e.to_string() })?;
+                sig_key_len = key_len;
+                db = Some(Database::new(sig));
+                db.as_mut().expect("just set")
+            }
+        };
+        database
+            .insert(Fact::new(rel, tuple))
+            .map_err(|e| DbFmtError { line: line_no, message: e.to_string() })?;
+    }
+    match db {
+        Some(d) => Ok(d),
+        None => err(0, "empty database file (no facts)"),
+    }
+}
+
+/// Serialise a database to the text format, one fact per line, grouped by
+/// block.
+pub fn write_database(db: &Database) -> String {
+    let sig = db.signature();
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} facts, {} blocks, signature {}", db.len(), db.block_count(), sig);
+    for b in db.block_ids() {
+        for &id in db.block(b) {
+            let f = db.fact(id);
+            let _ = write!(out, "{}(", f.rel());
+            for (i, e) in f.tuple().iter().enumerate() {
+                if i == sig.key_len() {
+                    let _ = write!(out, "| ");
+                }
+                let _ = write!(out, "{e}");
+                if i + 1 != f.arity() {
+                    let _ = write!(out, " ");
+                }
+            }
+            let _ = writeln!(out, ")");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_blocks_and_comments() {
+        let text = "\
+# employee directory
+R(alice | bob)
+R(alice | carol)   # key violation
+R(bob | dave)
+";
+        let db = parse_database(text).unwrap();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.block_count(), 2);
+        assert_eq!(db.signature().arity(), 2);
+        assert_eq!(db.signature().key_len(), 1);
+    }
+
+    #[test]
+    fn rejects_inconsistent_shapes() {
+        assert!(parse_database("R(a | b)\nR(a b | c)").is_err()); // key len
+        assert!(parse_database("R(a | b)\nR(a | b c)").is_err()); // arity
+        assert!(parse_database("S(a | b)").is_err()); // relation
+        assert!(parse_database("").is_err()); // empty
+        assert!(parse_database("R a b").is_err()); // no parens
+    }
+
+    #[test]
+    fn pair_elements_survive_round_trip() {
+        // Gadget databases contain ⟨…⟩ pair elements with internal commas.
+        let db = parse_database("R(⟨cl,0⟩ a | ⟨⟨x,y⟩,z⟩ b)").unwrap();
+        assert_eq!(db.signature().arity(), 4);
+        let db2 = parse_database(&write_database(&db)).unwrap();
+        assert_eq!(db2.len(), 1);
+    }
+
+    #[test]
+    fn sjf_relations_accepted() {
+        let db = parse_database("R1(k | v)\nR2(k | w)").unwrap();
+        assert_eq!(db.block_count(), 2);
+    }
+
+    #[test]
+    fn round_trip_preserves_content() {
+        // Writer output parses back to the same fact set (named elements).
+        let text = "R(a b | c d)\nR(a b | e f)\nR(x y | z z)";
+        let db = parse_database(text).unwrap();
+        let db2 = parse_database(&write_database(&db)).unwrap();
+        assert_eq!(db.len(), db2.len());
+        for (_, f) in db.facts() {
+            assert!(db2.contains(f), "{f} missing after round trip");
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! # cqa-cli — command-line front end
+//!
+//! ```text
+//! cqa classify "R(x u | x y) R(u y | x z)"
+//! cqa certain  "R(x | y) R(y | z)" employees.facts
+//! cqa falsify  "R(x | y) R(y | z)" employees.facts
+//! cqa gadget   "R(x u | x y) R(u y | x z)" formula.cnf
+//! cqa solve    formula.cnf
+//! ```
+//!
+//! The command implementations live here (testable); `main.rs` is a thin
+//! argument dispatcher. Database files use the [`dbfmt`] line format, CNF
+//! files are DIMACS.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dbfmt;
+
+use cqa::{classify, Complexity, Confidence, CqaEngine};
+use cqa_query::parse_query;
+use cqa_sat::{parse_dimacs, solve, to_occ3_normal_form, SatResult};
+use std::fmt::Write as _;
+
+/// A CLI failure: message plus suggested exit code.
+#[derive(Clone, Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: u8,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>) -> CliError {
+        CliError { message: message.into(), code: 2 }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// `cqa classify <query>`: the dichotomy verdict with provenance.
+pub fn cmd_classify(query: &str) -> Result<String, CliError> {
+    let q = parse_query(query).map_err(|e| CliError::new(e.to_string()))?;
+    let c = classify(&q);
+    let mut out = String::new();
+    let _ = writeln!(out, "query:       {}", q.display());
+    let _ = writeln!(out, "complexity:  {:?}", c.complexity);
+    let _ = writeln!(out, "rule:        {:?}", c.rule);
+    let _ = writeln!(out, "confidence:  {:?}", c.confidence);
+    if c.confidence == Confidence::BoundedEvidence {
+        let _ = writeln!(
+            out,
+            "             (tripath search hit a budget; absence results are bounded evidence)"
+        );
+    }
+    if let Some(tp) = &c.fork_witness {
+        let _ = writeln!(out, "fork-tripath witness: {} blocks", tp.blocks.len());
+    }
+    if let Some(tp) = &c.triangle_witness {
+        let _ = writeln!(out, "triangle-tripath witness: {} blocks", tp.blocks.len());
+    }
+    let algorithm = match c.complexity {
+        Complexity::Trivial => "single-repair evaluation (first-order)",
+        Complexity::PTimeCert2 => "greedy fixpoint Cert_2 (Theorem 6.1)",
+        Complexity::PTimeCertK => "greedy fixpoint Cert_k (Theorem 8.1)",
+        Complexity::PTimeCombined => "Cert_k ∨ ¬matching per component (Theorem 10.5)",
+        Complexity::CoNpComplete => "no PTime algorithm (unless PTime = coNP); brute force",
+    };
+    let _ = writeln!(out, "algorithm:   {algorithm}");
+    Ok(out)
+}
+
+/// `cqa certain <query> <db-file>`: evaluate `certain(q)` on a fact file.
+pub fn cmd_certain(query: &str, db_text: &str) -> Result<String, CliError> {
+    let q = parse_query(query).map_err(|e| CliError::new(e.to_string()))?;
+    let db = dbfmt::parse_database(db_text).map_err(|e| CliError::new(e.to_string()))?;
+    if db.signature() != q.signature() {
+        return Err(CliError::new(format!(
+            "database signature {} does not match query signature {}",
+            db.signature(),
+            q.signature()
+        )));
+    }
+    let engine = CqaEngine::new(q);
+    let ans = engine.certain(&db);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "database:    {} facts, {} blocks, {} repairs",
+        db.len(),
+        db.block_count(),
+        db.repair_count()
+    );
+    let _ = writeln!(out, "complexity:  {:?}", engine.classification().complexity);
+    let _ = writeln!(out, "certain:     {}", ans.certain);
+    let _ = writeln!(out, "answered by: {:?}", ans.answered_by);
+    if ans.budget_exhausted {
+        let _ = writeln!(out, "warning:     budget exhausted; a 'false' may be a false negative");
+    }
+    Ok(out)
+}
+
+/// `cqa falsify <query> <db-file>`: exhibit a falsifying repair, if any.
+pub fn cmd_falsify(query: &str, db_text: &str, budget: u64) -> Result<String, CliError> {
+    let q = parse_query(query).map_err(|e| CliError::new(e.to_string()))?;
+    let db = dbfmt::parse_database(db_text).map_err(|e| CliError::new(e.to_string()))?;
+    let mut out = String::new();
+    match cqa::solvers::certain_brute_budgeted(&q, &db, budget) {
+        cqa::solvers::BruteOutcome::Certain => {
+            let _ = writeln!(out, "certain: every repair satisfies the query");
+        }
+        cqa::solvers::BruteOutcome::NotCertain(r) => {
+            let _ = writeln!(out, "not certain — falsifying repair ({} facts):", r.len());
+            for &id in r.facts() {
+                let _ = writeln!(out, "  {}", db.fact(id));
+            }
+        }
+        cqa::solvers::BruteOutcome::BudgetExhausted => {
+            let _ = writeln!(out, "inconclusive: search budget ({budget}) exhausted");
+        }
+    }
+    Ok(out)
+}
+
+/// `cqa gadget <query> <dimacs>`: the Section 9 reduction as a tool —
+/// normalises the formula and emits `D[φ]` in the fact-file format.
+pub fn cmd_gadget(query: &str, dimacs_text: &str) -> Result<String, CliError> {
+    let q = parse_query(query).map_err(|e| CliError::new(e.to_string()))?;
+    let phi = parse_dimacs(dimacs_text).map_err(|e| CliError::new(e.to_string()))?;
+    let norm = to_occ3_normal_form(&phi);
+    let reduction =
+        cqa_reductions::SatReduction::new(&q, &cqa_tripath::SearchConfig::default())
+            .map_err(|e| CliError::new(e.to_string()))?;
+    let db = reduction.database(&norm).map_err(|e| CliError::new(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "# D[φ] for φ = {phi}");
+    let _ = writeln!(out, "# normal form: {norm}");
+    out.push_str(&dbfmt::write_database(&db));
+    Ok(out)
+}
+
+/// `cqa solve <dimacs>`: the bundled DPLL solver.
+pub fn cmd_solve(dimacs_text: &str) -> Result<String, CliError> {
+    let phi = parse_dimacs(dimacs_text).map_err(|e| CliError::new(e.to_string()))?;
+    match solve(&phi) {
+        SatResult::Sat(assignment) => {
+            let mut vars: Vec<_> = assignment.into_iter().collect();
+            vars.sort_by_key(|(v, _)| *v);
+            let mut out = String::from("SATISFIABLE\n");
+            for (v, val) in vars {
+                let _ = writeln!(out, "p{} = {}", v.0, val);
+            }
+            Ok(out)
+        }
+        SatResult::Unsat => Ok("UNSATISFIABLE\n".into()),
+    }
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "cqa — consistent query answering for two-atom self-join queries (PODS'24)
+
+USAGE:
+  cqa classify \"<query>\"
+  cqa certain  \"<query>\" <db-file>
+  cqa falsify  \"<query>\" <db-file> [node-budget]
+  cqa gadget   \"<query>\" <dimacs-file>
+  cqa solve    <dimacs-file>
+
+QUERY SYNTAX:     R(x u | x y) R(u y | x z)   (key positions before '|')
+DB FILE SYNTAX:   one fact per line, e.g.  R(alice | bob)   ('#' comments)
+"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q3: &str = "R(x | y) R(y | z)";
+    const DB: &str = "R(alice | bob)\nR(alice | carol)\nR(bob | dave)\nR(carol | dave)\n";
+
+    #[test]
+    fn classify_q2_reports_conp() {
+        let out = cmd_classify("R(x u | x y) R(u y | x z)").unwrap();
+        assert!(out.contains("CoNpComplete"), "{out}");
+        assert!(out.contains("fork-tripath witness"), "{out}");
+    }
+
+    #[test]
+    fn classify_rejects_bad_query() {
+        assert!(cmd_classify("nonsense").is_err());
+    }
+
+    #[test]
+    fn certain_answers_on_fact_file() {
+        let out = cmd_certain(Q3, DB).unwrap();
+        assert!(out.contains("certain:     true"), "{out}");
+        assert!(out.contains("4 facts"), "{out}");
+    }
+
+    #[test]
+    fn certain_rejects_signature_mismatch() {
+        let err = cmd_certain(Q3, "R(a b | c)\n").unwrap_err();
+        assert!(err.message.contains("signature"), "{err}");
+    }
+
+    #[test]
+    fn falsify_prints_witness() {
+        let db = "R(alice | bob)\nR(alice | carol)\nR(bob | dave)\n";
+        let out = cmd_falsify(Q3, db, u64::MAX).unwrap();
+        assert!(out.contains("not certain"), "{out}");
+        assert!(out.contains("R(alice carol)"), "{out}");
+        let certain_db = "R(a | b)\nR(b | c)\n";
+        let out2 = cmd_falsify(Q3, certain_db, u64::MAX).unwrap();
+        assert!(out2.contains("certain"), "{out2}");
+    }
+
+    #[test]
+    fn solve_dimacs() {
+        assert!(cmd_solve("p cnf 1 2\n1 0\n-1 0\n").unwrap().contains("UNSAT"));
+        assert!(cmd_solve("p cnf 2 1\n1 -2 0\n").unwrap().starts_with("SATISFIABLE"));
+        assert!(cmd_solve("p cnf x").is_err());
+    }
+
+    #[test]
+    fn gadget_emits_parseable_database() {
+        let out = cmd_gadget("R(x u | x y) R(u y | x z)", "p cnf 2 2\n1 2 0\n-1 -2 0\n").unwrap();
+        let body: String = out
+            .lines()
+            .filter(|l| !l.trim_start().starts_with('#'))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let db = crate::dbfmt::parse_database(&body).unwrap();
+        assert!(db.len() > 10);
+        for b in db.block_ids() {
+            assert!(db.block(b).len() >= 2, "gadget blocks are contested");
+        }
+    }
+
+    #[test]
+    fn gadget_rejects_queries_without_fork_tripath() {
+        let err = cmd_gadget("R(x | y z) R(z | x y)", "p cnf 2 2\n1 2 0\n-1 -2 0\n").unwrap_err();
+        assert!(err.message.contains("fork"), "{err}");
+    }
+}

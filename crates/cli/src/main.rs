@@ -1,0 +1,42 @@
+//! Thin dispatcher for the `cqa` command-line tool; the command logic
+//! lives in the library so it can be tested.
+
+use cqa_cli::{cmd_certain, cmd_classify, cmd_falsify, cmd_gadget, cmd_solve, usage, CliError};
+use std::process::ExitCode;
+
+fn read(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path)
+        .map_err(|e| CliError { message: format!("cannot read {path}: {e}"), code: 2 })
+}
+
+fn run() -> Result<String, CliError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let str_args: Vec<&str> = args.iter().map(String::as_str).collect();
+    match str_args.as_slice() {
+        ["classify", q] => cmd_classify(q),
+        ["certain", q, file] => cmd_certain(q, &read(file)?),
+        ["falsify", q, file] => cmd_falsify(q, &read(file)?, u64::MAX),
+        ["falsify", q, file, budget] => {
+            let b: u64 = budget
+                .parse()
+                .map_err(|_| CliError { message: format!("bad budget {budget:?}"), code: 2 })?;
+            cmd_falsify(q, &read(file)?, b)
+        }
+        ["gadget", q, file] => cmd_gadget(q, &read(file)?),
+        ["solve", file] => cmd_solve(&read(file)?),
+        _ => Err(CliError { message: usage().to_string(), code: 1 }),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(e.code)
+        }
+    }
+}

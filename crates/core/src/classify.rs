@@ -1,0 +1,203 @@
+//! The dichotomy classifier (Theorem 2.1, operationalised).
+//!
+//! Decision procedure for a two-atom query `q = A B`:
+//!
+//! 1. `q` equivalent to a one-atom query (Section 2) → **Trivial**
+//!    (first-order, always PTime).
+//! 2. Theorem 4.2's conditions (1) ∧ (2) → **coNP-complete** (hardness
+//!    through `sjf(q)` and Proposition 4.1).
+//! 3. ¬condition (1) → **PTime**, `certain(q) = Cert₂(q)` (Theorem 6.1).
+//! 4. Otherwise `q` is 2way-determined; the tripath search decides:
+//!    * fork-tripath → **coNP-complete** (Theorem 9.1);
+//!    * triangle-tripath, no fork → **PTime** via
+//!      `Cert_k(q) ∨ ¬matching(q)` (Theorem 10.5), with `Cert_k` alone
+//!      provably insufficient (Theorem 10.1);
+//!    * no tripath → **PTime** via `Cert_k(q)` alone (Theorem 8.1).
+//!
+//! The tripath search is bounded, so 2way-determined classifications carry
+//! a [`Confidence`]: `Proved` when the relevant searches completed inside
+//! their budgets (or were settled by a found witness), `BoundedEvidence`
+//! otherwise.
+
+use cqa_query::conditions::{is_2way_determined, thm42_conp_hard, thm61_applies};
+use cqa_query::Query;
+use cqa_tripath::{search_tripaths, SearchConfig, SearchOutcome, Tripath};
+
+/// The complexity classes of the dichotomy, refined by which algorithm
+/// decides `certain(q)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Complexity {
+    /// Equivalent to a one-atom query: `certain(q)` is first-order.
+    Trivial,
+    /// PTime; `certain(q) = Cert₂(q)` (Theorem 6.1).
+    PTimeCert2,
+    /// PTime; no tripath, `certain(q) = Cert_k(q)` (Theorem 8.1).
+    PTimeCertK,
+    /// PTime; triangle-tripath but no fork-tripath:
+    /// `certain(q) = Cert_k(q) ∨ ¬matching(q)` (Theorem 10.5).
+    PTimeCombined,
+    /// coNP-complete (Theorem 4.2 or Theorem 9.1).
+    CoNpComplete,
+}
+
+impl Complexity {
+    /// Is `certain(q)` polynomial-time for this class?
+    pub fn is_ptime(self) -> bool {
+        self != Complexity::CoNpComplete
+    }
+}
+
+/// How firmly the classification is established.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Confidence {
+    /// Syntactic cases, or tripath searches that completed within budget
+    /// (positive witnesses are always validated, hence always proved).
+    Proved,
+    /// A bounded tripath search found nothing but hit a budget; the
+    /// classification is the best-supported answer, not a proof.
+    BoundedEvidence,
+}
+
+/// Which rule of the decision procedure fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClassificationRule {
+    /// Section 2: equivalent to one atom.
+    OneAtomEquivalent,
+    /// Theorem 4.2 via `sjf(q)` hardness.
+    Theorem42,
+    /// Theorem 6.1 (possibly after swapping the atoms).
+    Theorem61,
+    /// Theorem 8.1: 2way-determined, no tripath.
+    Theorem81,
+    /// Theorem 9.1: 2way-determined with a fork-tripath.
+    Theorem91,
+    /// Theorem 10.5: 2way-determined, triangle-tripath only.
+    Theorem105,
+}
+
+/// Full classification result with provenance.
+#[derive(Clone, Debug)]
+pub struct Classification {
+    /// The complexity class.
+    pub complexity: Complexity,
+    /// The rule that fired.
+    pub rule: ClassificationRule,
+    /// Proof status of the answer.
+    pub confidence: Confidence,
+    /// Fork-tripath witness, when one was found.
+    pub fork_witness: Option<Tripath>,
+    /// Triangle-tripath witness, when one was found.
+    pub triangle_witness: Option<Tripath>,
+}
+
+impl Classification {
+    fn syntactic(complexity: Complexity, rule: ClassificationRule) -> Classification {
+        Classification {
+            complexity,
+            rule,
+            confidence: Confidence::Proved,
+            fork_witness: None,
+            triangle_witness: None,
+        }
+    }
+}
+
+/// Classify `q` with default tripath-search budgets.
+pub fn classify(q: &Query) -> Classification {
+    classify_with(q, &SearchConfig::default())
+}
+
+/// Classify `q`, controlling the tripath search.
+pub fn classify_with(q: &Query, cfg: &SearchConfig) -> Classification {
+    if q.is_one_atom_equivalent() {
+        return Classification::syntactic(Complexity::Trivial, ClassificationRule::OneAtomEquivalent);
+    }
+    if thm42_conp_hard(q) {
+        return Classification::syntactic(Complexity::CoNpComplete, ClassificationRule::Theorem42);
+    }
+    if thm61_applies(q) {
+        return Classification::syntactic(Complexity::PTimeCert2, ClassificationRule::Theorem61);
+    }
+    debug_assert!(is_2way_determined(q), "classification cases must be exhaustive");
+    let SearchOutcome { fork, triangle, exhausted } = search_tripaths(q, cfg);
+    match (&fork, &triangle) {
+        (Some(_), _) => Classification {
+            complexity: Complexity::CoNpComplete,
+            rule: ClassificationRule::Theorem91,
+            confidence: Confidence::Proved, // witness validated
+            fork_witness: fork,
+            triangle_witness: triangle,
+        },
+        (None, Some(_)) => Classification {
+            complexity: Complexity::PTimeCombined,
+            rule: ClassificationRule::Theorem105,
+            confidence: if exhausted { Confidence::BoundedEvidence } else { Confidence::Proved },
+            fork_witness: None,
+            triangle_witness: triangle,
+        },
+        (None, None) => Classification {
+            complexity: Complexity::PTimeCertK,
+            rule: ClassificationRule::Theorem81,
+            confidence: if exhausted { Confidence::BoundedEvidence } else { Confidence::Proved },
+            fork_witness: None,
+            triangle_witness: None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::{examples, parse_query};
+
+    #[test]
+    fn paper_queries_classify_as_claimed() {
+        let expected = [
+            ("q1", Complexity::CoNpComplete, ClassificationRule::Theorem42),
+            ("q2", Complexity::CoNpComplete, ClassificationRule::Theorem91),
+            ("q3", Complexity::PTimeCert2, ClassificationRule::Theorem61),
+            ("q4", Complexity::PTimeCert2, ClassificationRule::Theorem61),
+            ("q5", Complexity::PTimeCertK, ClassificationRule::Theorem81),
+            ("q6", Complexity::PTimeCombined, ClassificationRule::Theorem105),
+            ("q7", Complexity::PTimeCombined, ClassificationRule::Theorem105),
+        ];
+        for ((name, q), (ename, ecx, erule)) in examples::all().into_iter().zip(expected) {
+            assert_eq!(name, ename);
+            let c = classify(&q);
+            assert_eq!(c.complexity, ecx, "{name} misclassified");
+            assert_eq!(c.rule, erule, "{name} wrong rule");
+        }
+    }
+
+    #[test]
+    fn trivial_queries() {
+        for s in ["R(x | y) R(u | v)", "R(x | y) R(x | z)", "R(x | x) R(u | v)"] {
+            let q = parse_query(s).unwrap();
+            let c = classify(&q);
+            assert_eq!(c.complexity, Complexity::Trivial, "{s}");
+            assert_eq!(c.confidence, Confidence::Proved);
+        }
+    }
+
+    #[test]
+    fn witnesses_attached_where_expected() {
+        let c2 = classify(&examples::q2());
+        assert!(c2.fork_witness.is_some());
+        let c6 = classify(&examples::q6());
+        assert!(c6.triangle_witness.is_some());
+        assert!(c6.fork_witness.is_none());
+        let c5 = classify(&examples::q5());
+        assert!(c5.fork_witness.is_none());
+        assert!(c5.triangle_witness.is_none());
+        assert_eq!(c5.confidence, Confidence::Proved);
+    }
+
+    #[test]
+    fn ptime_predicate() {
+        assert!(Complexity::Trivial.is_ptime());
+        assert!(Complexity::PTimeCert2.is_ptime());
+        assert!(Complexity::PTimeCertK.is_ptime());
+        assert!(Complexity::PTimeCombined.is_ptime());
+        assert!(!Complexity::CoNpComplete.is_ptime());
+    }
+}

@@ -1,0 +1,210 @@
+//! The high-level engine: classify once, answer `certain(q)` many times
+//! with the algorithm the dichotomy prescribes.
+
+use crate::classify::{classify_with, Classification, Complexity};
+use cqa_model::Database;
+use cqa_query::Query;
+use cqa_solvers::{
+    certain_brute_budgeted, certain_combined, certk, BruteOutcome, CertKConfig,
+};
+use cqa_tripath::SearchConfig;
+
+/// Which algorithm actually answered a [`CqaEngine::certain`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnsweredBy {
+    /// Single-atom / trivial evaluation via the fixpoint seeds (`Cert₁`).
+    Trivial,
+    /// The greedy fixpoint `Cert_k`.
+    CertK,
+    /// The Theorem 10.5 combination (per-component `Cert_k` / `¬matching`).
+    Combined,
+    /// Exponential search (coNP-complete queries only).
+    BruteForce,
+}
+
+/// An answer with provenance.
+#[derive(Clone, Debug)]
+pub struct CertainAnswer {
+    /// Is `q` certain for the database?
+    pub certain: bool,
+    /// The algorithm that produced the answer.
+    pub answered_by: AnsweredBy,
+    /// `true` when a budget was exhausted; for PTime classes the answer is
+    /// then a sound under-approximation ("certain" is still trustworthy,
+    /// "not certain" may be a false negative); for coNP-complete queries it
+    /// means the search was cut off.
+    pub budget_exhausted: bool,
+}
+
+/// Tuning knobs for [`CqaEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Tripath search limits used at classification time.
+    pub search: SearchConfig,
+    /// `Cert_k` configuration for the PTime algorithms.
+    pub certk: CertKConfig,
+    /// Node budget for the brute-force solver on coNP-complete queries.
+    pub brute_budget: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            search: SearchConfig::default(),
+            certk: CertKConfig::new(2),
+            brute_budget: u64::MAX,
+        }
+    }
+}
+
+/// Classify-once, solve-many engine for one query.
+///
+/// ```
+/// use cqa::{CqaEngine, Complexity};
+/// use cqa_model::{Database, Fact, Signature};
+///
+/// let q = cqa_query::examples::q3();
+/// let engine = CqaEngine::new(q);
+/// assert_eq!(engine.classification().complexity, Complexity::PTimeCert2);
+///
+/// let mut db = Database::new(Signature::new(2, 1).unwrap());
+/// db.insert(Fact::from_names(["a", "b"])).unwrap();
+/// db.insert(Fact::from_names(["b", "c"])).unwrap();
+/// assert!(engine.certain(&db).certain);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CqaEngine {
+    query: Query,
+    classification: Classification,
+    config: EngineConfig,
+}
+
+impl CqaEngine {
+    /// Build an engine with default budgets (classifies immediately).
+    pub fn new(query: Query) -> CqaEngine {
+        CqaEngine::with_config(query, EngineConfig::default())
+    }
+
+    /// Build an engine with explicit budgets.
+    pub fn with_config(query: Query, config: EngineConfig) -> CqaEngine {
+        let classification = classify_with(&query, &config.search);
+        CqaEngine { query, classification, config }
+    }
+
+    /// The query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The dichotomy classification (computed at construction).
+    pub fn classification(&self) -> &Classification {
+        &self.classification
+    }
+
+    /// Decide `db ⊨ certain(q)` with the algorithm the classification
+    /// prescribes.
+    pub fn certain(&self, db: &Database) -> CertainAnswer {
+        match self.classification.complexity {
+            Complexity::Trivial | Complexity::PTimeCert2 | Complexity::PTimeCertK => {
+                let out = certk(&self.query, db, self.config.certk);
+                CertainAnswer {
+                    certain: out.is_certain(),
+                    answered_by: if self.classification.complexity == Complexity::Trivial {
+                        AnsweredBy::Trivial
+                    } else {
+                        AnsweredBy::CertK
+                    },
+                    budget_exhausted: out == cqa_solvers::CertKOutcome::BudgetExhausted,
+                }
+            }
+            Complexity::PTimeCombined => {
+                let res = certain_combined(&self.query, db, self.config.certk);
+                CertainAnswer {
+                    certain: res.certain,
+                    answered_by: AnsweredBy::Combined,
+                    budget_exhausted: res.components.iter().any(|c| c.budget_exhausted),
+                }
+            }
+            Complexity::CoNpComplete => {
+                match certain_brute_budgeted(&self.query, db, self.config.brute_budget) {
+                    BruteOutcome::Certain => CertainAnswer {
+                        certain: true,
+                        answered_by: AnsweredBy::BruteForce,
+                        budget_exhausted: false,
+                    },
+                    BruteOutcome::NotCertain(_) => CertainAnswer {
+                        certain: false,
+                        answered_by: AnsweredBy::BruteForce,
+                        budget_exhausted: false,
+                    },
+                    BruteOutcome::BudgetExhausted => CertainAnswer {
+                        certain: false,
+                        answered_by: AnsweredBy::BruteForce,
+                        budget_exhausted: true,
+                    },
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::{Fact, Signature};
+    use cqa_query::examples;
+    use cqa_solvers::certain_brute;
+
+    fn db2(rows: &[[&str; 2]]) -> Database {
+        let mut db = Database::new(Signature::new(2, 1).unwrap());
+        for row in rows {
+            db.insert(Fact::from_names(row.iter().copied())).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn engine_routes_q3_to_certk() {
+        let engine = CqaEngine::new(examples::q3());
+        let ans = engine.certain(&db2(&[["a", "b"], ["b", "c"]]));
+        assert!(ans.certain);
+        assert_eq!(ans.answered_by, AnsweredBy::CertK);
+    }
+
+    #[test]
+    fn engine_routes_q6_to_combined() {
+        let engine = CqaEngine::new(examples::q6());
+        let mut db = Database::new(Signature::new(3, 1).unwrap());
+        for f in [["a", "b", "c"], ["c", "a", "b"], ["b", "c", "a"]] {
+            db.insert(Fact::from_names(f)).unwrap();
+        }
+        let ans = engine.certain(&db);
+        assert!(ans.certain);
+        assert_eq!(ans.answered_by, AnsweredBy::Combined);
+    }
+
+    #[test]
+    fn engine_routes_q2_to_brute_force() {
+        let engine = CqaEngine::new(examples::q2());
+        let mut db = Database::new(Signature::new(4, 2).unwrap());
+        db.insert(Fact::from_names(["a", "b", "a", "c"])).unwrap();
+        db.insert(Fact::from_names(["b", "c", "a", "d"])).unwrap();
+        let ans = engine.certain(&db);
+        assert_eq!(ans.answered_by, AnsweredBy::BruteForce);
+        assert_eq!(ans.certain, certain_brute(engine.query(), &db));
+    }
+
+    #[test]
+    fn engine_agrees_with_brute_on_small_q3_instances() {
+        let engine = CqaEngine::new(examples::q3());
+        let cases = [
+            db2(&[["a", "b"], ["b", "c"]]),
+            db2(&[["a", "b"], ["a", "x"], ["b", "c"]]),
+            db2(&[["a", "a"]]),
+            db2(&[["a", "b"]]),
+        ];
+        for db in &cases {
+            assert_eq!(engine.certain(db).certain, certain_brute(engine.query(), db));
+        }
+    }
+}

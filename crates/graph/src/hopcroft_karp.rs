@@ -1,0 +1,267 @@
+//! Hopcroft–Karp maximum bipartite matching.
+//!
+//! The paper's `matching(q)` algorithm (Section 10.1) asks for a matching of
+//! the bipartite graph `H(D, q)` *saturating* the block side; it cites
+//! Hopcroft & Karp's `O(E √V)` algorithm \[4\]. This is a from-scratch
+//! implementation with the usual layered BFS + DFS phases.
+
+/// A bipartite graph with `left` and `right` vertex sets, edges stored as
+/// adjacency lists on the left side.
+#[derive(Clone, Debug)]
+pub struct BipartiteGraph {
+    n_left: usize,
+    n_right: usize,
+    adj: Vec<Vec<usize>>,
+}
+
+impl BipartiteGraph {
+    /// An edgeless bipartite graph with the given side sizes.
+    pub fn new(n_left: usize, n_right: usize) -> BipartiteGraph {
+        BipartiteGraph { n_left, n_right, adj: vec![Vec::new(); n_left] }
+    }
+
+    /// Number of left vertices.
+    pub fn n_left(&self) -> usize {
+        self.n_left
+    }
+
+    /// Number of right vertices.
+    pub fn n_right(&self) -> usize {
+        self.n_right
+    }
+
+    /// Add an edge `(l, r)`. Duplicate edges are tolerated (they do not
+    /// change the matching).
+    ///
+    /// # Panics
+    /// Panics when an endpoint is out of range.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        assert!(l < self.n_left, "left endpoint out of range");
+        assert!(r < self.n_right, "right endpoint out of range");
+        self.adj[l].push(r);
+    }
+
+    /// Number of edges (with multiplicity).
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Compute a maximum matching; returns `(size, match_left, match_right)`
+    /// where `match_left[l]` is the right partner of `l` (or `None`).
+    pub fn maximum_matching(&self) -> Matching {
+        const NIL: usize = usize::MAX;
+        let mut match_l = vec![NIL; self.n_left];
+        let mut match_r = vec![NIL; self.n_right];
+        let mut dist = vec![0usize; self.n_left];
+        let mut size = 0usize;
+
+        loop {
+            // BFS phase: layer unmatched left vertices.
+            let mut queue = std::collections::VecDeque::new();
+            for l in 0..self.n_left {
+                if match_l[l] == NIL {
+                    dist[l] = 0;
+                    queue.push_back(l);
+                } else {
+                    dist[l] = usize::MAX;
+                }
+            }
+            let mut found_augmenting = false;
+            while let Some(l) = queue.pop_front() {
+                for &r in &self.adj[l] {
+                    let l2 = match_r[r];
+                    if l2 == NIL {
+                        found_augmenting = true;
+                    } else if dist[l2] == usize::MAX {
+                        dist[l2] = dist[l] + 1;
+                        queue.push_back(l2);
+                    }
+                }
+            }
+            if !found_augmenting {
+                break;
+            }
+            // DFS phase: find vertex-disjoint augmenting paths.
+            fn dfs(
+                l: usize,
+                adj: &[Vec<usize>],
+                match_l: &mut [usize],
+                match_r: &mut [usize],
+                dist: &mut [usize],
+            ) -> bool {
+                const NIL: usize = usize::MAX;
+                for i in 0..adj[l].len() {
+                    let r = adj[l][i];
+                    let l2 = match_r[r];
+                    if l2 == NIL
+                        || (dist[l2] == dist[l] + 1 && dfs(l2, adj, match_l, match_r, dist))
+                    {
+                        match_l[l] = r;
+                        match_r[r] = l;
+                        return true;
+                    }
+                }
+                dist[l] = usize::MAX;
+                false
+            }
+            for l in 0..self.n_left {
+                if match_l[l] == NIL && dfs(l, &self.adj, &mut match_l, &mut match_r, &mut dist) {
+                    size += 1;
+                }
+            }
+        }
+
+        Matching {
+            size,
+            match_left: match_l.into_iter().map(|r| (r != NIL).then_some(r)).collect(),
+            match_right: match_r.into_iter().map(|l| (l != NIL).then_some(l)).collect(),
+        }
+    }
+
+    /// `true` iff a matching saturating the entire left side exists — the
+    /// acceptance test of the paper's `matching(q)`.
+    pub fn has_left_saturating_matching(&self) -> bool {
+        self.maximum_matching().size == self.n_left
+    }
+}
+
+/// The result of [`BipartiteGraph::maximum_matching`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matching {
+    /// Number of matched pairs.
+    pub size: usize,
+    /// Partner of each left vertex.
+    pub match_left: Vec<Option<usize>>,
+    /// Partner of each right vertex.
+    pub match_right: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// Validate internal consistency (used by property tests).
+    pub fn is_consistent(&self) -> bool {
+        let mut count = 0;
+        for (l, &r) in self.match_left.iter().enumerate() {
+            if let Some(r) = r {
+                if self.match_right.get(r).copied().flatten() != Some(l) {
+                    return false;
+                }
+                count += 1;
+            }
+        }
+        count == self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exponential reference: maximum matching by brute force over subsets
+    /// of edges (small graphs only).
+    fn brute_force_max_matching(g: &BipartiteGraph) -> usize {
+        let edges: Vec<(usize, usize)> = (0..g.n_left)
+            .flat_map(|l| g.adj[l].iter().map(move |&r| (l, r)))
+            .collect();
+        let m = edges.len();
+        let mut best = 0;
+        for mask in 0u32..(1 << m) {
+            let chosen: Vec<_> =
+                (0..m).filter(|i| mask & (1 << i) != 0).map(|i| edges[i]).collect();
+            let mut ls = std::collections::HashSet::new();
+            let mut rs = std::collections::HashSet::new();
+            if chosen.iter().all(|&(l, r)| ls.insert(l) && rs.insert(r)) {
+                best = best.max(chosen.len());
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn perfect_matching_on_cycle() {
+        // 3x3 cycle-ish: l_i -> r_i, r_{i+1}
+        let mut g = BipartiteGraph::new(3, 3);
+        for i in 0..3 {
+            g.add_edge(i, i);
+            g.add_edge(i, (i + 1) % 3);
+        }
+        let m = g.maximum_matching();
+        assert_eq!(m.size, 3);
+        assert!(m.is_consistent());
+        assert!(g.has_left_saturating_matching());
+    }
+
+    #[test]
+    fn starved_left_vertex() {
+        // Two left vertices competing for a single right vertex.
+        let mut g = BipartiteGraph::new(2, 1);
+        g.add_edge(0, 0);
+        g.add_edge(1, 0);
+        let m = g.maximum_matching();
+        assert_eq!(m.size, 1);
+        assert!(!g.has_left_saturating_matching());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::new(0, 0);
+        assert_eq!(g.maximum_matching().size, 0);
+        assert!(g.has_left_saturating_matching());
+        let g2 = BipartiteGraph::new(2, 3);
+        assert_eq!(g2.maximum_matching().size, 0);
+        assert!(!g2.has_left_saturating_matching());
+    }
+
+    #[test]
+    fn needs_augmenting_path() {
+        // Greedy l0-r0 blocks l1 unless augmented: l0 -> {r0, r1}, l1 -> {r0}.
+        let mut g = BipartiteGraph::new(2, 2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert_eq!(g.maximum_matching().size, 2);
+    }
+
+    #[test]
+    fn duplicate_edges_are_harmless() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(0, 0);
+        g.add_edge(0, 0);
+        assert_eq!(g.maximum_matching().size, 1);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_graphs() {
+        // Deterministic LCG so the test is reproducible without rand.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..200 {
+            let nl = (next() % 4 + 1) as usize;
+            let nr = (next() % 4 + 1) as usize;
+            let mut g = BipartiteGraph::new(nl, nr);
+            let mut n_edges = 0;
+            for l in 0..nl {
+                for r in 0..nr {
+                    if next() % 3 == 0 && n_edges < 12 {
+                        g.add_edge(l, r);
+                        n_edges += 1;
+                    }
+                }
+            }
+            let fast = g.maximum_matching();
+            assert!(fast.is_consistent());
+            assert_eq!(fast.size, brute_force_max_matching(&g), "trial {trial}: {g:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edges() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(1, 0);
+    }
+}

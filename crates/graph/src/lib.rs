@@ -1,0 +1,20 @@
+//! # cqa-graph — graph substrate for the matching-based CQA algorithm
+//!
+//! From-scratch graph utilities backing Section 10 of the PODS'24 paper:
+//!
+//! * [`UnionFind`] — disjoint sets (connected components, q-connected block
+//!   components of Proposition 10.6),
+//! * [`Undirected`] — the solution graph `G(D, q)` representation,
+//! * [`BipartiteGraph`] + Hopcroft–Karp — the saturating-matching test of
+//!   the `matching(q)` algorithm.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hopcroft_karp;
+mod undirected;
+mod unionfind;
+
+pub use hopcroft_karp::{BipartiteGraph, Matching};
+pub use undirected::Undirected;
+pub use unionfind::UnionFind;

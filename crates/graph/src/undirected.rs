@@ -1,0 +1,130 @@
+//! Simple undirected graphs over `0..n` with component extraction.
+//!
+//! Used for the *solution graph* `G(D, q)` of Section 10.1: vertices are
+//! facts, edges are unordered solutions `q{a b}`.
+
+use crate::UnionFind;
+use std::collections::HashSet;
+
+/// An undirected graph with vertex set `0..n`. Self-loops are allowed and
+/// recorded separately (the solution graph needs `q(a a)` loops for the
+/// `matching(q)` edge condition).
+#[derive(Clone, Debug)]
+pub struct Undirected {
+    n: usize,
+    adj: Vec<Vec<usize>>,
+    edges: HashSet<(usize, usize)>,
+    loops: HashSet<usize>,
+}
+
+impl Undirected {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Undirected {
+        Undirected { n, adj: vec![Vec::new(); n], edges: HashSet::new(), loops: HashSet::new() }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff there are no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Add the undirected edge `{a, b}` (or a loop when `a == b`).
+    /// Idempotent.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n, "edge endpoint out of range");
+        if a == b {
+            self.loops.insert(a);
+            return;
+        }
+        let key = (a.min(b), a.max(b));
+        if self.edges.insert(key) {
+            self.adj[a].push(b);
+            self.adj[b].push(a);
+        }
+    }
+
+    /// `true` iff the edge `{a, b}` is present (`a != b`), or the loop on
+    /// `a` (`a == b`).
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            self.loops.contains(&a)
+        } else {
+            self.edges.contains(&(a.min(b), a.max(b)))
+        }
+    }
+
+    /// `true` iff vertex `v` has a self-loop.
+    pub fn has_loop(&self, v: usize) -> bool {
+        self.loops.contains(&v)
+    }
+
+    /// Neighbours of `v` (loops excluded).
+    pub fn neighbours(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Number of distinct non-loop edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Connected components (loops do not affect connectivity), each sorted,
+    /// ordered by smallest member. Isolated vertices form singleton
+    /// components.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let mut uf = UnionFind::new(self.n);
+        for &(a, b) in &self.edges {
+            uf.union(a, b);
+        }
+        uf.groups()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_of_two_triangles() {
+        let mut g = Undirected::new(7);
+        for (a, b) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            g.add_edge(a, b);
+        }
+        let comps = g.components();
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6]]);
+    }
+
+    #[test]
+    fn loops_do_not_connect() {
+        let mut g = Undirected::new(2);
+        g.add_edge(0, 0);
+        assert!(g.has_loop(0));
+        assert!(!g.has_loop(1));
+        assert!(g.has_edge(0, 0));
+        assert_eq!(g.components().len(), 2);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn edges_are_idempotent_and_symmetric() {
+        let mut g = Undirected::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.neighbours(0), &[1]);
+        assert_eq!(g.neighbours(1), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_edges() {
+        Undirected::new(1).add_edge(0, 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Disjoint-set union with path halving and union by size.
+
+/// A union-find structure over `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n], components: n }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` iff the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The canonical representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// `true` iff `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the set containing `x`.
+    pub fn component_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r]
+    }
+
+    /// Group all elements by representative, ordered by smallest member.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for x in 0..n {
+            let r = self.find(x);
+            by_root.entry(r).or_default().push(x);
+        }
+        let mut groups: Vec<Vec<usize>> = by_root.into_values().collect();
+        groups.sort_by_key(|g| g[0]);
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(1, 2));
+        assert_eq!(uf.component_size(4), 2);
+    }
+
+    #[test]
+    fn transitive_unions() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(4, 5);
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(2, 4));
+        let groups = uf.groups();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0], vec![0, 1, 2]);
+        assert_eq!(groups[1], vec![3]);
+        assert_eq!(groups[2], vec![4, 5]);
+    }
+
+    #[test]
+    fn chain_collapse() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            uf.union(i - 1, i);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert_eq!(uf.component_size(0), n);
+        assert!(uf.same(0, n - 1));
+    }
+
+    #[test]
+    fn empty() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.groups().len(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the graph substrate: union-find laws, component
+//! correctness, Hopcroft–Karp vs. an independent augmenting-path matcher.
+
+use cqa_graph::{BipartiteGraph, Undirected, UnionFind};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Simple reference matcher: repeated DFS augmenting paths (Kuhn's
+/// algorithm) — independent of the Hopcroft–Karp implementation.
+fn kuhn_matching(n_left: usize, n_right: usize, edges: &[(usize, usize)]) -> usize {
+    let mut adj = vec![Vec::new(); n_left];
+    for &(l, r) in edges {
+        adj[l].push(r);
+    }
+    let mut match_r: Vec<Option<usize>> = vec![None; n_right];
+    fn try_kuhn(
+        l: usize,
+        adj: &[Vec<usize>],
+        visited: &mut [bool],
+        match_r: &mut [Option<usize>],
+    ) -> bool {
+        for &r in &adj[l] {
+            if !visited[r] {
+                visited[r] = true;
+                if match_r[r].is_none()
+                    || try_kuhn(match_r[r].unwrap(), adj, visited, match_r)
+                {
+                    match_r[r] = Some(l);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    let mut size = 0;
+    for l in 0..n_left {
+        let mut visited = vec![false; n_right];
+        if try_kuhn(l, &adj, &mut visited, &mut match_r) {
+            size += 1;
+        }
+    }
+    size
+}
+
+fn bipartite_strategy() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize)>)> {
+    (1usize..7, 1usize..7).prop_flat_map(|(nl, nr)| {
+        let edges = proptest::collection::vec((0..nl, 0..nr), 0..20);
+        (Just(nl), Just(nr), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn union_find_equivalence_laws(ops in proptest::collection::vec((0usize..10, 0usize..10), 0..30)) {
+        let mut uf = UnionFind::new(10);
+        for &(a, b) in &ops {
+            uf.union(a, b);
+        }
+        // same() is an equivalence relation consistent with groups().
+        let groups = uf.groups();
+        let mut group_of = [usize::MAX; 10];
+        for (gi, g) in groups.iter().enumerate() {
+            for &x in g {
+                group_of[x] = gi;
+            }
+        }
+        for a in 0..10 {
+            for b in 0..10 {
+                prop_assert_eq!(uf.same(a, b), group_of[a] == group_of[b]);
+            }
+        }
+        prop_assert_eq!(groups.len(), uf.component_count());
+        prop_assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn components_agree_with_reachability((n, edges) in (1usize..10)
+        .prop_flat_map(|n| (Just(n), proptest::collection::vec((0..n, 0..n), 0..25)))) {
+        let mut g = Undirected::new(n);
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        // Floyd-Warshall style reachability as reference.
+        let mut reach = vec![vec![false; n]; n];
+        for v in 0..n {
+            reach[v][v] = true;
+        }
+        for &(a, b) in &edges {
+            if a != b {
+                reach[a][b] = true;
+                reach[b][a] = true;
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    if reach[i][k] && reach[k][j] {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+        let comps = g.components();
+        let mut comp_of = vec![usize::MAX; n];
+        for (ci, c) in comps.iter().enumerate() {
+            for &v in c {
+                comp_of[v] = ci;
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(reach[i][j], comp_of[i] == comp_of[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn hopcroft_karp_equals_kuhn((nl, nr, edges) in bipartite_strategy()) {
+        let mut g = BipartiteGraph::new(nl, nr);
+        let dedup: HashSet<(usize, usize)> = edges.iter().copied().collect();
+        for &(l, r) in &dedup {
+            g.add_edge(l, r);
+        }
+        let m = g.maximum_matching();
+        prop_assert!(m.is_consistent());
+        let reference = kuhn_matching(nl, nr, &dedup.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(m.size, reference);
+        prop_assert_eq!(g.has_left_saturating_matching(), m.size == nl);
+    }
+
+    #[test]
+    fn matched_pairs_are_real_edges((nl, nr, edges) in bipartite_strategy()) {
+        let mut g = BipartiteGraph::new(nl, nr);
+        let edge_set: HashSet<(usize, usize)> = edges.iter().copied().collect();
+        for &(l, r) in &edge_set {
+            g.add_edge(l, r);
+        }
+        let m = g.maximum_matching();
+        for (l, r) in m.match_left.iter().enumerate() {
+            if let Some(r) = r {
+                prop_assert!(edge_set.contains(&(l, *r)), "matched non-edge ({l}, {r})");
+            }
+        }
+    }
+}

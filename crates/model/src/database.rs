@@ -1,0 +1,318 @@
+//! Databases, blocks and fact identifiers.
+//!
+//! A database is a finite set of facts (Section 2). It is partitioned into
+//! *blocks*: maximal sets of key-equal facts. A database is *consistent*
+//! when every block is a singleton. We maintain the block partition
+//! incrementally under insertion, which makes block lookups O(1) and keeps
+//! repair enumeration allocation-free per step.
+
+use crate::{Elem, Fact, ModelError, RelId, Signature};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a fact inside its [`Database`]. Stable: facts are append-only.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct FactId(pub u32);
+
+impl FactId {
+    /// The index as `usize`.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a block inside its [`Database`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The index as `usize`.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+type BlockKey = (RelId, Box<[Elem]>);
+
+/// An in-memory database of facts sharing one signature.
+///
+/// All relations in a database share the signature `[k, l]` — the paper's
+/// setting has a single relation `R`, and its Section 4 detour uses two
+/// relations `R1`, `R2` *of the same signature*.
+#[derive(Clone)]
+pub struct Database {
+    sig: Signature,
+    facts: Vec<Fact>,
+    fact_block: Vec<BlockId>,
+    blocks: Vec<Vec<FactId>>,
+    by_key: HashMap<BlockKey, BlockId>,
+    dedup: HashMap<Fact, FactId>,
+}
+
+impl Database {
+    /// An empty database with the given signature.
+    pub fn new(sig: Signature) -> Database {
+        Database {
+            sig,
+            facts: Vec::new(),
+            fact_block: Vec::new(),
+            blocks: Vec::new(),
+            by_key: HashMap::new(),
+            dedup: HashMap::new(),
+        }
+    }
+
+    /// The signature shared by all facts.
+    pub fn signature(&self) -> &Signature {
+        &self.sig
+    }
+
+    /// Insert a fact. Databases are sets: inserting an existing fact returns
+    /// the existing id and does not change the database.
+    ///
+    /// # Errors
+    /// Rejects facts whose arity differs from the database signature.
+    pub fn insert(&mut self, fact: Fact) -> Result<FactId, ModelError> {
+        if fact.arity() != self.sig.arity() {
+            return Err(ModelError::ArityMismatch { expected: self.sig.arity(), got: fact.arity() });
+        }
+        if let Some(&id) = self.dedup.get(&fact) {
+            return Ok(id);
+        }
+        let id = FactId(u32::try_from(self.facts.len()).expect("database exhausted (> 2^32 facts)"));
+        let key: BlockKey = (fact.rel(), fact.key(&self.sig).to_vec().into_boxed_slice());
+        let block = match self.by_key.get(&key) {
+            Some(&b) => {
+                self.blocks[b.idx()].push(id);
+                b
+            }
+            None => {
+                let b = BlockId(u32::try_from(self.blocks.len()).expect("too many blocks"));
+                self.blocks.push(vec![id]);
+                self.by_key.insert(key, b);
+                b
+            }
+        };
+        self.dedup.insert(fact.clone(), id);
+        self.facts.push(fact);
+        self.fact_block.push(block);
+        Ok(id)
+    }
+
+    /// Insert many facts; returns their ids in order.
+    pub fn insert_all(
+        &mut self,
+        facts: impl IntoIterator<Item = Fact>,
+    ) -> Result<Vec<FactId>, ModelError> {
+        facts.into_iter().map(|f| self.insert(f)).collect()
+    }
+
+    /// Number of facts (the paper's database *size* `n`).
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// `true` iff the database has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The fact with the given id.
+    pub fn fact(&self, id: FactId) -> &Fact {
+        &self.facts[id.idx()]
+    }
+
+    /// Iterator over `(id, fact)` pairs.
+    pub fn facts(&self) -> impl Iterator<Item = (FactId, &Fact)> {
+        self.facts.iter().enumerate().map(|(i, f)| (FactId(i as u32), f))
+    }
+
+    /// All fact ids.
+    pub fn fact_ids(&self) -> impl Iterator<Item = FactId> + '_ {
+        (0..self.facts.len() as u32).map(FactId)
+    }
+
+    /// The id of `fact`, if present.
+    pub fn id_of(&self, fact: &Fact) -> Option<FactId> {
+        self.dedup.get(fact).copied()
+    }
+
+    /// `true` iff the fact is present.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.dedup.contains_key(fact)
+    }
+
+    /// The block a fact belongs to.
+    pub fn block_of(&self, id: FactId) -> BlockId {
+        self.fact_block[id.idx()]
+    }
+
+    /// The facts of a block.
+    pub fn block(&self, b: BlockId) -> &[FactId] {
+        &self.blocks[b.idx()]
+    }
+
+    /// Iterator over all block ids.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Key-equality of two facts in this database, `a ∼ b`.
+    pub fn key_equal(&self, a: FactId, b: FactId) -> bool {
+        self.fact_block[a.idx()] == self.fact_block[b.idx()]
+    }
+
+    /// `true` iff no block holds two distinct facts (Section 2).
+    pub fn is_consistent(&self) -> bool {
+        self.blocks.iter().all(|b| b.len() == 1)
+    }
+
+    /// The number of repairs, i.e. the product of block sizes, saturating at
+    /// `u128::MAX`. Can be astronomically large — that is the point of the
+    /// paper.
+    pub fn repair_count(&self) -> u128 {
+        let mut n: u128 = 1;
+        for b in &self.blocks {
+            n = n.saturating_mul(b.len() as u128);
+        }
+        n
+    }
+
+    /// A new database containing exactly the given facts of this one
+    /// (sub-database). Fact ids are **not** preserved.
+    pub fn restrict(&self, ids: impl IntoIterator<Item = FactId>) -> Database {
+        let mut sub = Database::new(self.sig);
+        for id in ids {
+            sub.insert(self.fact(id).clone()).expect("same signature");
+        }
+        sub
+    }
+
+    /// Merge all facts of `other` into `self`. Signatures must agree.
+    pub fn absorb(&mut self, other: &Database) -> Result<(), ModelError> {
+        if other.sig != self.sig {
+            return Err(ModelError::ArityMismatch {
+                expected: self.sig.arity(),
+                got: other.sig.arity(),
+            });
+        }
+        for (_, f) in other.facts() {
+            self.insert(f.clone())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Database {} ({} facts, {} blocks):", self.sig, self.len(), self.block_count())?;
+        for b in self.block_ids() {
+            write!(f, "  block {}:", b.0)?;
+            for &id in self.block(b) {
+                write!(f, " {}", self.fact(id))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_2_1(rows: &[[&str; 2]]) -> Database {
+        let mut db = Database::new(Signature::new(2, 1).unwrap());
+        for row in rows {
+            db.insert(Fact::from_names(row.iter().copied())).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn blocks_partition_by_key() {
+        let db = db_2_1(&[["a", "1"], ["a", "2"], ["b", "1"]]);
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.block_count(), 2);
+        assert!(!db.is_consistent());
+        assert_eq!(db.repair_count(), 2);
+        let a1 = db.id_of(&Fact::from_names(["a", "1"])).unwrap();
+        let a2 = db.id_of(&Fact::from_names(["a", "2"])).unwrap();
+        let b1 = db.id_of(&Fact::from_names(["b", "1"])).unwrap();
+        assert!(db.key_equal(a1, a2));
+        assert!(!db.key_equal(a1, b1));
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut db = db_2_1(&[["a", "1"]]);
+        let id1 = db.id_of(&Fact::from_names(["a", "1"])).unwrap();
+        let id2 = db.insert(Fact::from_names(["a", "1"])).unwrap();
+        assert_eq!(id1, id2);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn different_relations_never_share_blocks() {
+        let sig = Signature::new(2, 1).unwrap();
+        let mut db = Database::new(sig);
+        let k = Elem::named("k");
+        let v = Elem::named("v");
+        db.insert(Fact::new(RelId::R1, vec![k, v])).unwrap();
+        db.insert(Fact::new(RelId::R2, vec![k, v])).unwrap();
+        assert_eq!(db.block_count(), 2);
+        assert!(db.is_consistent());
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let mut db = Database::new(Signature::new(3, 1).unwrap());
+        let err = db.insert(Fact::from_names(["a", "b"])).unwrap_err();
+        assert!(matches!(err, ModelError::ArityMismatch { expected: 3, got: 2 }));
+    }
+
+    #[test]
+    fn empty_key_single_block() {
+        let mut db = Database::new(Signature::new(1, 0).unwrap());
+        db.insert(Fact::from_names(["a"])).unwrap();
+        db.insert(Fact::from_names(["b"])).unwrap();
+        db.insert(Fact::from_names(["c"])).unwrap();
+        assert_eq!(db.block_count(), 1);
+        assert_eq!(db.repair_count(), 3);
+    }
+
+    #[test]
+    fn repair_count_saturates() {
+        // 2^130 blocks would overflow u128; simulate with many 2-fact blocks.
+        let mut db = Database::new(Signature::new(2, 1).unwrap());
+        for i in 0..130 {
+            db.insert(Fact::r(vec![Elem::int(i), Elem::named("x")])).unwrap();
+            db.insert(Fact::r(vec![Elem::int(i), Elem::named("y")])).unwrap();
+        }
+        assert_eq!(db.repair_count(), u128::MAX);
+    }
+
+    #[test]
+    fn restrict_builds_sub_database() {
+        let db = db_2_1(&[["a", "1"], ["a", "2"], ["b", "1"]]);
+        let a1 = db.id_of(&Fact::from_names(["a", "1"])).unwrap();
+        let b1 = db.id_of(&Fact::from_names(["b", "1"])).unwrap();
+        let sub = db.restrict([a1, b1]);
+        assert_eq!(sub.len(), 2);
+        assert!(sub.is_consistent());
+    }
+
+    #[test]
+    fn absorb_unions_fact_sets() {
+        let mut d1 = db_2_1(&[["a", "1"]]);
+        let d2 = db_2_1(&[["a", "1"], ["a", "2"]]);
+        d1.absorb(&d2).unwrap();
+        assert_eq!(d1.len(), 2);
+        assert_eq!(d1.block_count(), 1);
+    }
+}

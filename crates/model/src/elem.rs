@@ -1,0 +1,216 @@
+//! Interned domain elements.
+//!
+//! The paper works over an abstract infinite domain. The constructions it
+//! performs on that domain are not purely atomic, however: the reduction of
+//! Proposition 4.1 builds elements that are *pairs* `⟨z, α⟩` of a query
+//! variable and an element, and the coNP-hardness gadget of Section 9 builds
+//! elements annotated by clauses and literals (e.g. `⟨C, l⟩x`). We therefore
+//! realise the domain as a term algebra with four constructors:
+//!
+//! * [`ElemData::Named`] — a user-visible symbolic constant (`"a"`, `"C1"`),
+//! * [`ElemData::Int`] — a numeric constant (workload generators),
+//! * [`ElemData::Pair`] — an ordered pair of elements (reductions),
+//! * [`ElemData::Fresh`] — a gensym guaranteed distinct from everything else
+//!   (tripath arms, block padding facts).
+//!
+//! Elements are interned: an [`Elem`] is a `u32` handle into a global
+//! append-only store, so equality is an integer comparison and facts are
+//! compact. The store is never cleared — element identity is stable across
+//! all databases of a process, which is exactly what the reductions need
+//! when they transport facts from one database into another.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// An interned domain element. Cheap to copy and compare; the payload lives
+/// in the global store and can be recovered with [`Elem::data`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Elem(u32);
+
+/// The payload of an element.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ElemData {
+    /// A named constant, e.g. `a`, `b`, `C1`.
+    Named(String),
+    /// An integer constant.
+    Int(i64),
+    /// An ordered pair `⟨fst, snd⟩` of elements.
+    Pair(Elem, Elem),
+    /// A gensym; the `u64` is a process-unique counter value.
+    Fresh(u64),
+}
+
+struct Interner {
+    data: Vec<ElemData>,
+    index: HashMap<ElemData, Elem>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        Interner { data: Vec::new(), index: HashMap::new() }
+    }
+
+    fn intern(&mut self, d: ElemData) -> Elem {
+        if let Some(&e) = self.index.get(&d) {
+            return e;
+        }
+        let id = u32::try_from(self.data.len()).expect("element store exhausted (> 2^32 elements)");
+        let e = Elem(id);
+        self.data.push(d.clone());
+        self.index.insert(d, e);
+        e
+    }
+}
+
+fn store() -> &'static RwLock<Interner> {
+    static STORE: OnceLock<RwLock<Interner>> = OnceLock::new();
+    STORE.get_or_init(|| RwLock::new(Interner::new()))
+}
+
+static FRESH_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl Elem {
+    /// Intern a named constant.
+    pub fn named(name: impl Into<String>) -> Elem {
+        store().write().intern(ElemData::Named(name.into()))
+    }
+
+    /// Intern an integer constant.
+    pub fn int(v: i64) -> Elem {
+        store().write().intern(ElemData::Int(v))
+    }
+
+    /// Intern the ordered pair `⟨fst, snd⟩`.
+    pub fn pair(fst: Elem, snd: Elem) -> Elem {
+        store().write().intern(ElemData::Pair(fst, snd))
+    }
+
+    /// Create a fresh element distinct from every element created so far and
+    /// from every element that will ever be created by other means.
+    pub fn fresh() -> Elem {
+        let n = FRESH_COUNTER.fetch_add(1, Ordering::Relaxed);
+        store().write().intern(ElemData::Fresh(n))
+    }
+
+    /// A clone of this element's payload.
+    pub fn data(self) -> ElemData {
+        store().read().data[self.0 as usize].clone()
+    }
+
+    /// The raw interner handle. Only meaningful within one process.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Build a left-nested tuple `⟨⟨…⟨e1,e2⟩…⟩,en⟩` out of two or more
+    /// elements. Handy for the Section 9 annotations like `⟨C, C2, l⟩`.
+    ///
+    /// # Panics
+    /// Panics if `parts` has fewer than two elements.
+    pub fn tuple(parts: &[Elem]) -> Elem {
+        assert!(parts.len() >= 2, "Elem::tuple needs at least two parts");
+        let mut acc = Elem::pair(parts[0], parts[1]);
+        for &p in &parts[2..] {
+            acc = Elem::pair(acc, p);
+        }
+        acc
+    }
+}
+
+impl fmt::Debug for Elem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Elem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.data() {
+            ElemData::Named(s) => write!(f, "{s}"),
+            ElemData::Int(v) => write!(f, "{v}"),
+            ElemData::Pair(a, b) => write!(f, "⟨{a},{b}⟩"),
+            ElemData::Fresh(n) => write!(f, "_f{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_elements_are_interned() {
+        let a1 = Elem::named("a");
+        let a2 = Elem::named("a");
+        let b = Elem::named("b");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(a1.data(), ElemData::Named("a".to_string()));
+    }
+
+    #[test]
+    fn ints_and_names_do_not_collide() {
+        let one = Elem::int(1);
+        let one_name = Elem::named("1");
+        assert_ne!(one, one_name);
+    }
+
+    #[test]
+    fn pairs_are_structural() {
+        let a = Elem::named("a");
+        let b = Elem::named("b");
+        let p1 = Elem::pair(a, b);
+        let p2 = Elem::pair(a, b);
+        let p3 = Elem::pair(b, a);
+        assert_eq!(p1, p2);
+        assert_ne!(p1, p3);
+        assert_eq!(p1.data(), ElemData::Pair(a, b));
+    }
+
+    #[test]
+    fn nested_pairs() {
+        let a = Elem::named("a");
+        let b = Elem::named("b");
+        let c = Elem::named("c");
+        let t = Elem::tuple(&[a, b, c]);
+        assert_eq!(t, Elem::pair(Elem::pair(a, b), c));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tuple_rejects_singletons() {
+        let _ = Elem::tuple(&[Elem::named("a")]);
+    }
+
+    #[test]
+    fn fresh_elements_are_distinct() {
+        let f1 = Elem::fresh();
+        let f2 = Elem::fresh();
+        assert_ne!(f1, f2);
+        let named = Elem::named("_f0");
+        assert_ne!(f1, named);
+    }
+
+    #[test]
+    fn display_forms() {
+        let a = Elem::named("a");
+        let p = Elem::pair(a, Elem::int(3));
+        assert_eq!(format!("{p}"), "⟨a,3⟩");
+    }
+
+    #[test]
+    fn fresh_from_many_threads_stay_distinct() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| (0..100).map(|_| Elem::fresh()).collect::<Vec<_>>()))
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        let unique: std::collections::HashSet<_> = all.iter().copied().collect();
+        assert_eq!(unique.len(), all.len());
+    }
+}

@@ -1,0 +1,74 @@
+//! # cqa-model — relational substrate for primary-key CQA
+//!
+//! The data model of *"A Dichotomy in the Complexity of Consistent Query
+//! Answering for Two Atom Queries With Self-Join"* (PODS 2024), Section 2:
+//!
+//! * an infinite domain of [`Elem`]ents, realised as an interned term
+//!   algebra (named / integer / pair / fresh constants),
+//! * relation [`Signature`]s `[k, l]` — arity `k`, the first `l` positions
+//!   form the primary key,
+//! * [`Fact`]s `R(ē)` with key tuples, key sets and active domains,
+//! * [`Database`]s — finite fact sets partitioned into *blocks* of
+//!   key-equal facts,
+//! * [`Repair`]s — one fact per block — and exhaustive [`RepairIter`]
+//!   enumeration.
+//!
+//! Everything downstream (queries, solvers, tripaths, reductions) builds on
+//! these types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod database;
+mod elem;
+mod fact;
+mod repair;
+mod schema;
+
+pub use database::{BlockId, Database, FactId};
+pub use elem::{Elem, ElemData};
+pub use fact::Fact;
+pub use repair::{Repair, RepairIter};
+pub use schema::{RelId, Signature};
+
+/// Errors produced by the model layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// Signature construction rejected.
+    BadSignature {
+        /// Requested arity.
+        arity: usize,
+        /// Requested key length.
+        key_len: usize,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A fact's arity does not match the database signature.
+    ArityMismatch {
+        /// Arity the database expects.
+        expected: usize,
+        /// Arity the fact has.
+        got: usize,
+    },
+    /// An explicit repair choice vector was invalid.
+    BadRepair {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::BadSignature { arity, key_len, reason } => {
+                write!(f, "invalid signature [{arity}, {key_len}]: {reason}")
+            }
+            ModelError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: expected {expected}, got {got}")
+            }
+            ModelError::BadRepair { reason } => write!(f, "invalid repair: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

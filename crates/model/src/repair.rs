@@ -1,0 +1,217 @@
+//! Repairs and repair enumeration.
+//!
+//! A *repair* of `D` is a ⊆-maximal consistent subset: it picks exactly one
+//! fact from every block (Section 2). We represent a repair as a choice
+//! vector indexed by [`BlockId`]. [`RepairIter`] enumerates all repairs in
+//! odometer order — exponential in general, which is exactly the behaviour
+//! the brute-force baseline must expose.
+
+use crate::{BlockId, Database, FactId};
+
+/// One repair of a database: a choice of one fact per block.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Repair {
+    choice: Vec<FactId>,
+}
+
+impl Repair {
+    /// Build a repair from an explicit per-block choice.
+    ///
+    /// # Panics
+    /// Panics if the choice vector does not pick exactly one fact from every
+    /// block of `db`, in block order. Use [`Repair::try_new`] for validation.
+    pub fn new(db: &Database, choice: Vec<FactId>) -> Repair {
+        Repair::try_new(db, choice).expect("invalid repair choice")
+    }
+
+    /// Build a repair, validating the choice vector against the database.
+    pub fn try_new(db: &Database, choice: Vec<FactId>) -> Result<Repair, crate::ModelError> {
+        if choice.len() != db.block_count() {
+            return Err(crate::ModelError::BadRepair {
+                reason: "choice length differs from block count",
+            });
+        }
+        for (i, &id) in choice.iter().enumerate() {
+            if db.block_of(id) != BlockId(i as u32) {
+                return Err(crate::ModelError::BadRepair {
+                    reason: "fact chosen for the wrong block",
+                });
+            }
+        }
+        Ok(Repair { choice })
+    }
+
+    /// The repair that picks the first fact of every block.
+    pub fn first(db: &Database) -> Repair {
+        Repair { choice: db.block_ids().map(|b| db.block(b)[0]).collect() }
+    }
+
+    /// The fact chosen for block `b`.
+    pub fn chosen(&self, b: BlockId) -> FactId {
+        self.choice[b.idx()]
+    }
+
+    /// All chosen facts, in block order.
+    pub fn facts(&self) -> &[FactId] {
+        &self.choice
+    }
+
+    /// `true` iff this repair contains the fact.
+    pub fn contains(&self, db: &Database, id: FactId) -> bool {
+        self.choice[db.block_of(id).idx()] == id
+    }
+
+    /// The paper's `r[a → a′]`: the repair obtained by replacing the fact
+    /// of `a`'s block with the key-equal fact `a′`.
+    ///
+    /// # Panics
+    /// Panics if `a` and `a_new` are not key-equal (`a ∼ a′` is required).
+    pub fn replace(&self, db: &Database, a: FactId, a_new: FactId) -> Repair {
+        assert!(db.key_equal(a, a_new), "r[a → a′] requires a ∼ a′");
+        let mut choice = self.choice.clone();
+        choice[db.block_of(a).idx()] = a_new;
+        Repair { choice }
+    }
+
+    /// Number of facts in the repair (= number of blocks of `db`).
+    pub fn len(&self) -> usize {
+        self.choice.len()
+    }
+
+    /// `true` iff the underlying database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.choice.is_empty()
+    }
+}
+
+/// Enumerates all repairs of a database in odometer order over blocks.
+///
+/// The number of repairs is the product of block sizes; use
+/// [`Database::repair_count`] before iterating if you care about blow-up.
+pub struct RepairIter<'a> {
+    db: &'a Database,
+    /// Per-block position of the current choice inside the block, or `None`
+    /// when exhausted (or before the first call for an empty DB marker).
+    cursor: Option<Vec<usize>>,
+}
+
+impl<'a> RepairIter<'a> {
+    /// Start enumerating the repairs of `db`. Even the empty database has
+    /// exactly one repair (the empty one).
+    pub fn new(db: &'a Database) -> RepairIter<'a> {
+        RepairIter { db, cursor: Some(vec![0; db.block_count()]) }
+    }
+}
+
+impl<'a> Iterator for RepairIter<'a> {
+    type Item = Repair;
+
+    fn next(&mut self) -> Option<Repair> {
+        let cursor = self.cursor.as_mut()?;
+        let repair = Repair {
+            choice: cursor
+                .iter()
+                .enumerate()
+                .map(|(b, &i)| self.db.block(BlockId(b as u32))[i])
+                .collect(),
+        };
+        // Advance the odometer.
+        let mut done = true;
+        for b in 0..cursor.len() {
+            let size = self.db.block(BlockId(b as u32)).len();
+            if cursor[b] + 1 < size {
+                cursor[b] += 1;
+                done = false;
+                break;
+            }
+            cursor[b] = 0;
+        }
+        if done {
+            self.cursor = None;
+        }
+        Some(repair)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fact, Signature};
+
+    fn db(rows: &[[&str; 2]]) -> Database {
+        let mut db = Database::new(Signature::new(2, 1).unwrap());
+        for row in rows {
+            db.insert(Fact::from_names(row.iter().copied())).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn enumerates_all_repairs() {
+        let d = db(&[["a", "1"], ["a", "2"], ["b", "1"], ["b", "2"], ["b", "3"], ["c", "1"]]);
+        let repairs: Vec<_> = RepairIter::new(&d).collect();
+        assert_eq!(repairs.len() as u128, d.repair_count());
+        assert_eq!(repairs.len(), 6);
+        // All distinct.
+        let set: std::collections::HashSet<_> = repairs.iter().cloned().collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn repairs_are_consistent_and_maximal() {
+        let d = db(&[["a", "1"], ["a", "2"], ["b", "1"]]);
+        for r in RepairIter::new(&d) {
+            // one fact per block
+            assert_eq!(r.len(), d.block_count());
+            for b in d.block_ids() {
+                let chosen = r.chosen(b);
+                assert_eq!(d.block_of(chosen), b);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_database_has_one_repair() {
+        let d = Database::new(Signature::new(2, 1).unwrap());
+        let repairs: Vec<_> = RepairIter::new(&d).collect();
+        assert_eq!(repairs.len(), 1);
+        assert!(repairs[0].is_empty());
+    }
+
+    #[test]
+    fn consistent_database_has_one_repair() {
+        let d = db(&[["a", "1"], ["b", "2"]]);
+        assert_eq!(RepairIter::new(&d).count(), 1);
+    }
+
+    #[test]
+    fn replace_swaps_within_block() {
+        let d = db(&[["a", "1"], ["a", "2"]]);
+        let a1 = d.id_of(&Fact::from_names(["a", "1"])).unwrap();
+        let a2 = d.id_of(&Fact::from_names(["a", "2"])).unwrap();
+        let r = Repair::first(&d);
+        assert!(r.contains(&d, a1));
+        let r2 = r.replace(&d, a1, a2);
+        assert!(r2.contains(&d, a2));
+        assert!(!r2.contains(&d, a1));
+    }
+
+    #[test]
+    #[should_panic(expected = "a ∼ a′")]
+    fn replace_requires_key_equality() {
+        let d = db(&[["a", "1"], ["b", "1"]]);
+        let a = d.id_of(&Fact::from_names(["a", "1"])).unwrap();
+        let b = d.id_of(&Fact::from_names(["b", "1"])).unwrap();
+        Repair::first(&d).replace(&d, a, b);
+    }
+
+    #[test]
+    fn try_new_validates() {
+        let d = db(&[["a", "1"], ["a", "2"], ["b", "1"]]);
+        let a2 = d.id_of(&Fact::from_names(["a", "2"])).unwrap();
+        let b1 = d.id_of(&Fact::from_names(["b", "1"])).unwrap();
+        assert!(Repair::try_new(&d, vec![a2, b1]).is_ok());
+        assert!(Repair::try_new(&d, vec![b1, a2]).is_err());
+        assert!(Repair::try_new(&d, vec![a2]).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Relation signatures.
+//!
+//! The paper fixes a single relation symbol `R` with signature `[k, l]`:
+//! arity `k ≥ 1` with the first `l ≥ 0` positions forming the primary key
+//! (Section 2). The self-join-free detour of Section 4 temporarily uses two
+//! relation symbols `R1`, `R2` of the same signature, so facts carry a
+//! [`RelId`] and a database may hold facts of several relations.
+
+use std::fmt;
+
+/// Identifier of a relation symbol. `RelId(0)` conventionally denotes the
+/// paper's `R`; the canonical self-join-free query of Section 4 uses
+/// [`RelId::R1`] and [`RelId::R2`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RelId(pub u16);
+
+impl RelId {
+    /// The default self-join relation symbol `R`.
+    pub const R: RelId = RelId(0);
+    /// First relation of the canonical self-join-free query `sjf(q)`.
+    pub const R1: RelId = RelId(1);
+    /// Second relation of the canonical self-join-free query `sjf(q)`.
+    pub const R2: RelId = RelId(2);
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RelId::R => write!(f, "R"),
+            RelId::R1 => write!(f, "R1"),
+            RelId::R2 => write!(f, "R2"),
+            RelId(n) => write!(f, "R{n}"),
+        }
+    }
+}
+
+/// A signature `[k, l]`: arity `k ≥ 1`, the first `l` positions are the key.
+///
+/// `l = 0` is permitted by the definition (the whole relation is then a
+/// single block); `l = k` means every fact is its own block (the database is
+/// always consistent).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Signature {
+    arity: usize,
+    key_len: usize,
+}
+
+impl Signature {
+    /// Create a signature `[arity, key_len]`.
+    ///
+    /// # Errors
+    /// Rejects `arity == 0` and `key_len > arity`.
+    pub fn new(arity: usize, key_len: usize) -> Result<Signature, crate::ModelError> {
+        if arity == 0 {
+            return Err(crate::ModelError::BadSignature { arity, key_len, reason: "arity must be ≥ 1" });
+        }
+        if key_len > arity {
+            return Err(crate::ModelError::BadSignature {
+                arity,
+                key_len,
+                reason: "key length must not exceed arity",
+            });
+        }
+        Ok(Signature { arity, key_len })
+    }
+
+    /// The arity `k`.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The number `l` of key positions.
+    pub fn key_len(&self) -> usize {
+        self.key_len
+    }
+
+    /// The set `K` of key positions, i.e. `0..l`.
+    pub fn key_positions(&self) -> std::ops::Range<usize> {
+        0..self.key_len
+    }
+
+    /// The set of non-key positions, i.e. `l..k`.
+    pub fn value_positions(&self) -> std::ops::Range<usize> {
+        self.key_len..self.arity
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.arity, self.key_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_signatures() {
+        let s = Signature::new(5, 3).unwrap();
+        assert_eq!(s.arity(), 5);
+        assert_eq!(s.key_len(), 3);
+        assert_eq!(s.key_positions(), 0..3);
+        assert_eq!(s.value_positions(), 3..5);
+        assert_eq!(s.to_string(), "[5, 3]");
+    }
+
+    #[test]
+    fn all_key_signature() {
+        let s = Signature::new(2, 2).unwrap();
+        assert!(s.value_positions().is_empty());
+    }
+
+    #[test]
+    fn empty_key_signature() {
+        let s = Signature::new(2, 0).unwrap();
+        assert!(s.key_positions().is_empty());
+    }
+
+    #[test]
+    fn rejects_zero_arity() {
+        assert!(Signature::new(0, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_key() {
+        assert!(Signature::new(2, 3).is_err());
+    }
+
+    #[test]
+    fn rel_display() {
+        assert_eq!(RelId::R.to_string(), "R");
+        assert_eq!(RelId::R1.to_string(), "R1");
+        assert_eq!(RelId(7).to_string(), "R7");
+    }
+}

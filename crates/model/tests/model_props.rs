@@ -1,0 +1,141 @@
+//! Property tests for the relational substrate: interner laws, block
+//! partition invariants, repair axioms.
+
+use cqa_model::{Database, Elem, ElemData, Fact, Repair, RepairIter, Signature};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn elem_strategy() -> impl Strategy<Value = Elem> {
+    prop_oneof![
+        "[a-e]{1,3}".prop_map(Elem::named),
+        (-20i64..20).prop_map(Elem::int),
+        ((-5i64..5), (-5i64..5)).prop_map(|(a, b)| Elem::pair(Elem::int(a), Elem::int(b))),
+    ]
+}
+
+fn db_strategy(arity: usize, key_len: usize) -> impl Strategy<Value = Database> {
+    proptest::collection::vec(proptest::collection::vec(elem_strategy(), arity), 0..12).prop_map(
+        move |rows| {
+            let mut db = Database::new(Signature::new(arity, key_len).unwrap());
+            for row in rows {
+                db.insert(Fact::r(row)).unwrap();
+            }
+            db
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn interning_is_injective_on_payloads(a in elem_strategy(), b in elem_strategy()) {
+        prop_assert_eq!(a == b, a.data() == b.data());
+    }
+
+    #[test]
+    fn pair_constructor_is_structural(a in elem_strategy(), b in elem_strategy()) {
+        let p = Elem::pair(a, b);
+        match p.data() {
+            ElemData::Pair(x, y) => {
+                prop_assert_eq!(x, a);
+                prop_assert_eq!(y, b);
+            }
+            other => prop_assert!(false, "pair payload was {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocks_partition_facts(db in db_strategy(3, 1)) {
+        // Every fact is in exactly one block; blocks hold key-equal facts;
+        // facts in different blocks are not key-equal.
+        let sig = *db.signature();
+        let mut seen = HashSet::new();
+        for b in db.block_ids() {
+            for &f in db.block(b) {
+                prop_assert!(seen.insert(f), "fact {f:?} in two blocks");
+                prop_assert_eq!(db.block_of(f), b);
+            }
+            let first = db.fact(db.block(b)[0]);
+            for &f in db.block(b) {
+                prop_assert!(db.fact(f).key_equal(first, &sig));
+            }
+        }
+        prop_assert_eq!(seen.len(), db.len());
+    }
+
+    #[test]
+    fn insertion_is_idempotent_set_semantics(db in db_strategy(2, 1)) {
+        let mut copy = db.clone();
+        let before = copy.len();
+        // Re-inserting every fact changes nothing.
+        let facts: Vec<Fact> = db.facts().map(|(_, f)| f.clone()).collect();
+        for f in facts {
+            copy.insert(f).unwrap();
+        }
+        prop_assert_eq!(copy.len(), before);
+        prop_assert_eq!(copy.block_count(), db.block_count());
+    }
+
+    #[test]
+    fn repair_count_equals_block_size_product(db in db_strategy(2, 1)) {
+        let expected: u128 = db.block_ids().map(|b| db.block(b).len() as u128).product();
+        prop_assert_eq!(db.repair_count(), expected.max(1));
+    }
+
+    #[test]
+    fn repair_iteration_enumerates_exactly_all(db in db_strategy(2, 1)) {
+        prop_assume!(db.repair_count() <= 4096);
+        let repairs: Vec<Repair> = RepairIter::new(&db).collect();
+        prop_assert_eq!(repairs.len() as u128, db.repair_count());
+        let set: HashSet<&Repair> = repairs.iter().collect();
+        prop_assert_eq!(set.len(), repairs.len(), "duplicate repairs");
+        for r in &repairs {
+            // maximal + consistent: one chosen fact per block, right block.
+            for b in db.block_ids() {
+                prop_assert_eq!(db.block_of(r.chosen(b)), b);
+            }
+        }
+    }
+
+    #[test]
+    fn replace_is_involutive(db in db_strategy(2, 1)) {
+        prop_assume!(!db.is_empty());
+        let r = Repair::first(&db);
+        // Pick the first multi-fact block, if any.
+        for b in db.block_ids() {
+            let facts = db.block(b);
+            if facts.len() >= 2 {
+                let (f0, f1) = (facts[0], facts[1]);
+                let swapped = r.replace(&db, f0, f1);
+                prop_assert!(swapped.contains(&db, f1));
+                let back = swapped.replace(&db, f1, f0);
+                prop_assert_eq!(back, r);
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn restrict_preserves_membership(db in db_strategy(3, 2)) {
+        let chosen: Vec<_> = db.fact_ids().step_by(2).collect();
+        let sub = db.restrict(chosen.iter().copied());
+        prop_assert_eq!(sub.len(), chosen.len());
+        for id in chosen {
+            prop_assert!(sub.contains(db.fact(id)));
+        }
+    }
+
+    #[test]
+    fn absorb_is_union(a in db_strategy(2, 1), b in db_strategy(2, 1)) {
+        let mut u = a.clone();
+        u.absorb(&b).unwrap();
+        for (_, f) in a.facts() {
+            prop_assert!(u.contains(f));
+        }
+        for (_, f) in b.facts() {
+            prop_assert!(u.contains(f));
+        }
+        let distinct: HashSet<&Fact> =
+            a.facts().map(|(_, f)| f).chain(b.facts().map(|(_, f)| f)).collect();
+        prop_assert_eq!(u.len(), distinct.len());
+    }
+}

@@ -1,0 +1,153 @@
+//! Atoms: terms `R(x̄)` over variables.
+
+use crate::Var;
+use cqa_model::{RelId, Signature};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An atom `R(x₁ … x_k)` — a term whose tuple consists of variables
+/// (Section 2 distinguishes *facts*, over elements, from *atoms*, over
+/// variables).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    rel: RelId,
+    vars: Box<[Var]>,
+}
+
+impl Atom {
+    /// Build an atom over relation `rel`.
+    pub fn new(rel: RelId, vars: impl Into<Box<[Var]>>) -> Atom {
+        Atom { rel, vars: vars.into() }
+    }
+
+    /// Build an atom over the default relation `R` from variable names.
+    pub fn r<S: AsRef<str>>(names: impl IntoIterator<Item = S>) -> Atom {
+        Atom::new(RelId::R, names.into_iter().map(|s| Var::new(s.as_ref())).collect::<Vec<_>>())
+    }
+
+    /// The relation symbol.
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// A copy of this atom over a different relation symbol (used by the
+    /// canonical self-join-free query `sjf(q)` of Section 4).
+    pub fn with_rel(&self, rel: RelId) -> Atom {
+        Atom { rel, vars: self.vars.clone() }
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The variable tuple.
+    pub fn tuple(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// The variable at position `i` (0-based).
+    pub fn at(&self, i: usize) -> &Var {
+        &self.vars[i]
+    }
+
+    /// The set `vars(A)` of all variables of the atom.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        self.vars.iter().cloned().collect()
+    }
+
+    /// The key tuple `key(A)` — the first `l` variables.
+    pub fn key<'a>(&'a self, sig: &Signature) -> &'a [Var] {
+        assert_eq!(self.arity(), sig.arity(), "atom arity does not match signature");
+        &self.vars[..sig.key_len()]
+    }
+
+    /// The key *set* — the paper's <u>key</u>`(A) = A[K]`.
+    pub fn key_set(&self, sig: &Signature) -> BTreeSet<Var> {
+        self.key(sig).iter().cloned().collect()
+    }
+
+    /// All positions (0-based) where `v` occurs.
+    pub fn positions_of(&self, v: &Var) -> Vec<usize> {
+        self.vars.iter().enumerate().filter(|(_, w)| *w == v).map(|(i, _)| i).collect()
+    }
+
+    /// Render with the key prefix separated by `|`, e.g. `R(x u | x y)`.
+    pub fn display(&self, sig: &Signature) -> String {
+        let mut s = format!("{}(", self.rel);
+        for (i, v) in self.vars.iter().enumerate() {
+            if i == sig.key_len() {
+                s.push_str("| ");
+            }
+            s.push_str(v.name());
+            if i + 1 != self.vars.len() {
+                s.push(' ');
+            }
+        }
+        // `l = k` puts the bar at the very end; keep it readable.
+        if sig.key_len() == self.vars.len() {
+            s.push_str(" |");
+        }
+        s.push(')');
+        s
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rel)?;
+        for (i, v) in self.vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_key_and_vars() {
+        // A = R(x y x ; u z) with signature [5, 3]:
+        // key(A) = (x, y, x), key-set {x, y}, vars {x, y, u, z}.
+        let sig = Signature::new(5, 3).unwrap();
+        let a = Atom::r(["x", "y", "x", "u", "z"]);
+        assert_eq!(a.key(&sig), &[Var::new("x"), Var::new("y"), Var::new("x")]);
+        assert_eq!(a.key_set(&sig), ["x", "y"].into_iter().map(Var::new).collect());
+        assert_eq!(a.vars(), ["x", "y", "u", "z"].into_iter().map(Var::new).collect());
+    }
+
+    #[test]
+    fn positions_of_repeated_variable() {
+        let a = Atom::r(["x", "y", "x"]);
+        assert_eq!(a.positions_of(&Var::new("x")), vec![0, 2]);
+        assert_eq!(a.positions_of(&Var::new("y")), vec![1]);
+        assert!(a.positions_of(&Var::new("z")).is_empty());
+    }
+
+    #[test]
+    fn display_places_key_bar() {
+        let sig = Signature::new(4, 2).unwrap();
+        let a = Atom::r(["x", "u", "x", "y"]);
+        assert_eq!(a.display(&sig), "R(x u | x y)");
+    }
+
+    #[test]
+    fn display_full_key() {
+        let sig = Signature::new(2, 2).unwrap();
+        let a = Atom::r(["x", "y"]);
+        assert_eq!(a.display(&sig), "R(x y |)");
+    }
+
+    #[test]
+    fn with_rel_keeps_tuple() {
+        let a = Atom::r(["x", "y"]);
+        let a1 = a.with_rel(RelId::R1);
+        assert_eq!(a1.rel(), RelId::R1);
+        assert_eq!(a1.tuple(), a.tuple());
+    }
+}

@@ -1,0 +1,204 @@
+//! The syntactic conditions driving the dichotomy classification
+//! (Sections 3, 4, 6 and 7 of the paper).
+//!
+//! Throughout, `key(·)` denotes the key *set* (the paper's overlined key)
+//! and `vars(·)` the variable set of an atom. For a query `q = A B`:
+//!
+//! * **Theorem 4.2, condition (1)**:
+//!   `vars(A)∩vars(B) ⊈ key(A)` and `vars(A)∩vars(B) ⊈ key(B)` and
+//!   `key(A) ⊈ key(B)` and `key(B) ⊈ key(A)`.
+//! * **Theorem 4.2, condition (2)**:
+//!   `key(A) ⊈ vars(B)` or `key(B) ⊈ vars(A)`.
+//! * If (1) ∧ (2): `certain(q)` is **coNP-complete** (via `sjf(q)` and
+//!   Proposition 4.1).
+//! * If ¬(1): `certain(q) = Cert₂(q)`, hence **PTime** (Theorem 6.1,
+//!   possibly after swapping the atoms).
+//! * If (1) ∧ ¬(2): `q` is **2way-determined** (Section 7) and the tripath
+//!   analysis decides the complexity.
+
+use crate::{Query, Var};
+use std::collections::BTreeSet;
+
+fn subset(a: &BTreeSet<Var>, b: &BTreeSet<Var>) -> bool {
+    a.is_subset(b)
+}
+
+/// Theorem 4.2, condition (1).
+pub fn cond1(q: &Query) -> bool {
+    let sig = q.signature();
+    let shared = q.shared_vars();
+    let key_a = q.a().key_set(sig);
+    let key_b = q.b().key_set(sig);
+    !subset(&shared, &key_a) && !subset(&shared, &key_b) && !subset(&key_a, &key_b)
+        && !subset(&key_b, &key_a)
+}
+
+/// Theorem 4.2, condition (2).
+pub fn cond2(q: &Query) -> bool {
+    let sig = q.signature();
+    let key_a = q.a().key_set(sig);
+    let key_b = q.b().key_set(sig);
+    !subset(&key_a, &q.b().vars()) || !subset(&key_b, &q.a().vars())
+}
+
+/// `true` iff Theorem 4.2 applies: both conditions hold and `certain(q)`
+/// is coNP-complete.
+pub fn thm42_conp_hard(q: &Query) -> bool {
+    cond1(q) && cond2(q)
+}
+
+/// The premise of Theorem 6.1 for the atom order as given:
+/// `key(A) ⊆ key(B)` or `vars(A) ∩ vars(B) ⊆ key(B)`.
+pub fn thm61_premise_as_given(q: &Query) -> bool {
+    let sig = q.signature();
+    let key_a = q.a().key_set(sig);
+    let key_b = q.b().key_set(sig);
+    subset(&key_a, &key_b) || subset(&q.shared_vars(), &key_b)
+}
+
+/// Theorem 6.1 up to atom swap: `certain(q) = Cert₂(q)` when this holds.
+/// Equivalent to ¬condition(1) of Theorem 4.2.
+pub fn thm61_applies(q: &Query) -> bool {
+    thm61_premise_as_given(q) || thm61_premise_as_given(&q.swapped())
+}
+
+/// Section 7: `q` is *2way-determined* iff
+/// `key(A) ⊈ key(B)`, `key(B) ⊈ key(A)`,
+/// `key(A) ⊆ vars(B)` and `key(B) ⊆ vars(A)`.
+///
+/// This is exactly "condition (1) holds and condition (2) fails" — see the
+/// paper's footnote 3 for why the two shared-variable clauses of (1) are
+/// implied.
+pub fn is_2way_determined(q: &Query) -> bool {
+    let sig = q.signature();
+    let key_a = q.a().key_set(sig);
+    let key_b = q.b().key_set(sig);
+    !subset(&key_a, &key_b)
+        && !subset(&key_b, &key_a)
+        && subset(&key_a, &q.b().vars())
+        && subset(&key_b, &q.a().vars())
+}
+
+/// The *zig-zag property* premise of Lemma 6.2 — same as
+/// [`thm61_premise_as_given`], exposed under the lemma's name for tests
+/// that verify the semantic property against the syntactic premise.
+pub fn zigzag_premise(q: &Query) -> bool {
+    thm61_premise_as_given(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+
+    fn q(s: &str) -> Query {
+        parse_query(s).unwrap()
+    }
+
+    const Q1: &str = "R(x u | x v) R(v y | u y)";
+    const Q2: &str = "R(x u | x y) R(u y | x z)";
+    const Q3: &str = "R(x | y) R(y | z)";
+    const Q4: &str = "R(x x | u v) R(x y | u x)";
+    const Q5: &str = "R(x | y x) R(y | x u)";
+    const Q6: &str = "R(x | y z) R(z | x y)";
+    const Q7: &str = "R(x1 x2 x3, y1 y1 y2 y3, z1 z2 z3 | z4 z4 z4 z4) R(x3 x1 x2, y3 y1 y1 y2, z2 z3 z4 | z1 z2 z3 z4)";
+
+    #[test]
+    fn q1_is_thm42_hard() {
+        // The paper derives coNP-completeness of q1 from Theorem 4.2:
+        // u, v shared but u ∉ key(B), v ∉ key(A); keys incomparable;
+        // x ∈ key(A) but x ∉ vars(B).
+        let q1 = q(Q1);
+        assert!(cond1(&q1));
+        assert!(cond2(&q1));
+        assert!(thm42_conp_hard(&q1));
+        assert!(!is_2way_determined(&q1));
+        assert!(!thm61_applies(&q1));
+    }
+
+    #[test]
+    fn q2_is_2way_determined() {
+        // The paper notes certain(sjf(q2)) is PTime yet certain(q2) is
+        // coNP-hard — so Theorem 4.2 must NOT apply, and q2 must fall into
+        // the 2way-determined class.
+        let q2 = q(Q2);
+        assert!(cond1(&q2));
+        assert!(!cond2(&q2));
+        assert!(!thm42_conp_hard(&q2));
+        assert!(is_2way_determined(&q2));
+        assert!(!thm61_applies(&q2));
+    }
+
+    #[test]
+    fn q3_q4_fall_under_thm61() {
+        // q3: only shared variable is y and key(B) = {y}.
+        let q3 = q(Q3);
+        assert!(!cond1(&q3));
+        assert!(thm61_applies(&q3));
+        assert!(!is_2way_determined(&q3));
+        // q4: key(A) = {x} ⊆ {x, y} = key(B).
+        let q4 = q(Q4);
+        assert!(!cond1(&q4));
+        assert!(thm61_applies(&q4));
+        assert!(!is_2way_determined(&q4));
+    }
+
+    #[test]
+    fn q5_q6_q7_are_2way_determined() {
+        for s in [Q5, Q6, Q7] {
+            let qq = q(s);
+            assert!(is_2way_determined(&qq), "{s} should be 2way-determined");
+            assert!(cond1(&qq), "{s} should satisfy condition (1)");
+            assert!(!cond2(&qq), "{s} should violate condition (2)");
+            assert!(!thm61_applies(&qq));
+        }
+    }
+
+    #[test]
+    fn classes_partition_nontrivial_queries() {
+        // For every paper query: exactly one of
+        //   {Thm 4.2 hard, Thm 6.1 PTime, 2way-determined} applies.
+        for s in [Q1, Q2, Q3, Q4, Q5, Q6, Q7] {
+            let qq = q(s);
+            let hard = thm42_conp_hard(&qq);
+            let easy = thm61_applies(&qq);
+            let twd = is_2way_determined(&qq);
+            assert_eq!(
+                [hard, easy, twd].iter().filter(|&&b| b).count(),
+                1,
+                "{s}: hard={hard} easy={easy} twd={twd}"
+            );
+        }
+    }
+
+    #[test]
+    fn footnote3_equivalence() {
+        // ¬cond1 ⟺ thm61_applies, and (cond1 ∧ ¬cond2) ⟺ 2way-determined,
+        // checked on a batch of structured queries.
+        let shapes = [
+            Q1, Q2, Q3, Q4, Q5, Q6, Q7,
+            "R(x y | z) R(y z | x)",
+            "R(x | x y) R(y | y x)",
+            "R(x y | u) R(u x | v)",
+            "R(x | u v) R(u | x w)",
+            "R(x u | y) R(y u | x)",
+        ];
+        for s in shapes {
+            let qq = q(s);
+            assert_eq!(!cond1(&qq), thm61_applies(&qq), "{s}");
+            assert_eq!(cond1(&qq) && !cond2(&qq), is_2way_determined(&qq), "{s}");
+        }
+    }
+
+    #[test]
+    fn swap_symmetry() {
+        for s in [Q1, Q2, Q3, Q4, Q5, Q6, Q7] {
+            let qq = q(s);
+            let sw = qq.swapped();
+            assert_eq!(cond1(&qq), cond1(&sw), "{s}: cond1 must be swap-invariant");
+            assert_eq!(cond2(&qq), cond2(&sw), "{s}: cond2 must be swap-invariant");
+            assert_eq!(is_2way_determined(&qq), is_2way_determined(&sw), "{s}");
+            assert_eq!(thm61_applies(&qq), thm61_applies(&sw), "{s}");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Homomorphisms and unification between atoms.
+//!
+//! A homomorphism `h : A → B` between atoms over the same relation is a
+//! variable mapping with `h(A) = B` position-wise. It exists iff the
+//! equality pattern of `A` refines into that of `B`: whenever `A[i] = A[j]`
+//! then `B[i] = B[j]`. Unification computes the most general atom `C` with
+//! homomorphisms from both inputs (used for the paper's one-atom-equivalent
+//! case (2), and by the tripath center construction).
+
+use crate::{Atom, Var};
+use std::collections::HashMap;
+
+/// The homomorphism `A → B` as a variable map, if it exists.
+pub fn homomorphism(a: &Atom, b: &Atom) -> Option<HashMap<Var, Var>> {
+    if a.rel() != b.rel() || a.arity() != b.arity() {
+        return None;
+    }
+    let mut h: HashMap<Var, Var> = HashMap::new();
+    for i in 0..a.arity() {
+        match h.get(a.at(i)) {
+            Some(img) if img != b.at(i) => return None,
+            Some(_) => {}
+            None => {
+                h.insert(a.at(i).clone(), b.at(i).clone());
+            }
+        }
+    }
+    Some(h)
+}
+
+/// `true` iff a homomorphism `A → B` exists.
+pub fn has_homomorphism(a: &Atom, b: &Atom) -> bool {
+    homomorphism(a, b).is_some()
+}
+
+/// `true` iff the two-atom query `A ∧ B` retracts onto its atom `B`, i.e.
+/// there is a *query* homomorphism `h` with `h(A) = B` and `h(B) = B`.
+///
+/// Since `h(B) = B` forces `h` to be the identity on `vars(B)`, this is a
+/// homomorphism `A → B` that additionally fixes every variable shared
+/// between the atoms. This (together with its mirror image) is what the
+/// paper's Section 2 case (1) — "there is a homomorphism from `A` to `B`"
+/// — means for query equivalence: `∃ȳ A ∧ B ≡ ∃ȳ B`.
+pub fn retracts_onto(a: &Atom, b: &Atom) -> bool {
+    match homomorphism(a, b) {
+        None => false,
+        Some(h) => h.iter().all(|(v, img)| v == img || !b.vars().contains(v)),
+    }
+}
+
+/// Position-wise unification: the most general atom `C` (over fresh
+/// canonical variables `u0, u1, …`) admitting homomorphisms from both `A`
+/// and `B`. For atoms, unification never fails (variables always unify);
+/// returns `None` only on relation/arity mismatch.
+pub fn unify_atoms(a: &Atom, b: &Atom) -> Option<Atom> {
+    if a.rel() != b.rel() || a.arity() != b.arity() {
+        return None;
+    }
+    let n = a.arity();
+    // Union-find over positions: i ~ j whenever A forces it or B forces it.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let union = |parent: &mut Vec<usize>, i: usize, j: usize| {
+        let (ri, rj) = (find(parent, i), find(parent, j));
+        if ri != rj {
+            parent[ri.max(rj)] = ri.min(rj);
+        }
+    };
+    for atom in [a, b] {
+        let mut first_pos: HashMap<&Var, usize> = HashMap::new();
+        for i in 0..n {
+            match first_pos.get(atom.at(i)) {
+                Some(&j) => union(&mut parent, i, j),
+                None => {
+                    first_pos.insert(atom.at(i), i);
+                }
+            }
+        }
+    }
+    let mut names: HashMap<usize, Var> = HashMap::new();
+    let mut next = 0usize;
+    let vars: Vec<Var> = (0..n)
+        .map(|i| {
+            let r = find(&mut parent, i);
+            names
+                .entry(r)
+                .or_insert_with(|| {
+                    let v = Var::new(format!("u{next}"));
+                    next += 1;
+                    v
+                })
+                .clone()
+        })
+        .collect();
+    Some(Atom::new(a.rel(), vars))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_homomorphism() {
+        let a = Atom::r(["x", "y", "x"]);
+        assert!(has_homomorphism(&a, &a));
+    }
+
+    #[test]
+    fn renaming_is_a_homomorphism_both_ways() {
+        let a = Atom::r(["x", "y"]);
+        let b = Atom::r(["u", "v"]);
+        assert!(has_homomorphism(&a, &b));
+        assert!(has_homomorphism(&b, &a));
+    }
+
+    #[test]
+    fn collapsing_is_one_way() {
+        // A = R(x y), B = R(x x): hom A -> B (send both to x), not B -> A.
+        let a = Atom::r(["x", "y"]);
+        let b = Atom::r(["x", "x"]);
+        assert!(has_homomorphism(&a, &b));
+        assert!(!has_homomorphism(&b, &a));
+    }
+
+    #[test]
+    fn homomorphism_map_is_correct() {
+        let a = Atom::r(["x", "y", "x"]);
+        let b = Atom::r(["u", "v", "u"]);
+        let h = homomorphism(&a, &b).unwrap();
+        assert_eq!(h[&Var::new("x")], Var::new("u"));
+        assert_eq!(h[&Var::new("y")], Var::new("v"));
+    }
+
+    #[test]
+    fn arity_mismatch_no_homomorphism() {
+        let a = Atom::r(["x"]);
+        let b = Atom::r(["x", "y"]);
+        assert!(!has_homomorphism(&a, &b));
+    }
+
+    #[test]
+    fn unification_most_general() {
+        // A = R(x y z), B = R(x x w): unifier must merge positions 0,1 and
+        // keep position 2 free => C = R(u0 u0 u1).
+        let a = Atom::r(["x", "y", "z"]);
+        let b = Atom::r(["x", "x", "w"]);
+        let c = unify_atoms(&a, &b).unwrap();
+        assert_eq!(c.at(0), c.at(1));
+        assert_ne!(c.at(0), c.at(2));
+        assert!(has_homomorphism(&a, &c));
+        assert!(has_homomorphism(&b, &c));
+    }
+
+    #[test]
+    fn unification_transitive_merging() {
+        // A = R(x x y), B = R(z y y): positions {0,1} via A, {1,2} via B =>
+        // all three positions merge.
+        let a = Atom::r(["x", "x", "y"]);
+        let b = Atom::r(["z", "y", "y"]);
+        let c = unify_atoms(&a, &b).unwrap();
+        assert_eq!(c.at(0), c.at(1));
+        assert_eq!(c.at(1), c.at(2));
+    }
+
+    #[test]
+    fn unifier_admits_homomorphisms_from_both() {
+        let a = Atom::r(["x", "u", "x", "y"]);
+        let b = Atom::r(["u", "y", "x", "z"]);
+        let c = unify_atoms(&a, &b).unwrap();
+        assert!(has_homomorphism(&a, &c));
+        assert!(has_homomorphism(&b, &c));
+    }
+}

@@ -1,0 +1,206 @@
+//! A small concrete syntax for two-atom queries.
+//!
+//! Grammar (whitespace-tolerant):
+//!
+//! ```text
+//! query ::= atom atom
+//! atom  ::= NAME '(' seg ('|' seg)? ')'
+//! seg   ::= variables separated by spaces/commas, or a compact run of
+//!           single-letter variables ("xu" ≡ "x u")
+//! ```
+//!
+//! The bar `|` splits key positions from the rest, mirroring the paper's
+//! underline convention: `R(x u | x y)` is the paper's `R(x̲u̲ xy)` with
+//! signature `[4, 2]`. Omitting the bar means an empty key (`l = 0`).
+//! Both atoms must agree on arity and key length. Relation names: `R`
+//! (self-join), or `R1`/`R2` for the canonical self-join-free form.
+
+use crate::{Atom, Query, QueryError, Var};
+use cqa_model::{RelId, Signature};
+
+/// Parse a two-atom query, e.g. `parse_query("R(x u | x y) R(u y | x z)")`.
+pub fn parse_query(input: &str) -> Result<Query, QueryError> {
+    let mut rest = input.trim();
+    let (a, a_key, r1) = parse_atom(&mut rest)?;
+    let (b, b_key, r2) = parse_atom(&mut rest)?;
+    if !rest.trim().is_empty() {
+        return Err(QueryError::Parse(format!("trailing input: {rest:?}")));
+    }
+    if a.len() != b.len() {
+        return Err(QueryError::Parse(format!(
+            "atoms have different arities ({} vs {})",
+            a.len(),
+            b.len()
+        )));
+    }
+    if a_key != b_key {
+        return Err(QueryError::Parse(format!(
+            "atoms have different key lengths ({a_key} vs {b_key})"
+        )));
+    }
+    let sig = Signature::new(a.len(), a_key)
+        .map_err(|e| QueryError::Parse(e.to_string()))?;
+    let atom_a = Atom::new(r1, a);
+    let atom_b = Atom::new(r2, b);
+    if r1 == r2 {
+        Query::new(sig, atom_a, atom_b)
+    } else {
+        Query::new_sjf(sig, atom_a, atom_b)
+    }
+}
+
+/// Parse one atom from the front of `rest`, advancing it. Returns the
+/// variable tuple, the key length and the relation symbol.
+fn parse_atom(rest: &mut &str) -> Result<(Vec<Var>, usize, RelId), QueryError> {
+    let s = rest.trim_start();
+    let open = s
+        .find('(')
+        .ok_or_else(|| QueryError::Parse(format!("expected '(' in {s:?}")))?;
+    let name = s[..open].trim();
+    let rel = match name {
+        "R" => RelId::R,
+        "R1" => RelId::R1,
+        "R2" => RelId::R2,
+        other => {
+            return Err(QueryError::Parse(format!(
+                "unknown relation name {other:?} (expected R, R1 or R2)"
+            )))
+        }
+    };
+    let close = s
+        .find(')')
+        .ok_or_else(|| QueryError::Parse(format!("unclosed '(' in {s:?}")))?;
+    if close < open {
+        return Err(QueryError::Parse(format!("')' before '(' in {s:?}")));
+    }
+    let inner = &s[open + 1..close];
+    *rest = &s[close + 1..];
+
+    let (key_part, val_part) = match inner.find('|') {
+        Some(bar) => (&inner[..bar], &inner[bar + 1..]),
+        None => ("", inner),
+    };
+    // No bar means l = 0 and everything is a value position; with a bar, the
+    // part before it is the key.
+    let (key_vars, val_vars) = if inner.contains('|') {
+        (parse_segment(key_part)?, parse_segment(val_part)?)
+    } else {
+        (Vec::new(), parse_segment(val_part)?)
+    };
+    let key_len = key_vars.len();
+    let mut vars = key_vars;
+    vars.extend(val_vars);
+    if vars.is_empty() {
+        return Err(QueryError::Parse("atom with no variables".to_string()));
+    }
+    Ok((vars, key_len, rel))
+}
+
+/// Parse a variable segment: comma/space separated names, or a compact run
+/// of single-letter variables when no separators are present.
+fn parse_segment(seg: &str) -> Result<Vec<Var>, QueryError> {
+    let seg = seg.trim();
+    if seg.is_empty() {
+        return Ok(Vec::new());
+    }
+    if seg.contains(|c: char| c.is_whitespace() || c == ',') {
+        return Ok(seg
+            .split(|c: char| c.is_whitespace() || c == ',')
+            .filter(|t| !t.is_empty())
+            .map(Var::new)
+            .collect());
+    }
+    // Compact form: "xuy" = x u y, valid only if every char is a letter.
+    if seg.len() > 1 && seg.chars().all(|c| c.is_ascii_alphabetic()) {
+        return Ok(seg.chars().map(Var::from).collect());
+    }
+    if seg.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Ok(vec![Var::new(seg)]);
+    }
+    Err(QueryError::Parse(format!("cannot parse variable segment {seg:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_q2() {
+        let q = parse_query("R(x u | x y) R(u y | x z)").unwrap();
+        assert_eq!(q.signature().arity(), 4);
+        assert_eq!(q.signature().key_len(), 2);
+        assert_eq!(q.a().tuple().iter().map(|v| v.name()).collect::<Vec<_>>(), ["x", "u", "x", "y"]);
+        assert_eq!(q.b().tuple().iter().map(|v| v.name()).collect::<Vec<_>>(), ["u", "y", "x", "z"]);
+    }
+
+    #[test]
+    fn compact_and_separated_forms_agree() {
+        let q1 = parse_query("R(xu|xy) R(uy|xz)").unwrap();
+        let q2 = parse_query("R(x, u | x, y) R(u y|x z)").unwrap();
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn multichar_variables_need_separators() {
+        let q = parse_query("R(x1, x2 | y1) R(x2, x1 | y2)").unwrap();
+        assert_eq!(q.signature().arity(), 3);
+        assert_eq!(q.a().at(0), &Var::new("x1"));
+    }
+
+    #[test]
+    fn missing_bar_means_empty_key() {
+        let q = parse_query("R(x y) R(y z)").unwrap();
+        assert_eq!(q.signature().key_len(), 0);
+    }
+
+    #[test]
+    fn full_key_via_trailing_bar() {
+        let q = parse_query("R(x y |) R(y z |)").unwrap();
+        assert_eq!(q.signature().key_len(), 2);
+        assert_eq!(q.signature().arity(), 2);
+    }
+
+    #[test]
+    fn sjf_relations() {
+        let q = parse_query("R1(x u | x v) R2(v y | u y)").unwrap();
+        assert!(!q.is_self_join());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("R(x|y)").is_err()); // only one atom
+        assert!(parse_query("R(x|y) R(x y|z)").is_err()); // arity mismatch
+        assert!(parse_query("R(x|y) R(x y z)").is_err()); // key mismatch
+        assert!(parse_query("S(x|y) S(y|z)").is_err()); // unknown relation
+        assert!(parse_query("R(|) R(|)").is_err()); // no variables
+        assert!(parse_query("R(x|y) R(y|z) R(z|w)").is_err()); // trailing atom
+    }
+
+    #[test]
+    fn all_paper_queries_parse() {
+        let queries = [
+            "R(x u | x v) R(v y | u y)",                       // q1
+            "R(x u | x y) R(u y | x z)",                       // q2
+            "R(x | y) R(y | z)",                               // q3
+            "R(x x | u v) R(x y | u x)",                       // q4
+            "R(x | y x) R(y | x u)",                           // q5
+            "R(x | y z) R(z | x y)",                           // q6
+            "R(x1 x2 x3, y1 y1 y2 y3, z1 z2 z3 | z4 z4 z4 z4) R(x3 x1 x2, y3 y1 y1 y2, z2 z3 z4 | z1 z2 z3 z4)", // q7
+        ];
+        for s in queries {
+            let q = parse_query(s).unwrap_or_else(|e| panic!("{s}: {e:?}"));
+            assert!(q.is_self_join());
+        }
+    }
+
+    #[test]
+    fn q7_shape() {
+        let q = parse_query(
+            "R(x1 x2 x3, y1 y1 y2 y3, z1 z2 z3 | z4 z4 z4 z4) R(x3 x1 x2, y3 y1 y1 y2, z2 z3 z4 | z1 z2 z3 z4)",
+        )
+        .unwrap();
+        assert_eq!(q.signature().arity(), 14);
+        assert_eq!(q.signature().key_len(), 10);
+    }
+}

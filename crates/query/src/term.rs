@@ -1,0 +1,61 @@
+//! Query variables.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A query variable. Compared by name; cheap to clone (shared string).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Create a variable with the given name.
+    pub fn new(name: impl AsRef<str>) -> Var {
+        Var(Arc::from(name.as_ref()))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Var {
+        Var::new(s)
+    }
+}
+
+impl From<char> for Var {
+    fn from(c: char) -> Var {
+        Var::new(c.to_string())
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vars_compare_by_name() {
+        assert_eq!(Var::new("x"), Var::from("x"));
+        assert_ne!(Var::new("x"), Var::new("y"));
+        assert_eq!(Var::from('z'), Var::new("z"));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Var::new("x1").to_string(), "x1");
+    }
+}

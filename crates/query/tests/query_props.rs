@@ -1,0 +1,114 @@
+//! Property tests for the query layer: parser round-trips, homomorphism
+//! laws, condition coherence across random queries.
+
+use cqa_model::Signature;
+use cqa_query::conditions::{
+    cond1, cond2, is_2way_determined, thm42_conp_hard, thm61_applies,
+};
+use cqa_query::homomorphism::{has_homomorphism, retracts_onto, unify_atoms};
+use cqa_query::{parse_query, Atom, Query};
+use proptest::prelude::*;
+
+/// Strategy: a random atom of the given arity over a small variable pool.
+fn atom_strategy(arity: usize, pool: usize) -> impl Strategy<Value = Atom> {
+    proptest::collection::vec(0..pool, arity).prop_map(|idx| {
+        Atom::r(idx.into_iter().map(|i| format!("v{i}")).collect::<Vec<_>>())
+    })
+}
+
+/// Strategy: a random two-atom self-join query.
+fn query_strategy() -> impl Strategy<Value = Query> {
+    (2usize..=4)
+        .prop_flat_map(|arity| (Just(arity), 1..arity))
+        .prop_flat_map(|(arity, key_len)| {
+            (
+                Just(Signature::new(arity, key_len).unwrap()),
+                atom_strategy(arity, 5),
+                atom_strategy(arity, 5),
+            )
+        })
+        .prop_map(|(sig, a, b)| Query::new(sig, a, b).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn display_parse_round_trip(q in query_strategy()) {
+        let printed = q.display();
+        let reparsed = parse_query(&printed).unwrap();
+        prop_assert_eq!(reparsed, q);
+    }
+
+    #[test]
+    fn homomorphism_is_reflexive_and_transitive(
+        a in atom_strategy(3, 4),
+        b in atom_strategy(3, 4),
+        c in atom_strategy(3, 4),
+    ) {
+        prop_assert!(has_homomorphism(&a, &a));
+        if has_homomorphism(&a, &b) && has_homomorphism(&b, &c) {
+            prop_assert!(has_homomorphism(&a, &c), "hom not transitive: {a:?} {b:?} {c:?}");
+        }
+    }
+
+    #[test]
+    fn unifier_is_an_upper_bound(a in atom_strategy(3, 4), b in atom_strategy(3, 4)) {
+        let c = unify_atoms(&a, &b).unwrap();
+        prop_assert!(has_homomorphism(&a, &c));
+        prop_assert!(has_homomorphism(&b, &c));
+        // Most general: the unifier of the unifier with either input is
+        // isomorphic to the unifier (same equality pattern).
+        let cc = unify_atoms(&a, &c).unwrap();
+        prop_assert!(has_homomorphism(&c, &cc) && has_homomorphism(&cc, &c));
+    }
+
+    #[test]
+    fn retraction_implies_homomorphism(a in atom_strategy(3, 4), b in atom_strategy(3, 4)) {
+        if retracts_onto(&a, &b) {
+            prop_assert!(has_homomorphism(&a, &b));
+        }
+    }
+
+    #[test]
+    fn conditions_partition_every_query(q in query_strategy()) {
+        // The decision procedure's syntactic cases are mutually exclusive
+        // and exhaustive over non-trivial queries:
+        //   thm42 = cond1 ∧ cond2, thm61 = ¬cond1,
+        //   2way-determined = cond1 ∧ ¬cond2.
+        prop_assert_eq!(thm42_conp_hard(&q), cond1(&q) && cond2(&q));
+        prop_assert_eq!(thm61_applies(&q), !cond1(&q));
+        prop_assert_eq!(is_2way_determined(&q), cond1(&q) && !cond2(&q));
+        let cases =
+            [thm42_conp_hard(&q), thm61_applies(&q), is_2way_determined(&q)];
+        prop_assert_eq!(cases.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn conditions_are_swap_invariant(q in query_strategy()) {
+        let s = q.swapped();
+        prop_assert_eq!(cond1(&q), cond1(&s));
+        prop_assert_eq!(cond2(&q), cond2(&s));
+        prop_assert_eq!(is_2way_determined(&q), is_2way_determined(&s));
+        prop_assert_eq!(thm61_applies(&q), thm61_applies(&s));
+        prop_assert_eq!(q.is_one_atom_equivalent(), s.is_one_atom_equivalent());
+    }
+
+    #[test]
+    fn sjf_preserves_shape(q in query_strategy()) {
+        let s = q.sjf();
+        prop_assert!(!s.is_self_join());
+        prop_assert_eq!(s.a().tuple(), q.a().tuple());
+        prop_assert_eq!(s.b().tuple(), q.b().tuple());
+        prop_assert!(!s.is_one_atom_equivalent(), "sjf queries are never one-atom");
+    }
+
+    #[test]
+    fn one_atom_equivalent_queries_are_not_2way_determined(q in query_strategy()) {
+        // Trivial queries are filtered out before the dichotomy cases; the
+        // syntactic layer must not claim 2way-determinacy AND triviality
+        // with key(A) = key(B): equal key tuples imply equal key sets,
+        // contradicting key(A) ⊈ key(B).
+        if q.a().key(q.signature()) == q.b().key(q.signature()) {
+            prop_assert!(!is_2way_determined(&q));
+        }
+    }
+}

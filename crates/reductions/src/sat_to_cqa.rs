@@ -1,0 +1,327 @@
+//! The Section 9 coNP-hardness gadget: 3SAT (≤3 occurrences per variable)
+//! reduces to `certain(q)` for any 2way-determined `q` with a *nice
+//! fork-tripath*.
+//!
+//! For a literal-occurrence pattern the paper builds, per variable `l`,
+//! two or three substituted copies of the nice tripath `Θ`:
+//!
+//! * `l ∈ V₃` — `l` occurs once with one polarity (clause `C`) and twice
+//!   with the other (clauses `C₁`, `C₂`):
+//!   `Θ_{l,C}  = Θ[⟨C,l⟩x, ⟨C,l⟩y, ⟨C,l⟩z, C, ⟨C,C₂,l⟩, ⟨C,C₁,l⟩]`,
+//!   `Θ_{l,C₁} = Θ[…C₁…, C₁, ⟨C₁,C₁,l⟩, ⟨C,C₁,l⟩]`,
+//!   `Θ_{l,C₂} = Θ[…C₂…, C₂, ⟨C,C₂,l⟩, ⟨C₂,C₂,l⟩]`.
+//! * `l ∈ V₂` — one positive clause `C`, one negative `C′`:
+//!   `Θ_{l,C}  = Θ[…C…, C, ⟨C,C,l⟩, ⟨C,C′,l⟩]`,
+//!   `Θ_{l,C′} = Θ[…C′…, C′, ⟨C′,C′,l⟩, ⟨C,C′,l⟩]`.
+//!
+//! Root keys share the clause element `C`, merging the roots of all
+//! literals of one clause into *the block of `C`*; the shared leaf keys
+//! wire up literal conflicts. Singleton blocks are padded with solution-
+//! free facts. Lemma 9.2: `φ` satisfiable ⟺ `D[φ] ⊭ certain(q)`.
+
+use cqa_model::{Database, Elem, Fact};
+use cqa_query::{is_solution, Query};
+use cqa_sat::{Cnf, PVar};
+use cqa_tripath::{find_nice_fork, NiceWitness, SearchConfig, Tripath};
+use std::collections::HashMap;
+
+/// A prepared reduction for one query: the nice fork-tripath and its
+/// witnesses, reusable across formulas.
+#[derive(Clone, Debug)]
+pub struct SatReduction {
+    q: Query,
+    tripath: Tripath,
+    witness: NiceWitness,
+}
+
+/// Error building or applying the reduction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReductionError {
+    /// No nice fork-tripath found within the search budget.
+    NoNiceForkTripath,
+    /// The input formula is not in ≤3-occurrence normal form.
+    NotOcc3NormalForm,
+}
+
+impl std::fmt::Display for ReductionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReductionError::NoNiceForkTripath => {
+                write!(f, "query admits no nice fork-tripath within the search budget")
+            }
+            ReductionError::NotOcc3NormalForm => {
+                write!(f, "formula must be 3-CNF without unit clauses, ≤3 occurrences and both polarities per variable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReductionError {}
+
+impl SatReduction {
+    /// Prepare the reduction for `q` by finding a nice fork-tripath.
+    pub fn new(q: &Query, cfg: &SearchConfig) -> Result<SatReduction, ReductionError> {
+        let (tripath, witness) =
+            find_nice_fork(q, cfg).ok_or(ReductionError::NoNiceForkTripath)?;
+        Ok(SatReduction { q: q.clone(), tripath, witness })
+    }
+
+    /// The nice fork-tripath backing the reduction.
+    pub fn tripath(&self) -> &Tripath {
+        &self.tripath
+    }
+
+    /// The niceness witnesses `x y z u v w`.
+    pub fn witness(&self) -> &NiceWitness {
+        &self.witness
+    }
+
+    /// Build `D[φ]`. `φ` must be in ≤3-occurrence normal form
+    /// (see `cqa_sat::to_occ3_normal_form`). The empty formula yields the
+    /// empty database (vacuously satisfiable ⇒ not certain).
+    pub fn database(&self, phi: &Cnf) -> Result<Database, ReductionError> {
+        let well_formed = phi.is_3cnf()
+            && phi.is_occ3_normal_form()
+            && phi.clauses().iter().all(|c| c.len() >= 2);
+        if !phi.is_empty() && !well_formed {
+            return Err(ReductionError::NotOcc3NormalForm);
+        }
+        let mut db = Database::new(*self.q.signature());
+
+        // Per-variable gadgets.
+        for (pvar, (pos, neg)) in phi.occurrences() {
+            let l = lit_elem(pvar);
+            // Clause indices where the variable occurs positively/negatively.
+            let pos_clauses = clauses_with(phi, pvar, true);
+            let neg_clauses = clauses_with(phi, pvar, false);
+            match (pos, neg) {
+                (1, 1) => {
+                    let c = clause_elem(pos_clauses[0]);
+                    let c_neg = clause_elem(neg_clauses[0]);
+                    // Θ_{l,C} and Θ_{l,C'}.
+                    self.add_gadget(&mut db, l, c, pair3(c, c, l), pair3(c, c_neg, l));
+                    self.add_gadget(&mut db, l, c_neg, pair3(c_neg, c_neg, l), pair3(c, c_neg, l));
+                }
+                (1, 2) | (2, 1) => {
+                    // Singleton polarity clause C; doubled clauses C1, C2.
+                    let (c_idx, c1_idx, c2_idx) = if pos == 1 {
+                        (pos_clauses[0], neg_clauses[0], neg_clauses[1])
+                    } else {
+                        (neg_clauses[0], pos_clauses[0], pos_clauses[1])
+                    };
+                    let c = clause_elem(c_idx);
+                    let c1 = clause_elem(c1_idx);
+                    let c2 = clause_elem(c2_idx);
+                    self.add_gadget(&mut db, l, c, pair3(c, c2, l), pair3(c, c1, l));
+                    self.add_gadget(&mut db, l, c1, pair3(c1, c1, l), pair3(c, c1, l));
+                    self.add_gadget(&mut db, l, c2, pair3(c, c2, l), pair3(c2, c2, l));
+                }
+                other => unreachable!("occ3 normal form guarantees (1,1),(1,2),(2,1); got {other:?}"),
+            }
+        }
+
+        // Pad singleton blocks with solution-free facts.
+        pad_singleton_blocks(&self.q, &mut db);
+        Ok(db)
+    }
+
+    /// Insert `Θ[⟨C,l⟩x, ⟨C,l⟩y, ⟨C,l⟩z, C, αv, αw]` into `db`.
+    fn add_gadget(&self, db: &mut Database, l: Elem, c: Elem, alpha_v: Elem, alpha_w: Elem) {
+        let w = &self.witness;
+        let mut sub: HashMap<Elem, Elem> = HashMap::new();
+        // αx = αy iff x = y etc. holds automatically: the image embeds the
+        // original element.
+        for &(from, tag) in &[(w.x, "x"), (w.y, "y"), (w.z, "z")] {
+            sub.insert(from, Elem::pair(Elem::pair(c, l), Elem::pair(from, Elem::named(tag))));
+        }
+        sub.insert(w.u, c);
+        sub.insert(w.v, alpha_v);
+        sub.insert(w.w, alpha_w);
+        for fact in self.tripath.facts() {
+            let mapped: Vec<Elem> =
+                fact.tuple().iter().map(|e| *sub.get(e).unwrap_or(e)).collect();
+            db.insert(Fact::new(fact.rel(), mapped)).expect("same signature");
+        }
+    }
+}
+
+/// The domain element standing for propositional variable `p`.
+fn lit_elem(p: PVar) -> Elem {
+    Elem::pair(Elem::named("lit"), Elem::int(p.0 as i64))
+}
+
+/// The domain element standing for clause number `i`.
+fn clause_elem(i: usize) -> Elem {
+    Elem::pair(Elem::named("cl"), Elem::int(i as i64))
+}
+
+/// `⟨a, b, l⟩` as a left-nested pair element.
+fn pair3(a: Elem, b: Elem, c: Elem) -> Elem {
+    Elem::tuple(&[a, b, c])
+}
+
+/// Indices of clauses containing the variable with the given polarity.
+fn clauses_with(phi: &Cnf, p: PVar, positive: bool) -> Vec<usize> {
+    phi.clauses()
+        .iter()
+        .enumerate()
+        .filter(|(_, cl)| cl.iter().any(|lit| lit.var() == p && lit.is_positive() == positive))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Add, to every singleton block, a fresh fact forming no solution with any
+/// fact of the database (the paper: "such a fact can always be defined").
+/// For 2way-determined queries the fresh non-key elements make any solution
+/// impossible — asserted here.
+pub fn pad_singleton_blocks(q: &Query, db: &mut Database) {
+    let sig = q.signature();
+    let singleton_keys: Vec<(cqa_model::RelId, Vec<Elem>)> = db
+        .block_ids()
+        .filter(|&b| db.block(b).len() == 1)
+        .map(|b| {
+            let f = db.fact(db.block(b)[0]);
+            (f.rel(), f.key(sig).to_vec())
+        })
+        .collect();
+    for (rel, key) in singleton_keys {
+        let mut tuple = key.clone();
+        tuple.extend((sig.key_len()..sig.arity()).map(|_| Elem::fresh()));
+        let pad = Fact::new(rel, tuple);
+        debug_assert!(
+            !is_solution(q, &pad, &pad)
+                && db.facts().all(|(_, t)| !is_solution(q, &pad, t) && !is_solution(q, t, &pad)),
+            "padding fact unexpectedly forms a solution"
+        );
+        db.insert(pad).expect("same signature");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::examples;
+    use cqa_sat::{solve, to_occ3_normal_form, Lit};
+    use cqa_solvers::certain_brute;
+
+    fn reduction() -> SatReduction {
+        SatReduction::new(&examples::q2(), &SearchConfig::default()).expect("q2 reduction")
+    }
+
+    #[test]
+    fn empty_formula_not_certain() {
+        let r = reduction();
+        let db = r.database(&Cnf::new()).unwrap();
+        assert!(!certain_brute(&examples::q2(), &db));
+    }
+
+    #[test]
+    fn rejects_non_normal_form() {
+        let r = reduction();
+        // p0 occurs four times.
+        let f = Cnf::from_clauses([
+            vec![Lit::pos(PVar(0))],
+            vec![Lit::pos(PVar(0))],
+            vec![Lit::neg(PVar(0))],
+            vec![Lit::neg(PVar(0))],
+        ]);
+        assert_eq!(r.database(&f).err(), Some(ReductionError::NotOcc3NormalForm));
+    }
+
+    #[test]
+    fn every_block_has_at_least_two_facts() {
+        let r = reduction();
+        let f = to_occ3_normal_form(&figure2_formula());
+        let db = r.database(&f).unwrap();
+        for b in db.block_ids() {
+            assert!(db.block(b).len() >= 2, "block {b:?} not padded");
+        }
+    }
+
+    /// The Figure 2 formula: (¬s ∨ t ∨ u)(¬s ∨ ¬t ∨ u)(s ∨ ¬t ∨ ¬u).
+    fn figure2_formula() -> Cnf {
+        let (s, t, u) = (PVar(0), PVar(1), PVar(2));
+        Cnf::from_clauses([
+            vec![Lit::neg(s), Lit::pos(t), Lit::pos(u)],
+            vec![Lit::neg(s), Lit::neg(t), Lit::pos(u)],
+            vec![Lit::pos(s), Lit::neg(t), Lit::neg(u)],
+        ])
+    }
+
+    #[test]
+    fn lemma_9_2_on_figure2() {
+        // Figure 2's formula is satisfiable, so D[φ] must not be certain.
+        // A falsifying repair is found quickly; full certainty proofs on
+        // gadget databases this size belong to the benches.
+        let r = reduction();
+        let phi = to_occ3_normal_form(&figure2_formula());
+        assert!(phi.is_occ3_normal_form());
+        let db = r.database(&phi).unwrap();
+        let sat = solve(&phi).is_sat();
+        assert!(sat);
+        let out = cqa_solvers::certain_brute_budgeted(&examples::q2(), &db, 100_000_000);
+        assert!(
+            matches!(out, cqa_solvers::BruteOutcome::NotCertain(_)),
+            "Lemma 9.2 violated on Figure 2: expected a falsifying repair, got {out:?}"
+        );
+    }
+
+    #[test]
+    fn unit_clauses_rejected() {
+        // The gadget cannot encode unit clauses (the padded singleton root
+        // block would let a repair skip the clause); `to_occ3_normal_form`
+        // removes them by unit propagation.
+        let p0 = PVar(0);
+        let phi = Cnf::from_clauses([vec![Lit::pos(p0)], vec![Lit::neg(p0)]]);
+        let r = reduction();
+        assert_eq!(r.database(&phi).err(), Some(ReductionError::NotOcc3NormalForm));
+        // Normalizing first yields the canonical unsat core, and Lemma 9.2
+        // holds for it (covered by lemma_9_2_on_three_occurrence_unsat-style
+        // instances; the canonical core itself is exercised in the
+        // integration tests).
+        let core = to_occ3_normal_form(&phi);
+        assert!(!solve(&core).is_sat());
+        assert!(r.database(&core).is_ok());
+    }
+
+    #[test]
+    fn lemma_9_2_on_minimal_sat() {
+        // (p₀ ∨ p₁)(¬p₀ ∨ ¬p₁): satisfiable, normal form. D[φ] must not be
+        // certain.
+        let (p0, p1) = (PVar(0), PVar(1));
+        let phi = Cnf::from_clauses([
+            vec![Lit::pos(p0), Lit::pos(p1)],
+            vec![Lit::neg(p0), Lit::neg(p1)],
+        ]);
+        assert!(phi.is_occ3_normal_form());
+        assert!(solve(&phi).is_sat());
+        let r = reduction();
+        let db = r.database(&phi).unwrap();
+        assert!(!certain_brute(&examples::q2(), &db), "Lemma 9.2 violated on sat instance");
+    }
+
+    #[test]
+    fn lemma_9_2_on_three_occurrence_unsat() {
+        // Force p0 true and false through implication chains with every
+        // variable at ≤ 3 occurrences:
+        //   (p0 ∨ p1)(p0 ∨ ¬p1)(¬p0 ∨ p2)(¬p0 ∨ ¬p2)
+        // p0 occurs 4 times — normalization splits it; the result stays
+        // small enough for an exhaustive certainty proof.
+        let (p0, p1, p2) = (PVar(0), PVar(1), PVar(2));
+        let f = Cnf::from_clauses([
+            vec![Lit::pos(p0), Lit::pos(p1)],
+            vec![Lit::pos(p0), Lit::neg(p1)],
+            vec![Lit::neg(p0), Lit::pos(p2)],
+            vec![Lit::neg(p0), Lit::neg(p2)],
+        ]);
+        let phi = to_occ3_normal_form(&f);
+        assert!(!solve(&phi).is_sat());
+        let r = reduction();
+        let db = r.database(&phi).unwrap();
+        let out = cqa_solvers::certain_brute_budgeted(&examples::q2(), &db, 500_000_000);
+        assert!(
+            matches!(out, cqa_solvers::BruteOutcome::Certain),
+            "Lemma 9.2 violated on UNSAT instance: {out:?}"
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! CNF formulas.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PVar(pub u32);
+
+/// A literal: a variable with a polarity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit {
+    var: PVar,
+    positive: bool,
+}
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: PVar) -> Lit {
+        Lit { var: v, positive: true }
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: PVar) -> Lit {
+        Lit { var: v, positive: false }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> PVar {
+        self.var
+    }
+
+    /// `true` for positive literals.
+    pub fn is_positive(self) -> bool {
+        self.positive
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit { var: self.var, positive: !self.positive }
+    }
+
+    /// Evaluate under an assignment of the variable.
+    pub fn eval(self, value: bool) -> bool {
+        self.positive == value
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.positive {
+            write!(f, "¬")?;
+        }
+        write!(f, "p{}", self.var.0)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A clause: a disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// A CNF formula: a conjunction of clauses.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Cnf {
+    clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// The empty formula (vacuously true).
+    pub fn new() -> Cnf {
+        Cnf::default()
+    }
+
+    /// Build from clauses.
+    pub fn from_clauses(clauses: impl IntoIterator<Item = Clause>) -> Cnf {
+        Cnf { clauses: clauses.into_iter().collect() }
+    }
+
+    /// Append one clause.
+    pub fn push(&mut self, clause: Clause) {
+        self.clauses.push(clause);
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// `true` iff there are no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// All variables mentioned.
+    pub fn vars(&self) -> BTreeSet<PVar> {
+        self.clauses.iter().flatten().map(|l| l.var()).collect()
+    }
+
+    /// Per-variable occurrence counts `(positive, negative)`.
+    pub fn occurrences(&self) -> BTreeMap<PVar, (usize, usize)> {
+        let mut occ: BTreeMap<PVar, (usize, usize)> = BTreeMap::new();
+        for lit in self.clauses.iter().flatten() {
+            let e = occ.entry(lit.var()).or_insert((0, 0));
+            if lit.is_positive() {
+                e.0 += 1;
+            } else {
+                e.1 += 1;
+            }
+        }
+        occ
+    }
+
+    /// `true` iff every variable occurs at most three times *and* (when it
+    /// occurs at all) at least once positively and once negatively — the
+    /// normal form Section 9's reduction consumes.
+    pub fn is_occ3_normal_form(&self) -> bool {
+        self.occurrences().values().all(|&(p, n)| p + n <= 3 && p >= 1 && n >= 1)
+    }
+
+    /// `true` iff every clause has at most three literals.
+    pub fn is_3cnf(&self) -> bool {
+        self.clauses.iter().all(|c| c.len() <= 3)
+    }
+
+    /// Evaluate under a total assignment (indexed by variable number).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval(assignment[l.var().0 as usize])))
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "(")?;
+            for (j, l) in c.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ∨ ")?;
+                }
+                write!(f, "{l}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: u32) -> PVar {
+        PVar(n)
+    }
+
+    #[test]
+    fn literal_semantics() {
+        let l = Lit::pos(v(0));
+        assert!(l.eval(true));
+        assert!(!l.eval(false));
+        assert!(!l.negated().eval(true));
+        assert_eq!(l.negated().negated(), l);
+    }
+
+    #[test]
+    fn eval_formula() {
+        // (p0 ∨ ¬p1) ∧ (p1 ∨ p2)
+        let f = Cnf::from_clauses([
+            vec![Lit::pos(v(0)), Lit::neg(v(1))],
+            vec![Lit::pos(v(1)), Lit::pos(v(2))],
+        ]);
+        assert!(f.eval(&[true, true, false]));
+        assert!(!f.eval(&[false, true, false]));
+        assert!(f.eval(&[false, false, true]));
+    }
+
+    #[test]
+    fn occurrence_counting() {
+        let f = Cnf::from_clauses([
+            vec![Lit::pos(v(0)), Lit::neg(v(1))],
+            vec![Lit::neg(v(0)), Lit::pos(v(1))],
+            vec![Lit::pos(v(0))],
+        ]);
+        let occ = f.occurrences();
+        assert_eq!(occ[&v(0)], (2, 1));
+        assert_eq!(occ[&v(1)], (1, 1));
+        assert!(f.is_occ3_normal_form());
+    }
+
+    #[test]
+    fn occ3_rejects_pure_and_frequent() {
+        // p0 occurs 4 times.
+        let f = Cnf::from_clauses([
+            vec![Lit::pos(v(0))],
+            vec![Lit::pos(v(0))],
+            vec![Lit::neg(v(0))],
+            vec![Lit::neg(v(0))],
+        ]);
+        assert!(!f.is_occ3_normal_form());
+        // p0 pure positive.
+        let g = Cnf::from_clauses([vec![Lit::pos(v(0))]]);
+        assert!(!g.is_occ3_normal_form());
+    }
+
+    #[test]
+    fn empty_formula_true() {
+        assert!(Cnf::new().eval(&[]));
+        assert_eq!(Cnf::new().to_string(), "⊤");
+    }
+
+    #[test]
+    fn display() {
+        let f = Cnf::from_clauses([vec![Lit::neg(v(0)), Lit::pos(v(1))]]);
+        assert_eq!(f.to_string(), "(¬p0 ∨ p1)");
+    }
+}

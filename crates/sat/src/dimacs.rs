@@ -1,0 +1,147 @@
+//! DIMACS CNF parsing and serialisation — lets the CLI and the reduction
+//! pipeline consume standard SAT benchmark files.
+//!
+//! Supported: the classic `p cnf <vars> <clauses>` header, `c` comment
+//! lines, clauses as whitespace-separated non-zero literals terminated by
+//! `0` (possibly spanning lines). Variables are 1-based in DIMACS and map
+//! to `PVar(n - 1)`.
+
+use crate::{Clause, Cnf, Lit, PVar};
+use std::fmt::Write as _;
+
+/// A DIMACS parse failure with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DimacsError(pub String);
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DIMACS error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parse DIMACS CNF text.
+pub fn parse_dimacs(input: &str) -> Result<Cnf, DimacsError> {
+    let mut declared: Option<(u32, usize)> = None;
+    let mut clauses: Vec<Clause> = Vec::new();
+    let mut current: Clause = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if declared.is_some() {
+                return Err(DimacsError(format!("line {}: duplicate header", lineno + 1)));
+            }
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") {
+                return Err(DimacsError(format!("line {}: expected 'p cnf'", lineno + 1)));
+            }
+            let vars: u32 = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| DimacsError(format!("line {}: bad var count", lineno + 1)))?;
+            let n_clauses: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| DimacsError(format!("line {}: bad clause count", lineno + 1)))?;
+            declared = Some((vars, n_clauses));
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| DimacsError(format!("line {}: bad literal {tok:?}", lineno + 1)))?;
+            if v == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let var = v.unsigned_abs() as u32 - 1;
+                if let Some((max_vars, _)) = declared {
+                    if var >= max_vars {
+                        return Err(DimacsError(format!(
+                            "line {}: literal {v} exceeds declared {max_vars} variables",
+                            lineno + 1
+                        )));
+                    }
+                }
+                current.push(if v > 0 { Lit::pos(PVar(var)) } else { Lit::neg(PVar(var)) });
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(DimacsError("unterminated final clause (missing 0)".into()));
+    }
+    if let Some((_, n)) = declared {
+        if clauses.len() != n {
+            return Err(DimacsError(format!(
+                "header declares {n} clauses, found {}",
+                clauses.len()
+            )));
+        }
+    }
+    Ok(Cnf::from_clauses(clauses))
+}
+
+/// Serialise to DIMACS CNF text.
+pub fn to_dimacs(f: &Cnf) -> String {
+    let max_var = f.vars().iter().map(|v| v.0 + 1).max().unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", max_var, f.len());
+    for clause in f.clauses() {
+        for lit in clause {
+            let v = lit.var().0 as i64 + 1;
+            let _ = write!(out, "{} ", if lit.is_positive() { v } else { -v });
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve;
+
+    #[test]
+    fn parses_figure2_style_file() {
+        let text = "c the Figure 2 formula\np cnf 3 3\n-1 2 3 0\n-1 -2 3 0\n1 -2 -3 0\n";
+        let f = parse_dimacs(text).unwrap();
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.vars().len(), 3);
+        assert!(solve(&f).is_sat());
+    }
+
+    #[test]
+    fn round_trip() {
+        let text = "p cnf 4 3\n1 -2 0\n3 4 -1 0\n-4 0\n";
+        let f = parse_dimacs(text).unwrap();
+        let g = parse_dimacs(&to_dimacs(&f)).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn clauses_may_span_lines_and_header_optional() {
+        let f = parse_dimacs("1 2\n-3 0 2 3 0").unwrap();
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.clauses()[0].len(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(parse_dimacs("p cnf x 3").is_err());
+        assert!(parse_dimacs("p dnf 3 3").is_err());
+        assert!(parse_dimacs("p cnf 2 1\n3 0").is_err()); // var out of range
+        assert!(parse_dimacs("p cnf 2 2\n1 0").is_err()); // clause count mismatch
+        assert!(parse_dimacs("1 2").is_err()); // unterminated clause
+        assert!(parse_dimacs("p cnf 1 0\np cnf 1 0").is_err()); // duplicate header
+        assert!(parse_dimacs("1 zz 0").is_err()); // junk literal
+    }
+
+    #[test]
+    fn empty_input_is_empty_formula() {
+        assert!(parse_dimacs("").unwrap().is_empty());
+        assert!(parse_dimacs("c only comments\n").unwrap().is_empty());
+    }
+}

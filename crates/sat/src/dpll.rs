@@ -1,0 +1,252 @@
+//! A DPLL SAT solver with unit propagation and pure-literal elimination.
+//!
+//! This is the substrate that lets the repo *test* the coNP-hardness
+//! reduction of Section 9: Lemma 9.2 states `φ` is satisfiable iff
+//! `D[φ] ⊭ certain(q)`, and the integration tests check both sides with
+//! independent engines (DPLL here, repair search in `cqa-solvers`).
+
+use crate::{Cnf, Lit, PVar};
+use std::collections::HashMap;
+
+/// Result of [`solve`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a witnessing assignment (total over mentioned
+    /// variables).
+    Sat(HashMap<PVar, bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// `true` for [`SatResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+/// Decide satisfiability of `f`.
+pub fn solve(f: &Cnf) -> SatResult {
+    let mut assignment: HashMap<PVar, bool> = HashMap::new();
+    let clauses: Vec<Vec<Lit>> = f.clauses().to_vec();
+    if dpll(&clauses, &mut assignment) {
+        // Complete the assignment for variables untouched by the search
+        // (eliminated clauses may have left them unassigned).
+        for v in f.vars() {
+            assignment.entry(v).or_insert(true);
+        }
+        debug_assert!(eval_with(f, &assignment));
+        SatResult::Sat(assignment)
+    } else {
+        SatResult::Unsat
+    }
+}
+
+/// Evaluate `f` under a (total) map assignment.
+pub fn eval_with(f: &Cnf, assignment: &HashMap<PVar, bool>) -> bool {
+    f.clauses()
+        .iter()
+        .all(|c| c.iter().any(|l| assignment.get(&l.var()).copied().map_or(false, |v| l.eval(v))))
+}
+
+fn dpll(clauses: &[Vec<Lit>], assignment: &mut HashMap<PVar, bool>) -> bool {
+    // Simplify: drop satisfied clauses, strip false literals.
+    let mut simplified: Vec<Vec<Lit>> = Vec::with_capacity(clauses.len());
+    for c in clauses {
+        let mut reduced: Vec<Lit> = Vec::with_capacity(c.len());
+        let mut satisfied = false;
+        for &l in c {
+            match assignment.get(&l.var()) {
+                Some(&v) if l.eval(v) => {
+                    satisfied = true;
+                    break;
+                }
+                Some(_) => {}
+                None => reduced.push(l),
+            }
+        }
+        if satisfied {
+            continue;
+        }
+        if reduced.is_empty() {
+            return false; // conflict
+        }
+        simplified.push(reduced);
+    }
+    if simplified.is_empty() {
+        return true;
+    }
+
+    // Unit propagation.
+    if let Some(unit) = simplified.iter().find(|c| c.len() == 1) {
+        let l = unit[0];
+        assignment.insert(l.var(), l.is_positive());
+        if dpll(&simplified, assignment) {
+            return true;
+        }
+        assignment.remove(&l.var());
+        return false;
+    }
+
+    // Pure-literal elimination.
+    let mut polarity: HashMap<PVar, (bool, bool)> = HashMap::new();
+    for c in &simplified {
+        for &l in c {
+            let e = polarity.entry(l.var()).or_insert((false, false));
+            if l.is_positive() {
+                e.0 = true;
+            } else {
+                e.1 = true;
+            }
+        }
+    }
+    if let Some((&v, &(pos, _))) = polarity.iter().find(|(_, &(p, n))| p != n) {
+        assignment.insert(v, pos);
+        if dpll(&simplified, assignment) {
+            return true;
+        }
+        assignment.remove(&v);
+        return false;
+    }
+
+    // Branch on the first variable of the shortest clause.
+    let branch_var = simplified
+        .iter()
+        .min_by_key(|c| c.len())
+        .expect("nonempty")
+        .first()
+        .expect("nonempty clause")
+        .var();
+    for value in [true, false] {
+        assignment.insert(branch_var, value);
+        if dpll(&simplified, assignment) {
+            return true;
+        }
+        assignment.remove(&branch_var);
+    }
+    false
+}
+
+/// Exhaustive reference solver (≤ 20 variables) used to validate DPLL.
+pub fn solve_exhaustive(f: &Cnf) -> bool {
+    let vars: Vec<PVar> = f.vars().into_iter().collect();
+    assert!(vars.len() <= 20, "exhaustive solver limited to 20 variables");
+    let max = vars.iter().map(|v| v.0 as usize + 1).max().unwrap_or(0);
+    (0u32..(1 << vars.len())).any(|mask| {
+        let mut assignment = vec![false; max];
+        for (i, v) in vars.iter().enumerate() {
+            assignment[v.0 as usize] = mask & (1 << i) != 0;
+        }
+        f.eval(&assignment)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lit;
+
+    fn v(n: u32) -> PVar {
+        PVar(n)
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert!(solve(&Cnf::new()).is_sat());
+        let f = Cnf::from_clauses([vec![Lit::pos(v(0))]]);
+        assert!(solve(&f).is_sat());
+        let g = Cnf::from_clauses([vec![Lit::pos(v(0))], vec![Lit::neg(v(0))]]);
+        assert_eq!(solve(&g), SatResult::Unsat);
+    }
+
+    #[test]
+    fn paper_figure2_formula_is_sat() {
+        // (¬s ∨ t ∨ u) ∧ (¬s ∨ ¬t ∨ u) ∧ (s ∨ ¬t ∨ ¬u), s=0, t=1, u=2.
+        let (s, t, u) = (v(0), v(1), v(2));
+        let f = Cnf::from_clauses([
+            vec![Lit::neg(s), Lit::pos(t), Lit::pos(u)],
+            vec![Lit::neg(s), Lit::neg(t), Lit::pos(u)],
+            vec![Lit::pos(s), Lit::neg(t), Lit::neg(u)],
+        ]);
+        match solve(&f) {
+            SatResult::Sat(a) => assert!(eval_with(&f, &a)),
+            SatResult::Unsat => panic!("Figure 2 formula is satisfiable"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_2_1_unsat() {
+        // Two pigeons, one hole: x0 ∧ x1 ∧ (¬x0 ∨ ¬x1).
+        let f = Cnf::from_clauses([
+            vec![Lit::pos(v(0))],
+            vec![Lit::pos(v(1))],
+            vec![Lit::neg(v(0)), Lit::neg(v(1))],
+        ]);
+        assert_eq!(solve(&f), SatResult::Unsat);
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_on_random_formulas() {
+        // xorshift LCG for reproducibility.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..300 {
+            let n_vars = (next() % 6 + 1) as u32;
+            let n_clauses = (next() % 8) as usize;
+            let mut f = Cnf::new();
+            for _ in 0..n_clauses {
+                let len = (next() % 3 + 1) as usize;
+                let clause: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        let var = v((next() % n_vars as u64) as u32);
+                        if next() % 2 == 0 {
+                            Lit::pos(var)
+                        } else {
+                            Lit::neg(var)
+                        }
+                    })
+                    .collect();
+                f.push(clause);
+            }
+            assert_eq!(
+                solve(&f).is_sat(),
+                solve_exhaustive(&f),
+                "trial {trial} disagreement on {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn sat_witness_is_valid() {
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..100 {
+            let n_vars = (next() % 8 + 1) as u32;
+            let mut f = Cnf::new();
+            for _ in 0..(next() % 10) {
+                let clause: Vec<Lit> = (0..(next() % 3 + 1))
+                    .map(|_| {
+                        let var = v((next() % n_vars as u64) as u32);
+                        if next() % 2 == 0 {
+                            Lit::pos(var)
+                        } else {
+                            Lit::neg(var)
+                        }
+                    })
+                    .collect();
+                f.push(clause);
+            }
+            if let SatResult::Sat(a) = solve(&f) {
+                assert!(eval_with(&f, &a), "invalid witness for {f}");
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Random 3SAT instance generation (workloads for the reduction benches).
+
+use crate::{Clause, Cnf, Lit, PVar};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Generate a uniform random 3-CNF with `n_clauses` clauses over
+/// `n_vars` variables; each clause has three literals over distinct
+/// variables.
+///
+/// At clause/variable ratio ≈ 4.27 instances sit near the satisfiability
+/// phase transition, the standard stress workload.
+///
+/// # Panics
+/// Panics if `n_vars < 3`.
+pub fn random_3sat(rng: &mut impl Rng, n_vars: u32, n_clauses: usize) -> Cnf {
+    assert!(n_vars >= 3, "need at least 3 variables for 3-literal clauses");
+    let mut f = Cnf::new();
+    let vars: Vec<u32> = (0..n_vars).collect();
+    for _ in 0..n_clauses {
+        let chosen: Vec<u32> = vars.choose_multiple(rng, 3).copied().collect();
+        let clause: Clause = chosen
+            .into_iter()
+            .map(|v| if rng.gen_bool(0.5) { Lit::pos(PVar(v)) } else { Lit::neg(PVar(v)) })
+            .collect();
+        f.push(clause);
+    }
+    f
+}
+
+/// Generate a random 3-CNF near the phase transition for `n_vars`.
+pub fn random_3sat_critical(rng: &mut impl Rng, n_vars: u32) -> Cnf {
+    let n_clauses = ((n_vars as f64) * 4.27).round() as usize;
+    random_3sat(rng, n_vars, n_clauses.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_is_3cnf() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let f = random_3sat(&mut rng, 10, 40);
+        assert_eq!(f.len(), 40);
+        assert!(f.is_3cnf());
+        for c in f.clauses() {
+            assert_eq!(c.len(), 3);
+            let vars: std::collections::HashSet<_> = c.iter().map(|l| l.var()).collect();
+            assert_eq!(vars.len(), 3, "clause variables must be distinct");
+        }
+    }
+
+    #[test]
+    fn critical_ratio() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let f = random_3sat_critical(&mut rng, 20);
+        assert_eq!(f.len(), 85); // round(20 * 4.27)
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let f1 = random_3sat(&mut StdRng::seed_from_u64(42), 8, 20);
+        let f2 = random_3sat(&mut StdRng::seed_from_u64(42), 8, 20);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_vars_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = random_3sat(&mut rng, 2, 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # cqa-sat — SAT substrate for the Section 9 hardness reduction
+//!
+//! The paper proves coNP-hardness of fork-tripath queries by reduction from
+//! *3SAT with every variable occurring at most three times*. To make that
+//! reduction executable and testable this crate provides, from scratch:
+//!
+//! * [`Cnf`] formulas with occurrence accounting,
+//! * a [`dpll`] solver (unit propagation + pure literals) and an
+//!   exhaustive reference solver,
+//! * the equisatisfiable ≤3-occurrence normal form
+//!   ([`to_occ3_normal_form`]) the reduction consumes,
+//! * random 3SAT [`gen`]erators for the benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cnf;
+pub mod dimacs;
+pub mod dpll;
+pub mod gen;
+mod occurrence;
+
+pub use cnf::{Clause, Cnf, Lit, PVar};
+pub use dimacs::{parse_dimacs, to_dimacs, DimacsError};
+pub use dpll::{solve, solve_exhaustive, SatResult};
+pub use gen::{random_3sat, random_3sat_critical};
+pub use occurrence::to_occ3_normal_form;

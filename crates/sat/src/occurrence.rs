@@ -1,0 +1,294 @@
+//! The ≤3-occurrence normal form required by the Section 9 reduction.
+//!
+//! The paper reduces from *"3-SAT where every variable occurs at most 3
+//! times"*, further assuming (w.l.o.g.) that every variable occurs at least
+//! once positively and at least once negatively. This module implements the
+//! classical equisatisfiable transformation into that form:
+//!
+//! 1. drop duplicate literals and tautological clauses;
+//! 2. eliminate pure literals (a variable with a single polarity can always
+//!    be set to satisfy its clauses);
+//! 3. split every remaining variable `p` with `m` occurrences into copies
+//!    `p₁ … p_m` — one per occurrence — chained by the implication cycle
+//!    `(¬p₁ ∨ p₂), (¬p₂ ∨ p₃), …, (¬p_m ∨ p₁)`, which forces all copies
+//!    equal. Each copy then occurs exactly three times, with both
+//!    polarities.
+//!
+//! Variables already occurring 2–3 times with both polarities are kept.
+
+use crate::{Clause, Cnf, Lit, PVar};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Transform `f` into an equisatisfiable 3-CNF in ≤3-occurrence normal
+/// form **without unit clauses** (clauses have 2–3 literals). The Section 9
+/// gadget needs ≥2-literal clauses: a unit clause's root block would be a
+/// singleton, and the padding fact would let a falsifying repair skip
+/// choosing a satisfier for that clause. Unit propagation removes them
+/// while preserving satisfiability; a propagation conflict yields a
+/// canonical small unsatisfiable core already in normal form.
+///
+/// # Panics
+/// Panics if some clause has more than three literals.
+pub fn to_occ3_normal_form(f: &Cnf) -> Cnf {
+    assert!(f.is_3cnf(), "input must be 3-CNF");
+    let mut clauses = clean(f);
+    if !propagate_units(&mut clauses) {
+        return canonical_unsat_core();
+    }
+    eliminate_pure(&mut clauses);
+    split_frequent(&clauses)
+}
+
+/// Unit-propagate to fixpoint. Returns `false` on conflict (formula
+/// unsatisfiable).
+fn propagate_units(clauses: &mut Vec<Clause>) -> bool {
+    loop {
+        let Some(unit) = clauses.iter().find(|c| c.len() == 1).map(|c| c[0]) else {
+            return true;
+        };
+        let mut next = Vec::with_capacity(clauses.len());
+        for c in clauses.iter() {
+            if c.contains(&unit) {
+                continue; // satisfied
+            }
+            let reduced: Clause = c.iter().copied().filter(|l| *l != unit.negated()).collect();
+            if reduced.is_empty() {
+                return false; // conflict
+            }
+            next.push(reduced);
+        }
+        *clauses = next;
+    }
+}
+
+/// A fixed unsatisfiable formula in ≤3-occurrence normal form with only
+/// binary clauses: two variable groups forced equal by implication cycles,
+/// with all four polarity combinations excluded.
+fn canonical_unsat_core() -> Cnf {
+    let a: Vec<PVar> = (0..4).map(PVar).collect();
+    let b: Vec<PVar> = (4..8).map(PVar).collect();
+    let mut f = Cnf::new();
+    f.push(vec![Lit::pos(a[0]), Lit::pos(b[0])]);
+    f.push(vec![Lit::pos(a[1]), Lit::neg(b[1])]);
+    f.push(vec![Lit::neg(a[2]), Lit::pos(b[2])]);
+    f.push(vec![Lit::neg(a[3]), Lit::neg(b[3])]);
+    for grp in [&a, &b] {
+        for i in 0..4 {
+            f.push(vec![Lit::neg(grp[i]), Lit::pos(grp[(i + 1) % 4])]);
+        }
+    }
+    debug_assert!(f.is_occ3_normal_form());
+    f
+}
+
+/// Remove duplicate literals and tautological clauses.
+fn clean(f: &Cnf) -> Vec<Clause> {
+    let mut out = Vec::new();
+    'clause: for c in f.clauses() {
+        let mut lits: Vec<Lit> = c.clone();
+        lits.sort_unstable();
+        lits.dedup();
+        for l in &lits {
+            if lits.contains(&l.negated()) {
+                continue 'clause; // tautology
+            }
+        }
+        out.push(lits);
+    }
+    out
+}
+
+/// Iteratively remove clauses containing a pure literal.
+fn eliminate_pure(clauses: &mut Vec<Clause>) {
+    loop {
+        let mut pol: BTreeMap<PVar, (bool, bool)> = BTreeMap::new();
+        for c in clauses.iter() {
+            for l in c {
+                let e = pol.entry(l.var()).or_insert((false, false));
+                if l.is_positive() {
+                    e.0 = true;
+                } else {
+                    e.1 = true;
+                }
+            }
+        }
+        let pure: BTreeSet<PVar> =
+            pol.iter().filter(|(_, &(p, n))| p != n).map(|(&v, _)| v).collect();
+        if pure.is_empty() {
+            return;
+        }
+        clauses.retain(|c| !c.iter().any(|l| pure.contains(&l.var())));
+    }
+}
+
+/// Split variables with more than three occurrences into cycled copies.
+/// Precondition: every variable occurs with both polarities.
+fn split_frequent(clauses: &[Clause]) -> Cnf {
+    let mut next_var: u32 =
+        clauses.iter().flatten().map(|l| l.var().0 + 1).max().unwrap_or(0);
+    let mut counts: BTreeMap<PVar, usize> = BTreeMap::new();
+    for l in clauses.iter().flatten() {
+        *counts.entry(l.var()).or_insert(0) += 1;
+    }
+    // Copies for each variable needing a split.
+    let mut copies: BTreeMap<PVar, Vec<PVar>> = BTreeMap::new();
+    let mut cursor: BTreeMap<PVar, usize> = BTreeMap::new();
+    for (&v, &m) in &counts {
+        if m > 3 {
+            let vs: Vec<PVar> = (0..m)
+                .map(|_| {
+                    let nv = PVar(next_var);
+                    next_var += 1;
+                    nv
+                })
+                .collect();
+            copies.insert(v, vs);
+            cursor.insert(v, 0);
+        }
+    }
+    let mut out = Cnf::new();
+    for c in clauses {
+        let new_clause: Clause = c
+            .iter()
+            .map(|l| match copies.get(&l.var()) {
+                None => *l,
+                Some(vs) => {
+                    let i = cursor.get_mut(&l.var()).expect("cursor exists");
+                    let nv = vs[*i];
+                    *i += 1;
+                    if l.is_positive() {
+                        Lit::pos(nv)
+                    } else {
+                        Lit::neg(nv)
+                    }
+                }
+            })
+            .collect();
+        out.push(new_clause);
+    }
+    // Implication cycles forcing all copies equal.
+    for vs in copies.values() {
+        let m = vs.len();
+        for i in 0..m {
+            out.push(vec![Lit::neg(vs[i]), Lit::pos(vs[(i + 1) % m])]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpll::{solve, solve_exhaustive};
+
+    fn v(n: u32) -> PVar {
+        PVar(n)
+    }
+
+    #[test]
+    fn already_normal_is_preserved_up_to_sat() {
+        let f = Cnf::from_clauses([
+            vec![Lit::pos(v(0)), Lit::neg(v(1))],
+            vec![Lit::neg(v(0)), Lit::pos(v(1))],
+        ]);
+        let g = to_occ3_normal_form(&f);
+        assert!(g.is_occ3_normal_form() || g.is_empty());
+        assert_eq!(solve(&f).is_sat(), solve(&g).is_sat());
+    }
+
+    #[test]
+    fn frequent_variable_is_split() {
+        // p0 occurs 5 times (3 pos, 2 neg) across five clauses; p1..p5 are
+        // scaffolding so clauses are not pure-eliminated immediately.
+        let f = Cnf::from_clauses([
+            vec![Lit::pos(v(0)), Lit::pos(v(1)), Lit::neg(v(2))],
+            vec![Lit::neg(v(0)), Lit::neg(v(1)), Lit::pos(v(2))],
+            vec![Lit::pos(v(0)), Lit::pos(v(2)), Lit::neg(v(1))],
+            vec![Lit::neg(v(0)), Lit::pos(v(1)), Lit::neg(v(2))],
+            vec![Lit::pos(v(0)), Lit::neg(v(2)), Lit::neg(v(1))],
+        ]);
+        let g = to_occ3_normal_form(&f);
+        assert!(g.is_occ3_normal_form(), "not normal: {g}");
+        assert!(g.is_3cnf());
+        assert_eq!(solve(&f).is_sat(), solve(&g).is_sat());
+    }
+
+    #[test]
+    fn tautologies_dropped() {
+        let f = Cnf::from_clauses([vec![Lit::pos(v(0)), Lit::neg(v(0))]]);
+        let g = to_occ3_normal_form(&f);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn pure_literals_eliminated() {
+        // p0 pure positive: clause removed; remainder p1 also becomes pure.
+        let f = Cnf::from_clauses([
+            vec![Lit::pos(v(0)), Lit::pos(v(1))],
+            vec![Lit::neg(v(1)), Lit::pos(v(2))],
+        ]);
+        let g = to_occ3_normal_form(&f);
+        assert!(g.is_empty()); // everything pure-eliminated; sat.
+        assert!(solve(&f).is_sat());
+    }
+
+    #[test]
+    fn unit_clauses_are_propagated_away() {
+        // (p0)(¬p0 ∨ p1)(¬p1 ∨ p2 ∨ p3)(¬p2 ∨ ¬p3): propagation assigns p0
+        // then p1; the rest stays, without unit clauses.
+        let f = Cnf::from_clauses([
+            vec![Lit::pos(v(0))],
+            vec![Lit::neg(v(0)), Lit::pos(v(1))],
+            vec![Lit::neg(v(1)), Lit::pos(v(2)), Lit::pos(v(3))],
+            vec![Lit::neg(v(2)), Lit::neg(v(3))],
+        ]);
+        let g = to_occ3_normal_form(&f);
+        assert!(g.clauses().iter().all(|c| c.len() >= 2), "unit clauses remain: {g}");
+        assert_eq!(solve(&f).is_sat(), solve(&g).is_sat());
+    }
+
+    #[test]
+    fn unit_conflict_yields_canonical_core() {
+        let f = Cnf::from_clauses([vec![Lit::pos(v(0))], vec![Lit::neg(v(0))]]);
+        let g = to_occ3_normal_form(&f);
+        assert!(!g.is_empty());
+        assert!(g.is_occ3_normal_form());
+        assert!(g.clauses().iter().all(|c| c.len() >= 2));
+        assert!(!solve(&g).is_sat());
+    }
+
+    #[test]
+    fn equisatisfiable_on_random_3cnf() {
+        let mut state = 0xABCDEF12345u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..200 {
+            let n_vars = (next() % 5 + 2) as u32;
+            let mut f = Cnf::new();
+            for _ in 0..(next() % 12) {
+                let clause: Vec<Lit> = (0..3)
+                    .map(|_| {
+                        let var = v((next() % n_vars as u64) as u32);
+                        if next() % 2 == 0 {
+                            Lit::pos(var)
+                        } else {
+                            Lit::neg(var)
+                        }
+                    })
+                    .collect();
+                f.push(clause);
+            }
+            let g = to_occ3_normal_form(&f);
+            assert!(g.is_empty() || g.is_occ3_normal_form(), "trial {trial}: {g}");
+            assert_eq!(
+                solve_exhaustive(&f),
+                solve(&g).is_sat(),
+                "trial {trial}: {f} vs {g}"
+            );
+        }
+    }
+}

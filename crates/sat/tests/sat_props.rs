@@ -1,0 +1,76 @@
+//! Property tests for the SAT substrate: DPLL vs exhaustive reference,
+//! normal-form guarantees, generator shapes.
+
+use cqa_sat::{random_3sat, solve, solve_exhaustive, to_occ3_normal_form, Cnf, Lit, PVar};
+use proptest::prelude::*;
+
+fn cnf_strategy(max_vars: u32, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    let lit = (0..max_vars, any::<bool>())
+        .prop_map(|(v, pos)| if pos { Lit::pos(PVar(v)) } else { Lit::neg(PVar(v)) });
+    let clause = proptest::collection::vec(lit, 1..=3);
+    proptest::collection::vec(clause, 0..max_clauses).prop_map(Cnf::from_clauses)
+}
+
+proptest! {
+    #[test]
+    fn dpll_agrees_with_exhaustive(f in cnf_strategy(6, 10)) {
+        prop_assert_eq!(solve(&f).is_sat(), solve_exhaustive(&f));
+    }
+
+    #[test]
+    fn dpll_witnesses_are_models(f in cnf_strategy(8, 12)) {
+        if let cqa_sat::SatResult::Sat(a) = solve(&f) {
+            prop_assert!(cqa_sat::dpll::eval_with(&f, &a), "witness is not a model of {}", f);
+        }
+    }
+
+    #[test]
+    fn normal_form_is_equisatisfiable(f in cnf_strategy(5, 8)) {
+        let g = to_occ3_normal_form(&f);
+        prop_assert_eq!(solve_exhaustive(&f), solve(&g).is_sat(), "{} vs {}", f, g);
+    }
+
+    #[test]
+    fn normal_form_shape_guarantees(f in cnf_strategy(5, 8)) {
+        let g = to_occ3_normal_form(&f);
+        prop_assert!(g.is_3cnf());
+        // Empty = trivially satisfiable; otherwise full normal form with
+        // no unit clauses.
+        if !g.is_empty() {
+            prop_assert!(g.is_occ3_normal_form(), "not occ3: {}", g);
+            prop_assert!(g.clauses().iter().all(|c| c.len() >= 2), "unit clause in {}", g);
+        }
+    }
+
+    #[test]
+    fn normal_form_is_idempotent_up_to_shape(f in cnf_strategy(4, 6)) {
+        let g = to_occ3_normal_form(&f);
+        let h = to_occ3_normal_form(&g);
+        // A second pass keeps the shape and satisfiability.
+        prop_assert_eq!(solve(&g).is_sat(), solve(&h).is_sat());
+        if !h.is_empty() {
+            prop_assert!(h.is_occ3_normal_form());
+        }
+    }
+
+    #[test]
+    fn occurrence_accounting_is_consistent(f in cnf_strategy(6, 10)) {
+        let occ = f.occurrences();
+        let total: usize = occ.values().map(|&(p, n)| p + n).sum();
+        let lits: usize = f.clauses().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, lits);
+    }
+}
+
+#[test]
+fn random_3sat_is_deterministic_and_shaped() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    for seed in 0..5u64 {
+        let a = random_3sat(&mut StdRng::seed_from_u64(seed), 9, 30);
+        let b = random_3sat(&mut StdRng::seed_from_u64(seed), 9, 30);
+        assert_eq!(a, b);
+        assert!(a.is_3cnf());
+        assert_eq!(a.len(), 30);
+    }
+}

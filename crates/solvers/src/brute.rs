@@ -1,0 +1,313 @@
+//! Brute-force `certain(q)`: the exponential coNP baseline.
+//!
+//! `q` is *not* certain iff some repair falsifies it. Since solutions never
+//! cross q-connected components, a falsifying repair exists iff **every**
+//! component admits a falsifying partial repair — so the search decomposes:
+//! per component, backtrack over its blocks (in BFS order along solution
+//! edges, so conflicts surface close to the choices causing them), never
+//! picking a fact that completes a solution with an already-picked fact.
+//! Worst-case exponential per component — the expected shape on coNP-hard
+//! queries, and exactly what the dichotomy benches measure.
+
+use crate::SolutionSet;
+use cqa_graph::UnionFind;
+use cqa_model::{BlockId, Database, FactId, Repair};
+use cqa_query::Query;
+use std::collections::VecDeque;
+
+/// Outcome of the brute-force search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BruteOutcome {
+    /// Every repair satisfies `q`.
+    Certain,
+    /// A repair falsifying `q` (witness included).
+    NotCertain(Repair),
+    /// The node budget was exhausted before the search finished.
+    BudgetExhausted,
+}
+
+impl BruteOutcome {
+    /// Collapse to a boolean; panics on budget exhaustion.
+    pub fn is_certain(&self) -> bool {
+        match self {
+            BruteOutcome::Certain => true,
+            BruteOutcome::NotCertain(_) => false,
+            BruteOutcome::BudgetExhausted => panic!("brute-force budget exhausted"),
+        }
+    }
+}
+
+/// Group blocks into q-connected components and order each component's
+/// blocks by BFS along solution edges (locality for the backtracker).
+fn component_block_orders(db: &Database, solutions: &SolutionSet) -> Vec<Vec<BlockId>> {
+    let n = db.block_count();
+    let mut uf = UnionFind::new(n);
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in solutions.pairs() {
+        let (ba, bb) = (db.block_of(a).idx(), db.block_of(b).idx());
+        if ba != bb && uf.union(ba, bb) {
+            // adjacency may hold duplicates; BFS tolerates them
+        }
+        if ba != bb {
+            adj[ba].push(bb);
+            adj[bb].push(ba);
+        }
+    }
+    let groups = uf.groups();
+    let mut out = Vec::with_capacity(groups.len());
+    for group in groups {
+        let mut order: Vec<BlockId> = Vec::with_capacity(group.len());
+        let mut in_group = vec![false; n];
+        for &b in &group {
+            in_group[b] = true;
+        }
+        let mut visited = vec![false; n];
+        let mut queue = VecDeque::new();
+        visited[group[0]] = true;
+        queue.push_back(group[0]);
+        while let Some(b) = queue.pop_front() {
+            order.push(BlockId(b as u32));
+            for &nb in &adj[b] {
+                if in_group[nb] && !visited[nb] {
+                    visited[nb] = true;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        // Isolated blocks of the group (no solution edges) come last.
+        for &b in &group {
+            if !visited[b] {
+                order.push(BlockId(b as u32));
+            }
+        }
+        out.push(order);
+    }
+    out
+}
+
+/// Backtracking search for a falsifying repair, with a node budget
+/// (`u64::MAX` for unbounded).
+pub fn certain_brute_budgeted(q: &Query, db: &Database, budget: u64) -> BruteOutcome {
+    let solutions = SolutionSet::enumerate(q, db);
+    certain_brute_with_solutions(q, db, &solutions, budget)
+}
+
+/// [`certain_brute_budgeted`] with pre-computed solutions.
+pub fn certain_brute_with_solutions(
+    _q: &Query,
+    db: &Database,
+    solutions: &SolutionSet,
+    budget: u64,
+) -> BruteOutcome {
+    let components = component_block_orders(db, solutions);
+    let mut chosen: Vec<Option<FactId>> = vec![None; db.block_count()];
+    let mut nodes: u64 = 0;
+
+    for comp in &components {
+        match search(db, solutions, comp, comp.len(), &mut chosen, &mut nodes, budget) {
+            Some(true) => {} // falsifying partial found; chosen[] holds it
+            Some(false) => return BruteOutcome::Certain, // this component forces q
+            None => return BruteOutcome::BudgetExhausted,
+        }
+    }
+    // All components falsified: assemble the full witness.
+    let witness: Vec<FactId> = chosen
+        .iter()
+        .enumerate()
+        .map(|(b, c)| c.unwrap_or_else(|| db.block(BlockId(b as u32))[0]))
+        .collect();
+    let repair = Repair::try_new(db, witness).expect("search produces valid repairs");
+    BruteOutcome::NotCertain(repair)
+}
+
+/// Does picking fact `f` complete a solution against already-chosen facts?
+fn conflicts(db: &Database, solutions: &SolutionSet, chosen: &[Option<FactId>], f: FactId) -> bool {
+    if solutions.self_loop(f) {
+        return true;
+    }
+    solutions
+        .seconds_of(f)
+        .iter()
+        .chain(solutions.firsts_of(f))
+        .any(|&g| chosen[db.block_of(g).idx()] == Some(g))
+}
+
+/// DFS with dynamic fail-first ordering: always branch on the undecided
+/// block with the fewest non-conflicting facts. Forced blocks (a single
+/// viable choice) propagate immediately and empty blocks prune — the
+/// backtracking analogue of unit propagation, which is what makes the
+/// Section 9 gadget databases (long forced chains) tractable when a
+/// falsifying repair exists.
+///
+/// `Some(true)` = falsifying choice found (left in `chosen`),
+/// `Some(false)` = none exists, `None` = out of budget.
+fn search(
+    db: &Database,
+    solutions: &SolutionSet,
+    blocks: &[BlockId],
+    undecided: usize,
+    chosen: &mut Vec<Option<FactId>>,
+    nodes: &mut u64,
+    budget: u64,
+) -> Option<bool> {
+    if undecided == 0 {
+        return Some(true);
+    }
+    // Pick the most constrained undecided block.
+    let mut best: Option<(BlockId, Vec<FactId>)> = None;
+    for &b in blocks {
+        if chosen[b.idx()].is_some() {
+            continue;
+        }
+        let cands: Vec<FactId> = db
+            .block(b)
+            .iter()
+            .copied()
+            .filter(|&f| !conflicts(db, solutions, chosen, f))
+            .collect();
+        match cands.len() {
+            0 => return Some(false), // dead end: some block is unfillable
+            1 => {
+                best = Some((b, cands));
+                break; // forced choice: propagate immediately
+            }
+            n => {
+                if best.as_ref().map_or(true, |(_, c)| n < c.len()) {
+                    best = Some((b, cands));
+                }
+            }
+        }
+    }
+    let (b, cands) = best.expect("undecided > 0 implies an undecided block");
+    for f in cands {
+        *nodes += 1;
+        if *nodes > budget {
+            return None;
+        }
+        chosen[b.idx()] = Some(f);
+        match search(db, solutions, blocks, undecided - 1, chosen, nodes, budget) {
+            Some(true) => return Some(true),
+            Some(false) => {}
+            None => return None,
+        }
+        chosen[b.idx()] = None;
+    }
+    Some(false)
+}
+
+/// `D ⊨ certain(q)` by backtracking search (unbounded budget).
+pub fn certain_brute(q: &Query, db: &Database) -> bool {
+    certain_brute_budgeted(q, db, u64::MAX).is_certain()
+}
+
+/// `D ⊨ certain(q)` by literally enumerating every repair and evaluating
+/// `q` on each — the definitional reference used to validate the
+/// backtracking search in tests. Do not use beyond tiny databases.
+pub fn certain_exhaustive(q: &Query, db: &Database) -> bool {
+    let solutions = SolutionSet::enumerate(q, db);
+    cqa_model::RepairIter::new(db).all(|r| crate::solution::satisfies(&solutions, r.facts()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::{Fact, Signature};
+    use cqa_query::examples;
+
+    fn db2(rows: &[[&str; 2]]) -> Database {
+        let mut db = Database::new(Signature::new(2, 1).unwrap());
+        for row in rows {
+            db.insert(Fact::from_names(row.iter().copied())).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn certain_when_every_repair_has_solution() {
+        // q3 = R(x | y) R(y | z). Single repair {ab, bc} satisfies q3.
+        let d = db2(&[["a", "b"], ["b", "c"]]);
+        assert!(certain_brute(&examples::q3(), &d));
+        assert!(certain_exhaustive(&examples::q3(), &d));
+    }
+
+    #[test]
+    fn not_certain_with_witness() {
+        // Block a = {a->b, a->x}; repair {ax, bc} has no solution.
+        let d = db2(&[["a", "b"], ["a", "x"], ["b", "c"]]);
+        let out = certain_brute_budgeted(&examples::q3(), &d, u64::MAX);
+        match out {
+            BruteOutcome::NotCertain(r) => {
+                let ax = d.id_of(&Fact::from_names(["a", "x"])).unwrap();
+                assert!(r.contains(&d, ax));
+            }
+            other => panic!("expected NotCertain, got {other:?}"),
+        }
+        assert!(!certain_exhaustive(&examples::q3(), &d));
+    }
+
+    #[test]
+    fn self_loop_forces_certainty() {
+        let d = db2(&[["a", "a"]]);
+        assert!(certain_brute(&examples::q3(), &d));
+    }
+
+    #[test]
+    fn empty_database_is_not_certain() {
+        let d = Database::new(Signature::new(2, 1).unwrap());
+        assert!(!certain_brute(&examples::q3(), &d));
+        assert!(!certain_exhaustive(&examples::q3(), &d));
+    }
+
+    #[test]
+    fn mixed_components_decide_correctly() {
+        // Component 1 certain (forced chain), component 2 falsifiable:
+        // overall certain — the certain component forces q in every repair.
+        let d = db2(&[["a", "b"], ["b", "c"], ["p", "q"], ["p", "x"], ["q", "r"]]);
+        assert!(certain_brute(&examples::q3(), &d));
+        assert!(certain_exhaustive(&examples::q3(), &d));
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let d = db2(&[["a", "b"], ["a", "c"], ["b", "a"], ["b", "d"]]);
+        let out = certain_brute_budgeted(&examples::q3(), &d, 1);
+        assert!(matches!(out, BruteOutcome::BudgetExhausted | BruteOutcome::NotCertain(_)));
+    }
+
+    #[test]
+    fn witness_repair_really_falsifies() {
+        let q = examples::q3();
+        let d = db2(&[["a", "b"], ["a", "x"], ["b", "c"], ["z", "w"]]);
+        if let BruteOutcome::NotCertain(r) = certain_brute_budgeted(&q, &d, u64::MAX) {
+            let sols = SolutionSet::enumerate(&q, &d);
+            assert!(!crate::solution::satisfies(&sols, r.facts()));
+        } else {
+            panic!("expected a falsifying repair");
+        }
+    }
+
+    #[test]
+    fn backtracking_agrees_with_exhaustive_on_grid() {
+        // All 3-fact databases over {a,b}², for q3 and q5.
+        let names = ["a", "b"];
+        let mut all_rows = Vec::new();
+        for x in names {
+            for y in names {
+                all_rows.push([x, y]);
+            }
+        }
+        let q = examples::q3();
+        for i in 0..all_rows.len() {
+            for j in (i + 1)..all_rows.len() {
+                for k in (j + 1)..all_rows.len() {
+                    let d = db2(&[all_rows[i], all_rows[j], all_rows[k]]);
+                    assert_eq!(
+                        certain_brute(&q, &d),
+                        certain_exhaustive(&q, &d),
+                        "disagreement on {d:?}"
+                    );
+                }
+            }
+        }
+    }
+}

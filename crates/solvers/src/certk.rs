@@ -1,0 +1,488 @@
+//! The greedy fixpoint algorithm `Cert_k(q)` (Section 5, after \[3\]).
+//!
+//! `Δ_k(q, D)` is the least set of *k-sets* (consistent fact sets of size
+//! ≤ k) closed under:
+//!
+//! * **seeds** — every k-set `S` with `S ⊨ q`;
+//! * **derivation** — add `S` whenever some block `B` satisfies: for every
+//!   fact `u ∈ B` there is `S′ ⊆ S ∪ {u}` with `S′ ∈ Δ_k(q, D)`.
+//!
+//! The invariant is that every repair containing a member of `Δ` satisfies
+//! `q`; the algorithm answers *yes* iff `∅ ∈ Δ`. It is an
+//! under-approximation of `certain(q)` for every `k`, exact for all PTime
+//! self-join-free and path queries (with `k` = number of atoms), and — per
+//! this paper — exact for 2way-determined queries without tripaths
+//! (Proposition 8.2).
+//!
+//! ### Representation
+//! `Δ` is kept as a ⊆-**antichain**: membership tests are all of the form
+//! "`∃ S′ ∈ Δ, S′ ⊆ X`", so supersets of members are redundant. Derivation
+//! candidates are generated per block as minimal unions `⋃_{u∈B} (M_u∖{u})`
+//! over members `M_u ∋ u` — choices with `u ∉ M_u` can be discarded because
+//! they force `S ⊇ M_u`, which the antichain already covers.
+
+use crate::SolutionSet;
+use cqa_model::{BlockId, Database, FactId};
+use cqa_query::Query;
+use std::collections::HashMap;
+
+/// Tuning for [`certk`].
+#[derive(Clone, Copy, Debug)]
+pub struct CertKConfig {
+    /// Maximum k-set size. The paper's proofs use enormous constants
+    /// (`k = 2^{2κ+1} + κ − 1`); in practice small `k` converges — the
+    /// experiment harness measures the k needed per query family.
+    pub k: usize,
+    /// Budget on derivation-search steps; exceeding it returns
+    /// [`CertKOutcome::BudgetExhausted`]. Keeps the algorithm total on
+    /// adversarial inputs where `Δ` blows up.
+    pub node_budget: u64,
+}
+
+impl CertKConfig {
+    /// Configuration with the given `k` and a generous default budget.
+    pub fn new(k: usize) -> CertKConfig {
+        CertKConfig { k, node_budget: 50_000_000 }
+    }
+}
+
+impl Default for CertKConfig {
+    fn default() -> CertKConfig {
+        CertKConfig::new(2)
+    }
+}
+
+/// Result of running `Cert_k(q)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CertKOutcome {
+    /// `∅ ∈ Δ_k(q, D)` — the query is certain (sound for every `k`).
+    Certain,
+    /// The fixpoint completed without deriving `∅`. Not a proof of
+    /// non-certainty unless the query class makes `Cert_k` exact.
+    NotDerived,
+    /// The step budget was exhausted; treat as [`CertKOutcome::NotDerived`]
+    /// for soundness.
+    BudgetExhausted,
+}
+
+impl CertKOutcome {
+    /// `true` for [`CertKOutcome::Certain`].
+    pub fn is_certain(self) -> bool {
+        self == CertKOutcome::Certain
+    }
+}
+
+/// A ⊆-antichain of fact sets with a subset-query index.
+struct Antichain {
+    /// Member slots; `None` marks members removed by superset pruning.
+    sets: Vec<Option<Box<[FactId]>>>,
+    /// fact → indices of (possibly stale) slots containing it.
+    containing: HashMap<FactId, Vec<usize>>,
+    has_empty: bool,
+    live: usize,
+}
+
+impl Antichain {
+    fn new() -> Antichain {
+        Antichain { sets: Vec::new(), containing: HashMap::new(), has_empty: false, live: 0 }
+    }
+
+    /// `∃ member ⊆ s`? (`s` sorted)
+    fn covers(&self, s: &[FactId]) -> bool {
+        if self.has_empty {
+            return true;
+        }
+        // A non-empty member of s must contain some element of s.
+        s.iter().any(|f| {
+            self.containing.get(f).is_some_and(|idxs| {
+                idxs.iter().any(|&i| {
+                    self.sets[i].as_deref().is_some_and(|m| is_subset(m, s))
+                })
+            })
+        })
+    }
+
+    /// Insert `s` (sorted) unless covered; prunes member supersets of `s`.
+    /// Returns `true` if inserted.
+    fn insert(&mut self, s: Vec<FactId>) -> bool {
+        if self.covers(&s) {
+            return false;
+        }
+        if s.is_empty() {
+            self.has_empty = true;
+            self.sets.clear();
+            self.containing.clear();
+            self.live = 1;
+            return true;
+        }
+        // Remove supersets: they all contain s[0].
+        if let Some(idxs) = self.containing.get(&s[0]) {
+            let idxs = idxs.clone();
+            for i in idxs {
+                if let Some(m) = self.sets[i].as_deref() {
+                    if is_subset(&s, m) {
+                        self.sets[i] = None;
+                        self.live -= 1;
+                    }
+                }
+            }
+        }
+        let idx = self.sets.len();
+        for &f in &s {
+            self.containing.entry(f).or_default().push(idx);
+        }
+        self.sets.push(Some(s.into_boxed_slice()));
+        self.live += 1;
+        true
+    }
+
+    /// Live members containing fact `f` (deduplicated view).
+    fn members_with(&self, f: FactId) -> Vec<&[FactId]> {
+        match self.containing.get(&f) {
+            None => Vec::new(),
+            Some(idxs) => idxs.iter().filter_map(|&i| self.sets[i].as_deref()).collect(),
+        }
+    }
+
+}
+
+/// Subset test for sorted slices.
+fn is_subset(small: &[FactId], big: &[FactId]) -> bool {
+    let mut it = big.iter();
+    'outer: for x in small {
+        for y in it.by_ref() {
+            if y == x {
+                continue 'outer;
+            }
+            if y > x {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Insert `f` into the sorted set `v` if consistent; `None` when `v`
+/// already holds a *different* fact of `f`'s block (not a k-set) .
+fn add_consistent(db: &Database, v: &[FactId], f: FactId) -> Option<Vec<FactId>> {
+    let bf = db.block_of(f);
+    for &g in v {
+        if g == f {
+            return Some(v.to_vec());
+        }
+        if db.block_of(g) == bf {
+            return None;
+        }
+    }
+    let mut out = v.to_vec();
+    let pos = out.partition_point(|&g| g < f);
+    out.insert(pos, f);
+    Some(out)
+}
+
+/// Execution statistics of one `Cert_k` run — the instrumentation behind
+/// the paper's concluding conjecture that FO-solvable queries are exactly
+/// those whose fixpoint terminates in a *bounded* number of rounds
+/// irrespective of database size.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CertKStats {
+    /// Fixpoint rounds executed (full passes over all blocks).
+    pub rounds: usize,
+    /// Number of antichain members ever inserted (seeds + derived).
+    pub inserted: usize,
+    /// Derivation-search steps consumed.
+    pub steps: u64,
+}
+
+/// Run `Cert_k(q)` on `db`.
+pub fn certk(q: &Query, db: &Database, cfg: CertKConfig) -> CertKOutcome {
+    let solutions = SolutionSet::enumerate(q, db);
+    certk_with_solutions(q, db, &solutions, cfg)
+}
+
+/// [`certk`] with pre-computed solutions (shared with other solvers).
+pub fn certk_with_solutions(
+    q: &Query,
+    db: &Database,
+    solutions: &SolutionSet,
+    cfg: CertKConfig,
+) -> CertKOutcome {
+    certk_with_stats(q, db, solutions, cfg).0
+}
+
+/// [`certk_with_solutions`] returning execution statistics alongside the
+/// outcome.
+pub fn certk_with_stats(
+    _q: &Query,
+    db: &Database,
+    solutions: &SolutionSet,
+    cfg: CertKConfig,
+) -> (CertKOutcome, CertKStats) {
+    let mut stats = CertKStats::default();
+    if cfg.k == 0 {
+        return (CertKOutcome::NotDerived, stats);
+    }
+    let mut chain = Antichain::new();
+    let mut budget = cfg.node_budget;
+
+    // Seeds: solutions that fit in a k-set.
+    for &(a, b) in solutions.pairs() {
+        if a == b {
+            stats.inserted += chain.insert(vec![a]) as usize;
+        } else if !db.key_equal(a, b) && cfg.k >= 2 {
+            let mut s = vec![a, b];
+            s.sort_unstable();
+            stats.inserted += chain.insert(s) as usize;
+        }
+        // Distinct key-equal facts can never share a repair: no seed.
+    }
+
+    let blocks: Vec<BlockId> = db.block_ids().collect();
+    loop {
+        if chain.has_empty {
+            stats.steps = cfg.node_budget - budget;
+            return (CertKOutcome::Certain, stats);
+        }
+        stats.rounds += 1;
+        let mut changed = false;
+        for &b in &blocks {
+            match derive_block(db, &chain, b, cfg.k, &mut budget) {
+                Ok(cands) => {
+                    for c in cands {
+                        if chain.insert(c) {
+                            stats.inserted += 1;
+                            changed = true;
+                        }
+                    }
+                }
+                Err(()) => {
+                    stats.steps = cfg.node_budget;
+                    return (CertKOutcome::BudgetExhausted, stats);
+                }
+            }
+            if chain.has_empty {
+                stats.steps = cfg.node_budget - budget;
+                return (CertKOutcome::Certain, stats);
+            }
+        }
+        if !changed {
+            stats.steps = cfg.node_budget - budget;
+            return (CertKOutcome::NotDerived, stats);
+        }
+    }
+}
+
+/// Candidate minimal unions for one block, or `Err(())` on budget
+/// exhaustion.
+fn derive_block(
+    db: &Database,
+    chain: &Antichain,
+    block: BlockId,
+    k: usize,
+    budget: &mut u64,
+) -> Result<Vec<Vec<FactId>>, ()> {
+    let facts = db.block(block);
+    // Requirement family R_u = minimal { M \ {u} : M ∈ Δ, u ∈ M }.
+    let mut reqs: Vec<Vec<Vec<FactId>>> = Vec::with_capacity(facts.len());
+    for &u in facts {
+        let mut ts: Vec<Vec<FactId>> = chain
+            .members_with(u)
+            .into_iter()
+            .map(|m| m.iter().copied().filter(|&f| f != u).collect::<Vec<_>>())
+            .collect();
+        ts.sort();
+        ts.dedup();
+        // Keep only ⊆-minimal requirement sets.
+        let mut minimal: Vec<Vec<FactId>> = Vec::new();
+        'next: for t in ts {
+            if minimal.iter().any(|m| is_subset(m, &t)) {
+                continue 'next;
+            }
+            minimal.retain(|m| !is_subset(&t, m));
+            minimal.push(t);
+        }
+        if minimal.is_empty() {
+            // This fact can never be discharged: the block derives nothing.
+            return Ok(Vec::new());
+        }
+        reqs.push(minimal);
+    }
+    // Process facts with fewest options first for earlier pruning.
+    let mut order: Vec<usize> = (0..reqs.len()).collect();
+    order.sort_by_key(|&i| reqs[i].len());
+
+    let mut out = Vec::new();
+    let mut stack: Vec<(usize, Vec<FactId>)> = vec![(0, Vec::new())];
+    while let Some((depth, partial)) = stack.pop() {
+        *budget = budget.checked_sub(1).ok_or(())?;
+        if *budget == 0 {
+            return Err(());
+        }
+        if depth == order.len() {
+            out.push(partial);
+            continue;
+        }
+        for t in &reqs[order[depth]] {
+            // Union t into partial, maintaining consistency and the size cap.
+            let mut union = Some(partial.clone());
+            for &f in t {
+                union = union.and_then(|v| add_consistent(db, &v, f));
+                if union.as_ref().is_some_and(|v| v.len() > k) {
+                    union = None;
+                }
+                if union.is_none() {
+                    break;
+                }
+            }
+            if let Some(u) = union {
+                // Monotone prune: a covered partial union stays covered.
+                if !chain.covers(&u) {
+                    stack.push((depth + 1, u));
+                } else if depth + 1 == order.len() {
+                    // Covered final candidates are redundant: skip.
+                }
+            }
+        }
+    }
+    // Deduplicate candidates.
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+/// Convenience wrapper: `Cert_2(q)` — the instance Theorem 6.1 proves
+/// complete for queries failing condition (1) of Theorem 4.2.
+pub fn cert2(q: &Query, db: &Database) -> CertKOutcome {
+    certk(q, db, CertKConfig::new(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::certain_brute;
+    use cqa_model::{Fact, Signature};
+    use cqa_query::examples;
+
+    fn db2(rows: &[[&str; 2]]) -> Database {
+        let mut db = Database::new(Signature::new(2, 1).unwrap());
+        for row in rows {
+            db.insert(Fact::from_names(row.iter().copied())).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn certain_chain() {
+        let d = db2(&[["a", "b"], ["b", "c"]]);
+        assert_eq!(cert2(&examples::q3(), &d), CertKOutcome::Certain);
+    }
+
+    #[test]
+    fn not_certain_with_alternative() {
+        let d = db2(&[["a", "b"], ["a", "x"], ["b", "c"]]);
+        assert_eq!(cert2(&examples::q3(), &d), CertKOutcome::NotDerived);
+    }
+
+    #[test]
+    fn derivation_through_blocks() {
+        // Block a = {a->b, a->c}; blocks b = {b->d}, c = {c->d}: every
+        // repair contains a solution for q3 (either (ab,bd) or (ac,cd)).
+        let d = db2(&[["a", "b"], ["a", "c"], ["b", "d"], ["c", "d"]]);
+        assert!(certain_brute(&examples::q3(), &d));
+        assert_eq!(cert2(&examples::q3(), &d), CertKOutcome::Certain);
+    }
+
+    #[test]
+    fn self_loop_seed() {
+        let d = db2(&[["a", "a"]]);
+        assert_eq!(cert2(&examples::q3(), &d), CertKOutcome::Certain);
+        // Even k = 1 suffices for a self-loop in a singleton block.
+        assert_eq!(certk(&examples::q3(), &d, CertKConfig::new(1)), CertKOutcome::Certain);
+    }
+
+    #[test]
+    fn k_zero_never_derives() {
+        let d = db2(&[["a", "a"]]);
+        assert_eq!(certk(&examples::q3(), &d, CertKConfig::new(0)), CertKOutcome::NotDerived);
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        // If Cert_k says yes then Cert_{k+1} must too.
+        let dbs = [
+            db2(&[["a", "b"], ["b", "c"]]),
+            db2(&[["a", "b"], ["a", "c"], ["b", "d"], ["c", "d"]]),
+            db2(&[["a", "b"], ["a", "x"], ["b", "c"]]),
+            db2(&[["a", "a"], ["a", "b"]]),
+        ];
+        let q = examples::q3();
+        for d in &dbs {
+            let mut prev = false;
+            for k in 1..=4 {
+                let now = certk(&q, d, CertKConfig::new(k)).is_certain();
+                assert!(!prev || now, "Cert_k not monotone in k on {d:?}");
+                prev = now;
+            }
+        }
+    }
+
+    #[test]
+    fn certk_under_approximates_certain() {
+        // Soundness on a grid of small databases for several queries.
+        let names = ["a", "b"];
+        let mut all_rows = Vec::new();
+        for x in names {
+            for y in names {
+                all_rows.push([x, y]);
+            }
+        }
+        let mut dbs = Vec::new();
+        for mask in 1u32..(1 << all_rows.len()) {
+            let rows: Vec<[&str; 2]> = (0..all_rows.len())
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| all_rows[i])
+                .collect();
+            dbs.push(db2(&rows));
+        }
+        let q = examples::q3();
+        for d in &dbs {
+            if cert2(&q, d).is_certain() {
+                assert!(certain_brute(&q, d), "Cert_2 unsound on {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let d = db2(&[["a", "b"], ["b", "c"], ["c", "d"], ["d", "e"]]);
+        let out = certk(&examples::q3(), &d, CertKConfig { k: 2, node_budget: 1 });
+        assert_eq!(out, CertKOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn cert2_complete_for_thm61_query_on_small_grid() {
+        // Theorem 6.1: for q3 (condition (1) false), certain(q) = Cert_2(q).
+        // Exhaustive check on all databases with ≤ 4 facts over {a,b} x {a,b}.
+        let names = ["a", "b"];
+        let mut all_rows = Vec::new();
+        for x in names {
+            for y in names {
+                all_rows.push([x, y]);
+            }
+        }
+        let q = examples::q3();
+        for mask in 1u32..(1 << all_rows.len()) {
+            let rows: Vec<[&str; 2]> = (0..all_rows.len())
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| all_rows[i])
+                .collect();
+            let d = db2(&rows);
+            assert_eq!(
+                cert2(&q, &d).is_certain(),
+                certain_brute(&q, &d),
+                "Theorem 6.1 violated on {d:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The combined polynomial-time solver of Theorem 10.5.
+//!
+//! For a 2way-determined query with no fork-tripath,
+//! `certain(q) = Cert_k(q) ∨ ¬matching(q)`. The practical evaluator
+//! implemented here additionally exploits the component partition of
+//! Proposition 10.6: it splits `D` into q-connected components and decides
+//! each with the cheaper applicable algorithm — `¬matching` on
+//! clique-database components (exact there by Proposition 10.3), `Cert_k`
+//! on the rest (exact there when the query has no fork-tripath, since such
+//! components contain no tripath at all).
+
+use crate::certk::{certk_with_solutions, CertKConfig, CertKOutcome};
+use crate::components::q_connected_components_with_solutions;
+use crate::matching::analyze_with_solutions;
+use crate::SolutionSet;
+use cqa_model::Database;
+use cqa_query::Query;
+
+/// How a component (or the whole database) was decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecidedBy {
+    /// `¬matching(q)` on a clique-database component.
+    Matching,
+    /// The greedy fixpoint `Cert_k(q)`.
+    CertK,
+}
+
+/// Per-component trace of [`certain_combined`].
+#[derive(Clone, Debug)]
+pub struct ComponentVerdict {
+    /// Facts in the component.
+    pub size: usize,
+    /// Which algorithm decided it.
+    pub decided_by: DecidedBy,
+    /// Was the component certain?
+    pub certain: bool,
+    /// Did `Cert_k` hit its budget (conservatively treated as "no")?
+    pub budget_exhausted: bool,
+}
+
+/// Result of the combined solver.
+#[derive(Clone, Debug)]
+pub struct CombinedResult {
+    /// `D ⊨ certain(q)`.
+    pub certain: bool,
+    /// Per-component evidence.
+    pub components: Vec<ComponentVerdict>,
+}
+
+/// Decide `certain(q)` via the Theorem 10.5 / Proposition 10.6 combination.
+/// Complete for 2way-determined queries without fork-tripaths; sound (an
+/// under-approximation) for every 2way-determined query.
+pub fn certain_combined(q: &Query, db: &Database, cfg: CertKConfig) -> CombinedResult {
+    let solutions = SolutionSet::enumerate(q, db);
+    let comps = q_connected_components_with_solutions(q, db, &solutions);
+    let mut verdicts = Vec::with_capacity(comps.len());
+    let mut any = false;
+    for comp in &comps {
+        let comp_solutions = SolutionSet::enumerate(q, &comp.db);
+        let analysis = analyze_with_solutions(q, &comp.db, &comp_solutions);
+        let verdict = if analysis.is_clique_database {
+            ComponentVerdict {
+                size: comp.db.len(),
+                decided_by: DecidedBy::Matching,
+                certain: !analysis.accepts,
+                budget_exhausted: false,
+            }
+        } else {
+            let out = certk_with_solutions(q, &comp.db, &comp_solutions, cfg);
+            ComponentVerdict {
+                size: comp.db.len(),
+                decided_by: DecidedBy::CertK,
+                certain: out.is_certain(),
+                budget_exhausted: out == CertKOutcome::BudgetExhausted,
+            }
+        };
+        any |= verdict.certain;
+        verdicts.push(verdict);
+    }
+    CombinedResult { certain: any, components: verdicts }
+}
+
+/// The literal statement of Theorem 10.5 — `Cert_k(q) ∨ ¬matching(q)` on
+/// the whole database, without the component optimisation. Kept for
+/// cross-validation against [`certain_combined`].
+pub fn certain_thm105_literal(q: &Query, db: &Database, cfg: CertKConfig) -> bool {
+    let solutions = SolutionSet::enumerate(q, db);
+    if certk_with_solutions(q, db, &solutions, cfg).is_certain() {
+        return true;
+    }
+    !analyze_with_solutions(q, db, &solutions).accepts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::certain_brute;
+    use cqa_model::{Fact, Signature};
+    use cqa_query::examples;
+
+    fn q6_db(rows: &[[&str; 3]]) -> Database {
+        let mut db = Database::new(Signature::new(3, 1).unwrap());
+        for row in rows {
+            db.insert(Fact::from_names(row.iter().copied())).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn triangle_decided_by_matching() {
+        let db = q6_db(&[["a", "b", "c"], ["c", "a", "b"], ["b", "c", "a"]]);
+        let res = certain_combined(&examples::q6(), &db, CertKConfig::new(2));
+        assert!(res.certain);
+        assert_eq!(res.components.len(), 1);
+        assert_eq!(res.components[0].decided_by, DecidedBy::Matching);
+        assert!(certain_brute(&examples::q6(), &db));
+    }
+
+    #[test]
+    fn literal_and_component_variants_agree() {
+        let q = examples::q6();
+        let dbs = [
+            q6_db(&[["a", "b", "c"], ["c", "a", "b"], ["b", "c", "a"]]),
+            q6_db(&[["a", "b", "c"], ["d", "e", "f"]]),
+            q6_db(&[["a", "b", "c"], ["a", "x", "y"], ["c", "a", "b"], ["b", "c", "a"]]),
+        ];
+        for db in &dbs {
+            let combined = certain_combined(&q, db, CertKConfig::new(2)).certain;
+            let literal = certain_thm105_literal(&q, db, CertKConfig::new(2));
+            let brute = certain_brute(&q, db);
+            assert_eq!(combined, brute, "component variant wrong on {db:?}");
+            assert_eq!(literal, brute, "literal variant wrong on {db:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_components() {
+        // One certain triangle component + one falsifiable component.
+        let db = q6_db(&[
+            ["a", "b", "c"],
+            ["c", "a", "b"],
+            ["b", "c", "a"],
+            ["p", "q", "r"],
+            ["p", "s", "t"],
+        ]);
+        let res = certain_combined(&examples::q6(), &db, CertKConfig::new(2));
+        assert!(res.certain);
+        assert_eq!(res.components.len(), 2);
+        assert!(certain_brute(&examples::q6(), &db));
+    }
+}

@@ -1,0 +1,117 @@
+//! The q-connected-component partition (Proposition 10.6).
+//!
+//! Two blocks `B`, `B′` are *q-connected* when `(B, B′)` is in the
+//! reflexive-symmetric-transitive closure of
+//! `{(B₁, B₂) : ∃a ∈ B₁, b ∈ B₂, D ⊨ q{a b}}`. The partition of `D` into
+//! q-connected components `C₁ … C_n` satisfies:
+//!
+//! 1. each `Cᵢ` contains no tripath or is a clique-database (paper's main
+//!    technical lemma — exploited by the combined solver);
+//! 2. `D ⊨ certain(q)` iff some `Cᵢ ⊨ certain(q)`;
+//! 3. `Cᵢ ⊨ Cert_k(q)` for some `i` implies `D ⊨ Cert_k(q)`;
+//! 4. `D ⊨ matching(q)` implies `Cᵢ ⊨ matching(q)` for all `i`.
+
+use crate::SolutionSet;
+use cqa_graph::UnionFind;
+use cqa_model::{Database, FactId};
+use cqa_query::Query;
+
+/// One q-connected component: a sub-database plus the original fact ids it
+/// was carved from.
+#[derive(Clone, Debug)]
+pub struct Component {
+    /// The component as a standalone database (fact ids re-assigned).
+    pub db: Database,
+    /// The ids of the component's facts in the parent database.
+    pub original_facts: Vec<FactId>,
+}
+
+/// Partition `db` into q-connected components.
+pub fn q_connected_components(q: &Query, db: &Database) -> Vec<Component> {
+    let solutions = SolutionSet::enumerate(q, db);
+    q_connected_components_with_solutions(q, db, &solutions)
+}
+
+/// [`q_connected_components`] with pre-computed solutions.
+pub fn q_connected_components_with_solutions(
+    _q: &Query,
+    db: &Database,
+    solutions: &SolutionSet,
+) -> Vec<Component> {
+    let mut uf = UnionFind::new(db.block_count());
+    for &(a, b) in solutions.pairs() {
+        uf.union(db.block_of(a).idx(), db.block_of(b).idx());
+    }
+    uf.groups()
+        .into_iter()
+        .map(|block_group| {
+            let mut original_facts = Vec::new();
+            for bi in block_group {
+                original_facts.extend(db.block(cqa_model::BlockId(bi as u32)).iter().copied());
+            }
+            let sub = db.restrict(original_facts.iter().copied());
+            Component { db: sub, original_facts }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::certain_brute;
+    use cqa_model::{Fact, Signature};
+    use cqa_query::examples;
+
+    fn db2(rows: &[[&str; 2]]) -> Database {
+        let mut db = Database::new(Signature::new(2, 1).unwrap());
+        for row in rows {
+            db.insert(Fact::from_names(row.iter().copied())).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn disconnected_chains_split() {
+        // Two q3-chains over disjoint elements plus an isolated block.
+        let d = db2(&[["a", "b"], ["b", "c"], ["p", "q"], ["q", "r"], ["z", "w"]]);
+        let comps = q_connected_components(&examples::q3(), &d);
+        assert_eq!(comps.len(), 3);
+        let sizes: Vec<usize> = comps.iter().map(|c| c.db.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), d.len());
+    }
+
+    #[test]
+    fn blocks_stay_whole() {
+        // A block's facts always land in the same component, even those not
+        // participating in any solution.
+        let d = db2(&[["a", "b"], ["a", "zzz"], ["b", "c"]]);
+        let comps = q_connected_components(&examples::q3(), &d);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].db.len(), 3);
+    }
+
+    #[test]
+    fn certain_iff_some_component_certain() {
+        // Prop 10.6 (2) checked on a mixed database: one certain chain and
+        // one falsifiable chain.
+        let q = examples::q3();
+        let certain_part = &[["a", "b"], ["b", "c"]]; // certain
+        let falsifiable = &[["p", "q"], ["p", "x"], ["q", "r"]]; // not certain
+        let mut rows: Vec<[&str; 2]> = Vec::new();
+        rows.extend_from_slice(certain_part);
+        rows.extend_from_slice(falsifiable);
+        let d = db2(&rows);
+        assert!(certain_brute(&q, &d));
+        let comps = q_connected_components(&q, &d);
+        assert_eq!(comps.len(), 2);
+        let verdicts: Vec<bool> = comps.iter().map(|c| certain_brute(&q, &c.db)).collect();
+        assert!(verdicts.iter().any(|&v| v));
+        assert!(!verdicts.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn empty_database_yields_no_components() {
+        let d = Database::new(Signature::new(2, 1).unwrap());
+        assert!(q_connected_components(&examples::q3(), &d).is_empty());
+    }
+}

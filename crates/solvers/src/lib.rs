@@ -1,0 +1,28 @@
+//! # cqa-solvers — every `certain(q)` algorithm in the paper
+//!
+//! * [`SolutionSet`] — hash-join solution enumeration and the solution
+//!   graph `G(D, q)`;
+//! * [`brute`] — the exponential baseline (backtracking over repairs, plus
+//!   a definitional exhaustive checker);
+//! * [`certk`] — the greedy fixpoint `Cert_k(q)` of Section 5;
+//! * [`matching`] — the bipartite-matching algorithm of Section 10.1;
+//! * [`components`] — the q-connected partition of Proposition 10.6;
+//! * [`combined`] — the Theorem 10.5 combination `Cert_k ∨ ¬matching`
+//!   deciding all PTime 2way-determined cases.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod certk;
+pub mod combined;
+pub mod components;
+pub mod matching;
+pub mod solution;
+
+pub use brute::{certain_brute, certain_brute_budgeted, certain_exhaustive, BruteOutcome};
+pub use certk::{cert2, certk, certk_with_stats, CertKConfig, CertKOutcome, CertKStats};
+pub use combined::{certain_combined, certain_thm105_literal, CombinedResult, DecidedBy};
+pub use components::{q_connected_components, Component};
+pub use matching::{certain_by_matching, is_clique_database, matching_accepts, MatchingAnalysis};
+pub use solution::SolutionSet;

@@ -1,0 +1,261 @@
+//! Solution enumeration and the solution graph `G(D, q)`.
+//!
+//! A solution to `q = A B` in `D` is a pair `(a, b)` of facts with a single
+//! substitution `μ` sending `A ↦ a` and `B ↦ b` (Section 2). We enumerate
+//! all solutions with a hash join: scan facts matching `A`'s internal
+//! equality pattern, index facts matching `B` by their projection onto the
+//! shared variables, then probe.
+
+use cqa_query::{match_pair, Query, Subst, Var};
+use cqa_graph::Undirected;
+use cqa_model::{Database, Elem, FactId};
+use std::collections::{HashMap, HashSet};
+
+/// All solutions of a query in a database, with lookup indexes.
+#[derive(Clone, Debug, Default)]
+pub struct SolutionSet {
+    pairs: Vec<(FactId, FactId)>,
+    pair_set: HashSet<(FactId, FactId)>,
+    by_first: HashMap<FactId, Vec<FactId>>,
+    by_second: HashMap<FactId, Vec<FactId>>,
+}
+
+impl SolutionSet {
+    /// Enumerate every ordered solution `q(a b)` in `db`.
+    pub fn enumerate(q: &Query, db: &Database) -> SolutionSet {
+        let shared: Vec<Var> = q.shared_vars().into_iter().collect();
+        // First position of each shared variable inside B.
+        let probe_positions: Vec<usize> =
+            shared.iter().map(|v| q.b().positions_of(v)[0]).collect();
+
+        // Index the B-side: facts matching B's pattern, keyed by their
+        // projection onto the shared variables.
+        let mut b_index: HashMap<Vec<Elem>, Vec<FactId>> = HashMap::new();
+        for (id, fact) in db.facts() {
+            let mut mu = Subst::new();
+            if mu.match_atom(q.b(), fact) {
+                let key: Vec<Elem> = probe_positions.iter().map(|&i| fact.at(i)).collect();
+                b_index.entry(key).or_default().push(id);
+            }
+        }
+
+        let mut set = SolutionSet::default();
+        for (id, fact) in db.facts() {
+            let mut mu = Subst::new();
+            if !mu.match_atom(q.a(), fact) {
+                continue;
+            }
+            let key: Vec<Elem> = shared
+                .iter()
+                .map(|v| mu.get(v).expect("shared variable must be bound by A"))
+                .collect();
+            if let Some(candidates) = b_index.get(&key) {
+                for &b_id in candidates {
+                    debug_assert!(match_pair(q, fact, db.fact(b_id)).is_some());
+                    set.push(id, b_id);
+                }
+            }
+        }
+        set
+    }
+
+    fn push(&mut self, a: FactId, b: FactId) {
+        if self.pair_set.insert((a, b)) {
+            self.pairs.push((a, b));
+            self.by_first.entry(a).or_default().push(b);
+            self.by_second.entry(b).or_default().push(a);
+        }
+    }
+
+    /// All ordered solutions `(a, b)`.
+    pub fn pairs(&self) -> &[(FactId, FactId)] {
+        &self.pairs
+    }
+
+    /// Number of ordered solutions.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` iff the query has no solution at all in the database.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// `q(a b)`?
+    pub fn holds(&self, a: FactId, b: FactId) -> bool {
+        self.pair_set.contains(&(a, b))
+    }
+
+    /// `q{a b}` — `q(a b) ∨ q(b a)`?
+    pub fn holds_unordered(&self, a: FactId, b: FactId) -> bool {
+        self.holds(a, b) || self.holds(b, a)
+    }
+
+    /// `q(a a)`?
+    pub fn self_loop(&self, a: FactId) -> bool {
+        self.holds(a, a)
+    }
+
+    /// Facts `b` with `q(a b)`.
+    pub fn seconds_of(&self, a: FactId) -> &[FactId] {
+        self.by_first.get(&a).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Facts `c` with `q(c b)`.
+    pub fn firsts_of(&self, b: FactId) -> &[FactId] {
+        self.by_second.get(&b).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Neighbours of `a` in the solution graph: every `b ≠ a` with `q{a b}`,
+    /// deduplicated, plus information about the loop is available via
+    /// [`SolutionSet::self_loop`].
+    pub fn partners(&self, a: FactId) -> Vec<FactId> {
+        let mut out: Vec<FactId> = self
+            .seconds_of(a)
+            .iter()
+            .chain(self.firsts_of(a))
+            .copied()
+            .filter(|&b| b != a)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The undirected solution graph `G(D, q)` over fact ids (Section 10.1):
+    /// vertices are the facts of `db`, an edge `{a, b}` iff `D ⊨ q{a b}`,
+    /// plus a self-loop on `a` iff `q(a a)`.
+    pub fn graph(&self, db: &Database) -> Undirected {
+        let mut g = Undirected::new(db.len());
+        for &(a, b) in &self.pairs {
+            g.add_edge(a.idx(), b.idx());
+        }
+        g
+    }
+}
+
+/// Does the *consistent* fact set `facts` (e.g. a repair) satisfy `q`?
+/// Checks all pairs against the pre-computed solution set.
+pub fn satisfies(solutions: &SolutionSet, facts: &[FactId]) -> bool {
+    // Any solution whose both endpoints are chosen facts witnesses q.
+    // Iterating over chosen facts and their partner lists is O(Σ deg).
+    let chosen: HashSet<FactId> = facts.iter().copied().collect();
+    facts.iter().any(|&a| {
+        (solutions.self_loop(a) && chosen.contains(&a))
+            || solutions.seconds_of(a).iter().any(|b| chosen.contains(b))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::{Fact, Signature};
+    use cqa_query::examples;
+
+    fn db_from(sig: Signature, rows: &[&[&str]]) -> Database {
+        let mut db = Database::new(sig);
+        for row in rows {
+            db.insert(Fact::from_names(row.iter().copied())).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn q2_solutions_via_join() {
+        // q2 = R(x u | x y) R(u y | x z). a = R(a b a c), b = R(b c a d).
+        let q = examples::q2();
+        let db = db_from(
+            Signature::new(4, 2).unwrap(),
+            &[&["a", "b", "a", "c"], &["b", "c", "a", "d"], &["b", "c", "b", "d"]],
+        );
+        let sols = SolutionSet::enumerate(&q, &db);
+        let a = db.id_of(&Fact::from_names(["a", "b", "a", "c"])).unwrap();
+        let b = db.id_of(&Fact::from_names(["b", "c", "a", "d"])).unwrap();
+        let c = db.id_of(&Fact::from_names(["b", "c", "b", "d"])).unwrap();
+        assert!(sols.holds(a, b));
+        assert!(!sols.holds(b, a));
+        assert!(!sols.holds(a, c)); // x must recur at position 2
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols.partners(a), vec![b]);
+    }
+
+    #[test]
+    fn self_loops_detected() {
+        let q = examples::q3(); // R(x | y) R(y | z)
+        let db = db_from(Signature::new(2, 1).unwrap(), &[&["a", "a"], &["b", "c"]]);
+        let sols = SolutionSet::enumerate(&q, &db);
+        let aa = db.id_of(&Fact::from_names(["a", "a"])).unwrap();
+        assert!(sols.self_loop(aa));
+    }
+
+    #[test]
+    fn chain_solutions_for_q3() {
+        // R(a b), R(b c), R(c d): q3 solutions (ab, bc), (bc, cd).
+        let q = examples::q3();
+        let db = db_from(Signature::new(2, 1).unwrap(), &[&["a", "b"], &["b", "c"], &["c", "d"]]);
+        let sols = SolutionSet::enumerate(&q, &db);
+        assert_eq!(sols.len(), 2);
+        let ab = db.id_of(&Fact::from_names(["a", "b"])).unwrap();
+        let bc = db.id_of(&Fact::from_names(["b", "c"])).unwrap();
+        let cd = db.id_of(&Fact::from_names(["c", "d"])).unwrap();
+        assert!(sols.holds(ab, bc));
+        assert!(sols.holds(bc, cd));
+        assert!(!sols.holds(ab, cd));
+        assert!(sols.holds_unordered(cd, bc));
+    }
+
+    #[test]
+    fn graph_matches_solutions() {
+        let q = examples::q3();
+        let db = db_from(Signature::new(2, 1).unwrap(), &[&["a", "b"], &["b", "c"], &["x", "y"]]);
+        let sols = SolutionSet::enumerate(&q, &db);
+        let g = sols.graph(&db);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.components().len(), 2);
+    }
+
+    #[test]
+    fn satisfies_detects_chosen_solutions() {
+        let q = examples::q3();
+        let db = db_from(Signature::new(2, 1).unwrap(), &[&["a", "b"], &["b", "c"], &["x", "y"]]);
+        let sols = SolutionSet::enumerate(&q, &db);
+        let ab = db.id_of(&Fact::from_names(["a", "b"])).unwrap();
+        let bc = db.id_of(&Fact::from_names(["b", "c"])).unwrap();
+        let xy = db.id_of(&Fact::from_names(["x", "y"])).unwrap();
+        assert!(satisfies(&sols, &[ab, bc]));
+        assert!(!satisfies(&sols, &[ab, xy]));
+        assert!(!satisfies(&sols, &[ab]));
+        assert!(!satisfies(&sols, &[]));
+    }
+
+    #[test]
+    fn enumeration_agrees_with_naive_product(){
+        // Cross-check the hash join against the O(n^2) definition.
+        let q = examples::q5(); // R(x | y x) R(y | x u)
+        let sig = Signature::new(3, 1).unwrap();
+        let names = ["a", "b", "c"];
+        let mut rows: Vec<Vec<&str>> = Vec::new();
+        for x in names {
+            for y in names {
+                for z in names {
+                    rows.push(vec![x, y, z]);
+                }
+            }
+        }
+        let mut db = Database::new(sig);
+        for r in &rows {
+            db.insert(Fact::from_names(r.iter().copied())).unwrap();
+        }
+        let sols = SolutionSet::enumerate(&q, &db);
+        for (ia, fa) in db.facts() {
+            for (ib, fb) in db.facts() {
+                assert_eq!(
+                    sols.holds(ia, ib),
+                    cqa_query::is_solution(&q, fa, fb),
+                    "disagreement on ({fa}, {fb})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the solver layer: soundness orderings, budget
+//! monotonicity, component decomposition laws.
+
+use cqa_model::{Database, Elem, Fact, Signature};
+use cqa_query::examples;
+use cqa_solvers::{
+    certain_brute, certain_brute_budgeted, certain_by_matching, certain_exhaustive, certk,
+    q_connected_components, BruteOutcome, CertKConfig, SolutionSet,
+};
+use proptest::prelude::*;
+
+fn q3_db_strategy() -> impl Strategy<Value = Database> {
+    let fact = proptest::collection::vec(0u8..4, 2);
+    proptest::collection::vec(fact, 1..8).prop_map(|rows| {
+        let mut db = Database::new(Signature::new(2, 1).unwrap());
+        for row in rows {
+            let t: Vec<Elem> = row.into_iter().map(|v| Elem::int(v as i64)).collect();
+            db.insert(Fact::r(t)).unwrap();
+        }
+        db
+    })
+}
+
+fn q6_db_strategy() -> impl Strategy<Value = Database> {
+    let fact = proptest::collection::vec(0u8..3, 3);
+    proptest::collection::vec(fact, 1..7).prop_map(|rows| {
+        let mut db = Database::new(Signature::new(3, 1).unwrap());
+        for row in rows {
+            let t: Vec<Elem> = row.into_iter().map(|v| Elem::int(v as i64)).collect();
+            db.insert(Fact::r(t)).unwrap();
+        }
+        db
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn brute_backtracking_equals_definition(db in q3_db_strategy()) {
+        prop_assert_eq!(
+            certain_brute(&examples::q3(), &db),
+            certain_exhaustive(&examples::q3(), &db)
+        );
+    }
+
+    #[test]
+    fn certk_monotone_in_k(db in q3_db_strategy()) {
+        let q = examples::q3();
+        let mut prev = false;
+        for k in 1..=3usize {
+            let now = certk(&q, &db, CertKConfig::new(k)).is_certain();
+            prop_assert!(!prev || now, "Cert_k lost certainty going from k={} to k={k}", k - 1);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn certk_sound_and_exact_for_q3(db in q3_db_strategy()) {
+        let q = examples::q3();
+        let brute = certain_brute(&q, &db);
+        let c2 = certk(&q, &db, CertKConfig::new(2)).is_certain();
+        prop_assert_eq!(c2, brute, "Theorem 6.1 violated");
+    }
+
+    #[test]
+    fn matching_sound_for_q6(db in q6_db_strategy()) {
+        let q = examples::q6();
+        if certain_by_matching(&q, &db) {
+            prop_assert!(certain_brute(&q, &db), "¬matching unsound");
+        }
+    }
+
+    #[test]
+    fn matching_exact_for_clique_query_q6(db in q6_db_strategy()) {
+        // q6 is a clique-query (Theorem 10.4): ¬matching is exact on every
+        // database.
+        let q = examples::q6();
+        prop_assert!(cqa_solvers::is_clique_database(&q, &db));
+        prop_assert_eq!(certain_by_matching(&q, &db), certain_brute(&q, &db));
+    }
+
+    #[test]
+    fn budget_zero_always_exhausts_or_decides_trivially(db in q3_db_strategy()) {
+        // With budget 0 the search can only answer without branching.
+        match certain_brute_budgeted(&examples::q3(), &db, 0) {
+            BruteOutcome::BudgetExhausted | BruteOutcome::Certain | BruteOutcome::NotCertain(_) => {}
+        }
+        // And an unbounded run never exhausts.
+        let full = certain_brute_budgeted(&examples::q3(), &db, u64::MAX);
+        prop_assert!(!matches!(full, BruteOutcome::BudgetExhausted));
+    }
+
+    #[test]
+    fn components_partition_the_database(db in q6_db_strategy()) {
+        let q = examples::q6();
+        let comps = q_connected_components(&q, &db);
+        let total: usize = comps.iter().map(|c| c.db.len()).sum();
+        prop_assert_eq!(total, db.len());
+        // Original fact ids cover everything exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for c in &comps {
+            for &id in &c.original_facts {
+                prop_assert!(seen.insert(id));
+            }
+        }
+        prop_assert_eq!(seen.len(), db.len());
+    }
+
+    #[test]
+    fn certain_iff_some_component_certain(db in q6_db_strategy()) {
+        // Proposition 10.6 (2).
+        let q = examples::q6();
+        let whole = certain_brute(&q, &db);
+        let comps = q_connected_components(&q, &db);
+        let some = comps.iter().any(|c| certain_brute(&q, &c.db));
+        prop_assert_eq!(whole, some);
+    }
+
+    #[test]
+    fn solutions_never_cross_components(db in q6_db_strategy()) {
+        let q = examples::q6();
+        let sols = SolutionSet::enumerate(&q, &db);
+        let comps = q_connected_components(&q, &db);
+        let mut comp_of = std::collections::HashMap::new();
+        for (ci, c) in comps.iter().enumerate() {
+            for &id in &c.original_facts {
+                comp_of.insert(id, ci);
+            }
+        }
+        for &(a, b) in sols.pairs() {
+            prop_assert_eq!(comp_of[&a], comp_of[&b], "solution crosses components");
+        }
+    }
+}

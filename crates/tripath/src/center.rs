@@ -1,0 +1,259 @@
+//! Center enumeration: candidate branching triples `d e f`.
+//!
+//! A center requires `q(d e) ∧ q(e f)` with `e` the shared fact:
+//! `μ₁(B) = μ₂(A) = e` for instantiations `μ₁, μ₂` of `q`'s variables. The
+//! *most-general* center instantiates the unification of `B` with a renamed
+//! copy of `A` using fresh elements. Every other center is an element-merge
+//! (homomorphic image) of it, so candidates are enumerated as partitions of
+//! the most-general center's elements — exhaustively when few, limited to
+//! single merges otherwise (the niceness constructions of Figure 1c use
+//! such refinements).
+
+use crate::structure::g_of_center;
+use cqa_model::{Elem, Fact};
+use cqa_query::{is_solution, Query, Var};
+use std::collections::{BTreeSet, HashMap};
+
+/// A candidate center.
+#[derive(Clone, Debug)]
+pub struct CenterCandidate {
+    /// `d` with `q(d e)`.
+    pub d: Fact,
+    /// The branching fact `e`.
+    pub e: Fact,
+    /// `f` with `q(e f)`.
+    pub f: Fact,
+    /// Whether `q(f d)` holds — triangle center.
+    pub triangle: bool,
+    /// The element set `g(e)`.
+    pub g: BTreeSet<Elem>,
+}
+
+/// The most-general center `d e f` of `q`, if the shapes unify into three
+/// pairwise non-key-equal facts.
+pub fn most_general_center(q: &Query) -> Option<(Fact, Fact, Fact)> {
+    // Variables of the two instantiations live in disjoint copies 0 and 1.
+    let mut classes: HashMap<(u8, Var), usize> = HashMap::new();
+    let mut parent: Vec<usize> = Vec::new();
+    let class_of = |classes: &mut HashMap<(u8, Var), usize>,
+                        parent: &mut Vec<usize>,
+                        k: (u8, Var)|
+     -> usize {
+        *classes.entry(k).or_insert_with(|| {
+            parent.push(parent.len());
+            parent.len() - 1
+        })
+    };
+    fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    // Register every variable of both copies.
+    for v in q.a().tuple().iter().chain(q.b().tuple()) {
+        class_of(&mut classes, &mut parent, (0, v.clone()));
+    }
+    for v in q.a().tuple().iter().chain(q.b().tuple()) {
+        class_of(&mut classes, &mut parent, (1, v.clone()));
+    }
+    // Unify μ₁(B)[i] with μ₂(A)[i].
+    for i in 0..q.signature().arity() {
+        let cb = classes[&(0, q.b().at(i).clone())];
+        let ca = classes[&(1, q.a().at(i).clone())];
+        let (rb, ra) = (find(&mut parent, cb), find(&mut parent, ca));
+        if rb != ra {
+            parent[rb.max(ra)] = rb.min(ra);
+        }
+    }
+    // Instantiate each class with a fresh element.
+    let mut elem_of_class: HashMap<usize, Elem> = HashMap::new();
+    let fact_of = |atom: &cqa_query::Atom,
+                       copy: u8,
+                       classes: &HashMap<(u8, Var), usize>,
+                       parent: &mut Vec<usize>,
+                       elem_of_class: &mut HashMap<usize, Elem>|
+     -> Fact {
+        let tuple: Vec<Elem> = atom
+            .tuple()
+            .iter()
+            .map(|v| {
+                let c = find(parent, classes[&(copy, v.clone())]);
+                *elem_of_class.entry(c).or_insert_with(Elem::fresh)
+            })
+            .collect();
+        Fact::new(atom.rel(), tuple)
+    };
+    let d = fact_of(q.a(), 0, &classes, &mut parent, &mut elem_of_class);
+    let e = fact_of(q.b(), 0, &classes, &mut parent, &mut elem_of_class);
+    let e2 = fact_of(q.a(), 1, &classes, &mut parent, &mut elem_of_class);
+    let f = fact_of(q.b(), 1, &classes, &mut parent, &mut elem_of_class);
+    debug_assert_eq!(e, e2, "unification must make μ₁(B) = μ₂(A)");
+    debug_assert!(is_solution(q, &d, &e));
+    debug_assert!(is_solution(q, &e, &f));
+    center_shape_ok(q, &d, &e, &f).then_some((d, e, f))
+}
+
+/// `d`, `e`, `f` must sit in three distinct blocks.
+fn center_shape_ok(q: &Query, d: &Fact, e: &Fact, f: &Fact) -> bool {
+    let sig = q.signature();
+    !d.key_equal(e, sig) && !e.key_equal(f, sig) && !d.key_equal(f, sig)
+}
+
+/// Apply an element substitution to a fact.
+fn map_fact(fact: &Fact, m: &HashMap<Elem, Elem>) -> Fact {
+    Fact::new(fact.rel(), fact.tuple().iter().map(|e| *m.get(e).unwrap_or(e)).collect::<Vec<_>>())
+}
+
+/// All partitions of `items` as merge maps (element → class
+/// representative). Ordered by number of merges, so the identity partition
+/// comes first and light refinements are tried before heavy ones.
+fn partitions(items: &[Elem]) -> Vec<HashMap<Elem, Elem>> {
+    fn rec(
+        items: &[Elem],
+        idx: usize,
+        classes: &mut Vec<Vec<Elem>>,
+        out: &mut Vec<HashMap<Elem, Elem>>,
+    ) {
+        if idx == items.len() {
+            let mut m = HashMap::new();
+            for cls in classes.iter() {
+                for &e in &cls[1..] {
+                    m.insert(e, cls[0]);
+                }
+            }
+            out.push(m);
+            return;
+        }
+        for ci in 0..classes.len() {
+            classes[ci].push(items[idx]);
+            rec(items, idx + 1, classes, out);
+            classes[ci].pop();
+        }
+        classes.push(vec![items[idx]]);
+        rec(items, idx + 1, classes, out);
+        classes.pop();
+    }
+    let mut out = Vec::new();
+    rec(items, 0, &mut Vec::new(), &mut out);
+    out.sort_by_key(HashMap::len);
+    out
+}
+
+/// Merge maps limited to identity plus all single-pair merges — the
+/// fallback when the center has too many elements for full partition
+/// enumeration.
+fn pairwise_merges(items: &[Elem]) -> Vec<HashMap<Elem, Elem>> {
+    let mut out = vec![HashMap::new()];
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            out.push([(items[j], items[i])].into_iter().collect());
+        }
+    }
+    out
+}
+
+/// Enumerate candidate centers: the most-general center and its element
+/// merges. Full partition lattice when the center has at most
+/// `full_partition_limit` distinct elements, otherwise identity + pairwise
+/// merges.
+pub fn center_candidates(q: &Query, full_partition_limit: usize) -> Vec<CenterCandidate> {
+    let Some((d, e, f)) = most_general_center(q) else {
+        return Vec::new();
+    };
+    let mut elems: Vec<Elem> = Vec::new();
+    for fact in [&d, &e, &f] {
+        for &x in fact.tuple() {
+            if !elems.contains(&x) {
+                elems.push(x);
+            }
+        }
+    }
+    let merges = if elems.len() <= full_partition_limit {
+        partitions(&elems)
+    } else {
+        pairwise_merges(&elems)
+    };
+    let mut out = Vec::new();
+    for m in merges {
+        let (dd, ee, ff) = (map_fact(&d, &m), map_fact(&e, &m), map_fact(&f, &m));
+        if !center_shape_ok(q, &dd, &ee, &ff) {
+            continue;
+        }
+        debug_assert!(is_solution(q, &dd, &ee) && is_solution(q, &ee, &ff));
+        let triangle = is_solution(q, &ff, &dd);
+        let g = g_of_center(q, &dd, &ee, &ff);
+        out.push(CenterCandidate { d: dd, e: ee, f: ff, triangle, g });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::examples;
+
+    #[test]
+    fn q2_most_general_center_is_a_fork() {
+        // Worked out by hand: d = R(a a | a b), e = R(a b | a c),
+        // f = R(b c | a w) up to renaming; g(e) = key(d) = {a}.
+        let q = examples::q2();
+        let (d, e, f) = most_general_center(&q).expect("q2 has a center");
+        assert!(is_solution(&q, &d, &e));
+        assert!(is_solution(&q, &e, &f));
+        assert!(!is_solution(&q, &f, &d), "q2's generic center is a fork");
+        // d's key collapses to one element (x = u forced by unification).
+        assert_eq!(d.key_set(q.signature()).len(), 1);
+        let g = g_of_center(&q, &d, &e, &f);
+        assert_eq!(g, d.key_set(q.signature()));
+    }
+
+    #[test]
+    fn q6_most_general_center_is_a_triangle() {
+        // q6 = R(x | y z) R(z | x y): all branching triples close into
+        // triangles (Section 10).
+        let q = examples::q6();
+        let (d, _e, f) = most_general_center(&q).expect("q6 has a center");
+        assert!(is_solution(&q, &f, &d), "q6 center must be a triangle");
+    }
+
+    #[test]
+    fn q5_has_no_center() {
+        // q5 = R(x | y x) R(y | x u): any d e f with q(d e) ∧ q(e f) forces
+        // two of them key-equal (paper, Section 8), so no center exists.
+        let q = examples::q5();
+        assert!(most_general_center(&q).is_none());
+        assert!(center_candidates(&q, 8).is_empty());
+    }
+
+    #[test]
+    fn candidates_include_identity_and_merges() {
+        let q = examples::q2();
+        let cands = center_candidates(&q, 8);
+        assert!(!cands.is_empty());
+        // All candidates are genuine centers.
+        for c in &cands {
+            assert!(is_solution(&q, &c.d, &c.e));
+            assert!(is_solution(&q, &c.e, &c.f));
+        }
+        // Merged candidates exist (Figure 1c's center is a merge of the
+        // generic one).
+        assert!(cands.len() > 1);
+    }
+
+    #[test]
+    fn partitions_of_three() {
+        let items: Vec<Elem> = (0..3).map(|_| Elem::fresh()).collect();
+        let ps = partitions(&items);
+        // Bell(3) = 5.
+        assert_eq!(ps.len(), 5);
+        assert!(ps[0].is_empty(), "identity first");
+    }
+
+    #[test]
+    fn pairwise_fallback_size() {
+        let items: Vec<Elem> = (0..5).map(|_| Elem::fresh()).collect();
+        assert_eq!(pairwise_merges(&items).len(), 1 + 10);
+    }
+}

@@ -1,0 +1,31 @@
+//! # cqa-tripath — the tripath combinatorics of Section 7
+//!
+//! Tripaths are the semantic objects that pin down the complexity of
+//! 2way-determined queries:
+//!
+//! * no tripath → `certain(q)` solved by `Cert_k` (Theorem 8.1);
+//! * fork-tripath → `certain(q)` coNP-complete (Theorem 9.1);
+//! * triangle-tripath only → `certain(q)` solved by
+//!   `Cert_k ∨ ¬matching` (Theorem 10.5).
+//!
+//! This crate provides the [`Tripath`] structure with an independent
+//! validating checker, `g(e)` computation, *niceness* (Proposition 7.2's
+//! normal form) with the Section 9 witness extraction, a bounded symbolic
+//! existence [`search`], and in-database detection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod center;
+pub mod chase;
+pub mod find_in_db;
+pub mod nice;
+pub mod search;
+pub mod structure;
+
+pub use center::{center_candidates, most_general_center, CenterCandidate};
+pub use chase::{arm_chains, ArmChain, ArmConfig, ArmSearch, ArmStep, Role};
+pub use find_in_db::{db_admits_tripath, find_tripath_in_db, DetectOutcome};
+pub use nice::{check_nice, find_nice_fork, NiceWitness};
+pub use search::{assemble_tripath, search_tripaths, SearchConfig, SearchOutcome};
+pub use structure::{g_of_center, Center, TpBlock, Tripath, TripathError, TripathKind};

@@ -1,0 +1,74 @@
+//! Robustness of the tripath search over *random* 2way-determined queries:
+//! every witness must validate, classifications must be stable, and the
+//! machinery must never panic.
+
+use cqa_model::Signature;
+use cqa_query::conditions::is_2way_determined;
+use cqa_query::{Atom, Query};
+use cqa_tripath::{check_nice, find_nice_fork, search_tripaths, ArmConfig, SearchConfig};
+use proptest::prelude::*;
+
+fn atom_strategy(arity: usize, pool: usize) -> impl Strategy<Value = Atom> {
+    proptest::collection::vec(0..pool, arity)
+        .prop_map(|idx| Atom::r(idx.into_iter().map(|i| format!("v{i}")).collect::<Vec<_>>()))
+}
+
+fn query_strategy() -> impl Strategy<Value = Query> {
+    (2usize..=4)
+        .prop_flat_map(|arity| (Just(arity), 1..arity))
+        .prop_flat_map(|(arity, key_len)| {
+            (
+                Just(Signature::new(arity, key_len).unwrap()),
+                atom_strategy(arity, 4),
+                atom_strategy(arity, 4),
+            )
+        })
+        .prop_map(|(sig, a, b)| Query::new(sig, a, b).unwrap())
+}
+
+fn small_config() -> SearchConfig {
+    SearchConfig {
+        full_partition_limit: 5,
+        arm: ArmConfig { max_depth: 6, max_states: 500, max_chains: 6 },
+        max_centers: 300,
+        max_assemblies: 128,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn search_never_panics_and_witnesses_validate(q in query_strategy()) {
+        prop_assume!(is_2way_determined(&q));
+        let out = search_tripaths(&q, &small_config());
+        if let Some(tp) = &out.fork {
+            let (kind, _) = tp.validate(&q).expect("fork witness must validate");
+            prop_assert_eq!(kind, cqa_tripath::TripathKind::Fork);
+        }
+        if let Some(tp) = &out.triangle {
+            let (kind, _) = tp.validate(&q).expect("triangle witness must validate");
+            prop_assert_eq!(kind, cqa_tripath::TripathKind::Triangle);
+        }
+    }
+
+    #[test]
+    fn nice_forks_pass_the_checker(q in query_strategy()) {
+        prop_assume!(is_2way_determined(&q));
+        if let Some((tp, _w)) = find_nice_fork(&q, &small_config()) {
+            prop_assert!(check_nice(&q, &tp).is_ok(), "find_nice_fork returned a non-nice tripath");
+        }
+    }
+
+    #[test]
+    fn fork_witnesses_embed_into_their_own_database(q in query_strategy()) {
+        prop_assume!(is_2way_determined(&q));
+        let out = search_tripaths(&q, &small_config());
+        if let Some(tp) = &out.fork {
+            let db = tp.database(&q);
+            // The detector re-finds *some* tripath inside the witness db.
+            let det = cqa_tripath::find_tripath_in_db(&q, &db, 2_000_000);
+            prop_assert!(det.contains_tripath() || det.exhausted);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Integration: the dichotomy classifier reproduces every classification
+//! claim the paper makes, and the classification pipeline is internally
+//! consistent (witnesses validate, rules match complexity classes).
+
+use cqa::{classify, Classification, ClassificationRule, Complexity, Confidence};
+use cqa_query::{examples, parse_query};
+
+fn check(q_str: &str, complexity: Complexity, rule: ClassificationRule) -> Classification {
+    let q = parse_query(q_str).unwrap_or_else(|e| panic!("{q_str}: {e}"));
+    let c = classify(&q);
+    assert_eq!(c.complexity, complexity, "{q_str}");
+    assert_eq!(c.rule, rule, "{q_str}");
+    c
+}
+
+#[test]
+fn q1_conp_by_thm42() {
+    // Paper, Section 4: u, v shared but u ∉ key(B), v ∉ key(A); keys
+    // incomparable; x ∈ key(A) \ vars(B).
+    let c = check(
+        "R(x u | x v) R(v y | u y)",
+        Complexity::CoNpComplete,
+        ClassificationRule::Theorem42,
+    );
+    assert_eq!(c.confidence, Confidence::Proved);
+    assert!(c.fork_witness.is_none(), "Theorem 4.2 needs no tripath");
+}
+
+#[test]
+fn q2_conp_by_fork_tripath() {
+    // Paper, Sections 4 & 9: certain(sjf(q2)) is PTime yet certain(q2) is
+    // coNP-hard — the fork-tripath route.
+    let c = check(
+        "R(x u | x y) R(u y | x z)",
+        Complexity::CoNpComplete,
+        ClassificationRule::Theorem91,
+    );
+    assert_eq!(c.confidence, Confidence::Proved);
+    let fork = c.fork_witness.expect("fork witness attached");
+    let (kind, _) = fork.validate(&examples::q2()).expect("witness validates");
+    assert_eq!(kind, cqa::tripath::TripathKind::Fork);
+}
+
+#[test]
+fn q3_q4_ptime_by_thm61() {
+    check("R(x | y) R(y | z)", Complexity::PTimeCert2, ClassificationRule::Theorem61);
+    check("R(x x | u v) R(x y | u x)", Complexity::PTimeCert2, ClassificationRule::Theorem61);
+}
+
+#[test]
+fn q5_ptime_no_tripath() {
+    // Paper, Section 8: any branching triple for q5 collapses two facts
+    // into one block, so no tripath center exists.
+    let c = check("R(x | y x) R(y | x u)", Complexity::PTimeCertK, ClassificationRule::Theorem81);
+    assert_eq!(c.confidence, Confidence::Proved, "q5 has no center: proof, not evidence");
+}
+
+#[test]
+fn q6_ptime_triangle_only() {
+    let c = check("R(x | y z) R(z | x y)", Complexity::PTimeCombined, ClassificationRule::Theorem105);
+    let tri = c.triangle_witness.expect("triangle witness");
+    let (kind, _) = tri.validate(&examples::q6()).expect("validates");
+    assert_eq!(kind, cqa::tripath::TripathKind::Triangle);
+}
+
+#[test]
+fn q7_exercise() {
+    // The paper leaves q7 as an exercise: triangle-tripath, no fork.
+    let c = classify(&examples::q7());
+    assert_eq!(c.complexity, Complexity::PTimeCombined);
+    assert!(c.triangle_witness.is_some());
+    assert!(c.fork_witness.is_none());
+}
+
+#[test]
+fn trivial_cases_from_section2() {
+    for s in [
+        "R(x | y) R(u | v)",   // hom both ways (renaming)
+        "R(x | x) R(u | v)",   // hom A -> B
+        "R(x | y) R(x | z)",   // key(A) = key(B) as tuples
+        "R(x y | z) R(x y | w)",
+    ] {
+        check(s, Complexity::Trivial, ClassificationRule::OneAtomEquivalent);
+    }
+}
+
+#[test]
+fn rules_imply_complexities() {
+    // The rule → complexity mapping is fixed by the theorems.
+    for (_, q) in examples::all() {
+        let c = classify(&q);
+        let expected = match c.rule {
+            ClassificationRule::OneAtomEquivalent => Complexity::Trivial,
+            ClassificationRule::Theorem42 | ClassificationRule::Theorem91 => {
+                Complexity::CoNpComplete
+            }
+            ClassificationRule::Theorem61 => Complexity::PTimeCert2,
+            ClassificationRule::Theorem81 => Complexity::PTimeCertK,
+            ClassificationRule::Theorem105 => Complexity::PTimeCombined,
+        };
+        assert_eq!(c.complexity, expected);
+    }
+}
+
+#[test]
+fn classification_is_swap_stable_on_structured_queries() {
+    // q = AB and q' = BA have the same certain problem; the decision
+    // procedure must agree on the complexity class.
+    for (_, q) in examples::all() {
+        let c1 = classify(&q);
+        let c2 = classify(&q.swapped());
+        assert_eq!(c1.complexity, c2.complexity, "{q}");
+    }
+}
+
+#[test]
+fn extra_structured_queries_classify_sanely() {
+    // A few additional shapes, classified by the procedure and checked for
+    // internal coherence (witness presence matches the rule).
+    for s in [
+        "R(x y | z) R(y z | x)",
+        "R(x | u v) R(u | x w)",
+        "R(x u | y) R(y u | x)",
+        "R(x | x y) R(y | y x)",
+    ] {
+        let q = parse_query(s).unwrap();
+        let c = classify(&q);
+        match c.rule {
+            ClassificationRule::Theorem91 => assert!(c.fork_witness.is_some(), "{s}"),
+            ClassificationRule::Theorem105 => {
+                assert!(c.fork_witness.is_none() && c.triangle_witness.is_some(), "{s}")
+            }
+            ClassificationRule::Theorem81 => {
+                assert!(c.fork_witness.is_none() && c.triangle_witness.is_none(), "{s}")
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Integration: both executable reductions verified end-to-end with
+//! independent engines on randomized inputs.
+
+use cqa::solvers::{certain_brute, certain_brute_budgeted, BruteOutcome};
+use cqa::tripath::SearchConfig;
+use cqa_query::examples;
+use cqa_reductions::{reduce_database, SatReduction};
+use cqa_sat::{random_3sat, solve, to_occ3_normal_form};
+use cqa_workloads::{random_sjf_db, RandomDbConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn prop41_equivalence_on_random_sjf_databases() {
+    // certain(sjf(q), D) ⟺ certain(q, μ(D)) for q2 and q5 (queries where
+    // the self-join side is interesting).
+    for (name, q) in [("q2", examples::q2()), ("q5", examples::q5())] {
+        let sjf = q.sjf();
+        let mut rng = StdRng::seed_from_u64(0x41);
+        let cfg = RandomDbConfig { blocks: 6, max_block_size: 2, domain: 3 };
+        for t in 0..40 {
+            let d = random_sjf_db(&mut rng, &q, &cfg);
+            let before = certain_brute(&sjf, &d);
+            let reduced = reduce_database(&q, &d);
+            assert_eq!(reduced.len(), d.len(), "μ is fact-wise injective here");
+            let after = certain_brute(&q, &reduced);
+            assert_eq!(before, after, "{name} trial {t}: Prop 4.1 violated on {d:?}");
+        }
+    }
+}
+
+#[test]
+fn prop41_preserves_block_structure() {
+    let q = examples::q2();
+    let mut rng = StdRng::seed_from_u64(0x42);
+    let cfg = RandomDbConfig { blocks: 8, max_block_size: 3, domain: 3 };
+    for _ in 0..20 {
+        let d = random_sjf_db(&mut rng, &q, &cfg);
+        let reduced = reduce_database(&q, &d);
+        assert_eq!(reduced.block_count(), d.block_count());
+        assert_eq!(reduced.repair_count(), d.repair_count());
+    }
+}
+
+#[test]
+fn lemma92_satisfiable_sweep() {
+    // φ satisfiable ⇒ D[φ] not certain: cheap direction (the search only
+    // needs to find one falsifying repair).
+    let q2 = examples::q2();
+    let reduction = SatReduction::new(&q2, &SearchConfig::default()).expect("gadget for q2");
+    let mut rng = StdRng::seed_from_u64(0x92);
+    let mut sat_seen = 0;
+    for t in 0..8 {
+        let n_vars = 3 + (t % 2) as u32;
+        let n_clauses = 2 + t % 4; // under-constrained: almost surely SAT
+        let phi = to_occ3_normal_form(&random_3sat(&mut rng, n_vars, n_clauses));
+        if !solve(&phi).is_sat() {
+            continue;
+        }
+        sat_seen += 1;
+        let db = reduction.database(&phi).expect("normal form");
+        match certain_brute_budgeted(&q2, &db, 100_000_000) {
+            BruteOutcome::NotCertain(r) => {
+                let sols = cqa::solvers::SolutionSet::enumerate(&q2, &db);
+                assert!(!cqa::solvers::solution::satisfies(&sols, r.facts()));
+            }
+            BruteOutcome::Certain => panic!("trial {t}: certain D[φ] for satisfiable φ = {phi}"),
+            BruteOutcome::BudgetExhausted => panic!("trial {t}: SAT side should be fast"),
+        }
+    }
+    assert!(sat_seen >= 4, "sweep must include satisfiable instances");
+}
+
+#[test]
+fn lemma92_unsatisfiable_instance() {
+    // φ unsatisfiable ⇒ D[φ] certain: the expensive direction, checked on
+    // one fixed small instance (the reductions crate covers another).
+    use cqa_sat::{Cnf, Lit, PVar};
+    let (p0, p1) = (PVar(0), PVar(1));
+    let phi = to_occ3_normal_form(&Cnf::from_clauses([
+        vec![Lit::pos(p0), Lit::pos(p1)],
+        vec![Lit::pos(p0), Lit::neg(p1)],
+        vec![Lit::neg(p0), Lit::pos(p1)],
+        vec![Lit::neg(p0), Lit::neg(p1)],
+    ]));
+    assert!(!solve(&phi).is_sat());
+    let q2 = examples::q2();
+    let reduction = SatReduction::new(&q2, &SearchConfig::default()).unwrap();
+    let db = reduction.database(&phi).unwrap();
+    let out = certain_brute_budgeted(&q2, &db, 500_000_000);
+    assert!(
+        matches!(out, BruteOutcome::Certain),
+        "Lemma 9.2 violated on UNSAT φ: {out:?}"
+    );
+}
+
+#[test]
+fn gadget_blocks_are_all_contested() {
+    // After padding, every block of D[φ] has ≥ 2 facts — the inconsistency
+    // is total, which is what makes certain answering non-trivial.
+    let q2 = examples::q2();
+    let reduction = SatReduction::new(&q2, &SearchConfig::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(0x93);
+    let phi = to_occ3_normal_form(&random_3sat(&mut rng, 4, 6));
+    let db = reduction.database(&phi).unwrap();
+    for b in db.block_ids() {
+        assert!(db.block(b).len() >= 2);
+    }
+    // Size is linear in the formula (the paper's polynomial reduction).
+    let gadget_facts = reduction.tripath().facts().len();
+    let occurrences: usize =
+        phi.occurrences().values().map(|&(p, n)| p + n).sum();
+    assert!(db.len() <= occurrences * (gadget_facts + 2) + 2 * phi.len());
+}
+
+#[test]
+fn reduction_reuses_tripath_across_formulas() {
+    // One SatReduction instance serves many formulas (the nice tripath
+    // search runs once).
+    let q2 = examples::q2();
+    let reduction = SatReduction::new(&q2, &SearchConfig::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(0x94);
+    for _ in 0..5 {
+        let phi = to_occ3_normal_form(&random_3sat(&mut rng, 3, 3));
+        assert!(reduction.database(&phi).is_ok());
+    }
+}
