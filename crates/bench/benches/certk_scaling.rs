@@ -1,10 +1,10 @@
 //! E4/E10 PTime side: Cert₂ on q3 instances of growing size — the shape
 //! must stay polynomial.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cqa::solvers::{certk, CertKConfig};
 use cqa_query::examples;
 use cqa_workloads::{q3_certain_db, q3_chain_db, q3_escape_db};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_certk(c: &mut Criterion) {
     let q3 = examples::q3();
@@ -17,11 +17,9 @@ fn bench_certk(c: &mut Criterion) {
             ("escape", q3_escape_db(n)),
         ] {
             g.throughput(Throughput::Elements(db.len() as u64));
-            g.bench_with_input(
-                BenchmarkId::new(kind, db.len()),
-                &db,
-                |b, db| b.iter(|| std::hint::black_box(certk(&q3, db, CertKConfig::new(2)))),
-            );
+            g.bench_with_input(BenchmarkId::new(kind, db.len()), &db, |b, db| {
+                b.iter(|| std::hint::black_box(certk(&q3, db, CertKConfig::new(2))))
+            });
         }
     }
     g.finish();

@@ -1,9 +1,9 @@
 //! E1: classification latency for the paper's queries (syntactic cases are
 //! instant; 2way-determined ones pay for the tripath search).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqa::classify;
 use cqa_query::examples;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_classification(c: &mut Criterion) {
     let mut g = c.benchmark_group("classify");

@@ -1,10 +1,10 @@
 //! E8: the Theorem 10.5 combined solver on mixed multi-component q6
 //! databases, against its literal (non-component) variant.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqa::solvers::{certain_combined, certain_thm105_literal, CertKConfig};
 use cqa_query::examples;
 use cqa_workloads::{q6_certk_hard, q6_triangle_grid, random_db, RandomDbConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -14,7 +14,11 @@ fn mixed_db(seed: u64, scale: usize) -> cqa_model::Database {
     let mut db = random_db(
         &mut rng,
         &q6,
-        &RandomDbConfig { blocks: scale, max_block_size: 2, domain: scale },
+        &RandomDbConfig {
+            blocks: scale,
+            max_block_size: 2,
+            domain: scale,
+        },
     );
     db.absorb(&q6_triangle_grid(scale / 2)).unwrap();
     db.absorb(&q6_certk_hard(2 + scale % 5)).unwrap();

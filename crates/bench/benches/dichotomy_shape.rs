@@ -2,10 +2,10 @@
 //! exponential brute-force baseline on contested q3 instances where both
 //! are applicable.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqa::solvers::{certain_brute_budgeted, certk, CertKConfig};
 use cqa_query::examples;
 use cqa_workloads::q3_escape_db;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_shape(c: &mut Criterion) {
     let q3 = examples::q3();

@@ -1,10 +1,10 @@
 //! E7: the matching-based algorithm on clique databases of growing size —
 //! near-linear in practice (components + Hopcroft–Karp).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cqa::solvers::certain_by_matching;
 use cqa_query::examples;
 use cqa_workloads::{q6_certk_hard, q6_triangle_grid};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_matching(c: &mut Criterion) {
     let q6 = examples::q6();

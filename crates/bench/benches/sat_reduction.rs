@@ -1,12 +1,12 @@
 //! E3: building D[φ] (linear) and falsifying-repair search on satisfiable
 //! gadget databases.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqa::solvers::certain_brute_budgeted;
 use cqa::tripath::SearchConfig;
 use cqa_query::examples;
 use cqa_reductions::SatReduction;
 use cqa_sat::{random_3sat, to_occ3_normal_form};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -20,7 +20,14 @@ fn main() -> ExitCode {
     let mut all_ok = true;
     let mut run = |name: &str, ok: bool| {
         all_ok &= ok;
-        println!("\n[{name}] {}", if ok { "PASS — matches the paper's claim" } else { "FAIL" });
+        println!(
+            "\n[{name}] {}",
+            if ok {
+                "PASS — matches the paper's claim"
+            } else {
+                "FAIL"
+            }
+        );
     };
 
     if selected("e1") {
@@ -62,7 +69,14 @@ fn main() -> ExitCode {
 
     println!();
     println!("════════════════════════════════════════");
-    println!("overall: {}", if all_ok { "ALL EXPERIMENTS MATCH THE PAPER" } else { "SOME EXPERIMENTS FAILED" });
+    println!(
+        "overall: {}",
+        if all_ok {
+            "ALL EXPERIMENTS MATCH THE PAPER"
+        } else {
+            "SOME EXPERIMENTS FAILED"
+        }
+    );
     if all_ok {
         ExitCode::SUCCESS
     } else {

@@ -64,7 +64,14 @@ pub fn e1_classification() -> bool {
             ms(dt)
         );
     }
-    println!("\npaper agreement: {}", if ok { "all 7 queries ✓" } else { "MISMATCH ✗" });
+    println!(
+        "\npaper agreement: {}",
+        if ok {
+            "all 7 queries ✓"
+        } else {
+            "MISMATCH ✗"
+        }
+    );
     ok
 }
 
@@ -77,7 +84,11 @@ pub fn e2_tripaths() -> bool {
 
     let fork = out.fork.expect("q2 fork-tripath");
     let (kind, center) = fork.validate(&q2).expect("validates");
-    println!("generic fork-tripath: {} blocks, kind {kind:?}, g(e) = {:?}", fork.blocks.len(), center.g);
+    println!(
+        "generic fork-tripath: {} blocks, kind {kind:?}, g(e) = {:?}",
+        fork.blocks.len(),
+        center.g
+    );
     let db = fork.database(&q2);
     let sols = cqa::solvers::SolutionSet::enumerate(&q2, &db);
     let enforced = fork.blocks.len() - 1;
@@ -94,16 +105,26 @@ pub fn e2_tripaths() -> bool {
 
     match cqa::tripath::find_nice_fork(&q2, &SearchConfig::default()) {
         Some((nice, w)) => {
-            println!("\nnice fork-tripath (Figure 1c analogue): {} blocks", nice.blocks.len());
+            println!(
+                "\nnice fork-tripath (Figure 1c analogue): {} blocks",
+                nice.blocks.len()
+            );
             for (i, b) in nice.blocks.iter().enumerate() {
                 println!(
                     "  block {i:>2} parent {:>2}: a={:<30} b={}",
                     b.parent.map(|p| p as i64).unwrap_or(-1),
-                    b.a.as_ref().map(|f| f.to_string()).unwrap_or_else(|| "·".into()),
-                    b.b.as_ref().map(|f| f.to_string()).unwrap_or_else(|| "·".into())
+                    b.a.as_ref()
+                        .map(|f| f.to_string())
+                        .unwrap_or_else(|| "·".into()),
+                    b.b.as_ref()
+                        .map(|f| f.to_string())
+                        .unwrap_or_else(|| "·".into())
                 );
             }
-            println!("witnesses: x={} y={} z={} u={} v={} w={}", w.x, w.y, w.z, w.u, w.v, w.w);
+            println!(
+                "witnesses: x={} y={} z={} u={} v={} w={}",
+                w.x, w.y, w.z, w.u, w.v, w.w
+            );
             ok &= check_nice(&q2, &nice).is_ok();
         }
         None => {
@@ -111,7 +132,10 @@ pub fn e2_tripaths() -> bool {
             ok = false;
         }
     }
-    println!("\nall four niceness conditions verified: {}", if ok { "✓" } else { "✗" });
+    println!(
+        "\nall four niceness conditions verified: {}",
+        if ok { "✓" } else { "✗" }
+    );
     ok
 }
 
@@ -131,7 +155,10 @@ pub fn e3_sat_gadget(sweep: usize) -> bool {
         vec![Lit::neg(s), Lit::neg(t), Lit::pos(u)],
         vec![Lit::pos(s), Lit::neg(t), Lit::neg(u)],
     ]);
-    println!("{:<34} {:>6} {:>7} {:>7} {:>6} {:>11} {:>7}", "formula", "vars", "clauses", "facts", "blocks", "sat(DPLL)", "¬cert");
+    println!(
+        "{:<34} {:>6} {:>7} {:>7} {:>6} {:>11} {:>7}",
+        "formula", "vars", "clauses", "facts", "blocks", "sat(DPLL)", "¬cert"
+    );
     let run = |label: &str, phi: &cqa_sat::Cnf, budget: u64| -> Option<bool> {
         let norm = to_occ3_normal_form(phi);
         let db = reduction.database(&norm).expect("normal form");
@@ -149,7 +176,9 @@ pub fn e3_sat_gadget(sweep: usize) -> bool {
             db.len(),
             db.block_count(),
             sat,
-            not_certain.map(|b| b.to_string()).unwrap_or_else(|| "budget".into())
+            not_certain
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "budget".into())
         );
         not_certain.map(|nc| nc == sat)
     };
@@ -163,8 +192,11 @@ pub fn e3_sat_gadget(sweep: usize) -> bool {
         let n_vars = 3 + (i % 3) as u32;
         let n_clauses = 2 + i % 5;
         let phi = random_3sat(&mut rng, n_vars, n_clauses);
-        if let Some(agree) = run(&format!("random-{i} ({n_vars}v {n_clauses}c)"), &phi, 200_000_000)
-        {
+        if let Some(agree) = run(
+            &format!("random-{i} ({n_vars}v {n_clauses}c)"),
+            &phi,
+            200_000_000,
+        ) {
             checked += 1;
             if agree {
                 agreed += 1;
@@ -181,8 +213,24 @@ pub fn e4_thm61(trials: usize) -> bool {
     header("E4  Theorem 6.1: certain(q) = Cert₂(q) for q3, q4");
     let mut ok = true;
     for (name, q, cfg) in [
-        ("q3", examples::q3(), RandomDbConfig { blocks: 7, max_block_size: 3, domain: 4 }),
-        ("q4", examples::q4(), RandomDbConfig { blocks: 6, max_block_size: 3, domain: 3 }),
+        (
+            "q3",
+            examples::q3(),
+            RandomDbConfig {
+                blocks: 7,
+                max_block_size: 3,
+                domain: 4,
+            },
+        ),
+        (
+            "q4",
+            examples::q4(),
+            RandomDbConfig {
+                blocks: 6,
+                max_block_size: 3,
+                domain: 3,
+            },
+        ),
     ] {
         let mut rng = StdRng::seed_from_u64(17);
         let mut agree = 0;
@@ -205,7 +253,10 @@ pub fn e4_thm61(trials: usize) -> bool {
     }
 
     println!("\nCert₂ scaling on q3 chains (certain instances):");
-    println!("{:>8} {:>12} | {:>8} {:>12}", "n", "time", "n", "time(escape)");
+    println!(
+        "{:>8} {:>12} | {:>8} {:>12}",
+        "n", "time", "n", "time(escape)"
+    );
     for n in [50usize, 100, 200, 400, 800] {
         let db = q3_chain_db(n);
         let t0 = Instant::now();
@@ -237,9 +288,13 @@ pub fn e5_thm81(trials: usize) -> bool {
         out.triangle.is_some(),
         out.exhausted
     );
-    let mut ok = !out.fork.is_some() && !out.triangle.is_some();
+    let mut ok = out.fork.is_none() && out.triangle.is_none();
 
-    let cfg = RandomDbConfig { blocks: 6, max_block_size: 3, domain: 3 };
+    let cfg = RandomDbConfig {
+        blocks: 6,
+        max_block_size: 3,
+        domain: 3,
+    };
     let mut rng = StdRng::seed_from_u64(29);
     let mut per_k = [0usize; 4]; // exact matches for k = 1..=3, index 0 = trials
     per_k[0] = trials;
@@ -250,15 +305,15 @@ pub fn e5_thm81(trials: usize) -> bool {
         if brute {
             certain_count += 1;
         }
-        for k in 1..=3usize {
+        for (k, exact) in per_k.iter_mut().enumerate().skip(1) {
             if cert_is(&q5, &db, k) == brute {
-                per_k[k] += 1;
+                *exact += 1;
             }
         }
     }
     println!("{:>4} {:>18}", "k", "exact / trials");
-    for k in 1..=3 {
-        println!("{:>4} {:>12}/{}", k, per_k[k], trials);
+    for (k, exact) in per_k.iter().enumerate().skip(1) {
+        println!("{:>4} {:>12}/{}", k, exact, trials);
     }
     println!("({certain_count} certain instances in the batch)");
     ok &= per_k[2] == trials && per_k[3] == trials;
@@ -322,15 +377,13 @@ pub fn e6_certk_fails() -> bool {
             m
         );
         // Soundness of every under-approximation.
-        ok &= (!c1 || brute) && (!c2 || brute) && (!c3 || brute) && (!m || brute);
+        ok &= brute || (!c1 && !c2 && !c3 && !m);
         if brute && !c2 {
             failures += 1;
             ok &= m; // ¬matching must pick up the slack (clique database)
         }
     }
-    println!(
-        "\ncertain instances missed by Cert_2 but decided by ¬matching: {failures}"
-    );
+    println!("\ncertain instances missed by Cert_2 but decided by ¬matching: {failures}");
     println!("(Theorem 10.1 predicts such instances for every fixed k; the breakers were");
     println!(" found by randomized search over triangle unions — see cqa-workloads)");
     ok &= failures >= 2;
@@ -342,7 +395,11 @@ pub fn e6_certk_fails() -> bool {
 pub fn e7_matching(trials: usize) -> bool {
     header("E7  ¬matching: soundness (Prop 10.2) and clique-exactness (Prop 10.3)");
     let q6 = examples::q6();
-    let cfg = RandomDbConfig { blocks: 5, max_block_size: 2, domain: 3 };
+    let cfg = RandomDbConfig {
+        blocks: 5,
+        max_block_size: 2,
+        domain: 3,
+    };
     let mut rng = StdRng::seed_from_u64(41);
     let (mut sound, mut clique_dbs, mut exact) = (0, 0, 0);
     for _ in 0..trials {
@@ -378,16 +435,22 @@ pub fn e8_combined(trials: usize) -> bool {
     header("E8  Theorem 10.5: combined solver = certain(q) for q6 (mixed instances)");
     let q6 = examples::q6();
     let mut rng = StdRng::seed_from_u64(57);
-    let cfg = RandomDbConfig { blocks: 6, max_block_size: 2, domain: 3 };
+    let cfg = RandomDbConfig {
+        blocks: 6,
+        max_block_size: 2,
+        domain: 3,
+    };
     let mut agree = 0;
     let mut by_matching = 0;
     let mut by_certk = 0;
     for i in 0..trials {
         // Mix: random noise + a triangle grid + sometimes a hard cycle.
         let mut db = random_db(&mut rng, &q6, &cfg);
-        db.absorb(&q6_triangle_grid(1 + i % 3)).expect("same signature");
+        db.absorb(&q6_triangle_grid(1 + i % 3))
+            .expect("same signature");
         if i % 2 == 0 {
-            db.absorb(&q6_certk_hard(2 + i % 3)).expect("same signature");
+            db.absorb(&q6_certk_hard(2 + i % 3))
+                .expect("same signature");
         }
         let brute = certain_brute(&q6, &db);
         let res = certain_combined(&q6, &db, CertKConfig::new(2));
@@ -412,7 +475,11 @@ pub fn e9_prop41(trials: usize) -> bool {
     let q2 = examples::q2();
     let sjf = q2.sjf();
     let mut rng = StdRng::seed_from_u64(71);
-    let cfg = RandomDbConfig { blocks: 6, max_block_size: 2, domain: 3 };
+    let cfg = RandomDbConfig {
+        blocks: 6,
+        max_block_size: 2,
+        domain: 3,
+    };
     let mut agree = 0;
     let mut certain_count = 0;
     let mut size_ratio_num = 0usize;
@@ -456,13 +523,17 @@ pub fn e10_shape() -> bool {
             "{:>8} {:>12} {:>14}",
             db.len(),
             format!("{:.2}ms", dt * 1e3),
-            prev.map(|p| format!("×{:.2}", dt / p)).unwrap_or_else(|| "-".into())
+            prev.map(|p| format!("×{:.2}", dt / p))
+                .unwrap_or_else(|| "-".into())
         );
         prev = Some(dt);
     }
 
     println!("\ncoNP side — brute force on q2 gadget databases D[φ] (expect blow-up):");
-    println!("{:>8} {:>8} {:>10} {:>14}", "vars", "facts", "outcome", "time");
+    println!(
+        "{:>8} {:>8} {:>10} {:>14}",
+        "vars", "facts", "outcome", "time"
+    );
     let q2 = examples::q2();
     let reduction = SatReduction::new(&q2, &SearchConfig::default()).expect("gadget");
     let mut rng = StdRng::seed_from_u64(3);
@@ -485,7 +556,13 @@ pub fn e10_shape() -> bool {
             BruteOutcome::NotCertain(_) => "falsified",
             BruteOutcome::BudgetExhausted => "blown-up",
         };
-        println!("{:>8} {:>8} {:>10} {:>14}", norm.vars().len(), db.len(), outcome, ms(dt));
+        println!(
+            "{:>8} {:>8} {:>10} {:>14}",
+            norm.vars().len(),
+            db.len(),
+            outcome,
+            ms(dt)
+        );
     }
     println!("\n(the PTime series grows smoothly; brute-force cost explodes with the");
     println!(" instance — the dichotomy's empirical signature)");
@@ -497,7 +574,10 @@ pub fn e11_q7() -> bool {
     header("E11  The q7 exercise (Section 10): triangle-tripath, no fork found");
     let q7 = examples::q7();
     println!("q7 = {}", q7.display());
-    println!("2way-determined: {}", cqa_query::conditions::is_2way_determined(&q7));
+    println!(
+        "2way-determined: {}",
+        cqa_query::conditions::is_2way_determined(&q7)
+    );
     let t0 = Instant::now();
     let out = search_tripaths(&q7, &SearchConfig::default());
     println!(
@@ -512,7 +592,11 @@ pub fn e11_q7() -> bool {
     }
     println!(
         "paper's claim (exercise): q7 admits a triangle-tripath and no fork-tripath — {}",
-        if out.triangle.is_some() && out.fork.is_none() { "matched (fork absence bounded)" } else { "MISMATCH" }
+        if out.triangle.is_some() && out.fork.is_none() {
+            "matched (fork absence bounded)"
+        } else {
+            "MISMATCH"
+        }
     );
     out.triangle.is_some() && out.fork.is_none()
 }
@@ -526,17 +610,18 @@ pub fn e11_q7() -> bool {
 pub fn e12_fixpoint_rounds() -> bool {
     header("E12  Fixpoint round counts (Section 11 conjecture, instrumented)");
     let q3 = examples::q3();
-    println!("{:>8} {:>14} {:>14} {:>12} {:>12}", "n", "rounds(chain)", "rounds(wide)", "inserted", "certain");
+    println!(
+        "{:>8} {:>14} {:>14} {:>12} {:>12}",
+        "n", "rounds(chain)", "rounds(wide)", "inserted", "certain"
+    );
     let mut chain_rounds = Vec::new();
     for n in [25usize, 50, 100, 200, 400] {
         let db = q3_chain_db(n);
         let sols = cqa::solvers::SolutionSet::enumerate(&q3, &db);
-        let (out, stats) =
-            cqa::solvers::certk_with_stats(&q3, &db, &sols, CertKConfig::new(2));
+        let (out, stats) = cqa::solvers::certk_with_stats(&q3, &db, &sols, CertKConfig::new(2));
         let wide = q3_certain_db(n / 2);
         let wsols = cqa::solvers::SolutionSet::enumerate(&q3, &wide);
-        let (_, wstats) =
-            cqa::solvers::certk_with_stats(&q3, &wide, &wsols, CertKConfig::new(2));
+        let (_, wstats) = cqa::solvers::certk_with_stats(&q3, &wide, &wsols, CertKConfig::new(2));
         println!(
             "{:>8} {:>14} {:>14} {:>12} {:>12}",
             n,

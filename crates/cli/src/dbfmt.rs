@@ -31,7 +31,10 @@ impl std::fmt::Display for DbFmtError {
 impl std::error::Error for DbFmtError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, DbFmtError> {
-    Err(DbFmtError { line, message: message.into() })
+    Err(DbFmtError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Parse one fact line: `R(a b | c d)`.
@@ -49,7 +52,12 @@ fn parse_fact(line: usize, text: &str) -> Result<(RelId, Vec<Elem>, usize), DbFm
         "R" => RelId::R,
         "R1" => RelId::R1,
         "R2" => RelId::R2,
-        other => return err(line, format!("unknown relation {other:?} (use R, R1 or R2)")),
+        other => {
+            return err(
+                line,
+                format!("unknown relation {other:?} (use R, R1 or R2)"),
+            )
+        }
     };
     let inner = &text[open + 1..close];
     let (key_part, val_part) = match inner.find('|') {
@@ -112,15 +120,18 @@ pub fn parse_database(input: &str) -> Result<Database, DbFmtError> {
         let database = match &mut db {
             Some(d) => {
                 if key_len != sig_key_len {
-                    return err(line_no, format!(
-                        "key length {key_len} differs from the first fact's {sig_key_len}"
-                    ));
+                    return err(
+                        line_no,
+                        format!("key length {key_len} differs from the first fact's {sig_key_len}"),
+                    );
                 }
                 d
             }
             None => {
-                let sig = Signature::new(tuple.len(), key_len)
-                    .map_err(|e| DbFmtError { line: line_no, message: e.to_string() })?;
+                let sig = Signature::new(tuple.len(), key_len).map_err(|e| DbFmtError {
+                    line: line_no,
+                    message: e.to_string(),
+                })?;
                 sig_key_len = key_len;
                 db = Some(Database::new(sig));
                 db.as_mut().expect("just set")
@@ -128,7 +139,10 @@ pub fn parse_database(input: &str) -> Result<Database, DbFmtError> {
         };
         database
             .insert(Fact::new(rel, tuple))
-            .map_err(|e| DbFmtError { line: line_no, message: e.to_string() })?;
+            .map_err(|e| DbFmtError {
+                line: line_no,
+                message: e.to_string(),
+            })?;
     }
     match db {
         Some(d) => Ok(d),
@@ -141,7 +155,13 @@ pub fn parse_database(input: &str) -> Result<Database, DbFmtError> {
 pub fn write_database(db: &Database) -> String {
     let sig = db.signature();
     let mut out = String::new();
-    let _ = writeln!(out, "# {} facts, {} blocks, signature {}", db.len(), db.block_count(), sig);
+    let _ = writeln!(
+        out,
+        "# {} facts, {} blocks, signature {}",
+        db.len(),
+        db.block_count(),
+        sig
+    );
     for b in db.block_ids() {
         for &id in db.block(b) {
             let f = db.fact(id);

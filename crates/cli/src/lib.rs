@@ -33,7 +33,10 @@ pub struct CliError {
 
 impl CliError {
     fn new(message: impl Into<String>) -> CliError {
-        CliError { message: message.into(), code: 2 }
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
     }
 }
 
@@ -102,7 +105,10 @@ pub fn cmd_certain(query: &str, db_text: &str) -> Result<String, CliError> {
     let _ = writeln!(out, "certain:     {}", ans.certain);
     let _ = writeln!(out, "answered by: {:?}", ans.answered_by);
     if ans.budget_exhausted {
-        let _ = writeln!(out, "warning:     budget exhausted; a 'false' may be a false negative");
+        let _ = writeln!(
+            out,
+            "warning:     budget exhausted; a 'false' may be a false negative"
+        );
     }
     Ok(out)
 }
@@ -135,10 +141,11 @@ pub fn cmd_gadget(query: &str, dimacs_text: &str) -> Result<String, CliError> {
     let q = parse_query(query).map_err(|e| CliError::new(e.to_string()))?;
     let phi = parse_dimacs(dimacs_text).map_err(|e| CliError::new(e.to_string()))?;
     let norm = to_occ3_normal_form(&phi);
-    let reduction =
-        cqa_reductions::SatReduction::new(&q, &cqa_tripath::SearchConfig::default())
-            .map_err(|e| CliError::new(e.to_string()))?;
-    let db = reduction.database(&norm).map_err(|e| CliError::new(e.to_string()))?;
+    let reduction = cqa_reductions::SatReduction::new(&q, &cqa_tripath::SearchConfig::default())
+        .map_err(|e| CliError::new(e.to_string()))?;
+    let db = reduction
+        .database(&norm)
+        .map_err(|e| CliError::new(e.to_string()))?;
     let mut out = String::new();
     let _ = writeln!(out, "# D[φ] for φ = {phi}");
     let _ = writeln!(out, "# normal form: {norm}");
@@ -224,8 +231,12 @@ mod tests {
 
     #[test]
     fn solve_dimacs() {
-        assert!(cmd_solve("p cnf 1 2\n1 0\n-1 0\n").unwrap().contains("UNSAT"));
-        assert!(cmd_solve("p cnf 2 1\n1 -2 0\n").unwrap().starts_with("SATISFIABLE"));
+        assert!(cmd_solve("p cnf 1 2\n1 0\n-1 0\n")
+            .unwrap()
+            .contains("UNSAT"));
+        assert!(cmd_solve("p cnf 2 1\n1 -2 0\n")
+            .unwrap()
+            .starts_with("SATISFIABLE"));
         assert!(cmd_solve("p cnf x").is_err());
     }
 

@@ -5,8 +5,10 @@ use cqa_cli::{cmd_certain, cmd_classify, cmd_falsify, cmd_gadget, cmd_solve, usa
 use std::process::ExitCode;
 
 fn read(path: &str) -> Result<String, CliError> {
-    std::fs::read_to_string(path)
-        .map_err(|e| CliError { message: format!("cannot read {path}: {e}"), code: 2 })
+    std::fs::read_to_string(path).map_err(|e| CliError {
+        message: format!("cannot read {path}: {e}"),
+        code: 2,
+    })
 }
 
 fn run() -> Result<String, CliError> {
@@ -17,14 +19,18 @@ fn run() -> Result<String, CliError> {
         ["certain", q, file] => cmd_certain(q, &read(file)?),
         ["falsify", q, file] => cmd_falsify(q, &read(file)?, u64::MAX),
         ["falsify", q, file, budget] => {
-            let b: u64 = budget
-                .parse()
-                .map_err(|_| CliError { message: format!("bad budget {budget:?}"), code: 2 })?;
+            let b: u64 = budget.parse().map_err(|_| CliError {
+                message: format!("bad budget {budget:?}"),
+                code: 2,
+            })?;
             cmd_falsify(q, &read(file)?, b)
         }
         ["gadget", q, file] => cmd_gadget(q, &read(file)?),
         ["solve", file] => cmd_solve(&read(file)?),
-        _ => Err(CliError { message: usage().to_string(), code: 1 }),
+        _ => Err(CliError {
+            message: usage().to_string(),
+            code: 1,
+        }),
     }
 }
 

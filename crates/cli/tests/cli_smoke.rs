@@ -1,0 +1,56 @@
+//! Smoke tests that spawn the real `cqa` binary (not the library
+//! functions) and assert the classification verdicts on the paper's
+//! queries: `q3` is PTime (Theorem 6.1), `q2` is coNP-complete
+//! (Theorem 9.1).
+
+use std::process::Command;
+
+const Q2: &str = "R(x u | x y) R(u y | x z)";
+const Q3: &str = "R(x | y) R(y | z)";
+
+fn cqa(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cqa"))
+        .args(args)
+        .output()
+        .expect("spawn cqa binary");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn classify_q3_is_ptime() {
+    let (stdout, stderr, code) = cqa(&["classify", Q3]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("complexity:  PTimeCert2"), "{stdout}");
+    assert!(stdout.contains("Cert_2"), "{stdout}");
+}
+
+#[test]
+fn classify_q2_is_conp_complete() {
+    let (stdout, stderr, code) = cqa(&["classify", Q2]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("complexity:  CoNpComplete"), "{stdout}");
+    assert!(stdout.contains("fork-tripath witness"), "{stdout}");
+}
+
+#[test]
+fn certain_evaluates_a_fact_file() {
+    let dir = std::env::temp_dir().join(format!("cqa-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("chain.facts");
+    std::fs::write(&db, "R(a | b)\nR(b | c)\n").unwrap();
+    let (stdout, stderr, code) = cqa(&["certain", Q3, db.to_str().unwrap()]);
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("certain:     true"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero_with_usage() {
+    let (_, stderr, code) = cqa(&["frobnicate"]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}

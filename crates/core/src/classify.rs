@@ -110,7 +110,10 @@ pub fn classify(q: &Query) -> Classification {
 /// Classify `q`, controlling the tripath search.
 pub fn classify_with(q: &Query, cfg: &SearchConfig) -> Classification {
     if q.is_one_atom_equivalent() {
-        return Classification::syntactic(Complexity::Trivial, ClassificationRule::OneAtomEquivalent);
+        return Classification::syntactic(
+            Complexity::Trivial,
+            ClassificationRule::OneAtomEquivalent,
+        );
     }
     if thm42_conp_hard(q) {
         return Classification::syntactic(Complexity::CoNpComplete, ClassificationRule::Theorem42);
@@ -118,8 +121,15 @@ pub fn classify_with(q: &Query, cfg: &SearchConfig) -> Classification {
     if thm61_applies(q) {
         return Classification::syntactic(Complexity::PTimeCert2, ClassificationRule::Theorem61);
     }
-    debug_assert!(is_2way_determined(q), "classification cases must be exhaustive");
-    let SearchOutcome { fork, triangle, exhausted } = search_tripaths(q, cfg);
+    debug_assert!(
+        is_2way_determined(q),
+        "classification cases must be exhaustive"
+    );
+    let SearchOutcome {
+        fork,
+        triangle,
+        exhausted,
+    } = search_tripaths(q, cfg);
     match (&fork, &triangle) {
         (Some(_), _) => Classification {
             complexity: Complexity::CoNpComplete,
@@ -131,14 +141,22 @@ pub fn classify_with(q: &Query, cfg: &SearchConfig) -> Classification {
         (None, Some(_)) => Classification {
             complexity: Complexity::PTimeCombined,
             rule: ClassificationRule::Theorem105,
-            confidence: if exhausted { Confidence::BoundedEvidence } else { Confidence::Proved },
+            confidence: if exhausted {
+                Confidence::BoundedEvidence
+            } else {
+                Confidence::Proved
+            },
             fork_witness: None,
             triangle_witness: triangle,
         },
         (None, None) => Classification {
             complexity: Complexity::PTimeCertK,
             rule: ClassificationRule::Theorem81,
-            confidence: if exhausted { Confidence::BoundedEvidence } else { Confidence::Proved },
+            confidence: if exhausted {
+                Confidence::BoundedEvidence
+            } else {
+                Confidence::Proved
+            },
             fork_witness: None,
             triangle_witness: None,
         },
@@ -153,13 +171,29 @@ mod tests {
     #[test]
     fn paper_queries_classify_as_claimed() {
         let expected = [
-            ("q1", Complexity::CoNpComplete, ClassificationRule::Theorem42),
-            ("q2", Complexity::CoNpComplete, ClassificationRule::Theorem91),
+            (
+                "q1",
+                Complexity::CoNpComplete,
+                ClassificationRule::Theorem42,
+            ),
+            (
+                "q2",
+                Complexity::CoNpComplete,
+                ClassificationRule::Theorem91,
+            ),
             ("q3", Complexity::PTimeCert2, ClassificationRule::Theorem61),
             ("q4", Complexity::PTimeCert2, ClassificationRule::Theorem61),
             ("q5", Complexity::PTimeCertK, ClassificationRule::Theorem81),
-            ("q6", Complexity::PTimeCombined, ClassificationRule::Theorem105),
-            ("q7", Complexity::PTimeCombined, ClassificationRule::Theorem105),
+            (
+                "q6",
+                Complexity::PTimeCombined,
+                ClassificationRule::Theorem105,
+            ),
+            (
+                "q7",
+                Complexity::PTimeCombined,
+                ClassificationRule::Theorem105,
+            ),
         ];
         for ((name, q), (ename, ecx, erule)) in examples::all().into_iter().zip(expected) {
             assert_eq!(name, ename);
@@ -171,7 +205,11 @@ mod tests {
 
     #[test]
     fn trivial_queries() {
-        for s in ["R(x | y) R(u | v)", "R(x | y) R(x | z)", "R(x | x) R(u | v)"] {
+        for s in [
+            "R(x | y) R(u | v)",
+            "R(x | y) R(x | z)",
+            "R(x | x) R(u | v)",
+        ] {
             let q = parse_query(s).unwrap();
             let c = classify(&q);
             assert_eq!(c.complexity, Complexity::Trivial, "{s}");

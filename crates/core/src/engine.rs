@@ -4,9 +4,7 @@
 use crate::classify::{classify_with, Classification, Complexity};
 use cqa_model::Database;
 use cqa_query::Query;
-use cqa_solvers::{
-    certain_brute_budgeted, certain_combined, certk, BruteOutcome, CertKConfig,
-};
+use cqa_solvers::{certain_brute_budgeted, certain_combined, certk, BruteOutcome, CertKConfig};
 use cqa_tripath::SearchConfig;
 
 /// Which algorithm actually answered a [`CqaEngine::certain`] call.
@@ -88,7 +86,11 @@ impl CqaEngine {
     /// Build an engine with explicit budgets.
     pub fn with_config(query: Query, config: EngineConfig) -> CqaEngine {
         let classification = classify_with(&query, &config.search);
-        CqaEngine { query, classification, config }
+        CqaEngine {
+            query,
+            classification,
+            config,
+        }
     }
 
     /// The query.
@@ -204,7 +206,10 @@ mod tests {
             db2(&[["a", "b"]]),
         ];
         for db in &cases {
-            assert_eq!(engine.certain(db).certain, certain_brute(engine.query(), db));
+            assert_eq!(
+                engine.certain(db).certain,
+                certain_brute(engine.query(), db)
+            );
         }
     }
 }

@@ -42,7 +42,9 @@
 mod classify;
 mod engine;
 
-pub use classify::{classify, classify_with, Classification, ClassificationRule, Complexity, Confidence};
+pub use classify::{
+    classify, classify_with, Classification, ClassificationRule, Complexity, Confidence,
+};
 pub use engine::{AnsweredBy, CertainAnswer, CqaEngine, EngineConfig};
 
 // Substrate re-exports for downstream users of the facade crate.

@@ -17,7 +17,11 @@ pub struct BipartiteGraph {
 impl BipartiteGraph {
     /// An edgeless bipartite graph with the given side sizes.
     pub fn new(n_left: usize, n_right: usize) -> BipartiteGraph {
-        BipartiteGraph { n_left, n_right, adj: vec![Vec::new(); n_left] }
+        BipartiteGraph {
+            n_left,
+            n_right,
+            adj: vec![Vec::new(); n_left],
+        }
     }
 
     /// Number of left vertices.
@@ -113,8 +117,14 @@ impl BipartiteGraph {
 
         Matching {
             size,
-            match_left: match_l.into_iter().map(|r| (r != NIL).then_some(r)).collect(),
-            match_right: match_r.into_iter().map(|l| (l != NIL).then_some(l)).collect(),
+            match_left: match_l
+                .into_iter()
+                .map(|r| (r != NIL).then_some(r))
+                .collect(),
+            match_right: match_r
+                .into_iter()
+                .map(|l| (l != NIL).then_some(l))
+                .collect(),
         }
     }
 
@@ -165,8 +175,10 @@ mod tests {
         let m = edges.len();
         let mut best = 0;
         for mask in 0u32..(1 << m) {
-            let chosen: Vec<_> =
-                (0..m).filter(|i| mask & (1 << i) != 0).map(|i| edges[i]).collect();
+            let chosen: Vec<_> = (0..m)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| edges[i])
+                .collect();
             let mut ls = std::collections::HashSet::new();
             let mut rs = std::collections::HashSet::new();
             if chosen.iter().all(|&(l, r)| ls.insert(l) && rs.insert(r)) {
@@ -254,7 +266,11 @@ mod tests {
             }
             let fast = g.maximum_matching();
             assert!(fast.is_consistent());
-            assert_eq!(fast.size, brute_force_max_matching(&g), "trial {trial}: {g:?}");
+            assert_eq!(
+                fast.size,
+                brute_force_max_matching(&g),
+                "trial {trial}: {g:?}"
+            );
         }
     }
 

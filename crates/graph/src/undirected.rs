@@ -20,7 +20,12 @@ pub struct Undirected {
 impl Undirected {
     /// An edgeless graph on `n` vertices.
     pub fn new(n: usize) -> Undirected {
-        Undirected { n, adj: vec![Vec::new(); n], edges: HashSet::new(), loops: HashSet::new() }
+        Undirected {
+            n,
+            adj: vec![Vec::new(); n],
+            edges: HashSet::new(),
+            loops: HashSet::new(),
+        }
     }
 
     /// Number of vertices.

@@ -11,7 +11,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> UnionFind {
-        UnionFind { parent: (0..n).collect(), size: vec![1; n], components: n }
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            components: n,
+        }
     }
 
     /// Number of elements.

@@ -22,9 +22,7 @@ fn kuhn_matching(n_left: usize, n_right: usize, edges: &[(usize, usize)]) -> usi
         for &r in &adj[l] {
             if !visited[r] {
                 visited[r] = true;
-                if match_r[r].is_none()
-                    || try_kuhn(match_r[r].unwrap(), adj, visited, match_r)
-                {
+                if match_r[r].is_none() || try_kuhn(match_r[r].unwrap(), adj, visited, match_r) {
                     match_r[r] = Some(l);
                     return true;
                 }
@@ -50,6 +48,10 @@ fn bipartite_strategy() -> impl Strategy<Value = (usize, usize, Vec<(usize, usiz
 }
 
 proptest! {
+    // Bounded so the full workspace test run stays fast and, with the
+    // vendored proptest's name-derived seeding, fully deterministic.
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
     #[test]
     fn union_find_equivalence_laws(ops in proptest::collection::vec((0usize..10, 0usize..10), 0..30)) {
         let mut uf = UnionFind::new(10);
@@ -82,8 +84,8 @@ proptest! {
         }
         // Floyd-Warshall style reachability as reference.
         let mut reach = vec![vec![false; n]; n];
-        for v in 0..n {
-            reach[v][v] = true;
+        for (v, row) in reach.iter_mut().enumerate() {
+            row[v] = true;
         }
         for &(a, b) in &edges {
             if a != b {

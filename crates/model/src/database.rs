@@ -74,12 +74,16 @@ impl Database {
     /// Rejects facts whose arity differs from the database signature.
     pub fn insert(&mut self, fact: Fact) -> Result<FactId, ModelError> {
         if fact.arity() != self.sig.arity() {
-            return Err(ModelError::ArityMismatch { expected: self.sig.arity(), got: fact.arity() });
+            return Err(ModelError::ArityMismatch {
+                expected: self.sig.arity(),
+                got: fact.arity(),
+            });
         }
         if let Some(&id) = self.dedup.get(&fact) {
             return Ok(id);
         }
-        let id = FactId(u32::try_from(self.facts.len()).expect("database exhausted (> 2^32 facts)"));
+        let id =
+            FactId(u32::try_from(self.facts.len()).expect("database exhausted (> 2^32 facts)"));
         let key: BlockKey = (fact.rel(), fact.key(&self.sig).to_vec().into_boxed_slice());
         let block = match self.by_key.get(&key) {
             Some(&b) => {
@@ -129,7 +133,10 @@ impl Database {
 
     /// Iterator over `(id, fact)` pairs.
     pub fn facts(&self) -> impl Iterator<Item = (FactId, &Fact)> {
-        self.facts.iter().enumerate().map(|(i, f)| (FactId(i as u32), f))
+        self.facts
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FactId(i as u32), f))
     }
 
     /// All fact ids.
@@ -210,7 +217,13 @@ impl Database {
 
 impl fmt::Debug for Database {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Database {} ({} facts, {} blocks):", self.sig, self.len(), self.block_count())?;
+        writeln!(
+            f,
+            "Database {} ({} facts, {} blocks):",
+            self.sig,
+            self.len(),
+            self.block_count()
+        )?;
         for b in self.block_ids() {
             write!(f, "  block {}:", b.0)?;
             for &id in self.block(b) {
@@ -273,7 +286,13 @@ mod tests {
     fn rejects_arity_mismatch() {
         let mut db = Database::new(Signature::new(3, 1).unwrap());
         let err = db.insert(Fact::from_names(["a", "b"])).unwrap_err();
-        assert!(matches!(err, ModelError::ArityMismatch { expected: 3, got: 2 }));
+        assert!(matches!(
+            err,
+            ModelError::ArityMismatch {
+                expected: 3,
+                got: 2
+            }
+        ));
     }
 
     #[test]
@@ -291,8 +310,10 @@ mod tests {
         // 2^130 blocks would overflow u128; simulate with many 2-fact blocks.
         let mut db = Database::new(Signature::new(2, 1).unwrap());
         for i in 0..130 {
-            db.insert(Fact::r(vec![Elem::int(i), Elem::named("x")])).unwrap();
-            db.insert(Fact::r(vec![Elem::int(i), Elem::named("y")])).unwrap();
+            db.insert(Fact::r(vec![Elem::int(i), Elem::named("x")]))
+                .unwrap();
+            db.insert(Fact::r(vec![Elem::int(i), Elem::named("y")]))
+                .unwrap();
         }
         assert_eq!(db.repair_count(), u128::MAX);
     }

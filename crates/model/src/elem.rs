@@ -19,11 +19,10 @@
 //! all databases of a process, which is exactly what the reductions need
 //! when they transport facts from one database into another.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 /// An interned domain element. Cheap to copy and compare; the payload lives
 /// in the global store and can be recovered with [`Elem::data`].
@@ -50,7 +49,10 @@ struct Interner {
 
 impl Interner {
     fn new() -> Self {
-        Interner { data: Vec::new(), index: HashMap::new() }
+        Interner {
+            data: Vec::new(),
+            index: HashMap::new(),
+        }
     }
 
     fn intern(&mut self, d: ElemData) -> Elem {
@@ -75,29 +77,41 @@ static FRESH_COUNTER: AtomicU64 = AtomicU64::new(0);
 impl Elem {
     /// Intern a named constant.
     pub fn named(name: impl Into<String>) -> Elem {
-        store().write().intern(ElemData::Named(name.into()))
+        store()
+            .write()
+            .expect("interner lock poisoned")
+            .intern(ElemData::Named(name.into()))
     }
 
     /// Intern an integer constant.
     pub fn int(v: i64) -> Elem {
-        store().write().intern(ElemData::Int(v))
+        store()
+            .write()
+            .expect("interner lock poisoned")
+            .intern(ElemData::Int(v))
     }
 
     /// Intern the ordered pair `⟨fst, snd⟩`.
     pub fn pair(fst: Elem, snd: Elem) -> Elem {
-        store().write().intern(ElemData::Pair(fst, snd))
+        store()
+            .write()
+            .expect("interner lock poisoned")
+            .intern(ElemData::Pair(fst, snd))
     }
 
     /// Create a fresh element distinct from every element created so far and
     /// from every element that will ever be created by other means.
     pub fn fresh() -> Elem {
         let n = FRESH_COUNTER.fetch_add(1, Ordering::Relaxed);
-        store().write().intern(ElemData::Fresh(n))
+        store()
+            .write()
+            .expect("interner lock poisoned")
+            .intern(ElemData::Fresh(n))
     }
 
     /// A clone of this element's payload.
     pub fn data(self) -> ElemData {
-        store().read().data[self.0 as usize].clone()
+        store().read().expect("interner lock poisoned").data[self.0 as usize].clone()
     }
 
     /// The raw interner handle. Only meaningful within one process.

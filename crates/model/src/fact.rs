@@ -15,7 +15,10 @@ pub struct Fact {
 impl Fact {
     /// Build a fact over relation `rel` with the given tuple.
     pub fn new(rel: RelId, tuple: impl Into<Box<[Elem]>>) -> Fact {
-        Fact { rel, tuple: tuple.into() }
+        Fact {
+            rel,
+            tuple: tuple.into(),
+        }
     }
 
     /// Build a fact over the default relation [`RelId::R`].
@@ -26,7 +29,12 @@ impl Fact {
     /// Convenience constructor from named constants: `Fact::named("R0", ["a","b"])`
     /// is not needed; this one takes only the tuple names over relation `R`.
     pub fn from_names<S: AsRef<str>>(names: impl IntoIterator<Item = S>) -> Fact {
-        Fact::r(names.into_iter().map(|s| Elem::named(s.as_ref())).collect::<Vec<_>>())
+        Fact::r(
+            names
+                .into_iter()
+                .map(|s| Elem::named(s.as_ref()))
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// The relation symbol of this fact.
@@ -56,7 +64,11 @@ impl Fact {
     /// Panics if the signature arity does not match the fact's arity —
     /// mixing signatures is a logic error, not a recoverable condition.
     pub fn key<'a>(&'a self, sig: &Signature) -> &'a [Elem] {
-        assert_eq!(self.arity(), sig.arity(), "fact arity does not match signature");
+        assert_eq!(
+            self.arity(),
+            sig.arity(),
+            "fact arity does not match signature"
+        );
         &self.tuple[..sig.key_len()]
     }
 

@@ -60,7 +60,11 @@ pub enum ModelError {
 impl std::fmt::Display for ModelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ModelError::BadSignature { arity, key_len, reason } => {
+            ModelError::BadSignature {
+                arity,
+                key_len,
+                reason,
+            } => {
                 write!(f, "invalid signature [{arity}, {key_len}]: {reason}")
             }
             ModelError::ArityMismatch { expected, got } => {

@@ -43,7 +43,9 @@ impl Repair {
 
     /// The repair that picks the first fact of every block.
     pub fn first(db: &Database) -> Repair {
-        Repair { choice: db.block_ids().map(|b| db.block(b)[0]).collect() }
+        Repair {
+            choice: db.block_ids().map(|b| db.block(b)[0]).collect(),
+        }
     }
 
     /// The fact chosen for block `b`.
@@ -99,7 +101,10 @@ impl<'a> RepairIter<'a> {
     /// Start enumerating the repairs of `db`. Even the empty database has
     /// exactly one repair (the empty one).
     pub fn new(db: &'a Database) -> RepairIter<'a> {
-        RepairIter { db, cursor: Some(vec![0; db.block_count()]) }
+        RepairIter {
+            db,
+            cursor: Some(vec![0; db.block_count()]),
+        }
     }
 }
 
@@ -117,14 +122,14 @@ impl<'a> Iterator for RepairIter<'a> {
         };
         // Advance the odometer.
         let mut done = true;
-        for b in 0..cursor.len() {
+        for (b, slot) in cursor.iter_mut().enumerate() {
             let size = self.db.block(BlockId(b as u32)).len();
-            if cursor[b] + 1 < size {
-                cursor[b] += 1;
+            if *slot + 1 < size {
+                *slot += 1;
                 done = false;
                 break;
             }
-            cursor[b] = 0;
+            *slot = 0;
         }
         if done {
             self.cursor = None;
@@ -148,7 +153,14 @@ mod tests {
 
     #[test]
     fn enumerates_all_repairs() {
-        let d = db(&[["a", "1"], ["a", "2"], ["b", "1"], ["b", "2"], ["b", "3"], ["c", "1"]]);
+        let d = db(&[
+            ["a", "1"],
+            ["a", "2"],
+            ["b", "1"],
+            ["b", "2"],
+            ["b", "3"],
+            ["c", "1"],
+        ]);
         let repairs: Vec<_> = RepairIter::new(&d).collect();
         assert_eq!(repairs.len() as u128, d.repair_count());
         assert_eq!(repairs.len(), 6);

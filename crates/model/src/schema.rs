@@ -52,7 +52,11 @@ impl Signature {
     /// Rejects `arity == 0` and `key_len > arity`.
     pub fn new(arity: usize, key_len: usize) -> Result<Signature, crate::ModelError> {
         if arity == 0 {
-            return Err(crate::ModelError::BadSignature { arity, key_len, reason: "arity must be ≥ 1" });
+            return Err(crate::ModelError::BadSignature {
+                arity,
+                key_len,
+                reason: "arity must be ≥ 1",
+            });
         }
         if key_len > arity {
             return Err(crate::ModelError::BadSignature {

@@ -26,6 +26,10 @@ fn db_strategy(arity: usize, key_len: usize) -> impl Strategy<Value = Database> 
 }
 
 proptest! {
+    // Bounded so the full workspace test run stays fast and, with the
+    // vendored proptest's name-derived seeding, fully deterministic.
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
     #[test]
     fn interning_is_injective_on_payloads(a in elem_strategy(), b in elem_strategy()) {
         prop_assert_eq!(a == b, a.data() == b.data());

@@ -17,12 +17,21 @@ pub struct Atom {
 impl Atom {
     /// Build an atom over relation `rel`.
     pub fn new(rel: RelId, vars: impl Into<Box<[Var]>>) -> Atom {
-        Atom { rel, vars: vars.into() }
+        Atom {
+            rel,
+            vars: vars.into(),
+        }
     }
 
     /// Build an atom over the default relation `R` from variable names.
     pub fn r<S: AsRef<str>>(names: impl IntoIterator<Item = S>) -> Atom {
-        Atom::new(RelId::R, names.into_iter().map(|s| Var::new(s.as_ref())).collect::<Vec<_>>())
+        Atom::new(
+            RelId::R,
+            names
+                .into_iter()
+                .map(|s| Var::new(s.as_ref()))
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// The relation symbol.
@@ -33,7 +42,10 @@ impl Atom {
     /// A copy of this atom over a different relation symbol (used by the
     /// canonical self-join-free query `sjf(q)` of Section 4).
     pub fn with_rel(&self, rel: RelId) -> Atom {
-        Atom { rel, vars: self.vars.clone() }
+        Atom {
+            rel,
+            vars: self.vars.clone(),
+        }
     }
 
     /// The arity.
@@ -58,7 +70,11 @@ impl Atom {
 
     /// The key tuple `key(A)` — the first `l` variables.
     pub fn key<'a>(&'a self, sig: &Signature) -> &'a [Var] {
-        assert_eq!(self.arity(), sig.arity(), "atom arity does not match signature");
+        assert_eq!(
+            self.arity(),
+            sig.arity(),
+            "atom arity does not match signature"
+        );
         &self.vars[..sig.key_len()]
     }
 
@@ -69,7 +85,12 @@ impl Atom {
 
     /// All positions (0-based) where `v` occurs.
     pub fn positions_of(&self, v: &Var) -> Vec<usize> {
-        self.vars.iter().enumerate().filter(|(_, w)| *w == v).map(|(i, _)| i).collect()
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| *w == v)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Render with the key prefix separated by `|`, e.g. `R(x u | x y)`.
@@ -117,8 +138,14 @@ mod tests {
         let sig = Signature::new(5, 3).unwrap();
         let a = Atom::r(["x", "y", "x", "u", "z"]);
         assert_eq!(a.key(&sig), &[Var::new("x"), Var::new("y"), Var::new("x")]);
-        assert_eq!(a.key_set(&sig), ["x", "y"].into_iter().map(Var::new).collect());
-        assert_eq!(a.vars(), ["x", "y", "u", "z"].into_iter().map(Var::new).collect());
+        assert_eq!(
+            a.key_set(&sig),
+            ["x", "y"].into_iter().map(Var::new).collect()
+        );
+        assert_eq!(
+            a.vars(),
+            ["x", "y", "u", "z"].into_iter().map(Var::new).collect()
+        );
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub fn cond1(q: &Query) -> bool {
     let shared = q.shared_vars();
     let key_a = q.a().key_set(sig);
     let key_b = q.b().key_set(sig);
-    !subset(&shared, &key_a) && !subset(&shared, &key_b) && !subset(&key_a, &key_b)
+    !subset(&shared, &key_a)
+        && !subset(&shared, &key_b)
+        && !subset(&key_a, &key_b)
         && !subset(&key_b, &key_a)
 }
 
@@ -176,7 +178,13 @@ mod tests {
         // ¬cond1 ⟺ thm61_applies, and (cond1 ∧ ¬cond2) ⟺ 2way-determined,
         // checked on a batch of structured queries.
         let shapes = [
-            Q1, Q2, Q3, Q4, Q5, Q6, Q7,
+            Q1,
+            Q2,
+            Q3,
+            Q4,
+            Q5,
+            Q6,
+            Q7,
             "R(x y | z) R(y z | x)",
             "R(x | x y) R(y | y x)",
             "R(x y | u) R(u x | v)",

@@ -59,7 +59,7 @@ pub fn unify_atoms(a: &Atom, b: &Atom) -> Option<Atom> {
     let n = a.arity();
     // Union-find over positions: i ~ j whenever A forces it or B forces it.
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
         while parent[i] != i {
             parent[i] = parent[parent[i]];
             i = parent[i];

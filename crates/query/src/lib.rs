@@ -49,12 +49,19 @@ pub enum QueryError {
 impl std::fmt::Display for QueryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            QueryError::ArityMismatch { expected, got_a, got_b } => write!(
+            QueryError::ArityMismatch {
+                expected,
+                got_a,
+                got_b,
+            } => write!(
                 f,
                 "atom arities ({got_a}, {got_b}) do not match the signature arity {expected}"
             ),
             QueryError::MixedRelations => {
-                write!(f, "self-join query requires both atoms over the same relation")
+                write!(
+                    f,
+                    "self-join query requires both atoms over the same relation"
+                )
             }
             QueryError::Parse(msg) => write!(f, "parse error: {msg}"),
         }

@@ -38,8 +38,7 @@ pub fn parse_query(input: &str) -> Result<Query, QueryError> {
             "atoms have different key lengths ({a_key} vs {b_key})"
         )));
     }
-    let sig = Signature::new(a.len(), a_key)
-        .map_err(|e| QueryError::Parse(e.to_string()))?;
+    let sig = Signature::new(a.len(), a_key).map_err(|e| QueryError::Parse(e.to_string()))?;
     let atom_a = Atom::new(r1, a);
     let atom_b = Atom::new(r2, b);
     if r1 == r2 {
@@ -117,7 +116,9 @@ fn parse_segment(seg: &str) -> Result<Vec<Var>, QueryError> {
     if seg.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
         return Ok(vec![Var::new(seg)]);
     }
-    Err(QueryError::Parse(format!("cannot parse variable segment {seg:?}")))
+    Err(QueryError::Parse(format!(
+        "cannot parse variable segment {seg:?}"
+    )))
 }
 
 #[cfg(test)]
@@ -129,8 +130,14 @@ mod tests {
         let q = parse_query("R(x u | x y) R(u y | x z)").unwrap();
         assert_eq!(q.signature().arity(), 4);
         assert_eq!(q.signature().key_len(), 2);
-        assert_eq!(q.a().tuple().iter().map(|v| v.name()).collect::<Vec<_>>(), ["x", "u", "x", "y"]);
-        assert_eq!(q.b().tuple().iter().map(|v| v.name()).collect::<Vec<_>>(), ["u", "y", "x", "z"]);
+        assert_eq!(
+            q.a().tuple().iter().map(|v| v.name()).collect::<Vec<_>>(),
+            ["x", "u", "x", "y"]
+        );
+        assert_eq!(
+            q.b().tuple().iter().map(|v| v.name()).collect::<Vec<_>>(),
+            ["u", "y", "x", "z"]
+        );
     }
 
     #[test]

@@ -65,7 +65,11 @@ impl Query {
     /// The equivalent query `B A` (the paper freely swaps atoms, e.g. in the
     /// symmetric case of Theorem 6.1).
     pub fn swapped(&self) -> Query {
-        Query { sig: self.sig, a: self.b.clone(), b: self.a.clone() }
+        Query {
+            sig: self.sig,
+            a: self.b.clone(),
+            b: self.a.clone(),
+        }
     }
 
     /// The canonical self-join-free query `sjf(q)` (Section 4): `A` moved to
@@ -87,7 +91,11 @@ impl Query {
 
     /// The shared variables `vars(A) ∩ vars(B)`.
     pub fn shared_vars(&self) -> BTreeSet<Var> {
-        self.a.vars().intersection(&self.b.vars()).cloned().collect()
+        self.a
+            .vars()
+            .intersection(&self.b.vars())
+            .cloned()
+            .collect()
     }
 
     /// Whether `q` is equivalent (over consistent databases) to a one-atom
@@ -120,7 +128,11 @@ impl Query {
 
     /// Render the query, e.g. `R(x u | x y) R(u y | x z)`.
     pub fn display(&self) -> String {
-        format!("{} {}", self.a.display(&self.sig), self.b.display(&self.sig))
+        format!(
+            "{} {}",
+            self.a.display(&self.sig),
+            self.b.display(&self.sig)
+        )
     }
 }
 
@@ -153,7 +165,10 @@ mod tests {
         let sig = Signature::new(2, 1).unwrap();
         let a = Atom::r(["x", "y"]);
         let b = a.with_rel(RelId::R1);
-        assert!(matches!(Query::new(sig, a, b), Err(QueryError::MixedRelations)));
+        assert!(matches!(
+            Query::new(sig, a, b),
+            Err(QueryError::MixedRelations)
+        ));
     }
 
     #[test]
@@ -207,12 +222,12 @@ mod tests {
     #[test]
     fn paper_queries_are_not_trivial() {
         for s in [
-            "R(x u | x v) R(v y | u y)",     // q1
-            "R(x u | x y) R(u y | x z)",     // q2
-            "R(x | y) R(y | z)",             // q3
-            "R(x x | u v) R(x y | u x)",     // q4
-            "R(x | y x) R(y | x u)",         // q5
-            "R(x | y z) R(z | x y)",         // q6
+            "R(x u | x v) R(v y | u y)", // q1
+            "R(x u | x y) R(u y | x z)", // q2
+            "R(x | y) R(y | z)",         // q3
+            "R(x x | u v) R(x y | u x)", // q4
+            "R(x | y x) R(y | x u)",     // q5
+            "R(x | y z) R(z | x y)",     // q6
         ] {
             let q = parse_query(s).unwrap();
             assert!(!q.is_one_atom_equivalent(), "{s} unexpectedly trivial");

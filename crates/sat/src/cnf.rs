@@ -17,12 +17,18 @@ pub struct Lit {
 impl Lit {
     /// The positive literal of `v`.
     pub fn pos(v: PVar) -> Lit {
-        Lit { var: v, positive: true }
+        Lit {
+            var: v,
+            positive: true,
+        }
     }
 
     /// The negative literal of `v`.
     pub fn neg(v: PVar) -> Lit {
-        Lit { var: v, positive: false }
+        Lit {
+            var: v,
+            positive: false,
+        }
     }
 
     /// The underlying variable.
@@ -37,7 +43,10 @@ impl Lit {
 
     /// The complementary literal.
     pub fn negated(self) -> Lit {
-        Lit { var: self.var, positive: !self.positive }
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
     }
 
     /// Evaluate under an assignment of the variable.
@@ -78,7 +87,9 @@ impl Cnf {
 
     /// Build from clauses.
     pub fn from_clauses(clauses: impl IntoIterator<Item = Clause>) -> Cnf {
-        Cnf { clauses: clauses.into_iter().collect() }
+        Cnf {
+            clauses: clauses.into_iter().collect(),
+        }
     }
 
     /// Append one clause.
@@ -124,7 +135,9 @@ impl Cnf {
     /// occurs at all) at least once positively and once negatively — the
     /// normal form Section 9's reduction consumes.
     pub fn is_occ3_normal_form(&self) -> bool {
-        self.occurrences().values().all(|&(p, n)| p + n <= 3 && p >= 1 && n >= 1)
+        self.occurrences()
+            .values()
+            .all(|&(p, n)| p + n <= 3 && p >= 1 && n >= 1)
     }
 
     /// `true` iff every clause has at most three literals.

@@ -33,11 +33,17 @@ pub fn parse_dimacs(input: &str) -> Result<Cnf, DimacsError> {
         }
         if let Some(rest) = line.strip_prefix('p') {
             if declared.is_some() {
-                return Err(DimacsError(format!("line {}: duplicate header", lineno + 1)));
+                return Err(DimacsError(format!(
+                    "line {}: duplicate header",
+                    lineno + 1
+                )));
             }
             let mut parts = rest.split_whitespace();
             if parts.next() != Some("cnf") {
-                return Err(DimacsError(format!("line {}: expected 'p cnf'", lineno + 1)));
+                return Err(DimacsError(format!(
+                    "line {}: expected 'p cnf'",
+                    lineno + 1
+                )));
             }
             let vars: u32 = parts
                 .next()
@@ -66,7 +72,11 @@ pub fn parse_dimacs(input: &str) -> Result<Cnf, DimacsError> {
                         )));
                     }
                 }
-                current.push(if v > 0 { Lit::pos(PVar(var)) } else { Lit::neg(PVar(var)) });
+                current.push(if v > 0 {
+                    Lit::pos(PVar(var))
+                } else {
+                    Lit::neg(PVar(var))
+                });
             }
         }
     }

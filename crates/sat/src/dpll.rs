@@ -44,9 +44,10 @@ pub fn solve(f: &Cnf) -> SatResult {
 
 /// Evaluate `f` under a (total) map assignment.
 pub fn eval_with(f: &Cnf, assignment: &HashMap<PVar, bool>) -> bool {
-    f.clauses()
-        .iter()
-        .all(|c| c.iter().any(|l| assignment.get(&l.var()).copied().map_or(false, |v| l.eval(v))))
+    f.clauses().iter().all(|c| {
+        c.iter()
+            .any(|l| assignment.get(&l.var()).copied().is_some_and(|v| l.eval(v)))
+    })
 }
 
 fn dpll(clauses: &[Vec<Lit>], assignment: &mut HashMap<PVar, bool>) -> bool {
@@ -130,7 +131,10 @@ fn dpll(clauses: &[Vec<Lit>], assignment: &mut HashMap<PVar, bool>) -> bool {
 /// Exhaustive reference solver (≤ 20 variables) used to validate DPLL.
 pub fn solve_exhaustive(f: &Cnf) -> bool {
     let vars: Vec<PVar> = f.vars().into_iter().collect();
-    assert!(vars.len() <= 20, "exhaustive solver limited to 20 variables");
+    assert!(
+        vars.len() <= 20,
+        "exhaustive solver limited to 20 variables"
+    );
     let max = vars.iter().map(|v| v.0 as usize + 1).max().unwrap_or(0);
     (0u32..(1 << vars.len())).any(|mask| {
         let mut assignment = vec![false; max];
@@ -225,7 +229,9 @@ mod tests {
     fn sat_witness_is_valid() {
         let mut state = 0xDEADBEEFu64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for _ in 0..100 {

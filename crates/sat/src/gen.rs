@@ -14,14 +14,23 @@ use rand::Rng;
 /// # Panics
 /// Panics if `n_vars < 3`.
 pub fn random_3sat(rng: &mut impl Rng, n_vars: u32, n_clauses: usize) -> Cnf {
-    assert!(n_vars >= 3, "need at least 3 variables for 3-literal clauses");
+    assert!(
+        n_vars >= 3,
+        "need at least 3 variables for 3-literal clauses"
+    );
     let mut f = Cnf::new();
     let vars: Vec<u32> = (0..n_vars).collect();
     for _ in 0..n_clauses {
         let chosen: Vec<u32> = vars.choose_multiple(rng, 3).copied().collect();
         let clause: Clause = chosen
             .into_iter()
-            .map(|v| if rng.gen_bool(0.5) { Lit::pos(PVar(v)) } else { Lit::neg(PVar(v)) })
+            .map(|v| {
+                if rng.gen_bool(0.5) {
+                    Lit::pos(PVar(v))
+                } else {
+                    Lit::neg(PVar(v))
+                }
+            })
             .collect();
         f.push(clause);
     }

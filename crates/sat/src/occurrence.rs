@@ -112,8 +112,11 @@ fn eliminate_pure(clauses: &mut Vec<Clause>) {
                 }
             }
         }
-        let pure: BTreeSet<PVar> =
-            pol.iter().filter(|(_, &(p, n))| p != n).map(|(&v, _)| v).collect();
+        let pure: BTreeSet<PVar> = pol
+            .iter()
+            .filter(|(_, &(p, n))| p != n)
+            .map(|(&v, _)| v)
+            .collect();
         if pure.is_empty() {
             return;
         }
@@ -124,8 +127,12 @@ fn eliminate_pure(clauses: &mut Vec<Clause>) {
 /// Split variables with more than three occurrences into cycled copies.
 /// Precondition: every variable occurs with both polarities.
 fn split_frequent(clauses: &[Clause]) -> Cnf {
-    let mut next_var: u32 =
-        clauses.iter().flatten().map(|l| l.var().0 + 1).max().unwrap_or(0);
+    let mut next_var: u32 = clauses
+        .iter()
+        .flatten()
+        .map(|l| l.var().0 + 1)
+        .max()
+        .unwrap_or(0);
     let mut counts: BTreeMap<PVar, usize> = BTreeMap::new();
     for l in clauses.iter().flatten() {
         *counts.entry(l.var()).or_insert(0) += 1;
@@ -243,7 +250,10 @@ mod tests {
             vec![Lit::neg(v(2)), Lit::neg(v(3))],
         ]);
         let g = to_occ3_normal_form(&f);
-        assert!(g.clauses().iter().all(|c| c.len() >= 2), "unit clauses remain: {g}");
+        assert!(
+            g.clauses().iter().all(|c| c.len() >= 2),
+            "unit clauses remain: {g}"
+        );
         assert_eq!(solve(&f).is_sat(), solve(&g).is_sat());
     }
 
@@ -283,7 +293,10 @@ mod tests {
                 f.push(clause);
             }
             let g = to_occ3_normal_form(&f);
-            assert!(g.is_empty() || g.is_occ3_normal_form(), "trial {trial}: {g}");
+            assert!(
+                g.is_empty() || g.is_occ3_normal_form(),
+                "trial {trial}: {g}"
+            );
             assert_eq!(
                 solve_exhaustive(&f),
                 solve(&g).is_sat(),

@@ -5,13 +5,22 @@ use cqa_sat::{random_3sat, solve, solve_exhaustive, to_occ3_normal_form, Cnf, Li
 use proptest::prelude::*;
 
 fn cnf_strategy(max_vars: u32, max_clauses: usize) -> impl Strategy<Value = Cnf> {
-    let lit = (0..max_vars, any::<bool>())
-        .prop_map(|(v, pos)| if pos { Lit::pos(PVar(v)) } else { Lit::neg(PVar(v)) });
+    let lit = (0..max_vars, any::<bool>()).prop_map(|(v, pos)| {
+        if pos {
+            Lit::pos(PVar(v))
+        } else {
+            Lit::neg(PVar(v))
+        }
+    });
     let clause = proptest::collection::vec(lit, 1..=3);
     proptest::collection::vec(clause, 0..max_clauses).prop_map(Cnf::from_clauses)
 }
 
 proptest! {
+    // Bounded so the full workspace test run stays fast and, with the
+    // vendored proptest's name-derived seeding, fully deterministic.
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
     #[test]
     fn dpll_agrees_with_exhaustive(f in cnf_strategy(6, 10)) {
         prop_assert_eq!(solve(&f).is_sat(), solve_exhaustive(&f));

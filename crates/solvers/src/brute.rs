@@ -104,7 +104,15 @@ pub fn certain_brute_with_solutions(
     let mut nodes: u64 = 0;
 
     for comp in &components {
-        match search(db, solutions, comp, comp.len(), &mut chosen, &mut nodes, budget) {
+        match search(
+            db,
+            solutions,
+            comp,
+            comp.len(),
+            &mut chosen,
+            &mut nodes,
+            budget,
+        ) {
             Some(true) => {} // falsifying partial found; chosen[] holds it
             Some(false) => return BruteOutcome::Certain, // this component forces q
             None => return BruteOutcome::BudgetExhausted,
@@ -271,7 +279,10 @@ mod tests {
     fn budget_exhaustion_reported() {
         let d = db2(&[["a", "b"], ["a", "c"], ["b", "a"], ["b", "d"]]);
         let out = certain_brute_budgeted(&examples::q3(), &d, 1);
-        assert!(matches!(out, BruteOutcome::BudgetExhausted | BruteOutcome::NotCertain(_)));
+        assert!(matches!(
+            out,
+            BruteOutcome::BudgetExhausted | BruteOutcome::NotCertain(_)
+        ));
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub struct CertKConfig {
 impl CertKConfig {
     /// Configuration with the given `k` and a generous default budget.
     pub fn new(k: usize) -> CertKConfig {
-        CertKConfig { k, node_budget: 50_000_000 }
+        CertKConfig {
+            k,
+            node_budget: 50_000_000,
+        }
     }
 }
 
@@ -84,7 +87,12 @@ struct Antichain {
 
 impl Antichain {
     fn new() -> Antichain {
-        Antichain { sets: Vec::new(), containing: HashMap::new(), has_empty: false, live: 0 }
+        Antichain {
+            sets: Vec::new(),
+            containing: HashMap::new(),
+            has_empty: false,
+            live: 0,
+        }
     }
 
     /// `∃ member ⊆ s`? (`s` sorted)
@@ -95,9 +103,8 @@ impl Antichain {
         // A non-empty member of s must contain some element of s.
         s.iter().any(|f| {
             self.containing.get(f).is_some_and(|idxs| {
-                idxs.iter().any(|&i| {
-                    self.sets[i].as_deref().is_some_and(|m| is_subset(m, s))
-                })
+                idxs.iter()
+                    .any(|&i| self.sets[i].as_deref().is_some_and(|m| is_subset(m, s)))
             })
         })
     }
@@ -140,10 +147,12 @@ impl Antichain {
     fn members_with(&self, f: FactId) -> Vec<&[FactId]> {
         match self.containing.get(&f) {
             None => Vec::new(),
-            Some(idxs) => idxs.iter().filter_map(|&i| self.sets[i].as_deref()).collect(),
+            Some(idxs) => idxs
+                .iter()
+                .filter_map(|&i| self.sets[i].as_deref())
+                .collect(),
         }
     }
-
 }
 
 /// Subset test for sorted slices.
@@ -398,13 +407,19 @@ mod tests {
         let d = db2(&[["a", "a"]]);
         assert_eq!(cert2(&examples::q3(), &d), CertKOutcome::Certain);
         // Even k = 1 suffices for a self-loop in a singleton block.
-        assert_eq!(certk(&examples::q3(), &d, CertKConfig::new(1)), CertKOutcome::Certain);
+        assert_eq!(
+            certk(&examples::q3(), &d, CertKConfig::new(1)),
+            CertKOutcome::Certain
+        );
     }
 
     #[test]
     fn k_zero_never_derives() {
         let d = db2(&[["a", "a"]]);
-        assert_eq!(certk(&examples::q3(), &d, CertKConfig::new(0)), CertKOutcome::NotDerived);
+        assert_eq!(
+            certk(&examples::q3(), &d, CertKConfig::new(0)),
+            CertKOutcome::NotDerived
+        );
     }
 
     #[test]
@@ -456,7 +471,14 @@ mod tests {
     #[test]
     fn budget_exhaustion_is_reported() {
         let d = db2(&[["a", "b"], ["b", "c"], ["c", "d"], ["d", "e"]]);
-        let out = certk(&examples::q3(), &d, CertKConfig { k: 2, node_budget: 1 });
+        let out = certk(
+            &examples::q3(),
+            &d,
+            CertKConfig {
+                k: 2,
+                node_budget: 1,
+            },
+        );
         assert_eq!(out, CertKOutcome::BudgetExhausted);
     }
 

@@ -77,7 +77,10 @@ pub fn certain_combined(q: &Query, db: &Database, cfg: CertKConfig) -> CombinedR
         any |= verdict.certain;
         verdicts.push(verdict);
     }
-    CombinedResult { certain: any, components: verdicts }
+    CombinedResult {
+        certain: any,
+        components: verdicts,
+    }
 }
 
 /// The literal statement of Theorem 10.5 — `Cert_k(q) ∨ ¬matching(q)` on
@@ -122,7 +125,12 @@ mod tests {
         let dbs = [
             q6_db(&[["a", "b", "c"], ["c", "a", "b"], ["b", "c", "a"]]),
             q6_db(&[["a", "b", "c"], ["d", "e", "f"]]),
-            q6_db(&[["a", "b", "c"], ["a", "x", "y"], ["c", "a", "b"], ["b", "c", "a"]]),
+            q6_db(&[
+                ["a", "b", "c"],
+                ["a", "x", "y"],
+                ["c", "a", "b"],
+                ["b", "c", "a"],
+            ]),
         ];
         for db in &dbs {
             let combined = certain_combined(&q, db, CertKConfig::new(2)).certain;

@@ -50,7 +50,10 @@ pub fn q_connected_components_with_solutions(
                 original_facts.extend(db.block(cqa_model::BlockId(bi as u32)).iter().copied());
             }
             let sub = db.restrict(original_facts.iter().copied());
-            Component { db: sub, original_facts }
+            Component {
+                db: sub,
+                original_facts,
+            }
         })
         .collect()
 }

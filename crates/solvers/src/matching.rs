@@ -170,11 +170,7 @@ mod tests {
         // solutions when non-key-equal => one quasi-clique of size 4 but two
         // blocks: no saturating matching => certain.
         // Build a triangle with a block of size 2 sharing the clique.
-        let db = q6_db(&[
-            ["a", "b", "c"],
-            ["c", "a", "b"],
-            ["b", "c", "a"],
-        ]);
+        let db = q6_db(&[["a", "b", "c"], ["c", "a", "b"], ["b", "c", "a"]]);
         // Each fact is its own block (keys a, c, b distinct); three blocks,
         // one clique => cannot saturate three blocks with one clique vertex.
         let an = analyze(&examples::q6(), &db);

@@ -6,9 +6,9 @@
 //! equality pattern, index facts matching `B` by their projection onto the
 //! shared variables, then probe.
 
-use cqa_query::{match_pair, Query, Subst, Var};
 use cqa_graph::Undirected;
 use cqa_model::{Database, Elem, FactId};
+use cqa_query::{match_pair, Query, Subst, Var};
 use std::collections::{HashMap, HashSet};
 
 /// All solutions of a query in a database, with lookup indexes.
@@ -25,8 +25,7 @@ impl SolutionSet {
     pub fn enumerate(q: &Query, db: &Database) -> SolutionSet {
         let shared: Vec<Var> = q.shared_vars().into_iter().collect();
         // First position of each shared variable inside B.
-        let probe_positions: Vec<usize> =
-            shared.iter().map(|v| q.b().positions_of(v)[0]).collect();
+        let probe_positions: Vec<usize> = shared.iter().map(|v| q.b().positions_of(v)[0]).collect();
 
         // Index the B-side: facts matching B's pattern, keyed by their
         // projection onto the shared variables.
@@ -167,7 +166,11 @@ mod tests {
         let q = examples::q2();
         let db = db_from(
             Signature::new(4, 2).unwrap(),
-            &[&["a", "b", "a", "c"], &["b", "c", "a", "d"], &["b", "c", "b", "d"]],
+            &[
+                &["a", "b", "a", "c"],
+                &["b", "c", "a", "d"],
+                &["b", "c", "b", "d"],
+            ],
         );
         let sols = SolutionSet::enumerate(&q, &db);
         let a = db.id_of(&Fact::from_names(["a", "b", "a", "c"])).unwrap();
@@ -193,7 +196,10 @@ mod tests {
     fn chain_solutions_for_q3() {
         // R(a b), R(b c), R(c d): q3 solutions (ab, bc), (bc, cd).
         let q = examples::q3();
-        let db = db_from(Signature::new(2, 1).unwrap(), &[&["a", "b"], &["b", "c"], &["c", "d"]]);
+        let db = db_from(
+            Signature::new(2, 1).unwrap(),
+            &[&["a", "b"], &["b", "c"], &["c", "d"]],
+        );
         let sols = SolutionSet::enumerate(&q, &db);
         assert_eq!(sols.len(), 2);
         let ab = db.id_of(&Fact::from_names(["a", "b"])).unwrap();
@@ -208,7 +214,10 @@ mod tests {
     #[test]
     fn graph_matches_solutions() {
         let q = examples::q3();
-        let db = db_from(Signature::new(2, 1).unwrap(), &[&["a", "b"], &["b", "c"], &["x", "y"]]);
+        let db = db_from(
+            Signature::new(2, 1).unwrap(),
+            &[&["a", "b"], &["b", "c"], &["x", "y"]],
+        );
         let sols = SolutionSet::enumerate(&q, &db);
         let g = sols.graph(&db);
         assert_eq!(g.edge_count(), 1);
@@ -218,7 +227,10 @@ mod tests {
     #[test]
     fn satisfies_detects_chosen_solutions() {
         let q = examples::q3();
-        let db = db_from(Signature::new(2, 1).unwrap(), &[&["a", "b"], &["b", "c"], &["x", "y"]]);
+        let db = db_from(
+            Signature::new(2, 1).unwrap(),
+            &[&["a", "b"], &["b", "c"], &["x", "y"]],
+        );
         let sols = SolutionSet::enumerate(&q, &db);
         let ab = db.id_of(&Fact::from_names(["a", "b"])).unwrap();
         let bc = db.id_of(&Fact::from_names(["b", "c"])).unwrap();
@@ -230,7 +242,7 @@ mod tests {
     }
 
     #[test]
-    fn enumeration_agrees_with_naive_product(){
+    fn enumeration_agrees_with_naive_product() {
         // Cross-check the hash join against the O(n^2) definition.
         let q = examples::q5(); // R(x | y x) R(y | x u)
         let sig = Signature::new(3, 1).unwrap();

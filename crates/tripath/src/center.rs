@@ -35,16 +35,14 @@ pub fn most_general_center(q: &Query) -> Option<(Fact, Fact, Fact)> {
     // Variables of the two instantiations live in disjoint copies 0 and 1.
     let mut classes: HashMap<(u8, Var), usize> = HashMap::new();
     let mut parent: Vec<usize> = Vec::new();
-    let class_of = |classes: &mut HashMap<(u8, Var), usize>,
-                        parent: &mut Vec<usize>,
-                        k: (u8, Var)|
-     -> usize {
-        *classes.entry(k).or_insert_with(|| {
-            parent.push(parent.len());
-            parent.len() - 1
-        })
-    };
-    fn find(parent: &mut Vec<usize>, mut i: usize) -> usize {
+    let class_of =
+        |classes: &mut HashMap<(u8, Var), usize>, parent: &mut Vec<usize>, k: (u8, Var)| -> usize {
+            *classes.entry(k).or_insert_with(|| {
+                parent.push(parent.len());
+                parent.len() - 1
+            })
+        };
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
         while parent[i] != i {
             parent[i] = parent[parent[i]];
             i = parent[i];
@@ -70,10 +68,10 @@ pub fn most_general_center(q: &Query) -> Option<(Fact, Fact, Fact)> {
     // Instantiate each class with a fresh element.
     let mut elem_of_class: HashMap<usize, Elem> = HashMap::new();
     let fact_of = |atom: &cqa_query::Atom,
-                       copy: u8,
-                       classes: &HashMap<(u8, Var), usize>,
-                       parent: &mut Vec<usize>,
-                       elem_of_class: &mut HashMap<usize, Elem>|
+                   copy: u8,
+                   classes: &HashMap<(u8, Var), usize>,
+                   parent: &mut Vec<usize>,
+                   elem_of_class: &mut HashMap<usize, Elem>|
      -> Fact {
         let tuple: Vec<Elem> = atom
             .tuple()
@@ -103,7 +101,13 @@ fn center_shape_ok(q: &Query, d: &Fact, e: &Fact, f: &Fact) -> bool {
 
 /// Apply an element substitution to a fact.
 fn map_fact(fact: &Fact, m: &HashMap<Elem, Elem>) -> Fact {
-    Fact::new(fact.rel(), fact.tuple().iter().map(|e| *m.get(e).unwrap_or(e)).collect::<Vec<_>>())
+    Fact::new(
+        fact.rel(),
+        fact.tuple()
+            .iter()
+            .map(|e| *m.get(e).unwrap_or(e))
+            .collect::<Vec<_>>(),
+    )
 }
 
 /// All partitions of `items` as merge maps (element → class
@@ -184,7 +188,13 @@ pub fn center_candidates(q: &Query, full_partition_limit: usize) -> Vec<CenterCa
         debug_assert!(is_solution(q, &dd, &ee) && is_solution(q, &ee, &ff));
         let triangle = is_solution(q, &ff, &dd);
         let g = g_of_center(q, &dd, &ee, &ff);
-        out.push(CenterCandidate { d: dd, e: ee, f: ff, triangle, g });
+        out.push(CenterCandidate {
+            d: dd,
+            e: ee,
+            f: ff,
+            triangle,
+            g,
+        });
     }
     out
 }

@@ -33,7 +33,7 @@ impl Role {
     }
 
     /// The atom of `q` this role denotes.
-    pub fn atom<'q>(self, q: &'q Query) -> &'q cqa_query::Atom {
+    pub fn atom(self, q: &Query) -> &cqa_query::Atom {
         match self {
             Role::A => q.a(),
             Role::B => q.b(),
@@ -101,7 +101,11 @@ pub struct ArmConfig {
 
 impl Default for ArmConfig {
     fn default() -> ArmConfig {
-        ArmConfig { max_depth: 10, max_states: 4_000, max_chains: 12 }
+        ArmConfig {
+            max_depth: 10,
+            max_states: 4_000,
+            max_chains: 12,
+        }
     }
 }
 
@@ -204,14 +208,22 @@ pub fn arm_chains(
             if next_key == key || used_keys.contains(&next_key) {
                 continue;
             }
-            let step =
-                ArmStep { partner: partner.clone(), frontier: next.clone(), partner_role: role };
+            let step = ArmStep {
+                partner: partner.clone(),
+                frontier: next.clone(),
+                partner_role: role,
+            };
             let mut new_chain = chain.clone();
             new_chain.push(step);
             if is_terminal(q, &next, g) {
-                out.push(ArmChain { steps: new_chain.clone() });
+                out.push(ArmChain {
+                    steps: new_chain.clone(),
+                });
                 if out.len() >= cfg.max_chains {
-                    return ArmSearch { chains: out, complete: false };
+                    return ArmSearch {
+                        chains: out,
+                        complete: false,
+                    };
                 }
             }
             let st = abstract_state(&next, g);
@@ -220,7 +232,10 @@ pub fn arm_chains(
             }
         }
     }
-    ArmSearch { chains: out, complete }
+    ArmSearch {
+        chains: out,
+        complete,
+    }
 }
 
 #[cfg(test)]
@@ -284,7 +299,11 @@ mod tests {
             assert!(is_terminal(&q, last, &g));
             // Every step really is a solution with its partner.
             for step in &chain.steps {
-                assert!(cqa_query::is_solution_unordered(&q, &step.partner, &step.frontier));
+                assert!(cqa_query::is_solution_unordered(
+                    &q,
+                    &step.partner,
+                    &step.frontier
+                ));
             }
         }
     }

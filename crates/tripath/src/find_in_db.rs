@@ -35,7 +35,7 @@ type DbChain = Vec<(FactId, FactId)>;
 struct Detector<'a> {
     q: &'a Query,
     db: &'a Database,
-    sols: SolutionSet,
+    sols: &'a SolutionSet,
     budget: u64,
     exhausted: bool,
 }
@@ -64,7 +64,9 @@ impl<'a> Detector<'a> {
         let mut out = Vec::new();
         let mut chain: DbChain = Vec::new();
         let mut used = used.clone();
-        self.chains_rec(start, g, &mut used, min_len, max_depth, limit, &mut chain, &mut out);
+        self.chains_rec(
+            start, g, &mut used, min_len, max_depth, limit, &mut chain, &mut out,
+        );
         out
     }
 
@@ -84,9 +86,7 @@ impl<'a> Detector<'a> {
             return;
         }
         let sig = self.q.signature();
-        if chain.len() >= min_len
-            && !g.is_subset(&self.db.fact(current).key_set(sig))
-        {
+        if chain.len() >= min_len && !g.is_subset(&self.db.fact(current).key_set(sig)) {
             out.push(chain.clone());
         }
         if chain.len() >= max_depth {
@@ -118,7 +118,13 @@ impl<'a> Detector<'a> {
 /// Scan `db` for contained tripaths of `q`. `budget` bounds search nodes.
 pub fn find_tripath_in_db(q: &Query, db: &Database, budget: u64) -> DetectOutcome {
     let sols = SolutionSet::enumerate(q, db);
-    let mut det = Detector { q, db, sols: sols.clone(), budget, exhausted: false };
+    let mut det = Detector {
+        q,
+        db,
+        sols: &sols,
+        budget,
+        exhausted: false,
+    };
     let mut outcome = DetectOutcome::default();
     let sig = q.signature();
 
@@ -131,21 +137,20 @@ pub fn find_tripath_in_db(q: &Query, db: &Database, budget: u64) -> DetectOutcom
                     break 'centers;
                 }
                 let (d, e, f) = (db.fact(d_id), db.fact(e_id), db.fact(f_id));
-                if db.key_equal(d_id, e_id)
-                    || db.key_equal(e_id, f_id)
-                    || db.key_equal(d_id, f_id)
+                if db.key_equal(d_id, e_id) || db.key_equal(e_id, f_id) || db.key_equal(d_id, f_id)
                 {
                     continue;
                 }
                 let triangle = sols.holds(f_id, d_id);
-                if (triangle && outcome.triangle.is_some())
-                    || (!triangle && outcome.fork.is_some())
+                if (triangle && outcome.triangle.is_some()) || (!triangle && outcome.fork.is_some())
                 {
                     continue;
                 }
                 let g = g_of_center(q, d, e, f);
-                let used: HashSet<BlockId> =
-                    [d_id, e_id, f_id].into_iter().map(|i| db.block_of(i)).collect();
+                let used: HashSet<BlockId> = [d_id, e_id, f_id]
+                    .into_iter()
+                    .map(|i| db.block_of(i))
+                    .collect();
                 if let Some(tp) = det.try_center(e_id, d_id, f_id, &g, &used) {
                     if let Ok((kind, _)) = tp.validate(q) {
                         match kind {
@@ -193,9 +198,7 @@ impl<'a> Detector<'a> {
                 }
                 let up_chains = self.chains(e_id, g, &used_f, 1, MAX_DEPTH, CHAIN_LIMIT);
                 for up in &up_chains {
-                    if let Some(tp) =
-                        self.assemble(e_id, d_id, f_id, up, d_chain, f_chain)
-                    {
+                    if let Some(tp) = self.assemble(e_id, d_id, f_id, up, d_chain, f_chain) {
                         return Some(tp);
                     }
                 }
@@ -216,7 +219,11 @@ impl<'a> Detector<'a> {
         let fact = |id: FactId| self.db.fact(id).clone();
         let mut blocks: Vec<TpBlock> = Vec::new();
         let n_up = up.len();
-        blocks.push(TpBlock { a: Some(fact(up[n_up - 1].1)), b: None, parent: None });
+        blocks.push(TpBlock {
+            a: Some(fact(up[n_up - 1].1)),
+            b: None,
+            parent: None,
+        });
         for i in (1..n_up).rev() {
             let parent = blocks.len() - 1;
             blocks.push(TpBlock {
@@ -234,7 +241,11 @@ impl<'a> Detector<'a> {
         for (start, chain) in [(d_id, d_chain), (f_id, f_chain)] {
             let mut parent = branching_idx;
             if chain.is_empty() {
-                blocks.push(TpBlock { a: None, b: Some(fact(start)), parent: Some(parent) });
+                blocks.push(TpBlock {
+                    a: None,
+                    b: Some(fact(start)),
+                    parent: Some(parent),
+                });
                 continue;
             }
             blocks.push(TpBlock {
@@ -251,7 +262,11 @@ impl<'a> Detector<'a> {
                 });
                 parent = blocks.len() - 1;
             }
-            blocks.push(TpBlock { a: None, b: Some(fact(chain.last()?.1)), parent: Some(parent) });
+            blocks.push(TpBlock {
+                a: None,
+                b: Some(fact(chain.last()?.1)),
+                parent: Some(parent),
+            });
         }
         Some(Tripath { blocks })
     }
@@ -278,7 +293,10 @@ mod tests {
         let tp = out.fork.expect("q2 fork witness");
         let db = tp.database(&q);
         let det = find_tripath_in_db(&q, &db, 1_000_000);
-        assert!(det.fork.is_some(), "detector must find the embedded fork-tripath");
+        assert!(
+            det.fork.is_some(),
+            "detector must find the embedded fork-tripath"
+        );
     }
 
     #[test]

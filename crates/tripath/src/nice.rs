@@ -22,7 +22,7 @@
 use crate::search::{search_tripaths, SearchConfig, SearchOutcome};
 use crate::structure::{Tripath, TripathKind};
 use cqa_model::{Elem, Fact};
-use cqa_query::{Query, is_solution_unordered};
+use cqa_query::{is_solution_unordered, Query};
 use cqa_solvers::SolutionSet;
 use std::collections::BTreeSet;
 
@@ -81,9 +81,12 @@ pub fn check_nice(q: &Query, tp: &Tripath) -> Result<NiceWitness, String> {
             ));
         }
     }
-    if kind == TripathKind::Fork && sols.pairs().iter().any(|&(ia, ib)| {
-        db.fact(ia) == &center.f && db.fact(ib) == &center.d
-    }) {
+    if kind == TripathKind::Fork
+        && sols
+            .pairs()
+            .iter()
+            .any(|&(ia, ib)| db.fact(ia) == &center.f && db.fact(ib) == &center.d)
+    {
         return Err("fork center unexpectedly closes into a triangle".into());
     }
 
@@ -111,9 +114,7 @@ pub fn check_nice(q: &Query, tp: &Tripath) -> Result<NiceWitness, String> {
                     continue;
                 }
                 // Condition 3: one of x, y, z in every internal key.
-                let covers = |e: Elem| {
-                    internal_facts.iter().all(|f| f.key_set(sig).contains(&e))
-                };
+                let covers = |e: Elem| internal_facts.iter().all(|f| f.key_set(sig).contains(&e));
                 if covers(x) || covers(y) || covers(z) {
                     chosen = Some((x, y, z));
                     break 'outer;
@@ -152,7 +153,17 @@ pub fn check_nice(q: &Query, tp: &Tripath) -> Result<NiceWitness, String> {
     let v = private(&u1).ok_or("d-leaf has no private key element (condition 4)")?;
     let w = private(&u2).ok_or("f-leaf has no private key element (condition 4)")?;
 
-    Ok(NiceWitness { x, y, z, u, v, w, u0, u1, u2 })
+    Ok(NiceWitness {
+        x,
+        y,
+        z,
+        u,
+        v,
+        w,
+        u0,
+        u1,
+        u2,
+    })
 }
 
 fn ordered(a: Fact, b: Fact) -> (Fact, Fact) {
@@ -189,10 +200,8 @@ fn orient_leaves(
     };
     let ca = child_of(&leaf_a).ok_or("leaf A not below branching")?;
     let cb = child_of(&leaf_b).ok_or("leaf B not below branching")?;
-    let d_in_a = tp.blocks[ca].b.as_ref() == Some(d)
-        || subtree_contains(tp, ca, d);
-    let d_in_b = tp.blocks[cb].b.as_ref() == Some(d)
-        || subtree_contains(tp, cb, d);
+    let d_in_a = tp.blocks[ca].b.as_ref() == Some(d) || subtree_contains(tp, ca, d);
+    let d_in_b = tp.blocks[cb].b.as_ref() == Some(d) || subtree_contains(tp, cb, d);
     match (d_in_a, d_in_b) {
         (true, false) => Ok((leaf_a, leaf_b)),
         (false, true) => Ok((leaf_b, leaf_a)),

@@ -79,7 +79,11 @@ pub fn assemble_tripath(
 
     // Root: the last frontier of the up chain.
     let n_up = up.steps.len();
-    blocks.push(TpBlock { a: Some(up.steps[n_up - 1].frontier.clone()), b: None, parent: None });
+    blocks.push(TpBlock {
+        a: Some(up.steps[n_up - 1].frontier.clone()),
+        b: None,
+        parent: None,
+    });
     // Spine below the root: step i (from the inside out) produced
     // (partner b_i ~ previous frontier). Walking root → branching:
     // intermediate block j holds a = steps[j].frontier's … simpler to walk
@@ -112,7 +116,11 @@ pub fn assemble_tripath(
     for (start, chain) in [(&center.d, down_d), (&center.f, down_f)] {
         let mut parent = branching_idx;
         if chain.steps.is_empty() {
-            blocks.push(TpBlock { a: None, b: Some(start.clone()), parent: Some(parent) });
+            blocks.push(TpBlock {
+                a: None,
+                b: Some(start.clone()),
+                parent: Some(parent),
+            });
             continue;
         }
         // Child block: {b: start, a: steps[0].partner}.
@@ -131,13 +139,20 @@ pub fn assemble_tripath(
             parent = blocks.len() - 1;
         }
         let leaf = chain.steps.last().expect("nonempty").frontier.clone();
-        blocks.push(TpBlock { a: None, b: Some(leaf), parent: Some(parent) });
+        blocks.push(TpBlock {
+            a: None,
+            b: Some(leaf),
+            parent: Some(parent),
+        });
     }
 
     // Distinct blocks: reject key collisions early.
     let mut keys: HashSet<Vec<Elem>> = HashSet::new();
     for b in &blocks {
-        let fact = b.a.as_ref().or(b.b.as_ref()).expect("every block holds a fact");
+        let fact =
+            b.a.as_ref()
+                .or(b.b.as_ref())
+                .expect("every block holds a fact");
         if !keys.insert(fact.key(sig).to_vec()) {
             return None;
         }
@@ -192,7 +207,10 @@ fn for_each_assembly(
 /// Panics when `q` is not 2way-determined — tripaths are only defined
 /// (and only needed) for that class.
 pub fn search_tripaths(q: &Query, cfg: &SearchConfig) -> SearchOutcome {
-    assert!(is_2way_determined(q), "tripath search requires a 2way-determined query");
+    assert!(
+        is_2way_determined(q),
+        "tripath search requires a 2way-determined query"
+    );
     let mut outcome = SearchOutcome::default();
     let centers = center_candidates(q, cfg.full_partition_limit);
     if centers.len() > cfg.max_centers {
@@ -208,9 +226,7 @@ pub fn search_tripaths(q: &Query, cfg: &SearchConfig) -> SearchOutcome {
         for_each_assembly(q, center, cfg, &mut exhausted, |tp, kind| {
             match kind {
                 TripathKind::Fork if outcome.fork.is_none() => outcome.fork = Some(tp),
-                TripathKind::Triangle if outcome.triangle.is_none() => {
-                    outcome.triangle = Some(tp)
-                }
+                TripathKind::Triangle if outcome.triangle.is_none() => outcome.triangle = Some(tp),
                 _ => {}
             }
             outcome.fork.is_some() && outcome.triangle.is_some()
@@ -242,16 +258,30 @@ mod tests {
         let out = search_tripaths(&examples::q5(), &SearchConfig::default());
         assert!(out.fork.is_none(), "q5 admits no tripath (Section 8)");
         assert!(out.triangle.is_none());
-        assert!(!out.exhausted, "q5's absence should be budget-independent (no center)");
+        assert!(
+            !out.exhausted,
+            "q5's absence should be budget-independent (no center)"
+        );
     }
 
     #[test]
     fn q6_admits_triangle_but_no_fork() {
         let out = search_tripaths(&examples::q6(), &SearchConfig::default());
-        assert!(out.triangle.is_some(), "q6 admits a triangle-tripath (Section 10)");
-        let (kind, _) = out.triangle.as_ref().unwrap().validate(&examples::q6()).unwrap();
+        assert!(
+            out.triangle.is_some(),
+            "q6 admits a triangle-tripath (Section 10)"
+        );
+        let (kind, _) = out
+            .triangle
+            .as_ref()
+            .unwrap()
+            .validate(&examples::q6())
+            .unwrap();
         assert_eq!(kind, TripathKind::Triangle);
-        assert!(out.fork.is_none(), "q6 admits no fork-tripath (Theorem 10.4 discussion)");
+        assert!(
+            out.fork.is_none(),
+            "q6 admits no fork-tripath (Theorem 10.4 discussion)"
+        );
     }
 
     #[test]

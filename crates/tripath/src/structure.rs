@@ -115,7 +115,8 @@ impl Tripath {
     pub fn database(&self, q: &Query) -> Database {
         let mut db = Database::new(*q.signature());
         for fact in self.facts() {
-            db.insert(fact).expect("tripath facts share the query signature");
+            db.insert(fact)
+                .expect("tripath facts share the query signature");
         }
         db
     }
@@ -143,7 +144,10 @@ impl Tripath {
             Some(b) if b.parent.is_none() => b,
             _ => return err("block 0 must be the root"),
         };
-        let u0 = root.a.clone().ok_or(TripathError("root lacks a(B)".into()))?;
+        let u0 = root
+            .a
+            .clone()
+            .ok_or(TripathError("root lacks a(B)".into()))?;
         let leaves: Vec<&TpBlock> = self
             .blocks
             .iter()
@@ -154,8 +158,14 @@ impl Tripath {
         if leaves.len() != 2 {
             return err(format!("expected 2 leaves, found {}", leaves.len()));
         }
-        let u1 = leaves[0].b.clone().ok_or(TripathError("leaf lacks b(B)".into()))?;
-        let u2 = leaves[1].b.clone().ok_or(TripathError("leaf lacks b(B)".into()))?;
+        let u1 = leaves[0]
+            .b
+            .clone()
+            .ok_or(TripathError("leaf lacks b(B)".into()))?;
+        let u2 = leaves[1]
+            .b
+            .clone()
+            .ok_or(TripathError("leaf lacks b(B)".into()))?;
         Ok((u0, u1, u2))
     }
 
@@ -196,14 +206,17 @@ impl Tripath {
         }
         let children = self.children();
         let branching = match children.iter().filter(|c| c.len() >= 2).count() {
-            1 => children.iter().position(|c| c.len() == 2).ok_or(TripathError(
-                "a block has more than two children".into(),
-            ))?,
+            1 => children
+                .iter()
+                .position(|c| c.len() == 2)
+                .ok_or(TripathError("a block has more than two children".into()))?,
             k => return err(format!("expected exactly 1 branching block, found {k}")),
         };
         let leaf_count = children.iter().filter(|c| c.is_empty()).count();
         if leaf_count != 2 {
-            return err(format!("expected exactly 2 leaf blocks, found {leaf_count}"));
+            return err(format!(
+                "expected exactly 2 leaf blocks, found {leaf_count}"
+            ));
         }
         if branching == 0 || children[branching].is_empty() {
             return err("branching block must be internal");
@@ -246,8 +259,16 @@ impl Tripath {
         };
         for i in 0..n {
             for j in (i + 1)..n {
-                if self.blocks[i].a.as_ref().or(self.blocks[i].b.as_ref()).map(|f| f.rel())
-                    == self.blocks[j].a.as_ref().or(self.blocks[j].b.as_ref()).map(|f| f.rel())
+                if self.blocks[i]
+                    .a
+                    .as_ref()
+                    .or(self.blocks[i].b.as_ref())
+                    .map(|f| f.rel())
+                    == self.blocks[j]
+                        .a
+                        .as_ref()
+                        .or(self.blocks[j].b.as_ref())
+                        .map(|f| f.rel())
                     && key_of(&self.blocks[i]) == key_of(&self.blocks[j])
                 {
                     return err(format!("blocks {i} and {j} collapse (same key)"));
@@ -262,10 +283,9 @@ impl Tripath {
                     .a
                     .as_ref()
                     .ok_or_else(|| TripathError(format!("parent {p} lacks a(B)")))?;
-                let bb = b
-                    .b
-                    .as_ref()
-                    .ok_or_else(|| TripathError(format!("block {i} lacks b(B)")))?;
+                let bb =
+                    b.b.as_ref()
+                        .ok_or_else(|| TripathError(format!("block {i} lacks b(B)")))?;
                 if !is_solution_unordered(q, ap, bb) {
                     return err(format!("no solution q{{a({p}) b({i})}}"));
                 }
@@ -273,9 +293,18 @@ impl Tripath {
         }
 
         // --- center -------------------------------------------------------
-        let e = self.blocks[branching].a.clone().expect("internal block has a(B)");
-        let c1 = self.blocks[children[branching][0]].b.clone().expect("child has b(B)");
-        let c2 = self.blocks[children[branching][1]].b.clone().expect("child has b(B)");
+        let e = self.blocks[branching]
+            .a
+            .clone()
+            .expect("internal block has a(B)");
+        let c1 = self.blocks[children[branching][0]]
+            .b
+            .clone()
+            .expect("child has b(B)");
+        let c2 = self.blocks[children[branching][1]]
+            .b
+            .clone()
+            .expect("child has b(B)");
         let (d, f) = if is_solution(q, &c1, &e) && is_solution(q, &e, &c2) {
             (c1, c2)
         } else if is_solution(q, &c2, &e) && is_solution(q, &e, &c1) {
@@ -293,7 +322,11 @@ impl Tripath {
             }
         }
 
-        let kind = if is_solution(q, &f, &d) { TripathKind::Triangle } else { TripathKind::Fork };
+        let kind = if is_solution(q, &f, &d) {
+            TripathKind::Triangle
+        } else {
+            TripathKind::Fork
+        };
         Ok((kind, Center { d, e, f, g }))
     }
 }
@@ -345,7 +378,9 @@ mod tests {
             b: Some(f4(["a", "b", "c", "c"])),
             parent,
         };
-        let t = Tripath { blocks: vec![mk(None), mk(None), mk(Some(0)), mk(Some(0))] };
+        let t = Tripath {
+            blocks: vec![mk(None), mk(None), mk(Some(0)), mk(Some(0))],
+        };
         assert!(t.validate(&examples::q2()).is_err());
     }
 }

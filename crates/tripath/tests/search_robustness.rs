@@ -29,7 +29,11 @@ fn query_strategy() -> impl Strategy<Value = Query> {
 fn small_config() -> SearchConfig {
     SearchConfig {
         full_partition_limit: 5,
-        arm: ArmConfig { max_depth: 6, max_states: 500, max_chains: 6 },
+        arm: ArmConfig {
+            max_depth: 6,
+            max_states: 500,
+            max_chains: 6,
+        },
         max_centers: 300,
         max_assemblies: 128,
     }

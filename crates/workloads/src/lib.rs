@@ -34,7 +34,11 @@ pub struct RandomDbConfig {
 
 impl Default for RandomDbConfig {
     fn default() -> RandomDbConfig {
-        RandomDbConfig { blocks: 6, max_block_size: 3, domain: 4 }
+        RandomDbConfig {
+            blocks: 6,
+            max_block_size: 3,
+            domain: 4,
+        }
     }
 }
 
@@ -45,15 +49,15 @@ pub fn random_db(rng: &mut impl Rng, q: &Query, cfg: &RandomDbConfig) -> Databas
     let mut db = Database::new(sig);
     let elem = |i: usize| Elem::pair(Elem::named("dom"), Elem::int(i as i64));
     for _ in 0..cfg.blocks {
-        let key: Vec<Elem> =
-            (0..sig.key_len()).map(|_| elem(rng.gen_range(0..cfg.domain))).collect();
+        let key: Vec<Elem> = (0..sig.key_len())
+            .map(|_| elem(rng.gen_range(0..cfg.domain)))
+            .collect();
         let size = rng.gen_range(1..=cfg.max_block_size);
         for _ in 0..size {
             let mut tuple = key.clone();
-            tuple.extend(
-                (sig.key_len()..sig.arity()).map(|_| elem(rng.gen_range(0..cfg.domain))),
-            );
-            db.insert(Fact::new(cqa_model::RelId::R, tuple)).expect("same signature");
+            tuple.extend((sig.key_len()..sig.arity()).map(|_| elem(rng.gen_range(0..cfg.domain))));
+            db.insert(Fact::new(cqa_model::RelId::R, tuple))
+                .expect("same signature");
         }
     }
     db
@@ -67,8 +71,9 @@ pub fn random_sjf_db(rng: &mut impl Rng, q: &Query, cfg: &RandomDbConfig) -> Dat
     let elem = |i: usize| Elem::pair(Elem::named("dom"), Elem::int(i as i64));
     for rel in [cqa_model::RelId::R1, cqa_model::RelId::R2] {
         for _ in 0..cfg.blocks / 2 + 1 {
-            let key: Vec<Elem> =
-                (0..sig.key_len()).map(|_| elem(rng.gen_range(0..cfg.domain))).collect();
+            let key: Vec<Elem> = (0..sig.key_len())
+                .map(|_| elem(rng.gen_range(0..cfg.domain)))
+                .collect();
             let size = rng.gen_range(1..=cfg.max_block_size);
             for _ in 0..size {
                 let mut tuple = key.clone();
@@ -93,8 +98,11 @@ fn named(i: u64, tag: &str) -> Elem {
 pub fn q3_chain_db(n: usize) -> Database {
     let mut db = Database::new(Signature::new(2, 1).unwrap());
     for i in 0..n {
-        db.insert(Fact::r(vec![named(i as u64, "k"), named(i as u64 + 1, "k")]))
-            .expect("sig");
+        db.insert(Fact::r(vec![
+            named(i as u64, "k"),
+            named(i as u64 + 1, "k"),
+        ]))
+        .expect("sig");
     }
     db
 }
@@ -106,7 +114,8 @@ pub fn q3_certain_db(width: usize) -> Database {
     let mut db = Database::new(Signature::new(2, 1).unwrap());
     let hub = named(0, "hub");
     let tail = named(1, "tail");
-    db.insert(Fact::r(vec![tail, named(9_999_999, "sink")])).expect("sig");
+    db.insert(Fact::r(vec![tail, named(9_999_999, "sink")]))
+        .expect("sig");
     db.insert(Fact::r(vec![hub, tail])).expect("sig");
     for i in 0..width {
         let w = named(i as u64 + 10, "w");
@@ -123,8 +132,11 @@ pub fn q3_certain_db(width: usize) -> Database {
 pub fn q3_escape_db(n: usize) -> Database {
     let mut db = q3_chain_db(n);
     for i in 0..n {
-        db.insert(Fact::r(vec![named(i as u64, "k"), named(1_000_000 + i as u64, "dead")]))
-            .expect("sig");
+        db.insert(Fact::r(vec![
+            named(i as u64, "k"),
+            named(1_000_000 + i as u64, "dead"),
+        ]))
+        .expect("sig");
     }
     db
 }
@@ -136,7 +148,11 @@ pub fn q6_triangle(tag: u64) -> Vec<Fact> {
     let a = named(tag * 3, "t");
     let b = named(tag * 3 + 1, "t");
     let c = named(tag * 3 + 2, "t");
-    vec![Fact::r(vec![a, b, c]), Fact::r(vec![c, a, b]), Fact::r(vec![b, c, a])]
+    vec![
+        Fact::r(vec![a, b, c]),
+        Fact::r(vec![c, a, b]),
+        Fact::r(vec![b, c, a]),
+    ]
 }
 
 /// A grid of `n` disjoint `q6` triangles — a certain clique-database whose
@@ -237,7 +253,8 @@ pub fn q2_gadget_chain(rng: &mut impl Rng, m: usize) -> Database {
         db.insert(Fact::r(vec![b, c, a, d])).expect("sig");
         // … with a contested first block.
         if rng.gen_bool(0.5) {
-            db.insert(Fact::r(vec![a, b, named(rng.gen_range(0..100), "n"), c])).expect("sig");
+            db.insert(Fact::r(vec![a, b, named(rng.gen_range(0..100), "n"), c]))
+                .expect("sig");
         }
     }
     db
@@ -318,7 +335,11 @@ mod tests {
     #[test]
     fn random_db_respects_shape() {
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = RandomDbConfig { blocks: 10, max_block_size: 4, domain: 5 };
+        let cfg = RandomDbConfig {
+            blocks: 10,
+            max_block_size: 4,
+            domain: 5,
+        };
         let db = random_db(&mut rng, &examples::q2(), &cfg);
         // Random keys may collide, merging generated blocks; only the
         // totals are bounded.

@@ -5,15 +5,16 @@
 //!
 //! Run with `cargo run --release -p cqa --example algorithm_comparison`.
 
-use cqa::solvers::{
-    certain_brute, certain_by_matching, certain_combined, certk, CertKConfig,
-};
+use cqa::solvers::{certain_brute, certain_by_matching, certain_combined, certk, CertKConfig};
 use cqa_query::examples;
 use cqa_workloads::{q6_cert2_breaker, q6_certk_hard, q6_triangle_grid};
 
 fn main() {
     let q6 = examples::q6();
-    println!("query: q6 = {}   (clique-query; triangle-tripath, no fork)", q6.display());
+    println!(
+        "query: q6 = {}   (clique-query; triangle-tripath, no fork)",
+        q6.display()
+    );
     println!();
     println!(
         "{:<28} {:>6} {:>8} {:>8} {:>10} {:>10}",

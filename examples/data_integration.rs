@@ -55,7 +55,10 @@ fn main() {
 
     let engine = CqaEngine::new(probe.clone());
     let answer = engine.certain(&db);
-    println!("rotation cycle certain? {} (via {:?})", answer.certain, answer.answered_by);
+    println!(
+        "rotation cycle certain? {} (via {:?})",
+        answer.certain, answer.answered_by
+    );
     assert_eq!(answer.answered_by, AnsweredBy::Combined);
     // Whichever of alice's records wins, carol and bob still close a
     // cycle: the probe is certain despite the inconsistency.

@@ -10,7 +10,7 @@ use cqa_query::{examples, parse_query};
 fn main() {
     // --- 1. The dichotomy, on the paper's running examples --------------
     println!("Classification of the paper's example queries:");
-    println!("{:<4} {:<58} {:<16} {}", "name", "query", "complexity", "rule");
+    println!("{:<4} {:<58} {:<16} rule", "name", "query", "complexity");
     for (name, q) in examples::all() {
         let c = classify(&q);
         println!(
@@ -30,14 +30,26 @@ fn main() {
 
     // An inconsistent reporting table: alice's manager is recorded twice.
     let mut db = Database::new(Signature::new(2, 1).unwrap());
-    for row in [["alice", "bob"], ["alice", "carol"], ["bob", "dave"], ["carol", "dave"]] {
+    for row in [
+        ["alice", "bob"],
+        ["alice", "carol"],
+        ["bob", "dave"],
+        ["carol", "dave"],
+    ] {
         db.insert(Fact::from_names(row)).expect("arity matches");
     }
-    println!("\nDatabase ({} facts, {} repairs):", db.len(), db.repair_count());
+    println!(
+        "\nDatabase ({} facts, {} repairs):",
+        db.len(),
+        db.repair_count()
+    );
     println!("{db:?}");
 
     let answer = engine.certain(&db);
-    println!("certain(q3) = {} (answered by {:?})", answer.certain, answer.answered_by);
+    println!(
+        "certain(q3) = {} (answered by {:?})",
+        answer.certain, answer.answered_by
+    );
     // Both candidate managers of alice themselves have a manager, so the
     // query is certain despite the inconsistency.
     assert!(answer.certain);
@@ -48,6 +60,9 @@ fn main() {
         db2.insert(Fact::from_names(row)).expect("arity matches");
     }
     let answer2 = engine.certain(&db2);
-    println!("after dropping carol→dave: certain(q3) = {}", answer2.certain);
+    println!(
+        "after dropping carol→dave: certain(q3) = {}",
+        answer2.certain
+    );
     assert!(!answer2.certain);
 }

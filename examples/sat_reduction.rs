@@ -17,7 +17,10 @@ use cqa_query::examples;
 
 fn main() {
     let q2 = examples::q2();
-    println!("query: {}  (2way-determined, admits a fork-tripath)", q2.display());
+    println!(
+        "query: {}  (2way-determined, admits a fork-tripath)",
+        q2.display()
+    );
 
     // 1. Find the nice fork-tripath — the reduction's gadget.
     let reduction =
@@ -25,15 +28,25 @@ fn main() {
     let tp = reduction.tripath();
     println!("\nnice fork-tripath ({} blocks):", tp.blocks.len());
     for (i, b) in tp.blocks.iter().enumerate() {
-        let parent = b.parent.map(|p| p.to_string()).unwrap_or_else(|| "-".into());
+        let parent = b
+            .parent
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| "-".into());
         println!(
             "  block {i:>2} (parent {parent:>2}): a = {:<28} b = {}",
-            b.a.as_ref().map(|f| f.to_string()).unwrap_or_else(|| "·".into()),
-            b.b.as_ref().map(|f| f.to_string()).unwrap_or_else(|| "·".into()),
+            b.a.as_ref()
+                .map(|f| f.to_string())
+                .unwrap_or_else(|| "·".into()),
+            b.b.as_ref()
+                .map(|f| f.to_string())
+                .unwrap_or_else(|| "·".into()),
         );
     }
     let w = reduction.witness();
-    println!("witnesses: x={} y={} z={} u={} v={} w={}", w.x, w.y, w.z, w.u, w.v, w.w);
+    println!(
+        "witnesses: x={} y={} z={} u={} v={} w={}",
+        w.x, w.y, w.z, w.u, w.v, w.w
+    );
 
     // 2. The Figure 2 formula, normalised to ≤3 occurrences per variable.
     let (s, t, u) = (PVar(0), PVar(1), PVar(2));

@@ -43,21 +43,41 @@ fn q2_conp_by_fork_tripath() {
 
 #[test]
 fn q3_q4_ptime_by_thm61() {
-    check("R(x | y) R(y | z)", Complexity::PTimeCert2, ClassificationRule::Theorem61);
-    check("R(x x | u v) R(x y | u x)", Complexity::PTimeCert2, ClassificationRule::Theorem61);
+    check(
+        "R(x | y) R(y | z)",
+        Complexity::PTimeCert2,
+        ClassificationRule::Theorem61,
+    );
+    check(
+        "R(x x | u v) R(x y | u x)",
+        Complexity::PTimeCert2,
+        ClassificationRule::Theorem61,
+    );
 }
 
 #[test]
 fn q5_ptime_no_tripath() {
     // Paper, Section 8: any branching triple for q5 collapses two facts
     // into one block, so no tripath center exists.
-    let c = check("R(x | y x) R(y | x u)", Complexity::PTimeCertK, ClassificationRule::Theorem81);
-    assert_eq!(c.confidence, Confidence::Proved, "q5 has no center: proof, not evidence");
+    let c = check(
+        "R(x | y x) R(y | x u)",
+        Complexity::PTimeCertK,
+        ClassificationRule::Theorem81,
+    );
+    assert_eq!(
+        c.confidence,
+        Confidence::Proved,
+        "q5 has no center: proof, not evidence"
+    );
 }
 
 #[test]
 fn q6_ptime_triangle_only() {
-    let c = check("R(x | y z) R(z | x y)", Complexity::PTimeCombined, ClassificationRule::Theorem105);
+    let c = check(
+        "R(x | y z) R(z | x y)",
+        Complexity::PTimeCombined,
+        ClassificationRule::Theorem105,
+    );
     let tri = c.triangle_witness.expect("triangle witness");
     let (kind, _) = tri.validate(&examples::q6()).expect("validates");
     assert_eq!(kind, cqa::tripath::TripathKind::Triangle);
@@ -75,12 +95,16 @@ fn q7_exercise() {
 #[test]
 fn trivial_cases_from_section2() {
     for s in [
-        "R(x | y) R(u | v)",   // hom both ways (renaming)
-        "R(x | x) R(u | v)",   // hom A -> B
-        "R(x | y) R(x | z)",   // key(A) = key(B) as tuples
+        "R(x | y) R(u | v)", // hom both ways (renaming)
+        "R(x | x) R(u | v)", // hom A -> B
+        "R(x | y) R(x | z)", // key(A) = key(B) as tuples
         "R(x y | z) R(x y | w)",
     ] {
-        check(s, Complexity::Trivial, ClassificationRule::OneAtomEquivalent);
+        check(
+            s,
+            Complexity::Trivial,
+            ClassificationRule::OneAtomEquivalent,
+        );
     }
 }
 
@@ -128,10 +152,16 @@ fn extra_structured_queries_classify_sanely() {
         match c.rule {
             ClassificationRule::Theorem91 => assert!(c.fork_witness.is_some(), "{s}"),
             ClassificationRule::Theorem105 => {
-                assert!(c.fork_witness.is_none() && c.triangle_witness.is_some(), "{s}")
+                assert!(
+                    c.fork_witness.is_none() && c.triangle_witness.is_some(),
+                    "{s}"
+                )
             }
             ClassificationRule::Theorem81 => {
-                assert!(c.fork_witness.is_none() && c.triangle_witness.is_none(), "{s}")
+                assert!(
+                    c.fork_witness.is_none() && c.triangle_witness.is_none(),
+                    "{s}"
+                )
             }
             _ => {}
         }

@@ -17,8 +17,10 @@ fn db_strategy(q: &Query, max_facts: usize) -> impl Strategy<Value = Database> {
     proptest::collection::vec(fact, 1..=max_facts).prop_map(move |rows| {
         let mut db = Database::new(*q.signature());
         for row in rows {
-            let tuple: Vec<Elem> =
-                row.into_iter().map(|v| Elem::pair(Elem::named("pt"), Elem::int(v as i64))).collect();
+            let tuple: Vec<Elem> = row
+                .into_iter()
+                .map(|v| Elem::pair(Elem::named("pt"), Elem::int(v as i64)))
+                .collect();
             db.insert(Fact::r(tuple)).expect("arity matches");
         }
         db
@@ -151,7 +153,11 @@ fn full_pipeline_on_all_paper_queries() {
         let db = random_db(
             &mut rng,
             &q,
-            &RandomDbConfig { blocks: 4, max_block_size: 2, domain: 3 },
+            &RandomDbConfig {
+                blocks: 4,
+                max_block_size: 2,
+                domain: 3,
+            },
         );
         let ans = engine.certain(&db);
         if engine.classification().complexity.is_ptime() {

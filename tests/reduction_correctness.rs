@@ -17,14 +17,21 @@ fn prop41_equivalence_on_random_sjf_databases() {
     for (name, q) in [("q2", examples::q2()), ("q5", examples::q5())] {
         let sjf = q.sjf();
         let mut rng = StdRng::seed_from_u64(0x41);
-        let cfg = RandomDbConfig { blocks: 6, max_block_size: 2, domain: 3 };
+        let cfg = RandomDbConfig {
+            blocks: 6,
+            max_block_size: 2,
+            domain: 3,
+        };
         for t in 0..40 {
             let d = random_sjf_db(&mut rng, &q, &cfg);
             let before = certain_brute(&sjf, &d);
             let reduced = reduce_database(&q, &d);
             assert_eq!(reduced.len(), d.len(), "μ is fact-wise injective here");
             let after = certain_brute(&q, &reduced);
-            assert_eq!(before, after, "{name} trial {t}: Prop 4.1 violated on {d:?}");
+            assert_eq!(
+                before, after,
+                "{name} trial {t}: Prop 4.1 violated on {d:?}"
+            );
         }
     }
 }
@@ -33,7 +40,11 @@ fn prop41_equivalence_on_random_sjf_databases() {
 fn prop41_preserves_block_structure() {
     let q = examples::q2();
     let mut rng = StdRng::seed_from_u64(0x42);
-    let cfg = RandomDbConfig { blocks: 8, max_block_size: 3, domain: 3 };
+    let cfg = RandomDbConfig {
+        blocks: 8,
+        max_block_size: 3,
+        domain: 3,
+    };
     for _ in 0..20 {
         let d = random_sjf_db(&mut rng, &q, &cfg);
         let reduced = reduce_database(&q, &d);
@@ -108,8 +119,7 @@ fn gadget_blocks_are_all_contested() {
     }
     // Size is linear in the formula (the paper's polynomial reduction).
     let gadget_facts = reduction.tripath().facts().len();
-    let occurrences: usize =
-        phi.occurrences().values().map(|&(p, n)| p + n).sum();
+    let occurrences: usize = phi.occurrences().values().map(|&(p, n)| p + n).sum();
     assert!(db.len() <= occurrences * (gadget_facts + 2) + 2 * phi.len());
 }
 

@@ -21,7 +21,11 @@ const TRIALS: usize = 60;
 fn cfg_for(q: &cqa_query::Query) -> RandomDbConfig {
     // Keep repairs enumerable for the exhaustive cross-check.
     let _ = q;
-    RandomDbConfig { blocks: 5, max_block_size: 3, domain: 3 }
+    RandomDbConfig {
+        blocks: 5,
+        max_block_size: 3,
+        domain: 3,
+    }
 }
 
 #[test]
@@ -49,7 +53,10 @@ fn certk_is_sound_for_every_query() {
             let db = random_db(&mut rng, &q, &cfg_for(&q));
             for k in 1..=3 {
                 if certk(&q, &db, CertKConfig::new(k)).is_certain() {
-                    assert!(certain_brute(&q, &db), "{name} trial {t} k={k}: Cert_k unsound");
+                    assert!(
+                        certain_brute(&q, &db),
+                        "{name} trial {t} k={k}: Cert_k unsound"
+                    );
                 }
             }
         }
@@ -58,12 +65,19 @@ fn certk_is_sound_for_every_query() {
 
 #[test]
 fn matching_is_sound_for_2way_determined_queries() {
-    for (name, q) in [("q2", examples::q2()), ("q5", examples::q5()), ("q6", examples::q6())] {
+    for (name, q) in [
+        ("q2", examples::q2()),
+        ("q5", examples::q5()),
+        ("q6", examples::q6()),
+    ] {
         let mut rng = StdRng::seed_from_u64(0xCAFE);
         for t in 0..TRIALS {
             let db = random_db(&mut rng, &q, &cfg_for(&q));
             if certain_by_matching(&q, &db) {
-                assert!(certain_brute(&q, &db), "{name} trial {t}: ¬matching unsound");
+                assert!(
+                    certain_brute(&q, &db),
+                    "{name} trial {t}: ¬matching unsound"
+                );
             }
         }
     }
@@ -107,13 +121,18 @@ fn combined_exact_on_triangle_only_queries() {
     for t in 0..TRIALS {
         let mut db = random_db(&mut rng, &q, &cfg_for(&q));
         if t % 2 == 0 {
-            db.absorb(&cqa_workloads::q6_triangle_grid(1 + t % 2)).unwrap();
+            db.absorb(&cqa_workloads::q6_triangle_grid(1 + t % 2))
+                .unwrap();
         }
         if t % 5 == 0 {
             db.absorb(&cqa_workloads::q6_cert2_breaker()).unwrap();
         }
         let combined = certain_combined(&q, &db, CertKConfig::new(2)).certain;
-        assert_eq!(combined, certain_brute(&q, &db), "trial {t}: Thm 10.5 violated");
+        assert_eq!(
+            combined,
+            certain_brute(&q, &db),
+            "trial {t}: Thm 10.5 violated"
+        );
     }
 }
 
@@ -128,22 +147,31 @@ fn combined_literal_and_component_variants_agree() {
         // variant is exact with smaller k thanks to Prop 10.6).
         let literal = cqa::solvers::certain_thm105_literal(&q, &db, CertKConfig::new(3));
         let brute = certain_brute(&q, &db);
-        assert_eq!(literal, brute, "trial {t}: literal Thm 10.5 violated on {db:?}");
+        assert_eq!(
+            literal, brute,
+            "trial {t}: literal Thm 10.5 violated on {db:?}"
+        );
     }
 }
 
 #[test]
 fn engine_dispatch_is_exact_on_ptime_queries() {
     use cqa::CqaEngine;
-    for (name, q) in
-        [("q3", examples::q3()), ("q4", examples::q4()), ("q5", examples::q5()), ("q6", examples::q6())]
-    {
+    for (name, q) in [
+        ("q3", examples::q3()),
+        ("q4", examples::q4()),
+        ("q5", examples::q5()),
+        ("q6", examples::q6()),
+    ] {
         let engine = CqaEngine::new(q.clone());
         let mut rng = StdRng::seed_from_u64(0xE49);
         for t in 0..TRIALS / 2 {
             let db = random_db(&mut rng, &q, &cfg_for(&q));
             let ans = engine.certain(&db);
-            assert!(!ans.budget_exhausted, "{name} trial {t}: unexpected budget exhaustion");
+            assert!(
+                !ans.budget_exhausted,
+                "{name} trial {t}: unexpected budget exhaustion"
+            );
             assert_eq!(ans.certain, certain_brute(&q, &db), "{name} trial {t}");
         }
     }

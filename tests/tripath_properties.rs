@@ -48,10 +48,7 @@ fn witnesses_satisfy_every_definition_clause() {
 fn symbolic_witnesses_round_trip_through_detection() {
     // Whatever the symbolic search produces must be re-found by the
     // concrete in-database detector, for both kinds.
-    let cases = [
-        (examples::q2(), true, false),
-        (examples::q6(), false, true),
-    ];
+    let cases = [(examples::q2(), true, false), (examples::q6(), false, true)];
     for (q, want_fork, want_triangle) in cases {
         let out = search_tripaths(&q, &SearchConfig::default());
         if want_fork {
@@ -72,7 +69,11 @@ fn random_q5_databases_never_contain_tripaths() {
     // q5 admits no tripath at all (Section 8) — so no database does.
     let q5 = examples::q5();
     let mut rng = StdRng::seed_from_u64(0x55);
-    let cfg = RandomDbConfig { blocks: 6, max_block_size: 3, domain: 3 };
+    let cfg = RandomDbConfig {
+        blocks: 6,
+        max_block_size: 3,
+        domain: 3,
+    };
     for t in 0..40 {
         let db = random_db(&mut rng, &q5, &cfg);
         assert!(
@@ -88,7 +89,11 @@ fn prop82_certk_exact_without_tripaths() {
     // happen to contain no tripath, Cert_k still matches brute force.
     let q2 = examples::q2();
     let mut rng = StdRng::seed_from_u64(0x82);
-    let cfg = RandomDbConfig { blocks: 5, max_block_size: 2, domain: 3 };
+    let cfg = RandomDbConfig {
+        blocks: 5,
+        max_block_size: 2,
+        domain: 3,
+    };
     let mut tripath_free = 0;
     for t in 0..60 {
         let db = random_db(&mut rng, &q2, &cfg);
@@ -103,7 +108,10 @@ fn prop82_certk_exact_without_tripaths() {
             "trial {t}: Prop 8.2 violated on tripath-free {db:?}"
         );
     }
-    assert!(tripath_free >= 20, "sweep must mostly produce tripath-free instances");
+    assert!(
+        tripath_free >= 20,
+        "sweep must mostly produce tripath-free instances"
+    );
 }
 
 #[test]
@@ -161,6 +169,9 @@ fn search_is_deterministic_in_structure() {
     let q2 = examples::q2();
     let a = search_tripaths(&q2, &SearchConfig::default());
     let b = search_tripaths(&q2, &SearchConfig::default());
-    assert_eq!(a.fork.as_ref().map(|t| t.blocks.len()), b.fork.as_ref().map(|t| t.blocks.len()));
+    assert_eq!(
+        a.fork.as_ref().map(|t| t.blocks.len()),
+        b.fork.as_ref().map(|t| t.blocks.len())
+    );
     assert_eq!(a.triangle.is_some(), b.triangle.is_some());
 }

@@ -1,0 +1,306 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! This build environment has no network access to crates.io, so the
+//! workspace vendors the slice of the `criterion 0.5` API its benches
+//! use: [`Criterion::benchmark_group`], [`BenchmarkGroup`]
+//! (`sample_size`, `throughput`, `bench_function`, `bench_with_input`,
+//! `finish`), [`Bencher::iter`], [`BenchmarkId`], [`Throughput`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is a straightforward adaptive loop — warm up, grow the
+//! iteration count until a sample takes ≥ `MIN_SAMPLE_TIME`, then report
+//! the per-iteration median (with min/max spread) over `sample_size`
+//! samples. There is no HTML
+//! report, no outlier analysis, and no statistical comparison against
+//! saved baselines; the point is a stable, compilable `cargo bench`
+//! entry point with honest wall-clock numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+const MIN_SAMPLE_TIME: Duration = Duration::from_millis(10);
+
+/// Opaque value barrier, re-exported for convenience.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, None, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (minimum 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Attach a throughput to subsequent benchmarks so results also
+    /// report elements/bytes per second.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label());
+        run_sampled(&label, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmark `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        run_sampled(
+            &label,
+            self.sample_size,
+            self.throughput,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times the closure handed to it by the benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` `self.iters` times, recording total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_once<F: FnMut(&mut Bencher)>(iters: u64, f: &mut F) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+/// Non-flag CLI arguments act as substring filters on benchmark labels,
+/// matching real criterion's `cargo bench -- <filter>` behavior.
+fn filters() -> &'static [String] {
+    static FILTERS: std::sync::OnceLock<Vec<String>> = std::sync::OnceLock::new();
+    FILTERS.get_or_init(|| {
+        std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect()
+    })
+}
+
+fn run_sampled<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let filters = filters();
+    if !filters.is_empty() && !filters.iter().any(|needle| label.contains(needle.as_str())) {
+        return;
+    }
+
+    // Warm up and find an iteration count where one sample is ≥ MIN_SAMPLE_TIME.
+    let mut iters: u64 = 1;
+    loop {
+        let t = time_once(iters, f);
+        if t >= MIN_SAMPLE_TIME || iters >= 1 << 20 {
+            break;
+        }
+        iters = if t.is_zero() {
+            iters * 8
+        } else {
+            let scale = MIN_SAMPLE_TIME.as_secs_f64() / t.as_secs_f64();
+            (iters as f64 * scale.clamp(1.5, 8.0)).ceil() as u64
+        };
+    }
+
+    let mut per_iter: Vec<f64> = (0..sample_size)
+        .map(|_| time_once(iters, f).as_secs_f64() / iters as f64)
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  thrpt: {}/s", si(n as f64 / median)),
+        Some(Throughput::Bytes(n)) => format!("  thrpt: {}B/s", si(n as f64 / median)),
+        None => String::new(),
+    };
+    println!(
+        "{label:<50} time: [{} {} {}]{rate}",
+        fmt_time(lo),
+        fmt_time(median),
+        fmt_time(hi)
+    );
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, f: &mut F) {
+    run_sampled(label, 10, throughput, f);
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2}ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2}µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{secs:.2}s")
+    }
+}
+
+fn si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}K", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` runs bench executables with --test to
+            // smoke-check them; skip measurement there.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,29 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! This build environment has no network access to crates.io, so the
+//! workspace vendors the slice of the `proptest 1.x` API its test suites
+//! use: the [`proptest!`] macro, `prop_assert*` / [`prop_assume!`] /
+//! [`prop_oneof!`], [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map` / `prop_filter` / `boxed`, integer-range and tuple and
+//! `&str`-pattern strategies, [`collection::vec`], and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports the concrete generated
+//!   input (`Debug`) and panics; it does not minimise it.
+//! * **Determinism instead of regression files.** Upstream persists
+//!   failing seeds under `proptest-regressions/`. Here every test's seed
+//!   is a pure function of its fully-qualified name (plus the optional
+//!   `PROPTEST_SEED` environment override), so each run replays the exact
+//!   same cases — every run *is* the regression run.
+//! * `PROPTEST_CASES` caps the per-test case count globally.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+mod macros;
+mod pattern;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;

@@ -1,0 +1,149 @@
+//! A tiny regex-shaped string generator backing the `&str` strategy.
+//!
+//! Supported subset (enough for the workspace's test patterns):
+//!
+//! * literal characters;
+//! * character classes `[a-e]`, `[abc]`, `[a-zA-Z0-9_]` (ranges and
+//!   singletons, no negation);
+//! * quantifiers on the preceding item: `{n}`, `{m,n}`, `?`, `*`, `+`
+//!   (`*`/`+` are capped at 8 repetitions).
+
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+enum Item {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+struct Piece {
+    item: Item,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let item = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                    + i;
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                assert!(
+                    !ranges.is_empty(),
+                    "empty character class in pattern {pattern:?}"
+                );
+                i = close + 1;
+                Item::Class(ranges)
+            }
+            '\\' => {
+                i += 2;
+                Item::Literal(*chars.get(i - 1).expect("dangling escape"))
+            }
+            c @ ('(' | ')' | '|' | '.' | '^' | '$') => {
+                panic!("unsupported regex metacharacter {c:?} in pattern {pattern:?}; the vendored proptest supports only literals, [classes], and quantifiers")
+            }
+            c => {
+                i += 1;
+                Item::Literal(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad {m,n} bound"),
+                        n.trim().parse().expect("bad {m,n} bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad {n} bound");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { item, min, max });
+    }
+    pieces
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = rng.gen_range(piece.min..=piece.max);
+        for _ in 0..count {
+            match &piece.item {
+                Item::Literal(c) => out.push(*c),
+                Item::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                    out.push(char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = generate("[a-e]{1,3}", &mut rng);
+            assert!((1..=3).contains(&s.len()), "bad length: {s:?}");
+            assert!(
+                s.chars().all(|c| ('a'..='e').contains(&c)),
+                "bad chars: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::seed_from_u64(4);
+        assert_eq!(generate("abc", &mut rng), "abc");
+        let s = generate("x[01]+y", &mut rng);
+        assert!(s.starts_with('x') && s.ends_with('y') && s.len() >= 3);
+    }
+}

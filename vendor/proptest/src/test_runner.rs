@@ -1,0 +1,179 @@
+//! Case execution: configuration, deterministic seeding, the runner.
+
+use crate::strategy::Strategy;
+
+/// The RNG driving all strategies. Deterministic per test (see
+/// [`TestRunner::new_deterministic`]).
+pub type TestRng = rand::rngs::StdRng;
+
+/// Per-suite configuration, a subset of upstream's fields.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each test runs. Defaults to 256, or the
+    /// `PROPTEST_CASES` environment variable when set.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for source compatibility; forking is not implemented.
+    pub fork: bool,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 0,
+            fork: false,
+        }
+    }
+}
+
+/// Why a test case did not pass: upstream proptest's error type, reduced
+/// to what the macros need. `prop_assume!` produces `Reject` (the case is
+/// skipped); an explicit `Err(..)` return fails the test.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case's precondition failed; skip it.
+    Reject(String),
+    /// The case genuinely failed.
+    Fail(String),
+}
+
+/// Runs a strategy's cases against a test closure.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Build a runner whose RNG seed is a pure function of the test's
+    /// fully-qualified `name`, so every run replays the same cases. Set
+    /// `PROPTEST_SEED=<u64>` to perturb the stream (e.g. to widen
+    /// coverage in a scheduled CI job). `PROPTEST_CASES=<n>` overrides
+    /// the case count even when the suite pins one explicitly.
+    pub fn new_deterministic(mut config: ProptestConfig, name: &str) -> Self {
+        if let Some(n) = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+        {
+            config.cases = n;
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Some(seed) = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            h = h.rotate_left(17) ^ seed;
+        }
+        TestRunner {
+            config,
+            rng: rand::SeedableRng::seed_from_u64(h),
+        }
+    }
+
+    /// Run `config.cases` *accepted* inputs through `test`. On panic or
+    /// `Err(Fail)`, report the case index and the concrete input, then
+    /// fail. `Err(Reject)` (from `prop_assume!`) does not consume a case
+    /// slot; as upstream, too many rejects abort the test so a suite
+    /// cannot silently pass while exercising no real inputs.
+    pub fn run<S: Strategy>(
+        &mut self,
+        name: &str,
+        strategy: &S,
+        test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+    ) {
+        let cases = self.config.cases;
+        let max_rejects = cases.saturating_mul(16).max(256);
+        let mut passed: u32 = 0;
+        let mut rejects: u32 = 0;
+        while passed < cases {
+            let value = strategy.new_value(&mut self.rng);
+            // Keep a handle for failure reporting; Debug-format lazily so
+            // green cases pay a clone, not a full format.
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value.clone())));
+            let complain = |detail: &str| {
+                eprintln!("proptest: {name}: case {passed}/{cases} failed{detail} for input:");
+                eprintln!("proptest:   {value:?}");
+                eprintln!(
+                    "proptest: seeds are derived from the test name; rerunning reproduces this case"
+                );
+            };
+            match outcome {
+                Ok(Ok(())) => passed += 1,
+                Ok(Err(TestCaseError::Reject(why))) => {
+                    rejects += 1;
+                    if rejects > max_rejects {
+                        panic!(
+                            "proptest: {name}: too many global rejects ({rejects}) — \
+                             prop_assume! filtered out almost every input (last: {why})"
+                        );
+                    }
+                }
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    complain("");
+                    panic!("proptest case failed: {msg}");
+                }
+                Err(payload) => {
+                    complain(" (panic)");
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn rejects_do_not_consume_case_slots() {
+        let cfg = ProptestConfig {
+            cases: 10,
+            ..ProptestConfig::default()
+        };
+        let mut runner = TestRunner::new_deterministic(cfg, "rejects_do_not_consume_case_slots");
+        let ran = Cell::new(0u32);
+        let flip = Cell::new(false);
+        // Alternate reject/accept: 10 accepted cases require ~20 draws.
+        runner.run("alternating", &(0u8..10), |_| {
+            flip.set(!flip.get());
+            if flip.get() {
+                return Err(TestCaseError::Reject("every other".into()));
+            }
+            ran.set(ran.get() + 1);
+            Ok(())
+        });
+        assert_eq!(ran.get(), 10, "all 10 case slots must be real executions");
+    }
+
+    #[test]
+    fn all_rejects_abort_instead_of_passing_vacuously() {
+        let cfg = ProptestConfig {
+            cases: 4,
+            ..ProptestConfig::default()
+        };
+        let mut runner = TestRunner::new_deterministic(cfg, "all_rejects_abort");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            runner.run("always_rejects", &(0u8..10), |_| {
+                Err(TestCaseError::Reject("nope".into()))
+            })
+        }));
+        let payload = outcome.expect_err("must not pass vacuously");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("too many global rejects"), "got: {msg}");
+    }
+}

@@ -1,0 +1,38 @@
+//! The `gen_range` plumbing: which range shapes can be sampled.
+
+pub mod uniform {
+    //! Uniform sampling from integer ranges.
+
+    use crate::RngCore;
+    use core::ops::{Range, RangeInclusive};
+
+    /// A range shape [`crate::Rng::gen_range`] accepts.
+    pub trait SampleRange<T> {
+        /// Draw one uniform sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! impl_sample_range {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}

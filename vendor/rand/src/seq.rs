@@ -1,0 +1,98 @@
+//! Slice sampling helpers.
+
+use crate::Rng;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// `amount` distinct elements, uniformly without replacement (all of
+    /// them if the slice is shorter). Order of the sample is random.
+    fn choose_multiple<'a, R: Rng + ?Sized>(
+        &'a self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&'a Self::Item>;
+
+    /// One uniform element, or `None` if the slice is empty.
+    fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose_multiple<'a, R: Rng + ?Sized>(
+        &'a self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&'a T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index vector.
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = i + (rng.next_u64() % ((idx.len() - i) as u64)) as usize;
+            idx.swap(i, j);
+        }
+        idx[..amount]
+            .iter()
+            .map(|&i| &self[i])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_multiple_is_distinct_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pool: Vec<u32> = (0..10).collect();
+        for _ in 0..200 {
+            let got: Vec<u32> = pool.choose_multiple(&mut rng, 3).copied().collect();
+            assert_eq!(got.len(), 3);
+            let set: std::collections::HashSet<_> = got.iter().collect();
+            assert_eq!(set.len(), 3, "sampled duplicates: {got:?}");
+        }
+        assert_eq!(pool.choose_multiple(&mut rng, 99).count(), 10);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut v: Vec<u32> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let empty: Vec<u32> = Vec::new();
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
