@@ -10,7 +10,7 @@ fn bench_certk(c: &mut Criterion) {
     let q3 = examples::q3();
     let mut g = c.benchmark_group("cert2_q3");
     g.sample_size(10);
-    for n in [100usize, 200, 400, 800] {
+    for n in [100usize, 200, 400, 800, 1600, 3200] {
         for (kind, db) in [
             ("chain", q3_chain_db(n)),
             ("contested", q3_certain_db(n / 2)),

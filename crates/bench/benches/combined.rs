@@ -29,7 +29,7 @@ fn bench_combined(c: &mut Criterion) {
     let q6 = examples::q6();
     let mut g = c.benchmark_group("combined_q6");
     g.sample_size(10);
-    for scale in [8usize, 16, 32, 64] {
+    for scale in [8usize, 16, 32, 64, 256, 1024] {
         let db = mixed_db(scale as u64, scale);
         g.bench_with_input(BenchmarkId::new("per_component", db.len()), &db, |b, db| {
             b.iter(|| std::hint::black_box(certain_combined(&q6, db, CertKConfig::new(2))))

@@ -1,0 +1,59 @@
+//! Parallel-speedup series for the combined solver: `certain_combined`
+//! with 1 solver thread vs one thread per available hardware thread, on a
+//! multi-component `q3` workload (disjoint certain chains alternating
+//! with falsifiable escape chains; see
+//! [`cqa_workloads::q3_multi_component_db`]).
+//!
+//! Components are decided independently (Proposition 10.6), so on a
+//! multi-core host the N-thread rows should approach a `min(N, #cores)`×
+//! speedup once per-component work dominates the fan-out overhead; on a
+//! single-core host the two rows coincide (the 1-thread path spawns no
+//! threads at all). Verdicts are asserted byte-identical across thread
+//! counts before timing starts. Baseline numbers live in `BASELINES.md`.
+
+use cqa::solvers::{certain_combined, CertKConfig};
+use cqa_query::examples;
+use cqa_workloads::q3_multi_component_db;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Chain length per component; a component then holds 16 facts (certain
+/// chain) or 32 facts (escape chain), so a workload of `m` components has
+/// `24·m` facts on average.
+const CHAIN_LEN: usize = 16;
+
+fn bench_combined_parallel(c: &mut Criterion) {
+    let q3 = examples::q3();
+    let n_threads = minipool::max_threads();
+    let cfg = CertKConfig::new(2);
+    let mut g = c.benchmark_group("combined_parallel_q3");
+    g.sample_size(10);
+    for target in [100usize, 200, 400, 800, 1600, 3200] {
+        let m = (target / (3 * CHAIN_LEN / 2)).max(2);
+        let db = q3_multi_component_db(m, CHAIN_LEN);
+        // The acceptance bar: identical results no matter the fan-out.
+        let seq = certain_combined(&q3, &db, cfg.with_threads(1));
+        let par = certain_combined(&q3, &db, cfg.with_threads(n_threads));
+        assert_eq!(
+            format!("{seq:?}"),
+            format!("{par:?}"),
+            "verdict must not depend on thread count"
+        );
+        g.throughput(Throughput::Elements(db.len() as u64));
+        g.bench_with_input(BenchmarkId::new("threads-1", db.len()), &db, |b, db| {
+            b.iter(|| std::hint::black_box(certain_combined(&q3, db, cfg.with_threads(1))))
+        });
+        g.bench_with_input(
+            BenchmarkId::new(format!("threads-max({n_threads})"), db.len()),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    std::hint::black_box(certain_combined(&q3, db, cfg.with_threads(n_threads)))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_combined_parallel);
+criterion_main!(benches);

@@ -10,7 +10,7 @@ fn bench_matching(c: &mut Criterion) {
     let q6 = examples::q6();
     let mut g = c.benchmark_group("matching_q6");
     g.sample_size(10);
-    for n in [30usize, 100, 300, 1000] {
+    for n in [30usize, 100, 300, 1000, 3200] {
         let grid = q6_triangle_grid(n / 3);
         g.throughput(Throughput::Elements(grid.len() as u64));
         g.bench_with_input(BenchmarkId::new("grid", grid.len()), &grid, |b, db| {

@@ -80,8 +80,42 @@ pub fn cmd_classify(query: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `cqa certain <query> <db-file>`: evaluate `certain(q)` on a fact file.
-pub fn cmd_certain(query: &str, db_text: &str) -> Result<String, CliError> {
+/// Parse and strip a `--threads N` option from an argument list. Returns
+/// the remaining positional arguments and the requested thread count
+/// (`None` = use the default, the host's available parallelism).
+pub fn take_threads_flag<'a>(args: &[&'a str]) -> Result<(Vec<&'a str>, Option<usize>), CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut threads = None;
+    let mut it = args.iter();
+    while let Some(&a) = it.next() {
+        if a == "--threads" {
+            let v = it
+                .next()
+                .ok_or_else(|| CliError::new("--threads needs a value"))?;
+            let n: usize = v
+                .parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| CliError::new(format!("bad thread count {v:?}")))?;
+            threads = Some(n);
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            let n: usize = v
+                .parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| CliError::new(format!("bad thread count {v:?}")))?;
+            threads = Some(n);
+        } else {
+            rest.push(a);
+        }
+    }
+    Ok((rest, threads))
+}
+
+/// `cqa certain <query> <db-file> [--threads N]`: evaluate `certain(q)` on
+/// a fact file. `threads` caps the per-component solver fan-out (`None` =
+/// available parallelism).
+pub fn cmd_certain(query: &str, db_text: &str, threads: Option<usize>) -> Result<String, CliError> {
     let q = parse_query(query).map_err(|e| CliError::new(e.to_string()))?;
     let db = dbfmt::parse_database(db_text).map_err(|e| CliError::new(e.to_string()))?;
     if db.signature() != q.signature() {
@@ -91,7 +125,11 @@ pub fn cmd_certain(query: &str, db_text: &str) -> Result<String, CliError> {
             q.signature()
         )));
     }
-    let engine = CqaEngine::new(q);
+    let mut config = cqa::EngineConfig::default();
+    if let Some(n) = threads {
+        config = config.with_threads(n);
+    }
+    let engine = CqaEngine::with_config(q, config);
     let ans = engine.certain(&db);
     let mut out = String::new();
     let _ = writeln!(
@@ -113,12 +151,19 @@ pub fn cmd_certain(query: &str, db_text: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `cqa falsify <query> <db-file>`: exhibit a falsifying repair, if any.
-pub fn cmd_falsify(query: &str, db_text: &str, budget: u64) -> Result<String, CliError> {
+/// `cqa falsify <query> <db-file> [budget] [--threads N]`: exhibit a
+/// falsifying repair, if any.
+pub fn cmd_falsify(
+    query: &str,
+    db_text: &str,
+    budget: u64,
+    threads: Option<usize>,
+) -> Result<String, CliError> {
     let q = parse_query(query).map_err(|e| CliError::new(e.to_string()))?;
     let db = dbfmt::parse_database(db_text).map_err(|e| CliError::new(e.to_string()))?;
+    let threads = threads.unwrap_or_else(minipool::max_threads);
     let mut out = String::new();
-    match cqa::solvers::certain_brute_budgeted(&q, &db, budget) {
+    match cqa::solvers::certain_brute_parallel(&q, &db, budget, threads) {
         cqa::solvers::BruteOutcome::Certain => {
             let _ = writeln!(out, "certain: every repair satisfies the query");
         }
@@ -176,13 +221,15 @@ pub fn usage() -> &'static str {
 
 USAGE:
   cqa classify \"<query>\"
-  cqa certain  \"<query>\" <db-file>
-  cqa falsify  \"<query>\" <db-file> [node-budget]
+  cqa certain  \"<query>\" <db-file> [--threads N]
+  cqa falsify  \"<query>\" <db-file> [node-budget] [--threads N]
   cqa gadget   \"<query>\" <dimacs-file>
   cqa solve    <dimacs-file>
 
 QUERY SYNTAX:     R(x u | x y) R(u y | x z)   (key positions before '|')
 DB FILE SYNTAX:   one fact per line, e.g.  R(alice | bob)   ('#' comments)
+OPTIONS:          --threads N   solver threads for per-component fan-out
+                                (default: available parallelism; 1 = sequential)
 "
 }
 
@@ -207,26 +254,49 @@ mod tests {
 
     #[test]
     fn certain_answers_on_fact_file() {
-        let out = cmd_certain(Q3, DB).unwrap();
+        let out = cmd_certain(Q3, DB, None).unwrap();
         assert!(out.contains("certain:     true"), "{out}");
         assert!(out.contains("4 facts"), "{out}");
     }
 
     #[test]
+    fn certain_same_answer_across_thread_counts() {
+        let seq = cmd_certain(Q3, DB, Some(1)).unwrap();
+        let par = cmd_certain(Q3, DB, Some(4)).unwrap();
+        assert_eq!(seq, par, "verdict must not depend on the thread count");
+    }
+
+    #[test]
     fn certain_rejects_signature_mismatch() {
-        let err = cmd_certain(Q3, "R(a b | c)\n").unwrap_err();
+        let err = cmd_certain(Q3, "R(a b | c)\n", None).unwrap_err();
         assert!(err.message.contains("signature"), "{err}");
     }
 
     #[test]
     fn falsify_prints_witness() {
         let db = "R(alice | bob)\nR(alice | carol)\nR(bob | dave)\n";
-        let out = cmd_falsify(Q3, db, u64::MAX).unwrap();
+        let out = cmd_falsify(Q3, db, u64::MAX, None).unwrap();
         assert!(out.contains("not certain"), "{out}");
         assert!(out.contains("R(alice carol)"), "{out}");
         let certain_db = "R(a | b)\nR(b | c)\n";
-        let out2 = cmd_falsify(Q3, certain_db, u64::MAX).unwrap();
+        let out2 = cmd_falsify(Q3, certain_db, u64::MAX, Some(2)).unwrap();
         assert!(out2.contains("certain"), "{out2}");
+    }
+
+    #[test]
+    fn threads_flag_parses_and_strips() {
+        let (rest, t) = take_threads_flag(&["certain", "q", "f", "--threads", "3"]).unwrap();
+        assert_eq!(rest, vec!["certain", "q", "f"]);
+        assert_eq!(t, Some(3));
+        let (rest, t) = take_threads_flag(&["--threads=8", "falsify", "q", "f"]).unwrap();
+        assert_eq!(rest, vec!["falsify", "q", "f"]);
+        assert_eq!(t, Some(8));
+        let (rest, t) = take_threads_flag(&["classify", "q"]).unwrap();
+        assert_eq!(rest, vec!["classify", "q"]);
+        assert_eq!(t, None);
+        assert!(take_threads_flag(&["--threads"]).is_err());
+        assert!(take_threads_flag(&["--threads", "0"]).is_err());
+        assert!(take_threads_flag(&["--threads", "lots"]).is_err());
     }
 
     #[test]

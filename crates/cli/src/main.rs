@@ -1,7 +1,10 @@
 //! Thin dispatcher for the `cqa` command-line tool; the command logic
 //! lives in the library so it can be tested.
 
-use cqa_cli::{cmd_certain, cmd_classify, cmd_falsify, cmd_gadget, cmd_solve, usage, CliError};
+use cqa_cli::{
+    cmd_certain, cmd_classify, cmd_falsify, cmd_gadget, cmd_solve, take_threads_flag, usage,
+    CliError,
+};
 use std::process::ExitCode;
 
 fn read(path: &str) -> Result<String, CliError> {
@@ -14,16 +17,25 @@ fn read(path: &str) -> Result<String, CliError> {
 fn run() -> Result<String, CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let str_args: Vec<&str> = args.iter().map(String::as_str).collect();
-    match str_args.as_slice() {
+    let (positional, threads) = take_threads_flag(&str_args)?;
+    // Only certain/falsify run solvers; elsewhere a --threads would be
+    // silently ignored, so reject it instead.
+    if threads.is_some() && !matches!(positional.first(), Some(&"certain") | Some(&"falsify")) {
+        return Err(CliError {
+            message: "--threads only applies to `certain` and `falsify`".to_string(),
+            code: 2,
+        });
+    }
+    match positional.as_slice() {
         ["classify", q] => cmd_classify(q),
-        ["certain", q, file] => cmd_certain(q, &read(file)?),
-        ["falsify", q, file] => cmd_falsify(q, &read(file)?, u64::MAX),
+        ["certain", q, file] => cmd_certain(q, &read(file)?, threads),
+        ["falsify", q, file] => cmd_falsify(q, &read(file)?, u64::MAX, threads),
         ["falsify", q, file, budget] => {
             let b: u64 = budget.parse().map_err(|_| CliError {
                 message: format!("bad budget {budget:?}"),
                 code: 2,
             })?;
-            cmd_falsify(q, &read(file)?, b)
+            cmd_falsify(q, &read(file)?, b, threads)
         }
         ["gadget", q, file] => cmd_gadget(q, &read(file)?),
         ["solve", file] => cmd_solve(&read(file)?),

@@ -54,3 +54,10 @@ fn bad_usage_exits_nonzero_with_usage() {
     assert_eq!(code, Some(1));
     assert!(stderr.contains("USAGE"), "{stderr}");
 }
+
+#[test]
+fn threads_flag_rejected_on_non_solver_commands() {
+    let (_, stderr, code) = cqa(&["classify", Q3, "--threads", "4"]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("--threads"), "{stderr}");
+}

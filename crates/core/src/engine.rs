@@ -4,7 +4,7 @@
 use crate::classify::{classify_with, Classification, Complexity};
 use cqa_model::Database;
 use cqa_query::Query;
-use cqa_solvers::{certain_brute_budgeted, certain_combined, certk, BruteOutcome, CertKConfig};
+use cqa_solvers::{certain_brute_parallel, certain_combined, certk, BruteOutcome, CertKConfig};
 use cqa_tripath::SearchConfig;
 
 /// Which algorithm actually answered a [`CqaEngine::certain`] call.
@@ -39,10 +39,21 @@ pub struct CertainAnswer {
 pub struct EngineConfig {
     /// Tripath search limits used at classification time.
     pub search: SearchConfig,
-    /// `Cert_k` configuration for the PTime algorithms.
+    /// `Cert_k` configuration for the PTime algorithms. Its `threads`
+    /// field also caps the per-component fan-out of the brute-force
+    /// solver, so it is the engine-wide parallelism knob.
     pub certk: CertKConfig,
     /// Node budget for the brute-force solver on coNP-complete queries.
     pub brute_budget: u64,
+}
+
+impl EngineConfig {
+    /// This configuration with an explicit solver thread count (`1` =
+    /// fully sequential; the default is the host's available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> EngineConfig {
+        self.certk = self.certk.with_threads(threads);
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -128,7 +139,12 @@ impl CqaEngine {
                 }
             }
             Complexity::CoNpComplete => {
-                match certain_brute_budgeted(&self.query, db, self.config.brute_budget) {
+                match certain_brute_parallel(
+                    &self.query,
+                    db,
+                    self.config.brute_budget,
+                    self.config.certk.threads,
+                ) {
                     BruteOutcome::Certain => CertainAnswer {
                         certain: true,
                         answered_by: AnsweredBy::BruteForce,

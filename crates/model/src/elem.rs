@@ -18,9 +18,23 @@
 //! compact. The store is never cleared — element identity is stable across
 //! all databases of a process, which is exactly what the reductions need
 //! when they transport facts from one database into another.
+//!
+//! ### Concurrency
+//! The store is **sharded**: an element's payload hash picks one of
+//! [`SHARDS`] independent `RwLock`-protected shards, and the handle
+//! encodes the shard in its low bits. Interning the same payload always
+//! lands on the same shard (and yields the same handle, no matter which
+//! thread got there first), while payloads on different shards intern
+//! with no lock interaction at all — concurrent fact construction no
+//! longer serialises on a single global lock. Within a shard, interning
+//! takes a read lock first and only upgrades to a write lock on a miss,
+//! so the steady state (mostly re-interning known elements) is
+//! read-lock-only. The `&'static` store itself sits behind a `OnceLock`,
+//! so reaching it is a lock-free atomic load after initialisation.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{OnceLock, RwLock};
 
@@ -42,34 +56,73 @@ pub enum ElemData {
     Fresh(u64),
 }
 
-struct Interner {
+/// Number of interner shards (a power of two; the shard index lives in the
+/// low [`SHARD_BITS`] bits of an [`Elem`] handle).
+const SHARD_BITS: u32 = 4;
+const SHARDS: usize = 1 << SHARD_BITS;
+
+/// One shard: a local append-only payload store plus its reverse index.
+/// Local slot `i` of shard `s` is the global handle `i << SHARD_BITS | s`.
+#[derive(Default)]
+struct Shard {
     data: Vec<ElemData>,
-    index: HashMap<ElemData, Elem>,
+    index: HashMap<ElemData, u32>,
 }
 
-impl Interner {
-    fn new() -> Self {
-        Interner {
-            data: Vec::new(),
-            index: HashMap::new(),
+struct Store {
+    shards: [RwLock<Shard>; SHARDS],
+}
+
+impl Store {
+    fn new() -> Store {
+        Store {
+            shards: std::array::from_fn(|_| RwLock::new(Shard::default())),
         }
     }
 
-    fn intern(&mut self, d: ElemData) -> Elem {
-        if let Some(&e) = self.index.get(&d) {
-            return e;
+    fn intern(&self, d: ElemData) -> Elem {
+        let s = shard_of(&d);
+        // Fast path: the payload is already interned (read lock only).
+        {
+            let shard = self.shards[s].read().expect("interner lock poisoned");
+            if let Some(&local) = shard.index.get(&d) {
+                return Elem(local << SHARD_BITS | s as u32);
+            }
         }
-        let id = u32::try_from(self.data.len()).expect("element store exhausted (> 2^32 elements)");
-        let e = Elem(id);
-        self.data.push(d.clone());
-        self.index.insert(d, e);
-        e
+        // Slow path: re-check under the write lock (another thread may have
+        // interned the same payload between the two lock acquisitions).
+        let mut shard = self.shards[s].write().expect("interner lock poisoned");
+        if let Some(&local) = shard.index.get(&d) {
+            return Elem(local << SHARD_BITS | s as u32);
+        }
+        let local = u32::try_from(shard.data.len())
+            .ok()
+            .filter(|&l| l < 1 << (32 - SHARD_BITS))
+            .expect("element store exhausted (shard over 2^28 elements)");
+        shard.data.push(d.clone());
+        shard.index.insert(d, local);
+        Elem(local << SHARD_BITS | s as u32)
+    }
+
+    fn data(&self, e: Elem) -> ElemData {
+        let shard = self.shards[(e.0 & (SHARDS as u32 - 1)) as usize]
+            .read()
+            .expect("interner lock poisoned");
+        shard.data[(e.0 >> SHARD_BITS) as usize].clone()
     }
 }
 
-fn store() -> &'static RwLock<Interner> {
-    static STORE: OnceLock<RwLock<Interner>> = OnceLock::new();
-    STORE.get_or_init(|| RwLock::new(Interner::new()))
+/// Deterministic shard choice: `DefaultHasher::new()` uses fixed keys, so
+/// the payload → shard map is stable across threads, runs and processes.
+fn shard_of(d: &ElemData) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    d.hash(&mut h);
+    (h.finish() as usize) & (SHARDS - 1)
+}
+
+fn store() -> &'static Store {
+    static STORE: OnceLock<Store> = OnceLock::new();
+    STORE.get_or_init(Store::new)
 }
 
 static FRESH_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -77,44 +130,34 @@ static FRESH_COUNTER: AtomicU64 = AtomicU64::new(0);
 impl Elem {
     /// Intern a named constant.
     pub fn named(name: impl Into<String>) -> Elem {
-        store()
-            .write()
-            .expect("interner lock poisoned")
-            .intern(ElemData::Named(name.into()))
+        store().intern(ElemData::Named(name.into()))
     }
 
     /// Intern an integer constant.
     pub fn int(v: i64) -> Elem {
-        store()
-            .write()
-            .expect("interner lock poisoned")
-            .intern(ElemData::Int(v))
+        store().intern(ElemData::Int(v))
     }
 
     /// Intern the ordered pair `⟨fst, snd⟩`.
     pub fn pair(fst: Elem, snd: Elem) -> Elem {
-        store()
-            .write()
-            .expect("interner lock poisoned")
-            .intern(ElemData::Pair(fst, snd))
+        store().intern(ElemData::Pair(fst, snd))
     }
 
     /// Create a fresh element distinct from every element created so far and
     /// from every element that will ever be created by other means.
     pub fn fresh() -> Elem {
         let n = FRESH_COUNTER.fetch_add(1, Ordering::Relaxed);
-        store()
-            .write()
-            .expect("interner lock poisoned")
-            .intern(ElemData::Fresh(n))
+        store().intern(ElemData::Fresh(n))
     }
 
     /// A clone of this element's payload.
     pub fn data(self) -> ElemData {
-        store().read().expect("interner lock poisoned").data[self.0 as usize].clone()
+        store().data(self)
     }
 
-    /// The raw interner handle. Only meaningful within one process.
+    /// The raw interner handle. Only meaningful within one process. The low
+    /// bits carry the store shard, so handles are unique but **not dense**:
+    /// do not use them as array indices.
     pub fn id(self) -> u32 {
         self.0
     }

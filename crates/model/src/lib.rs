@@ -15,6 +15,13 @@
 //!
 //! Everything downstream (queries, solvers, tripaths, reductions) builds on
 //! these types.
+//!
+//! The element store is process-global and **sharded** (16 `RwLock`
+//! shards selected by payload hash, shard id encoded in the handle's low
+//! bits), so concurrent fact construction from solver worker threads does
+//! not serialise on a single lock; see the [`Elem`] module docs for the
+//! locking discipline, and `ARCHITECTURE.md` at the workspace root for
+//! how the crates fit together.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

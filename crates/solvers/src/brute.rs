@@ -8,12 +8,22 @@
 //! picking a fact that completes a solution with an already-picked fact.
 //! Worst-case exponential per component — the expected shape on coNP-hard
 //! queries, and exactly what the dichotomy benches measure.
+//!
+//! Because the per-component searches are independent, they fan out over a
+//! thread pool ([`certain_brute_parallel`]). The node budget is shared
+//! across all components through one atomic counter, and as soon as one
+//! component *forces* `q` (no falsifying partial exists — the whole
+//! database is certain) or blows the budget, the other searches are
+//! cancelled via a stop flag. Outcomes combine in component order, so
+//! `threads = 1` reproduces the sequential loop exactly; see
+//! [`certain_brute_parallel`] for the budget/thread-count contract.
 
 use crate::SolutionSet;
 use cqa_graph::UnionFind;
 use cqa_model::{BlockId, Database, FactId, Repair};
 use cqa_query::Query;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Outcome of the brute-force search.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -37,9 +47,20 @@ impl BruteOutcome {
     }
 }
 
+/// The per-component search plan: block orders plus a dense global-block →
+/// within-component index map, so each component's search can keep its
+/// `chosen` scratch at component size instead of database size (solutions
+/// never cross components, so a search only ever consults its own blocks).
+struct ComponentPlan {
+    /// One BFS-ordered block list per component.
+    orders: Vec<Vec<BlockId>>,
+    /// `local_idx[b]` = position of block `b` inside its component's order.
+    local_idx: Vec<u32>,
+}
+
 /// Group blocks into q-connected components and order each component's
 /// blocks by BFS along solution edges (locality for the backtracker).
-fn component_block_orders(db: &Database, solutions: &SolutionSet) -> Vec<Vec<BlockId>> {
+fn component_block_orders(db: &Database, solutions: &SolutionSet) -> ComponentPlan {
     let n = db.block_count();
     let mut uf = UnionFind::new(n);
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -82,43 +103,155 @@ fn component_block_orders(db: &Database, solutions: &SolutionSet) -> Vec<Vec<Blo
         }
         out.push(order);
     }
-    out
+    let mut local_idx = vec![0u32; n];
+    for order in &out {
+        for (li, &b) in order.iter().enumerate() {
+            local_idx[b.idx()] = li as u32;
+        }
+    }
+    ComponentPlan {
+        orders: out,
+        local_idx,
+    }
 }
 
 /// Backtracking search for a falsifying repair, with a node budget
-/// (`u64::MAX` for unbounded).
+/// (`u64::MAX` for unbounded). Sequential; see [`certain_brute_parallel`]
+/// for the multi-threaded variant.
 pub fn certain_brute_budgeted(q: &Query, db: &Database, budget: u64) -> BruteOutcome {
     let solutions = SolutionSet::enumerate(q, db);
     certain_brute_with_solutions(q, db, &solutions, budget)
 }
 
+/// [`certain_brute_budgeted`] fanning the per-component searches out over
+/// `threads` worker threads (`1` = the exact sequential path, no spawns).
+/// The node budget is shared: the atomic step counter is global to the
+/// call, so total expended work respects `budget` regardless of the
+/// thread count.
+///
+/// Verdicts never depend on the thread count **as long as the budget is
+/// not exhausted** (the default `u64::MAX` in practice never is): every
+/// component is searched deterministically and the outcomes combine
+/// order-independently. Under an *exhausted* finite budget the answer is
+/// still sound — `Certain` only with a forcing component, a witness only
+/// when every component was fully falsified — but with `threads > 1` the
+/// racing searches drain the shared counter in a scheduling-dependent
+/// order, so *which* of `Certain`/`BudgetExhausted` comes back may vary
+/// between runs. `threads = 1` reproduces the historical sequential
+/// semantics exactly, including budget-exhaustion behaviour.
+pub fn certain_brute_parallel(
+    q: &Query,
+    db: &Database,
+    budget: u64,
+    threads: usize,
+) -> BruteOutcome {
+    let solutions = SolutionSet::enumerate(q, db);
+    certain_brute_with_solutions_threads(q, db, &solutions, budget, threads)
+}
+
 /// [`certain_brute_budgeted`] with pre-computed solutions.
 pub fn certain_brute_with_solutions(
-    _q: &Query,
+    q: &Query,
     db: &Database,
     solutions: &SolutionSet,
     budget: u64,
 ) -> BruteOutcome {
-    let components = component_block_orders(db, solutions);
-    let mut chosen: Vec<Option<FactId>> = vec![None; db.block_count()];
-    let mut nodes: u64 = 0;
+    certain_brute_with_solutions_threads(q, db, solutions, budget, 1)
+}
 
-    for comp in &components {
+/// How one component's search ended.
+enum CompSearch {
+    /// A falsifying partial repair exists; the choices for the component's
+    /// blocks are attached.
+    Falsified(Vec<(BlockId, FactId)>),
+    /// No falsifying partial exists — the component forces `q`, so the
+    /// whole database is certain.
+    Forces,
+    /// The shared node budget ran out mid-search.
+    OutOfBudget,
+    /// A sibling component triggered the stop flag (it forced `q` or blew
+    /// the budget) before this search finished.
+    Cancelled,
+}
+
+/// [`certain_brute_parallel`] with pre-computed solutions.
+pub fn certain_brute_with_solutions_threads(
+    _q: &Query,
+    db: &Database,
+    solutions: &SolutionSet,
+    budget: u64,
+    threads: usize,
+) -> BruteOutcome {
+    let plan = component_block_orders(db, solutions);
+    let nodes = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+
+    let results = minipool::par_map(threads, &plan.orders, |comp| {
+        // Component-sized scratch indexed through plan.local_idx — a
+        // search never consults blocks outside its component.
+        let mut chosen: Vec<Option<FactId>> = vec![None; comp.len()];
         match search(
             db,
             solutions,
             comp,
+            &plan.local_idx,
             comp.len(),
             &mut chosen,
-            &mut nodes,
+            &nodes,
             budget,
+            &stop,
         ) {
-            Some(true) => {} // falsifying partial found; chosen[] holds it
-            Some(false) => return BruteOutcome::Certain, // this component forces q
-            None => return BruteOutcome::BudgetExhausted,
+            Ok(true) => CompSearch::Falsified(
+                comp.iter()
+                    .map(|&b| {
+                        let c = chosen[plan.local_idx[b.idx()] as usize];
+                        (b, c.unwrap_or_else(|| db.block(b)[0]))
+                    })
+                    .collect(),
+            ),
+            Ok(false) => {
+                // This component alone certifies q; tell the others to stop.
+                stop.store(true, Ordering::Relaxed);
+                CompSearch::Forces
+            }
+            Err(Interrupt::Budget) => {
+                // Budget is global: once blown, sibling searches cannot
+                // finish meaningfully either — stop them too (this is also
+                // what makes threads = 1 match the historical sequential
+                // early return).
+                stop.store(true, Ordering::Relaxed);
+                CompSearch::OutOfBudget
+            }
+            Err(Interrupt::Cancelled) => CompSearch::Cancelled,
+        }
+    });
+
+    // Combine in component order: the first decisive event wins, which for
+    // threads = 1 (in-order execution, instant cancellation of the rest)
+    // reproduces the sequential loop's semantics exactly.
+    let mut cancelled = false;
+    for r in &results {
+        match r {
+            CompSearch::Forces => return BruteOutcome::Certain,
+            CompSearch::OutOfBudget => return BruteOutcome::BudgetExhausted,
+            CompSearch::Cancelled => cancelled = true,
+            CompSearch::Falsified(_) => {}
         }
     }
+    if cancelled {
+        // Unreachable: a cancellation implies some sibling reported the
+        // decisive event above. Kept total instead of panicking.
+        return BruteOutcome::BudgetExhausted;
+    }
     // All components falsified: assemble the full witness.
+    let mut chosen: Vec<Option<FactId>> = vec![None; db.block_count()];
+    for r in &results {
+        if let CompSearch::Falsified(pairs) = r {
+            for &(b, f) in pairs {
+                chosen[b.idx()] = Some(f);
+            }
+        }
+    }
     let witness: Vec<FactId> = chosen
         .iter()
         .enumerate()
@@ -129,7 +262,15 @@ pub fn certain_brute_with_solutions(
 }
 
 /// Does picking fact `f` complete a solution against already-chosen facts?
-fn conflicts(db: &Database, solutions: &SolutionSet, chosen: &[Option<FactId>], f: FactId) -> bool {
+/// `chosen` is component-local; `local` maps global block indices into it
+/// (solution partners of `f` are always in `f`'s own component).
+fn conflicts(
+    db: &Database,
+    solutions: &SolutionSet,
+    local: &[u32],
+    chosen: &[Option<FactId>],
+    f: FactId,
+) -> bool {
     if solutions.self_loop(f) {
         return true;
     }
@@ -137,7 +278,15 @@ fn conflicts(db: &Database, solutions: &SolutionSet, chosen: &[Option<FactId>], 
         .seconds_of(f)
         .iter()
         .chain(solutions.firsts_of(f))
-        .any(|&g| chosen[db.block_of(g).idx()] == Some(g))
+        .any(|&g| chosen[local[db.block_of(g).idx()] as usize] == Some(g))
+}
+
+/// Why a search stopped before finishing.
+enum Interrupt {
+    /// The shared node budget ran out.
+    Budget,
+    /// The stop flag was raised by a sibling component.
+    Cancelled,
 }
 
 /// DFS with dynamic fail-first ordering: always branch on the undecided
@@ -147,34 +296,40 @@ fn conflicts(db: &Database, solutions: &SolutionSet, chosen: &[Option<FactId>], 
 /// Section 9 gadget databases (long forced chains) tractable when a
 /// falsifying repair exists.
 ///
-/// `Some(true)` = falsifying choice found (left in `chosen`),
-/// `Some(false)` = none exists, `None` = out of budget.
+/// `Ok(true)` = falsifying choice found (left in `chosen`),
+/// `Ok(false)` = none exists, `Err` = out of budget or cancelled.
+#[allow(clippy::too_many_arguments)]
 fn search(
     db: &Database,
     solutions: &SolutionSet,
     blocks: &[BlockId],
+    local: &[u32],
     undecided: usize,
     chosen: &mut Vec<Option<FactId>>,
-    nodes: &mut u64,
+    nodes: &AtomicU64,
     budget: u64,
-) -> Option<bool> {
+    stop: &AtomicBool,
+) -> Result<bool, Interrupt> {
+    if stop.load(Ordering::Relaxed) {
+        return Err(Interrupt::Cancelled);
+    }
     if undecided == 0 {
-        return Some(true);
+        return Ok(true);
     }
     // Pick the most constrained undecided block.
     let mut best: Option<(BlockId, Vec<FactId>)> = None;
     for &b in blocks {
-        if chosen[b.idx()].is_some() {
+        if chosen[local[b.idx()] as usize].is_some() {
             continue;
         }
         let cands: Vec<FactId> = db
             .block(b)
             .iter()
             .copied()
-            .filter(|&f| !conflicts(db, solutions, chosen, f))
+            .filter(|&f| !conflicts(db, solutions, local, chosen, f))
             .collect();
         match cands.len() {
-            0 => return Some(false), // dead end: some block is unfillable
+            0 => return Ok(false), // dead end: some block is unfillable
             1 => {
                 best = Some((b, cands));
                 break; // forced choice: propagate immediately
@@ -187,20 +342,30 @@ fn search(
         }
     }
     let (b, cands) = best.expect("undecided > 0 implies an undecided block");
+    let bl = local[b.idx()] as usize;
     for f in cands {
-        *nodes += 1;
-        if *nodes > budget {
-            return None;
+        if nodes.fetch_add(1, Ordering::Relaxed) + 1 > budget {
+            return Err(Interrupt::Budget);
         }
-        chosen[b.idx()] = Some(f);
-        match search(db, solutions, blocks, undecided - 1, chosen, nodes, budget) {
-            Some(true) => return Some(true),
-            Some(false) => {}
-            None => return None,
+        chosen[bl] = Some(f);
+        match search(
+            db,
+            solutions,
+            blocks,
+            local,
+            undecided - 1,
+            chosen,
+            nodes,
+            budget,
+            stop,
+        ) {
+            Ok(true) => return Ok(true),
+            Ok(false) => {}
+            Err(i) => return Err(i),
         }
-        chosen[b.idx()] = None;
+        chosen[bl] = None;
     }
-    Some(false)
+    Ok(false)
 }
 
 /// `D ⊨ certain(q)` by backtracking search (unbounded budget).
@@ -294,6 +459,63 @@ mod tests {
             assert!(!crate::solution::satisfies(&sols, r.facts()));
         } else {
             panic!("expected a falsifying repair");
+        }
+    }
+
+    #[test]
+    fn sequential_budget_exhaustion_order_is_preserved() {
+        // Component 1 (inserted first → first in component order) needs
+        // more than one node to search; component 2 forces q for free (a
+        // self-loop kills its only block without consuming budget). The
+        // historical sequential solver reports BudgetExhausted because it
+        // never reaches component 2 — threads = 1 must preserve that.
+        let q = examples::q3();
+        let d = db2(&[["a", "b"], ["a", "c"], ["b", "a"], ["b", "d"], ["z", "z"]]);
+        assert!(matches!(
+            certain_brute_parallel(&q, &d, 1, 1),
+            BruteOutcome::BudgetExhausted
+        ));
+        // Unbounded, the forcing component decides it at every thread count.
+        for threads in [1, 2, 4] {
+            assert!(matches!(
+                certain_brute_parallel(&q, &d, u64::MAX, threads),
+                BruteOutcome::Certain
+            ));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_multi_component_db() {
+        let q = examples::q3();
+        // Three components: falsifiable, falsifiable, certain-free mix.
+        let falsifiable = db2(&[
+            ["a", "b"],
+            ["a", "x"],
+            ["b", "c"],
+            ["p", "q"],
+            ["p", "y"],
+            ["q", "r"],
+            ["z", "w"],
+        ]);
+        for threads in [1, 2, 4] {
+            match certain_brute_parallel(&q, &falsifiable, u64::MAX, threads) {
+                BruteOutcome::NotCertain(r) => {
+                    let sols = SolutionSet::enumerate(&q, &falsifiable);
+                    assert!(
+                        !crate::solution::satisfies(&sols, r.facts()),
+                        "threads={threads}: merged witness must falsify q"
+                    );
+                }
+                other => panic!("threads={threads}: expected NotCertain, got {other:?}"),
+            }
+        }
+        // A certain database stays certain at every thread count.
+        let certain = db2(&[["a", "b"], ["b", "c"], ["p", "q"], ["p", "x"], ["q", "r"]]);
+        for threads in [1, 2, 4] {
+            assert!(matches!(
+                certain_brute_parallel(&q, &certain, u64::MAX, threads),
+                BruteOutcome::Certain
+            ));
         }
     }
 

@@ -37,15 +37,38 @@ pub struct CertKConfig {
     /// [`CertKOutcome::BudgetExhausted`]. Keeps the algorithm total on
     /// adversarial inputs where `Δ` blows up.
     pub node_budget: u64,
+    /// Worker threads for the solvers that fan out per q-connected
+    /// component ([`certain_combined`](crate::certain_combined) and the
+    /// parallel brute force). The fixpoint itself is sequential; this knob
+    /// only controls how many components are decided concurrently. `1`
+    /// preserves the fully sequential path (no threads spawned); the
+    /// default is the host's available parallelism.
+    ///
+    /// [`certain_combined`](crate::certain_combined) results are identical
+    /// across thread counts — each component gets this same configuration
+    /// (including `node_budget`) either way. The brute-force solver shares
+    /// one budget across components, so its verdict is thread-count
+    /// independent only while the budget is not exhausted; see
+    /// [`certain_brute_parallel`](crate::certain_brute_parallel).
+    pub threads: usize,
 }
 
 impl CertKConfig {
-    /// Configuration with the given `k` and a generous default budget.
+    /// Configuration with the given `k`, a generous default budget, and
+    /// one solver thread per available hardware thread.
     pub fn new(k: usize) -> CertKConfig {
         CertKConfig {
             k,
             node_budget: 50_000_000,
+            threads: minipool::max_threads(),
         }
+    }
+
+    /// This configuration with an explicit component-fan-out thread count
+    /// (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> CertKConfig {
+        self.threads = threads.max(1);
+        self
     }
 }
 
@@ -477,6 +500,7 @@ mod tests {
             CertKConfig {
                 k: 2,
                 node_budget: 1,
+                threads: 1,
             },
         );
         assert_eq!(out, CertKOutcome::BudgetExhausted);

@@ -8,6 +8,12 @@
 //! clique-database components (exact there by Proposition 10.3), `Cert_k`
 //! on the rest (exact there when the query has no fork-tripath, since such
 //! components contain no tripath at all).
+//!
+//! Components are mutually independent (solutions never cross them), so
+//! their verdicts are computed on a thread pool when
+//! [`CertKConfig::threads`] is above 1. Each component sees the same
+//! configuration regardless of the thread count, and verdicts are emitted
+//! in component order, so the result is identical across thread counts.
 
 use crate::certk::{certk_with_solutions, CertKConfig, CertKOutcome};
 use crate::components::q_connected_components_with_solutions;
@@ -53,12 +59,10 @@ pub struct CombinedResult {
 pub fn certain_combined(q: &Query, db: &Database, cfg: CertKConfig) -> CombinedResult {
     let solutions = SolutionSet::enumerate(q, db);
     let comps = q_connected_components_with_solutions(q, db, &solutions);
-    let mut verdicts = Vec::with_capacity(comps.len());
-    let mut any = false;
-    for comp in &comps {
+    let verdicts = minipool::par_map(cfg.threads, &comps, |comp| {
         let comp_solutions = SolutionSet::enumerate(q, &comp.db);
         let analysis = analyze_with_solutions(q, &comp.db, &comp_solutions);
-        let verdict = if analysis.is_clique_database {
+        if analysis.is_clique_database {
             ComponentVerdict {
                 size: comp.db.len(),
                 decided_by: DecidedBy::Matching,
@@ -73,12 +77,10 @@ pub fn certain_combined(q: &Query, db: &Database, cfg: CertKConfig) -> CombinedR
                 certain: out.is_certain(),
                 budget_exhausted: out == CertKOutcome::BudgetExhausted,
             }
-        };
-        any |= verdict.certain;
-        verdicts.push(verdict);
-    }
+        }
+    });
     CombinedResult {
-        certain: any,
+        certain: verdicts.iter().any(|v| v.certain),
         components: verdicts,
     }
 }
@@ -155,5 +157,30 @@ mod tests {
         assert!(res.certain);
         assert_eq!(res.components.len(), 2);
         assert!(certain_brute(&examples::q6(), &db));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_result() {
+        let db = q6_db(&[
+            ["a", "b", "c"],
+            ["c", "a", "b"],
+            ["b", "c", "a"],
+            ["p", "q", "r"],
+            ["p", "s", "t"],
+            ["u", "v", "w"],
+        ]);
+        let cfg = CertKConfig::new(2);
+        let outs: Vec<String> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&t| {
+                format!(
+                    "{:?}",
+                    certain_combined(&examples::q6(), &db, cfg.with_threads(t))
+                )
+            })
+            .collect();
+        for o in &outs[1..] {
+            assert_eq!(&outs[0], o, "verdict drifted with thread count");
+        }
     }
 }

@@ -3,12 +3,21 @@
 //! * [`SolutionSet`] — hash-join solution enumeration and the solution
 //!   graph `G(D, q)`;
 //! * [`brute`] — the exponential baseline (backtracking over repairs, plus
-//!   a definitional exhaustive checker);
-//! * [`certk`] — the greedy fixpoint `Cert_k(q)` of Section 5;
+//!   a definitional exhaustive checker), with per-component parallel
+//!   fan-out;
+//! * [`certk`](mod@certk) — the greedy fixpoint `Cert_k(q)` of Section 5;
 //! * [`matching`] — the bipartite-matching algorithm of Section 10.1;
 //! * [`components`] — the q-connected partition of Proposition 10.6;
 //! * [`combined`] — the Theorem 10.5 combination `Cert_k ∨ ¬matching`
 //!   deciding all PTime 2way-determined cases.
+//!
+//! Components of the solution graph are independent (Proposition 10.6), so
+//! [`combined`] and [`brute`] decide them concurrently on a scoped thread
+//! pool when [`CertKConfig::threads`] (or the `threads` argument of
+//! [`certain_brute_parallel`]) is above 1; `1` keeps the historical
+//! sequential path. [`combined`] verdicts never depend on the thread
+//! count; brute-force verdicts don't either unless a finite node budget
+//! is exhausted mid-search (see [`certain_brute_parallel`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,7 +29,9 @@ pub mod components;
 pub mod matching;
 pub mod solution;
 
-pub use brute::{certain_brute, certain_brute_budgeted, certain_exhaustive, BruteOutcome};
+pub use brute::{
+    certain_brute, certain_brute_budgeted, certain_brute_parallel, certain_exhaustive, BruteOutcome,
+};
 pub use certk::{cert2, certk, certk_with_stats, CertKConfig, CertKOutcome, CertKStats};
 pub use combined::{certain_combined, certain_thm105_literal, CombinedResult, DecidedBy};
 pub use components::{q_connected_components, Component};

@@ -4,8 +4,9 @@
 use cqa_model::{Database, Elem, Fact, Signature};
 use cqa_query::examples;
 use cqa_solvers::{
-    certain_brute, certain_brute_budgeted, certain_by_matching, certain_exhaustive, certk,
-    q_connected_components, BruteOutcome, CertKConfig, SolutionSet,
+    certain_brute, certain_brute_budgeted, certain_brute_parallel, certain_by_matching,
+    certain_combined, certain_exhaustive, certk, q_connected_components, BruteOutcome, CertKConfig,
+    SolutionSet,
 };
 use proptest::prelude::*;
 
@@ -115,6 +116,43 @@ proptest! {
         let comps = q_connected_components(&q, &db);
         let some = comps.iter().any(|c| certain_brute(&q, &c.db));
         prop_assert_eq!(whole, some);
+    }
+
+    #[test]
+    fn combined_verdict_independent_of_thread_count_q3(db in q3_db_strategy()) {
+        // The parallel fan-out must not change anything observable: the
+        // whole result (including per-component order and evidence) is
+        // byte-identical across thread counts.
+        let q = examples::q3();
+        let cfg = CertKConfig::new(2);
+        let seq = certain_combined(&q, &db, cfg.with_threads(1));
+        let par = certain_combined(&q, &db, cfg.with_threads(4));
+        prop_assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+    }
+
+    #[test]
+    fn combined_verdict_independent_of_thread_count_q6(db in q6_db_strategy()) {
+        let q = examples::q6();
+        let cfg = CertKConfig::new(2);
+        let seq = certain_combined(&q, &db, cfg.with_threads(1));
+        let par = certain_combined(&q, &db, cfg.with_threads(3));
+        prop_assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+    }
+
+    #[test]
+    fn brute_parallel_agrees_with_sequential(db in q3_db_strategy()) {
+        let q = examples::q3();
+        let seq = certain_brute(&q, &db);
+        match certain_brute_parallel(&q, &db, u64::MAX, 4) {
+            BruteOutcome::Certain => prop_assert!(seq),
+            BruteOutcome::NotCertain(r) => {
+                prop_assert!(!seq);
+                // The merged multi-component witness really falsifies q.
+                let sols = SolutionSet::enumerate(&q, &db);
+                prop_assert!(!cqa_solvers::solution::satisfies(&sols, r.facts()));
+            }
+            BruteOutcome::BudgetExhausted => prop_assert!(false, "unbounded run exhausted"),
+        }
     }
 
     #[test]

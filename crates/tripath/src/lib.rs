@@ -12,6 +12,12 @@
 //! validating checker, `g(e)` computation, *niceness* (Proposition 7.2's
 //! normal form) with the Section 9 witness extraction, a bounded symbolic
 //! existence [`search`], and in-database detection.
+//!
+//! In the workspace data flow (see `ARCHITECTURE.md` at the root) this
+//! crate runs once per *query*, at classification time: `cqa::classify`
+//! calls [`search_tripaths`] and routes `certain(q)` to the solver the
+//! verdict prescribes. Nothing here touches databases except the
+//! [`find_in_db`] validation utilities.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

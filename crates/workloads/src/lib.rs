@@ -239,6 +239,41 @@ pub fn q6_cert2_breaker_alt() -> Database {
     ])
 }
 
+/// A multi-component `q3` workload for the per-component (parallel)
+/// solvers: `m` mutually disjoint sub-instances of `len` key-chain blocks
+/// each, alternating *certain* chains ([`q3_chain_db`] shape) and
+/// *falsifiable* chains ([`q3_escape_db`] shape — every block gains an
+/// escape fact to a private dead end, doubling its facts).
+///
+/// Component `i` draws its elements from a tag private to `(m, i)`, so
+/// the solution graph splits into exactly `m` q-connected components and
+/// each is decided independently — the shape that rewards fanning
+/// `certain_combined` / brute force out over threads. Total facts:
+/// `m/2` certain chains of `len` facts + `m - m/2` escape chains of
+/// `2·len` facts.
+pub fn q3_multi_component_db(m: usize, len: usize) -> Database {
+    let mut db = Database::new(Signature::new(2, 1).unwrap());
+    for c in 0..m {
+        let tag = |i: u64| {
+            Elem::pair(
+                Elem::pair(Elem::named("mc"), Elem::int(c as i64)),
+                Elem::int(i as i64),
+            )
+        };
+        for i in 0..len {
+            db.insert(Fact::r(vec![tag(i as u64), tag(i as u64 + 1)]))
+                .expect("sig");
+            if c % 2 == 1 {
+                // Escape fact: a private dead-end value for every block, so
+                // the all-escapes repair falsifies q3 in this component.
+                db.insert(Fact::r(vec![tag(i as u64), tag(1_000_000 + i as u64)]))
+                    .expect("sig");
+            }
+        }
+    }
+    db
+}
+
 /// `q2` instances embedding `m` solution chains plus contested blocks —
 /// exercises the hard query's solvers on benign inputs.
 pub fn q2_gadget_chain(rng: &mut impl Rng, m: usize) -> Database {
@@ -292,6 +327,24 @@ mod tests {
             assert!(certain_brute(&examples::q3(), &db), "width {width}");
             assert!(cert2(&examples::q3(), &db).is_certain(), "width {width}");
         }
+    }
+
+    #[test]
+    fn q3_multi_component_splits_and_mixes_verdicts() {
+        let q3 = examples::q3();
+        let db = q3_multi_component_db(6, 4);
+        assert_eq!(db.len(), 3 * 4 + 3 * 8);
+        let comps = cqa_solvers::q_connected_components(&q3, &db);
+        assert_eq!(comps.len(), 6, "components must stay disjoint");
+        let certain: usize = comps.iter().filter(|c| certain_brute(&q3, &c.db)).count();
+        assert_eq!(certain, 3, "even components certain, odd falsifiable");
+        assert!(certain_brute(&q3, &db));
+        // The combined solver agrees, sequentially and in parallel.
+        let cfg = cqa_solvers::CertKConfig::new(2);
+        let seq = cqa_solvers::certain_combined(&q3, &db, cfg.with_threads(1));
+        let par = cqa_solvers::certain_combined(&q3, &db, cfg.with_threads(4));
+        assert!(seq.certain);
+        assert_eq!(format!("{seq:?}"), format!("{par:?}"));
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Minimal, dependency-free scoped thread pool — a stand-in for the slice
+//! of `rayon` this workspace wants (crates.io is unreachable in this build
+//! environment; see `vendor/README.md`).
+//!
+//! Everything is built on [`std::thread::scope`], so no `'static` bounds
+//! are needed: closures may borrow from the caller's stack. The API is
+//! deliberately tiny:
+//!
+//! * [`max_threads`] — the host's available parallelism;
+//! * [`par_map`] — map a function over a slice on `n` worker threads,
+//!   preserving input order in the output.
+//!
+//! That is deliberately the *entire* API: per the vendor policy
+//! (`vendor/README.md`), shims cover exactly the surface the workspace
+//! uses today and grow only when a new call site needs them.
+//!
+//! Work distribution is a shared atomic cursor (work stealing at index
+//! granularity), so uneven item costs balance automatically — the shape
+//! that matters for per-component solver fan-out, where one component can
+//! be exponentially more expensive than its siblings.
+//!
+//! `threads <= 1` (or a single item) short-circuits to a plain sequential
+//! loop on the calling thread: no threads are spawned, and execution is
+//! byte-identical to the pre-pool code path. A worker panic is re-raised
+//! on the caller with [`std::panic::resume_unwind`].
+//!
+//! If network access ever appears, swapping to real `rayon` is
+//! mechanical: `par_map(n, items, f)` ≈
+//! `items.par_iter().map(f).collect()` under a
+//! `ThreadPoolBuilder::new().num_threads(n)` install.
+
+#![forbid(unsafe_code)]
+
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// The number of hardware threads available to this process, as reported
+/// by [`std::thread::available_parallelism`]; `1` when unknown.
+pub fn max_threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Map `f` over `items` using up to `threads` worker threads, returning
+/// results in input order.
+///
+/// `threads` is clamped to `[1, items.len()]`; with `threads <= 1` the map
+/// runs sequentially on the calling thread (no spawns). Items are handed
+/// to workers through a shared atomic cursor, so costly items do not stall
+/// the whole batch behind one thread.
+///
+/// # Panics
+/// Re-raises the first worker panic observed on the calling thread.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.clamp(1, n.max(1));
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let buckets: Vec<thread::Result<Vec<(usize, R)>>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for bucket in buckets {
+        match bucket {
+            Ok(pairs) => {
+                for (i, r) in pairs {
+                    slots[i] = Some(r);
+                }
+            }
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index visited exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(8, &items, |&x| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_when_one_thread() {
+        // threads = 1 must not spawn: every item sees the caller's thread.
+        let me = std::thread::current().id();
+        let items = [1, 2, 3];
+        let out = par_map(1, &items, |&x| {
+            assert_eq!(std::thread::current().id(), me);
+            x + 1
+        });
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_threads_treated_as_one() {
+        assert_eq!(par_map(0, &[5, 6], |&x| x), vec![5, 6]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(par_map(64, &[1, 2, 3], |&x| x * x), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = par_map(4, &[], |x: &i32| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_item_visited_exactly_once() {
+        let seen = Mutex::new(Vec::new());
+        let items: Vec<usize> = (0..500).collect();
+        par_map(4, &items, |&x| seen.lock().unwrap().push(x));
+        let mut v = seen.lock().unwrap().clone();
+        v.sort_unstable();
+        assert_eq!(v, items);
+    }
+
+    #[test]
+    fn workers_actually_spawn() {
+        // With threads > 1 every item runs off the calling thread (workers
+        // claim all items since the caller only joins).
+        let ids = Mutex::new(HashSet::new());
+        let items: Vec<usize> = (0..64).collect();
+        par_map(4, &items, |_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        let me = std::thread::current().id();
+        assert!(!ids.lock().unwrap().contains(&me));
+    }
+
+    #[test]
+    fn borrows_from_caller_stack() {
+        let base = vec![10usize, 20, 30];
+        let items = [0usize, 1, 2];
+        let out = par_map(2, &items, |&i| base[i]);
+        assert_eq!(out, base);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let items = [1, 2, 3, 4];
+        let _ = par_map(2, &items, |&x| {
+            if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn uneven_costs_balance() {
+        // Smoke test that a long item does not serialise the rest; we just
+        // check correctness of results under skewed work.
+        let items: Vec<u64> = (0..32).collect();
+        let out = par_map(4, &items, |&x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x * x
+        });
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -231,8 +231,8 @@ tuple_strategies! {
 }
 
 /// String strategies from a pattern literal: `"[a-e]{1,3}"` generates a
-/// string of one to three characters drawn from `a..=e`. See
-/// [`crate::pattern`] for the supported subset.
+/// string of one to three characters drawn from `a..=e`. See the
+/// crate-private `pattern` module for the supported subset.
 impl Strategy for &'static str {
     type Value = String;
     fn new_value(&self, rng: &mut TestRng) -> String {
