@@ -1,0 +1,72 @@
+//! Large-n series: the million-fact regime end to end.
+//!
+//! Three measurements per size `n` ∈ {10⁴, 10⁵, 10⁶} on the
+//! [`cqa_workloads::large`] q3 family (50% conflicted blocks, width
+//! 2..=3, 8-block chains):
+//!
+//! * `build` — in-memory construction ([`large_q3_db`]), i.e. concurrent
+//!   element interning + sequential insertion;
+//! * `stream` — rendering the fact-file format to a sink
+//!   ([`write_large_q3`]), what `cqa generate` does minus the disk;
+//! * `solve` — `certain_combined` at 1 thread vs the host's parallelism
+//!   on the pre-built database (copy-free component views; the verdict
+//!   is asserted identical across thread counts before timing).
+//!
+//! Recorded medians live in `BASELINES.md`.
+
+use cqa::solvers::{certain_combined, CertKConfig};
+use cqa_query::examples;
+use cqa_workloads::{large_q3_db, write_large_q3, LargeWorkloadConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn cfg_for(n: usize) -> LargeWorkloadConfig {
+    LargeWorkloadConfig {
+        seed: 0xA11CE,
+        ..LargeWorkloadConfig::new(n)
+    }
+}
+
+fn bench_large_scale(c: &mut Criterion) {
+    let q3 = examples::q3();
+    let n_threads = minipool::max_threads();
+    let mut g = c.benchmark_group("large_q3");
+    g.sample_size(10);
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let cfg = cfg_for(n);
+        let db = large_q3_db(&cfg);
+        g.throughput(Throughput::Elements(db.len() as u64));
+        g.bench_with_input(BenchmarkId::new("build", db.len()), &cfg, |b, cfg| {
+            b.iter(|| std::hint::black_box(large_q3_db(cfg)))
+        });
+        g.bench_with_input(BenchmarkId::new("stream", db.len()), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut sink = std::io::sink();
+                std::hint::black_box(write_large_q3(cfg, &mut sink).expect("sink never fails"))
+            })
+        });
+        let solver = CertKConfig::new(2);
+        let seq = certain_combined(&q3, &db, solver.with_threads(1));
+        let par = certain_combined(&q3, &db, solver.with_threads(n_threads));
+        assert_eq!(seq.certain, par.certain, "verdict drifted with threads");
+        g.bench_with_input(
+            BenchmarkId::new("solve-threads-1", db.len()),
+            &db,
+            |b, db| {
+                b.iter(|| std::hint::black_box(certain_combined(&q3, db, solver.with_threads(1))))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new(format!("solve-threads-max({n_threads})"), db.len()),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    std::hint::black_box(certain_combined(&q3, db, solver.with_threads(n_threads)))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_large_scale);
+criterion_main!(benches);

@@ -8,56 +8,110 @@
 //! ```
 //!
 //! Every fact must agree on arity and key length; the signature is
-//! inferred from the first fact.
+//! inferred from the first fact. The full grammar — tokenisation,
+//! `⟨…⟩` pair elements, signature inference and every error case — is
+//! specified in `docs/FORMAT.md` at the workspace root.
+//!
+//! Two entry points parse the format:
+//!
+//! * [`parse_database`] — whole-string parsing, for text already in
+//!   memory;
+//! * [`read_database`] / [`StreamingDbParser`] — **streaming**,
+//!   line-at-a-time parsing over any [`BufRead`] with one reused line
+//!   buffer, so a million-line fact file is never held in memory at
+//!   once. Errors carry the 1-based line number, the **byte offset** of
+//!   the offending line's start, and the line text itself
+//!   ([`DbFmtError`]), which keeps failures actionable on files far too
+//!   large to eyeball.
 
 use cqa_model::{Database, Elem, Fact, RelId, Signature};
 use std::fmt::Write as _;
+use std::io::BufRead;
 
-/// A parse failure with line information.
+/// Longest slice of an offending line kept in a [`DbFmtError`] (fact
+/// files can legally hold very long lines; errors should stay bounded).
+const ERROR_TEXT_MAX: usize = 120;
+
+/// A parse failure with position information.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DbFmtError {
     /// 1-based line number.
     pub line: usize,
+    /// Byte offset of the start of the offending line within the input.
+    pub offset: u64,
+    /// The offending line's text (terminator stripped, truncated to a
+    /// bounded length); empty for whole-file errors like an empty input.
+    pub text: String,
     /// What went wrong.
     pub message: String,
 }
 
 impl std::fmt::Display for DbFmtError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "line {} (byte offset {}): {}",
+            self.line, self.offset, self.message
+        )?;
+        if !self.text.is_empty() {
+            write!(f, "\n  | {}", self.text)?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for DbFmtError {}
 
-fn err<T>(line: usize, message: impl Into<String>) -> Result<T, DbFmtError> {
-    Err(DbFmtError {
-        line,
-        message: message.into(),
-    })
+/// A failure of the streaming reader: either the underlying I/O or the
+/// format itself.
+#[derive(Debug)]
+pub enum DbReadError {
+    /// Reading from the source failed.
+    Io(std::io::Error),
+    /// The source was readable but malformed.
+    Fmt(DbFmtError),
 }
 
-/// Parse one fact line: `R(a b | c d)`.
-fn parse_fact(line: usize, text: &str) -> Result<(RelId, Vec<Elem>, usize), DbFmtError> {
+impl std::fmt::Display for DbReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbReadError::Io(e) => write!(f, "{e}"),
+            DbReadError::Fmt(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbReadError {}
+
+impl From<std::io::Error> for DbReadError {
+    fn from(e: std::io::Error) -> DbReadError {
+        DbReadError::Io(e)
+    }
+}
+
+impl From<DbFmtError> for DbReadError {
+    fn from(e: DbFmtError) -> DbReadError {
+        DbReadError::Fmt(e)
+    }
+}
+
+/// Parse one fact line: `R(a b | c d)`. Errors are bare messages; the
+/// caller attaches position information.
+fn parse_fact(text: &str) -> Result<(RelId, Vec<Elem>, usize), String> {
     let text = text.trim();
     let open = match text.find('(') {
         Some(i) => i,
-        None => return err(line, "expected '(' in fact"),
+        None => return Err("expected '(' in fact".into()),
     };
     let close = match text.rfind(')') {
         Some(i) if i > open => i,
-        _ => return err(line, "expected closing ')'"),
+        _ => return Err("expected closing ')'".into()),
     };
     let rel = match text[..open].trim() {
         "R" => RelId::R,
         "R1" => RelId::R1,
         "R2" => RelId::R2,
-        other => {
-            return err(
-                line,
-                format!("unknown relation {other:?} (use R, R1 or R2)"),
-            )
-        }
+        other => return Err(format!("unknown relation {other:?} (use R, R1 or R2)")),
     };
     let inner = &text[open + 1..close];
     let (key_part, val_part) = match inner.find('|') {
@@ -94,60 +148,152 @@ fn parse_fact(line: usize, text: &str) -> Result<(RelId, Vec<Elem>, usize), DbFm
         }
         out
     }
-    let split = tokens;
-    let key = split(key_part);
-    let vals = split(val_part);
+    let key = tokens(key_part);
+    let vals = tokens(val_part);
     let key_len = key.len();
     let mut tuple = key;
     tuple.extend(vals);
     if tuple.is_empty() {
-        return err(line, "fact with no elements");
+        return Err("fact with no elements".into());
     }
     Ok((rel, tuple, key_len))
 }
 
-/// Parse a whole database file.
-pub fn parse_database(input: &str) -> Result<Database, DbFmtError> {
-    let mut db: Option<Database> = None;
-    let mut sig_key_len: usize = 0;
-    for (i, raw) in input.lines().enumerate() {
-        let line_no = i + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
+/// Incremental, line-at-a-time fact-file parser.
+///
+/// Feed raw lines (terminators included or not — `\n` and `\r\n` are both
+/// accepted and counted toward byte offsets) with
+/// [`StreamingDbParser::feed_line`], then take the database with
+/// [`StreamingDbParser::finish`]. [`parse_database`] and
+/// [`read_database`] are thin wrappers over this type; drive it directly
+/// to stream from sources that are neither strings nor readers (sockets,
+/// decompressors, generators).
+#[derive(Debug, Default)]
+pub struct StreamingDbParser {
+    db: Option<Database>,
+    sig_key_len: usize,
+    /// Lines consumed so far.
+    line: usize,
+    /// Byte offset of the next line's start.
+    offset: u64,
+}
+
+impl StreamingDbParser {
+    /// A parser that has seen no input.
+    pub fn new() -> StreamingDbParser {
+        StreamingDbParser::default()
+    }
+
+    /// Lines consumed so far.
+    pub fn lines(&self) -> usize {
+        self.line
+    }
+
+    /// Bytes consumed so far.
+    pub fn bytes(&self) -> u64 {
+        self.offset
+    }
+
+    /// Facts parsed so far.
+    pub fn facts(&self) -> usize {
+        self.db.as_ref().map_or(0, Database::len)
+    }
+
+    fn error(&self, stripped: &str, message: impl Into<String>) -> DbFmtError {
+        let mut text: String = stripped.chars().take(ERROR_TEXT_MAX).collect();
+        if text.len() < stripped.len() {
+            text.push('…');
         }
-        let (rel, tuple, key_len) = parse_fact(line_no, line)?;
-        let database = match &mut db {
+        DbFmtError {
+            line: self.line,
+            offset: self.offset,
+            text,
+            message: message.into(),
+        }
+    }
+
+    /// Consume one line. `raw` may include its `\n` or `\r\n` terminator
+    /// (byte offsets in errors assume it does, as with
+    /// [`BufRead::read_line`]); a trailing `\r` is stripped either way,
+    /// so CRLF files parse identically to LF files.
+    pub fn feed_line(&mut self, raw: &str) -> Result<(), DbFmtError> {
+        self.line += 1;
+        let stripped = raw.strip_suffix('\n').unwrap_or(raw);
+        let stripped = stripped.strip_suffix('\r').unwrap_or(stripped);
+        let result = self.feed_stripped(stripped);
+        self.offset += raw.len() as u64;
+        result
+    }
+
+    fn feed_stripped(&mut self, stripped: &str) -> Result<(), DbFmtError> {
+        let content = stripped.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            return Ok(());
+        }
+        let (rel, tuple, key_len) = parse_fact(content).map_err(|m| self.error(stripped, m))?;
+        let database = match &mut self.db {
             Some(d) => {
-                if key_len != sig_key_len {
-                    return err(
-                        line_no,
-                        format!("key length {key_len} differs from the first fact's {sig_key_len}"),
-                    );
+                if key_len != self.sig_key_len {
+                    let want = self.sig_key_len;
+                    return Err(self.error(
+                        stripped,
+                        format!("key length {key_len} differs from the first fact's {want}"),
+                    ));
                 }
                 d
             }
             None => {
-                let sig = Signature::new(tuple.len(), key_len).map_err(|e| DbFmtError {
-                    line: line_no,
-                    message: e.to_string(),
-                })?;
-                sig_key_len = key_len;
-                db = Some(Database::new(sig));
-                db.as_mut().expect("just set")
+                let sig = Signature::new(tuple.len(), key_len)
+                    .map_err(|e| self.error(stripped, e.to_string()))?;
+                self.sig_key_len = key_len;
+                self.db = Some(Database::new(sig));
+                self.db.as_mut().expect("just set")
             }
         };
-        database
-            .insert(Fact::new(rel, tuple))
-            .map_err(|e| DbFmtError {
-                line: line_no,
-                message: e.to_string(),
-            })?;
+        if let Err(e) = database.insert(Fact::new(rel, tuple)) {
+            return Err(self.error(stripped, e.to_string()));
+        }
+        Ok(())
     }
-    match db {
-        Some(d) => Ok(d),
-        None => err(0, "empty database file (no facts)"),
+
+    /// Finish parsing. Errors on input holding no facts at all.
+    pub fn finish(self) -> Result<Database, DbFmtError> {
+        match self.db {
+            Some(d) => Ok(d),
+            None => Err(DbFmtError {
+                line: self.line,
+                offset: self.offset,
+                text: String::new(),
+                message: "empty database file (no facts)".into(),
+            }),
+        }
     }
+}
+
+/// Parse a whole in-memory database file.
+pub fn parse_database(input: &str) -> Result<Database, DbFmtError> {
+    let mut parser = StreamingDbParser::new();
+    for raw in input.split_inclusive('\n') {
+        parser.feed_line(raw)?;
+    }
+    parser.finish()
+}
+
+/// Stream a database from any [`BufRead`], one line at a time through a
+/// single reused buffer — the input is never held in memory at once, so
+/// this is the entry point for million-line fact files (the `cqa`
+/// `certain`/`falsify` commands load through it).
+pub fn read_database<R: BufRead>(mut reader: R) -> Result<Database, DbReadError> {
+    let mut parser = StreamingDbParser::new();
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            break;
+        }
+        parser.feed_line(&buf)?;
+    }
+    Ok(parser.finish()?)
 }
 
 /// Serialise a database to the text format, one fact per line, grouped by
@@ -234,5 +380,111 @@ R(bob | dave)
         for (_, f) in db.facts() {
             assert!(db2.contains(f), "{f} missing after round trip");
         }
+    }
+
+    #[test]
+    fn crlf_files_parse_like_lf_files() {
+        let lf = "# header\nR(a | b)\nR(b | c)\n";
+        let crlf = lf.replace('\n', "\r\n");
+        let d1 = parse_database(lf).unwrap();
+        let d2 = parse_database(&crlf).unwrap();
+        assert_eq!(d1.len(), d2.len());
+        for (_, f) in d1.facts() {
+            assert!(d2.contains(f));
+        }
+        // A final line without terminator still parses.
+        let d3 = parse_database("R(a | b)\r\nR(b | c)").unwrap();
+        assert_eq!(d3.len(), 2);
+    }
+
+    #[test]
+    fn blank_and_comment_only_files_are_empty_errors() {
+        for text in [
+            "",
+            "\n\n\n",
+            "# only\n# comments\n",
+            "   \n\t\n",
+            "\r\n\r\n",
+        ] {
+            let err = parse_database(text).unwrap_err();
+            assert!(
+                err.message.contains("empty database file"),
+                "{text:?}: {err}"
+            );
+            assert!(err.text.is_empty());
+        }
+    }
+
+    #[test]
+    fn mid_file_arity_mismatch_reports_line_offset_and_text() {
+        let text = "# header\nR(a | b)\nR(c | d)\nR(e | f g)\n";
+        let err = parse_database(text).unwrap_err();
+        assert_eq!(err.line, 4);
+        // Offset of the 4th line's first byte: "# header\n" (9) + 2 × "R(a | b)\n" (9).
+        assert_eq!(err.offset, 9 + 9 + 9);
+        assert_eq!(err.text, "R(e | f g)");
+        assert!(err.message.contains("arity"), "{err}");
+        let shown = err.to_string();
+        assert!(shown.contains("line 4"), "{shown}");
+        assert!(shown.contains("byte offset 27"), "{shown}");
+        assert!(shown.contains("R(e | f g)"), "{shown}");
+    }
+
+    #[test]
+    fn mid_file_key_length_mismatch_reports_position() {
+        let err = parse_database("R(a | b)\nR(a b | c)\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.offset, 9);
+        assert_eq!(err.text, "R(a b | c)");
+        assert!(err.message.contains("key length"), "{err}");
+    }
+
+    #[test]
+    fn error_text_is_truncated_on_absurd_lines() {
+        // An arity-2000 fact in an arity-2 file: the error keeps a bounded
+        // prefix of the line, not all 4000 bytes.
+        let long = format!("R(a | {})", "x ".repeat(2000));
+        let err = parse_database(&format!("R(a | b)\n{long}\n")).unwrap_err();
+        assert!(err.message.contains("arity"), "{err}");
+        assert!(err.text.chars().count() <= ERROR_TEXT_MAX + 1, "{err}");
+        assert!(err.text.ends_with('…'));
+    }
+
+    #[test]
+    fn streaming_reader_matches_whole_string_parse() {
+        let text = "# h\nR(a | b)\r\nR(a | c)\nR(b | d)";
+        let streamed = read_database(std::io::Cursor::new(text)).unwrap();
+        let parsed = parse_database(text).unwrap();
+        assert_eq!(streamed.len(), parsed.len());
+        assert_eq!(streamed.block_count(), parsed.block_count());
+        for (_, f) in parsed.facts() {
+            assert!(streamed.contains(f));
+        }
+    }
+
+    #[test]
+    fn streaming_reader_reports_positions_too() {
+        let text = "R(a | b)\nnonsense\n";
+        match read_database(std::io::Cursor::new(text)) {
+            Err(DbReadError::Fmt(e)) => {
+                assert_eq!(e.line, 2);
+                assert_eq!(e.offset, 9);
+                assert_eq!(e.text, "nonsense");
+            }
+            other => panic!("expected a format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parser_exposes_progress_counters() {
+        let mut p = StreamingDbParser::new();
+        p.feed_line("# header\n").unwrap();
+        p.feed_line("R(a | b)\n").unwrap();
+        p.feed_line("R(a | c)\n").unwrap();
+        assert_eq!(p.lines(), 3);
+        assert_eq!(p.bytes(), 9 + 9 + 9);
+        assert_eq!(p.facts(), 2);
+        let db = p.finish().unwrap();
+        assert_eq!(db.len(), 2);
     }
 }

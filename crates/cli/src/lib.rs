@@ -4,13 +4,18 @@
 //! cqa classify "R(x u | x y) R(u y | x z)"
 //! cqa certain  "R(x | y) R(y | z)" employees.facts
 //! cqa falsify  "R(x | y) R(y | z)" employees.facts
+//! cqa generate --facts 1000000 huge.facts
 //! cqa gadget   "R(x u | x y) R(u y | x z)" formula.cnf
 //! cqa solve    formula.cnf
 //! ```
 //!
 //! The command implementations live here (testable); `main.rs` is a thin
-//! argument dispatcher. Database files use the [`dbfmt`] line format, CNF
-//! files are DIMACS.
+//! argument dispatcher. Database files use the [`dbfmt`] line format
+//! (fully specified in `docs/FORMAT.md`), CNF files are DIMACS. Fact
+//! files are **streamed** line-at-a-time through
+//! [`dbfmt::read_database`] — `certain` on a million-line file never
+//! buffers the file in memory — and `generate` writes workloads of
+//! arbitrary size with the concurrent generators of `cqa-workloads`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,8 +23,10 @@
 pub mod dbfmt;
 
 use cqa::{classify, Complexity, Confidence, CqaEngine};
+use cqa_model::Database;
 use cqa_query::parse_query;
 use cqa_sat::{parse_dimacs, solve, to_occ3_normal_form, SatResult};
+use cqa_workloads::{write_large_q3, LargeWorkloadConfig};
 use std::fmt::Write as _;
 
 /// A CLI failure: message plus suggested exit code.
@@ -112,12 +119,24 @@ pub fn take_threads_flag<'a>(args: &[&'a str]) -> Result<(Vec<&'a str>, Option<u
     Ok((rest, threads))
 }
 
+/// Stream-load a fact file from disk ([`dbfmt::read_database`]; the file
+/// is parsed line-at-a-time, never buffered whole).
+pub fn load_db_file(path: &str) -> Result<Database, CliError> {
+    let file = std::fs::File::open(path).map_err(|e| CliError {
+        message: format!("cannot read {path}: {e}"),
+        code: 2,
+    })?;
+    dbfmt::read_database(std::io::BufReader::new(file)).map_err(|e| CliError {
+        message: format!("{path}: {e}"),
+        code: 2,
+    })
+}
+
 /// `cqa certain <query> <db-file> [--threads N]`: evaluate `certain(q)` on
-/// a fact file. `threads` caps the per-component solver fan-out (`None` =
-/// available parallelism).
-pub fn cmd_certain(query: &str, db_text: &str, threads: Option<usize>) -> Result<String, CliError> {
+/// a (stream-loaded) database. `threads` caps the per-component solver
+/// fan-out (`None` = available parallelism).
+pub fn cmd_certain(query: &str, db: &Database, threads: Option<usize>) -> Result<String, CliError> {
     let q = parse_query(query).map_err(|e| CliError::new(e.to_string()))?;
-    let db = dbfmt::parse_database(db_text).map_err(|e| CliError::new(e.to_string()))?;
     if db.signature() != q.signature() {
         return Err(CliError::new(format!(
             "database signature {} does not match query signature {}",
@@ -130,7 +149,7 @@ pub fn cmd_certain(query: &str, db_text: &str, threads: Option<usize>) -> Result
         config = config.with_threads(n);
     }
     let engine = CqaEngine::with_config(q, config);
-    let ans = engine.certain(&db);
+    let ans = engine.certain(db);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -155,15 +174,14 @@ pub fn cmd_certain(query: &str, db_text: &str, threads: Option<usize>) -> Result
 /// falsifying repair, if any.
 pub fn cmd_falsify(
     query: &str,
-    db_text: &str,
+    db: &Database,
     budget: u64,
     threads: Option<usize>,
 ) -> Result<String, CliError> {
     let q = parse_query(query).map_err(|e| CliError::new(e.to_string()))?;
-    let db = dbfmt::parse_database(db_text).map_err(|e| CliError::new(e.to_string()))?;
     let threads = threads.unwrap_or_else(minipool::max_threads);
     let mut out = String::new();
-    match cqa::solvers::certain_brute_parallel(&q, &db, budget, threads) {
+    match cqa::solvers::certain_brute_parallel(&q, db, budget, threads) {
         cqa::solvers::BruteOutcome::Certain => {
             let _ = writeln!(out, "certain: every repair satisfies the query");
         }
@@ -178,6 +196,99 @@ pub fn cmd_falsify(
         }
     }
     Ok(out)
+}
+
+/// `cqa generate [options] <out-file>`: write a large `q3`-shaped
+/// workload (see [`cqa_workloads::large`]) to a fact file. Options:
+/// `--facts N` (target size, default 1000000), `--inconsistency R`
+/// (fraction of conflicted blocks, default 0.5), `--min-width A` /
+/// `--max-width B` (conflicted block widths, default 2..=3),
+/// `--chain-len L` (blocks per component, default 8), `--seed S`.
+/// `threads` caps the construction fan-out; the file content never
+/// depends on it.
+pub fn cmd_generate(args: &[&str], threads: Option<usize>) -> Result<String, CliError> {
+    let mut cfg = LargeWorkloadConfig::new(1_000_000);
+    if let Some(n) = threads {
+        cfg.threads = n.max(1);
+    }
+    let mut out_path: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(&a) = it.next() {
+        let mut flag_value = |flag: &str| {
+            it.next()
+                .copied()
+                .ok_or_else(|| CliError::new(format!("{flag} needs a value")))
+        };
+        match a {
+            "--facts" => {
+                cfg.facts = parse_flag_num(a, flag_value(a)?)?;
+            }
+            "--inconsistency" => {
+                let v = flag_value(a)?;
+                cfg.inconsistency = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or_else(|| {
+                        CliError::new(format!("bad inconsistency ratio {v:?} (want 0.0..=1.0)"))
+                    })?;
+            }
+            "--min-width" => {
+                cfg.min_width = parse_flag_num(a, flag_value(a)?)?;
+            }
+            "--max-width" => {
+                cfg.max_width = parse_flag_num(a, flag_value(a)?)?;
+            }
+            "--chain-len" => {
+                cfg.chain_len = parse_flag_num(a, flag_value(a)?)?;
+            }
+            "--seed" => {
+                let v = flag_value(a)?;
+                cfg.seed = v
+                    .parse()
+                    .map_err(|_| CliError::new(format!("bad seed {v:?}")))?;
+            }
+            other if other.starts_with("--") => {
+                return Err(CliError::new(format!("unknown generate option {other:?}")));
+            }
+            path => {
+                if out_path.replace(path).is_some() {
+                    return Err(CliError::new("generate takes exactly one output file"));
+                }
+            }
+        }
+    }
+    let path = out_path.ok_or_else(|| CliError::new("generate needs an output file"))?;
+    if cfg.min_width < 2 || cfg.max_width < cfg.min_width || cfg.chain_len == 0 || cfg.facts == 0 {
+        return Err(CliError::new(
+            "need --facts >= 1, --chain-len >= 1 and 2 <= min-width <= max-width",
+        ));
+    }
+    let file = std::fs::File::create(path).map_err(|e| CliError {
+        message: format!("cannot write {path}: {e}"),
+        code: 2,
+    })?;
+    let mut writer = std::io::BufWriter::new(file);
+    let stats = write_large_q3(&cfg, &mut writer).map_err(|e| CliError {
+        message: format!("cannot write {path}: {e}"),
+        code: 2,
+    })?;
+    std::io::Write::flush(&mut writer).map_err(|e| CliError {
+        message: format!("cannot write {path}: {e}"),
+        code: 2,
+    })?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "wrote {path}: {} facts, {} blocks, {} components ({} conflicted blocks)",
+        stats.facts, stats.blocks, stats.components, stats.conflicted_blocks
+    );
+    Ok(out)
+}
+
+fn parse_flag_num(flag: &str, v: &str) -> Result<usize, CliError> {
+    v.parse()
+        .map_err(|_| CliError::new(format!("bad value {v:?} for {flag}")))
 }
 
 /// `cqa gadget <query> <dimacs>`: the Section 9 reduction as a tool —
@@ -223,12 +334,16 @@ USAGE:
   cqa classify \"<query>\"
   cqa certain  \"<query>\" <db-file> [--threads N]
   cqa falsify  \"<query>\" <db-file> [node-budget] [--threads N]
+  cqa generate [--facts N] [--inconsistency R] [--min-width A] [--max-width B]
+               [--chain-len L] [--seed S] [--threads N] <out-file>
   cqa gadget   \"<query>\" <dimacs-file>
   cqa solve    <dimacs-file>
 
 QUERY SYNTAX:     R(x u | x y) R(u y | x z)   (key positions before '|')
-DB FILE SYNTAX:   one fact per line, e.g.  R(alice | bob)   ('#' comments)
-OPTIONS:          --threads N   solver threads for per-component fan-out
+DB FILE SYNTAX:   one fact per line, e.g.  R(alice | bob)   ('#' comments);
+                  full specification in docs/FORMAT.md. certain/falsify
+                  stream the file line-at-a-time (any size).
+OPTIONS:          --threads N   solver / generator threads
                                 (default: available parallelism; 1 = sequential)
 "
 }
@@ -239,6 +354,10 @@ mod tests {
 
     const Q3: &str = "R(x | y) R(y | z)";
     const DB: &str = "R(alice | bob)\nR(alice | carol)\nR(bob | dave)\nR(carol | dave)\n";
+
+    fn db(text: &str) -> Database {
+        dbfmt::parse_database(text).unwrap()
+    }
 
     #[test]
     fn classify_q2_reports_conp() {
@@ -254,33 +373,106 @@ mod tests {
 
     #[test]
     fn certain_answers_on_fact_file() {
-        let out = cmd_certain(Q3, DB, None).unwrap();
+        let out = cmd_certain(Q3, &db(DB), None).unwrap();
         assert!(out.contains("certain:     true"), "{out}");
         assert!(out.contains("4 facts"), "{out}");
     }
 
     #[test]
     fn certain_same_answer_across_thread_counts() {
-        let seq = cmd_certain(Q3, DB, Some(1)).unwrap();
-        let par = cmd_certain(Q3, DB, Some(4)).unwrap();
+        let seq = cmd_certain(Q3, &db(DB), Some(1)).unwrap();
+        let par = cmd_certain(Q3, &db(DB), Some(4)).unwrap();
         assert_eq!(seq, par, "verdict must not depend on the thread count");
     }
 
     #[test]
     fn certain_rejects_signature_mismatch() {
-        let err = cmd_certain(Q3, "R(a b | c)\n", None).unwrap_err();
+        let err = cmd_certain(Q3, &db("R(a b | c)\n"), None).unwrap_err();
         assert!(err.message.contains("signature"), "{err}");
     }
 
     #[test]
     fn falsify_prints_witness() {
-        let db = "R(alice | bob)\nR(alice | carol)\nR(bob | dave)\n";
-        let out = cmd_falsify(Q3, db, u64::MAX, None).unwrap();
+        let d = db("R(alice | bob)\nR(alice | carol)\nR(bob | dave)\n");
+        let out = cmd_falsify(Q3, &d, u64::MAX, None).unwrap();
         assert!(out.contains("not certain"), "{out}");
         assert!(out.contains("R(alice carol)"), "{out}");
-        let certain_db = "R(a | b)\nR(b | c)\n";
-        let out2 = cmd_falsify(Q3, certain_db, u64::MAX, Some(2)).unwrap();
+        let certain_db = db("R(a | b)\nR(b | c)\n");
+        let out2 = cmd_falsify(Q3, &certain_db, u64::MAX, Some(2)).unwrap();
         assert!(out2.contains("certain"), "{out2}");
+    }
+
+    #[test]
+    fn generate_writes_a_streamable_workload() {
+        let dir = std::env::temp_dir().join(format!("cqa-gen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.facts");
+        let path_str = path.to_str().unwrap();
+        let out = cmd_generate(
+            &[
+                "--facts",
+                "500",
+                "--inconsistency",
+                "0.5",
+                "--seed",
+                "11",
+                path_str,
+            ],
+            Some(2),
+        )
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        // The generated file stream-loads and solves; verdicts agree
+        // across thread counts.
+        let loaded = load_db_file(path_str).unwrap();
+        assert!(loaded.len() >= 400, "{} facts", loaded.len());
+        let seq = cmd_certain(Q3, &loaded, Some(1)).unwrap();
+        let par = cmd_certain(Q3, &loaded, Some(4)).unwrap();
+        assert_eq!(seq, par);
+        // Same config, same bytes: regenerating is reproducible.
+        let path2 = dir.join("w2.facts");
+        cmd_generate(
+            &[
+                "--facts",
+                "500",
+                "--inconsistency",
+                "0.5",
+                "--seed",
+                "11",
+                path2.to_str().unwrap(),
+            ],
+            Some(1),
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&path2).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generate_rejects_bad_options() {
+        assert!(cmd_generate(&[], None).is_err()); // no output file
+        assert!(cmd_generate(&["--facts"], None).is_err()); // missing value
+        assert!(cmd_generate(&["--facts", "x", "f"], None).is_err());
+        assert!(cmd_generate(&["--inconsistency", "2.0", "f"], None).is_err());
+        assert!(cmd_generate(&["--min-width", "1", "f"], None).is_err());
+        assert!(cmd_generate(&["--bogus", "f"], None).is_err());
+        assert!(cmd_generate(&["a", "b"], None).is_err()); // two outputs
+    }
+
+    #[test]
+    fn load_db_file_reports_positions() {
+        let dir = std::env::temp_dir().join(format!("cqa-load-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.facts");
+        std::fs::write(&path, "R(a | b)\nR(a b | c)\n").unwrap();
+        let err = load_db_file(path.to_str().unwrap()).unwrap_err();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(err.message.contains("line 2"), "{err}");
+        assert!(err.message.contains("byte offset 9"), "{err}");
+        assert!(err.message.contains("R(a b | c)"), "{err}");
     }
 
     #[test]

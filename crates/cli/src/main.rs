@@ -2,8 +2,8 @@
 //! lives in the library so it can be tested.
 
 use cqa_cli::{
-    cmd_certain, cmd_classify, cmd_falsify, cmd_gadget, cmd_solve, take_threads_flag, usage,
-    CliError,
+    cmd_certain, cmd_classify, cmd_falsify, cmd_gadget, cmd_generate, cmd_solve, load_db_file,
+    take_threads_flag, usage, CliError,
 };
 use std::process::ExitCode;
 
@@ -18,25 +18,34 @@ fn run() -> Result<String, CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let str_args: Vec<&str> = args.iter().map(String::as_str).collect();
     let (positional, threads) = take_threads_flag(&str_args)?;
-    // Only certain/falsify run solvers; elsewhere a --threads would be
-    // silently ignored, so reject it instead.
-    if threads.is_some() && !matches!(positional.first(), Some(&"certain") | Some(&"falsify")) {
+    // Only certain/falsify run solvers and generate fans construction
+    // out; elsewhere a --threads would be silently ignored, so reject it
+    // instead.
+    if threads.is_some()
+        && !matches!(
+            positional.first(),
+            Some(&"certain") | Some(&"falsify") | Some(&"generate")
+        )
+    {
         return Err(CliError {
-            message: "--threads only applies to `certain` and `falsify`".to_string(),
+            message: "--threads only applies to `certain`, `falsify` and `generate`".to_string(),
             code: 2,
         });
     }
     match positional.as_slice() {
         ["classify", q] => cmd_classify(q),
-        ["certain", q, file] => cmd_certain(q, &read(file)?, threads),
-        ["falsify", q, file] => cmd_falsify(q, &read(file)?, u64::MAX, threads),
+        // Fact files are stream-loaded line-at-a-time (see cqa_cli::dbfmt),
+        // so million-line files never sit in memory as text.
+        ["certain", q, file] => cmd_certain(q, &load_db_file(file)?, threads),
+        ["falsify", q, file] => cmd_falsify(q, &load_db_file(file)?, u64::MAX, threads),
         ["falsify", q, file, budget] => {
             let b: u64 = budget.parse().map_err(|_| CliError {
                 message: format!("bad budget {budget:?}"),
                 code: 2,
             })?;
-            cmd_falsify(q, &read(file)?, b, threads)
+            cmd_falsify(q, &load_db_file(file)?, b, threads)
         }
+        ["generate", rest @ ..] => cmd_generate(rest, threads),
         ["gadget", q, file] => cmd_gadget(q, &read(file)?),
         ["solve", file] => cmd_solve(&read(file)?),
         _ => Err(CliError {

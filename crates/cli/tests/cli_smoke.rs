@@ -61,3 +61,38 @@ fn threads_flag_rejected_on_non_solver_commands() {
     assert_eq!(code, Some(2), "stderr: {stderr}");
     assert!(stderr.contains("--threads"), "{stderr}");
 }
+
+#[test]
+fn generate_then_certain_round_trips_through_the_binary() {
+    // The CI large-workload smoke in miniature: generate a workload file,
+    // stream-solve it with the default and the 1-thread configuration,
+    // and require identical reports.
+    let dir = std::env::temp_dir().join(format!("cqa-smoke-gen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("large.facts");
+    let path = db.to_str().unwrap();
+    let (stdout, stderr, code) = cqa(&["generate", "--facts", "2000", "--seed", "7", path]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("wrote"), "{stdout}");
+    let (default_out, stderr, code) = cqa(&["certain", Q3, path]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    let (seq_out, stderr, code) = cqa(&["certain", Q3, path, "--threads", "1"]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(default_out, seq_out, "verdict drifted with thread count");
+    assert!(default_out.contains("certain:"), "{default_out}");
+}
+
+#[test]
+fn malformed_fact_file_errors_carry_position_and_text() {
+    let dir = std::env::temp_dir().join(format!("cqa-smoke-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("bad.facts");
+    std::fs::write(&db, "R(a | b)\nR(a | b c)\n").unwrap();
+    let (_, stderr, code) = cqa(&["certain", Q3, db.to_str().unwrap()]);
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("line 2"), "{stderr}");
+    assert!(stderr.contains("byte offset 9"), "{stderr}");
+    assert!(stderr.contains("R(a | b c)"), "{stderr}");
+}

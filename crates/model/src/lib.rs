@@ -11,7 +11,10 @@
 //! * [`Database`]s — finite fact sets partitioned into *blocks* of
 //!   key-equal facts,
 //! * [`Repair`]s — one fact per block — and exhaustive [`RepairIter`]
-//!   enumeration.
+//!   enumeration,
+//! * [`DbView`]s — borrowed, copy-free, block-aligned views of a subset
+//!   of a database's blocks (what the per-component solvers consume
+//!   instead of `restrict`-materialised sub-databases).
 //!
 //! Everything downstream (queries, solvers, tripaths, reductions) builds on
 //! these types.
@@ -31,12 +34,14 @@ mod elem;
 mod fact;
 mod repair;
 mod schema;
+mod view;
 
 pub use database::{BlockId, Database, FactId};
 pub use elem::{Elem, ElemData};
 pub use fact::Fact;
 pub use repair::{Repair, RepairIter};
 pub use schema::{RelId, Signature};
+pub use view::DbView;
 
 /// Errors produced by the model layer.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -22,7 +22,7 @@
 //! they force `S ⊇ M_u`, which the antichain already covers.
 
 use crate::SolutionSet;
-use cqa_model::{BlockId, Database, FactId};
+use cqa_model::{BlockId, Database, DbView, FactId};
 use cqa_query::Query;
 use std::collections::HashMap;
 
@@ -246,11 +246,38 @@ pub fn certk_with_solutions(
 /// [`certk_with_solutions`] returning execution statistics alongside the
 /// outcome.
 pub fn certk_with_stats(
-    _q: &Query,
+    q: &Query,
     db: &Database,
     solutions: &SolutionSet,
     cfg: CertKConfig,
 ) -> (CertKOutcome, CertKStats) {
+    certk_view_with_stats(q, &db.full_view(), solutions, cfg)
+}
+
+/// Run `Cert_k(q)` on a copy-free [`DbView`] — e.g. one q-connected
+/// component — against the **parent database's** solution set. Only the
+/// solutions among the view's facts participate (a solution is a property
+/// of its two facts alone, so the parent's set restricted to the view is
+/// exactly the view's set), and derivation runs over the view's blocks
+/// only. On a full view this is identical to
+/// [`certk_with_solutions`].
+pub fn certk_view(
+    q: &Query,
+    view: &DbView<'_>,
+    solutions: &SolutionSet,
+    cfg: CertKConfig,
+) -> CertKOutcome {
+    certk_view_with_stats(q, view, solutions, cfg).0
+}
+
+/// [`certk_view`] returning execution statistics alongside the outcome.
+pub fn certk_view_with_stats(
+    _q: &Query,
+    view: &DbView<'_>,
+    solutions: &SolutionSet,
+    cfg: CertKConfig,
+) -> (CertKOutcome, CertKStats) {
+    let db = view.parent();
     let mut stats = CertKStats::default();
     if cfg.k == 0 {
         return (CertKOutcome::NotDerived, stats);
@@ -258,19 +285,30 @@ pub fn certk_with_stats(
     let mut chain = Antichain::new();
     let mut budget = cfg.node_budget;
 
-    // Seeds: solutions that fit in a k-set.
-    for &(a, b) in solutions.pairs() {
-        if a == b {
-            stats.inserted += chain.insert(vec![a]) as usize;
-        } else if !db.key_equal(a, b) && cfg.k >= 2 {
-            let mut s = vec![a, b];
-            s.sort_unstable();
-            stats.inserted += chain.insert(s) as usize;
+    // Seeds: solutions within the view that fit in a k-set. Iterating
+    // view facts in id order visits the pairs in the same order the
+    // enumeration produced them, so a full view reproduces the historical
+    // seed order exactly. Partners outside the view are skipped — that
+    // *is* the restriction of the solution set to the view (a no-op on
+    // q-closed views like components and full views, where the
+    // membership test is O(1)).
+    for &a in view.fact_ids() {
+        for &b in solutions.seconds_of(a) {
+            if !view.contains_fact(b) {
+                continue;
+            }
+            if a == b {
+                stats.inserted += chain.insert(vec![a]) as usize;
+            } else if !db.key_equal(a, b) && cfg.k >= 2 {
+                let mut s = vec![a, b];
+                s.sort_unstable();
+                stats.inserted += chain.insert(s) as usize;
+            }
+            // Distinct key-equal facts can never share a repair: no seed.
         }
-        // Distinct key-equal facts can never share a repair: no seed.
     }
 
-    let blocks: Vec<BlockId> = db.block_ids().collect();
+    let blocks = view.blocks();
     loop {
         if chain.has_empty {
             stats.steps = cfg.node_budget - budget;
@@ -278,7 +316,7 @@ pub fn certk_with_stats(
         }
         stats.rounds += 1;
         let mut changed = false;
-        for &b in &blocks {
+        for &b in blocks {
             match derive_block(db, &chain, b, cfg.k, &mut budget) {
                 Ok(cands) => {
                     for c in cands {

@@ -10,50 +10,78 @@
 //! 2. `D ⊨ certain(q)` iff some `Cᵢ ⊨ certain(q)`;
 //! 3. `Cᵢ ⊨ Cert_k(q)` for some `i` implies `D ⊨ Cert_k(q)`;
 //! 4. `D ⊨ matching(q)` implies `Cᵢ ⊨ matching(q)` for all `i`.
+//!
+//! A component is represented as a copy-free [`DbView`] borrowing the
+//! parent database — fact and block ids stay the parent's, and since a
+//! solution is a property of the two facts alone, the parent's
+//! [`SolutionSet`] restricted to the component's facts *is* the
+//! component's solution set. Per-component solvers therefore consume the
+//! view plus the global solutions directly; nothing is re-enumerated or
+//! `restrict`-copied. Materialise with [`Component::to_database`] only
+//! when an owned database is genuinely needed.
 
 use crate::SolutionSet;
 use cqa_graph::UnionFind;
-use cqa_model::{Database, FactId};
+use cqa_model::{Database, DbView, FactId};
 use cqa_query::Query;
 
-/// One q-connected component: a sub-database plus the original fact ids it
-/// was carved from.
+/// One q-connected component: a borrowed, block-aligned view into the
+/// parent database.
 #[derive(Clone, Debug)]
-pub struct Component {
-    /// The component as a standalone database (fact ids re-assigned).
-    pub db: Database,
+pub struct Component<'a> {
+    /// The component as a copy-free view (parent fact/block ids).
+    pub view: DbView<'a>,
+}
+
+impl Component<'_> {
+    /// Number of facts in the component.
+    pub fn len(&self) -> usize {
+        self.view.len()
+    }
+
+    /// `true` iff the component holds no facts (never produced by the
+    /// partition, which only emits non-empty components).
+    pub fn is_empty(&self) -> bool {
+        self.view.is_empty()
+    }
+
     /// The ids of the component's facts in the parent database.
-    pub original_facts: Vec<FactId>,
+    pub fn original_facts(&self) -> &[FactId] {
+        self.view.fact_ids()
+    }
+
+    /// Materialise the component as a standalone database (fact ids are
+    /// **not** preserved). Only for consumers needing ownership; the
+    /// solvers work on [`Component::view`].
+    pub fn to_database(&self) -> Database {
+        self.view.to_database()
+    }
 }
 
 /// Partition `db` into q-connected components.
-pub fn q_connected_components(q: &Query, db: &Database) -> Vec<Component> {
+pub fn q_connected_components<'a>(q: &Query, db: &'a Database) -> Vec<Component<'a>> {
     let solutions = SolutionSet::enumerate(q, db);
     q_connected_components_with_solutions(q, db, &solutions)
 }
 
 /// [`q_connected_components`] with pre-computed solutions.
-pub fn q_connected_components_with_solutions(
+pub fn q_connected_components_with_solutions<'a>(
     _q: &Query,
-    db: &Database,
+    db: &'a Database,
     solutions: &SolutionSet,
-) -> Vec<Component> {
+) -> Vec<Component<'a>> {
     let mut uf = UnionFind::new(db.block_count());
     for &(a, b) in solutions.pairs() {
         uf.union(db.block_of(a).idx(), db.block_of(b).idx());
     }
     uf.groups()
         .into_iter()
-        .map(|block_group| {
-            let mut original_facts = Vec::new();
-            for bi in block_group {
-                original_facts.extend(db.block(cqa_model::BlockId(bi as u32)).iter().copied());
-            }
-            let sub = db.restrict(original_facts.iter().copied());
-            Component {
-                db: sub,
-                original_facts,
-            }
+        .map(|block_group| Component {
+            view: db.view_of_blocks(
+                block_group
+                    .into_iter()
+                    .map(|bi| cqa_model::BlockId(bi as u32)),
+            ),
         })
         .collect()
 }
@@ -79,7 +107,7 @@ mod tests {
         let d = db2(&[["a", "b"], ["b", "c"], ["p", "q"], ["q", "r"], ["z", "w"]]);
         let comps = q_connected_components(&examples::q3(), &d);
         assert_eq!(comps.len(), 3);
-        let sizes: Vec<usize> = comps.iter().map(|c| c.db.len()).collect();
+        let sizes: Vec<usize> = comps.iter().map(|c| c.len()).collect();
         assert_eq!(sizes.iter().sum::<usize>(), d.len());
     }
 
@@ -90,7 +118,26 @@ mod tests {
         let d = db2(&[["a", "b"], ["a", "zzz"], ["b", "c"]]);
         let comps = q_connected_components(&examples::q3(), &d);
         assert_eq!(comps.len(), 1);
-        assert_eq!(comps[0].db.len(), 3);
+        assert_eq!(comps[0].len(), 3);
+    }
+
+    #[test]
+    fn views_keep_parent_fact_ids() {
+        // The component facts are the parent's ids, no renumbering.
+        let d = db2(&[["a", "b"], ["b", "c"], ["z", "w"]]);
+        let comps = q_connected_components(&examples::q3(), &d);
+        let mut seen: Vec<FactId> = comps
+            .iter()
+            .flat_map(|c| c.original_facts().iter().copied())
+            .collect();
+        seen.sort_unstable();
+        let all: Vec<FactId> = d.fact_ids().collect();
+        assert_eq!(seen, all);
+        for c in &comps {
+            for &id in c.original_facts() {
+                assert_eq!(c.view.fact(id), d.fact(id));
+            }
+        }
     }
 
     #[test]
@@ -107,7 +154,10 @@ mod tests {
         assert!(certain_brute(&q, &d));
         let comps = q_connected_components(&q, &d);
         assert_eq!(comps.len(), 2);
-        let verdicts: Vec<bool> = comps.iter().map(|c| certain_brute(&q, &c.db)).collect();
+        let verdicts: Vec<bool> = comps
+            .iter()
+            .map(|c| certain_brute(&q, &c.to_database()))
+            .collect();
         assert!(verdicts.iter().any(|&v| v));
         assert!(!verdicts.iter().all(|&v| v));
     }

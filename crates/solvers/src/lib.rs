@@ -7,7 +7,9 @@
 //!   fan-out;
 //! * [`certk`](mod@certk) — the greedy fixpoint `Cert_k(q)` of Section 5;
 //! * [`matching`] — the bipartite-matching algorithm of Section 10.1;
-//! * [`components`] — the q-connected partition of Proposition 10.6;
+//! * [`components`] — the q-connected partition of Proposition 10.6,
+//!   emitted as copy-free [`cqa_model::DbView`]s over the parent database
+//!   (no `restrict` materialisation);
 //! * [`combined`] — the Theorem 10.5 combination `Cert_k ∨ ¬matching`
 //!   deciding all PTime 2way-determined cases.
 //!
@@ -32,8 +34,13 @@ pub mod solution;
 pub use brute::{
     certain_brute, certain_brute_budgeted, certain_brute_parallel, certain_exhaustive, BruteOutcome,
 };
-pub use certk::{cert2, certk, certk_with_stats, CertKConfig, CertKOutcome, CertKStats};
+pub use certk::{
+    cert2, certk, certk_view, certk_view_with_stats, certk_with_stats, CertKConfig, CertKOutcome,
+    CertKStats,
+};
 pub use combined::{certain_combined, certain_thm105_literal, CombinedResult, DecidedBy};
 pub use components::{q_connected_components, Component};
-pub use matching::{certain_by_matching, is_clique_database, matching_accepts, MatchingAnalysis};
+pub use matching::{
+    analyze_view, certain_by_matching, is_clique_database, matching_accepts, MatchingAnalysis,
+};
 pub use solution::SolutionSet;

@@ -19,8 +19,8 @@
 //! (Theorem 10.4).
 
 use crate::SolutionSet;
-use cqa_graph::BipartiteGraph;
-use cqa_model::{Database, FactId};
+use cqa_graph::{BipartiteGraph, Undirected};
+use cqa_model::{Database, DbView, FactId};
 use cqa_query::Query;
 
 /// The detailed outcome of running `matching(q)` on a database.
@@ -45,16 +45,36 @@ pub fn analyze(q: &Query, db: &Database) -> MatchingAnalysis {
 
 /// [`analyze`] with pre-computed solutions.
 pub fn analyze_with_solutions(
-    _q: &Query,
+    q: &Query,
     db: &Database,
     solutions: &SolutionSet,
 ) -> MatchingAnalysis {
-    let graph = solutions.graph(db);
+    analyze_view(q, &db.full_view(), solutions)
+}
+
+/// Run the `matching(q)` analysis on a copy-free [`DbView`] — e.g. one
+/// q-connected component — against the **parent database's** solution
+/// set. The view must be *q-closed*: every solution partner of a view
+/// fact lies in the view (true for q-connected components and for full
+/// views, on which this is identical to [`analyze_with_solutions`]).
+/// Reported fact ids are the parent's.
+pub fn analyze_view(_q: &Query, view: &DbView<'_>, solutions: &SolutionSet) -> MatchingAnalysis {
+    let db = view.parent();
+    // The solution graph restricted to the view, over dense local indices.
+    let mut graph = Undirected::new(view.len());
+    for (local_a, &a) in view.fact_ids().iter().enumerate() {
+        for &b in solutions.seconds_of(a) {
+            let local_b = view
+                .local_fact_index(b)
+                .expect("solution partner escapes the view: views must be q-closed");
+            graph.add_edge(local_a, local_b);
+        }
+    }
     let components_raw = graph.components();
     let mut components: Vec<Vec<FactId>> = Vec::with_capacity(components_raw.len());
     let mut quasi_clique = Vec::with_capacity(components_raw.len());
     for comp in &components_raw {
-        let ids: Vec<FactId> = comp.iter().map(|&i| FactId(i as u32)).collect();
+        let ids: Vec<FactId> = comp.iter().map(|&i| view.fact_ids()[i]).collect();
         quasi_clique.push(is_quasi_clique(db, solutions, &ids));
         components.push(ids);
     }
@@ -62,28 +82,29 @@ pub fn analyze_with_solutions(
 
     // V2: one vertex per quasi-clique component + one per fact living in a
     // non-quasi-clique component (its singleton clique).
-    // clique_vertex[f] = the V2 index of clique(f).
-    let mut clique_vertex: Vec<usize> = vec![usize::MAX; db.len()];
+    // clique_vertex[local f] = the V2 index of clique(f).
+    let mut clique_vertex: Vec<usize> = vec![usize::MAX; view.len()];
     let mut n_right = 0usize;
     for (ci, comp) in components.iter().enumerate() {
         if quasi_clique[ci] {
             for &f in comp {
-                clique_vertex[f.idx()] = n_right;
+                clique_vertex[view.local_fact_index(f).expect("component fact")] = n_right;
             }
             n_right += 1;
         } else {
             for &f in comp {
-                clique_vertex[f.idx()] = n_right;
+                clique_vertex[view.local_fact_index(f).expect("component fact")] = n_right;
                 n_right += 1;
             }
         }
     }
 
-    let mut h = BipartiteGraph::new(db.block_count(), n_right);
-    for block in db.block_ids() {
-        for &f in db.block(block) {
+    let mut h = BipartiteGraph::new(view.block_count(), n_right);
+    for (local_b, &block) in view.blocks().iter().enumerate() {
+        for &f in view.block(block) {
             if !solutions.self_loop(f) {
-                h.add_edge(block.idx(), clique_vertex[f.idx()]);
+                let lf = view.local_fact_index(f).expect("block fact in view");
+                h.add_edge(local_b, clique_vertex[lf]);
             }
         }
     }

@@ -1,0 +1,352 @@
+//! Million-fact workload generation.
+//!
+//! The generators in the crate root top out at a few thousand facts —
+//! enough for correctness experiments, far from the ROADMAP's
+//! production-scale regime. This module generates `q3`-shaped databases
+//! of arbitrary size with two controllable knobs:
+//!
+//! * **inconsistency ratio** — the fraction of blocks that receive
+//!   conflicting facts (width ≥ 2); `0.0` yields a consistent database,
+//!   `1.0` contests every block;
+//! * **block-width distribution** — conflicted blocks draw their width
+//!   uniformly from `min_width..=max_width`.
+//!
+//! The database is a forest of disjoint key chains (`chain_len` blocks
+//! per component), so the q-connected components stay small and numerous
+//! — the shape that rewards the per-component parallel solvers — and the
+//! solution structure is the familiar [`q3_chain_db`] /
+//! [`q3_escape_db`] mix: a conflicted block's extra facts point at
+//! private dead-end values, so a fully-conflicted component is
+//! falsifiable while an untouched chain is certain.
+//!
+//! Construction is **deterministic and concurrent**: every component
+//! derives its own RNG from `(seed, component index)`, components are
+//! built in parallel chunks on the `minipool` scoped pool, and all
+//! element interning goes through `cqa-model`'s sharded store — the
+//! output is byte-identical at every thread count. Use
+//! [`large_q3_db`] for an in-memory [`Database`] and [`write_large_q3`]
+//! to stream the fact-file format (see `docs/FORMAT.md`) to any
+//! [`std::io::Write`] without materialising a database at all.
+//!
+//! [`q3_chain_db`]: crate::q3_chain_db
+//! [`q3_escape_db`]: crate::q3_escape_db
+
+use cqa_model::{Database, Elem, Fact, Signature};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, Write};
+
+/// Parameters for the large `q3` workload family. All generators derived
+/// from one config are deterministic functions of the config (including
+/// across thread counts).
+#[derive(Clone, Copy, Debug)]
+pub struct LargeWorkloadConfig {
+    /// Target total fact count. The actual count is the closest multiple
+    /// of whole components (components are never split); see
+    /// [`LargeWorkloadConfig::component_count`].
+    pub facts: usize,
+    /// Fraction of chain blocks that receive conflicting facts, in
+    /// `0.0..=1.0`.
+    pub inconsistency: f64,
+    /// Smallest width of a conflicted block (`≥ 2`).
+    pub min_width: usize,
+    /// Largest width of a conflicted block (`≥ min_width`).
+    pub max_width: usize,
+    /// Chain blocks per q-connected component (`≥ 1`).
+    pub chain_len: usize,
+    /// RNG seed; same seed, same workload.
+    pub seed: u64,
+    /// Construction fan-out (`1` = sequential; the default is the host's
+    /// available parallelism). Never affects the generated facts.
+    pub threads: usize,
+}
+
+impl LargeWorkloadConfig {
+    /// A config targeting `facts` total facts with the default shape:
+    /// 50% conflicted blocks of width 2–3, 8-block chains.
+    pub fn new(facts: usize) -> LargeWorkloadConfig {
+        LargeWorkloadConfig {
+            facts,
+            inconsistency: 0.5,
+            min_width: 2,
+            max_width: 3,
+            chain_len: 8,
+            seed: 0xC0FFEE,
+            threads: minipool::max_threads(),
+        }
+    }
+
+    /// Number of components generated: `facts` divided by the expected
+    /// per-component fact count (at least 1).
+    pub fn component_count(&self) -> usize {
+        let expected_width = (self.min_width + self.max_width) as f64 / 2.0;
+        let per_component =
+            self.chain_len as f64 * (1.0 + self.inconsistency * (expected_width - 1.0));
+        ((self.facts as f64 / per_component).round() as usize).max(1)
+    }
+
+    fn validate(&self) {
+        assert!(self.facts >= 1, "facts must be at least 1");
+        assert!(
+            (0.0..=1.0).contains(&self.inconsistency),
+            "inconsistency ratio must lie in 0.0..=1.0, got {}",
+            self.inconsistency
+        );
+        assert!(
+            self.min_width >= 2,
+            "conflicted blocks need width >= 2, got min_width {}",
+            self.min_width
+        );
+        assert!(
+            self.max_width >= self.min_width,
+            "max_width {} below min_width {}",
+            self.max_width,
+            self.min_width
+        );
+        assert!(self.chain_len >= 1, "chain_len must be at least 1");
+    }
+}
+
+impl Default for LargeWorkloadConfig {
+    fn default() -> LargeWorkloadConfig {
+        LargeWorkloadConfig::new(1_000_000)
+    }
+}
+
+/// What a generator actually produced (the config's `facts` is a target;
+/// whole components round it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LargeWorkloadStats {
+    /// Facts generated.
+    pub facts: usize,
+    /// Blocks generated (= components × chain_len).
+    pub blocks: usize,
+    /// q-connected components generated.
+    pub components: usize,
+    /// Blocks that received conflicting facts.
+    pub conflicted_blocks: usize,
+}
+
+/// One component's facts, deterministically derived from
+/// `(cfg.seed, component index)`.
+fn component_facts(cfg: &LargeWorkloadConfig, c: usize, conflicted: &mut usize) -> Vec<Fact> {
+    let mut rng = StdRng::seed_from_u64(
+        cfg.seed
+            .wrapping_add((c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    );
+    let key = |i: usize| Elem::named(format!("c{c}k{i}"));
+    let mut out = Vec::with_capacity(cfg.chain_len * 2);
+    for i in 0..cfg.chain_len {
+        out.push(Fact::r(vec![key(i), key(i + 1)]));
+        if rng.gen_bool(cfg.inconsistency) {
+            *conflicted += 1;
+            let width = rng.gen_range(cfg.min_width..=cfg.max_width);
+            for j in 0..width - 1 {
+                // Conflicting facts point at private dead-end values, so a
+                // fully-conflicted component admits a falsifying repair.
+                out.push(Fact::r(vec![key(i), Elem::named(format!("c{c}x{i}_{j}"))]));
+            }
+        }
+    }
+    out
+}
+
+/// Component indices grouped into chunks for the parallel builders: big
+/// enough to amortise per-task overhead, small enough to balance.
+fn chunk_ranges(components: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let chunk = (components / (threads.max(1) * 8)).max(64).min(components);
+    (0..components)
+        .step_by(chunk)
+        .map(|lo| lo..(lo + chunk).min(components))
+        .collect()
+}
+
+/// Build the workload in memory. Element interning runs concurrently on
+/// the sharded store (`cfg.threads` workers); the fact set is identical
+/// at every thread count.
+pub fn large_q3_db(cfg: &LargeWorkloadConfig) -> Database {
+    cfg.validate();
+    let m = cfg.component_count();
+    let ranges = chunk_ranges(m, cfg.threads);
+    let chunks: Vec<Vec<Fact>> = minipool::par_map(cfg.threads, &ranges, |range| {
+        let mut conflicted = 0;
+        let mut facts = Vec::new();
+        for c in range.clone() {
+            facts.extend(component_facts(cfg, c, &mut conflicted));
+        }
+        facts
+    });
+    let mut db = Database::new(Signature::new(2, 1).expect("q3 signature"));
+    for chunk in chunks {
+        for f in chunk {
+            db.insert(f).expect("generated facts share the signature");
+        }
+    }
+    db
+}
+
+/// Stream the workload to `w` in the fact-file format (`docs/FORMAT.md`)
+/// without building a [`Database`]: components are rendered in parallel
+/// chunks, one bounded batch of chunks at a time, and written in order —
+/// peak memory is one batch (≲ a few chunks per thread) regardless of
+/// `facts`. The output starts with a `#` comment recording the config,
+/// and is byte-identical at every thread count.
+pub fn write_large_q3<W: Write>(
+    cfg: &LargeWorkloadConfig,
+    w: &mut W,
+) -> io::Result<LargeWorkloadStats> {
+    cfg.validate();
+    let m = cfg.component_count();
+    writeln!(
+        w,
+        "# cqa large-q3 workload: facts~{} inconsistency={} width={}..={} chain_len={} seed={}",
+        cfg.facts, cfg.inconsistency, cfg.min_width, cfg.max_width, cfg.chain_len, cfg.seed
+    )?;
+    let mut stats = LargeWorkloadStats {
+        facts: 0,
+        blocks: m * cfg.chain_len,
+        components: m,
+        conflicted_blocks: 0,
+    };
+    let ranges = chunk_ranges(m, cfg.threads);
+    // Render batch-by-batch so only one batch of rendered text is ever
+    // alive: 2 chunks per thread keeps every worker busy while the
+    // previous batch drains to `w`.
+    for batch in ranges.chunks((cfg.threads.max(1) * 2).max(1)) {
+        let rendered: Vec<(String, usize, usize)> =
+            minipool::par_map(cfg.threads, batch, |range| {
+                let mut text = String::new();
+                let mut facts = 0usize;
+                let mut conflicted = 0usize;
+                for c in range.clone() {
+                    for f in component_facts(cfg, c, &mut conflicted) {
+                        // Signature is [2, 1]: one key position, one value
+                        // position; write! appends in place (no per-fact
+                        // temporary String).
+                        use std::fmt::Write as _;
+                        let _ = writeln!(text, "R({} | {})", f.at(0), f.at(1));
+                        facts += 1;
+                    }
+                }
+                (text, facts, conflicted)
+            });
+        for (text, facts, conflicted) in rendered {
+            w.write_all(text.as_bytes())?;
+            stats.facts += facts;
+            stats.conflicted_blocks += conflicted;
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::examples;
+    use cqa_solvers::CertKConfig;
+
+    fn small(facts: usize, inconsistency: f64) -> LargeWorkloadConfig {
+        LargeWorkloadConfig {
+            facts,
+            inconsistency,
+            seed: 42,
+            ..LargeWorkloadConfig::new(facts)
+        }
+    }
+
+    #[test]
+    fn consistent_when_ratio_zero() {
+        let cfg = small(500, 0.0);
+        let db = large_q3_db(&cfg);
+        assert!(db.is_consistent());
+        assert_eq!(db.len(), cfg.component_count() * cfg.chain_len);
+        assert_eq!(db.block_count(), db.len());
+    }
+
+    #[test]
+    fn fully_conflicted_when_ratio_one() {
+        let cfg = LargeWorkloadConfig {
+            min_width: 3,
+            max_width: 3,
+            ..small(300, 1.0)
+        };
+        let db = large_q3_db(&cfg);
+        let m = cfg.component_count();
+        assert_eq!(db.block_count(), m * cfg.chain_len);
+        assert_eq!(db.len(), 3 * m * cfg.chain_len);
+        for b in db.block_ids() {
+            assert_eq!(db.block(b).len(), 3, "every block contested at width 3");
+        }
+    }
+
+    #[test]
+    fn output_identical_across_thread_counts() {
+        let base = small(400, 0.5);
+        let mut outs = Vec::new();
+        for threads in [1usize, 2, 7] {
+            let cfg = LargeWorkloadConfig { threads, ..base };
+            let mut buf = Vec::new();
+            let stats = write_large_q3(&cfg, &mut buf).unwrap();
+            outs.push((buf, stats));
+        }
+        for (buf, stats) in &outs[1..] {
+            assert_eq!(buf, &outs[0].0, "bytes drifted with thread count");
+            assert_eq!(stats, &outs[0].1);
+        }
+    }
+
+    #[test]
+    fn written_facts_match_in_memory_database() {
+        let cfg = small(250, 0.4);
+        let db = large_q3_db(&cfg);
+        let mut buf = Vec::new();
+        let stats = write_large_q3(&cfg, &mut buf).unwrap();
+        assert_eq!(stats.facts, db.len());
+        assert_eq!(stats.blocks, db.block_count());
+        let text = String::from_utf8(buf).unwrap();
+        let lines = text.lines().filter(|l| !l.starts_with('#')).count();
+        assert_eq!(lines, db.len());
+    }
+
+    #[test]
+    fn fact_count_tracks_target() {
+        for (facts, ratio) in [(1_000, 0.0), (2_000, 0.5), (3_000, 1.0)] {
+            let cfg = small(facts, ratio);
+            let db = large_q3_db(&cfg);
+            let err = (db.len() as f64 - facts as f64).abs() / facts as f64;
+            assert!(
+                err < 0.15,
+                "generated {} facts for target {facts} (ratio {ratio})",
+                db.len()
+            );
+        }
+    }
+
+    #[test]
+    fn verdict_stable_across_solver_thread_counts() {
+        let db = large_q3_db(&small(600, 0.6));
+        let q3 = examples::q3();
+        let cfg = CertKConfig::new(2);
+        let seq = cqa_solvers::certain_combined(&q3, &db, cfg.with_threads(1));
+        let par = cqa_solvers::certain_combined(&q3, &db, cfg.with_threads(4));
+        assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+    }
+
+    #[test]
+    fn components_stay_disjoint() {
+        let cfg = small(400, 0.5);
+        let db = large_q3_db(&cfg);
+        let comps = cqa_solvers::q_connected_components(&examples::q3(), &db);
+        assert_eq!(comps.len(), cfg.component_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistency ratio")]
+    fn rejects_bad_ratio() {
+        let cfg = LargeWorkloadConfig {
+            inconsistency: 1.5,
+            ..LargeWorkloadConfig::new(100)
+        };
+        let _ = large_q3_db(&cfg);
+    }
+}

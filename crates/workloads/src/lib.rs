@@ -11,10 +11,17 @@
 //!   including the cycle-of-triangles family where `¬matching` is needed
 //!   (Theorem 10.1 / Theorem 10.4 territory);
 //! * [`q2_gadget_chain`] — fork-query instances with embedded solution
-//!   chains.
+//!   chains;
+//! * [`large`] — the million-fact regime: deterministic concurrent
+//!   generators with controllable inconsistency ratio and block-width
+//!   distribution, plus a streaming fact-file writer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod large;
+
+pub use large::{large_q3_db, write_large_q3, LargeWorkloadConfig, LargeWorkloadStats};
 
 use cqa_model::{Database, Elem, Fact, Signature};
 use cqa_query::Query;
@@ -336,7 +343,10 @@ mod tests {
         assert_eq!(db.len(), 3 * 4 + 3 * 8);
         let comps = cqa_solvers::q_connected_components(&q3, &db);
         assert_eq!(comps.len(), 6, "components must stay disjoint");
-        let certain: usize = comps.iter().filter(|c| certain_brute(&q3, &c.db)).count();
+        let certain: usize = comps
+            .iter()
+            .filter(|c| certain_brute(&q3, &c.to_database()))
+            .count();
         assert_eq!(certain, 3, "even components certain, odd falsifiable");
         assert!(certain_brute(&q3, &db));
         // The combined solver agrees, sequentially and in parallel.
