@@ -1,16 +1,22 @@
 //! E4/E10 PTime side: Cert₂ on q3 instances of growing size — the shape
-//! must stay polynomial.
+//! must stay polynomial. Since the PR 4 antichain rework (block-keyed
+//! index + worklist fixpoint) the `contested` series is expected to stay
+//! near-linear through n = 12800 rather than degrading past n ≈ 800; the
+//! `contested_wide` group varies the funnel width at fixed size to show
+//! the per-width cost is flat.
 
 use cqa::solvers::{certk, CertKConfig};
 use cqa_query::examples;
-use cqa_workloads::{q3_certain_db, q3_chain_db, q3_escape_db};
+use cqa_workloads::{
+    large_contested_q3_db, q3_certain_db, q3_chain_db, q3_escape_db, ContestedWorkloadConfig,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_certk(c: &mut Criterion) {
     let q3 = examples::q3();
     let mut g = c.benchmark_group("cert2_q3");
     g.sample_size(10);
-    for n in [100usize, 200, 400, 800, 1600, 3200] {
+    for n in [100usize, 200, 400, 800, 1600, 3200, 6400, 12800] {
         for (kind, db) in [
             ("chain", q3_chain_db(n)),
             ("contested", q3_certain_db(n / 2)),
@@ -21,6 +27,20 @@ fn bench_certk(c: &mut Criterion) {
                 b.iter(|| std::hint::black_box(certk(&q3, db, CertKConfig::new(2))))
             });
         }
+    }
+    g.finish();
+
+    // Fixed ~20k facts, growing funnel width: wide shared blocks are the
+    // shape that used to blow up the fact-keyed antichain index.
+    let mut g = c.benchmark_group("cert2_q3_wide");
+    g.sample_size(10);
+    for width in [10usize, 100, 1000] {
+        let cfg = ContestedWorkloadConfig::new(20_000, width);
+        let db = large_contested_q3_db(&cfg);
+        g.throughput(Throughput::Elements(db.len() as u64));
+        g.bench_with_input(BenchmarkId::new("width", width), &db, |b, db| {
+            b.iter(|| std::hint::black_box(certk(&q3, db, CertKConfig::new(2))))
+        });
     }
     g.finish();
 }

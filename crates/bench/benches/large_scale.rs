@@ -12,11 +12,24 @@
 //!   on the pre-built database (copy-free component views; the verdict
 //!   is asserted identical across thread counts before timing).
 //!
+//! Two PR 4 additions:
+//!
+//! * `large_q3_routing` — the `CqaEngine` on the same databases with
+//!   `RoutePolicy::Literal` (whole-database `Cert_k`) vs the default
+//!   `Auto` route (per-component fan-out); verdicts asserted equal.
+//! * `large_contested_q3` — the wide-shared-block contested family
+//!   ([`large_contested_q3_db`], funnel width 1000) through both routes:
+//!   the antichain stress shape at scale.
+//!
 //! Recorded medians live in `BASELINES.md`.
 
 use cqa::solvers::{certain_combined, CertKConfig};
+use cqa::{AnsweredBy, CqaEngine, EngineConfig, RoutePolicy};
 use cqa_query::examples;
-use cqa_workloads::{large_q3_db, write_large_q3, LargeWorkloadConfig};
+use cqa_workloads::{
+    large_contested_q3_db, large_q3_db, write_large_q3, ContestedWorkloadConfig,
+    LargeWorkloadConfig,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn cfg_for(n: usize) -> LargeWorkloadConfig {
@@ -68,5 +81,59 @@ fn bench_large_scale(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_large_scale);
+/// The engine's literal vs component routes on the chain and contested
+/// families. Both engines are built once (classification is cached); the
+/// verdicts are asserted identical before timing.
+fn bench_routing(c: &mut Criterion) {
+    let literal = CqaEngine::with_config(
+        examples::q3(),
+        EngineConfig::default().with_route(RoutePolicy::Literal),
+    );
+    let auto = CqaEngine::new(examples::q3());
+
+    let mut g = c.benchmark_group("large_q3_routing");
+    g.sample_size(10);
+    for n in [100_000usize, 1_000_000] {
+        let db = large_q3_db(&cfg_for(n));
+        let lit = literal.certain(&db);
+        let aut = auto.certain(&db);
+        assert_eq!(lit.certain, aut.certain, "routes disagree at n={n}");
+        assert_eq!(aut.answered_by, AnsweredBy::ComponentCertK);
+        g.throughput(Throughput::Elements(db.len() as u64));
+        g.bench_with_input(BenchmarkId::new("literal", db.len()), &db, |b, db| {
+            b.iter(|| std::hint::black_box(literal.certain(db).certain))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("auto-component", db.len()),
+            &db,
+            |b, db| b.iter(|| std::hint::black_box(auto.certain(db).certain)),
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("large_contested_q3");
+    g.sample_size(10);
+    for n in [100_000usize, 1_000_000] {
+        let cfg = ContestedWorkloadConfig::new(n, 1000);
+        let db = large_contested_q3_db(&cfg);
+        let lit = literal.certain(&db);
+        let aut = auto.certain(&db);
+        assert!(lit.certain && aut.certain, "contested clusters are certain");
+        g.throughput(Throughput::Elements(db.len() as u64));
+        g.bench_with_input(BenchmarkId::new("build", db.len()), &cfg, |b, cfg| {
+            b.iter(|| std::hint::black_box(large_contested_q3_db(cfg)))
+        });
+        g.bench_with_input(BenchmarkId::new("literal", db.len()), &db, |b, db| {
+            b.iter(|| std::hint::black_box(literal.certain(db).certain))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("auto-component", db.len()),
+            &db,
+            |b, db| b.iter(|| std::hint::black_box(auto.certain(db).certain)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_large_scale, bench_routing);
 criterion_main!(benches);

@@ -22,12 +22,34 @@
 
 pub mod dbfmt;
 
-use cqa::{classify, Complexity, Confidence, CqaEngine};
+use cqa::{classify, AnsweredBy, Complexity, Confidence, CqaEngine, RoutePolicy};
 use cqa_model::Database;
 use cqa_query::parse_query;
 use cqa_sat::{parse_dimacs, solve, to_occ3_normal_form, SatResult};
-use cqa_workloads::{write_large_q3, LargeWorkloadConfig};
+use cqa_workloads::{
+    write_large_contested_q3, write_large_q3, ContestedWorkloadConfig, LargeWorkloadConfig,
+};
 use std::fmt::Write as _;
+
+/// A command's output: `stdout` carries the answer, `stderr` carries
+/// optional diagnostics (the `--stats` summaries), so scripted callers can
+/// diff verdicts without stripping instrumentation.
+#[derive(Clone, Debug, Default)]
+pub struct CmdOut {
+    /// Text for standard output.
+    pub stdout: String,
+    /// Text for standard error (empty unless diagnostics were requested).
+    pub stderr: String,
+}
+
+impl From<String> for CmdOut {
+    fn from(stdout: String) -> CmdOut {
+        CmdOut {
+            stdout,
+            stderr: String::new(),
+        }
+    }
+}
 
 /// A CLI failure: message plus suggested exit code.
 #[derive(Clone, Debug)]
@@ -119,6 +141,57 @@ pub fn take_threads_flag<'a>(args: &[&'a str]) -> Result<(Vec<&'a str>, Option<u
     Ok((rest, threads))
 }
 
+/// Parse and strip a `--route auto|literal|component` option (`certain`
+/// only): forces the engine's literal-vs-component evaluation route for
+/// PTime `Cert_k` queries instead of the size/fragmentation heuristic.
+pub fn take_route_flag<'a>(
+    args: &[&'a str],
+) -> Result<(Vec<&'a str>, Option<RoutePolicy>), CliError> {
+    let parse = |v: &str| match v {
+        "auto" => Ok(RoutePolicy::Auto),
+        "literal" => Ok(RoutePolicy::Literal),
+        "component" => Ok(RoutePolicy::Component),
+        other => Err(CliError::new(format!(
+            "bad route {other:?} (want auto, literal or component)"
+        ))),
+    };
+    let mut rest = Vec::with_capacity(args.len());
+    let mut route = None;
+    let mut it = args.iter();
+    while let Some(&a) = it.next() {
+        if a == "--route" {
+            let v = it
+                .next()
+                .ok_or_else(|| CliError::new("--route needs a value"))?;
+            route = Some(parse(v)?);
+        } else if let Some(v) = a.strip_prefix("--route=") {
+            route = Some(parse(v)?);
+        } else {
+            rest.push(a);
+        }
+    }
+    Ok((rest, route))
+}
+
+/// Strip a boolean `--stats` flag (`certain`/`falsify`): when present the
+/// command writes a solver-statistics summary to stderr.
+pub fn take_stats_flag<'a>(args: &[&'a str]) -> (Vec<&'a str>, bool) {
+    let mut want = false;
+    let rest = args
+        .iter()
+        .filter(|&&a| {
+            if a == "--stats" {
+                want = true;
+                false
+            } else {
+                true
+            }
+        })
+        .copied()
+        .collect();
+    (rest, want)
+}
+
 /// Stream-load a fact file from disk ([`dbfmt::read_database`]; the file
 /// is parsed line-at-a-time, never buffered whole).
 pub fn load_db_file(path: &str) -> Result<Database, CliError> {
@@ -132,10 +205,18 @@ pub fn load_db_file(path: &str) -> Result<Database, CliError> {
     })
 }
 
-/// `cqa certain <query> <db-file> [--threads N]`: evaluate `certain(q)` on
-/// a (stream-loaded) database. `threads` caps the per-component solver
-/// fan-out (`None` = available parallelism).
-pub fn cmd_certain(query: &str, db: &Database, threads: Option<usize>) -> Result<String, CliError> {
+/// `cqa certain <query> <db-file> [--threads N] [--route R] [--stats]`:
+/// evaluate `certain(q)` on a (stream-loaded) database. `threads` caps the
+/// per-component solver fan-out (`None` = available parallelism); `route`
+/// overrides the engine's literal-vs-component heuristic; with
+/// `want_stats` a solver-statistics summary goes to stderr.
+pub fn cmd_certain(
+    query: &str,
+    db: &Database,
+    threads: Option<usize>,
+    route: Option<RoutePolicy>,
+    want_stats: bool,
+) -> Result<CmdOut, CliError> {
     let q = parse_query(query).map_err(|e| CliError::new(e.to_string()))?;
     if db.signature() != q.signature() {
         return Err(CliError::new(format!(
@@ -148,8 +229,13 @@ pub fn cmd_certain(query: &str, db: &Database, threads: Option<usize>) -> Result
     if let Some(n) = threads {
         config = config.with_threads(n);
     }
+    if let Some(policy) = route {
+        config = config.with_route(policy);
+    }
     let engine = CqaEngine::with_config(q, config);
+    let started = std::time::Instant::now();
     let ans = engine.certain(db);
+    let solve_ms = started.elapsed().as_millis();
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -167,21 +253,59 @@ pub fn cmd_certain(query: &str, db: &Database, threads: Option<usize>) -> Result
             "warning:     budget exhausted; a 'false' may be a false negative"
         );
     }
-    Ok(out)
+    let mut err = String::new();
+    if want_stats {
+        let route_taken = match ans.answered_by {
+            AnsweredBy::ComponentCertK => "component (per-component Cert_k fan-out)",
+            AnsweredBy::Combined => "component (Theorem 10.5 combined solver)",
+            AnsweredBy::CertK | AnsweredBy::Trivial => "literal (whole-database Cert_k)",
+            AnsweredBy::BruteForce => "brute force (coNP-complete query)",
+        };
+        let _ = writeln!(err, "stats: route={route_taken}");
+        if let Some(c) = ans.components {
+            let _ = writeln!(err, "stats: components={c}");
+        }
+        if let Some(s) = ans.certk_stats {
+            let _ = writeln!(
+                err,
+                "stats: fixpoint rounds={} members-inserted={} steps={}",
+                s.rounds, s.inserted, s.steps
+            );
+            let _ = writeln!(
+                err,
+                "stats: antichain peak-live-members={} stale-slots-compacted={}",
+                s.peak_members, s.stale_compacted
+            );
+            let _ = writeln!(
+                err,
+                "stats: worklist blocks-derived={} blocks-skipped={}",
+                s.blocks_derived, s.blocks_skipped
+            );
+        }
+        let _ = writeln!(err, "stats: solve-ms={solve_ms}");
+    }
+    Ok(CmdOut {
+        stdout: out,
+        stderr: err,
+    })
 }
 
-/// `cqa falsify <query> <db-file> [budget] [--threads N]`: exhibit a
-/// falsifying repair, if any.
+/// `cqa falsify <query> <db-file> [budget] [--threads N] [--stats]`:
+/// exhibit a falsifying repair, if any.
 pub fn cmd_falsify(
     query: &str,
     db: &Database,
     budget: u64,
     threads: Option<usize>,
-) -> Result<String, CliError> {
+    want_stats: bool,
+) -> Result<CmdOut, CliError> {
     let q = parse_query(query).map_err(|e| CliError::new(e.to_string()))?;
     let threads = threads.unwrap_or_else(minipool::max_threads);
     let mut out = String::new();
-    match cqa::solvers::certain_brute_parallel(&q, db, budget, threads) {
+    let started = std::time::Instant::now();
+    let outcome = cqa::solvers::certain_brute_parallel(&q, db, budget, threads);
+    let solve_ms = started.elapsed().as_millis();
+    match outcome {
         cqa::solvers::BruteOutcome::Certain => {
             let _ = writeln!(out, "certain: every repair satisfies the query");
         }
@@ -195,7 +319,20 @@ pub fn cmd_falsify(
             let _ = writeln!(out, "inconclusive: search budget ({budget}) exhausted");
         }
     }
-    Ok(out)
+    let mut err = String::new();
+    if want_stats {
+        let _ = writeln!(
+            err,
+            "stats: brute-force threads={threads} facts={} blocks={}",
+            db.len(),
+            db.block_count()
+        );
+        let _ = writeln!(err, "stats: solve-ms={solve_ms}");
+    }
+    Ok(CmdOut {
+        stdout: out,
+        stderr: err,
+    })
 }
 
 /// `cqa generate [options] <out-file>`: write a large `q3`-shaped
@@ -204,6 +341,9 @@ pub fn cmd_falsify(
 /// (fraction of conflicted blocks, default 0.5), `--min-width A` /
 /// `--max-width B` (conflicted block widths, default 2..=3),
 /// `--chain-len L` (blocks per component, default 8), `--seed S`.
+/// `--contested-width W` selects the *contested* family instead — wide
+/// shared-block funnels of `W` contested blocks per cluster, the `Cert_k`
+/// stress shape — and is incompatible with the chain-family shape flags.
 /// `threads` caps the construction fan-out; the file content never
 /// depends on it.
 pub fn cmd_generate(args: &[&str], threads: Option<usize>) -> Result<String, CliError> {
@@ -211,6 +351,8 @@ pub fn cmd_generate(args: &[&str], threads: Option<usize>) -> Result<String, Cli
     if let Some(n) = threads {
         cfg.threads = n.max(1);
     }
+    let mut contested_width: Option<usize> = None;
+    let mut chain_shape_flags: Vec<&str> = Vec::new();
     let mut out_path: Option<&str> = None;
     let mut it = args.iter();
     while let Some(&a) = it.next() {
@@ -223,6 +365,9 @@ pub fn cmd_generate(args: &[&str], threads: Option<usize>) -> Result<String, Cli
             "--facts" => {
                 cfg.facts = parse_flag_num(a, flag_value(a)?)?;
             }
+            "--contested-width" => {
+                contested_width = Some(parse_flag_num(a, flag_value(a)?)?);
+            }
             "--inconsistency" => {
                 let v = flag_value(a)?;
                 cfg.inconsistency = v
@@ -232,21 +377,26 @@ pub fn cmd_generate(args: &[&str], threads: Option<usize>) -> Result<String, Cli
                     .ok_or_else(|| {
                         CliError::new(format!("bad inconsistency ratio {v:?} (want 0.0..=1.0)"))
                     })?;
+                chain_shape_flags.push(a);
             }
             "--min-width" => {
                 cfg.min_width = parse_flag_num(a, flag_value(a)?)?;
+                chain_shape_flags.push(a);
             }
             "--max-width" => {
                 cfg.max_width = parse_flag_num(a, flag_value(a)?)?;
+                chain_shape_flags.push(a);
             }
             "--chain-len" => {
                 cfg.chain_len = parse_flag_num(a, flag_value(a)?)?;
+                chain_shape_flags.push(a);
             }
             "--seed" => {
                 let v = flag_value(a)?;
                 cfg.seed = v
                     .parse()
                     .map_err(|_| CliError::new(format!("bad seed {v:?}")))?;
+                chain_shape_flags.push(a);
             }
             other if other.starts_with("--") => {
                 return Err(CliError::new(format!("unknown generate option {other:?}")));
@@ -259,30 +409,63 @@ pub fn cmd_generate(args: &[&str], threads: Option<usize>) -> Result<String, Cli
         }
     }
     let path = out_path.ok_or_else(|| CliError::new("generate needs an output file"))?;
+    if let Some(width) = contested_width {
+        // The contested family is deterministic (no seed) and has its own
+        // shape knob; mixing the chain-family shape flags in would be
+        // silently ignored, so reject them instead.
+        if let Some(flag) = chain_shape_flags.first() {
+            return Err(CliError::new(format!(
+                "{flag} does not apply to the contested family (--contested-width)"
+            )));
+        }
+        if width == 0 || cfg.facts == 0 {
+            return Err(CliError::new(
+                "need --facts >= 1 and --contested-width >= 1",
+            ));
+        }
+        let contested = ContestedWorkloadConfig {
+            facts: cfg.facts,
+            width,
+            threads: cfg.threads,
+        };
+        let stats = write_to_file(path, |w| write_large_contested_q3(&contested, w))?;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "wrote {path}: {} facts, {} blocks, {} components ({} contested blocks, width {width})",
+            stats.facts, stats.blocks, stats.components, stats.conflicted_blocks
+        );
+        return Ok(out);
+    }
     if cfg.min_width < 2 || cfg.max_width < cfg.min_width || cfg.chain_len == 0 || cfg.facts == 0 {
         return Err(CliError::new(
             "need --facts >= 1, --chain-len >= 1 and 2 <= min-width <= max-width",
         ));
     }
-    let file = std::fs::File::create(path).map_err(|e| CliError {
-        message: format!("cannot write {path}: {e}"),
-        code: 2,
-    })?;
-    let mut writer = std::io::BufWriter::new(file);
-    let stats = write_large_q3(&cfg, &mut writer).map_err(|e| CliError {
-        message: format!("cannot write {path}: {e}"),
-        code: 2,
-    })?;
-    std::io::Write::flush(&mut writer).map_err(|e| CliError {
-        message: format!("cannot write {path}: {e}"),
-        code: 2,
-    })?;
+    let stats = write_to_file(path, |w| write_large_q3(&cfg, w))?;
     let mut out = String::new();
     let _ = writeln!(
         out,
         "wrote {path}: {} facts, {} blocks, {} components ({} conflicted blocks)",
         stats.facts, stats.blocks, stats.components, stats.conflicted_blocks
     );
+    Ok(out)
+}
+
+/// Create `path` and run `write` over a buffered writer, flushing at the
+/// end; maps every I/O error to a [`CliError`] naming the path.
+fn write_to_file<T>(
+    path: &str,
+    write: impl FnOnce(&mut std::io::BufWriter<std::fs::File>) -> std::io::Result<T>,
+) -> Result<T, CliError> {
+    let io_err = |e: std::io::Error| CliError {
+        message: format!("cannot write {path}: {e}"),
+        code: 2,
+    };
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut writer = std::io::BufWriter::new(file);
+    let out = write(&mut writer).map_err(io_err)?;
+    std::io::Write::flush(&mut writer).map_err(io_err)?;
     Ok(out)
 }
 
@@ -332,10 +515,11 @@ pub fn usage() -> &'static str {
 
 USAGE:
   cqa classify \"<query>\"
-  cqa certain  \"<query>\" <db-file> [--threads N]
-  cqa falsify  \"<query>\" <db-file> [node-budget] [--threads N]
+  cqa certain  \"<query>\" <db-file> [--threads N] [--route R] [--stats]
+  cqa falsify  \"<query>\" <db-file> [node-budget] [--threads N] [--stats]
   cqa generate [--facts N] [--inconsistency R] [--min-width A] [--max-width B]
-               [--chain-len L] [--seed S] [--threads N] <out-file>
+               [--chain-len L] [--seed S] [--contested-width W] [--threads N]
+               <out-file>
   cqa gadget   \"<query>\" <dimacs-file>
   cqa solve    <dimacs-file>
 
@@ -345,6 +529,13 @@ DB FILE SYNTAX:   one fact per line, e.g.  R(alice | bob)   ('#' comments);
                   stream the file line-at-a-time (any size).
 OPTIONS:          --threads N   solver / generator threads
                                 (default: available parallelism; 1 = sequential)
+                  --route R     certain only: auto | literal | component —
+                                whole-database Cert_k vs per-component fan-out
+                                (default auto: component on large fragmented DBs)
+                  --stats       certain/falsify: solver statistics on stderr
+                  --contested-width W
+                                generate the contested (wide shared block)
+                                family instead of the chain family
 "
 }
 
@@ -373,33 +564,88 @@ mod tests {
 
     #[test]
     fn certain_answers_on_fact_file() {
-        let out = cmd_certain(Q3, &db(DB), None).unwrap();
-        assert!(out.contains("certain:     true"), "{out}");
-        assert!(out.contains("4 facts"), "{out}");
+        let out = cmd_certain(Q3, &db(DB), None, None, false).unwrap();
+        assert!(out.stdout.contains("certain:     true"), "{}", out.stdout);
+        assert!(out.stdout.contains("4 facts"), "{}", out.stdout);
+        assert!(out.stderr.is_empty(), "no stats requested: {}", out.stderr);
     }
 
     #[test]
     fn certain_same_answer_across_thread_counts() {
-        let seq = cmd_certain(Q3, &db(DB), Some(1)).unwrap();
-        let par = cmd_certain(Q3, &db(DB), Some(4)).unwrap();
-        assert_eq!(seq, par, "verdict must not depend on the thread count");
+        let seq = cmd_certain(Q3, &db(DB), Some(1), None, false).unwrap();
+        let par = cmd_certain(Q3, &db(DB), Some(4), None, false).unwrap();
+        assert_eq!(
+            seq.stdout, par.stdout,
+            "verdict must not depend on the thread count"
+        );
+    }
+
+    #[test]
+    fn certain_routes_agree_and_report_provenance() {
+        let d = db(DB);
+        let literal = cmd_certain(Q3, &d, None, Some(RoutePolicy::Literal), false).unwrap();
+        let component = cmd_certain(Q3, &d, None, Some(RoutePolicy::Component), false).unwrap();
+        assert!(
+            literal.stdout.contains("answered by: CertK"),
+            "{}",
+            literal.stdout
+        );
+        assert!(
+            component.stdout.contains("answered by: ComponentCertK"),
+            "{}",
+            component.stdout
+        );
+        let verdict = |o: &CmdOut| {
+            o.stdout
+                .lines()
+                .find(|l| l.starts_with("certain:"))
+                .map(String::from)
+        };
+        assert_eq!(verdict(&literal), verdict(&component));
+    }
+
+    #[test]
+    fn certain_stats_summary_goes_to_stderr() {
+        let out = cmd_certain(Q3, &db(DB), None, None, true).unwrap();
+        assert!(out.stdout.contains("certain:     true"), "{}", out.stdout);
+        assert!(out.stderr.contains("stats: route="), "{}", out.stderr);
+        assert!(
+            out.stderr.contains("stats: fixpoint rounds="),
+            "{}",
+            out.stderr
+        );
+        assert!(out.stderr.contains("peak-live-members="), "{}", out.stderr);
+        assert!(out.stderr.contains("blocks-derived="), "{}", out.stderr);
+        // The forced component route also reports its component count.
+        let routed = cmd_certain(Q3, &db(DB), None, Some(RoutePolicy::Component), true).unwrap();
+        assert!(
+            routed.stderr.contains("stats: components="),
+            "{}",
+            routed.stderr
+        );
     }
 
     #[test]
     fn certain_rejects_signature_mismatch() {
-        let err = cmd_certain(Q3, &db("R(a b | c)\n"), None).unwrap_err();
+        let err = cmd_certain(Q3, &db("R(a b | c)\n"), None, None, false).unwrap_err();
         assert!(err.message.contains("signature"), "{err}");
     }
 
     #[test]
     fn falsify_prints_witness() {
         let d = db("R(alice | bob)\nR(alice | carol)\nR(bob | dave)\n");
-        let out = cmd_falsify(Q3, &d, u64::MAX, None).unwrap();
-        assert!(out.contains("not certain"), "{out}");
-        assert!(out.contains("R(alice carol)"), "{out}");
+        let out = cmd_falsify(Q3, &d, u64::MAX, None, false).unwrap();
+        assert!(out.stdout.contains("not certain"), "{}", out.stdout);
+        assert!(out.stdout.contains("R(alice carol)"), "{}", out.stdout);
         let certain_db = db("R(a | b)\nR(b | c)\n");
-        let out2 = cmd_falsify(Q3, &certain_db, u64::MAX, Some(2)).unwrap();
-        assert!(out2.contains("certain"), "{out2}");
+        let out2 = cmd_falsify(Q3, &certain_db, u64::MAX, Some(2), false).unwrap();
+        assert!(out2.stdout.contains("certain"), "{}", out2.stdout);
+        let stats = cmd_falsify(Q3, &certain_db, u64::MAX, Some(2), true).unwrap();
+        assert!(
+            stats.stderr.contains("stats: brute-force threads=2"),
+            "{}",
+            stats.stderr
+        );
     }
 
     #[test]
@@ -426,9 +672,9 @@ mod tests {
         // across thread counts.
         let loaded = load_db_file(path_str).unwrap();
         assert!(loaded.len() >= 400, "{} facts", loaded.len());
-        let seq = cmd_certain(Q3, &loaded, Some(1)).unwrap();
-        let par = cmd_certain(Q3, &loaded, Some(4)).unwrap();
-        assert_eq!(seq, par);
+        let seq = cmd_certain(Q3, &loaded, Some(1), None, false).unwrap();
+        let par = cmd_certain(Q3, &loaded, Some(4), None, false).unwrap();
+        assert_eq!(seq.stdout, par.stdout);
         // Same config, same bytes: regenerating is reproducible.
         let path2 = dir.join("w2.facts");
         cmd_generate(
@@ -460,6 +706,62 @@ mod tests {
         assert!(cmd_generate(&["--min-width", "1", "f"], None).is_err());
         assert!(cmd_generate(&["--bogus", "f"], None).is_err());
         assert!(cmd_generate(&["a", "b"], None).is_err()); // two outputs
+        assert!(cmd_generate(&["--contested-width", "0", "f"], None).is_err());
+        // The contested family has no seed/shape knobs from the chain family.
+        assert!(cmd_generate(&["--contested-width", "4", "--seed", "1", "f"], None).is_err());
+        assert!(cmd_generate(&["--contested-width", "4", "--chain-len", "2", "f"], None).is_err());
+    }
+
+    #[test]
+    fn generate_contested_writes_a_certain_workload() {
+        let dir = std::env::temp_dir().join(format!("cqa-gen-con-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.facts");
+        let path_str = path.to_str().unwrap();
+        let out = cmd_generate(
+            &["--facts", "600", "--contested-width", "16", path_str],
+            Some(2),
+        )
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        assert!(out.contains("width 16"), "{out}");
+        let loaded = load_db_file(path_str).unwrap();
+        assert!(loaded.len() >= 500, "{} facts", loaded.len());
+        // Every cluster is certain, on both routes.
+        let literal = cmd_certain(Q3, &loaded, Some(1), Some(RoutePolicy::Literal), false).unwrap();
+        let routed =
+            cmd_certain(Q3, &loaded, Some(2), Some(RoutePolicy::Component), false).unwrap();
+        assert!(
+            literal.stdout.contains("certain:     true"),
+            "{}",
+            literal.stdout
+        );
+        assert!(
+            routed.stdout.contains("certain:     true"),
+            "{}",
+            routed.stdout
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn route_flag_parses_and_strips() {
+        let (rest, r) = take_route_flag(&["certain", "q", "f", "--route", "literal"]).unwrap();
+        assert_eq!(rest, vec!["certain", "q", "f"]);
+        assert_eq!(r, Some(RoutePolicy::Literal));
+        let (rest, r) = take_route_flag(&["--route=component", "certain", "q", "f"]).unwrap();
+        assert_eq!(rest, vec!["certain", "q", "f"]);
+        assert_eq!(r, Some(RoutePolicy::Component));
+        let (_, r) = take_route_flag(&["--route", "auto"]).unwrap();
+        assert_eq!(r, Some(RoutePolicy::Auto));
+        assert!(take_route_flag(&["--route"]).is_err());
+        assert!(take_route_flag(&["--route", "fastest"]).is_err());
+        let (rest, got) = take_stats_flag(&["certain", "--stats", "q"]);
+        assert_eq!(rest, vec!["certain", "q"]);
+        assert!(got);
+        let (rest, got) = take_stats_flag(&["classify", "q"]);
+        assert_eq!(rest, vec!["classify", "q"]);
+        assert!(!got);
     }
 
     #[test]

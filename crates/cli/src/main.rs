@@ -3,7 +3,7 @@
 
 use cqa_cli::{
     cmd_certain, cmd_classify, cmd_falsify, cmd_gadget, cmd_generate, cmd_solve, load_db_file,
-    take_threads_flag, usage, CliError,
+    take_route_flag, take_stats_flag, take_threads_flag, usage, CliError, CmdOut,
 };
 use std::process::ExitCode;
 
@@ -14,13 +14,15 @@ fn read(path: &str) -> Result<String, CliError> {
     })
 }
 
-fn run() -> Result<String, CliError> {
+fn run() -> Result<CmdOut, CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let str_args: Vec<&str> = args.iter().map(String::as_str).collect();
     let (positional, threads) = take_threads_flag(&str_args)?;
-    // Only certain/falsify run solvers and generate fans construction
-    // out; elsewhere a --threads would be silently ignored, so reject it
-    // instead.
+    let (positional, route) = take_route_flag(&positional)?;
+    let (positional, want_stats) = take_stats_flag(&positional);
+    // Flags that a command would silently ignore are rejected instead:
+    // --threads applies to the solver/generator commands, --route to the
+    // engine-backed `certain`, --stats to the two solver commands.
     if threads.is_some()
         && !matches!(
             positional.first(),
@@ -32,22 +34,34 @@ fn run() -> Result<String, CliError> {
             code: 2,
         });
     }
+    if route.is_some() && positional.first() != Some(&"certain") {
+        return Err(CliError {
+            message: "--route only applies to `certain`".to_string(),
+            code: 2,
+        });
+    }
+    if want_stats && !matches!(positional.first(), Some(&"certain") | Some(&"falsify")) {
+        return Err(CliError {
+            message: "--stats only applies to `certain` and `falsify`".to_string(),
+            code: 2,
+        });
+    }
     match positional.as_slice() {
-        ["classify", q] => cmd_classify(q),
+        ["classify", q] => cmd_classify(q).map(CmdOut::from),
         // Fact files are stream-loaded line-at-a-time (see cqa_cli::dbfmt),
         // so million-line files never sit in memory as text.
-        ["certain", q, file] => cmd_certain(q, &load_db_file(file)?, threads),
-        ["falsify", q, file] => cmd_falsify(q, &load_db_file(file)?, u64::MAX, threads),
+        ["certain", q, file] => cmd_certain(q, &load_db_file(file)?, threads, route, want_stats),
+        ["falsify", q, file] => cmd_falsify(q, &load_db_file(file)?, u64::MAX, threads, want_stats),
         ["falsify", q, file, budget] => {
             let b: u64 = budget.parse().map_err(|_| CliError {
                 message: format!("bad budget {budget:?}"),
                 code: 2,
             })?;
-            cmd_falsify(q, &load_db_file(file)?, b, threads)
+            cmd_falsify(q, &load_db_file(file)?, b, threads, want_stats)
         }
-        ["generate", rest @ ..] => cmd_generate(rest, threads),
-        ["gadget", q, file] => cmd_gadget(q, &read(file)?),
-        ["solve", file] => cmd_solve(&read(file)?),
+        ["generate", rest @ ..] => cmd_generate(rest, threads).map(CmdOut::from),
+        ["gadget", q, file] => cmd_gadget(q, &read(file)?).map(CmdOut::from),
+        ["solve", file] => cmd_solve(&read(file)?).map(CmdOut::from),
         _ => Err(CliError {
             message: usage().to_string(),
             code: 1,
@@ -58,7 +72,8 @@ fn run() -> Result<String, CliError> {
 fn main() -> ExitCode {
     match run() {
         Ok(out) => {
-            print!("{out}");
+            print!("{}", out.stdout);
+            eprint!("{}", out.stderr);
             ExitCode::SUCCESS
         }
         Err(e) => {

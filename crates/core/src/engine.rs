@@ -1,10 +1,31 @@
 //! The high-level engine: classify once, answer `certain(q)` many times
 //! with the algorithm the dichotomy prescribes.
+//!
+//! For the PTime `Cert_k` classes the engine additionally picks an
+//! *evaluation route* per database: the literal whole-database fixpoint
+//! (the small-n fast path) or the per-component fan-out of
+//! [`cqa_solvers::certk_by_components`] — by Proposition 10.6 the
+//! database is certain iff some q-connected component is, and `Cert_k` is
+//! exact per component exactly when it is exact globally, so the two
+//! routes agree whenever no node budget is exhausted (see
+//! [`RoutingConfig`] for the finite-budget caveat). On large fragmented
+//! databases (the million-fact
+//! generated workloads have tens of thousands of tiny components) the
+//! component route wins: each per-component fixpoint touches a small
+//! local antichain instead of one global index, and components are
+//! decided in parallel when [`CertKConfig::threads`] allows. See
+//! [`RoutingConfig`].
 
 use crate::classify::{classify_with, Classification, Complexity};
 use cqa_model::Database;
 use cqa_query::Query;
-use cqa_solvers::{certain_brute_parallel, certain_combined, certk, BruteOutcome, CertKConfig};
+use cqa_solvers::components::{
+    q_connected_components_if_fragmented, q_connected_components_with_solutions, Component,
+};
+use cqa_solvers::{
+    certain_brute_parallel, certain_combined_over, certk_by_components, certk_with_stats,
+    BruteOutcome, CertKConfig, CertKStats, CombinedResult, SolutionSet,
+};
 use cqa_tripath::SearchConfig;
 
 /// Which algorithm actually answered a [`CqaEngine::certain`] call.
@@ -12,8 +33,11 @@ use cqa_tripath::SearchConfig;
 pub enum AnsweredBy {
     /// Single-atom / trivial evaluation via the fixpoint seeds (`Cert₁`).
     Trivial,
-    /// The greedy fixpoint `Cert_k`.
+    /// The greedy fixpoint `Cert_k` on the whole database.
     CertK,
+    /// Per-component `Cert_k` fan-out — the large/fragmented-database
+    /// route (verdict-identical to [`AnsweredBy::CertK`]).
+    ComponentCertK,
     /// The Theorem 10.5 combination (per-component `Cert_k` / `¬matching`).
     Combined,
     /// Exponential search (coNP-complete queries only).
@@ -32,6 +56,78 @@ pub struct CertainAnswer {
     /// "not certain" may be a false negative); for coNP-complete queries it
     /// means the search was cut off.
     pub budget_exhausted: bool,
+    /// Aggregated `Cert_k` fixpoint statistics, when a fixpoint produced
+    /// (part of) the answer. On the component routes the per-component
+    /// counters are summed (`peak_members` takes the max); matching-decided
+    /// components contribute nothing.
+    pub certk_stats: Option<CertKStats>,
+    /// Number of q-connected components decided (component routes only).
+    pub components: Option<usize>,
+}
+
+/// Route selection for the PTime `Cert_k` classes
+/// ([`Complexity::PTimeCert2`] / [`Complexity::PTimeCertK`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Decide per database: the component route on large, fragmented
+    /// inputs (see [`RoutingConfig::min_facts`] /
+    /// [`RoutingConfig::min_components`]), the literal fixpoint otherwise.
+    Auto,
+    /// Always the literal whole-database `Cert_k` (the small-n fast path).
+    Literal,
+    /// Always the per-component route.
+    Component,
+}
+
+/// When should a PTime `Cert_k` query take the per-component route?
+///
+/// The two routes provably agree whenever no node budget is exhausted
+/// (Proposition 10.6 + per-component exactness of `Cert_k`), so with the
+/// effectively-unbounded default budget this is purely a performance
+/// decision. Under a *finite* [`CertKConfig::node_budget`] each component
+/// gets the full budget — the same convention `certain_combined` has
+/// always used — so the component route can decide instances the literal
+/// fixpoint exhausts on; both stay sound ("certain" is always
+/// trustworthy) and exhaustion is reported via
+/// [`CertainAnswer::budget_exhausted`]. Pin [`RoutePolicy::Literal`] or
+/// [`RoutePolicy::Component`] when budget-exhaustion behaviour must not
+/// depend on database shape.
+/// `Trivial` queries always stay on the literal path under `Auto` (their
+/// fixpoint is seeds-only and linear); Theorem 10.5
+/// ([`Complexity::PTimeCombined`]) queries always use the component-based
+/// combined solver regardless of this configuration, and coNP-complete
+/// queries are unaffected.
+#[derive(Clone, Copy, Debug)]
+pub struct RoutingConfig {
+    /// How to choose between the literal and component routes.
+    pub policy: RoutePolicy,
+    /// `Auto`: consider the component route only at or above this many
+    /// facts (below it the partition bookkeeping outweighs the win).
+    pub min_facts: usize,
+    /// `Auto`: take the component route only when the partition yields at
+    /// least this many q-connected components (an unfragmented database
+    /// gains nothing from the detour).
+    pub min_components: usize,
+}
+
+impl Default for RoutingConfig {
+    fn default() -> RoutingConfig {
+        RoutingConfig {
+            policy: RoutePolicy::Auto,
+            min_facts: 50_000,
+            min_components: 4,
+        }
+    }
+}
+
+impl RoutingConfig {
+    /// The default thresholds with an explicit policy.
+    pub fn with_policy(policy: RoutePolicy) -> RoutingConfig {
+        RoutingConfig {
+            policy,
+            ..RoutingConfig::default()
+        }
+    }
 }
 
 /// Tuning knobs for [`CqaEngine`].
@@ -45,6 +141,8 @@ pub struct EngineConfig {
     pub certk: CertKConfig,
     /// Node budget for the brute-force solver on coNP-complete queries.
     pub brute_budget: u64,
+    /// Literal-vs-component route selection for `Cert_k`-class queries.
+    pub routing: RoutingConfig,
 }
 
 impl EngineConfig {
@@ -52,6 +150,16 @@ impl EngineConfig {
     /// fully sequential; the default is the host's available parallelism).
     pub fn with_threads(mut self, threads: usize) -> EngineConfig {
         self.certk = self.certk.with_threads(threads);
+        self
+    }
+
+    /// This configuration with an explicit [`RoutePolicy`] (default
+    /// thresholds).
+    pub fn with_route(mut self, policy: RoutePolicy) -> EngineConfig {
+        self.routing = RoutingConfig {
+            policy,
+            ..self.routing
+        };
         self
     }
 }
@@ -62,6 +170,7 @@ impl Default for EngineConfig {
             search: SearchConfig::default(),
             certk: CertKConfig::new(2),
             brute_budget: u64::MAX,
+            routing: RoutingConfig::default(),
         }
     }
 }
@@ -114,29 +223,72 @@ impl CqaEngine {
         &self.classification
     }
 
+    /// The routing decision for `db` on the `Cert_k` classes:
+    /// `Some(partition)` when the component route should be taken. Under
+    /// [`RoutePolicy::Auto`], trivial queries and small or unfragmented
+    /// databases stay literal.
+    fn route_components<'a>(
+        &self,
+        db: &'a Database,
+        solutions: &SolutionSet,
+    ) -> Option<Vec<Component<'a>>> {
+        let routing = &self.config.routing;
+        match routing.policy {
+            RoutePolicy::Literal => None,
+            RoutePolicy::Component => Some(q_connected_components_with_solutions(
+                &self.query,
+                db,
+                solutions,
+            )),
+            RoutePolicy::Auto => {
+                if self.classification.complexity == Complexity::Trivial
+                    || db.len() < routing.min_facts
+                {
+                    return None;
+                }
+                // One union-find pass: views are only materialised when
+                // the partition clears the fragmentation threshold.
+                q_connected_components_if_fragmented(
+                    &self.query,
+                    db,
+                    solutions,
+                    routing.min_components,
+                )
+            }
+        }
+    }
+
     /// Decide `db ⊨ certain(q)` with the algorithm the classification
     /// prescribes.
     pub fn certain(&self, db: &Database) -> CertainAnswer {
         match self.classification.complexity {
             Complexity::Trivial | Complexity::PTimeCert2 | Complexity::PTimeCertK => {
-                let out = certk(&self.query, db, self.config.certk);
-                CertainAnswer {
-                    certain: out.is_certain(),
-                    answered_by: if self.classification.complexity == Complexity::Trivial {
-                        AnsweredBy::Trivial
-                    } else {
-                        AnsweredBy::CertK
-                    },
-                    budget_exhausted: out == cqa_solvers::CertKOutcome::BudgetExhausted,
+                let solutions = SolutionSet::enumerate(&self.query, db);
+                if let Some(comps) = self.route_components(db, &solutions) {
+                    let res =
+                        certk_by_components(&self.query, &comps, &solutions, self.config.certk);
+                    answer_from_components(res, AnsweredBy::ComponentCertK)
+                } else {
+                    let (out, stats) =
+                        certk_with_stats(&self.query, db, &solutions, self.config.certk);
+                    CertainAnswer {
+                        certain: out.is_certain(),
+                        answered_by: if self.classification.complexity == Complexity::Trivial {
+                            AnsweredBy::Trivial
+                        } else {
+                            AnsweredBy::CertK
+                        },
+                        budget_exhausted: out == cqa_solvers::CertKOutcome::BudgetExhausted,
+                        certk_stats: Some(stats),
+                        components: None,
+                    }
                 }
             }
             Complexity::PTimeCombined => {
-                let res = certain_combined(&self.query, db, self.config.certk);
-                CertainAnswer {
-                    certain: res.certain,
-                    answered_by: AnsweredBy::Combined,
-                    budget_exhausted: res.components.iter().any(|c| c.budget_exhausted),
-                }
+                let solutions = SolutionSet::enumerate(&self.query, db);
+                let comps = q_connected_components_with_solutions(&self.query, db, &solutions);
+                let res = certain_combined_over(&self.query, &comps, &solutions, self.config.certk);
+                answer_from_components(res, AnsweredBy::Combined)
             }
             Complexity::CoNpComplete => {
                 match certain_brute_parallel(
@@ -149,20 +301,37 @@ impl CqaEngine {
                         certain: true,
                         answered_by: AnsweredBy::BruteForce,
                         budget_exhausted: false,
+                        certk_stats: None,
+                        components: None,
                     },
                     BruteOutcome::NotCertain(_) => CertainAnswer {
                         certain: false,
                         answered_by: AnsweredBy::BruteForce,
                         budget_exhausted: false,
+                        certk_stats: None,
+                        components: None,
                     },
                     BruteOutcome::BudgetExhausted => CertainAnswer {
                         certain: false,
                         answered_by: AnsweredBy::BruteForce,
                         budget_exhausted: true,
+                        certk_stats: None,
+                        components: None,
                     },
                 }
             }
         }
+    }
+}
+
+/// Fold a per-component result into a [`CertainAnswer`].
+fn answer_from_components(res: CombinedResult, answered_by: AnsweredBy) -> CertainAnswer {
+    CertainAnswer {
+        certain: res.certain,
+        answered_by,
+        budget_exhausted: res.components.iter().any(|c| c.budget_exhausted),
+        certk_stats: res.certk_stats(),
+        components: Some(res.components.len()),
     }
 }
 
@@ -187,6 +356,8 @@ mod tests {
         let ans = engine.certain(&db2(&[["a", "b"], ["b", "c"]]));
         assert!(ans.certain);
         assert_eq!(ans.answered_by, AnsweredBy::CertK);
+        assert!(ans.certk_stats.is_some());
+        assert_eq!(ans.components, None);
     }
 
     #[test]
@@ -199,6 +370,7 @@ mod tests {
         let ans = engine.certain(&db);
         assert!(ans.certain);
         assert_eq!(ans.answered_by, AnsweredBy::Combined);
+        assert_eq!(ans.components, Some(1));
     }
 
     #[test]
@@ -226,6 +398,79 @@ mod tests {
                 engine.certain(db).certain,
                 certain_brute(engine.query(), db)
             );
+        }
+    }
+
+    /// A small multi-component q3 database: one certain chain, one
+    /// falsifiable contested chain, one isolated self-loop.
+    fn multi_component_db() -> Database {
+        db2(&[
+            ["a", "b"],
+            ["b", "c"],
+            ["p", "q"],
+            ["p", "x"],
+            ["q", "r"],
+            ["z", "z"],
+        ])
+    }
+
+    #[test]
+    fn forced_component_route_agrees_with_literal() {
+        let db = multi_component_db();
+        let literal = CqaEngine::with_config(
+            examples::q3(),
+            EngineConfig::default().with_route(RoutePolicy::Literal),
+        );
+        let component = CqaEngine::with_config(
+            examples::q3(),
+            EngineConfig::default().with_route(RoutePolicy::Component),
+        );
+        let la = literal.certain(&db);
+        let ca = component.certain(&db);
+        assert_eq!(la.answered_by, AnsweredBy::CertK);
+        assert_eq!(ca.answered_by, AnsweredBy::ComponentCertK);
+        assert_eq!(la.certain, ca.certain);
+        assert_eq!(ca.components, Some(3));
+        assert!(ca.certk_stats.is_some());
+        assert_eq!(la.certain, certain_brute(literal.query(), &db));
+    }
+
+    #[test]
+    fn auto_route_takes_component_path_on_fragmented_databases() {
+        // Lower the thresholds so the small test instance counts as
+        // "large and fragmented".
+        let mut config = EngineConfig::default();
+        config.routing.min_facts = 4;
+        config.routing.min_components = 2;
+        let engine = CqaEngine::with_config(examples::q3(), config);
+        let ans = engine.certain(&multi_component_db());
+        assert_eq!(ans.answered_by, AnsweredBy::ComponentCertK);
+        assert!(ans.certain);
+
+        // Below the fact threshold the literal path answers.
+        let small = engine.certain(&db2(&[["a", "b"], ["b", "c"]]));
+        assert_eq!(small.answered_by, AnsweredBy::CertK);
+
+        // Above the fact threshold but unfragmented: literal too.
+        let mut config = EngineConfig::default();
+        config.routing.min_facts = 2;
+        config.routing.min_components = 2;
+        let engine = CqaEngine::with_config(examples::q3(), config);
+        let chain = engine.certain(&db2(&[["a", "b"], ["b", "c"], ["c", "d"]]));
+        assert_eq!(chain.answered_by, AnsweredBy::CertK);
+    }
+
+    #[test]
+    fn auto_route_never_moves_trivial_queries() {
+        // q4 = R(x|y) R(x|z) is answered by its seeds; even a permissive
+        // Auto config keeps it on the literal path.
+        let mut config = EngineConfig::default();
+        config.routing.min_facts = 1;
+        config.routing.min_components = 1;
+        let engine = CqaEngine::with_config(examples::q4(), config);
+        if engine.classification().complexity == Complexity::Trivial {
+            let ans = engine.certain(&db2(&[["a", "b"], ["c", "d"]]));
+            assert_eq!(ans.answered_by, AnsweredBy::Trivial);
         }
     }
 }

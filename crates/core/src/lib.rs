@@ -45,7 +45,7 @@ mod engine;
 pub use classify::{
     classify, classify_with, Classification, ClassificationRule, Complexity, Confidence,
 };
-pub use engine::{AnsweredBy, CertainAnswer, CqaEngine, EngineConfig};
+pub use engine::{AnsweredBy, CertainAnswer, CqaEngine, EngineConfig, RoutePolicy, RoutingConfig};
 
 // Substrate re-exports for downstream users of the facade crate.
 pub use cqa_model as model;

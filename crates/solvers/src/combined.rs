@@ -15,8 +15,10 @@
 //! configuration regardless of the thread count, and verdicts are emitted
 //! in component order, so the result is identical across thread counts.
 
-use crate::certk::{certk_view, certk_with_solutions, CertKConfig, CertKOutcome};
-use crate::components::q_connected_components_with_solutions;
+use crate::certk::{
+    certk_view_with_stats, certk_with_solutions, CertKConfig, CertKOutcome, CertKStats,
+};
+use crate::components::{q_connected_components_with_solutions, Component};
 use crate::matching::{analyze_view, analyze_with_solutions};
 use crate::SolutionSet;
 use cqa_model::Database;
@@ -42,6 +44,9 @@ pub struct ComponentVerdict {
     pub certain: bool,
     /// Did `Cert_k` hit its budget (conservatively treated as "no")?
     pub budget_exhausted: bool,
+    /// Fixpoint statistics, when the component ran `Cert_k` (matching-
+    /// decided components have none).
+    pub stats: Option<CertKStats>,
 }
 
 /// Result of the combined solver.
@@ -53,34 +58,94 @@ pub struct CombinedResult {
     pub components: Vec<ComponentVerdict>,
 }
 
+impl CombinedResult {
+    /// Aggregated `Cert_k` statistics over all components that ran the
+    /// fixpoint (sums; `peak_members` is the max), or `None` when every
+    /// component was matching-decided.
+    pub fn certk_stats(&self) -> Option<CertKStats> {
+        let mut acc: Option<CertKStats> = None;
+        for v in &self.components {
+            if let Some(s) = &v.stats {
+                acc.get_or_insert_with(CertKStats::default).absorb(s);
+            }
+        }
+        acc
+    }
+}
+
 /// Decide `certain(q)` via the Theorem 10.5 / Proposition 10.6 combination.
 /// Complete for 2way-determined queries without fork-tripaths; sound (an
 /// under-approximation) for every 2way-determined query.
 pub fn certain_combined(q: &Query, db: &Database, cfg: CertKConfig) -> CombinedResult {
     let solutions = SolutionSet::enumerate(q, db);
     let comps = q_connected_components_with_solutions(q, db, &solutions);
-    // Each component is a copy-free view of `db`, and `solutions`
-    // restricted to a component's facts is exactly that component's
-    // solution set — so nothing is re-enumerated or restrict-copied per
-    // component (the former Database::restrict materialisation was the
-    // measured ~2.8× overhead over the literal solver; see BASELINES.md).
-    let verdicts = minipool::par_map(cfg.threads, &comps, |comp| {
-        let analysis = analyze_view(q, &comp.view, &solutions);
+    certain_combined_over(q, &comps, &solutions, cfg)
+}
+
+/// [`certain_combined`] with a pre-computed solution set and component
+/// partition — the engine's routing path computes both to make its
+/// decision and hands them on unchanged.
+pub fn certain_combined_over(
+    q: &Query,
+    comps: &[Component<'_>],
+    solutions: &SolutionSet,
+    cfg: CertKConfig,
+) -> CombinedResult {
+    // Each component is a copy-free view of the parent database, and
+    // `solutions` restricted to a component's facts is exactly that
+    // component's solution set — so nothing is re-enumerated or
+    // restrict-copied per component (the former Database::restrict
+    // materialisation was the measured ~2.8× overhead over the literal
+    // solver; see BASELINES.md).
+    let verdicts = minipool::par_map(cfg.threads, comps, |comp| {
+        let analysis = analyze_view(q, &comp.view, solutions);
         if analysis.is_clique_database {
             ComponentVerdict {
                 size: comp.len(),
                 decided_by: DecidedBy::Matching,
                 certain: !analysis.accepts,
                 budget_exhausted: false,
+                stats: None,
             }
         } else {
-            let out = certk_view(q, &comp.view, &solutions, cfg);
+            let (out, stats) = certk_view_with_stats(q, &comp.view, solutions, cfg);
             ComponentVerdict {
                 size: comp.len(),
                 decided_by: DecidedBy::CertK,
                 certain: out.is_certain(),
                 budget_exhausted: out == CertKOutcome::BudgetExhausted,
+                stats: Some(stats),
             }
+        }
+    });
+    CombinedResult {
+        certain: verdicts.iter().any(|v| v.certain),
+        components: verdicts,
+    }
+}
+
+/// Per-component `Cert_k` **without** the matching shortcut: every
+/// component is decided by the fixpoint, in parallel when `cfg.threads`
+/// allows. This is the engine's routing path for the query classes where
+/// `Cert_k` alone is exact (Theorems 6.1 / 8.1): by Proposition 10.6 the
+/// database is certain iff some q-connected component is, and `Cert_k` is
+/// exact on each component, so the verdict provably coincides with
+/// whole-database `Cert_k` — unlike [`certain_combined`], whose
+/// `¬matching` branch is only justified for 2way-determined queries.
+pub fn certk_by_components(
+    q: &Query,
+    comps: &[Component<'_>],
+    solutions: &SolutionSet,
+    cfg: CertKConfig,
+) -> CombinedResult {
+    let verdicts = minipool::par_map(cfg.threads, comps, |comp| {
+        let (out, stats) = certk_view_with_stats(q, &comp.view, solutions, cfg);
+        ComponentVerdict {
+            size: comp.len(),
+            decided_by: DecidedBy::CertK,
+            certain: out.is_certain(),
+            budget_exhausted: out == CertKOutcome::BudgetExhausted,
+            stats: Some(stats),
         }
     });
     CombinedResult {
@@ -161,6 +226,41 @@ mod tests {
         assert!(res.certain);
         assert_eq!(res.components.len(), 2);
         assert!(certain_brute(&examples::q6(), &db));
+    }
+
+    #[test]
+    fn certk_by_components_matches_whole_database_certk() {
+        // The routing path: per-component Cert_2 must agree with the
+        // literal whole-database fixpoint on q3 instances (Prop 10.6 +
+        // Theorem 6.1), and with brute force.
+        let q3 = examples::q3();
+        let mut db = cqa_model::Database::new(Signature::new(2, 1).unwrap());
+        for row in [
+            // certain chain component
+            ["a", "b"],
+            ["b", "c"],
+            // falsifiable component (contested block with an escape)
+            ["p", "q"],
+            ["p", "x"],
+            ["q", "r"],
+            // isolated certain self-loop
+            ["z", "z"],
+        ] {
+            db.insert(Fact::from_names(row)).unwrap();
+        }
+        let cfg = CertKConfig::new(2);
+        let solutions = crate::SolutionSet::enumerate(&q3, &db);
+        let comps = crate::components::q_connected_components_with_solutions(&q3, &db, &solutions);
+        let routed = certk_by_components(&q3, &comps, &solutions, cfg);
+        let literal = crate::certk::certk(&q3, &db, cfg);
+        assert_eq!(routed.certain, literal.is_certain());
+        assert_eq!(routed.certain, certain_brute(&q3, &db));
+        assert_eq!(routed.components.len(), comps.len());
+        assert!(routed
+            .components
+            .iter()
+            .all(|v| v.decided_by == DecidedBy::CertK && v.stats.is_some()));
+        assert!(routed.certk_stats().is_some());
     }
 
     #[test]

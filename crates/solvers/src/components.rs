@@ -70,10 +70,7 @@ pub fn q_connected_components_with_solutions<'a>(
     db: &'a Database,
     solutions: &SolutionSet,
 ) -> Vec<Component<'a>> {
-    let mut uf = UnionFind::new(db.block_count());
-    for &(a, b) in solutions.pairs() {
-        uf.union(db.block_of(a).idx(), db.block_of(b).idx());
-    }
+    let mut uf = block_union_find(db, solutions);
     uf.groups()
         .into_iter()
         .map(|block_group| Component {
@@ -84,6 +81,46 @@ pub fn q_connected_components_with_solutions<'a>(
             ),
         })
         .collect()
+}
+
+/// The q-connected partition, materialised only when it splits into at
+/// least `min_components` components; `None` otherwise. One union-find
+/// pass either way — the engine's `Auto` routing heuristic uses this so
+/// a large single-component database never pays for views it would
+/// immediately discard, and a fragmented one never runs union-find
+/// twice.
+pub fn q_connected_components_if_fragmented<'a>(
+    _q: &Query,
+    db: &'a Database,
+    solutions: &SolutionSet,
+    min_components: usize,
+) -> Option<Vec<Component<'a>>> {
+    let mut uf = block_union_find(db, solutions);
+    let count = (0..db.block_count()).filter(|&b| uf.find(b) == b).count();
+    if count < min_components {
+        return None;
+    }
+    Some(
+        uf.groups()
+            .into_iter()
+            .map(|block_group| Component {
+                view: db.view_of_blocks(
+                    block_group
+                        .into_iter()
+                        .map(|bi| cqa_model::BlockId(bi as u32)),
+                ),
+            })
+            .collect(),
+    )
+}
+
+/// Union-find over blocks joined by solution edges.
+fn block_union_find(db: &Database, solutions: &SolutionSet) -> UnionFind {
+    let mut uf = UnionFind::new(db.block_count());
+    for &(a, b) in solutions.pairs() {
+        uf.union(db.block_of(a).idx(), db.block_of(b).idx());
+    }
+    uf
 }
 
 #[cfg(test)]

@@ -35,10 +35,13 @@ pub use brute::{
     certain_brute, certain_brute_budgeted, certain_brute_parallel, certain_exhaustive, BruteOutcome,
 };
 pub use certk::{
-    cert2, certk, certk_view, certk_view_with_stats, certk_with_stats, CertKConfig, CertKOutcome,
-    CertKStats,
+    cert2, certk, certk_view, certk_view_with_stats, certk_with_stats, Antichain, CertKConfig,
+    CertKOutcome, CertKStats,
 };
-pub use combined::{certain_combined, certain_thm105_literal, CombinedResult, DecidedBy};
+pub use combined::{
+    certain_combined, certain_combined_over, certain_thm105_literal, certk_by_components,
+    CombinedResult, DecidedBy,
+};
 pub use components::{q_connected_components, Component};
 pub use matching::{
     analyze_view, certain_by_matching, is_clique_database, matching_accepts, MatchingAnalysis,

@@ -28,6 +28,11 @@
 //! to stream the fact-file format (see `docs/FORMAT.md`) to any
 //! [`std::io::Write`] without materialising a database at all.
 //!
+//! The chain family above keeps blocks narrow; the **contested** family
+//! ([`ContestedWorkloadConfig`] / [`large_contested_q3_db`] /
+//! [`write_large_contested_q3`]) instead builds wide shared-block funnels
+//! — the `Cert_k` antichain stress shape — at arbitrary scale.
+//!
 //! [`q3_chain_db`]: crate::q3_chain_db
 //! [`q3_escape_db`]: crate::q3_escape_db
 
@@ -239,6 +244,138 @@ pub fn write_large_q3<W: Write>(
     Ok(stats)
 }
 
+/// Parameters for the **contested** large family: clusters shaped like
+/// [`q3_certain_db`](crate::q3_certain_db) — `width` two-fact blocks all
+/// funnelling into one shared hub/tail pair, every repair satisfying
+/// `q3` — so antichain membership lists over the shared blocks grow with
+/// `width`. This is the `Cert_k` stress shape: the wider the funnel, the
+/// harder a naive fact-keyed antichain index degrades (see the
+/// `cert2_q3/contested` series in `BASELINES.md`).
+///
+/// Generation is deterministic (no RNG: the shape is fixed by `facts` and
+/// `width`) and chunk-parallel like the chain family; the output never
+/// depends on `threads`.
+#[derive(Clone, Copy, Debug)]
+pub struct ContestedWorkloadConfig {
+    /// Target total fact count. Whole clusters round it: each cluster has
+    /// `2·width + 2` facts.
+    pub facts: usize,
+    /// Contested two-fact blocks per cluster (`≥ 1`).
+    pub width: usize,
+    /// Construction fan-out (`1` = sequential). Never affects the
+    /// generated facts.
+    pub threads: usize,
+}
+
+impl ContestedWorkloadConfig {
+    /// A config targeting `facts` total facts with the given funnel width.
+    pub fn new(facts: usize, width: usize) -> ContestedWorkloadConfig {
+        ContestedWorkloadConfig {
+            facts,
+            width,
+            threads: minipool::max_threads(),
+        }
+    }
+
+    /// Number of clusters generated: `facts` divided by the per-cluster
+    /// fact count `2·width + 2` (at least 1).
+    pub fn cluster_count(&self) -> usize {
+        let per_cluster = 2 * self.width + 2;
+        ((self.facts as f64 / per_cluster as f64).round() as usize).max(1)
+    }
+
+    fn validate(&self) {
+        assert!(self.facts >= 1, "facts must be at least 1");
+        assert!(self.width >= 1, "funnel width must be at least 1");
+    }
+}
+
+/// One contested cluster: `R(tail | sink)`, `R(hub | tail)`, and for each
+/// `i < width` the contested block `{R(wᵢ | tail), R(wᵢ | hub)}` — both
+/// choices reach a satisfied tail, so the cluster is certain for `q3`.
+fn contested_cluster_facts(c: usize, width: usize) -> Vec<Fact> {
+    let hub = Elem::named(format!("c{c}h"));
+    let tail = Elem::named(format!("c{c}t"));
+    let sink = Elem::named(format!("c{c}s"));
+    let mut out = Vec::with_capacity(2 * width + 2);
+    out.push(Fact::r(vec![tail, sink]));
+    out.push(Fact::r(vec![hub, tail]));
+    for i in 0..width {
+        let w = Elem::named(format!("c{c}w{i}"));
+        out.push(Fact::r(vec![w, tail]));
+        out.push(Fact::r(vec![w, hub]));
+    }
+    out
+}
+
+/// Build the contested workload in memory (chunk-parallel interning, fact
+/// set independent of the thread count).
+pub fn large_contested_q3_db(cfg: &ContestedWorkloadConfig) -> Database {
+    cfg.validate();
+    let m = cfg.cluster_count();
+    let ranges = chunk_ranges(m, cfg.threads);
+    let chunks: Vec<Vec<Fact>> = minipool::par_map(cfg.threads, &ranges, |range| {
+        let mut facts = Vec::new();
+        for c in range.clone() {
+            facts.extend(contested_cluster_facts(c, cfg.width));
+        }
+        facts
+    });
+    let mut db = Database::new(Signature::new(2, 1).expect("q3 signature"));
+    for chunk in chunks {
+        for f in chunk {
+            db.insert(f).expect("generated facts share the signature");
+        }
+    }
+    db
+}
+
+/// Stream the contested workload to `w` in the fact-file format without
+/// building a [`Database`] — same batched parallel rendering as
+/// [`write_large_q3`], byte-identical at every thread count.
+pub fn write_large_contested_q3<W: Write>(
+    cfg: &ContestedWorkloadConfig,
+    w: &mut W,
+) -> io::Result<LargeWorkloadStats> {
+    cfg.validate();
+    let m = cfg.cluster_count();
+    writeln!(
+        w,
+        "# cqa contested-q3 workload: facts~{} width={}",
+        cfg.facts, cfg.width
+    )?;
+    let mut stats = LargeWorkloadStats {
+        facts: 0,
+        blocks: m * (cfg.width + 2),
+        components: m,
+        conflicted_blocks: 0,
+    };
+    let ranges = chunk_ranges(m, cfg.threads);
+    for batch in ranges.chunks((cfg.threads.max(1) * 2).max(1)) {
+        let rendered: Vec<(String, usize, usize)> =
+            minipool::par_map(cfg.threads, batch, |range| {
+                let mut text = String::new();
+                let mut facts = 0usize;
+                let mut conflicted = 0usize;
+                for c in range.clone() {
+                    for f in contested_cluster_facts(c, cfg.width) {
+                        use std::fmt::Write as _;
+                        let _ = writeln!(text, "R({} | {})", f.at(0), f.at(1));
+                        facts += 1;
+                    }
+                    conflicted += cfg.width;
+                }
+                (text, facts, conflicted)
+            });
+        for (text, facts, conflicted) in rendered {
+            w.write_all(text.as_bytes())?;
+            stats.facts += facts;
+            stats.conflicted_blocks += conflicted;
+        }
+    }
+    Ok(stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +475,57 @@ mod tests {
         let db = large_q3_db(&cfg);
         let comps = cqa_solvers::q_connected_components(&examples::q3(), &db);
         assert_eq!(comps.len(), cfg.component_count());
+    }
+
+    #[test]
+    fn contested_clusters_are_certain_components() {
+        let cfg = ContestedWorkloadConfig {
+            threads: 2,
+            ..ContestedWorkloadConfig::new(500, 10)
+        };
+        let db = large_contested_q3_db(&cfg);
+        let m = cfg.cluster_count();
+        assert_eq!(db.len(), m * (2 * cfg.width + 2));
+        assert_eq!(db.block_count(), m * (cfg.width + 2));
+        let q3 = examples::q3();
+        let comps = cqa_solvers::q_connected_components(&q3, &db);
+        assert_eq!(comps.len(), m, "one q-connected component per cluster");
+        // Every cluster is certain, so the whole database is.
+        assert!(cqa_solvers::cert2(&q3, &db).is_certain());
+        let combined = cqa_solvers::certain_combined(&q3, &db, CertKConfig::new(2).with_threads(2));
+        assert!(combined.certain);
+        assert!(combined.components.iter().all(|v| v.certain));
+    }
+
+    #[test]
+    fn contested_stream_matches_in_memory_database() {
+        let cfg = ContestedWorkloadConfig {
+            threads: 3,
+            ..ContestedWorkloadConfig::new(300, 7)
+        };
+        let db = large_contested_q3_db(&cfg);
+        let mut buf = Vec::new();
+        let stats = write_large_contested_q3(&cfg, &mut buf).unwrap();
+        assert_eq!(stats.facts, db.len());
+        assert_eq!(stats.blocks, db.block_count());
+        assert_eq!(stats.components, cfg.cluster_count());
+        assert_eq!(stats.conflicted_blocks, cfg.cluster_count() * cfg.width);
+        let text = String::from_utf8(buf).unwrap();
+        let lines = text.lines().filter(|l| !l.starts_with('#')).count();
+        assert_eq!(lines, db.len());
+        // Byte-identical across thread counts.
+        for threads in [1usize, 5] {
+            let mut other = Vec::new();
+            write_large_contested_q3(&ContestedWorkloadConfig { threads, ..cfg }, &mut other)
+                .unwrap();
+            assert_eq!(String::from_utf8(other).unwrap(), text);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "funnel width")]
+    fn contested_rejects_zero_width() {
+        let _ = large_contested_q3_db(&ContestedWorkloadConfig::new(100, 0));
     }
 
     #[test]

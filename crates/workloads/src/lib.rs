@@ -21,7 +21,10 @@
 
 pub mod large;
 
-pub use large::{large_q3_db, write_large_q3, LargeWorkloadConfig, LargeWorkloadStats};
+pub use large::{
+    large_contested_q3_db, large_q3_db, write_large_contested_q3, write_large_q3,
+    ContestedWorkloadConfig, LargeWorkloadConfig, LargeWorkloadStats,
+};
 
 use cqa_model::{Database, Elem, Fact, Signature};
 use cqa_query::Query;
