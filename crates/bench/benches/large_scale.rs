@@ -21,11 +21,23 @@
 //!   ([`large_contested_q3_db`], funnel width 1000) through both routes:
 //!   the antichain stress shape at scale.
 //!
+//! Two PR 5 additions:
+//!
+//! * `early_exit_contested_q3` — the component route with and without
+//!   `EngineConfig::with_early_exit` on certain-heavy contested
+//!   workloads (certain fractions 1.0 and 0.5); verdicts asserted equal
+//!   before timing, per-component evidence is what early exit trades
+//!   away.
+//! * `batch_amortization` — one `CqaSession` answering a 5-query mix
+//!   after a single streaming load vs 5 cold invocations (each
+//!   re-streaming the fact text and re-analysing the database), the
+//!   `cqa batch` vs N × `cqa certain` comparison in library form.
+//!
 //! Recorded medians live in `BASELINES.md`.
 
 use cqa::solvers::{certain_combined, CertKConfig};
-use cqa::{AnsweredBy, CqaEngine, EngineConfig, RoutePolicy};
-use cqa_query::examples;
+use cqa::{AnsweredBy, CqaEngine, CqaSession, EngineConfig, RoutePolicy};
+use cqa_query::{examples, parse_query};
 use cqa_workloads::{
     large_contested_q3_db, large_q3_db, write_large_q3, ContestedWorkloadConfig,
     LargeWorkloadConfig,
@@ -135,5 +147,115 @@ fn bench_routing(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_large_scale, bench_routing);
+/// Deterministic vs cancel-on-first-certain component fan-out on
+/// certain-heavy contested workloads. Both engines force the component
+/// route so the comparison isolates the early exit; verdicts are
+/// asserted equal before timing (the tentpole's safety property — the
+/// proptests check it on random databases, this checks it at scale).
+fn bench_early_exit(c: &mut Criterion) {
+    let deterministic = CqaEngine::with_config(
+        examples::q3(),
+        EngineConfig::default().with_route(RoutePolicy::Component),
+    );
+    let eager = CqaEngine::with_config(
+        examples::q3(),
+        EngineConfig::default()
+            .with_route(RoutePolicy::Component)
+            .with_early_exit(true),
+    );
+    let mut g = c.benchmark_group("early_exit_contested_q3");
+    g.sample_size(10);
+    for (fraction, label) in [(1.0f64, "all-certain"), (0.5, "half-certain")] {
+        let cfg = ContestedWorkloadConfig::new(100_000, 100).with_certain_fraction(fraction);
+        let db = large_contested_q3_db(&cfg);
+        let det = deterministic.certain(&db);
+        let eag = eager.certain(&db);
+        assert_eq!(det.certain, eag.certain, "early exit moved the verdict");
+        assert!(det.certain, "a certain-heavy workload must stay certain");
+        assert_eq!(det.skipped_components, Some(0));
+        g.throughput(Throughput::Elements(db.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new(format!("deterministic-{label}"), db.len()),
+            &db,
+            |b, db| b.iter(|| std::hint::black_box(deterministic.certain(db).certain)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new(format!("early-exit-{label}"), db.len()),
+            &db,
+            |b, db| b.iter(|| std::hint::black_box(eager.certain(db).certain)),
+        );
+    }
+    g.finish();
+}
+
+/// One session (load once, analyse each distinct query once) vs N cold
+/// invocations (stream-parse + analyse per query) on the same 5-query
+/// mix — `cqa batch` vs N × `cqa certain` without the process spawns.
+fn bench_batch_amortization(c: &mut Criterion) {
+    let queries: Vec<_> = [
+        "R(x | y) R(y | z)",
+        "R(x | y) R(z | y)",
+        "R(x | y) R(y | x)",
+        "R(x | y) R(y | z)", // repeat: the session's cache hit
+        "R(x | y) R(x | z)",
+    ]
+    .iter()
+    .map(|q| parse_query(q).expect("bench queries parse"))
+    .collect();
+    let mut g = c.benchmark_group("batch_amortization");
+    g.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let mut text = Vec::new();
+        write_large_q3(&cfg_for(n), &mut text).expect("render fact text");
+        let text = String::from_utf8(text).expect("fact text is UTF-8");
+        let load = || cqa_cli::dbfmt::parse_database(&text).expect("generated text parses");
+        let db = load();
+        // Parity check before timing: session answers equal cold answers.
+        {
+            let mut session = CqaSession::new(&db, EngineConfig::default());
+            for q in &queries {
+                let cold = CqaEngine::new(q.clone()).certain(&db);
+                assert_eq!(session.certain(q).certain, cold.certain, "{}", q.display());
+            }
+        }
+        g.throughput(Throughput::Elements(db.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("cold-5-invocations", db.len()),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    let mut verdicts = Vec::with_capacity(queries.len());
+                    for q in queries {
+                        let db = load();
+                        let engine = CqaEngine::new(q.clone());
+                        verdicts.push(engine.certain(&db).certain);
+                    }
+                    std::hint::black_box(verdicts)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("session-5-queries", db.len()),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    let db = load();
+                    let mut session = CqaSession::new(&db, EngineConfig::default());
+                    let verdicts: Vec<bool> =
+                        queries.iter().map(|q| session.certain(q).certain).collect();
+                    std::hint::black_box(verdicts)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_large_scale,
+    bench_routing,
+    bench_early_exit,
+    bench_batch_amortization
+);
 criterion_main!(benches);

@@ -32,6 +32,18 @@ use std::io::BufRead;
 /// files can legally hold very long lines; errors should stay bounded).
 const ERROR_TEXT_MAX: usize = 120;
 
+/// An offending line bounded for an error message: the first
+/// [`ERROR_TEXT_MAX`] characters, with `…` marking a cut. Shared by the
+/// fact-file loader and the batch queries-file loader so both report
+/// positions the same way.
+pub(crate) fn truncate_error_text(line: &str) -> String {
+    let mut text: String = line.chars().take(ERROR_TEXT_MAX).collect();
+    if text.len() < line.len() {
+        text.push('…');
+    }
+    text
+}
+
 /// A parse failure with position information.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DbFmtError {
@@ -200,14 +212,10 @@ impl StreamingDbParser {
     }
 
     fn error(&self, stripped: &str, message: impl Into<String>) -> DbFmtError {
-        let mut text: String = stripped.chars().take(ERROR_TEXT_MAX).collect();
-        if text.len() < stripped.len() {
-            text.push('…');
-        }
         DbFmtError {
             line: self.line,
             offset: self.offset,
-            text,
+            text: truncate_error_text(stripped),
             message: message.into(),
         }
     }

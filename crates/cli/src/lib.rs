@@ -4,6 +4,7 @@
 //! cqa classify "R(x u | x y) R(u y | x z)"
 //! cqa certain  "R(x | y) R(y | z)" employees.facts
 //! cqa falsify  "R(x | y) R(y | z)" employees.facts
+//! cqa batch    employees.facts queries.txt
 //! cqa generate --facts 1000000 huge.facts
 //! cqa gadget   "R(x u | x y) R(u y | x z)" formula.cnf
 //! cqa solve    formula.cnf
@@ -16,13 +17,16 @@
 //! [`dbfmt::read_database`] — `certain` on a million-line file never
 //! buffers the file in memory — and `generate` writes workloads of
 //! arbitrary size with the concurrent generators of `cqa-workloads`.
+//! `batch` answers a whole queries file (one query per line; see
+//! `docs/FORMAT.md`) against one database through a [`cqa::CqaSession`],
+//! loading and analysing the database once instead of once per query.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dbfmt;
 
-use cqa::{classify, AnsweredBy, Complexity, Confidence, CqaEngine, RoutePolicy};
+use cqa::{classify, AnsweredBy, Complexity, Confidence, CqaEngine, CqaSession, RoutePolicy};
 use cqa_model::Database;
 use cqa_query::parse_query;
 use cqa_sat::{parse_dimacs, solve, to_occ3_normal_form, SatResult};
@@ -173,14 +177,14 @@ pub fn take_route_flag<'a>(
     Ok((rest, route))
 }
 
-/// Strip a boolean `--stats` flag (`certain`/`falsify`): when present the
-/// command writes a solver-statistics summary to stderr.
-pub fn take_stats_flag<'a>(args: &[&'a str]) -> (Vec<&'a str>, bool) {
+/// Strip a valueless boolean flag from an argument list, reporting
+/// whether it occurred.
+fn take_bool_flag<'a>(args: &[&'a str], flag: &str) -> (Vec<&'a str>, bool) {
     let mut want = false;
     let rest = args
         .iter()
         .filter(|&&a| {
-            if a == "--stats" {
+            if a == flag {
                 want = true;
                 false
             } else {
@@ -190,6 +194,20 @@ pub fn take_stats_flag<'a>(args: &[&'a str]) -> (Vec<&'a str>, bool) {
         .copied()
         .collect();
     (rest, want)
+}
+
+/// Strip a boolean `--stats` flag (`certain`/`falsify`/`batch`): when
+/// present the command writes a solver-statistics summary to stderr.
+pub fn take_stats_flag<'a>(args: &[&'a str]) -> (Vec<&'a str>, bool) {
+    take_bool_flag(args, "--stats")
+}
+
+/// Strip a boolean `--early-exit` flag (`certain`/`batch`): opt into the
+/// cancel-on-first-certain component fan-out
+/// ([`cqa::EngineConfig::with_early_exit`]). The verdict is unchanged;
+/// per-component evidence (and `--stats` counters) becomes partial.
+pub fn take_early_exit_flag<'a>(args: &[&'a str]) -> (Vec<&'a str>, bool) {
+    take_bool_flag(args, "--early-exit")
 }
 
 /// Stream-load a fact file from disk ([`dbfmt::read_database`]; the file
@@ -205,16 +223,19 @@ pub fn load_db_file(path: &str) -> Result<Database, CliError> {
     })
 }
 
-/// `cqa certain <query> <db-file> [--threads N] [--route R] [--stats]`:
-/// evaluate `certain(q)` on a (stream-loaded) database. `threads` caps the
-/// per-component solver fan-out (`None` = available parallelism); `route`
-/// overrides the engine's literal-vs-component heuristic; with
-/// `want_stats` a solver-statistics summary goes to stderr.
+/// `cqa certain <query> <db-file> [--threads N] [--route R] [--early-exit]
+/// [--stats]`: evaluate `certain(q)` on a (stream-loaded) database.
+/// `threads` caps the per-component solver fan-out (`None` = available
+/// parallelism); `route` overrides the engine's literal-vs-component
+/// heuristic; `early_exit` opts into cancel-on-first-certain (identical
+/// verdict, partial per-component evidence); with `want_stats` a
+/// solver-statistics summary goes to stderr.
 pub fn cmd_certain(
     query: &str,
     db: &Database,
     threads: Option<usize>,
     route: Option<RoutePolicy>,
+    early_exit: bool,
     want_stats: bool,
 ) -> Result<CmdOut, CliError> {
     let q = parse_query(query).map_err(|e| CliError::new(e.to_string()))?;
@@ -232,6 +253,7 @@ pub fn cmd_certain(
     if let Some(policy) = route {
         config = config.with_route(policy);
     }
+    config = config.with_early_exit(early_exit);
     let engine = CqaEngine::with_config(q, config);
     let started = std::time::Instant::now();
     let ans = engine.certain(db);
@@ -265,6 +287,15 @@ pub fn cmd_certain(
         if let Some(c) = ans.components {
             let _ = writeln!(err, "stats: components={c}");
         }
+        if early_exit {
+            let skipped = ans.skipped_components.unwrap_or(0);
+            let note = if skipped > 0 {
+                "early exit; per-component evidence is partial"
+            } else {
+                "early exit enabled; evidence complete"
+            };
+            let _ = writeln!(err, "stats: components-skipped={skipped} ({note})");
+        }
         if let Some(s) = ans.certk_stats {
             let _ = writeln!(
                 err,
@@ -283,6 +314,112 @@ pub fn cmd_certain(
             );
         }
         let _ = writeln!(err, "stats: solve-ms={solve_ms}");
+    }
+    Ok(CmdOut {
+        stdout: out,
+        stderr: err,
+    })
+}
+
+/// `cqa batch <db-file> <queries-file> [--threads N] [--route R]
+/// [--early-exit] [--stats]`: answer many queries against one
+/// stream-loaded database through a [`cqa::CqaSession`] — the database is
+/// analysed once per distinct query (classification, solution set,
+/// component partition) and repeats hit the cache, so N queries cost one
+/// load plus N solves instead of N cold invocations.
+///
+/// The queries file holds one query per line (`R(x | y) R(y | z)`);
+/// blank lines and `#` comments are skipped, and processing stops at the
+/// first malformed line with its line number, byte offset and text (the
+/// fact-file convention; full grammar in `docs/FORMAT.md`). Output is
+/// one verdict (`true`/`false`) per query line, in input order — exactly
+/// the `certain:` value `cqa certain` would print for that query. With
+/// `want_stats`, an aggregate summary goes to stderr.
+pub fn cmd_batch(
+    db: &Database,
+    queries_text: &str,
+    threads: Option<usize>,
+    route: Option<RoutePolicy>,
+    early_exit: bool,
+    want_stats: bool,
+) -> Result<CmdOut, CliError> {
+    let mut config = cqa::EngineConfig::default();
+    if let Some(n) = threads {
+        config = config.with_threads(n);
+    }
+    if let Some(policy) = route {
+        config = config.with_route(policy);
+    }
+    config = config.with_early_exit(early_exit);
+    let mut session = CqaSession::new(db, config);
+    let mut out = String::new();
+    let mut skipped_total = 0usize;
+    let started = std::time::Instant::now();
+    let mut offset = 0usize;
+    for (idx, raw) in queries_text.split_inclusive('\n').enumerate() {
+        let line_no = idx + 1;
+        let line_start = offset;
+        offset += raw.len();
+        let line = raw.strip_suffix('\n').unwrap_or(raw);
+        let line = line.strip_suffix('\r').unwrap_or(line);
+        let text = match line.find('#') {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        let text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let err_at = |msg: String| {
+            CliError::new(format!(
+                "queries line {line_no} (byte offset {line_start}): {msg}\n  | {}",
+                dbfmt::truncate_error_text(line)
+            ))
+        };
+        let q = parse_query(text).map_err(|e| err_at(e.to_string()))?;
+        if db.signature() != q.signature() {
+            return Err(err_at(format!(
+                "query signature {} does not match database signature {}",
+                q.signature(),
+                db.signature()
+            )));
+        }
+        let ans = session.certain(&q);
+        skipped_total += ans.skipped_components.unwrap_or(0);
+        let _ = writeln!(out, "{}", ans.certain);
+    }
+    let solve_ms = started.elapsed().as_millis();
+    let stats = session.stats();
+    if stats.queries == 0 {
+        return Err(CliError::new(
+            "queries file holds no queries (empty, blank or comment-only)",
+        ));
+    }
+    let mut err = String::new();
+    if want_stats {
+        let _ = writeln!(
+            err,
+            "stats: batch queries={} distinct={} cache-hits={}",
+            stats.queries, stats.distinct_queries, stats.cache_hits
+        );
+        let _ = writeln!(
+            err,
+            "stats: batch database facts={} blocks={}",
+            db.len(),
+            db.block_count()
+        );
+        if early_exit {
+            let note = if skipped_total > 0 {
+                "early exit; per-component evidence is partial"
+            } else {
+                "early exit enabled; evidence complete"
+            };
+            let _ = writeln!(
+                err,
+                "stats: batch components-skipped={skipped_total} ({note})"
+            );
+        }
+        let _ = writeln!(err, "stats: batch solve-ms={solve_ms}");
     }
     Ok(CmdOut {
         stdout: out,
@@ -343,7 +480,10 @@ pub fn cmd_falsify(
 /// `--chain-len L` (blocks per component, default 8), `--seed S`.
 /// `--contested-width W` selects the *contested* family instead — wide
 /// shared-block funnels of `W` contested blocks per cluster, the `Cert_k`
-/// stress shape — and is incompatible with the chain-family shape flags.
+/// stress shape — and is incompatible with the chain-family shape flags;
+/// `--certain-fraction F` (contested only, default 1.0) makes only that
+/// fraction of clusters certain (the rest falsifiable), the
+/// certain-heavy shape behind `--early-exit`.
 /// `threads` caps the construction fan-out; the file content never
 /// depends on it.
 pub fn cmd_generate(args: &[&str], threads: Option<usize>) -> Result<String, CliError> {
@@ -352,6 +492,7 @@ pub fn cmd_generate(args: &[&str], threads: Option<usize>) -> Result<String, Cli
         cfg.threads = n.max(1);
     }
     let mut contested_width: Option<usize> = None;
+    let mut certain_fraction: Option<f64> = None;
     let mut chain_shape_flags: Vec<&str> = Vec::new();
     let mut out_path: Option<&str> = None;
     let mut it = args.iter();
@@ -367,6 +508,17 @@ pub fn cmd_generate(args: &[&str], threads: Option<usize>) -> Result<String, Cli
             }
             "--contested-width" => {
                 contested_width = Some(parse_flag_num(a, flag_value(a)?)?);
+            }
+            "--certain-fraction" => {
+                let v = flag_value(a)?;
+                certain_fraction = Some(
+                    v.parse::<f64>()
+                        .ok()
+                        .filter(|r| (0.0..=1.0).contains(r))
+                        .ok_or_else(|| {
+                            CliError::new(format!("bad certain fraction {v:?} (want 0.0..=1.0)"))
+                        })?,
+                );
             }
             "--inconsistency" => {
                 let v = flag_value(a)?;
@@ -426,16 +578,23 @@ pub fn cmd_generate(args: &[&str], threads: Option<usize>) -> Result<String, Cli
         let contested = ContestedWorkloadConfig {
             facts: cfg.facts,
             width,
+            certain_fraction: certain_fraction.unwrap_or(1.0),
             threads: cfg.threads,
         };
         let stats = write_to_file(path, |w| write_large_contested_q3(&contested, w))?;
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "wrote {path}: {} facts, {} blocks, {} components ({} contested blocks, width {width})",
-            stats.facts, stats.blocks, stats.components, stats.conflicted_blocks
+            "wrote {path}: {} facts, {} blocks, {} components ({} contested blocks, width {width}, certain fraction {})",
+            stats.facts, stats.blocks, stats.components, stats.conflicted_blocks,
+            contested.certain_fraction
         );
         return Ok(out);
+    }
+    if certain_fraction.is_some() {
+        return Err(CliError::new(
+            "--certain-fraction only applies to the contested family (--contested-width)",
+        ));
     }
     if cfg.min_width < 2 || cfg.max_width < cfg.min_width || cfg.chain_len == 0 || cfg.facts == 0 {
         return Err(CliError::new(
@@ -515,27 +674,42 @@ pub fn usage() -> &'static str {
 
 USAGE:
   cqa classify \"<query>\"
-  cqa certain  \"<query>\" <db-file> [--threads N] [--route R] [--stats]
+  cqa certain  \"<query>\" <db-file> [--threads N] [--route R] [--early-exit]
+               [--stats]
   cqa falsify  \"<query>\" <db-file> [node-budget] [--threads N] [--stats]
+  cqa batch    <db-file> <queries-file> [--threads N] [--route R]
+               [--early-exit] [--stats]
   cqa generate [--facts N] [--inconsistency R] [--min-width A] [--max-width B]
-               [--chain-len L] [--seed S] [--contested-width W] [--threads N]
-               <out-file>
+               [--chain-len L] [--seed S] [--contested-width W]
+               [--certain-fraction F] [--threads N] <out-file>
   cqa gadget   \"<query>\" <dimacs-file>
   cqa solve    <dimacs-file>
 
 QUERY SYNTAX:     R(x u | x y) R(u y | x z)   (key positions before '|')
 DB FILE SYNTAX:   one fact per line, e.g.  R(alice | bob)   ('#' comments);
-                  full specification in docs/FORMAT.md. certain/falsify
+                  full specification in docs/FORMAT.md. certain/falsify/batch
                   stream the file line-at-a-time (any size).
+QUERIES FILE:     batch: one query per line, '#' comments, blank lines
+                  skipped; one true/false verdict per line on stdout.
+                  The database is loaded and analysed once (per-query
+                  session cache), so N queries cost far less than N
+                  single-shot runs. Spec in docs/FORMAT.md.
 OPTIONS:          --threads N   solver / generator threads
                                 (default: available parallelism; 1 = sequential)
-                  --route R     certain only: auto | literal | component —
+                  --route R     certain/batch: auto | literal | component —
                                 whole-database Cert_k vs per-component fan-out
                                 (default auto: component on large fragmented DBs)
-                  --stats       certain/falsify: solver statistics on stderr
+                  --early-exit  certain/batch: stop deciding components once
+                                one is certain (same verdict, partial
+                                per-component evidence)
+                  --stats       certain/falsify/batch: solver statistics
+                                on stderr
                   --contested-width W
                                 generate the contested (wide shared block)
                                 family instead of the chain family
+                  --certain-fraction F
+                                generate (contested only): fraction of
+                                certain clusters (default 1.0)
 "
 }
 
@@ -564,7 +738,7 @@ mod tests {
 
     #[test]
     fn certain_answers_on_fact_file() {
-        let out = cmd_certain(Q3, &db(DB), None, None, false).unwrap();
+        let out = cmd_certain(Q3, &db(DB), None, None, false, false).unwrap();
         assert!(out.stdout.contains("certain:     true"), "{}", out.stdout);
         assert!(out.stdout.contains("4 facts"), "{}", out.stdout);
         assert!(out.stderr.is_empty(), "no stats requested: {}", out.stderr);
@@ -572,8 +746,8 @@ mod tests {
 
     #[test]
     fn certain_same_answer_across_thread_counts() {
-        let seq = cmd_certain(Q3, &db(DB), Some(1), None, false).unwrap();
-        let par = cmd_certain(Q3, &db(DB), Some(4), None, false).unwrap();
+        let seq = cmd_certain(Q3, &db(DB), Some(1), None, false, false).unwrap();
+        let par = cmd_certain(Q3, &db(DB), Some(4), None, false, false).unwrap();
         assert_eq!(
             seq.stdout, par.stdout,
             "verdict must not depend on the thread count"
@@ -583,8 +757,9 @@ mod tests {
     #[test]
     fn certain_routes_agree_and_report_provenance() {
         let d = db(DB);
-        let literal = cmd_certain(Q3, &d, None, Some(RoutePolicy::Literal), false).unwrap();
-        let component = cmd_certain(Q3, &d, None, Some(RoutePolicy::Component), false).unwrap();
+        let literal = cmd_certain(Q3, &d, None, Some(RoutePolicy::Literal), false, false).unwrap();
+        let component =
+            cmd_certain(Q3, &d, None, Some(RoutePolicy::Component), false, false).unwrap();
         assert!(
             literal.stdout.contains("answered by: CertK"),
             "{}",
@@ -606,7 +781,7 @@ mod tests {
 
     #[test]
     fn certain_stats_summary_goes_to_stderr() {
-        let out = cmd_certain(Q3, &db(DB), None, None, true).unwrap();
+        let out = cmd_certain(Q3, &db(DB), None, None, false, true).unwrap();
         assert!(out.stdout.contains("certain:     true"), "{}", out.stdout);
         assert!(out.stderr.contains("stats: route="), "{}", out.stderr);
         assert!(
@@ -617,7 +792,8 @@ mod tests {
         assert!(out.stderr.contains("peak-live-members="), "{}", out.stderr);
         assert!(out.stderr.contains("blocks-derived="), "{}", out.stderr);
         // The forced component route also reports its component count.
-        let routed = cmd_certain(Q3, &db(DB), None, Some(RoutePolicy::Component), true).unwrap();
+        let routed =
+            cmd_certain(Q3, &db(DB), None, Some(RoutePolicy::Component), false, true).unwrap();
         assert!(
             routed.stderr.contains("stats: components="),
             "{}",
@@ -625,9 +801,127 @@ mod tests {
         );
     }
 
+    /// The `certain:` verdict value of a single-shot report.
+    fn verdict_of(out: &CmdOut) -> String {
+        out.stdout
+            .lines()
+            .find(|l| l.starts_with("certain:"))
+            .map(|l| l.trim_start_matches("certain:").trim().to_string())
+            .expect("report carries a certain: line")
+    }
+
+    #[test]
+    fn batch_matches_sequential_single_shot_invocations() {
+        let d = db(DB);
+        // Mixed queries over the [2, 1] signature, with repeats, comments
+        // and blank lines.
+        let queries = "\
+# employee-directory query mix
+R(x | y) R(y | z)
+R(x | y) R(z | y)   # trailing comment
+
+R(x | y) R(y | x)
+R(x|y) R(y|z)       # repeat of line 2, denser spelling
+R(x | y) R(x | z)
+";
+        let batch = cmd_batch(&d, queries, None, None, false, true).unwrap();
+        let batch_verdicts: Vec<&str> = batch.stdout.lines().collect();
+        let single: Vec<String> = [
+            "R(x | y) R(y | z)",
+            "R(x | y) R(z | y)",
+            "R(x | y) R(y | x)",
+            "R(x|y) R(y|z)",
+            "R(x | y) R(x | z)",
+        ]
+        .iter()
+        .map(|q| verdict_of(&cmd_certain(q, &d, None, None, false, false).unwrap()))
+        .collect();
+        assert_eq!(batch_verdicts, single, "batch must equal single-shot runs");
+        // The repeated query hits the session cache (4 distinct, 5 asked).
+        assert!(
+            batch.stderr.contains("queries=5 distinct=4 cache-hits=1"),
+            "{}",
+            batch.stderr
+        );
+        assert!(batch.stderr.contains("solve-ms="), "{}", batch.stderr);
+    }
+
+    #[test]
+    fn batch_without_stats_keeps_stderr_empty() {
+        let out = cmd_batch(&db(DB), "R(x | y) R(y | z)\n", None, None, false, false).unwrap();
+        assert_eq!(out.stdout, "true\n");
+        assert!(out.stderr.is_empty(), "{}", out.stderr);
+    }
+
+    #[test]
+    fn batch_reports_error_positions() {
+        let d = db(DB);
+        // Line 3 is malformed; byte offset = len("# header\n") + len("R(x | y) R(y | z)\n").
+        let queries = "# header\nR(x | y) R(y | z)\nnonsense query\n";
+        let err = cmd_batch(&d, queries, None, None, false, false).unwrap_err();
+        assert!(err.message.contains("queries line 3"), "{err}");
+        assert!(err.message.contains("byte offset 27"), "{err}");
+        assert!(err.message.contains("nonsense query"), "{err}");
+        // Signature mismatches carry positions too.
+        let err = cmd_batch(&d, "R(x y | z) R(z y | w)\n", None, None, false, false).unwrap_err();
+        assert!(err.message.contains("queries line 1"), "{err}");
+        assert!(err.message.contains("signature"), "{err}");
+        // A queries file with nothing in it is an error, not an empty answer.
+        let err = cmd_batch(&d, "# only comments\n\n", None, None, false, false).unwrap_err();
+        assert!(err.message.contains("no queries"), "{err}");
+    }
+
+    #[test]
+    fn batch_early_exit_keeps_verdicts() {
+        // Multi-component database, thresholds don't matter: force the
+        // component route so early exit can trigger.
+        let d = db("R(a | b)\nR(b | c)\nR(p | q)\nR(p | x)\nR(q | r)\nR(z | z)\n");
+        let queries = "R(x | y) R(y | z)\nR(x | y) R(z | y)\n";
+        let det = cmd_batch(
+            &d,
+            queries,
+            Some(1),
+            Some(RoutePolicy::Component),
+            false,
+            false,
+        )
+        .unwrap();
+        let eager = cmd_batch(
+            &d,
+            queries,
+            Some(1),
+            Some(RoutePolicy::Component),
+            true,
+            true,
+        )
+        .unwrap();
+        assert_eq!(det.stdout, eager.stdout, "early exit moved a verdict");
+        assert!(
+            eager.stderr.contains("components-skipped="),
+            "{}",
+            eager.stderr
+        );
+    }
+
+    #[test]
+    fn certain_early_exit_keeps_stdout_identical() {
+        let d = db("R(a | b)\nR(b | c)\nR(p | q)\nR(p | x)\nR(q | r)\nR(z | z)\n");
+        let det = cmd_certain(Q3, &d, Some(1), Some(RoutePolicy::Component), false, false).unwrap();
+        let eager = cmd_certain(Q3, &d, Some(1), Some(RoutePolicy::Component), true, true).unwrap();
+        assert_eq!(
+            det.stdout, eager.stdout,
+            "early exit must not change the report"
+        );
+        assert!(
+            eager.stderr.contains("components-skipped=2"),
+            "sequential early exit skips the two later components: {}",
+            eager.stderr
+        );
+    }
+
     #[test]
     fn certain_rejects_signature_mismatch() {
-        let err = cmd_certain(Q3, &db("R(a b | c)\n"), None, None, false).unwrap_err();
+        let err = cmd_certain(Q3, &db("R(a b | c)\n"), None, None, false, false).unwrap_err();
         assert!(err.message.contains("signature"), "{err}");
     }
 
@@ -672,8 +966,8 @@ mod tests {
         // across thread counts.
         let loaded = load_db_file(path_str).unwrap();
         assert!(loaded.len() >= 400, "{} facts", loaded.len());
-        let seq = cmd_certain(Q3, &loaded, Some(1), None, false).unwrap();
-        let par = cmd_certain(Q3, &loaded, Some(4), None, false).unwrap();
+        let seq = cmd_certain(Q3, &loaded, Some(1), None, false, false).unwrap();
+        let par = cmd_certain(Q3, &loaded, Some(4), None, false, false).unwrap();
         assert_eq!(seq.stdout, par.stdout);
         // Same config, same bytes: regenerating is reproducible.
         let path2 = dir.join("w2.facts");
@@ -710,6 +1004,10 @@ mod tests {
         // The contested family has no seed/shape knobs from the chain family.
         assert!(cmd_generate(&["--contested-width", "4", "--seed", "1", "f"], None).is_err());
         assert!(cmd_generate(&["--contested-width", "4", "--chain-len", "2", "f"], None).is_err());
+        // …and --certain-fraction belongs to the contested family only.
+        assert!(cmd_generate(&["--certain-fraction", "0.5", "f"], None).is_err());
+        let bad = ["--contested-width", "4", "--certain-fraction", "1.5", "f"];
+        assert!(cmd_generate(&bad, None).is_err());
     }
 
     #[test]
@@ -728,9 +1026,24 @@ mod tests {
         let loaded = load_db_file(path_str).unwrap();
         assert!(loaded.len() >= 500, "{} facts", loaded.len());
         // Every cluster is certain, on both routes.
-        let literal = cmd_certain(Q3, &loaded, Some(1), Some(RoutePolicy::Literal), false).unwrap();
-        let routed =
-            cmd_certain(Q3, &loaded, Some(2), Some(RoutePolicy::Component), false).unwrap();
+        let literal = cmd_certain(
+            Q3,
+            &loaded,
+            Some(1),
+            Some(RoutePolicy::Literal),
+            false,
+            false,
+        )
+        .unwrap();
+        let routed = cmd_certain(
+            Q3,
+            &loaded,
+            Some(2),
+            Some(RoutePolicy::Component),
+            false,
+            false,
+        )
+        .unwrap();
         assert!(
             literal.stdout.contains("certain:     true"),
             "{}",
@@ -741,6 +1054,45 @@ mod tests {
             "{}",
             routed.stdout
         );
+        // A half-certain file is still certain overall (some cluster is),
+        // and --early-exit agrees with the deterministic route on it.
+        let half = dir.join("half.facts");
+        let half_str = half.to_str().unwrap();
+        let out = cmd_generate(
+            &[
+                "--facts",
+                "600",
+                "--contested-width",
+                "8",
+                "--certain-fraction",
+                "0.5",
+                half_str,
+            ],
+            Some(2),
+        )
+        .unwrap();
+        assert!(out.contains("certain fraction 0.5"), "{out}");
+        let loaded = load_db_file(half_str).unwrap();
+        let det = cmd_certain(
+            Q3,
+            &loaded,
+            Some(1),
+            Some(RoutePolicy::Component),
+            false,
+            false,
+        )
+        .unwrap();
+        let eager = cmd_certain(
+            Q3,
+            &loaded,
+            Some(1),
+            Some(RoutePolicy::Component),
+            true,
+            false,
+        )
+        .unwrap();
+        assert_eq!(det.stdout, eager.stdout);
+        assert!(det.stdout.contains("certain:     true"), "{}", det.stdout);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -761,6 +1113,12 @@ mod tests {
         assert!(got);
         let (rest, got) = take_stats_flag(&["classify", "q"]);
         assert_eq!(rest, vec!["classify", "q"]);
+        assert!(!got);
+        let (rest, got) = take_early_exit_flag(&["certain", "--early-exit", "q"]);
+        assert_eq!(rest, vec!["certain", "q"]);
+        assert!(got);
+        let (rest, got) = take_early_exit_flag(&["batch", "db", "qs"]);
+        assert_eq!(rest, vec!["batch", "db", "qs"]);
         assert!(!got);
     }
 

@@ -2,8 +2,9 @@
 //! lives in the library so it can be tested.
 
 use cqa_cli::{
-    cmd_certain, cmd_classify, cmd_falsify, cmd_gadget, cmd_generate, cmd_solve, load_db_file,
-    take_route_flag, take_stats_flag, take_threads_flag, usage, CliError, CmdOut,
+    cmd_batch, cmd_certain, cmd_classify, cmd_falsify, cmd_gadget, cmd_generate, cmd_solve,
+    load_db_file, take_early_exit_flag, take_route_flag, take_stats_flag, take_threads_flag, usage,
+    CliError, CmdOut,
 };
 use std::process::ExitCode;
 
@@ -20,29 +21,43 @@ fn run() -> Result<CmdOut, CliError> {
     let (positional, threads) = take_threads_flag(&str_args)?;
     let (positional, route) = take_route_flag(&positional)?;
     let (positional, want_stats) = take_stats_flag(&positional);
+    let (positional, early_exit) = take_early_exit_flag(&positional);
     // Flags that a command would silently ignore are rejected instead:
-    // --threads applies to the solver/generator commands, --route to the
-    // engine-backed `certain`, --stats to the two solver commands.
+    // --threads applies to the solver/generator commands, --route and
+    // --early-exit to the engine-backed `certain`/`batch`, --stats to the
+    // solver commands.
     if threads.is_some()
         && !matches!(
             positional.first(),
-            Some(&"certain") | Some(&"falsify") | Some(&"generate")
+            Some(&"certain") | Some(&"falsify") | Some(&"generate") | Some(&"batch")
         )
     {
         return Err(CliError {
-            message: "--threads only applies to `certain`, `falsify` and `generate`".to_string(),
+            message: "--threads only applies to `certain`, `falsify`, `batch` and `generate`"
+                .to_string(),
             code: 2,
         });
     }
-    if route.is_some() && positional.first() != Some(&"certain") {
+    if route.is_some() && !matches!(positional.first(), Some(&"certain") | Some(&"batch")) {
         return Err(CliError {
-            message: "--route only applies to `certain`".to_string(),
+            message: "--route only applies to `certain` and `batch`".to_string(),
             code: 2,
         });
     }
-    if want_stats && !matches!(positional.first(), Some(&"certain") | Some(&"falsify")) {
+    if early_exit && !matches!(positional.first(), Some(&"certain") | Some(&"batch")) {
         return Err(CliError {
-            message: "--stats only applies to `certain` and `falsify`".to_string(),
+            message: "--early-exit only applies to `certain` and `batch`".to_string(),
+            code: 2,
+        });
+    }
+    if want_stats
+        && !matches!(
+            positional.first(),
+            Some(&"certain") | Some(&"falsify") | Some(&"batch")
+        )
+    {
+        return Err(CliError {
+            message: "--stats only applies to `certain`, `falsify` and `batch`".to_string(),
             code: 2,
         });
     }
@@ -50,7 +65,26 @@ fn run() -> Result<CmdOut, CliError> {
         ["classify", q] => cmd_classify(q).map(CmdOut::from),
         // Fact files are stream-loaded line-at-a-time (see cqa_cli::dbfmt),
         // so million-line files never sit in memory as text.
-        ["certain", q, file] => cmd_certain(q, &load_db_file(file)?, threads, route, want_stats),
+        ["certain", q, file] => cmd_certain(
+            q,
+            &load_db_file(file)?,
+            threads,
+            route,
+            early_exit,
+            want_stats,
+        ),
+        ["batch", db_file, queries_file] => cmd_batch(
+            &load_db_file(db_file)?,
+            &read(queries_file)?,
+            threads,
+            route,
+            early_exit,
+            want_stats,
+        )
+        .map_err(|e| CliError {
+            message: format!("{queries_file}: {}", e.message),
+            code: e.code,
+        }),
         ["falsify", q, file] => cmd_falsify(q, &load_db_file(file)?, u64::MAX, threads, want_stats),
         ["falsify", q, file, budget] => {
             let b: u64 = budget.parse().map_err(|_| CliError {

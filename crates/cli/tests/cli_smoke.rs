@@ -84,6 +84,51 @@ fn generate_then_certain_round_trips_through_the_binary() {
 }
 
 #[test]
+fn batch_agrees_with_single_shot_invocations_through_the_binary() {
+    // The CI batch smoke in miniature: generate a workload, answer a
+    // queries file in one `cqa batch` run, and require the verdicts to
+    // equal the `certain:` values of per-query single-shot runs.
+    let dir = std::env::temp_dir().join(format!("cqa-smoke-batch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("large.facts");
+    let db_path = db.to_str().unwrap();
+    let (stdout, stderr, code) = cqa(&["generate", "--facts", "2000", "--seed", "7", db_path]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("wrote"), "{stdout}");
+    let queries = [
+        "R(x | y) R(y | z)",
+        "R(x | y) R(z | y)",
+        "R(x | y) R(y | x)",
+        "R(x|y) R(y|z)", // repeat of the first, denser spelling
+        "R(x | y) R(x | z)",
+    ];
+    let qfile = dir.join("queries.txt");
+    let qfile_path = qfile.to_str().unwrap();
+    std::fs::write(&qfile, format!("# smoke mix\n{}\n", queries.join("\n"))).unwrap();
+    let (batch_out, stderr, code) = cqa(&["batch", db_path, qfile_path, "--stats"]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stderr.contains("cache-hits=1"), "{stderr}");
+    let batch_verdicts: Vec<String> = batch_out.lines().map(String::from).collect();
+    let mut single = Vec::new();
+    for q in queries {
+        let (out, stderr, code) = cqa(&["certain", q, db_path]);
+        assert_eq!(code, Some(0), "stderr: {stderr}");
+        let verdict = out
+            .lines()
+            .find(|l| l.starts_with("certain:"))
+            .map(|l| l.trim_start_matches("certain:").trim().to_string())
+            .expect("single-shot report has a certain: line");
+        single.push(verdict);
+    }
+    // --early-exit must not change a single verdict either.
+    let (eager_out, stderr, code) = cqa(&["batch", db_path, qfile_path, "--early-exit"]);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(batch_verdicts, single, "batch diverged from single-shot");
+    assert_eq!(eager_out, batch_out, "--early-exit changed a verdict");
+}
+
+#[test]
 fn malformed_fact_file_errors_carry_position_and_text() {
     let dir = std::env::temp_dir().join(format!("cqa-smoke-bad-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -23,8 +23,8 @@ use cqa_solvers::components::{
     q_connected_components_if_fragmented, q_connected_components_with_solutions, Component,
 };
 use cqa_solvers::{
-    certain_brute_parallel, certain_combined_over, certk_by_components, certk_with_stats,
-    BruteOutcome, CertKConfig, CertKStats, CombinedResult, SolutionSet,
+    certain_combined_over, certk_by_components, certk_with_stats, BruteOutcome, CertKConfig,
+    CertKStats, CombinedResult, SolutionSet,
 };
 use cqa_tripath::SearchConfig;
 
@@ -59,10 +59,18 @@ pub struct CertainAnswer {
     /// Aggregated `Cert_k` fixpoint statistics, when a fixpoint produced
     /// (part of) the answer. On the component routes the per-component
     /// counters are summed (`peak_members` takes the max); matching-decided
-    /// components contribute nothing.
+    /// components contribute nothing, and components skipped by the
+    /// early exit contribute nothing either.
     pub certk_stats: Option<CertKStats>,
-    /// Number of q-connected components decided (component routes only).
+    /// Number of q-connected components in the partition (component routes
+    /// only; includes skipped ones).
     pub components: Option<usize>,
+    /// Components left undecided by the opt-in cancel-on-first-certain
+    /// mode ([`EngineConfig::with_early_exit`]); component routes only,
+    /// `Some(0)` when every component was decided. A non-zero count means
+    /// the per-component *evidence* (and `certk_stats`) is partial — the
+    /// verdict itself is unaffected (Proposition 10.6).
+    pub skipped_components: Option<usize>,
 }
 
 /// Route selection for the PTime `Cert_k` classes
@@ -162,6 +170,20 @@ impl EngineConfig {
         };
         self
     }
+
+    /// This configuration with cancel-on-first-certain toggled for the
+    /// per-component `Cert_k` fan-out: once one component is found
+    /// certain, the remaining components are skipped. The verdict is
+    /// provably unchanged (Proposition 10.6) but the per-component
+    /// evidence becomes partial — see
+    /// [`CertainAnswer::skipped_components`] and
+    /// [`cqa_solvers::CertKConfig::early_exit`]. Only the component route
+    /// of the `Cert_k` classes is affected; the Theorem 10.5 combined
+    /// solver and the brute force ignore it.
+    pub fn with_early_exit(mut self, early_exit: bool) -> EngineConfig {
+        self.certk = self.certk.with_early_exit(early_exit);
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -218,6 +240,21 @@ impl CqaEngine {
         &self.query
     }
 
+    /// Open a query [`session`](crate::CqaSession) on `db`, seeded with
+    /// this engine (classification already done): the database is analysed
+    /// once per query — solution set, component partition — and every
+    /// repeat of a query reuses the cached analysis. The session answers
+    /// *other* queries too, classifying and caching each on first sight
+    /// with this engine's [`EngineConfig`].
+    pub fn session<'a>(&self, db: &'a Database) -> crate::CqaSession<'a> {
+        crate::CqaSession::with_engine(self.clone(), db)
+    }
+
+    /// The engine's configuration.
+    pub(crate) fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
     /// The dichotomy classification (computed at construction).
     pub fn classification(&self) -> &Classification {
         &self.classification
@@ -261,16 +298,55 @@ impl CqaEngine {
     /// Decide `db ⊨ certain(q)` with the algorithm the classification
     /// prescribes.
     pub fn certain(&self, db: &Database) -> CertainAnswer {
+        let solutions = SolutionSet::enumerate(&self.query, db);
+        let comps = self.partition_for(db, &solutions);
+        self.certain_with_parts(db, &solutions, comps.as_deref())
+    }
+
+    /// The component partition [`CqaEngine::certain_with_parts`] wants for
+    /// `db`, if any: the routing decision for the `Cert_k` classes, the
+    /// full q-connected partition for the Theorem 10.5 combination, and
+    /// `None` for coNP-complete queries (the brute force partitions
+    /// internally). [`CqaSession`](crate::CqaSession) computes this once
+    /// per (query, database) and reuses it across calls.
+    pub(crate) fn partition_for<'a>(
+        &self,
+        db: &'a Database,
+        solutions: &SolutionSet,
+    ) -> Option<Vec<Component<'a>>> {
         match self.classification.complexity {
             Complexity::Trivial | Complexity::PTimeCert2 | Complexity::PTimeCertK => {
-                let solutions = SolutionSet::enumerate(&self.query, db);
-                if let Some(comps) = self.route_components(db, &solutions) {
-                    let res =
-                        certk_by_components(&self.query, &comps, &solutions, self.config.certk);
+                self.route_components(db, solutions)
+            }
+            Complexity::PTimeCombined => Some(q_connected_components_with_solutions(
+                &self.query,
+                db,
+                solutions,
+            )),
+            Complexity::CoNpComplete => None,
+        }
+    }
+
+    /// [`CqaEngine::certain`] with the expensive intermediates supplied by
+    /// the caller: the enumerated solution set and the component partition
+    /// from [`CqaEngine::partition_for`]. This is the session fast path —
+    /// both inputs depend only on (query, database), so a
+    /// [`CqaSession`](crate::CqaSession) computes them once and answers
+    /// every subsequent call for the same query without re-enumerating.
+    pub(crate) fn certain_with_parts(
+        &self,
+        db: &Database,
+        solutions: &SolutionSet,
+        comps: Option<&[Component<'_>]>,
+    ) -> CertainAnswer {
+        match self.classification.complexity {
+            Complexity::Trivial | Complexity::PTimeCert2 | Complexity::PTimeCertK => {
+                if let Some(comps) = comps {
+                    let res = certk_by_components(&self.query, comps, solutions, self.config.certk);
                     answer_from_components(res, AnsweredBy::ComponentCertK)
                 } else {
                     let (out, stats) =
-                        certk_with_stats(&self.query, db, &solutions, self.config.certk);
+                        certk_with_stats(&self.query, db, solutions, self.config.certk);
                     CertainAnswer {
                         certain: out.is_certain(),
                         answered_by: if self.classification.complexity == Complexity::Trivial {
@@ -281,43 +357,39 @@ impl CqaEngine {
                         budget_exhausted: out == cqa_solvers::CertKOutcome::BudgetExhausted,
                         certk_stats: Some(stats),
                         components: None,
+                        skipped_components: None,
                     }
                 }
             }
             Complexity::PTimeCombined => {
-                let solutions = SolutionSet::enumerate(&self.query, db);
-                let comps = q_connected_components_with_solutions(&self.query, db, &solutions);
-                let res = certain_combined_over(&self.query, &comps, &solutions, self.config.certk);
+                // A session always supplies the partition here; the
+                // fallback recomputes it for direct callers.
+                let owned;
+                let comps = match comps {
+                    Some(comps) => comps,
+                    None => {
+                        owned = q_connected_components_with_solutions(&self.query, db, solutions);
+                        &owned
+                    }
+                };
+                let res = certain_combined_over(&self.query, comps, solutions, self.config.certk);
                 answer_from_components(res, AnsweredBy::Combined)
             }
             Complexity::CoNpComplete => {
-                match certain_brute_parallel(
+                let outcome = cqa_solvers::brute::certain_brute_with_solutions_threads(
                     &self.query,
                     db,
+                    solutions,
                     self.config.brute_budget,
                     self.config.certk.threads,
-                ) {
-                    BruteOutcome::Certain => CertainAnswer {
-                        certain: true,
-                        answered_by: AnsweredBy::BruteForce,
-                        budget_exhausted: false,
-                        certk_stats: None,
-                        components: None,
-                    },
-                    BruteOutcome::NotCertain(_) => CertainAnswer {
-                        certain: false,
-                        answered_by: AnsweredBy::BruteForce,
-                        budget_exhausted: false,
-                        certk_stats: None,
-                        components: None,
-                    },
-                    BruteOutcome::BudgetExhausted => CertainAnswer {
-                        certain: false,
-                        answered_by: AnsweredBy::BruteForce,
-                        budget_exhausted: true,
-                        certk_stats: None,
-                        components: None,
-                    },
+                );
+                CertainAnswer {
+                    certain: matches!(outcome, BruteOutcome::Certain),
+                    answered_by: AnsweredBy::BruteForce,
+                    budget_exhausted: matches!(outcome, BruteOutcome::BudgetExhausted),
+                    certk_stats: None,
+                    components: None,
+                    skipped_components: None,
                 }
             }
         }
@@ -331,7 +403,8 @@ fn answer_from_components(res: CombinedResult, answered_by: AnsweredBy) -> Certa
         answered_by,
         budget_exhausted: res.components.iter().any(|c| c.budget_exhausted),
         certk_stats: res.certk_stats(),
-        components: Some(res.components.len()),
+        components: Some(res.components.len() + res.skipped),
+        skipped_components: Some(res.skipped),
     }
 }
 

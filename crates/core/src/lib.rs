@@ -13,6 +13,9 @@
 //! * [`classify`] — the full decision procedure of the paper (Theorems
 //!   4.2, 6.1, 8.1, 9.1, 10.5), with tripath witnesses attached;
 //! * [`CqaEngine`] — classify once, answer `certain` on many databases;
+//! * [`CqaSession`] — the other amortisation axis: load a database once,
+//!   answer many queries, with per-query caches of the classification,
+//!   solution set and component partition (`cqa batch` in the CLI);
 //! * re-exports of the underlying substrates: the relational model
 //!   ([`cqa_model`]), queries ([`cqa_query`]), solvers ([`cqa_solvers`]:
 //!   brute force, the greedy fixpoint `Cert_k`, `matching(q)`, the
@@ -41,11 +44,13 @@
 
 mod classify;
 mod engine;
+mod session;
 
 pub use classify::{
     classify, classify_with, Classification, ClassificationRule, Complexity, Confidence,
 };
 pub use engine::{AnsweredBy, CertainAnswer, CqaEngine, EngineConfig, RoutePolicy, RoutingConfig};
+pub use session::{CqaSession, SessionStats};
 
 // Substrate re-exports for downstream users of the facade crate.
 pub use cqa_model as model;

@@ -1,0 +1,295 @@
+//! Batch query sessions: load a database once, answer many queries.
+//!
+//! Every [`CqaEngine::certain`] call re-derives the expensive
+//! intermediates — the hash-joined [`SolutionSet`] and the q-connected
+//! component partition — even when the same query is asked against the
+//! same database again. For one-shot CLI use that is fine; for query
+//! traffic against a long-lived database (the ROADMAP's north star) it
+//! wastes the dominant share of the solve. A [`CqaSession`] borrows a
+//! database and keeps a per-query cache:
+//!
+//! * **classification** — each distinct query is classified once
+//!   (tripath search is milliseconds for fork-heavy queries);
+//! * **solution set** — enumerated once per (query, database);
+//! * **component partition** — the routing decision and its copy-free
+//!   [`Component`] views, built once and reused.
+//!
+//! Cache keys are the *normalised* query text ([`Query::display`]), so
+//! `R(x|y) R(y|z)` and `R(x | y)  R(y | z)` share an entry. The cache is
+//! correct because a session's database is immutable for the session's
+//! lifetime (enforced by the shared borrow) and both cached artefacts are
+//! pure functions of (query, database).
+//!
+//! The CLI exposes sessions as `cqa batch <db> <queries-file>`: the fact
+//! file is streamed once, then each query line is answered in order — the
+//! amortisation the `batch_amortization` bench and `BASELINES.md` (PR 5)
+//! quantify against N cold invocations.
+
+use crate::engine::{CertainAnswer, CqaEngine, EngineConfig};
+use cqa_model::Database;
+use cqa_query::Query;
+use cqa_solvers::components::Component;
+use cqa_solvers::SolutionSet;
+use std::collections::HashMap;
+
+/// Aggregate counters of a [`CqaSession`]'s lifetime, for `--stats`
+/// summaries and cache-effectiveness tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// `certain` calls answered.
+    pub queries: usize,
+    /// Distinct queries seen (cache entries; keyed by normalised text).
+    pub distinct_queries: usize,
+    /// Calls that reused a fully prepared entry (classification +
+    /// solutions + partition all cached). The first call for each
+    /// distinct query is never a hit.
+    pub cache_hits: usize,
+}
+
+/// A per-query cache entry: the classified engine plus, after the first
+/// `certain` call, the database analysis it needs.
+struct SessionEntry<'a> {
+    engine: CqaEngine,
+    prepared: Option<Prepared<'a>>,
+}
+
+/// The (query, database)-dependent intermediates worth keeping.
+struct Prepared<'a> {
+    solutions: SolutionSet,
+    /// The component partition [`CqaEngine`] would compute for this query
+    /// and database (`None` = the literal route, nothing to cache).
+    components: Option<Vec<Component<'a>>>,
+}
+
+/// A classify-once, analyse-once, answer-many handle on one database.
+///
+/// ```
+/// use cqa::{CqaSession, EngineConfig};
+/// use cqa_model::{Database, Fact, Signature};
+/// use cqa_query::parse_query;
+///
+/// let mut db = Database::new(Signature::new(2, 1).unwrap());
+/// db.insert(Fact::from_names(["a", "b"])).unwrap();
+/// db.insert(Fact::from_names(["b", "c"])).unwrap();
+///
+/// let mut session = CqaSession::new(&db, EngineConfig::default());
+/// let q3 = parse_query("R(x | y) R(y | z)").unwrap();
+/// assert!(session.certain(&q3).certain);
+/// assert!(session.certain(&q3).certain); // cached: no re-enumeration
+/// assert_eq!(session.stats().cache_hits, 1);
+/// ```
+pub struct CqaSession<'a> {
+    db: &'a Database,
+    config: EngineConfig,
+    entries: HashMap<String, SessionEntry<'a>>,
+    stats: SessionStats,
+}
+
+impl<'a> CqaSession<'a> {
+    /// A session on `db`; every query first seen by the session is
+    /// classified with `config`.
+    pub fn new(db: &'a Database, config: EngineConfig) -> CqaSession<'a> {
+        CqaSession {
+            db,
+            config,
+            entries: HashMap::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// A session seeded with an already-classified engine (see
+    /// [`CqaEngine::session`]); the engine's configuration becomes the
+    /// session default for queries seen later.
+    pub fn with_engine(engine: CqaEngine, db: &'a Database) -> CqaSession<'a> {
+        let mut session = CqaSession::new(db, *engine.config());
+        let key = engine.query().display();
+        session.entries.insert(
+            key,
+            SessionEntry {
+                engine,
+                prepared: None,
+            },
+        );
+        session.stats.distinct_queries = 1;
+        session
+    }
+
+    /// The session's database.
+    pub fn db(&self) -> &'a Database {
+        self.db
+    }
+
+    /// Lifetime counters (queries answered, cache hits).
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// The engine cached for `query`, classifying and caching it first if
+    /// this is the session's first sight of it.
+    pub fn engine(&mut self, query: &Query) -> &CqaEngine {
+        &self.entry(query).engine
+    }
+
+    fn entry(&mut self, query: &Query) -> &mut SessionEntry<'a> {
+        let key = query.display();
+        let config = self.config;
+        let entry = self.entries.entry(key).or_insert_with(|| SessionEntry {
+            engine: CqaEngine::with_config(query.clone(), config),
+            prepared: None,
+        });
+        entry
+    }
+
+    /// Decide `db ⊨ certain(query)`, reusing (or building, on first
+    /// sight) the cached classification, solution set and component
+    /// partition for this query.
+    pub fn certain(&mut self, query: &Query) -> CertainAnswer {
+        let db = self.db;
+        let entry = self.entry(query);
+        let hit = entry.prepared.is_some();
+        if !hit {
+            let solutions = SolutionSet::enumerate(entry.engine.query(), db);
+            let components = entry.engine.partition_for(db, &solutions);
+            entry.prepared = Some(Prepared {
+                solutions,
+                components,
+            });
+        }
+        let prepared = entry.prepared.as_ref().expect("prepared just above");
+        let answer = entry.engine.certain_with_parts(
+            db,
+            &prepared.solutions,
+            prepared.components.as_deref(),
+        );
+        self.stats.queries += 1;
+        self.stats.cache_hits += hit as usize;
+        self.stats.distinct_queries = self.entries.len();
+        answer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnsweredBy, Complexity, RoutePolicy};
+    use cqa_model::{Fact, Signature};
+    use cqa_query::{examples, parse_query};
+    use cqa_solvers::certain_brute;
+
+    fn db2(rows: &[[&str; 2]]) -> Database {
+        let mut db = Database::new(Signature::new(2, 1).unwrap());
+        for row in rows {
+            db.insert(Fact::from_names(row.iter().copied())).unwrap();
+        }
+        db
+    }
+
+    fn multi_component_db() -> Database {
+        db2(&[
+            ["a", "b"],
+            ["b", "c"],
+            ["p", "q"],
+            ["p", "x"],
+            ["q", "r"],
+            ["z", "z"],
+        ])
+    }
+
+    #[test]
+    fn session_answers_match_cold_engine_answers() {
+        let db = multi_component_db();
+        let mut session = CqaSession::new(&db, EngineConfig::default());
+        let queries = [examples::q3(), examples::q4(), examples::q5()];
+        for q in &queries {
+            let cold = CqaEngine::new(q.clone()).certain(&db);
+            let warm = session.certain(q);
+            assert_eq!(cold.certain, warm.certain, "{}", q.display());
+            assert_eq!(cold.answered_by, warm.answered_by, "{}", q.display());
+            assert_eq!(cold.certain, certain_brute(q, &db), "{}", q.display());
+        }
+        // Second pass: all hits, same answers.
+        for q in &queries {
+            let cold = CqaEngine::new(q.clone()).certain(&db);
+            assert_eq!(session.certain(q).certain, cold.certain);
+        }
+        let stats = session.stats();
+        assert_eq!(stats.queries, 6);
+        assert_eq!(stats.distinct_queries, 3);
+        assert_eq!(stats.cache_hits, 3);
+    }
+
+    #[test]
+    fn normalised_query_text_shares_a_cache_entry() {
+        let db = db2(&[["a", "b"], ["b", "c"]]);
+        let mut session = CqaSession::new(&db, EngineConfig::default());
+        let spaced = parse_query("R(x | y) R(y | z)").unwrap();
+        let dense = parse_query("R(x|y) R(y|z)").unwrap();
+        assert!(session.certain(&spaced).certain);
+        assert!(session.certain(&dense).certain);
+        let stats = session.stats();
+        assert_eq!(stats.distinct_queries, 1, "normalised text is the key");
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn engine_seeded_session_reuses_the_engine() {
+        let db = multi_component_db();
+        let engine = CqaEngine::with_config(
+            examples::q3(),
+            EngineConfig::default().with_route(RoutePolicy::Component),
+        );
+        let mut session = engine.session(&db);
+        let ans = session.certain(engine.query());
+        assert!(ans.certain);
+        assert_eq!(ans.answered_by, AnsweredBy::ComponentCertK);
+        assert_eq!(session.stats().distinct_queries, 1);
+        // The seeded entry counts as distinct but its first call still
+        // has to analyse the database (no hit).
+        assert_eq!(session.stats().cache_hits, 0);
+        assert_eq!(session.certain(engine.query()).certain, ans.certain);
+        assert_eq!(session.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn session_serves_conp_queries_via_brute_force() {
+        let q2 = examples::q2();
+        let mut db = Database::new(Signature::new(4, 2).unwrap());
+        db.insert(Fact::from_names(["a", "b", "a", "c"])).unwrap();
+        db.insert(Fact::from_names(["b", "c", "a", "d"])).unwrap();
+        let mut session = CqaSession::new(&db, EngineConfig::default());
+        let engine = CqaEngine::new(q2.clone());
+        assert_eq!(engine.classification().complexity, Complexity::CoNpComplete);
+        let warm = session.certain(&q2);
+        assert_eq!(warm.answered_by, AnsweredBy::BruteForce);
+        assert_eq!(warm.certain, engine.certain(&db).certain);
+        // Cached solutions serve the repeat.
+        assert_eq!(session.certain(&q2).certain, warm.certain);
+        assert_eq!(session.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn early_exit_session_keeps_the_verdict() {
+        let db = multi_component_db();
+        // threads = 1 makes the skip count deterministic (the first
+        // component is certain, so the sequential fan-out must skip the
+        // rest); under free scheduling tiny components could all finish
+        // before any worker sees the cancel flag.
+        let mut config = EngineConfig::default()
+            .with_early_exit(true)
+            .with_threads(1);
+        config.routing.min_facts = 4;
+        config.routing.min_components = 2;
+        let mut deterministic_cfg = config.with_early_exit(false);
+        deterministic_cfg.routing = config.routing;
+        let mut eager = CqaSession::new(&db, config);
+        let mut det = CqaSession::new(&db, deterministic_cfg);
+        let q3 = examples::q3();
+        let e = eager.certain(&q3);
+        let d = det.certain(&q3);
+        assert_eq!(e.certain, d.certain);
+        assert_eq!(e.answered_by, AnsweredBy::ComponentCertK);
+        assert_eq!(e.components, d.components, "partition size is provenance");
+        assert_eq!(d.skipped_components, Some(0));
+        assert!(e.skipped_components.unwrap() > 0, "early exit skipped work");
+    }
+}

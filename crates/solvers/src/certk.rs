@@ -38,6 +38,7 @@ use crate::SolutionSet;
 use cqa_model::{BlockId, Database, DbView, FactId};
 use cqa_query::Query;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Tuning for [`certk`].
 #[derive(Clone, Copy, Debug)]
@@ -64,6 +65,21 @@ pub struct CertKConfig {
     /// independent only while the budget is not exhausted; see
     /// [`certain_brute_parallel`](crate::certain_brute_parallel).
     pub threads: usize,
+    /// Opt-in cancel-on-first-certain for the per-component `Cert_k`
+    /// fan-out ([`certk_by_components`](crate::certk_by_components)): as
+    /// soon as one component is found certain, the remaining components
+    /// stop deciding (in-flight fixpoints bail at their next block; queued
+    /// ones are skipped outright). The **verdict** is provably unchanged —
+    /// cancellation only ever happens after a certain component, and
+    /// `D ⊨ certain(q)` iff some component is certain (Proposition 10.6)
+    /// — but the per-component **evidence** becomes partial:
+    /// [`CombinedResult::skipped`](crate::CombinedResult::skipped) counts
+    /// the undecided components and aggregate statistics cover only the
+    /// decided ones. Default `false` (decide every component, the
+    /// deterministic evidence-complete path). Ignored by
+    /// [`certain_combined`](crate::certain_combined), whose callers rely
+    /// on complete per-component evidence.
+    pub early_exit: bool,
 }
 
 impl CertKConfig {
@@ -74,6 +90,7 @@ impl CertKConfig {
             k,
             node_budget: 50_000_000,
             threads: minipool::max_threads(),
+            early_exit: false,
         }
     }
 
@@ -81,6 +98,13 @@ impl CertKConfig {
     /// (clamped to at least 1).
     pub fn with_threads(mut self, threads: usize) -> CertKConfig {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// This configuration with cancel-on-first-certain toggled for the
+    /// per-component fan-out (see [`CertKConfig::early_exit`]).
+    pub fn with_early_exit(mut self, early_exit: bool) -> CertKConfig {
+        self.early_exit = early_exit;
         self
     }
 }
@@ -484,15 +508,34 @@ pub fn certk_view(
 
 /// [`certk_view`] returning execution statistics alongside the outcome.
 pub fn certk_view_with_stats(
-    _q: &Query,
+    q: &Query,
     view: &DbView<'_>,
     solutions: &SolutionSet,
     cfg: CertKConfig,
 ) -> (CertKOutcome, CertKStats) {
+    let never = AtomicBool::new(false);
+    certk_view_cancellable(q, view, solutions, cfg, &never)
+        .expect("a never-raised cancel flag cannot interrupt the fixpoint")
+}
+
+/// [`certk_view_with_stats`] with a cooperative cancel flag: the fixpoint
+/// polls `cancel` (relaxed loads) while seeding and before each block
+/// derivation, and returns `None` as soon as it observes the flag raised —
+/// the hook behind [`CertKConfig::early_exit`], where a sibling component
+/// found certain makes the remaining components' outcomes irrelevant
+/// (Proposition 10.6). A `None` carries no statistics: the run was
+/// abandoned mid-flight, so its counters describe no complete evaluation.
+pub fn certk_view_cancellable(
+    _q: &Query,
+    view: &DbView<'_>,
+    solutions: &SolutionSet,
+    cfg: CertKConfig,
+    cancel: &AtomicBool,
+) -> Option<(CertKOutcome, CertKStats)> {
     let db = view.parent();
     let mut stats = CertKStats::default();
     if cfg.k == 0 {
-        return (CertKOutcome::NotDerived, stats);
+        return Some((CertKOutcome::NotDerived, stats));
     }
     let mut chain = Antichain::new(db);
     let mut budget = cfg.node_budget;
@@ -505,6 +548,9 @@ pub fn certk_view_with_stats(
     // q-closed views like components and full views, where the
     // membership test is O(1)).
     for &a in view.fact_ids() {
+        if cancel.load(Ordering::Relaxed) {
+            return None;
+        }
         for &b in solutions.seconds_of(a) {
             if !view.contains_fact(b) {
                 continue;
@@ -548,6 +594,9 @@ pub fn certk_view_with_stats(
         stats.rounds += 1;
         let mut exhausted = false;
         'round: for &b in &current {
+            if cancel.load(Ordering::Relaxed) {
+                return None;
+            }
             stats.blocks_derived += 1;
             let cands = match derive_block(db, view, &chain, b, cfg.k, &mut budget, &mut reqs_cache)
             {
@@ -607,7 +656,7 @@ pub fn certk_view_with_stats(
     };
     stats.peak_members = chain.peak_live();
     stats.stale_compacted = chain.stale_compacted();
-    (outcome, stats)
+    Some((outcome, stats))
 }
 
 /// The ⊆-minimal requirement family
@@ -728,10 +777,23 @@ pub fn cert2(q: &Query, db: &Database) -> CertKOutcome {
     certk(q, db, CertKConfig::new(2))
 }
 
-/// Differential-testing references: the seed-era full-pass fixpoint
-/// evaluator over a naive O(n²) antichain, kept so property tests can
-/// assert the block-indexed worklist engine above never changes a verdict.
+/// Differential-testing references — **frozen, not the live evaluator**.
+///
+/// This module preserves the *seed-era* `Cert_k` implementation exactly as
+/// it was before the PR 4 rework: a full-pass fixpoint (every block
+/// re-derived every round) over a [`NaiveAntichain`] whose every operation
+/// is a linear scan. The live evaluator is [`certk_view_with_stats`] above
+/// — block-keyed subset index, cached requirement families, dirty-block
+/// worklist, statistics, cooperative cancellation — none of which exists
+/// here, deliberately: the `antichain_props` property suite (and the
+/// exhaustive small-grid unit test above) differential-tests the live
+/// engine against this one to assert that no optimisation ever moved a
+/// verdict. Do not "improve" this module; its value is in staying behind.
+///
 /// Not part of the supported API.
+///
+/// [`certk_view_with_stats`]: super::certk_view_with_stats
+/// [`NaiveAntichain`]: reference::NaiveAntichain
 #[doc(hidden)]
 pub mod reference {
     use super::{add_consistent, is_subset, CertKConfig, CertKOutcome};
@@ -1022,6 +1084,7 @@ mod tests {
                 k: 2,
                 node_budget: 1,
                 threads: 1,
+                early_exit: false,
             },
         );
         assert_eq!(out, CertKOutcome::BudgetExhausted);
@@ -1051,6 +1114,25 @@ mod tests {
                 "Theorem 6.1 violated on {d:?}"
             );
         }
+    }
+
+    #[test]
+    fn cancellable_fixpoint_honours_the_flag() {
+        use std::sync::atomic::AtomicBool;
+        let d = db2(&[["a", "b"], ["a", "c"], ["b", "d"], ["c", "d"]]);
+        let q = examples::q3();
+        let sols = SolutionSet::enumerate(&q, &d);
+        let view = d.full_view();
+        // A pre-raised flag aborts before any work.
+        let raised = AtomicBool::new(true);
+        assert!(certk_view_cancellable(&q, &view, &sols, CertKConfig::new(2), &raised).is_none());
+        // A never-raised flag reproduces the plain run exactly.
+        let calm = AtomicBool::new(false);
+        let got = certk_view_cancellable(&q, &view, &sols, CertKConfig::new(2), &calm)
+            .expect("no cancellation requested");
+        let want = certk_view_with_stats(&q, &view, &sols, CertKConfig::new(2));
+        assert_eq!(got.0, want.0);
+        assert_eq!(got.1, want.1);
     }
 
     #[test]

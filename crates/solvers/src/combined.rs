@@ -16,13 +16,15 @@
 //! in component order, so the result is identical across thread counts.
 
 use crate::certk::{
-    certk_view_with_stats, certk_with_solutions, CertKConfig, CertKOutcome, CertKStats,
+    certk_view_cancellable, certk_view_with_stats, certk_with_solutions, CertKConfig, CertKOutcome,
+    CertKStats,
 };
 use crate::components::{q_connected_components_with_solutions, Component};
 use crate::matching::{analyze_view, analyze_with_solutions};
 use crate::SolutionSet;
 use cqa_model::Database;
 use cqa_query::Query;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// How a component (or the whole database) was decided.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,8 +56,15 @@ pub struct ComponentVerdict {
 pub struct CombinedResult {
     /// `D ⊨ certain(q)`.
     pub certain: bool,
-    /// Per-component evidence.
+    /// Per-component evidence (decided components only).
     pub components: Vec<ComponentVerdict>,
+    /// Components left undecided because [`CertKConfig::early_exit`]
+    /// cancelled them after a sibling was found certain. Always `0` on the
+    /// deterministic paths; when non-zero the evidence above is *partial*
+    /// — the verdict is still exact (a certain component certifies the
+    /// database, Proposition 10.6), but aggregate statistics and
+    /// per-component verdicts cover only the decided components.
+    pub skipped: usize,
 }
 
 impl CombinedResult {
@@ -121,6 +130,7 @@ pub fn certain_combined_over(
     CombinedResult {
         certain: verdicts.iter().any(|v| v.certain),
         components: verdicts,
+        skipped: 0,
     }
 }
 
@@ -132,12 +142,30 @@ pub fn certain_combined_over(
 /// exact on each component, so the verdict provably coincides with
 /// whole-database `Cert_k` — unlike [`certain_combined`], whose
 /// `¬matching` branch is only justified for 2way-determined queries.
+///
+/// With [`CertKConfig::early_exit`] set, the fan-out additionally stops
+/// deciding components once one is found certain: a shared cancel flag
+/// (the same pattern the parallel brute force uses) makes queued
+/// components return without running and in-flight fixpoints bail at
+/// their next poll. The **verdict is identical** to the deterministic
+/// path — cancellation is only ever triggered by a certain component,
+/// which by Proposition 10.6 already decides the database, and when no
+/// component is certain the flag is never raised, so every component is
+/// decided exactly as without the flag. Only the *evidence* changes:
+/// cancelled components are counted in [`CombinedResult::skipped`]
+/// instead of contributing a [`ComponentVerdict`]. Which components end
+/// up skipped depends on thread scheduling, so callers needing
+/// reproducible per-component evidence (differential tests, `--stats`
+/// comparisons) must leave `early_exit` off.
 pub fn certk_by_components(
     q: &Query,
     comps: &[Component<'_>],
     solutions: &SolutionSet,
     cfg: CertKConfig,
 ) -> CombinedResult {
+    if cfg.early_exit {
+        return certk_by_components_early_exit(q, comps, solutions, cfg);
+    }
     let verdicts = minipool::par_map(cfg.threads, comps, |comp| {
         let (out, stats) = certk_view_with_stats(q, &comp.view, solutions, cfg);
         ComponentVerdict {
@@ -151,6 +179,43 @@ pub fn certk_by_components(
     CombinedResult {
         certain: verdicts.iter().any(|v| v.certain),
         components: verdicts,
+        skipped: 0,
+    }
+}
+
+/// The cancel-on-first-certain variant of [`certk_by_components`]
+/// (`cfg.early_exit == true`).
+fn certk_by_components_early_exit(
+    q: &Query,
+    comps: &[Component<'_>],
+    solutions: &SolutionSet,
+    cfg: CertKConfig,
+) -> CombinedResult {
+    let cancel = AtomicBool::new(false);
+    let verdicts: Vec<Option<ComponentVerdict>> = minipool::par_map(cfg.threads, comps, |comp| {
+        if cancel.load(Ordering::Relaxed) {
+            return None;
+        }
+        let (out, stats) = certk_view_cancellable(q, &comp.view, solutions, cfg, &cancel)?;
+        if out.is_certain() {
+            // One certain component decides the database (Prop 10.6);
+            // everything still queued or in flight can stop.
+            cancel.store(true, Ordering::Relaxed);
+        }
+        Some(ComponentVerdict {
+            size: comp.len(),
+            decided_by: DecidedBy::CertK,
+            certain: out.is_certain(),
+            budget_exhausted: out == CertKOutcome::BudgetExhausted,
+            stats: Some(stats),
+        })
+    });
+    let skipped = verdicts.iter().filter(|v| v.is_none()).count();
+    let components: Vec<ComponentVerdict> = verdicts.into_iter().flatten().collect();
+    CombinedResult {
+        certain: components.iter().any(|v| v.certain),
+        components,
+        skipped,
     }
 }
 
@@ -261,6 +326,70 @@ mod tests {
             .iter()
             .all(|v| v.decided_by == DecidedBy::CertK && v.stats.is_some()));
         assert!(routed.certk_stats().is_some());
+    }
+
+    #[test]
+    fn early_exit_preserves_the_verdict_and_reports_skips() {
+        // Certain database: three components, the first (in component
+        // order) certain — sequential early exit must skip the other two.
+        let q3 = examples::q3();
+        let mut db = cqa_model::Database::new(Signature::new(2, 1).unwrap());
+        for row in [
+            ["a", "b"],
+            ["b", "c"], // certain chain, first component
+            ["p", "q"],
+            ["p", "x"],
+            ["q", "r"], // falsifiable
+            ["u", "v"],
+            ["u", "w"], // falsifiable (contested, no chain)
+        ] {
+            db.insert(Fact::from_names(row)).unwrap();
+        }
+        let solutions = crate::SolutionSet::enumerate(&q3, &db);
+        let comps = crate::components::q_connected_components_with_solutions(&q3, &db, &solutions);
+        let base = CertKConfig::new(2).with_threads(1);
+        let det = certk_by_components(&q3, &comps, &solutions, base);
+        assert!(det.certain);
+        assert_eq!(det.skipped, 0);
+        assert_eq!(det.components.len(), comps.len());
+        for threads in [1usize, 2, 4] {
+            let eager = certk_by_components(
+                &q3,
+                &comps,
+                &solutions,
+                base.with_threads(threads).with_early_exit(true),
+            );
+            assert_eq!(eager.certain, det.certain, "verdict moved at {threads}");
+            assert_eq!(
+                eager.components.len() + eager.skipped,
+                comps.len(),
+                "every component is decided or counted as skipped"
+            );
+            assert!(
+                eager.components.iter().any(|v| v.certain),
+                "the certifying component is part of the evidence"
+            );
+        }
+        // Sequential early exit: the certain first component cancels both
+        // remaining ones deterministically.
+        let seq = certk_by_components(&q3, &comps, &solutions, base.with_early_exit(true));
+        assert_eq!(seq.components.len(), 1);
+        assert_eq!(seq.skipped, 2);
+
+        // Not-certain database: the flag is never raised, so early exit
+        // yields byte-identical evidence to the deterministic path.
+        let mut falsifiable = cqa_model::Database::new(Signature::new(2, 1).unwrap());
+        for row in [["p", "q"], ["p", "x"], ["q", "r"], ["u", "v"], ["u", "w"]] {
+            falsifiable.insert(Fact::from_names(row)).unwrap();
+        }
+        let sols = crate::SolutionSet::enumerate(&q3, &falsifiable);
+        let comps =
+            crate::components::q_connected_components_with_solutions(&q3, &falsifiable, &sols);
+        let det = certk_by_components(&q3, &comps, &sols, base);
+        let eager = certk_by_components(&q3, &comps, &sols, base.with_early_exit(true));
+        assert!(!det.certain && !eager.certain);
+        assert_eq!(eager.skipped, 0);
+        assert_eq!(format!("{det:?}"), format!("{eager:?}"));
     }
 
     #[test]

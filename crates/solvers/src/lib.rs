@@ -19,7 +19,17 @@
 //! [`certain_brute_parallel`]) is above 1; `1` keeps the historical
 //! sequential path. [`combined`] verdicts never depend on the thread
 //! count; brute-force verdicts don't either unless a finite node budget
-//! is exhausted mid-search (see [`certain_brute_parallel`]).
+//! is exhausted mid-search (see [`certain_brute_parallel`]). The
+//! per-component `Cert_k` fan-out ([`certk_by_components`]) additionally
+//! supports an opt-in cancel-on-first-certain mode
+//! ([`CertKConfig::early_exit`]): verdict-identical, but the remaining
+//! components are skipped once one is certain, so the per-component
+//! evidence becomes partial ([`CombinedResult::skipped`]).
+//!
+//! A prose handbook for this crate — how the block-indexed antichain, the
+//! requirement-family cache, the dirty-block worklist and the component
+//! routing fit together, and which theorem of the paper each piece
+//! implements — lives in `docs/SOLVERS.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,8 +45,8 @@ pub use brute::{
     certain_brute, certain_brute_budgeted, certain_brute_parallel, certain_exhaustive, BruteOutcome,
 };
 pub use certk::{
-    cert2, certk, certk_view, certk_view_with_stats, certk_with_stats, Antichain, CertKConfig,
-    CertKOutcome, CertKStats,
+    cert2, certk, certk_view, certk_view_cancellable, certk_view_with_stats, certk_with_stats,
+    Antichain, CertKConfig, CertKOutcome, CertKStats,
 };
 pub use combined::{
     certain_combined, certain_combined_over, certain_thm105_literal, certk_by_components,

@@ -13,6 +13,10 @@
 //!   must not matter), and remain exact for q3 per Theorem 6.1.
 //! * The engine's component route (`certk_by_components`) must agree with
 //!   the literal whole-database fixpoint (Proposition 10.6).
+//! * The opt-in early-exit fan-out (`CertKConfig::early_exit`) must agree
+//!   with the deterministic fan-out on the **verdict** at every thread
+//!   count — evidence may legitimately differ (components are skipped
+//!   after the first certain one), so only the verdict is compared.
 
 use cqa_model::{Database, Elem, Fact, FactId, Signature};
 use cqa_query::examples;
@@ -154,6 +158,69 @@ proptest! {
         let q = examples::q3();
         let out = certk(&q, &db, CertKConfig::new(2));
         prop_assert_eq!(out.is_certain(), certain_brute(&q, &db));
+    }
+
+    #[test]
+    fn early_exit_verdict_equals_deterministic_on_q3(db in q3_db_strategy()) {
+        // The tentpole safety property: cancel-on-first-certain never
+        // moves a verdict, at any thread count. Evidence (which
+        // components carry verdicts) is allowed to differ; verdict and
+        // partition accounting are not.
+        let q = examples::q3();
+        let cfg = CertKConfig::new(2);
+        let solutions = SolutionSet::enumerate(&q, &db);
+        let comps =
+            cqa_solvers::components::q_connected_components_with_solutions(&q, &db, &solutions);
+        let det = certk_by_components(&q, &comps, &solutions, cfg.with_threads(1));
+        prop_assert_eq!(det.skipped, 0);
+        for threads in 1..=4usize {
+            let eager = certk_by_components(
+                &q,
+                &comps,
+                &solutions,
+                cfg.with_threads(threads).with_early_exit(true),
+            );
+            prop_assert_eq!(
+                eager.certain, det.certain,
+                "early exit moved the verdict at {} threads on {:?}", threads, db
+            );
+            prop_assert_eq!(
+                eager.components.len() + eager.skipped, comps.len(),
+                "decided + skipped must cover the partition at {} threads", threads
+            );
+            if !det.certain {
+                // No certain component → the cancel flag is never raised
+                // → evidence is complete and identical.
+                prop_assert_eq!(eager.skipped, 0);
+                prop_assert_eq!(
+                    format!("{:?}", eager.components),
+                    format!("{:?}", det.components)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_verdict_equals_deterministic_on_q6(db in q6_db_strategy()) {
+        let q = examples::q6();
+        let cfg = CertKConfig::new(3);
+        let solutions = SolutionSet::enumerate(&q, &db);
+        let comps =
+            cqa_solvers::components::q_connected_components_with_solutions(&q, &db, &solutions);
+        let det = certk_by_components(&q, &comps, &solutions, cfg.with_threads(1));
+        for threads in 1..=4usize {
+            let eager = certk_by_components(
+                &q,
+                &comps,
+                &solutions,
+                cfg.with_threads(threads).with_early_exit(true),
+            );
+            prop_assert_eq!(
+                eager.certain, det.certain,
+                "early exit moved the verdict at {} threads on {:?}", threads, db
+            );
+            prop_assert_eq!(eager.components.len() + eager.skipped, comps.len());
+        }
     }
 
     #[test]

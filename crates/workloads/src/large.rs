@@ -31,7 +31,10 @@
 //! The chain family above keeps blocks narrow; the **contested** family
 //! ([`ContestedWorkloadConfig`] / [`large_contested_q3_db`] /
 //! [`write_large_contested_q3`]) instead builds wide shared-block funnels
-//! — the `Cert_k` antichain stress shape — at arbitrary scale.
+//! — the `Cert_k` antichain stress shape — at arbitrary scale, with a
+//! [`certain_fraction`](ContestedWorkloadConfig::certain_fraction) knob
+//! controlling how many clusters are certain (the certain-heavy shape the
+//! engine's early-exit fan-out exploits).
 //!
 //! [`q3_chain_db`]: crate::q3_chain_db
 //! [`q3_escape_db`]: crate::q3_escape_db
@@ -252,58 +255,107 @@ pub fn write_large_q3<W: Write>(
 /// harder a naive fact-keyed antichain index degrades (see the
 /// `cert2_q3/contested` series in `BASELINES.md`).
 ///
-/// Generation is deterministic (no RNG: the shape is fixed by `facts` and
-/// `width`) and chunk-parallel like the chain family; the output never
+/// [`ContestedWorkloadConfig::certain_fraction`] makes the family
+/// *certain-heavy* rather than all-certain: the given fraction of
+/// clusters keeps the certain funnel shape, the rest are rebuilt as
+/// falsifiable funnels (every contested choice escapes to a private dead
+/// end and the hub block is contested too, so one repair avoids all
+/// solutions). Certain clusters are spread evenly across the cluster
+/// index range — the workload behind the early-exit benchmarks, where
+/// how soon the fan-out meets a certain component is what matters.
+///
+/// Generation is deterministic (no RNG: the shape is fixed by the
+/// config) and chunk-parallel like the chain family; the output never
 /// depends on `threads`.
 #[derive(Clone, Copy, Debug)]
 pub struct ContestedWorkloadConfig {
-    /// Target total fact count. Whole clusters round it: each cluster has
-    /// `2·width + 2` facts.
+    /// Target total fact count. Whole clusters round it: a certain
+    /// cluster has `2·width + 2` facts, a falsifiable one `2·width + 3`.
     pub facts: usize,
     /// Contested two-fact blocks per cluster (`≥ 1`).
     pub width: usize,
+    /// Fraction of clusters that are certain, in `0.0..=1.0` (default
+    /// `1.0`, the historical all-certain family). Clusters are assigned
+    /// deterministically: cluster `c` is certain iff
+    /// `⌊(c+1)·f⌋ > ⌊c·f⌋`, spreading `round(m·f)` certain clusters
+    /// evenly over the index range.
+    pub certain_fraction: f64,
     /// Construction fan-out (`1` = sequential). Never affects the
     /// generated facts.
     pub threads: usize,
 }
 
 impl ContestedWorkloadConfig {
-    /// A config targeting `facts` total facts with the given funnel width.
+    /// A config targeting `facts` total facts with the given funnel width
+    /// (all clusters certain, the historical shape).
     pub fn new(facts: usize, width: usize) -> ContestedWorkloadConfig {
         ContestedWorkloadConfig {
             facts,
             width,
+            certain_fraction: 1.0,
             threads: minipool::max_threads(),
         }
     }
 
-    /// Number of clusters generated: `facts` divided by the per-cluster
-    /// fact count `2·width + 2` (at least 1).
+    /// This configuration with an explicit certain-cluster fraction.
+    pub fn with_certain_fraction(mut self, fraction: f64) -> ContestedWorkloadConfig {
+        self.certain_fraction = fraction;
+        self
+    }
+
+    /// Number of clusters generated: `facts` divided by the expected
+    /// per-cluster fact count (at least 1).
     pub fn cluster_count(&self) -> usize {
-        let per_cluster = 2 * self.width + 2;
-        ((self.facts as f64 / per_cluster as f64).round() as usize).max(1)
+        let per_cluster =
+            2.0 * self.width as f64 + 2.0 + (1.0 - self.certain_fraction.clamp(0.0, 1.0));
+        ((self.facts as f64 / per_cluster).round() as usize).max(1)
+    }
+
+    /// Is cluster `c` of this config a certain funnel? Deterministic
+    /// even spreading: certain iff the scaled index crosses an integer.
+    fn cluster_is_certain(&self, c: usize) -> bool {
+        let f = self.certain_fraction.clamp(0.0, 1.0);
+        (((c + 1) as f64) * f).floor() > ((c as f64) * f).floor()
     }
 
     fn validate(&self) {
         assert!(self.facts >= 1, "facts must be at least 1");
         assert!(self.width >= 1, "funnel width must be at least 1");
+        assert!(
+            (0.0..=1.0).contains(&self.certain_fraction),
+            "certain fraction must lie in 0.0..=1.0, got {}",
+            self.certain_fraction
+        );
     }
 }
 
-/// One contested cluster: `R(tail | sink)`, `R(hub | tail)`, and for each
-/// `i < width` the contested block `{R(wᵢ | tail), R(wᵢ | hub)}` — both
-/// choices reach a satisfied tail, so the cluster is certain for `q3`.
-fn contested_cluster_facts(c: usize, width: usize) -> Vec<Fact> {
+/// One contested cluster. Certain shape: `R(tail | sink)`,
+/// `R(hub | tail)`, and for each `i < width` the contested block
+/// `{R(wᵢ | tail), R(wᵢ | hub)}` — both choices reach a satisfied tail,
+/// so every repair satisfies `q3`. Falsifiable shape: the `wᵢ` escapes
+/// point at private dead ends (`R(wᵢ | tail)` vs `R(wᵢ | dᵢ)`) and the
+/// hub block is contested by a dead-end escape of its own, so the repair
+/// picking every escape has no solution.
+fn contested_cluster_facts(cfg: &ContestedWorkloadConfig, c: usize) -> Vec<Fact> {
+    let width = cfg.width;
+    let certain = cfg.cluster_is_certain(c);
     let hub = Elem::named(format!("c{c}h"));
     let tail = Elem::named(format!("c{c}t"));
     let sink = Elem::named(format!("c{c}s"));
-    let mut out = Vec::with_capacity(2 * width + 2);
+    let mut out = Vec::with_capacity(2 * width + 3);
     out.push(Fact::r(vec![tail, sink]));
     out.push(Fact::r(vec![hub, tail]));
+    if !certain {
+        out.push(Fact::r(vec![hub, Elem::named(format!("c{c}hd"))]));
+    }
     for i in 0..width {
         let w = Elem::named(format!("c{c}w{i}"));
         out.push(Fact::r(vec![w, tail]));
-        out.push(Fact::r(vec![w, hub]));
+        if certain {
+            out.push(Fact::r(vec![w, hub]));
+        } else {
+            out.push(Fact::r(vec![w, Elem::named(format!("c{c}d{i}"))]));
+        }
     }
     out
 }
@@ -317,7 +369,7 @@ pub fn large_contested_q3_db(cfg: &ContestedWorkloadConfig) -> Database {
     let chunks: Vec<Vec<Fact>> = minipool::par_map(cfg.threads, &ranges, |range| {
         let mut facts = Vec::new();
         for c in range.clone() {
-            facts.extend(contested_cluster_facts(c, cfg.width));
+            facts.extend(contested_cluster_facts(cfg, c));
         }
         facts
     });
@@ -341,8 +393,8 @@ pub fn write_large_contested_q3<W: Write>(
     let m = cfg.cluster_count();
     writeln!(
         w,
-        "# cqa contested-q3 workload: facts~{} width={}",
-        cfg.facts, cfg.width
+        "# cqa contested-q3 workload: facts~{} width={} certain-fraction={}",
+        cfg.facts, cfg.width, cfg.certain_fraction
     )?;
     let mut stats = LargeWorkloadStats {
         facts: 0,
@@ -358,12 +410,13 @@ pub fn write_large_contested_q3<W: Write>(
                 let mut facts = 0usize;
                 let mut conflicted = 0usize;
                 for c in range.clone() {
-                    for f in contested_cluster_facts(c, cfg.width) {
+                    for f in contested_cluster_facts(cfg, c) {
                         use std::fmt::Write as _;
                         let _ = writeln!(text, "R({} | {})", f.at(0), f.at(1));
                         facts += 1;
                     }
-                    conflicted += cfg.width;
+                    // A falsifiable cluster contests its hub block too.
+                    conflicted += cfg.width + usize::from(!cfg.cluster_is_certain(c));
                 }
                 (text, facts, conflicted)
             });
@@ -520,6 +573,55 @@ mod tests {
                 .unwrap();
             assert_eq!(String::from_utf8(other).unwrap(), text);
         }
+    }
+
+    #[test]
+    fn contested_certain_fraction_controls_the_verdict() {
+        let q3 = examples::q3();
+        // Fraction 0: every cluster falsifiable, database not certain.
+        let none = ContestedWorkloadConfig::new(400, 6).with_certain_fraction(0.0);
+        let db = large_contested_q3_db(&none);
+        assert!(!cqa_solvers::certain_brute(&q3, &db));
+        assert!(!cqa_solvers::cert2(&q3, &db).is_certain());
+        let comps = cqa_solvers::q_connected_components(&q3, &db);
+        assert_eq!(
+            comps.len(),
+            none.cluster_count(),
+            "falsifiable clusters stay single components"
+        );
+
+        // Fraction 0.5: about half the clusters certain, evenly spread,
+        // so the database is certain and roughly half the per-cluster
+        // verdicts are.
+        let half = ContestedWorkloadConfig::new(600, 6).with_certain_fraction(0.5);
+        let db = large_contested_q3_db(&half);
+        assert!(cqa_solvers::cert2(&q3, &db).is_certain());
+        let combined = cqa_solvers::certain_combined(&q3, &db, CertKConfig::new(2).with_threads(1));
+        let certain_clusters = combined.components.iter().filter(|v| v.certain).count();
+        let m = half.cluster_count();
+        assert!(
+            certain_clusters >= m / 3 && certain_clusters <= 2 * m / 3 + 1,
+            "{certain_clusters}/{m} certain clusters for fraction 0.5"
+        );
+        // The first certain cluster appears early (even spreading): the
+        // property the early-exit fan-out relies on.
+        let first_certain = combined.components.iter().position(|v| v.certain);
+        assert!(first_certain.unwrap() <= 2, "{first_certain:?}");
+
+        // Streamed output matches the in-memory database here too.
+        let mut buf = Vec::new();
+        let stats = write_large_contested_q3(&half, &mut buf).unwrap();
+        assert_eq!(stats.facts, db.len());
+        assert_eq!(stats.blocks, db.block_count());
+        let inconsistent_blocks = db.block_ids().filter(|&b| db.block(b).len() >= 2).count();
+        assert_eq!(stats.conflicted_blocks, inconsistent_blocks);
+    }
+
+    #[test]
+    #[should_panic(expected = "certain fraction")]
+    fn contested_rejects_bad_fraction() {
+        let cfg = ContestedWorkloadConfig::new(100, 2).with_certain_fraction(1.5);
+        let _ = large_contested_q3_db(&cfg);
     }
 
     #[test]

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Check that every intra-repository markdown link in the top-level docs
+# resolves to an existing file, so handbook links cannot rot.
+#
+# Covered: README.md, ARCHITECTURE.md, BASELINES.md, ROADMAP.md and
+# docs/*.md. External links (http/https) and pure #anchor links are
+# skipped; a `path#anchor` link is checked for the file part only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for doc in README.md ARCHITECTURE.md BASELINES.md ROADMAP.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # Markdown inline links: capture the (...) target of [text](target).
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    file=${target%%#*}
+    [ -n "$file" ] || continue
+    # Resolve relative to the linking document only — that is how GitHub
+    # renders relative links, so a repo-root fallback would wave through
+    # links that 404 when rendered.
+    if [ ! -e "$dir/$file" ]; then
+      echo "BROKEN LINK: $doc -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -o ']([^)]*)' "$doc" | sed 's/^](//; s/)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc link check failed" >&2
+  exit 1
+fi
+echo "doc links OK"
