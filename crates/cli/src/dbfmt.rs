@@ -125,15 +125,38 @@ fn parse_fact(text: &str) -> Result<(RelId, Vec<Elem>, usize), String> {
         "R2" => RelId::R2,
         other => return Err(format!("unknown relation {other:?} (use R, R1 or R2)")),
     };
+    let trailing = text[close + 1..].trim();
+    if !trailing.is_empty() {
+        return Err(format!("trailing input {trailing:?} after ')'"));
+    }
     let inner = &text[open + 1..close];
-    let (key_part, val_part) = match inner.find('|') {
-        Some(bar) => (&inner[..bar], &inner[bar + 1..]),
+    // Locate the key/value bar with ⟨…⟩ depth awareness: a '|' inside a
+    // pair element (e.g. `R(⟨a|b⟩ x | y)`) is element payload, not the
+    // separator. Unbalanced brackets are caught by `tokens` below, so a
+    // stray '⟩' here may saturate the depth without masking anything.
+    let mut bar = None;
+    let mut depth = 0usize;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '⟨' => depth += 1,
+            '⟩' => depth = depth.saturating_sub(1),
+            '|' if depth == 0 => {
+                bar = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let (key_part, val_part) = match bar {
+        Some(i) => (&inner[..i], &inner[i + 1..]),
         None => ("", inner),
     };
     // Tokenize with awareness of ⟨…⟩ pair elements (which contain commas):
     // a token is either a balanced ⟨…⟩ group or a run of non-separator
-    // characters.
-    fn tokens(s: &str) -> Vec<Elem> {
+    // characters. Unbalanced brackets and a second top-level '|' are
+    // errors — silently merging them into an element corrupts the tuple
+    // and breaks the write→parse→write fixpoint.
+    fn tokens(s: &str) -> Result<Vec<Elem>, String> {
         let mut out = Vec::new();
         let mut cur = String::new();
         let mut depth = 0usize;
@@ -144,8 +167,18 @@ fn parse_fact(text: &str) -> Result<(RelId, Vec<Elem>, usize), String> {
                     cur.push(c);
                 }
                 '⟩' => {
-                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return Err("stray '⟩' with no matching '⟨'".into());
+                    }
+                    depth -= 1;
                     cur.push(c);
+                }
+                '|' if depth == 0 => {
+                    return Err(
+                        "unexpected '|' (one key/value separator per fact; a literal '|' \
+                         must sit inside a ⟨…⟩ element)"
+                            .into(),
+                    );
                 }
                 c if depth == 0 && (c.is_whitespace() || c == ',') => {
                     if !cur.is_empty() {
@@ -155,13 +188,16 @@ fn parse_fact(text: &str) -> Result<(RelId, Vec<Elem>, usize), String> {
                 c => cur.push(c),
             }
         }
+        if depth != 0 {
+            return Err(format!("unclosed '⟨' ({depth} open at end of fact)"));
+        }
         if !cur.is_empty() {
             out.push(Elem::named(cur));
         }
-        out
+        Ok(out)
     }
-    let key = tokens(key_part);
-    let vals = tokens(val_part);
+    let key = tokens(key_part)?;
+    let vals = tokens(val_part)?;
     let key_len = key.len();
     let mut tuple = key;
     tuple.extend(vals);
@@ -329,6 +365,11 @@ pub fn write_database(db: &Database) -> String {
                     let _ = write!(out, " ");
                 }
             }
+            // `l = k`: every position is key, so the bar trails — omitting
+            // it would re-parse the fact with an *empty* key.
+            if sig.key_len() == f.arity() {
+                let _ = write!(out, " |");
+            }
             let _ = writeln!(out, ")");
         }
     }
@@ -370,6 +411,74 @@ R(bob | dave)
         assert_eq!(db.signature().arity(), 4);
         let db2 = parse_database(&write_database(&db)).unwrap();
         assert_eq!(db2.len(), 1);
+    }
+
+    #[test]
+    fn pair_elements_may_contain_bars() {
+        // Fuzz-found (minimised reproducer in crates/fuzz/regressions/
+        // dbfmt/pair-bar-key-split): the key/value split used to find the
+        // first '|' without ⟨…⟩ depth awareness, so a bar inside a pair
+        // element corrupted both the element and the key length.
+        let db = parse_database("R(⟨a|b⟩ x | y)").unwrap();
+        assert_eq!(db.signature().arity(), 3);
+        assert_eq!(db.signature().key_len(), 2);
+        let (_, f) = db.facts().next().unwrap();
+        let shown: Vec<String> = f.tuple().iter().map(|e| e.to_string()).collect();
+        assert_eq!(shown, ["⟨a|b⟩", "x", "y"]);
+        // …and the fixpoint holds from the first write on.
+        let t1 = write_database(&db);
+        let t2 = write_database(&parse_database(&t1).unwrap());
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn full_key_facts_keep_their_trailing_bar() {
+        // Fuzz-found (minimised reproducer in crates/fuzz/regressions/
+        // dbfmt/full-key-trailing-bar): with `l = k` the writer used to
+        // omit the bar entirely, so `R(a b |)` wrote back as `R(a b)` and
+        // re-parsed with an *empty* key.
+        let db = parse_database("R(a b |)\nR(a c |)").unwrap();
+        assert_eq!(db.signature().key_len(), 2);
+        assert_eq!(db.block_count(), 2, "full-key facts are their own blocks");
+        let t1 = write_database(&db);
+        let db2 = parse_database(&t1).unwrap();
+        assert_eq!(db2.signature().key_len(), 2, "key length lost in writing");
+        assert_eq!(write_database(&db2), t1);
+    }
+
+    #[test]
+    fn unbalanced_brackets_are_positioned_errors() {
+        // Stray '⟩' (fuzz regression dbfmt/stray-close).
+        let err = parse_database("R(a | b)\nR(a⟩ | c)\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.offset, 9);
+        assert_eq!(err.text, "R(a⟩ | c)");
+        assert!(err.message.contains("stray '⟩'"), "{err}");
+        // Unclosed '⟨' (fuzz regression dbfmt/unclosed-open).
+        let err = parse_database("R(⟨a | b)").unwrap_err();
+        assert!(err.message.contains("unclosed '⟨'"), "{err}");
+        // A stray '⟩' in the value part is caught too.
+        let err = parse_database("R(a | b⟩)").unwrap_err();
+        assert!(err.message.contains("stray '⟩'"), "{err}");
+        // Proper nesting still parses.
+        let db = parse_database("R(⟨⟨x,y⟩,z⟩ | w)").unwrap();
+        assert_eq!(db.signature().arity(), 2);
+    }
+
+    #[test]
+    fn second_top_level_bar_is_an_error() {
+        let err = parse_database("R(a | b | c)").unwrap_err();
+        assert!(err.message.contains("unexpected '|'"), "{err}");
+        // Inside a pair element a second bar is payload, not an error.
+        assert!(parse_database("R(⟨a|b⟩ | ⟨c|d⟩)").is_ok());
+    }
+
+    #[test]
+    fn trailing_garbage_after_close_paren_is_an_error() {
+        let err = parse_database("R(a | b) x").unwrap_err();
+        assert!(err.message.contains("trailing input"), "{err}");
+        // A trailing comment is still fine.
+        assert!(parse_database("R(a | b)   # note").is_ok());
     }
 
     #[test]

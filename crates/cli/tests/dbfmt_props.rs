@@ -2,9 +2,11 @@
 //! parse→format→parse equality, CRLF invariance, and streaming/in-memory
 //! agreement on arbitrary generated databases.
 
+use cqa_cli::cmd_batch;
 use cqa_cli::dbfmt::{parse_database, read_database, write_database};
 use cqa_model::{Database, Elem, Fact, RelId, Signature};
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 
 /// Elements whose display forms survive the tokenizer: names, integers
 /// (reparsed as equal-looking names) and ⟨…⟩ pairs with inner commas.
@@ -16,18 +18,51 @@ fn elem_strategy() -> impl Strategy<Value = Elem> {
     ]
 }
 
-/// A database over one random signature (key strictly shorter than the
-/// arity, as the bar-position inference requires) with facts spread over
-/// all three relation names.
-fn db_strategy() -> impl Strategy<Value = Database> {
+/// Hostile-but-well-formed element payloads: reserved characters (`|`,
+/// `(`, `)`, commas) inside balanced `⟨…⟩`, parens in bare names, and
+/// non-ASCII — everything `docs/FORMAT.md` promises survives a round
+/// trip. (Depth-0 `|`/`,`/whitespace and unbalanced brackets are *not*
+/// element payload; those are rejected, and the fuzz targets cover them.)
+fn hostile_payload() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("⟨a|b⟩".to_string()),
+        Just("⟨x,y⟩".to_string()),
+        Just("⟨⟨p,q⟩,r⟩".to_string()),
+        Just("(paren".to_string()),
+        Just("paren)".to_string()),
+        Just("a(b)c".to_string()),
+        Just("\u{e9}\u{27e8}\u{fc},\u{df}\u{27e9}".to_string()), // é⟨ü,ß⟩
+        Just("⟨a b,c|d⟩".to_string()),
+        "[a-z]{1,4}".prop_map(|s| format!("⟨{s}|{s}⟩")),
+    ]
+}
+
+/// Elements mixing the tame [`elem_strategy`] pool with hostile payloads,
+/// both as opaque names and as the payload of a pair element.
+fn adversarial_elem_strategy() -> impl Strategy<Value = Elem> {
+    prop_oneof![
+        elem_strategy(),
+        hostile_payload().prop_map(Elem::named),
+        // No commas inside the components: the pair's one top-level comma
+        // must stay unambiguous, or two distinct pairs could display
+        // identically and legitimately merge on reparse.
+        ("[a-c|() ]{1,5}", "[x-z|() ]{1,5}")
+            .prop_map(|(a, b)| Elem::pair(Elem::named(a), Elem::named(b))),
+    ]
+}
+
+/// A database over one random signature (any key length up to and
+/// including the arity — full-key facts carry a trailing bar) with facts
+/// spread over all three relation names.
+fn db_with_elems(elems: BoxedStrategy<Elem>) -> impl Strategy<Value = Database> {
     (1usize..4)
         .prop_flat_map(|arity| {
-            let key_len = 0..arity;
+            let key_len = 0..arity + 1;
             (Just(arity), key_len)
         })
-        .prop_flat_map(|(arity, key_len)| {
+        .prop_flat_map(move |(arity, key_len)| {
             let rel = prop_oneof![Just(RelId::R), Just(RelId::R1), Just(RelId::R2)];
-            let fact = (rel, proptest::collection::vec(elem_strategy(), arity));
+            let fact = (rel, proptest::collection::vec(elems.clone(), arity));
             proptest::collection::vec(fact, 1..10).prop_map(move |rows| {
                 let mut db = Database::new(Signature::new(arity, key_len).unwrap());
                 for (rel, tuple) in rows {
@@ -36,6 +71,10 @@ fn db_strategy() -> impl Strategy<Value = Database> {
                 db
             })
         })
+}
+
+fn db_strategy() -> impl Strategy<Value = Database> {
+    db_with_elems(elem_strategy().boxed())
 }
 
 proptest! {
@@ -86,5 +125,73 @@ proptest! {
         let streamed = read_database(std::io::Cursor::new(text.as_bytes())).unwrap();
         let parsed = parse_database(&text).unwrap();
         prop_assert_eq!(write_database(&streamed), write_database(&parsed));
+    }
+
+    #[test]
+    fn adversarial_payloads_keep_the_fixpoint(
+        db in db_with_elems(adversarial_elem_strategy().boxed()),
+    ) {
+        // Reserved characters inside balanced ⟨…⟩, parens in names,
+        // non-ASCII: all element payload, none of it may corrupt the
+        // write→parse→write fixpoint or the tuple shape.
+        let t1 = write_database(&db);
+        let parsed = match parse_database(&t1) {
+            Ok(parsed) => parsed,
+            Err(e) => return Err(TestCaseError::Fail(format!(
+                "well-formed adversarial database rejected: {e}"
+            ))),
+        };
+        prop_assert_eq!(&t1, &write_database(&parsed), "fixpoint broken");
+        prop_assert_eq!(parsed.len(), db.len());
+        prop_assert_eq!(parsed.block_count(), db.block_count());
+        prop_assert_eq!(parsed.signature(), db.signature());
+    }
+
+    #[test]
+    fn batch_errors_stay_positioned_under_adversarial_lines(
+        n_valid in 0usize..4,
+        junk in "[(|), $x]{0,20}",
+        payload in hostile_payload(),
+        pad_long in 0usize..2,
+    ) {
+        // Mirror of the fact-file error contract on the batch queries
+        // file: the first malformed line is reported with its 1-based
+        // line number, the byte offset of its start, and a bounded echo
+        // of its text — no matter what reserved characters it holds.
+        let db = parse_database("R(a | b)\nR(b | c)\n").unwrap();
+        let valid = "R(x | y) R(y | z)\n";
+        let mut text = valid.repeat(n_valid);
+        let expected_line = n_valid + 1;
+        let expected_offset = text.len();
+        let mut bad = format!("${junk}{payload}");
+        if pad_long == 1 {
+            bad.push_str(&"x".repeat(140));
+        }
+        text.push_str(&bad);
+        text.push('\n');
+        text.push_str(valid);
+        let err = match cmd_batch(&db, &text, Some(1), None, false, false) {
+            Err(err) => err,
+            Ok(_) => return Err(TestCaseError::Fail(format!(
+                "malformed line {bad:?} was accepted"
+            ))),
+        };
+        let head = format!("queries line {expected_line} (byte offset {expected_offset}): ");
+        prop_assert!(
+            err.message.starts_with(&head),
+            "error {:?} does not start with {:?}", err.message, head
+        );
+        let echo = err.message.lines().last().unwrap_or("");
+        prop_assert!(
+            echo.starts_with("  | "),
+            "error {:?} does not echo the offending line", err.message
+        );
+        prop_assert!(
+            echo.chars().count() <= 4 + 121,
+            "echoed line not truncated: {} chars", echo.chars().count()
+        );
+        if pad_long == 1 {
+            prop_assert!(echo.ends_with('…'), "long line echo lacks the cut mark");
+        }
     }
 }

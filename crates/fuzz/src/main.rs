@@ -1,0 +1,126 @@
+//! `cqa-fuzz` — run the fuzz targets from the command line.
+//!
+//! ```text
+//! cqa-fuzz <dbfmt|query|batch|differential|all>
+//!          [--seed S] [--iters N] [--time-secs T] [--max-crashes M]
+//! ```
+//!
+//! Exit code 0 when every run finishes crash-free, 1 otherwise. Crashing
+//! inputs are printed minimised (escaped, plus hex when not UTF-8) so
+//! they can be copied into `crates/fuzz/regressions/<target>/` verbatim.
+
+use cqa_fuzz::{Config, Report, TargetKind};
+use std::time::Duration;
+
+fn usage() -> String {
+    format!(
+        "usage: cqa-fuzz <{}|all> [--seed S] [--iters N] [--time-secs T] [--max-crashes M]",
+        TargetKind::ALL.map(TargetKind::name).join("|")
+    )
+}
+
+fn parse_args(args: &[String]) -> Result<(Vec<TargetKind>, Config), String> {
+    let Some((head, flags)) = args.split_first() else {
+        return Err(usage());
+    };
+    let kinds = if head == "all" {
+        TargetKind::ALL.to_vec()
+    } else {
+        vec![TargetKind::from_name(head)
+            .ok_or_else(|| format!("unknown target {head:?}\n{}", usage()))?]
+    };
+    let mut cfg = Config {
+        max_iterations: 100_000,
+        ..Config::default()
+    };
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--iters" => {
+                cfg.max_iterations = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
+            }
+            "--time-secs" => {
+                let secs: u64 = value("--time-secs")?
+                    .parse()
+                    .map_err(|e| format!("--time-secs: {e}"))?;
+                cfg.time_limit = Some(Duration::from_secs(secs));
+                // A pure time budget: do not stop at the iteration default.
+                cfg.max_iterations = u64::MAX;
+            }
+            "--max-crashes" => {
+                cfg.max_crashes = value("--max-crashes")?
+                    .parse()
+                    .map_err(|e| format!("--max-crashes: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok((kinds, cfg))
+}
+
+/// Render an input for the report: quoted text when UTF-8, hex otherwise.
+fn render(bytes: &[u8]) -> String {
+    match std::str::from_utf8(bytes) {
+        Ok(s) => format!("{s:?}"),
+        Err(_) => bytes.iter().map(|b| format!("{b:02x}")).collect(),
+    }
+}
+
+fn print_report(kind: TargetKind, report: &Report) {
+    println!(
+        "{}: {} iterations in {:.1?} ({} accepted, {} rejected, {} crash{})",
+        kind.name(),
+        report.iterations,
+        report.elapsed,
+        report.accepted,
+        report.rejected,
+        report.crashes.len(),
+        if report.crashes.len() == 1 { "" } else { "es" },
+    );
+    for crash in &report.crashes {
+        println!("  CRASH: {}", crash.message.lines().next().unwrap_or(""));
+        println!(
+            "    input     ({} bytes): {}",
+            crash.input.len(),
+            render(&crash.input)
+        );
+        println!(
+            "    minimised ({} bytes): {}",
+            crash.minimised.len(),
+            render(&crash.minimised)
+        );
+        println!(
+            "    replay: save the minimised bytes under crates/fuzz/regressions/{}/",
+            kind.name()
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (kinds, cfg) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let mut crashed = false;
+    for kind in kinds {
+        let report = kind.run(&cfg);
+        print_report(kind, &report);
+        crashed |= !report.crashes.is_empty();
+    }
+    std::process::exit(if crashed { 1 } else { 0 });
+}

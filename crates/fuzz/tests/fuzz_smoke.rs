@@ -1,0 +1,67 @@
+//! Bounded fuzz smoke: run every target for a deterministic slice of its
+//! CI budget on each `cargo test`. The full-length runs (10⁵+ iterations
+//! per parser target) happen in CI via the release `cqa-fuzz` binary;
+//! these debug-mode runs keep the loop itself and the target invariants
+//! honest between CI runs.
+
+use cqa_fuzz::{Config, TargetKind};
+use std::time::Duration;
+
+fn smoke(kind: TargetKind, iterations: u64, secs: u64) {
+    let cfg = Config {
+        seed: 0xc0ffee,
+        max_iterations: iterations,
+        time_limit: Some(Duration::from_secs(secs)),
+        ..Config::default()
+    };
+    let report = kind.run(&cfg);
+    assert!(report.iterations > 0, "{} did not run", kind.name());
+    if let Some(crash) = report.crashes.first() {
+        panic!(
+            "{} crash on {:?} (minimised {:?}): {}",
+            kind.name(),
+            String::from_utf8_lossy(&crash.input),
+            String::from_utf8_lossy(&crash.minimised),
+            crash.message
+        );
+    }
+    assert!(
+        report.rejected > 0,
+        "{}: a mutation loop that never produces a rejected input is not exploring",
+        kind.name()
+    );
+}
+
+#[test]
+fn dbfmt_target_smoke() {
+    smoke(TargetKind::Dbfmt, 25_000, 60);
+}
+
+#[test]
+fn query_target_smoke() {
+    smoke(TargetKind::Query, 25_000, 60);
+}
+
+#[test]
+fn batch_target_smoke() {
+    smoke(TargetKind::Batch, 5_000, 60);
+}
+
+#[test]
+fn differential_target_smoke() {
+    smoke(TargetKind::Differential, 600, 120);
+}
+
+#[test]
+fn fuzz_runs_replay_deterministically() {
+    let cfg = Config {
+        seed: 42,
+        max_iterations: 3_000,
+        ..Config::default()
+    };
+    let a = TargetKind::Dbfmt.run(&cfg);
+    let b = TargetKind::Dbfmt.run(&cfg);
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.accepted, b.accepted);
+    assert_eq!(a.rejected, b.rejected);
+}

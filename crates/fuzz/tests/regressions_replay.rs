@@ -1,0 +1,53 @@
+//! Replay the checked-in regression corpus on every `cargo test`: every
+//! input that ever crashed a target (or pinned a hand-fixed parser bug)
+//! must stay crash-free forever. New crashes found by `cqa-fuzz` runs are
+//! added under `crates/fuzz/regressions/<target>/` and picked up here
+//! automatically.
+
+use cqa_fuzz::{regression_inputs, TargetKind, Verdict};
+
+#[test]
+fn corpus_replays_without_crashes() {
+    let inputs = regression_inputs();
+    assert!(inputs.len() >= 10, "corpus unexpectedly small");
+    for reg in &inputs {
+        let mut target = reg.kind.target();
+        if let Verdict::Crash(msg) = minifuzz::run_caught(&mut target, &reg.bytes) {
+            panic!("{} crashes again: {msg}", reg.path.display());
+        }
+    }
+}
+
+#[test]
+fn known_verdicts_hold() {
+    // The two hand-fixed dbfmt bugs, pinned to their exact verdicts: the
+    // depth-aware bar split must *accept* a bar inside a pair element,
+    // and unbalanced brackets must be *cleanly rejected*.
+    let expect = [
+        ("dbfmt", "pair-bar-key-split", Verdict::Ok),
+        ("dbfmt", "stray-close", Verdict::Reject),
+        ("dbfmt", "unclosed-open", Verdict::Reject),
+        ("dbfmt", "double-bar", Verdict::Reject),
+        ("dbfmt", "trailing-garbage", Verdict::Reject),
+        ("dbfmt", "crlf-mixed", Verdict::Ok),
+        ("dbfmt", "full-key-trailing-bar", Verdict::Ok),
+        ("dbfmt", "full-key-minimised", Verdict::Ok),
+        ("dbfmt", "nested-pairs", Verdict::Ok),
+        ("query", "double-bar", Verdict::Reject),
+        ("query", "bad-var-name", Verdict::Reject),
+        ("query", "compact-ambiguous-display", Verdict::Ok),
+        ("batch", "malformed-second-line", Verdict::Reject),
+        ("batch", "mixed-valid-lines", Verdict::Ok),
+    ];
+    let inputs = regression_inputs();
+    for (dir, file, want) in expect {
+        let kind = TargetKind::from_name(dir).unwrap();
+        let reg = inputs
+            .iter()
+            .find(|r| r.kind == kind && r.path.file_name().is_some_and(|n| n == file))
+            .unwrap_or_else(|| panic!("regressions/{dir}/{file} missing"));
+        let mut target = kind.target();
+        let got = minifuzz::run_caught(&mut target, &reg.bytes);
+        assert_eq!(got, want, "regressions/{dir}/{file}");
+    }
+}

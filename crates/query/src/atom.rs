@@ -94,19 +94,35 @@ impl Atom {
     }
 
     /// Render with the key prefix separated by `|`, e.g. `R(x u | x y)`.
+    ///
+    /// A segment holding a single multi-letter variable is rendered with a
+    /// trailing comma (`R(ab, | x)`): without it the text would re-parse in
+    /// the compact form (`ab` ≡ `a b`) and change arity. The parser drops
+    /// empty separator tokens, so the comma is otherwise inert.
     pub fn display(&self, sig: &Signature) -> String {
+        fn lone_multiletter(vars: &[Var]) -> bool {
+            vars.len() == 1
+                && vars[0].name().len() > 1
+                && vars[0].name().chars().all(|c| c.is_ascii_alphabetic())
+        }
+        let l = sig.key_len();
         let mut s = format!("{}(", self.rel);
         for (i, v) in self.vars.iter().enumerate() {
-            if i == sig.key_len() {
+            if i == l {
                 s.push_str("| ");
             }
             s.push_str(v.name());
+            if (i + 1 == l && lone_multiletter(&self.vars[..l]))
+                || (i + 1 == self.vars.len() && lone_multiletter(&self.vars[l..]))
+            {
+                s.push(',');
+            }
             if i + 1 != self.vars.len() {
                 s.push(' ');
             }
         }
         // `l = k` puts the bar at the very end; keep it readable.
-        if sig.key_len() == self.vars.len() {
+        if l == self.vars.len() {
             s.push_str(" |");
         }
         s.push(')');
@@ -168,6 +184,19 @@ mod tests {
         let sig = Signature::new(2, 2).unwrap();
         let a = Atom::r(["x", "y"]);
         assert_eq!(a.display(&sig), "R(x y |)");
+    }
+
+    #[test]
+    fn display_disambiguates_lone_multiletter_segments() {
+        // Regression: crates/fuzz/regressions/query/compact-ambiguous-display.
+        // `R(ab | x)` would re-parse compactly as `R(a b | x)`.
+        let sig = Signature::new(2, 1).unwrap();
+        assert_eq!(Atom::r(["ab", "x"]).display(&sig), "R(ab, | x)");
+        assert_eq!(Atom::r(["x", "ab"]).display(&sig), "R(x | ab,)");
+        let full = Signature::new(1, 1).unwrap();
+        assert_eq!(Atom::r(["ab"]).display(&full), "R(ab, |)");
+        // Digits already force the separated form on re-parse; no comma.
+        assert_eq!(Atom::r(["x1", "y"]).display(&sig), "R(x1 | y)");
     }
 
     #[test]

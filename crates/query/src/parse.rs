@@ -79,6 +79,11 @@ fn parse_atom(rest: &mut &str) -> Result<(Vec<Var>, usize, RelId), QueryError> {
         Some(bar) => (&inner[..bar], &inner[bar + 1..]),
         None => ("", inner),
     };
+    if val_part.contains('|') {
+        return Err(QueryError::Parse(format!(
+            "unexpected '|' in {inner:?} (one key/value separator per atom)"
+        )));
+    }
     // No bar means l = 0 and everything is a value position; with a bar, the
     // part before it is the key.
     let (key_vars, val_vars) = if inner.contains('|') {
@@ -103,11 +108,21 @@ fn parse_segment(seg: &str) -> Result<Vec<Var>, QueryError> {
         return Ok(Vec::new());
     }
     if seg.contains(|c: char| c.is_whitespace() || c == ',') {
-        return Ok(seg
+        let mut vars = Vec::new();
+        for t in seg
             .split(|c: char| c.is_whitespace() || c == ',')
             .filter(|t| !t.is_empty())
-            .map(Var::new)
-            .collect());
+        {
+            // The same alphabet the single-variable branch below allows —
+            // separators must not smuggle in names the syntax rejects.
+            if !t.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(QueryError::Parse(format!(
+                    "bad variable name {t:?} (variables are [A-Za-z0-9_]+)"
+                )));
+            }
+            vars.push(Var::new(t));
+        }
+        return Ok(vars);
     }
     // Compact form: "xuy" = x u y, valid only if every char is a letter.
     if seg.len() > 1 && seg.chars().all(|c| c.is_ascii_alphabetic()) {
@@ -182,6 +197,36 @@ mod tests {
         assert!(parse_query("S(x|y) S(y|z)").is_err()); // unknown relation
         assert!(parse_query("R(|) R(|)").is_err()); // no variables
         assert!(parse_query("R(x|y) R(y|z) R(z|w)").is_err()); // trailing atom
+    }
+
+    #[test]
+    fn second_bar_in_atom_is_an_error() {
+        // Regression: crates/fuzz/regressions/query/double-bar. The stray
+        // bar used to be swallowed by `find('|')` and the rest re-parsed as
+        // extra variables.
+        let err = parse_query("R(x | y | z) R(x | y | z)").unwrap_err();
+        assert!(err.to_string().contains("one key/value separator"));
+        assert!(parse_query("R(a | b|c) R(a | b c)").is_err());
+    }
+
+    #[test]
+    fn separated_variable_names_are_validated() {
+        // Regression: crates/fuzz/regressions/query/bad-var-name. The
+        // separator branch used to accept any token, so `a$` became a
+        // variable that `display()` could never round-trip.
+        let err = parse_query("R(a$, b | x) R(y, z | x)").unwrap_err();
+        assert!(err.to_string().contains("bad variable name"));
+        assert!(parse_query("R(x, ⟨a⟩ | y) R(x, z | y)").is_err());
+    }
+
+    #[test]
+    fn display_round_trips_lone_multiletter_vars() {
+        for s in ["R(ab, | x) R(y, | x)", "R(x | ab,) R(x | cd,)"] {
+            let q = parse_query(s).unwrap();
+            let shown = q.display();
+            let q2 = parse_query(&shown).unwrap_or_else(|e| panic!("{shown}: {e:?}"));
+            assert_eq!(q, q2, "display {shown:?} must re-parse to the same query");
+        }
     }
 
     #[test]

@@ -1,0 +1,599 @@
+//! Minimal, dependency-free, **deterministic** mutation-fuzzing loop — the
+//! offline stand-in for a `cargo-fuzz`/`libFuzzer` style harness (crates.io
+//! is unreachable in this build environment; see `vendor/README.md`).
+//!
+//! The loop is **coverage-blind**: there is no instrumentation feedback,
+//! only a seeded corpus, byte- and token-level mutators, and a fixed
+//! iteration (and optional wall-clock) budget. That is deliberate — the
+//! targets in `crates/fuzz` are *structure-aware* (they assert parser
+//! round-trip fixpoints and solver agreement, not just "no panic"), which
+//! recovers most of what coverage guidance buys on grammars this small,
+//! and keeping the loop feedback-free makes every run exactly reproducible
+//! from its seed.
+//!
+//! * [`FuzzRng`] — a splitmix64 generator. Self-contained on purpose: the
+//!   vendored `rand` shim could one day be swapped back to upstream rand
+//!   (whose stream differs), and fuzz inputs must stay replayable from a
+//!   recorded seed forever.
+//! * [`Mutator`] — stacked byte-level mutations (bit flips, inserts,
+//!   deletes, chunk duplication, corpus splicing) plus token-level
+//!   mutations from a caller-supplied dictionary (grammar atoms like
+//!   `R(`, `⟨`, `|`), bounded by a maximum input length.
+//! * [`fuzz`] — the driver: mutate a pool seeded from the caller's corpus,
+//!   run the target under [`std::panic::catch_unwind`], and report. A
+//!   target returns a [`Verdict`]: [`Verdict::Reject`] for cleanly refused
+//!   input (a parse error is a *success* for a hostile input), [`Verdict::Ok`]
+//!   for accepted input whose invariants all held, and [`Verdict::Crash`]
+//!   for violated invariants; panics are converted to crashes.
+//! * [`minimise`] — shrink a crashing input by halving / chunk removal /
+//!   single-byte removal against a caller-supplied "still crashes" oracle,
+//!   so recorded regression inputs stay readable.
+//!
+//! Determinism: the input sequence is a pure function of
+//! [`Config::seed`], the seed corpus and the target's own verdicts. A
+//! wall-clock limit can truncate a run, but the inputs visited up to that
+//! point are the same prefix every time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A splitmix64 pseudo-random generator: tiny, fast, and fixed for all
+/// time — recorded fuzz seeds must replay identically in every future
+/// build, so this deliberately does not share the vendored `rand` shim
+/// (which is documented as replaceable by upstream rand, whose stream
+/// differs).
+#[derive(Clone, Debug)]
+pub struct FuzzRng {
+    state: u64,
+}
+
+impl FuzzRng {
+    /// A generator seeded with `seed`.
+    pub fn seed_from_u64(seed: u64) -> FuzzRng {
+        FuzzRng { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `0..n`; `0` when `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// `true` with probability `num / den` (saturating; `den == 0` is
+    /// treated as always-false).
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        den != 0 && self.next_u64() % den < num
+    }
+
+    /// A uniformly chosen element of `xs`, or `None` when empty.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.below(xs.len())])
+        }
+    }
+}
+
+/// Stacked byte- and token-level mutations over a byte string.
+///
+/// Each [`Mutator::mutate`] call applies `1..=4` randomly chosen
+/// operations to a copy of the base input and clamps the result to
+/// [`Mutator::max_len`]. The token dictionary carries the target
+/// grammar's atoms (relation heads, brackets, separators), which is what
+/// lets a blind loop assemble structurally interesting inputs quickly.
+#[derive(Clone, Debug)]
+pub struct Mutator {
+    /// Token dictionary for token-level mutations (may be empty).
+    pub dict: Vec<Vec<u8>>,
+    /// Upper bound on produced input length, in bytes.
+    pub max_len: usize,
+}
+
+impl Mutator {
+    /// A mutator with the given dictionary and length bound.
+    pub fn new(dict: Vec<Vec<u8>>, max_len: usize) -> Mutator {
+        Mutator { dict, max_len }
+    }
+
+    /// One mutated descendant of `base`. `corpus` feeds the splice
+    /// operation (crossover with another retained input).
+    pub fn mutate(&self, rng: &mut FuzzRng, base: &[u8], corpus: &[Vec<u8>]) -> Vec<u8> {
+        let mut out = base.to_vec();
+        let rounds = 1 + rng.below(4);
+        for _ in 0..rounds {
+            self.mutate_once(rng, &mut out, corpus);
+        }
+        out.truncate(self.max_len);
+        out
+    }
+
+    fn mutate_once(&self, rng: &mut FuzzRng, buf: &mut Vec<u8>, corpus: &[Vec<u8>]) {
+        // 10 operations; byte-level ones dominate, token-level ones keep
+        // the pool structurally interesting.
+        match rng.below(10) {
+            // Flip one bit.
+            0 if !buf.is_empty() => {
+                let i = rng.below(buf.len());
+                buf[i] ^= 1 << rng.below(8);
+            }
+            // Overwrite one byte with a random printable-or-not byte.
+            1 if !buf.is_empty() => {
+                let i = rng.below(buf.len());
+                buf[i] = rng.next_u64() as u8;
+            }
+            // Insert one random byte.
+            2 => {
+                let i = rng.below(buf.len() + 1);
+                buf.insert(i, rng.next_u64() as u8);
+            }
+            // Delete one byte.
+            3 if !buf.is_empty() => {
+                let i = rng.below(buf.len());
+                buf.remove(i);
+            }
+            // Delete a chunk.
+            4 if buf.len() >= 2 => {
+                let start = rng.below(buf.len());
+                let len = 1 + rng.below(buf.len() - start);
+                buf.drain(start..start + len);
+            }
+            // Duplicate a chunk in place.
+            5 if !buf.is_empty() => {
+                let start = rng.below(buf.len());
+                let len = 1 + rng.below((buf.len() - start).min(16));
+                let chunk: Vec<u8> = buf[start..start + len].to_vec();
+                let at = rng.below(buf.len() + 1);
+                buf.splice(at..at, chunk);
+            }
+            // Splice: replace a suffix with another corpus entry's suffix.
+            6 => {
+                if let Some(other) = rng.pick(corpus) {
+                    let cut = rng.below(buf.len() + 1);
+                    let from = rng.below(other.len() + 1);
+                    buf.truncate(cut);
+                    buf.extend_from_slice(&other[from..]);
+                }
+            }
+            // Insert a dictionary token.
+            7 | 8 => {
+                if let Some(tok) = rng.pick(&self.dict) {
+                    let tok = tok.clone();
+                    let at = rng.below(buf.len() + 1);
+                    buf.splice(at..at, tok);
+                }
+            }
+            // Replace a chunk with a dictionary token.
+            9 => {
+                if let Some(tok) = rng.pick(&self.dict) {
+                    let tok = tok.clone();
+                    if buf.is_empty() {
+                        buf.extend_from_slice(&tok);
+                    } else {
+                        let start = rng.below(buf.len());
+                        let len = 1 + rng.below((buf.len() - start).min(8));
+                        buf.splice(start..start + len, tok);
+                    }
+                }
+            }
+            // The guarded arms above fall through here on empty inputs.
+            _ => {
+                let i = rng.below(buf.len() + 1);
+                buf.insert(i, rng.next_u64() as u8);
+            }
+        }
+    }
+}
+
+/// A target's report for one input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Input accepted and every checked invariant held.
+    Ok,
+    /// Input cleanly refused (e.g. a positioned parse error) — the
+    /// *desired* outcome for hostile input.
+    Reject,
+    /// An invariant was violated (or, via the driver, the target
+    /// panicked). The message describes what broke.
+    Crash(String),
+}
+
+/// Budgets and knobs for one [`fuzz`] run.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Seed for the input sequence; equal seeds replay equal runs.
+    pub seed: u64,
+    /// Maximum number of inputs to execute.
+    pub max_iterations: u64,
+    /// Optional wall-clock bound; checked between inputs, so a run may
+    /// finish slightly over. `None` = iterations only.
+    pub time_limit: Option<Duration>,
+    /// Maximum produced input length in bytes.
+    pub max_len: usize,
+    /// Stop after this many crashes (each is minimised first).
+    pub max_crashes: usize,
+    /// Retained-pool bound (accepted inputs are recycled as mutation
+    /// bases; the pool never exceeds this size).
+    pub pool_cap: usize,
+    /// Silence the default panic hook while fuzzing, so expected target
+    /// panics do not spam stderr. The previous hook is restored when the
+    /// run ends.
+    pub quiet_panics: bool,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            seed: 0,
+            max_iterations: 100_000,
+            time_limit: None,
+            max_len: 512,
+            max_crashes: 1,
+            pool_cap: 256,
+            quiet_panics: true,
+        }
+    }
+}
+
+/// One crashing input found by [`fuzz`], with its minimised form.
+#[derive(Clone, Debug)]
+pub struct Crash {
+    /// The input as produced by the mutator.
+    pub input: Vec<u8>,
+    /// The input after [`minimise`] (still crashing).
+    pub minimised: Vec<u8>,
+    /// The crash message (invariant description or panic payload).
+    pub message: String,
+}
+
+/// Outcome of a [`fuzz`] run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Inputs executed.
+    pub iterations: u64,
+    /// Inputs the target accepted with all invariants holding.
+    pub accepted: u64,
+    /// Inputs the target cleanly refused.
+    pub rejected: u64,
+    /// Crashes found (minimised), at most [`Config::max_crashes`].
+    pub crashes: Vec<Crash>,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+/// Serialises panic-hook swapping across concurrent [`fuzz`] runs (tests
+/// run in parallel threads): the first run in silences the hook, the last
+/// run out restores it.
+static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `target` on `input`, converting a panic into [`Verdict::Crash`]
+/// with the panic payload as the message.
+pub fn run_caught<F: FnMut(&[u8]) -> Verdict>(target: &mut F, input: &[u8]) -> Verdict {
+    match catch_unwind(AssertUnwindSafe(|| target(input))) {
+        Ok(v) => v,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            Verdict::Crash(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Shrink `input` while `crashes` stays true: repeated halving / chunk
+/// removal with decreasing chunk sizes, then single-byte removal, iterated
+/// to a fixpoint under a bounded number of oracle calls. The result still
+/// crashes (it is `input` itself in the worst case).
+pub fn minimise(input: &[u8], mut crashes: impl FnMut(&[u8]) -> bool) -> Vec<u8> {
+    let mut best = input.to_vec();
+    let mut budget: u32 = 4096;
+    loop {
+        let before = best.len();
+        // Chunk removal: try dropping every aligned chunk, halving the
+        // chunk size from len/2 down to 1.
+        let mut chunk = (best.len() / 2).max(1);
+        while chunk >= 1 && budget > 0 {
+            let mut start = 0;
+            while start < best.len() && budget > 0 {
+                let end = (start + chunk).min(best.len());
+                let mut candidate = Vec::with_capacity(best.len() - (end - start));
+                candidate.extend_from_slice(&best[..start]);
+                candidate.extend_from_slice(&best[end..]);
+                budget -= 1;
+                if crashes(&candidate) {
+                    best = candidate;
+                    // Retry the same offset: the next chunk slid into it.
+                } else {
+                    start = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        if best.len() == before || budget == 0 {
+            break;
+        }
+    }
+    best
+}
+
+/// Run the fuzzing loop: mutate a pool seeded from `seeds`, execute
+/// `target` on each input (panics become crashes), minimise and record
+/// crashes, and stop on the iteration/time/crash budget — whichever comes
+/// first.
+pub fn fuzz<F: FnMut(&[u8]) -> Verdict>(cfg: &Config, seeds: &[Vec<u8>], mut target: F) -> Report {
+    let started = Instant::now();
+    let mut rng = FuzzRng::seed_from_u64(cfg.seed);
+    let dict = Vec::new();
+    let mutator = Mutator::new(dict, cfg.max_len);
+    fuzz_with_mutator(cfg, seeds, &mutator, &mut target, &mut rng, started)
+}
+
+/// [`fuzz`] with a caller-built [`Mutator`] (token dictionary, length
+/// bound). This is the entry point the structure-aware targets use.
+pub fn fuzz_dict<F: FnMut(&[u8]) -> Verdict>(
+    cfg: &Config,
+    seeds: &[Vec<u8>],
+    dict: &[&[u8]],
+    mut target: F,
+) -> Report {
+    let started = Instant::now();
+    let mut rng = FuzzRng::seed_from_u64(cfg.seed);
+    let mutator = Mutator::new(dict.iter().map(|t| t.to_vec()).collect(), cfg.max_len);
+    fuzz_with_mutator(cfg, seeds, &mutator, &mut target, &mut rng, started)
+}
+
+fn fuzz_with_mutator<F: FnMut(&[u8]) -> Verdict>(
+    cfg: &Config,
+    seeds: &[Vec<u8>],
+    mutator: &Mutator,
+    target: &mut F,
+    rng: &mut FuzzRng,
+    started: Instant,
+) -> Report {
+    // Silence the default panic hook while the run lasts; the lock
+    // serialises concurrent runs so the hook is restored exactly once.
+    let _hook_guard = cfg.quiet_panics.then(|| {
+        let guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        (guard, prev)
+    });
+
+    let mut pool: Vec<Vec<u8>> = if seeds.is_empty() {
+        vec![Vec::new()]
+    } else {
+        seeds.to_vec()
+    };
+    let mut report = Report::default();
+    while report.iterations < cfg.max_iterations {
+        if let Some(limit) = cfg.time_limit {
+            if started.elapsed() >= limit {
+                break;
+            }
+        }
+        let base = pool[rng.below(pool.len())].clone();
+        let input = mutator.mutate(rng, &base, &pool);
+        report.iterations += 1;
+        match run_caught(target, &input) {
+            Verdict::Ok => {
+                report.accepted += 1;
+                // Occasionally recycle accepted inputs as mutation bases,
+                // bounded by the pool cap (replace a random non-seed slot
+                // once full).
+                if rng.chance(1, 16) {
+                    if pool.len() < cfg.pool_cap {
+                        pool.push(input);
+                    } else if cfg.pool_cap > seeds.len() {
+                        let at = seeds.len() + rng.below(cfg.pool_cap - seeds.len());
+                        pool[at] = input;
+                    }
+                }
+            }
+            Verdict::Reject => report.rejected += 1,
+            Verdict::Crash(message) => {
+                let minimised = minimise(&input, |candidate| {
+                    matches!(run_caught(target, candidate), Verdict::Crash(_))
+                });
+                report.crashes.push(Crash {
+                    input,
+                    minimised,
+                    message,
+                });
+                if report.crashes.len() >= cfg.max_crashes {
+                    break;
+                }
+            }
+        }
+    }
+    report.elapsed = started.elapsed();
+    if let Some((guard, prev)) = _hook_guard {
+        std::panic::set_hook(prev);
+        drop(guard);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_spread() {
+        let mut a = FuzzRng::seed_from_u64(42);
+        let mut b = FuzzRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let distinct: std::collections::HashSet<_> = xs.iter().collect();
+        assert_eq!(distinct.len(), 100, "splitmix64 must not cycle early");
+        let mut c = FuzzRng::seed_from_u64(43);
+        assert_ne!(c.next_u64(), xs[0], "different seeds, different streams");
+    }
+
+    #[test]
+    fn rng_below_bounds() {
+        let mut rng = FuzzRng::seed_from_u64(7);
+        assert_eq!(rng.below(0), 0);
+        for _ in 0..1000 {
+            assert!(rng.below(3) < 3);
+        }
+        assert!(rng.pick::<u8>(&[]).is_none());
+    }
+
+    #[test]
+    fn mutator_respects_max_len_and_changes_input() {
+        let mut rng = FuzzRng::seed_from_u64(1);
+        let m = Mutator::new(vec![b"TOKEN".to_vec()], 32);
+        let base = b"hello world".to_vec();
+        let mut changed = false;
+        for _ in 0..200 {
+            let out = m.mutate(&mut rng, &base, std::slice::from_ref(&base));
+            assert!(out.len() <= 32);
+            changed |= out != base;
+        }
+        assert!(changed, "mutations must actually mutate");
+    }
+
+    #[test]
+    fn mutator_inserts_dictionary_tokens() {
+        let mut rng = FuzzRng::seed_from_u64(2);
+        let m = Mutator::new(vec![b"NEEDLE".to_vec()], 64);
+        let found = (0..500).any(|_| {
+            let out = m.mutate(&mut rng, b"base", &[]);
+            out.windows(6).any(|w| w == b"NEEDLE")
+        });
+        assert!(found, "token-level mutation must surface dictionary tokens");
+    }
+
+    #[test]
+    fn fuzz_is_deterministic_per_seed() {
+        let cfg = Config {
+            seed: 9,
+            max_iterations: 2_000,
+            ..Config::default()
+        };
+        let run = || {
+            fuzz(&cfg, &[b"seed".to_vec()], |input| {
+                if input.len() % 7 == 0 {
+                    Verdict::Ok
+                } else {
+                    Verdict::Reject
+                }
+            })
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.iterations, 2_000);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.rejected, b.rejected);
+        assert!(a.crashes.is_empty());
+    }
+
+    #[test]
+    fn fuzz_finds_and_minimises_a_planted_bug() {
+        let cfg = Config {
+            seed: 3,
+            max_iterations: 200_000,
+            max_len: 64,
+            ..Config::default()
+        };
+        let needle = b"BUG";
+        let target = |input: &[u8]| {
+            if input.windows(needle.len()).any(|w| w == needle) {
+                Verdict::Crash("needle reached".into())
+            } else {
+                Verdict::Ok
+            }
+        };
+        let report = fuzz_dict(&cfg, &[b"B".to_vec()], &[b"BU", b"G"], target);
+        assert_eq!(report.crashes.len(), 1, "planted bug not found");
+        let crash = &report.crashes[0];
+        assert_eq!(
+            crash.minimised, needle,
+            "minimisation must shrink to the needle alone"
+        );
+        assert!(crash.message.contains("needle"));
+    }
+
+    #[test]
+    fn panics_become_crashes_and_minimise() {
+        let cfg = Config {
+            seed: 5,
+            max_iterations: 100_000,
+            max_len: 32,
+            ..Config::default()
+        };
+        let report = fuzz_dict(&cfg, &[Vec::new()], &[b"!"], |input: &[u8]| {
+            assert!(!input.contains(&b'!'), "planted panic");
+            Verdict::Ok
+        });
+        assert_eq!(report.crashes.len(), 1);
+        assert_eq!(report.crashes[0].minimised, b"!");
+        assert!(report.crashes[0].message.contains("planted panic"));
+    }
+
+    #[test]
+    fn minimise_removes_irrelevant_bytes() {
+        let input = b"xxxxxxxxCRASHyyyyyyyy";
+        let out = minimise(input, |c| c.windows(5).any(|w| w == b"CRASH"));
+        assert_eq!(out, b"CRASH");
+        // An oracle that rejects everything keeps the input unchanged.
+        let out = minimise(b"abc", |_| false);
+        assert_eq!(out, b"abc");
+        // Minimising to empty is allowed if empty still crashes.
+        let out = minimise(b"abc", |_| true);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn time_limit_stops_the_loop() {
+        let cfg = Config {
+            seed: 1,
+            max_iterations: u64::MAX,
+            time_limit: Some(Duration::from_millis(50)),
+            ..Config::default()
+        };
+        let started = Instant::now();
+        let report = fuzz(&cfg, &[], |_| Verdict::Reject);
+        assert!(report.iterations > 0);
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "time limit must cut the unbounded iteration budget"
+        );
+    }
+
+    #[test]
+    fn pool_stays_bounded() {
+        // Every input is accepted; the pool must not grow without bound.
+        // (Indirectly observable: the run terminates quickly and stays
+        // deterministic; the cap is also exercised by the replace branch.)
+        let cfg = Config {
+            seed: 11,
+            max_iterations: 50_000,
+            pool_cap: 8,
+            ..Config::default()
+        };
+        let report = fuzz(&cfg, &[b"a".to_vec()], |_| Verdict::Ok);
+        assert_eq!(report.accepted, 50_000);
+    }
+}
