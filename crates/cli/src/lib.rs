@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod dbfmt;
+pub mod fleet;
 
 use cqa::{classify, AnsweredBy, Complexity, Confidence, CqaEngine, CqaSession, RoutePolicy};
 use cqa_model::Database;
@@ -682,6 +683,7 @@ USAGE:
   cqa generate [--facts N] [--inconsistency R] [--min-width A] [--max-width B]
                [--chain-len L] [--seed S] [--contested-width W]
                [--certain-fraction F] [--threads N] <out-file>
+  cqa fleet    [--queries N] [--dbs M] [--seed S] [--max-facts F] [--corpus]
   cqa gadget   \"<query>\" <dimacs-file>
   cqa solve    <dimacs-file>
 
@@ -710,6 +712,11 @@ OPTIONS:          --threads N   solver / generator threads
                   --certain-fraction F
                                 generate (contested only): fraction of
                                 certain clusters (default 1.0)
+FLEET:            differentially validates the classify → route → solve
+                  pipeline on a seeded random query fleet crossed with
+                  skewed database families (see docs/QUERIES.md).
+                  --corpus prints the pinned classification table instead
+                  (the generator behind tests/data/classifier_corpus.tsv).
 "
 }
 

@@ -1,6 +1,7 @@
 //! Thin dispatcher for the `cqa` command-line tool; the command logic
 //! lives in the library so it can be tested.
 
+use cqa_cli::fleet::cmd_fleet;
 use cqa_cli::{
     cmd_batch, cmd_certain, cmd_classify, cmd_falsify, cmd_gadget, cmd_generate, cmd_solve,
     load_db_file, take_early_exit_flag, take_route_flag, take_stats_flag, take_threads_flag, usage,
@@ -94,6 +95,7 @@ fn run() -> Result<CmdOut, CliError> {
             cmd_falsify(q, &load_db_file(file)?, b, threads, want_stats)
         }
         ["generate", rest @ ..] => cmd_generate(rest, threads).map(CmdOut::from),
+        ["fleet", rest @ ..] => cmd_fleet(rest),
         ["gadget", q, file] => cmd_gadget(q, &read(file)?).map(CmdOut::from),
         ["solve", file] => cmd_solve(&read(file)?).map(CmdOut::from),
         _ => Err(CliError {

@@ -5,9 +5,13 @@
 //! 1. `q` equivalent to a one-atom query (Section 2) → **Trivial**
 //!    (first-order, always PTime).
 //! 2. Theorem 4.2's conditions (1) ∧ (2) → **coNP-complete** (hardness
-//!    through `sjf(q)` and Proposition 4.1).
+//!    through `sjf(q)` and Proposition 4.1). A self-join-free query with
+//!    condition (1) alone is already coNP-complete: condition (1) is the
+//!    mutual-attack cycle of the two-atom self-join-free dichotomy, the
+//!    very hardness Theorem 4.2 lifts to self-joins.
 //! 3. ¬condition (1) → **PTime**, `certain(q) = Cert₂(q)` (Theorem 6.1).
-//! 4. Otherwise `q` is 2way-determined; the tripath search decides:
+//! 4. Otherwise `q` is a 2way-determined *self-join* query; the tripath
+//!    search decides:
 //!    * fork-tripath → **coNP-complete** (Theorem 9.1);
 //!    * triangle-tripath, no fork → **PTime** via
 //!      `Cert_k(q) ∨ ¬matching(q)` (Theorem 10.5), with `Cert_k` alone
@@ -19,7 +23,7 @@
 //! their budgets (or were settled by a found witness), `BoundedEvidence`
 //! otherwise.
 
-use cqa_query::conditions::{is_2way_determined, thm42_conp_hard, thm61_applies};
+use cqa_query::conditions::{cond1, is_2way_determined, thm42_conp_hard, thm61_applies};
 use cqa_query::Query;
 use cqa_tripath::{search_tripaths, SearchConfig, SearchOutcome, Tripath};
 
@@ -63,7 +67,9 @@ pub enum Confidence {
 pub enum ClassificationRule {
     /// Section 2: equivalent to one atom.
     OneAtomEquivalent,
-    /// Theorem 4.2 via `sjf(q)` hardness.
+    /// Theorem 4.2 via `sjf(q)` hardness. Also fired directly by
+    /// self-join-free queries satisfying condition (1), where the
+    /// underlying hardness needs no lift.
     Theorem42,
     /// Theorem 6.1 (possibly after swapping the atoms).
     Theorem61,
@@ -118,11 +124,22 @@ pub fn classify_with(q: &Query, cfg: &SearchConfig) -> Classification {
     if thm42_conp_hard(q) {
         return Classification::syntactic(Complexity::CoNpComplete, ClassificationRule::Theorem42);
     }
+    // Self-join-free queries are settled entirely inside Section 4: for
+    // two atoms over distinct relations, condition (1) is exactly the
+    // mutual-attack cycle of the self-join-free dichotomy, so condition
+    // (1) alone gives coNP-hardness (this is the `sjf(q)` hardness that
+    // Theorem 4.2 lifts to self-joins via Proposition 4.1, here needing
+    // no lift). The tripath analysis of Sections 7-10 never applies: a
+    // tripath's facts would have to instantiate both atoms at once,
+    // which is impossible across distinct relation symbols.
+    if !q.is_self_join() && cond1(q) {
+        return Classification::syntactic(Complexity::CoNpComplete, ClassificationRule::Theorem42);
+    }
     if thm61_applies(q) {
         return Classification::syntactic(Complexity::PTimeCert2, ClassificationRule::Theorem61);
     }
     debug_assert!(
-        is_2way_determined(q),
+        is_2way_determined(q) && q.is_self_join(),
         "classification cases must be exhaustive"
     );
     let SearchOutcome {
@@ -228,6 +245,31 @@ mod tests {
         assert!(c5.fork_witness.is_none());
         assert!(c5.triangle_witness.is_none());
         assert_eq!(c5.confidence, Confidence::Proved);
+    }
+
+    #[test]
+    fn sjf_queries_never_reach_the_tripath_search() {
+        // Both conditions of Theorem 4.2: hard with or without the lift.
+        let q = parse_query("R1(x | z) R2(y | z)").unwrap();
+        let c = classify(&q);
+        assert_eq!(c.complexity, Complexity::CoNpComplete);
+        assert_eq!(c.rule, ClassificationRule::Theorem42);
+        // Condition (1) but not (2) — the self-join analogue would be
+        // 2way-determined and head into the tripath search, but across
+        // distinct relations the attack cycle alone settles hardness.
+        let q = parse_query("R1(x | x u) R2(u | x x)").unwrap();
+        assert!(!thm42_conp_hard(&q));
+        assert!(cond1(&q));
+        let c = classify(&q);
+        assert_eq!(c.complexity, Complexity::CoNpComplete);
+        assert_eq!(c.rule, ClassificationRule::Theorem42);
+        assert_eq!(c.confidence, Confidence::Proved);
+        assert!(c.fork_witness.is_none() && c.triangle_witness.is_none());
+        // No attack cycle: Theorem 6.1 as before.
+        let q = parse_query("R1(x | y) R2(y | z)").unwrap();
+        let c = classify(&q);
+        assert_eq!(c.complexity, Complexity::PTimeCert2);
+        assert_eq!(c.rule, ClassificationRule::Theorem61);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! # cqa-fuzz — structure-aware fuzz targets for the input layer
 //!
-//! Four deterministic [`minifuzz`] targets guard the public boundary the
+//! Five deterministic [`minifuzz`] targets guard the public boundary the
 //! ROADMAP's "CQA-as-a-service" goal exposes:
 //!
 //! * [`targets::dbfmt`] — the fact-file parser
@@ -14,7 +14,11 @@
 //!   ([`cqa_workloads`]) and assert the routed / component / early-exit
 //!   engines agree with the budgeted brute force and that the
 //!   block-indexed `Cert_k` agrees with the frozen seed-era
-//!   `certk::reference` evaluator.
+//!   `certk::reference` evaluator;
+//! * [`querydiff::querydiff`] — the dual: mutate the *query* (generated
+//!   or concrete text) and drive the whole
+//!   classify → route → solve pipeline on a skewed database via
+//!   [`cqa_cli::fleet::QueryHarness`].
 //!
 //! Targets are *structure-aware*: a clean parse error is a
 //! [`Verdict::Reject`] (the desired outcome for hostile input); a
@@ -30,19 +34,21 @@
 //! ```text
 //! cargo run --release -p cqa-fuzz -- dbfmt --iters 1000000 --seed 7
 //! cargo run --release -p cqa-fuzz -- differential --time-secs 60
+//! cargo run --release -p cqa-fuzz -- querydiff --time-secs 60
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod diff;
+pub mod querydiff;
 pub mod targets;
 
 pub use minifuzz::{Config, Report, Verdict};
 
 use std::path::{Path, PathBuf};
 
-/// The four fuzz targets, by name.
+/// The five fuzz targets, by name.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TargetKind {
     /// Fact-file parser (`cqa_cli::dbfmt`).
@@ -53,15 +59,18 @@ pub enum TargetKind {
     Batch,
     /// Differential stress over mutated valid databases.
     Differential,
+    /// Query-mutating differential over the fleet harness.
+    QueryDiff,
 }
 
 impl TargetKind {
     /// All targets, in the order the `all` CLI mode runs them.
-    pub const ALL: [TargetKind; 4] = [
+    pub const ALL: [TargetKind; 5] = [
         TargetKind::Dbfmt,
         TargetKind::Query,
         TargetKind::Batch,
         TargetKind::Differential,
+        TargetKind::QueryDiff,
     ];
 
     /// Parse a CLI / directory name.
@@ -71,6 +80,7 @@ impl TargetKind {
             "query" => Some(TargetKind::Query),
             "batch" => Some(TargetKind::Batch),
             "differential" => Some(TargetKind::Differential),
+            "querydiff" => Some(TargetKind::QueryDiff),
             _ => None,
         }
     }
@@ -82,6 +92,7 @@ impl TargetKind {
             TargetKind::Query => "query",
             TargetKind::Batch => "batch",
             TargetKind::Differential => "differential",
+            TargetKind::QueryDiff => "querydiff",
         }
     }
 
@@ -92,6 +103,7 @@ impl TargetKind {
             TargetKind::Query => targets::query,
             TargetKind::Batch => targets::batch,
             TargetKind::Differential => diff::differential,
+            TargetKind::QueryDiff => querydiff::querydiff,
         }
     }
 
@@ -146,6 +158,22 @@ impl TargetKind {
             }
             // The differential script is positional bytes, not a grammar.
             TargetKind::Differential => Vec::new(),
+            // The querydiff tail is query syntax: reuse the grammar atoms
+            // so mutations land on the query text, not just the header.
+            TargetKind::QueryDiff => vec![
+                b"R(".as_slice(),
+                b"R1(",
+                b"R2(",
+                b")",
+                b"|",
+                b"| ",
+                b",",
+                b" ",
+                b"x",
+                b"u",
+                b"R(x | y) R(y | z)",
+                b"R1(x u | x v) R2(v y | u y)",
+            ],
         }
     }
 
@@ -178,6 +206,29 @@ impl TargetKind {
                     s.push(family);
                     s.push(3);
                     s.extend_from_slice(b"abcdef");
+                    seeds.push(s);
+                }
+                seeds
+            }
+            TargetKind::QueryDiff => {
+                // Generated-query scripts (empty tail) across presets,
+                // plus concrete-text scripts the dictionary can rewrite.
+                let mut seeds = Vec::new();
+                for preset in 0u8..5 {
+                    let mut s = b"seedseed".to_vec();
+                    s.push(preset);
+                    s.push(preset.wrapping_mul(53));
+                    seeds.push(s);
+                }
+                for text in [
+                    b"R(x | y) R(y | z)".as_slice(),
+                    b"R(x | y z) R(z | x y)",
+                    b"R1(x u | x v) R2(v y | u y)",
+                ] {
+                    let mut s = b"seedseed".to_vec();
+                    s.push(0);
+                    s.push(9);
+                    s.extend_from_slice(text);
                     seeds.push(s);
                 }
                 seeds

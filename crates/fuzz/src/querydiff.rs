@@ -1,0 +1,121 @@
+//! Query-mutating differential target: the dual of [`crate::diff`].
+//!
+//! Where `differential` mutates *databases* under fixed exemplar queries,
+//! `querydiff` varies the *query* and drives the whole
+//! classify → route → solve pipeline of [`cqa_cli::fleet::QueryHarness`]
+//! on a skewed database: classification determinism, the
+//! display → parse → classify round trip, agreement of every engine
+//! route, `Cert_k` reference parity and (budgeted) brute-force ground
+//! truth.
+//!
+//! The input is a positional byte script:
+//!
+//! ```text
+//! bytes 0..8   little-endian u64 seed (query generation and database)
+//! byte  8      generator preset (mod the preset count)
+//! byte  9      database knob: skew family and fact budget
+//! bytes 10..   optional query text; empty → generate from the seed
+//! ```
+//!
+//! With an empty tail the query comes from the seeded generator
+//! ([`cqa_workloads::random_query`]), so the 8 seed bytes explore
+//! generator space. A non-empty tail is parsed as concrete query syntax:
+//! the fuzzer's dictionary mutations then act on the query text itself,
+//! and a crash minimises to a script whose tail *is* the offending query
+//! — ready to check in under `regressions/querydiff/`. Unparseable
+//! mutants are [`Verdict::Reject`]; any harness disagreement or panic is
+//! a [`Verdict::Crash`].
+
+use cqa_cli::fleet::QueryHarness;
+use cqa_query::parse_query;
+use cqa_workloads::{derive_seed, random_query, skewed_db, QueryGenConfig, SkewFamily};
+use minifuzz::Verdict;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Facts per database stay small: every pair pays for a budgeted brute
+/// force, four engine routes and two `Cert_k` evaluations.
+const MIN_FACTS: usize = 8;
+const FACTS_SPAN: usize = 33;
+
+/// The query-mutating differential target.
+pub fn querydiff(input: &[u8]) -> Verdict {
+    if input.len() < 10 {
+        return Verdict::Reject;
+    }
+    let mut seed_bytes = [0u8; 8];
+    seed_bytes.copy_from_slice(&input[..8]);
+    let seed = u64::from_le_bytes(seed_bytes);
+    let preset = input[8];
+    let db_knob = input[9];
+    let tail = &input[10..];
+
+    let (text, query) = if tail.is_empty() {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_query(&mut rng, &QueryGenConfig::preset(preset));
+        (g.text, g.query)
+    } else {
+        let Ok(text) = std::str::from_utf8(tail) else {
+            return Verdict::Reject;
+        };
+        match parse_query(text) {
+            Ok(q) => (text.to_string(), q),
+            Err(_) => return Verdict::Reject,
+        }
+    };
+
+    let harness = match QueryHarness::new(&text, query) {
+        Ok(h) => h,
+        Err(d) => return Verdict::Crash(d.to_string()),
+    };
+    let family = SkewFamily::ALL[db_knob as usize % SkewFamily::ALL.len()];
+    let facts = MIN_FACTS + (db_knob as usize / 4) % FACTS_SPAN;
+    let db = skewed_db(
+        derive_seed(seed, u64::from(preset), u64::from(db_knob)),
+        harness.query(),
+        &family.config(facts),
+    );
+    match harness.check_db(&db) {
+        Ok(_) => Verdict::Ok,
+        Err(d) => Verdict::Crash(d.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn script(seed: &[u8; 8], preset: u8, db_knob: u8, text: &[u8]) -> Vec<u8> {
+        let mut s = seed.to_vec();
+        s.push(preset);
+        s.push(db_knob);
+        s.extend_from_slice(text);
+        s
+    }
+
+    #[test]
+    fn generated_queries_pass_across_presets_and_knobs() {
+        for preset in 0..5 {
+            for db_knob in [0, 41, 97, 202] {
+                let input = script(b"fuzzseed", preset, db_knob, b"");
+                if let Verdict::Crash(msg) = querydiff(&input) {
+                    panic!("preset {preset} knob {db_knob}: {msg}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_query_text_is_exercised() {
+        let input = script(b"12345678", 0, 7, b"R(x | y) R(y | z)");
+        assert_eq!(querydiff(&input), Verdict::Ok);
+    }
+
+    #[test]
+    fn unparseable_text_rejects() {
+        assert_eq!(
+            querydiff(&script(b"12345678", 0, 0, b"R(x | y) R(")),
+            Verdict::Reject
+        );
+        assert_eq!(querydiff(b"tiny"), Verdict::Reject);
+    }
+}

@@ -53,6 +53,13 @@ fn differential_target_smoke() {
 }
 
 #[test]
+fn querydiff_target_smoke() {
+    // Each accepted iteration runs the whole classify → route → solve
+    // pipeline, so the debug-mode slice is small.
+    smoke(TargetKind::QueryDiff, 300, 120);
+}
+
+#[test]
 fn fuzz_runs_replay_deterministically() {
     let cfg = Config {
         seed: 42,

@@ -42,8 +42,22 @@ pub enum QueryError {
     },
     /// `Query::new` was given atoms over different relation symbols.
     MixedRelations,
-    /// Concrete-syntax parsing failed.
-    Parse(String),
+    /// Concrete-syntax parsing failed at byte `at` of the input.
+    Parse {
+        /// Byte offset into the original input where the problem starts.
+        at: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The input parsed but uses a shape the dichotomy pipeline does not
+    /// support (unknown relation names, repeated `R1`/`R2`, a mix of the
+    /// self-join and self-join-free forms, more than two atoms).
+    Unsupported {
+        /// Byte offset into the original input where the problem starts.
+        at: usize,
+        /// What is unsupported, and what to write instead.
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -63,7 +77,10 @@ impl std::fmt::Display for QueryError {
                     "self-join query requires both atoms over the same relation"
                 )
             }
-            QueryError::Parse(msg) => write!(f, "parse error: {msg}"),
+            QueryError::Parse { at, msg } => write!(f, "parse error at byte {at}: {msg}"),
+            QueryError::Unsupported { at, msg } => {
+                write!(f, "unsupported query at byte {at}: {msg}")
+            }
         }
     }
 }

@@ -12,33 +12,81 @@
 //! The bar `|` splits key positions from the rest, mirroring the paper's
 //! underline convention: `R(x u | x y)` is the paper's `R(x̲u̲ xy)` with
 //! signature `[4, 2]`. Omitting the bar means an empty key (`l = 0`).
-//! Both atoms must agree on arity and key length. Relation names: `R`
-//! (self-join), or `R1`/`R2` for the canonical self-join-free form.
+//! Both atoms must agree on arity and key length.
+//!
+//! Exactly two relation-name shapes are supported, mirroring the paper:
+//! `R R` (the self-join form, Section 2) and `R1 R2` (the canonical
+//! self-join-free form `sjf(q)`, Section 4). Every other pairing — a
+//! repeated `R1 R1` / `R2 R2`, a mix like `R R2`, or the reversed
+//! `R2 R1` — is rejected up front with a **positioned**
+//! [`QueryError::Unsupported`] instead of being silently classified as
+//! something it is not.
+//!
+//! Every parse error carries the byte offset (into the original input)
+//! where the problem starts, so front ends can point at the offending
+//! token.
 
 use crate::{Atom, Query, QueryError, Var};
 use cqa_model::{RelId, Signature};
 
+/// Shorthand for a positioned [`QueryError::Parse`].
+fn perr(at: usize, msg: impl Into<String>) -> QueryError {
+    QueryError::Parse {
+        at,
+        msg: msg.into(),
+    }
+}
+
 /// Parse a two-atom query, e.g. `parse_query("R(x u | x y) R(u y | x z)")`.
 pub fn parse_query(input: &str) -> Result<Query, QueryError> {
-    let mut rest = input.trim();
-    let (a, a_key, r1) = parse_atom(&mut rest)?;
-    let (b, b_key, r2) = parse_atom(&mut rest)?;
-    if !rest.trim().is_empty() {
-        return Err(QueryError::Parse(format!("trailing input: {rest:?}")));
+    let mut pos = 0usize;
+    let (a, a_key, r1, _) = parse_atom(input, &mut pos)?;
+    let (b, b_key, r2, b_at) = parse_atom(input, &mut pos)?;
+    let rest = input[pos..].trim();
+    if !rest.is_empty() {
+        let at = pos + input[pos..].len() - input[pos..].trim_start().len();
+        return Err(QueryError::Unsupported {
+            at,
+            msg: format!(
+                "expected exactly two atoms, found trailing input {}",
+                truncated(rest)
+            ),
+        });
     }
     if a.len() != b.len() {
-        return Err(QueryError::Parse(format!(
-            "atoms have different arities ({} vs {})",
-            a.len(),
-            b.len()
-        )));
+        return Err(perr(
+            b_at,
+            format!("atoms have different arities ({} vs {})", a.len(), b.len()),
+        ));
     }
     if a_key != b_key {
-        return Err(QueryError::Parse(format!(
-            "atoms have different key lengths ({a_key} vs {b_key})"
-        )));
+        return Err(perr(
+            b_at,
+            format!("atoms have different key lengths ({a_key} vs {b_key})"),
+        ));
     }
-    let sig = Signature::new(a.len(), a_key).map_err(|e| QueryError::Parse(e.to_string()))?;
+    match (r1, r2) {
+        (RelId::R, RelId::R) | (RelId::R1, RelId::R2) => {}
+        (r1, r2) if r1 == r2 => {
+            return Err(QueryError::Unsupported {
+                at: b_at,
+                msg: format!(
+                    "repeated relation name {r2}: the self-join form uses R for both \
+                     atoms, the self-join-free form uses R1 then R2"
+                ),
+            });
+        }
+        (r1, r2) => {
+            return Err(QueryError::Unsupported {
+                at: b_at,
+                msg: format!(
+                    "unsupported relation pairing {r1} {r2}: write the self-join \
+                     form as R(..) R(..) and the self-join-free form as R1(..) R2(..)"
+                ),
+            });
+        }
+    }
+    let sig = Signature::new(a.len(), a_key).map_err(|e| perr(0, e.to_string()))?;
     let atom_a = Atom::new(r1, a);
     let atom_b = Atom::new(r2, b);
     if r1 == r2 {
@@ -48,79 +96,125 @@ pub fn parse_query(input: &str) -> Result<Query, QueryError> {
     }
 }
 
-/// Parse one atom from the front of `rest`, advancing it. Returns the
-/// variable tuple, the key length and the relation symbol.
-fn parse_atom(rest: &mut &str) -> Result<(Vec<Var>, usize, RelId), QueryError> {
-    let s = rest.trim_start();
+/// Bound an echoed input fragment so error messages stay one line.
+fn truncated(s: &str) -> String {
+    const MAX: usize = 60;
+    if s.chars().count() <= MAX {
+        format!("{s:?}")
+    } else {
+        let cut: String = s.chars().take(MAX).collect();
+        format!("{cut:?}…")
+    }
+}
+
+/// Parse one atom starting at byte `*pos` of `input`, advancing `*pos`
+/// past it. Returns the variable tuple, the key length, the relation
+/// symbol and the byte offset where the atom starts.
+fn parse_atom(input: &str, pos: &mut usize) -> Result<(Vec<Var>, usize, RelId, usize), QueryError> {
+    let s = &input[*pos..];
+    let at = *pos + (s.len() - s.trim_start().len());
+    let s = s.trim_start();
     let open = s
         .find('(')
-        .ok_or_else(|| QueryError::Parse(format!("expected '(' in {s:?}")))?;
+        .ok_or_else(|| perr(at, format!("expected '(' in {}", truncated(s))))?;
     let name = s[..open].trim();
     let rel = match name {
         "R" => RelId::R,
         "R1" => RelId::R1,
         "R2" => RelId::R2,
         other => {
-            return Err(QueryError::Parse(format!(
-                "unknown relation name {other:?} (expected R, R1 or R2)"
-            )))
+            return Err(QueryError::Unsupported {
+                at,
+                msg: format!("unknown relation name {other:?} (expected R, R1 or R2)"),
+            })
         }
     };
     let close = s
         .find(')')
-        .ok_or_else(|| QueryError::Parse(format!("unclosed '(' in {s:?}")))?;
+        .ok_or_else(|| perr(at + open, format!("unclosed '(' in {}", truncated(s))))?;
     if close < open {
-        return Err(QueryError::Parse(format!("')' before '(' in {s:?}")));
+        return Err(perr(
+            at + close,
+            format!("')' before '(' in {}", truncated(s)),
+        ));
     }
     let inner = &s[open + 1..close];
-    *rest = &s[close + 1..];
+    let inner_at = at + open + 1;
+    *pos = at + close + 1;
 
     let (key_part, val_part) = match inner.find('|') {
         Some(bar) => (&inner[..bar], &inner[bar + 1..]),
         None => ("", inner),
     };
     if val_part.contains('|') {
-        return Err(QueryError::Parse(format!(
-            "unexpected '|' in {inner:?} (one key/value separator per atom)"
-        )));
+        let second = inner.find('|').unwrap() + 1;
+        let extra = second + val_part.find('|').unwrap();
+        return Err(perr(
+            inner_at + extra,
+            format!(
+                "unexpected '|' in {} (one key/value separator per atom)",
+                truncated(inner)
+            ),
+        ));
     }
     // No bar means l = 0 and everything is a value position; with a bar, the
     // part before it is the key.
-    let (key_vars, val_vars) = if inner.contains('|') {
-        (parse_segment(key_part)?, parse_segment(val_part)?)
+    let (key_vars, val_vars) = if let Some(bar) = inner.find('|') {
+        (
+            parse_segment(key_part, inner_at)?,
+            parse_segment(val_part, inner_at + bar + 1)?,
+        )
     } else {
-        (Vec::new(), parse_segment(val_part)?)
+        (Vec::new(), parse_segment(val_part, inner_at)?)
     };
     let key_len = key_vars.len();
     let mut vars = key_vars;
     vars.extend(val_vars);
     if vars.is_empty() {
-        return Err(QueryError::Parse("atom with no variables".to_string()));
+        return Err(perr(inner_at, "atom with no variables"));
     }
-    Ok((vars, key_len, rel))
+    Ok((vars, key_len, rel, at))
 }
 
-/// Parse a variable segment: comma/space separated names, or a compact run
-/// of single-letter variables when no separators are present.
-fn parse_segment(seg: &str) -> Result<Vec<Var>, QueryError> {
-    let seg = seg.trim();
+/// Parse a variable segment starting at byte `at` of the original input:
+/// comma/space separated names, or a compact run of single-letter
+/// variables when no separators are present.
+fn parse_segment(seg: &str, at: usize) -> Result<Vec<Var>, QueryError> {
+    let trimmed = seg.trim();
+    let at = at + (seg.len() - seg.trim_start().len());
+    let seg = trimmed;
     if seg.is_empty() {
         return Ok(Vec::new());
     }
-    if seg.contains(|c: char| c.is_whitespace() || c == ',') {
+    let is_sep = |c: char| c.is_whitespace() || c == ',';
+    if seg.contains(is_sep) {
         let mut vars = Vec::new();
-        for t in seg
-            .split(|c: char| c.is_whitespace() || c == ',')
-            .filter(|t| !t.is_empty())
-        {
+        // Manual scan so each token knows its own byte offset.
+        let mut token_start: Option<usize> = None;
+        let flush = |start: usize, end: usize, vars: &mut Vec<Var>| {
+            let t = &seg[start..end];
             // The same alphabet the single-variable branch below allows —
             // separators must not smuggle in names the syntax rejects.
             if !t.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
-                return Err(QueryError::Parse(format!(
-                    "bad variable name {t:?} (variables are [A-Za-z0-9_]+)"
-                )));
+                return Err(perr(
+                    at + start,
+                    format!("bad variable name {t:?} (variables are [A-Za-z0-9_]+)"),
+                ));
             }
             vars.push(Var::new(t));
+            Ok(())
+        };
+        for (i, c) in seg.char_indices() {
+            if is_sep(c) {
+                if let Some(start) = token_start.take() {
+                    flush(start, i, &mut vars)?;
+                }
+            } else if token_start.is_none() {
+                token_start = Some(i);
+            }
+        }
+        if let Some(start) = token_start {
+            flush(start, seg.len(), &mut vars)?;
         }
         return Ok(vars);
     }
@@ -131,9 +225,10 @@ fn parse_segment(seg: &str) -> Result<Vec<Var>, QueryError> {
     if seg.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
         return Ok(vec![Var::new(seg)]);
     }
-    Err(QueryError::Parse(format!(
-        "cannot parse variable segment {seg:?}"
-    )))
+    Err(perr(
+        at,
+        format!("cannot parse variable segment {}", truncated(seg)),
+    ))
 }
 
 #[cfg(test)]
@@ -217,6 +312,77 @@ mod tests {
         let err = parse_query("R(a$, b | x) R(y, z | x)").unwrap_err();
         assert!(err.to_string().contains("bad variable name"));
         assert!(parse_query("R(x, ⟨a⟩ | y) R(x, z | y)").is_err());
+    }
+
+    #[test]
+    fn errors_carry_byte_positions() {
+        // The bad token `a$` starts at byte 2 of the input.
+        let err = parse_query("R(a$, b | x) R(y, z | x)").unwrap_err();
+        assert!(
+            err.to_string().contains("at byte 2"),
+            "position missing: {err}"
+        );
+        // The second atom starts at byte 9.
+        let err = parse_query("R(x | y) R(x y | z)").unwrap_err();
+        assert!(err.to_string().contains("at byte 9"), "{err}");
+        assert!(err.to_string().contains("different arities"), "{err}");
+        // A third atom is reported where it starts (byte 18).
+        let err = parse_query("R(x|y) R(y|z) R(z|w)").unwrap_err();
+        assert!(err.to_string().contains("at byte 14"), "{err}");
+        assert!(err.to_string().contains("exactly two atoms"), "{err}");
+        // The stray second bar inside the first atom, at its own byte.
+        let err = parse_query("R(x | y | z) R(x | y)").unwrap_err();
+        assert!(err.to_string().contains("at byte 8"), "{err}");
+        // A missing '(' points at the atom start.
+        let err = parse_query("R(x | y) nonsense").unwrap_err();
+        assert!(err.to_string().contains("at byte 9"), "{err}");
+    }
+
+    #[test]
+    fn unsupported_relation_pairings_are_rejected_with_positions() {
+        // Repeated R1 / R2: previously accepted and silently classified as
+        // a self-join query over the wrong relation.
+        let err = parse_query("R1(x | y) R1(y | z)").unwrap_err();
+        assert!(
+            matches!(err, QueryError::Unsupported { .. }),
+            "want Unsupported, got {err:?}"
+        );
+        assert!(
+            err.to_string().contains("repeated relation name R1"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("at byte 10"), "{err}");
+        let err = parse_query("R2(x | y) R2(y | z)").unwrap_err();
+        assert!(
+            err.to_string().contains("repeated relation name R2"),
+            "{err}"
+        );
+        // Mixed and reversed pairings.
+        for (text, frag) in [
+            ("R(x | y) R2(y | z)", "R R2"),
+            ("R1(x | y) R(y | z)", "R1 R"),
+            ("R2(x | y) R1(y | z)", "R2 R1"),
+        ] {
+            let err = parse_query(text).unwrap_err();
+            assert!(
+                matches!(err, QueryError::Unsupported { .. }),
+                "{text}: want Unsupported, got {err:?}"
+            );
+            assert!(
+                err.to_string()
+                    .contains(&format!("unsupported relation pairing {frag}")),
+                "{text}: {err}"
+            );
+        }
+        // Unknown relation names are Unsupported too, at the atom start.
+        let err = parse_query("S(x|y) S(y|z)").unwrap_err();
+        assert!(
+            matches!(err, QueryError::Unsupported { at: 0, .. }),
+            "{err:?}"
+        );
+        // The supported shapes still parse.
+        assert!(parse_query("R(x | y) R(y | z)").is_ok());
+        assert!(parse_query("R1(x | y) R2(y | z)").is_ok());
     }
 
     #[test]

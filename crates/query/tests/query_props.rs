@@ -13,10 +13,12 @@ fn atom_strategy(arity: usize, pool: usize) -> impl Strategy<Value = Atom> {
         .prop_map(|idx| Atom::r(idx.into_iter().map(|i| format!("v{i}")).collect::<Vec<_>>()))
 }
 
-/// Strategy: a random two-atom self-join query.
+/// Strategy: a random two-atom self-join query. Covers the full
+/// signature range, including arity 1, the empty key (`R(x y)`) and the
+/// full key (`R(x y |)`).
 fn query_strategy() -> impl Strategy<Value = Query> {
-    (2usize..=4)
-        .prop_flat_map(|arity| (Just(arity), 1..arity))
+    (1usize..=4)
+        .prop_flat_map(|arity| (Just(arity), 0..=arity))
         .prop_flat_map(|(arity, key_len)| {
             (
                 Just(Signature::new(arity, key_len).unwrap()),
@@ -27,13 +29,18 @@ fn query_strategy() -> impl Strategy<Value = Query> {
         .prop_map(|(sig, a, b)| Query::new(sig, a, b).unwrap())
 }
 
+/// Strategy: self-join or self-join-free (`R1`/`R2`) with equal odds.
+fn any_query_strategy() -> impl Strategy<Value = Query> {
+    (query_strategy(), 0u8..2).prop_map(|(q, sjf)| if sjf == 1 { q.sjf() } else { q })
+}
+
 proptest! {
     // Bounded so the full workspace test run stays fast and, with the
     // vendored proptest's name-derived seeding, fully deterministic.
     #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
 
     #[test]
-    fn display_parse_round_trip(q in query_strategy()) {
+    fn display_parse_round_trip(q in any_query_strategy()) {
         let printed = q.display();
         let reparsed = parse_query(&printed).unwrap();
         prop_assert_eq!(reparsed, q);
@@ -100,6 +107,19 @@ proptest! {
         prop_assert_eq!(s.a().tuple(), q.a().tuple());
         prop_assert_eq!(s.b().tuple(), q.b().tuple());
         prop_assert!(!s.is_one_atom_equivalent(), "sjf queries are never one-atom");
+    }
+
+    #[test]
+    fn sjf_mirrors_the_self_join_conditions(q in query_strategy()) {
+        // The Section 4 conditions look only at variable patterns, never
+        // at the relation symbols, so `q` and `sjf(q)` agree on all of
+        // them — the syntactic backbone of Proposition 4.1.
+        let s = q.sjf();
+        prop_assert_eq!(cond1(&q), cond1(&s));
+        prop_assert_eq!(cond2(&q), cond2(&s));
+        prop_assert_eq!(thm42_conp_hard(&q), thm42_conp_hard(&s));
+        prop_assert_eq!(thm61_applies(&q), thm61_applies(&s));
+        prop_assert_eq!(is_2way_determined(&q), is_2way_determined(&s));
     }
 
     #[test]

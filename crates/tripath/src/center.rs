@@ -32,6 +32,12 @@ pub struct CenterCandidate {
 /// The most-general center `d e f` of `q`, if the shapes unify into three
 /// pairwise non-key-equal facts.
 pub fn most_general_center(q: &Query) -> Option<(Fact, Fact, Fact)> {
+    // The shared fact `e` must instantiate `B` (as μ₁(B)) and `A` (as
+    // μ₂(A)) at once, so self-join-free queries — whose atoms name
+    // distinct relations — have no center at all.
+    if q.a().rel() != q.b().rel() {
+        return None;
+    }
     // Variables of the two instantiations live in disjoint copies 0 and 1.
     let mut classes: HashMap<(u8, Var), usize> = HashMap::new();
     let mut parent: Vec<usize> = Vec::new();
@@ -203,6 +209,17 @@ pub fn center_candidates(q: &Query, full_partition_limit: usize) -> Vec<CenterCa
 mod tests {
     use super::*;
     use cqa_query::examples;
+
+    #[test]
+    fn self_join_free_queries_have_no_center() {
+        // The shared fact would need to be an R1- and an R2-fact at once.
+        // Regression: this 2way-determined-shaped query used to trip the
+        // unification debug assertion instead of returning `None`.
+        let q = cqa_query::parse_query("R1(x | x u) R2(u | x x)").unwrap();
+        assert!(most_general_center(&q).is_none());
+        let q = cqa_query::parse_query("R1(x | y) R2(y | z)").unwrap();
+        assert!(most_general_center(&q).is_none());
+    }
 
     #[test]
     fn q2_most_general_center_is_a_fork() {

@@ -14,12 +14,24 @@
 //!   chains;
 //! * [`large`] — the million-fact regime: deterministic concurrent
 //!   generators with controllable inconsistency ratio and block-width
-//!   distribution, plus a streaming fact-file writer.
+//!   distribution, plus a streaming fact-file writer;
+//! * [`queries`] — seeded random two-atom query fleets for the
+//!   classifier → router → solver differential pipeline;
+//! * [`skew`] — production-skew database families (Zipfian key
+//!   popularity, heavy-hitter blocks, mixed certain/contested batches).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod large;
+pub mod queries;
+pub mod skew;
+
+pub use queries::{
+    derive_seed, random_distinct_queries, random_queries, random_query, GeneratedQuery,
+    QueryGenConfig,
+};
+pub use skew::{skewed_db, SkewFamily, SkewedDbConfig};
 
 pub use large::{
     large_contested_q3_db, large_q3_db, write_large_contested_q3, write_large_q3,

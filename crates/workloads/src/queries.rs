@@ -1,0 +1,329 @@
+//! Deterministic random two-atom query generation.
+//!
+//! The classifier and the solver router have historically only been
+//! exercised on the paper's seven exemplars `q1..q7`. This module emits
+//! *fleets* of random queries through the concrete syntax in
+//! [`cqa_query::parse_query`], so every generated query is by construction
+//! a query the front end accepts — the generator writes text first, then
+//! parses it, and panics if its own output does not round-trip.
+//!
+//! Knobs ([`QueryGenConfig`]) cover atom arity, key-position count,
+//! variable-sharing topology (how often atom `B` reuses atom `A`'s
+//! variables, and how often positions repeat within one atom), the
+//! self-join vs self-join-free split, and concrete-spelling diversity
+//! (spaces / commas / compact single-letter runs). The grammar itself is
+//! constant-free — every term is a quantified variable — so there is no
+//! constant-density knob; see `docs/QUERIES.md`.
+//!
+//! Everything is seeded: [`random_queries`] with the same seed and config
+//! returns byte-identical fleets on every platform.
+
+use cqa_query::{parse_query, Query};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Knobs for the random query generator.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryGenConfig {
+    /// Smallest atom arity (≥ 1).
+    pub min_arity: usize,
+    /// Largest atom arity (inclusive).
+    pub max_arity: usize,
+    /// Probability a query uses the self-join-free `R1 R2` form instead
+    /// of the self-join `R R` form.
+    pub sjf_fraction: f64,
+    /// Probability a position of atom `B` reuses a variable of atom `A`
+    /// (the sharing topology: 0.0 gives disjoint atoms, 1.0 makes `B` a
+    /// shuffle of `A`'s variables).
+    pub shared_bias: f64,
+    /// Probability a position reuses a variable already used earlier in
+    /// the *same* atom (producing `R(x x | ..)`-style repeats).
+    pub repeat_bias: f64,
+    /// Variable pool size the atoms draw from; smaller pools force more
+    /// sharing even at low biases.
+    pub pool: usize,
+    /// Vary the concrete spelling (commas, compact runs, stray spaces)
+    /// instead of always emitting the canonical space-separated form.
+    pub spelling: bool,
+}
+
+impl Default for QueryGenConfig {
+    fn default() -> QueryGenConfig {
+        QueryGenConfig {
+            min_arity: 1,
+            max_arity: 4,
+            sjf_fraction: 0.25,
+            shared_bias: 0.6,
+            repeat_bias: 0.25,
+            pool: 6,
+            spelling: true,
+        }
+    }
+}
+
+impl QueryGenConfig {
+    /// Preset by index — the fuzz target picks one per script byte.
+    pub fn preset(i: u8) -> QueryGenConfig {
+        let d = QueryGenConfig::default();
+        match i % 5 {
+            // Default mix.
+            0 => d,
+            // Tiny arities, maximal sharing: the Trivial/Theorem 6.1 belt.
+            1 => QueryGenConfig {
+                max_arity: 2,
+                shared_bias: 0.9,
+                pool: 3,
+                ..d
+            },
+            // Wide atoms, long keys, little sharing.
+            2 => QueryGenConfig {
+                min_arity: 3,
+                max_arity: 5,
+                shared_bias: 0.3,
+                pool: 9,
+                ..d
+            },
+            // Self-join-free heavy.
+            3 => QueryGenConfig {
+                sjf_fraction: 0.8,
+                ..d
+            },
+            // Repeat-heavy self-joins: `R(x x | u x)` shapes.
+            _ => QueryGenConfig {
+                repeat_bias: 0.6,
+                shared_bias: 0.8,
+                pool: 4,
+                ..d
+            },
+        }
+    }
+}
+
+/// One generated query: the concrete text the generator emitted and the
+/// parsed [`Query`] it denotes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GeneratedQuery {
+    /// The concrete syntax as emitted (spelling may differ from
+    /// `query.display()`).
+    pub text: String,
+    /// `parse_query(&text)`, guaranteed to succeed.
+    pub query: Query,
+}
+
+/// The variable pool: single letters first (so compact spelling stays
+/// reachable), then digit-suffixed names that can never be mistaken for
+/// compact runs.
+fn var_name(i: usize) -> String {
+    const LETTERS: &[u8] = b"xyzuvwabcdefghij";
+    if i < LETTERS.len() {
+        (LETTERS[i] as char).to_string()
+    } else {
+        format!("v{i}")
+    }
+}
+
+/// Draw one random query.
+pub fn random_query(rng: &mut impl Rng, cfg: &QueryGenConfig) -> GeneratedQuery {
+    assert!(cfg.min_arity >= 1 && cfg.min_arity <= cfg.max_arity);
+    assert!(cfg.pool >= 1);
+    let arity = rng.gen_range(cfg.min_arity..=cfg.max_arity);
+    let key_len = rng.gen_range(0..=arity);
+    let mut a: Vec<usize> = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let reuse = !a.is_empty() && rng.gen_bool(cfg.repeat_bias);
+        let v = if reuse {
+            a[rng.gen_range(0..a.len())]
+        } else {
+            rng.gen_range(0..cfg.pool)
+        };
+        a.push(v);
+    }
+    let mut b: Vec<usize> = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let v = if rng.gen_bool(cfg.shared_bias) {
+            a[rng.gen_range(0..a.len())]
+        } else if !b.is_empty() && rng.gen_bool(cfg.repeat_bias) {
+            b[rng.gen_range(0..b.len())]
+        } else {
+            rng.gen_range(0..cfg.pool)
+        };
+        b.push(v);
+    }
+    let sjf = rng.gen_bool(cfg.sjf_fraction);
+    let (ra, rb) = if sjf { ("R1", "R2") } else { ("R", "R") };
+    let text = format!(
+        "{} {}",
+        render_atom(rng, cfg, ra, &a, key_len),
+        render_atom(rng, cfg, rb, &b, key_len)
+    );
+    let query = parse_query(&text)
+        .unwrap_or_else(|e| panic!("generator emitted unparsable query {text:?}: {e}"));
+    GeneratedQuery { text, query }
+}
+
+/// Render one atom, optionally varying the spelling.
+fn render_atom(
+    rng: &mut impl Rng,
+    cfg: &QueryGenConfig,
+    rel: &str,
+    vars: &[usize],
+    key_len: usize,
+) -> String {
+    let names: Vec<String> = vars.iter().map(|&v| var_name(v)).collect();
+    let style = if cfg.spelling {
+        rng.gen_range(0..3u32)
+    } else {
+        0
+    };
+    let seg = |names: &[String]| -> String {
+        match style {
+            // Canonical: space separated.
+            0 => names.join(" "),
+            // Comma separated.
+            1 => names.join(", "),
+            // Compact run when every name is a single letter (a lone
+            // multi-letter name would re-parse as a run of letters).
+            _ if names.len() > 1 && names.iter().all(|n| n.len() == 1) => names.concat(),
+            _ => names.join(" "),
+        }
+    };
+    let (key, val) = names.split_at(key_len);
+    if key_len == 0 {
+        format!("{rel}({})", seg(&names))
+    } else if key_len == names.len() {
+        format!("{rel}({} |)", seg(key))
+    } else {
+        format!("{rel}({} | {})", seg(key), seg(val))
+    }
+}
+
+/// Generate a seeded fleet of `n` queries. Deterministic in
+/// `(seed, n, cfg)`.
+pub fn random_queries(seed: u64, n: usize, cfg: &QueryGenConfig) -> Vec<GeneratedQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| random_query(&mut rng, cfg)).collect()
+}
+
+/// Like [`random_queries`], but deduplicated by the parsed query's
+/// canonical display form. Draws until `n` distinct queries are found or
+/// a generous attempt budget runs out (small configs may not admit `n`
+/// distinct queries at all).
+pub fn random_distinct_queries(seed: u64, n: usize, cfg: &QueryGenConfig) -> Vec<GeneratedQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n.saturating_mul(64).max(1024) {
+        if out.len() == n {
+            break;
+        }
+        let g = random_query(&mut rng, cfg);
+        if seen.insert(g.query.display()) {
+            out.push(g);
+        }
+    }
+    out
+}
+
+/// Mix a base seed with two indices into an independent stream seed
+/// (splitmix64 finalizer). Used to give every (query `i`, database `j`)
+/// pair of a fleet its own deterministic RNG.
+pub fn derive_seed(base: u64, i: u64, j: u64) -> u64 {
+    let mut z =
+        base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ j.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleets_are_deterministic() {
+        let cfg = QueryGenConfig::default();
+        let a = random_queries(42, 50, &cfg);
+        let b = random_queries(42, 50, &cfg);
+        assert_eq!(a, b);
+        let c = random_queries(43, 50, &cfg);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_queries_parse_and_round_trip() {
+        for preset in 0..5u8 {
+            let cfg = QueryGenConfig::preset(preset);
+            for g in random_queries(7 + preset as u64, 200, &cfg) {
+                // text → query is the generator's own invariant; display →
+                // parse must land on the same query.
+                let shown = g.query.display();
+                let back = parse_query(&shown)
+                    .unwrap_or_else(|e| panic!("display {shown:?} does not re-parse: {e}"));
+                assert_eq!(back, g.query, "{shown}");
+            }
+        }
+    }
+
+    #[test]
+    fn knobs_are_respected() {
+        let cfg = QueryGenConfig {
+            min_arity: 3,
+            max_arity: 5,
+            sjf_fraction: 1.0,
+            ..QueryGenConfig::default()
+        };
+        for g in random_queries(1, 100, &cfg) {
+            let arity = g.query.signature().arity();
+            assert!((3..=5).contains(&arity), "{g:?}");
+            assert!(!g.query.is_self_join(), "{g:?}");
+        }
+        let cfg = QueryGenConfig {
+            sjf_fraction: 0.0,
+            ..QueryGenConfig::default()
+        };
+        assert!(random_queries(2, 100, &cfg)
+            .iter()
+            .all(|g| g.query.is_self_join()));
+    }
+
+    #[test]
+    fn sharing_biases_move_the_distribution() {
+        let disjoint = QueryGenConfig {
+            shared_bias: 0.0,
+            pool: 16,
+            min_arity: 2,
+            ..QueryGenConfig::default()
+        };
+        let shared = QueryGenConfig {
+            shared_bias: 1.0,
+            ..disjoint
+        };
+        let count_shared = |cfg: &QueryGenConfig| -> usize {
+            random_queries(9, 100, cfg)
+                .iter()
+                .map(|g| g.query.shared_vars().len())
+                .sum()
+        };
+        assert!(count_shared(&shared) > count_shared(&disjoint) * 2);
+    }
+
+    #[test]
+    fn distinct_fleets_have_no_duplicates() {
+        let cfg = QueryGenConfig::default();
+        let fleet = random_distinct_queries(5, 50, &cfg);
+        assert_eq!(fleet.len(), 50);
+        let shown: std::collections::BTreeSet<String> =
+            fleet.iter().map(|g| g.query.display()).collect();
+        assert_eq!(shown.len(), 50);
+    }
+
+    #[test]
+    fn derive_seed_spreads() {
+        let a = derive_seed(1, 0, 0);
+        let b = derive_seed(1, 0, 1);
+        let c = derive_seed(1, 1, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        assert_eq!(derive_seed(1, 2, 3), derive_seed(1, 2, 3));
+    }
+}

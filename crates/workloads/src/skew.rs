@@ -1,0 +1,335 @@
+//! Production-skew database families.
+//!
+//! The uniform [`crate::random_db`] generator spreads keys evenly, which
+//! real traffic never does. This module generates databases whose *key
+//! popularity* is skewed the way production workloads are:
+//!
+//! * **Zipfian key popularity** — a few keys own most of the facts, so a
+//!   handful of blocks are wide (heavily contested) while the long tail
+//!   is singleton blocks;
+//! * **heavy-hitter blocks** — a fixed number of deliberately wide blocks
+//!   on top of an otherwise mild skew;
+//! * **mixed certain/contested batches** — a tunable fraction of blocks
+//!   is forced to be contested (≥ 2 distinct value tuples) while the rest
+//!   stay consistent.
+//!
+//! All positions draw from one shared element pool (the
+//! `⟨dom, i⟩` idiom of [`crate::random_db`]), so key/value joins — and
+//! therefore solutions and certainty — arise organically. Generation is
+//! seeded and deterministic; the same `(seed, query-signature, config)`
+//! triple always yields the same database.
+
+use cqa_model::{Database, Elem, Fact, RelId};
+use cqa_query::Query;
+use rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
+
+/// Knobs for skewed database generation.
+#[derive(Clone, Copy, Debug)]
+pub struct SkewedDbConfig {
+    /// Target number of facts (the set semantics of [`Database`] may
+    /// dedup a few away).
+    pub facts: usize,
+    /// Domain the key positions draw from.
+    pub key_domain: usize,
+    /// Domain the value positions draw from. Overlaps with the key
+    /// domain (same element pool), so values can join onto keys.
+    pub value_domain: usize,
+    /// Zipf exponent for key popularity: `0.0` is uniform, `~1.0` is the
+    /// classic web-traffic skew, larger is more extreme.
+    pub zipf_exponent: f64,
+    /// Number of forced heavy-hitter blocks, generated first.
+    pub heavy_hitters: usize,
+    /// Facts per heavy-hitter block.
+    pub heavy_width: usize,
+    /// Probability that inserting a fact immediately inserts a sibling
+    /// with the same key and different values, forcing a contested block.
+    pub contested_fraction: f64,
+}
+
+impl Default for SkewedDbConfig {
+    fn default() -> SkewedDbConfig {
+        SkewedDbConfig {
+            facts: 60,
+            key_domain: 16,
+            value_domain: 12,
+            zipf_exponent: 1.0,
+            heavy_hitters: 0,
+            heavy_width: 0,
+            contested_fraction: 0.3,
+        }
+    }
+}
+
+/// The named skew families the fleet runner rotates through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SkewFamily {
+    /// No skew: uniform key popularity, moderate contestation.
+    Uniform,
+    /// Zipfian key popularity with heavy contestation of popular keys.
+    ZipfContested,
+    /// A few forced wide blocks over a mildly skewed tail.
+    HeavyHitter,
+    /// Mostly-consistent database with a thin contested slice, the shape
+    /// of a mixed certain/contested batch.
+    MixedBatch,
+}
+
+impl SkewFamily {
+    /// All families, in fleet rotation order.
+    pub const ALL: [SkewFamily; 4] = [
+        SkewFamily::Uniform,
+        SkewFamily::ZipfContested,
+        SkewFamily::HeavyHitter,
+        SkewFamily::MixedBatch,
+    ];
+
+    /// Stable display name (used in fleet reports and BASELINES.md).
+    pub fn name(self) -> &'static str {
+        match self {
+            SkewFamily::Uniform => "uniform",
+            SkewFamily::ZipfContested => "zipf-contested",
+            SkewFamily::HeavyHitter => "heavy-hitter",
+            SkewFamily::MixedBatch => "mixed-batch",
+        }
+    }
+
+    /// The family's preset for a given fact budget.
+    pub fn config(self, facts: usize) -> SkewedDbConfig {
+        let d = SkewedDbConfig {
+            facts,
+            ..SkewedDbConfig::default()
+        };
+        match self {
+            SkewFamily::Uniform => SkewedDbConfig {
+                zipf_exponent: 0.0,
+                contested_fraction: 0.35,
+                ..d
+            },
+            SkewFamily::ZipfContested => SkewedDbConfig {
+                zipf_exponent: 1.2,
+                contested_fraction: 0.5,
+                ..d
+            },
+            SkewFamily::HeavyHitter => SkewedDbConfig {
+                zipf_exponent: 0.8,
+                heavy_hitters: 3,
+                heavy_width: (facts / 8).max(3),
+                contested_fraction: 0.25,
+                ..d
+            },
+            SkewFamily::MixedBatch => SkewedDbConfig {
+                zipf_exponent: 0.3,
+                contested_fraction: 0.12,
+                // Keys mostly unique, so most blocks stay consistent and
+                // the contested slice comes from the forced fraction.
+                key_domain: (facts * 2).max(24),
+                ..d
+            },
+        }
+    }
+}
+
+/// Uniform f64 in `[0, 1)` from the vendored RNG (which exposes no float
+/// sampling of its own): the top 53 bits of a `u64`.
+fn unit_f64(rng: &mut impl RngCore) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A cumulative-weight Zipf sampler over `0..n`: key `i` has weight
+/// `1 / (i + 1)^s`. `s = 0` degenerates to uniform.
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Zipf {
+        assert!(n >= 1, "empty key domain");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    fn sample(&self, rng: &mut impl RngCore) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = unit_f64(rng) * total;
+        self.cumulative.partition_point(|&c| c <= x)
+    }
+}
+
+/// The shared element pool (same idiom as [`crate::random_db`]).
+fn elem(i: usize) -> Elem {
+    Elem::pair(Elem::named("dom"), Elem::int(i as i64))
+}
+
+/// Generate a skewed database for `q`'s signature. Self-join queries get
+/// all facts in `R`; self-join-free queries alternate facts between `R1`
+/// and `R2`.
+pub fn skewed_db(seed: u64, q: &Query, cfg: &SkewedDbConfig) -> Database {
+    let sig = *q.signature();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new(sig);
+    let rels: &[RelId] = if q.is_self_join() {
+        &[RelId::R]
+    } else {
+        &[RelId::R1, RelId::R2]
+    };
+    let zipf = Zipf::new(cfg.key_domain.max(1), cfg.zipf_exponent);
+    let values = |rng: &mut StdRng| -> Vec<Elem> {
+        (sig.key_len()..sig.arity())
+            .map(|_| elem(rng.gen_range(0..cfg.value_domain.max(1))))
+            .collect()
+    };
+    let mut inserted = 0usize;
+    let insert = |db: &mut Database, rel: RelId, key: &[Elem], vals: Vec<Elem>| {
+        let mut tuple = key.to_vec();
+        tuple.extend(vals);
+        db.insert(Fact::new(rel, tuple)).expect("same signature");
+    };
+    // Forced heavy hitters first: key id `h` spread across key positions.
+    for h in 0..cfg.heavy_hitters {
+        let rel = rels[h % rels.len()];
+        let key: Vec<Elem> = (0..sig.key_len())
+            .map(|p| elem((h + p) % cfg.key_domain.max(1)))
+            .collect();
+        for _ in 0..cfg.heavy_width {
+            insert(&mut db, rel, &key, values(&mut rng));
+            inserted += 1;
+        }
+    }
+    // The skewed tail.
+    while inserted < cfg.facts {
+        let rel = rels[inserted % rels.len()];
+        let key: Vec<Elem> = (0..sig.key_len())
+            .map(|_| elem(zipf.sample(&mut rng)))
+            .collect();
+        insert(&mut db, rel, &key, values(&mut rng));
+        inserted += 1;
+        if sig.key_len() < sig.arity()
+            && inserted < cfg.facts
+            && rng.gen_bool(cfg.contested_fraction.clamp(0.0, 1.0))
+        {
+            // Force a contested block: a sibling with shifted values.
+            let vals: Vec<Elem> = (sig.key_len()..sig.arity())
+                .map(|_| elem(cfg.value_domain.max(1) + rng.gen_range(0..cfg.value_domain.max(1))))
+                .collect();
+            insert(&mut db, rel, &key, vals);
+            inserted += 1;
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_query::examples;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let q = examples::q3();
+        let cfg = SkewFamily::ZipfContested.config(80);
+        let a = skewed_db(11, &q, &cfg);
+        let b = skewed_db(11, &q, &cfg);
+        assert_eq!(a.len(), b.len());
+        let facts = |db: &Database| {
+            let mut v: Vec<String> = db.facts().map(|(_, f)| format!("{f:?}")).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(facts(&a), facts(&b));
+        let c = skewed_db(12, &q, &cfg);
+        assert_ne!(facts(&a), facts(&c));
+    }
+
+    #[test]
+    fn zipf_skews_block_widths() {
+        let q = examples::q3();
+        let uniform = skewed_db(
+            3,
+            &q,
+            &SkewedDbConfig {
+                facts: 400,
+                key_domain: 64,
+                zipf_exponent: 0.0,
+                contested_fraction: 0.0,
+                ..SkewedDbConfig::default()
+            },
+        );
+        let zipf = skewed_db(
+            3,
+            &q,
+            &SkewedDbConfig {
+                facts: 400,
+                key_domain: 64,
+                zipf_exponent: 1.5,
+                contested_fraction: 0.0,
+                ..SkewedDbConfig::default()
+            },
+        );
+        let widest = |db: &Database| db.block_ids().map(|b| db.block(b).len()).max().unwrap_or(0);
+        assert!(
+            widest(&zipf) > widest(&uniform),
+            "zipf widest {} vs uniform widest {}",
+            widest(&zipf),
+            widest(&uniform)
+        );
+    }
+
+    #[test]
+    fn heavy_hitters_force_wide_blocks() {
+        let q = examples::q6();
+        let cfg = SkewFamily::HeavyHitter.config(120);
+        let db = skewed_db(5, &q, &cfg);
+        let wide = db
+            .block_ids()
+            .filter(|&b| db.block(b).len() >= cfg.heavy_width)
+            .count();
+        assert!(wide >= cfg.heavy_hitters.min(1), "no wide block in {db:?}");
+    }
+
+    #[test]
+    fn sjf_databases_populate_both_relations() {
+        let q = cqa_query::parse_query("R1(x | y) R2(y | z)").unwrap();
+        for family in SkewFamily::ALL {
+            let db = skewed_db(9, &q, &family.config(40));
+            assert!(db.facts().any(|(_, f)| f.rel() == RelId::R1), "{family:?}");
+            assert!(db.facts().any(|(_, f)| f.rel() == RelId::R2), "{family:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_batch_is_mostly_consistent() {
+        let q = examples::q3();
+        let mixed = skewed_db(21, &q, &SkewFamily::MixedBatch.config(200));
+        let contested = mixed
+            .block_ids()
+            .filter(|&b| mixed.block(b).len() > 1)
+            .count();
+        assert!(
+            contested * 2 < mixed.block_count(),
+            "{contested}/{} blocks contested",
+            mixed.block_count()
+        );
+        assert!(contested > 0, "no contested block at all");
+    }
+
+    #[test]
+    fn full_key_signatures_are_handled() {
+        // key_len == arity: no value positions, so the contested-sibling
+        // branch must not fire (a sibling would be the same fact).
+        let q = cqa_query::parse_query("R(x y |) R(y z |)").unwrap();
+        let db = skewed_db(2, &q, &SkewFamily::ZipfContested.config(30));
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn empty_key_signatures_are_one_block() {
+        let q = cqa_query::parse_query("R(x y) R(y z)").unwrap();
+        let db = skewed_db(2, &q, &SkewFamily::Uniform.config(12));
+        assert_eq!(db.block_count(), 1);
+    }
+}

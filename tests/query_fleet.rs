@@ -1,0 +1,172 @@
+//! Fleet-level classifier and pipeline guarantees (wired into `cqa-cli`,
+//! which hosts the fleet harness):
+//!
+//! * the checked-in classifier corpus (`tests/data/classifier_corpus.tsv`)
+//!   replays with its pinned `Complexity`/`ClassificationRule`/`Confidence`
+//!   verdicts — the paper's complexity table over ~50 generated queries
+//!   plus the seven exemplars;
+//! * the generated section of that corpus is byte-identical to what
+//!   `cqa fleet --corpus` produces today (generator or classifier drift
+//!   must be deliberate);
+//! * `classify` is deterministic across repeated calls and across
+//!   threads;
+//! * a small fleet runs end to end with zero disagreements.
+
+use cqa::{classify, Complexity, Confidence};
+use cqa_cli::fleet::{corpus_table, run_fleet, FleetConfig};
+use cqa_query::parse_query;
+use cqa_workloads::{random_queries, QueryGenConfig};
+use std::path::PathBuf;
+
+/// Seed and size of the corpus's generated section (see the TSV header).
+const CORPUS_SEED: u64 = 1;
+const CORPUS_QUERIES: usize = 50;
+
+fn corpus_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/data/classifier_corpus.tsv")
+}
+
+fn corpus_lines() -> Vec<(String, String, String, String)> {
+    let text = std::fs::read_to_string(corpus_path())
+        .unwrap_or_else(|e| panic!("{}: {e}", corpus_path().display()));
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .map(|l| {
+            let cols: Vec<&str> = l.split('\t').collect();
+            assert_eq!(cols.len(), 4, "bad corpus line: {l:?}");
+            (
+                cols[0].to_string(),
+                cols[1].to_string(),
+                cols[2].to_string(),
+                cols[3].to_string(),
+            )
+        })
+        .collect()
+}
+
+fn verdict(q: &cqa_query::Query) -> (String, String, String) {
+    let c = classify(q);
+    (
+        format!("{:?}", c.complexity),
+        format!("{:?}", c.rule),
+        format!("{:?}", c.confidence),
+    )
+}
+
+#[test]
+fn corpus_replays_with_pinned_verdicts() {
+    let lines = corpus_lines();
+    assert!(lines.len() >= 50, "corpus shrank to {} lines", lines.len());
+    for (text, complexity, rule, confidence) in &lines {
+        let q = parse_query(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        let (c, r, conf) = verdict(&q);
+        assert_eq!(&c, complexity, "{text}: complexity drifted");
+        assert_eq!(&r, rule, "{text}: rule drifted");
+        assert_eq!(&conf, confidence, "{text}: confidence drifted");
+    }
+}
+
+#[test]
+fn corpus_covers_the_whole_complexity_table() {
+    // Every complexity class and every classification rule appears: the
+    // corpus is a table test for the dichotomy, not a grab bag.
+    let lines = corpus_lines();
+    for class in [
+        "Trivial",
+        "PTimeCert2",
+        "PTimeCertK",
+        "PTimeCombined",
+        "CoNpComplete",
+    ] {
+        assert!(
+            lines.iter().any(|(_, c, _, _)| c == class),
+            "no {class} query in the corpus"
+        );
+    }
+    for rule in [
+        "OneAtomEquivalent",
+        "Theorem42",
+        "Theorem61",
+        "Theorem81",
+        "Theorem91",
+        "Theorem105",
+    ] {
+        assert!(
+            lines.iter().any(|(_, _, r, _)| r == rule),
+            "no {rule} query in the corpus"
+        );
+    }
+}
+
+#[test]
+fn corpus_generated_section_matches_the_generator() {
+    let expected = corpus_table(CORPUS_SEED, CORPUS_QUERIES);
+    let all = corpus_lines();
+    let checked_in = &all[..CORPUS_QUERIES];
+    // Compare line by line for readable failures.
+    let expected_lines: Vec<&str> = expected.lines().collect();
+    assert_eq!(expected_lines.len(), CORPUS_QUERIES);
+    for (i, line) in expected_lines.iter().enumerate() {
+        let got = &checked_in[i];
+        let want = format!("{}\t{}\t{}\t{}", got.0, got.1, got.2, got.3);
+        assert_eq!(
+            line, &want,
+            "corpus line {} drifted from `cqa fleet --corpus --queries {CORPUS_QUERIES} --seed {CORPUS_SEED}`",
+            i + 1
+        );
+    }
+}
+
+#[test]
+fn classify_is_deterministic_across_calls_and_threads() {
+    let fleet = random_queries(77, 40, &QueryGenConfig::default());
+    let baseline: Vec<_> = fleet.iter().map(|g| verdict(&g.query)).collect();
+    // Repeated calls.
+    for (g, base) in fleet.iter().zip(&baseline) {
+        assert_eq!(&verdict(&g.query), base, "{}", g.text);
+    }
+    // Concurrent calls: four threads classify the whole fleet each.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| scope.spawn(|| fleet.iter().map(|g| verdict(&g.query)).collect::<Vec<_>>()))
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.join().expect("classifier thread"), baseline);
+        }
+    });
+}
+
+#[test]
+fn small_fleet_has_no_disagreements() {
+    let summary = run_fleet(&FleetConfig {
+        queries: 25,
+        dbs: 2,
+        seed: 5,
+        max_facts: 24,
+    })
+    .unwrap_or_else(|d| panic!("{d}"));
+    assert!(summary.contains("pairs checked:   50"), "{summary}");
+    assert!(summary.contains("disagreements:   0"), "{summary}");
+}
+
+#[test]
+fn exemplars_keep_their_paper_verdicts() {
+    // The same table classifier_matches_paper.rs pins, but through the
+    // corpus machinery: q1..q7 all sit in the exemplars section.
+    let lines = corpus_lines();
+    for (name, q) in cqa_query::examples::all() {
+        let shown = q.display();
+        assert!(
+            lines.iter().any(|(text, _, _, _)| text == &shown),
+            "{name} ({shown}) missing from the corpus exemplar section"
+        );
+    }
+    // And the two confidence levels both occur (q7's triangle verdict is
+    // bounded-evidence: its tripath search hits the default budget).
+    assert!(lines.iter().any(|(_, _, _, c)| c == "Proved"));
+    assert!(lines.iter().any(|(_, _, _, c)| c == "BoundedEvidence"));
+    let q7 = cqa_query::examples::q7();
+    let c = classify(&q7);
+    assert_eq!(c.complexity, Complexity::PTimeCombined);
+    assert_eq!(c.confidence, Confidence::BoundedEvidence);
+}
