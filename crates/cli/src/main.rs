@@ -2,6 +2,7 @@
 //! lives in the library so it can be tested.
 
 use cqa_cli::fleet::cmd_fleet;
+use cqa_cli::server_cli::{cmd_client, cmd_serve};
 use cqa_cli::{
     cmd_batch, cmd_certain, cmd_classify, cmd_falsify, cmd_gadget, cmd_generate, cmd_solve,
     load_db_file, take_early_exit_flag, take_route_flag, take_stats_flag, take_threads_flag, usage,
@@ -30,12 +31,17 @@ fn run() -> Result<CmdOut, CliError> {
     if threads.is_some()
         && !matches!(
             positional.first(),
-            Some(&"certain") | Some(&"falsify") | Some(&"generate") | Some(&"batch")
+            Some(&"certain")
+                | Some(&"falsify")
+                | Some(&"generate")
+                | Some(&"batch")
+                | Some(&"serve")
         )
     {
         return Err(CliError {
-            message: "--threads only applies to `certain`, `falsify`, `batch` and `generate`"
-                .to_string(),
+            message:
+                "--threads only applies to `certain`, `falsify`, `batch`, `generate` and `serve`"
+                    .to_string(),
             code: 2,
         });
     }
@@ -54,11 +60,12 @@ fn run() -> Result<CmdOut, CliError> {
     if want_stats
         && !matches!(
             positional.first(),
-            Some(&"certain") | Some(&"falsify") | Some(&"batch")
+            Some(&"certain") | Some(&"falsify") | Some(&"batch") | Some(&"serve")
         )
     {
         return Err(CliError {
-            message: "--stats only applies to `certain`, `falsify` and `batch`".to_string(),
+            message: "--stats only applies to `certain`, `falsify`, `batch` and `serve`"
+                .to_string(),
             code: 2,
         });
     }
@@ -96,6 +103,8 @@ fn run() -> Result<CmdOut, CliError> {
         }
         ["generate", rest @ ..] => cmd_generate(rest, threads).map(CmdOut::from),
         ["fleet", rest @ ..] => cmd_fleet(rest),
+        ["serve", rest @ ..] => cmd_serve(rest, threads, want_stats),
+        ["client", rest @ ..] => cmd_client(rest),
         ["gadget", q, file] => cmd_gadget(q, &read(file)?).map(CmdOut::from),
         ["solve", file] => cmd_solve(&read(file)?).map(CmdOut::from),
         _ => Err(CliError {

@@ -1,0 +1,281 @@
+//! `cqa serve` and `cqa client`: the CLI front ends of [`cqa_server`].
+//!
+//! `serve` binds the listener, announces the address on stderr (so
+//! harnesses can poll for readiness), then blocks until a client sends
+//! `shutdown`; `client` issues one request against a running server and
+//! prints results in the same shapes the single-shot commands use —
+//! `client batch` output is byte-identical to `cqa batch` stdout, which
+//! the CI smoke diffs.
+
+use crate::{load_db_file, CliError, CmdOut};
+use cqa_server::{serve, Client, Json, Loader, Method, ServeConfig, WireError};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Parse a byte count with an optional binary suffix: `65536`, `64k`,
+/// `16m`, `2g` (powers of 1024, case-insensitive).
+pub fn parse_bytes(v: &str) -> Result<usize, CliError> {
+    let bad = || {
+        CliError::new(format!(
+            "bad byte count {v:?} (want e.g. 65536, 64k, 16m, 2g)"
+        ))
+    };
+    let (digits, shift) = match v.chars().last() {
+        Some('k' | 'K') => (&v[..v.len() - 1], 10),
+        Some('m' | 'M') => (&v[..v.len() - 1], 20),
+        Some('g' | 'G') => (&v[..v.len() - 1], 30),
+        _ => (v, 0),
+    };
+    let n: usize = digits.parse().map_err(|_| bad())?;
+    n.checked_shl(shift)
+        .filter(|_| n.leading_zeros() as usize > shift as usize)
+        .ok_or_else(bad)
+}
+
+/// `cqa serve [--addr HOST:PORT] [--memory-budget BYTES] [--threads N]
+/// [--stats]`: run the query server until a client sends `shutdown`.
+///
+/// `--threads` sizes the shared worker pool (default: all cores); each
+/// request solves single-threaded, so parallelism comes from concurrent
+/// requests and the machine is never oversubscribed. `--memory-budget`
+/// caps resident databases (approximate bytes; LRU eviction past it).
+/// With `--stats`, the final session-manager counters go to stderr on
+/// shutdown.
+pub fn cmd_serve(
+    args: &[&str],
+    threads: Option<usize>,
+    want_stats: bool,
+) -> Result<CmdOut, CliError> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut memory_budget: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(&a) = it.next() {
+        let mut flag_value = |flag: &str| {
+            it.next()
+                .copied()
+                .ok_or_else(|| CliError::new(format!("{flag} needs a value")))
+        };
+        match a {
+            "--addr" => addr = flag_value(a)?.to_string(),
+            "--memory-budget" => memory_budget = Some(parse_bytes(flag_value(a)?)?),
+            other => {
+                return Err(CliError::new(format!("unknown serve option {other:?}")));
+            }
+        }
+    }
+    let loader: Loader = Arc::new(|path: &str| load_db_file(path).map_err(|e| e.message));
+    let mut config = ServeConfig::new(loader);
+    config.addr = addr.clone();
+    config.threads = threads.unwrap_or(0);
+    config.memory_budget = memory_budget;
+    // One solver thread per request: the pool is the parallelism.
+    config.engine = cqa::EngineConfig::default().with_threads(1);
+    let handle = serve(config).map_err(|e| CliError {
+        message: format!("cannot bind {addr}: {e}"),
+        code: 2,
+    })?;
+    // Announced before blocking so scripts can wait for readiness.
+    eprintln!(
+        "cqa serve: listening on {} (threads={}, memory-budget={})",
+        handle.addr(),
+        if threads.unwrap_or(0) == 0 {
+            "all-cores".to_string()
+        } else {
+            threads.unwrap_or(0).to_string()
+        },
+        memory_budget.map_or("none".to_string(), |b| b.to_string()),
+    );
+    let stats = handle.wait();
+    let mut err = String::new();
+    if want_stats {
+        let _ = writeln!(
+            err,
+            "stats: serve sessions={} loads={} session-hits={} evictions={} resident-bytes={}",
+            stats.sessions, stats.loads, stats.session_hits, stats.evictions, stats.resident_bytes
+        );
+        let _ = writeln!(
+            err,
+            "stats: serve queries={} distinct={} cache-hits={}",
+            stats.queries, stats.distinct_queries, stats.cache_hits
+        );
+    }
+    Ok(CmdOut {
+        stdout: "cqa serve: stopped\n".to_string(),
+        stderr: err,
+    })
+}
+
+/// `cqa client [--deadline-ms N] <addr> <request...>`: one request
+/// against a running server. Requests:
+///
+/// ```text
+/// cqa client 127.0.0.1:7878 ping
+/// cqa client 127.0.0.1:7878 load     <db-path>
+/// cqa client 127.0.0.1:7878 certain  <db-path> "<query>"
+/// cqa client 127.0.0.1:7878 batch    <db-path> <queries-file>
+/// cqa client 127.0.0.1:7878 falsify  <db-path> "<query>" [budget]
+/// cqa client 127.0.0.1:7878 stats
+/// cqa client 127.0.0.1:7878 shutdown
+/// ```
+///
+/// Database paths are resolved by the *server*. `batch` prints one
+/// `true`/`false` per query line — exactly `cqa batch` stdout.
+pub fn cmd_client(args: &[&str]) -> Result<CmdOut, CliError> {
+    let mut deadline_ms: Option<u64> = None;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(&a) = it.next() {
+        if a == "--deadline-ms" {
+            let v = it
+                .next()
+                .ok_or_else(|| CliError::new("--deadline-ms needs a value"))?;
+            deadline_ms = Some(
+                v.parse()
+                    .map_err(|_| CliError::new(format!("bad deadline {v:?}")))?,
+            );
+        } else {
+            positional.push(a);
+        }
+    }
+    let [addr, request @ ..] = positional.as_slice() else {
+        return Err(CliError::new(
+            "client needs a server address and a request (ping, load, certain, batch, falsify, stats, shutdown)",
+        ));
+    };
+    let mut client = Client::connect(addr).map_err(|e| CliError {
+        message: format!("cannot connect to {addr}: {e}"),
+        code: 2,
+    })?;
+    client.deadline_ms = deadline_ms;
+    let wire = |e: WireError| CliError::new(format!("server error ({}): {}", e.code, e.message));
+    let mut out = String::new();
+    match request {
+        ["ping"] => {
+            client.ping().map_err(wire)?;
+            out.push_str("pong\n");
+        }
+        ["load", db] => {
+            let facts = client.load(db).map_err(wire)?;
+            let _ = writeln!(out, "loaded {db}: {facts} facts");
+        }
+        ["certain", db, query] => {
+            let v = client.certain(db, query).map_err(wire)?;
+            let _ = writeln!(out, "certain:     {v}");
+        }
+        ["batch", db, queries_file] => {
+            let text = std::fs::read_to_string(queries_file).map_err(|e| CliError {
+                message: format!("cannot read {queries_file}: {e}"),
+                code: 2,
+            })?;
+            let verdicts = client.batch(db, &text).map_err(|e| CliError {
+                message: format!("{queries_file}: server error ({}): {}", e.code, e.message),
+                code: 1,
+            })?;
+            out.push_str(&cqa_server::render_verdicts(&verdicts));
+        }
+        ["falsify", db, query] | ["falsify", db, query, _] => {
+            let budget = match request {
+                [_, _, _, b] => b
+                    .parse()
+                    .map_err(|_| CliError::new(format!("bad budget {b:?}")))?,
+                _ => u64::MAX,
+            };
+            let result = client.falsify(db, query, budget).map_err(wire)?;
+            // Same lines cmd_falsify prints, so eyeballs and greps
+            // transfer between the two front ends.
+            match result.get("outcome").and_then(Json::as_str) {
+                Some("certain") => out.push_str("certain: every repair satisfies the query\n"),
+                Some("not-certain") => {
+                    let facts = match result.get("repair") {
+                        Some(Json::Arr(facts)) => facts.as_slice(),
+                        _ => &[],
+                    };
+                    let _ = writeln!(
+                        out,
+                        "not certain — falsifying repair ({} facts):",
+                        facts.len()
+                    );
+                    for f in facts {
+                        let _ = writeln!(out, "  {}", f.as_str().unwrap_or("?"));
+                    }
+                }
+                _ => {
+                    let _ = writeln!(out, "inconclusive: search budget ({budget}) exhausted");
+                }
+            }
+        }
+        ["stats"] => {
+            let s = client.stats().map_err(wire)?;
+            // One aligned `key: value` row per counter, in wire order.
+            if let Json::Obj(members) = &s {
+                for (key, value) in members {
+                    let shown = match value {
+                        Json::Null => "none".to_string(),
+                        Json::Int(n) => n.to_string(),
+                        other => other.encode(),
+                    };
+                    let _ = writeln!(out, "{key:<16} {shown}");
+                }
+            }
+        }
+        ["shutdown"] => {
+            client.shutdown().map_err(wire)?;
+            out.push_str("server stopping\n");
+        }
+        _ => {
+            return Err(CliError::new(
+                "unknown client request (want ping, load, certain, batch, falsify, stats or shutdown)",
+            ));
+        }
+    }
+    Ok(CmdOut {
+        stdout: out,
+        stderr: String::new(),
+    })
+}
+
+/// Re-exported for harnesses that drive a request programmatically.
+pub fn client_call(addr: &str, method: Method) -> Result<Json, CliError> {
+    let mut client = Client::connect(addr).map_err(|e| CliError {
+        message: format!("cannot connect to {addr}: {e}"),
+        code: 2,
+    })?;
+    client
+        .call(method)
+        .map_err(|e| CliError::new(format!("server error ({}): {}", e.code, e.message)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_bytes_accepts_suffixes() {
+        assert_eq!(parse_bytes("65536").unwrap(), 65536);
+        assert_eq!(parse_bytes("64k").unwrap(), 64 << 10);
+        assert_eq!(parse_bytes("16M").unwrap(), 16 << 20);
+        assert_eq!(parse_bytes("2g").unwrap(), 2 << 30);
+        assert!(parse_bytes("").is_err());
+        assert!(parse_bytes("k").is_err());
+        assert!(parse_bytes("12q").is_err());
+        assert!(parse_bytes("999999999999999999999g").is_err());
+    }
+
+    #[test]
+    fn serve_rejects_unknown_flags_without_binding() {
+        let e = cmd_serve(&["--port", "99"], None, false).unwrap_err();
+        assert!(e.message.contains("unknown serve option"));
+        let e = cmd_serve(&["--memory-budget"], None, false).unwrap_err();
+        assert!(e.message.contains("needs a value"));
+        let e = cmd_serve(&["--memory-budget", "soon"], None, false).unwrap_err();
+        assert!(e.message.contains("bad byte count"));
+    }
+
+    #[test]
+    fn client_rejects_malformed_invocations_without_connecting() {
+        let e = cmd_client(&[]).unwrap_err();
+        assert!(e.message.contains("server address"));
+        let e = cmd_client(&["--deadline-ms", "x", "127.0.0.1:1"]).unwrap_err();
+        assert!(e.message.contains("bad deadline"));
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`CqaSession`] — the other amortisation axis: load a database once,
 //!   answer many queries, with per-query caches of the classification,
 //!   solution set and component partition (`cqa batch` in the CLI);
+//! * [`SharedSession`] — the owned, thread-safe variant of the same
+//!   cache, built for the `cqa serve` session manager: many worker
+//!   threads answer against one database, eviction-safe via `Arc`;
 //! * re-exports of the underlying substrates: the relational model
 //!   ([`cqa_model`]), queries ([`cqa_query`]), solvers ([`cqa_solvers`]:
 //!   brute force, the greedy fixpoint `Cert_k`, `matching(q)`, the
@@ -45,12 +48,14 @@
 mod classify;
 mod engine;
 mod session;
+mod shared;
 
 pub use classify::{
     classify, classify_with, Classification, ClassificationRule, Complexity, Confidence,
 };
 pub use engine::{AnsweredBy, CertainAnswer, CqaEngine, EngineConfig, RoutePolicy, RoutingConfig};
 pub use session::{CqaSession, SessionStats};
+pub use shared::SharedSession;
 
 // Substrate re-exports for downstream users of the facade crate.
 pub use cqa_model as model;

@@ -38,12 +38,17 @@ use std::collections::HashMap;
 pub struct SessionStats {
     /// `certain` calls answered.
     pub queries: usize,
-    /// Distinct queries seen (cache entries; keyed by normalised text).
+    /// Distinct queries seen over the session's lifetime (cache entries
+    /// ever created; keyed by normalised text). Monotone — an entry that
+    /// is evicted and later re-created counts twice.
     pub distinct_queries: usize,
     /// Calls that reused a fully prepared entry (classification +
     /// solutions + partition all cached). The first call for each
     /// distinct query is never a hit.
     pub cache_hits: usize,
+    /// Entries dropped by the LRU cap ([`CqaSession::with_capacity`]);
+    /// `0` for uncapped sessions.
+    pub evictions: usize,
 }
 
 /// A per-query cache entry: the classified engine plus, after the first
@@ -51,6 +56,8 @@ pub struct SessionStats {
 struct SessionEntry<'a> {
     engine: CqaEngine,
     prepared: Option<Prepared<'a>>,
+    /// Logical timestamp of the entry's last use, for LRU eviction.
+    last_used: u64,
 }
 
 /// The (query, database)-dependent intermediates worth keeping.
@@ -83,6 +90,11 @@ pub struct CqaSession<'a> {
     config: EngineConfig,
     entries: HashMap<String, SessionEntry<'a>>,
     stats: SessionStats,
+    /// Cap on live cache entries (`None` = unbounded); exceeding it
+    /// evicts the least-recently-used entry.
+    max_entries: Option<usize>,
+    /// Logical clock driving the LRU order.
+    clock: u64,
 }
 
 impl<'a> CqaSession<'a> {
@@ -94,7 +106,25 @@ impl<'a> CqaSession<'a> {
             config,
             entries: HashMap::new(),
             stats: SessionStats::default(),
+            max_entries: None,
+            clock: 0,
         }
+    }
+
+    /// A session whose per-query cache keeps at most `max_entries` live
+    /// entries (at least 1), evicting least-recently-used beyond that —
+    /// the bounded-memory variant a long-lived server wants when query
+    /// traffic has unbounded variety. Evictions are counted in
+    /// [`SessionStats::evictions`]; an evicted query seen again is simply
+    /// re-classified and re-prepared (correctness is unaffected).
+    pub fn with_capacity(
+        db: &'a Database,
+        config: EngineConfig,
+        max_entries: usize,
+    ) -> CqaSession<'a> {
+        let mut session = CqaSession::new(db, config);
+        session.max_entries = Some(max_entries.max(1));
+        session
     }
 
     /// A session seeded with an already-classified engine (see
@@ -108,6 +138,7 @@ impl<'a> CqaSession<'a> {
             SessionEntry {
                 engine,
                 prepared: None,
+                last_used: 0,
             },
         );
         session.stats.distinct_queries = 1;
@@ -132,11 +163,37 @@ impl<'a> CqaSession<'a> {
 
     fn entry(&mut self, query: &Query) -> &mut SessionEntry<'a> {
         let key = query.display();
-        let config = self.config;
-        let entry = self.entries.entry(key).or_insert_with(|| SessionEntry {
-            engine: CqaEngine::with_config(query.clone(), config),
-            prepared: None,
-        });
+        self.clock += 1;
+        let now = self.clock;
+        if !self.entries.contains_key(&key) {
+            if let Some(cap) = self.max_entries {
+                while self.entries.len() >= cap {
+                    let lru = self
+                        .entries
+                        .iter()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(k, _)| k.clone());
+                    match lru {
+                        Some(k) => {
+                            self.entries.remove(&k);
+                            self.stats.evictions += 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            self.entries.insert(
+                key.clone(),
+                SessionEntry {
+                    engine: CqaEngine::with_config(query.clone(), self.config),
+                    prepared: None,
+                    last_used: now,
+                },
+            );
+            self.stats.distinct_queries += 1;
+        }
+        let entry = self.entries.get_mut(&key).expect("inserted just above");
+        entry.last_used = now;
         entry
     }
 
@@ -163,7 +220,6 @@ impl<'a> CqaSession<'a> {
         );
         self.stats.queries += 1;
         self.stats.cache_hits += hit as usize;
-        self.stats.distinct_queries = self.entries.len();
         answer
     }
 }
@@ -265,6 +321,52 @@ mod tests {
         // Cached solutions serve the repeat.
         assert_eq!(session.certain(&q2).certain, warm.certain);
         assert_eq!(session.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn capped_session_evicts_lru_and_stays_correct() {
+        let db = multi_component_db();
+        let mut capped = CqaSession::with_capacity(&db, EngineConfig::default(), 2);
+        let mut free = CqaSession::new(&db, EngineConfig::default());
+        let queries = [examples::q3(), examples::q4(), examples::q5()];
+        // Two passes over three queries with a 2-entry cache: every pass
+        // re-creates the evicted entry, verdicts never change.
+        for _ in 0..2 {
+            for q in &queries {
+                assert_eq!(
+                    capped.certain(q).certain,
+                    free.certain(q).certain,
+                    "{}",
+                    q.display()
+                );
+            }
+        }
+        let stats = capped.stats();
+        assert_eq!(stats.queries, 6);
+        assert!(
+            stats.evictions >= 2,
+            "3 distinct queries through a 2-entry cache must evict: {stats:?}"
+        );
+        // Distinct counts entries ever created (monotone), so the
+        // re-created entries count again.
+        assert_eq!(
+            stats.distinct_queries,
+            3 + stats.evictions.min(3),
+            "{stats:?}"
+        );
+        assert_eq!(free.stats().evictions, 0);
+        // LRU order: with cap 2, asking q3 q4 q3 q5 must evict q4 (the
+        // least recently used), so a following q3 still hits.
+        let mut lru = CqaSession::with_capacity(&db, EngineConfig::default(), 2);
+        let (q3, q4, q5) = (examples::q3(), examples::q4(), examples::q5());
+        lru.certain(&q3);
+        lru.certain(&q4);
+        lru.certain(&q3);
+        lru.certain(&q5); // evicts q4, not q3
+        let hits_before = lru.stats().cache_hits;
+        lru.certain(&q3);
+        assert_eq!(lru.stats().cache_hits, hits_before + 1, "q3 survived");
+        assert_eq!(lru.stats().evictions, 1);
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Owned, thread-safe query sessions — the server-side sibling of
+//! [`CqaSession`](crate::CqaSession).
+//!
+//! [`CqaSession`](crate::CqaSession) *borrows* its database, which is
+//! perfect for `cqa batch` (load, answer, exit) but rules out a
+//! long-lived server: a session manager that loads and evicts databases
+//! at runtime needs entries it can own, share across worker threads and
+//! drop independently. [`SharedSession`] fills that gap:
+//!
+//! * it **owns** its database behind an [`Arc`], so a manager can evict
+//!   the session while in-flight requests keep a live handle;
+//! * `certain` takes `&self` — concurrent requests for *different*
+//!   queries proceed without blocking each other, while concurrent first
+//!   sights of the *same* query block on one [`OnceLock`] initialisation
+//!   (exactly one classification / solution enumeration ever runs);
+//! * per query it caches the classified engine, the enumerated solution
+//!   set, and the solved [`CertainAnswer`] itself: the database is
+//!   immutable for the session's lifetime, so the verdict is a pure
+//!   function of the query and a repeat request costs a map lookup.
+//!   (The component partition's views borrow the database, so the
+//!   partition is rebuilt inside the one first-solve rather than stored
+//!   — caching it in an owned session would make the type
+//!   self-referential.)
+//!
+//! Verdicts are identical to [`CqaEngine::certain`] — the one solve per
+//! query feeds the same solutions and the same routing decision into
+//! the same solvers — which is what the `server_parity` differential
+//! suite pins.
+
+use crate::engine::{CertainAnswer, CqaEngine, EngineConfig};
+use crate::session::SessionStats;
+use cqa_model::Database;
+use cqa_query::Query;
+use cqa_solvers::SolutionSet;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A per-query cache slot. All fields are lazily initialised under
+/// [`OnceLock`], so racing first requests for one query do the expensive
+/// work exactly once; later requests read lock-free.
+#[derive(Default)]
+struct SharedEntry {
+    engine: OnceLock<CqaEngine>,
+    solutions: OnceLock<SolutionSet>,
+    answer: OnceLock<CertainAnswer>,
+}
+
+/// An owned classify-once, analyse-once, answer-many handle on one
+/// database, shareable across threads.
+///
+/// ```
+/// use cqa::{EngineConfig, SharedSession};
+/// use cqa_model::{Database, Fact, Signature};
+/// use cqa_query::parse_query;
+/// use std::sync::Arc;
+///
+/// let mut db = Database::new(Signature::new(2, 1).unwrap());
+/// db.insert(Fact::from_names(["a", "b"])).unwrap();
+/// db.insert(Fact::from_names(["b", "c"])).unwrap();
+///
+/// let session = SharedSession::new(Arc::new(db), EngineConfig::default());
+/// let q3 = parse_query("R(x | y) R(y | z)").unwrap();
+/// assert!(session.certain(&q3).certain);
+/// assert!(session.certain(&q3).certain); // cached: no re-enumeration
+/// assert_eq!(session.stats().cache_hits, 1);
+/// ```
+pub struct SharedSession {
+    db: Arc<Database>,
+    config: EngineConfig,
+    entries: Mutex<HashMap<String, Arc<SharedEntry>>>,
+    queries: AtomicUsize,
+    distinct: AtomicUsize,
+    cache_hits: AtomicUsize,
+}
+
+impl SharedSession {
+    /// A session owning `db`; every query first seen is classified with
+    /// `config`.
+    pub fn new(db: Arc<Database>, config: EngineConfig) -> SharedSession {
+        SharedSession {
+            db,
+            config,
+            entries: Mutex::new(HashMap::new()),
+            queries: AtomicUsize::new(0),
+            distinct: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// The session's database.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The configuration queries are classified and solved with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Approximate resident bytes of the session's database — the number
+    /// the `cqa serve` memory budget accounts and evicts by. Cached
+    /// per-query artefacts are small next to the fact store and are not
+    /// counted.
+    pub fn approx_bytes(&self) -> usize {
+        self.db.approx_bytes()
+    }
+
+    /// Lifetime counters, in the same shape `cqa batch --stats` reports
+    /// ([`SessionStats`]); `evictions` is always 0 here — whole-session
+    /// eviction is the manager's job, per-query eviction the capped
+    /// [`CqaSession`](crate::CqaSession)'s.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            distinct_queries: self.distinct.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            evictions: 0,
+        }
+    }
+
+    /// The cache slot for `query`, creating it (empty) on first sight.
+    /// The map lock is held only for the lookup/insert, never while
+    /// classifying or enumerating.
+    fn entry(&self, query: &Query) -> Arc<SharedEntry> {
+        let key = query.display();
+        let mut entries = self.entries.lock().expect("session map lock poisoned");
+        if let Some(entry) = entries.get(&key) {
+            return Arc::clone(entry);
+        }
+        self.distinct.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(SharedEntry::default());
+        entries.insert(key, Arc::clone(&entry));
+        entry
+    }
+
+    /// Decide `db ⊨ certain(query)`, reusing (or building, on first
+    /// sight) the cached classification, solution set *and verdict* for
+    /// this query. Safe to call from many threads at once.
+    ///
+    /// Unlike the per-process [`CqaSession`](crate::CqaSession), the
+    /// full [`CertainAnswer`] is cached, not just the preparation: the
+    /// session owns an immutable database, so the verdict is a pure
+    /// function of the query and re-solving on every repeat request
+    /// would only re-derive the same answer (a long-lived server cannot
+    /// afford that on budget-heavy shapes).
+    pub fn certain(&self, query: &Query) -> CertainAnswer {
+        let entry = self.entry(query);
+        let hit = entry.answer.get().is_some();
+        let answer = entry
+            .answer
+            .get_or_init(|| {
+                let engine = entry
+                    .engine
+                    .get_or_init(|| CqaEngine::with_config(query.clone(), self.config));
+                let solutions = entry
+                    .solutions
+                    .get_or_init(|| SolutionSet::enumerate(engine.query(), &self.db));
+                let comps = engine.partition_for(&self.db, solutions);
+                engine.certain_with_parts(&self.db, solutions, comps.as_deref())
+            })
+            .clone();
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        answer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqa_model::{Fact, Signature};
+    use cqa_query::examples;
+
+    fn db2(rows: &[[&str; 2]]) -> Arc<Database> {
+        let mut db = Database::new(Signature::new(2, 1).unwrap());
+        for row in rows {
+            db.insert(Fact::from_names(row.iter().copied())).unwrap();
+        }
+        Arc::new(db)
+    }
+
+    fn multi_component_db() -> Arc<Database> {
+        db2(&[
+            ["a", "b"],
+            ["b", "c"],
+            ["p", "q"],
+            ["p", "x"],
+            ["q", "r"],
+            ["z", "z"],
+        ])
+    }
+
+    #[test]
+    fn shared_session_matches_cold_engine() {
+        let db = multi_component_db();
+        let session = SharedSession::new(Arc::clone(&db), EngineConfig::default());
+        for q in [examples::q3(), examples::q4(), examples::q5()] {
+            let cold = CqaEngine::new(q.clone()).certain(&db);
+            let warm = session.certain(&q);
+            assert_eq!(cold.certain, warm.certain, "{}", q.display());
+            assert_eq!(cold.answered_by, warm.answered_by, "{}", q.display());
+            // Repeat hits the cache with the same verdict.
+            assert_eq!(session.certain(&q).certain, cold.certain);
+        }
+        let stats = session.stats();
+        assert_eq!(stats.queries, 6);
+        assert_eq!(stats.distinct_queries, 3);
+        assert_eq!(stats.cache_hits, 3);
+    }
+
+    #[test]
+    fn concurrent_same_query_enumerates_once() {
+        let db = multi_component_db();
+        let session = SharedSession::new(db, EngineConfig::default());
+        let q3 = examples::q3();
+        let verdicts = minipool::par_map(4, &[(); 16], |_| session.certain(&q3).certain);
+        assert!(verdicts.iter().all(|&v| v));
+        let stats = session.stats();
+        assert_eq!(stats.queries, 16);
+        assert_eq!(stats.distinct_queries, 1, "one entry, one enumeration");
+        // Every call after the first prepared one is a hit; racing first
+        // calls may miss the `hit` flag but never re-enumerate.
+        assert!(stats.cache_hits >= 1);
+    }
+
+    #[test]
+    fn session_outlives_external_drop_of_the_map_slot() {
+        // An "evicted" session (the manager dropped its Arc) keeps
+        // answering for holders of the handle.
+        let db = db2(&[["a", "b"], ["b", "c"]]);
+        let session = Arc::new(SharedSession::new(db, EngineConfig::default()));
+        let held = Arc::clone(&session);
+        drop(session);
+        assert!(held.certain(&examples::q3()).certain);
+        assert!(held.approx_bytes() > 0);
+    }
+}

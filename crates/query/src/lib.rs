@@ -17,12 +17,14 @@
 mod atom;
 pub mod conditions;
 pub mod homomorphism;
+mod lines;
 mod parse;
 mod query;
 mod subst;
 mod term;
 
 pub use atom::Atom;
+pub use lines::{query_lines, QueryLine};
 pub use parse::parse_query;
 pub use query::Query;
 pub use subst::{is_solution, is_solution_unordered, match_pair, Subst};

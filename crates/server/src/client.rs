@@ -1,0 +1,179 @@
+//! A blocking client for the `cqa serve` wire protocol — the library
+//! behind `cqa client`, and the workhorse of the parity and load
+//! harnesses.
+
+use crate::json::Json;
+use crate::protocol::{
+    encode_request, parse_response, Frame, FrameReader, Method, Request, WireError, MAX_FRAME,
+};
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One connection to a `cqa serve` instance. Requests are issued
+/// strictly in order (the protocol answers in order, one line per
+/// request); open more clients for concurrency.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    frames: FrameReader,
+    next_id: i64,
+    /// Applied to every request issued by this client (`None`: no
+    /// deadline).
+    pub deadline_ms: Option<u64>,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        // Generous safety net so a dead server cannot hang a harness.
+        writer.set_read_timeout(Some(Duration::from_secs(600)))?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            writer,
+            reader,
+            frames: FrameReader::new(),
+            next_id: 1,
+            deadline_ms: None,
+        })
+    }
+
+    /// Issue one request and wait for its response. Returns the `result`
+    /// object on success, the server's coded error otherwise; transport
+    /// problems surface as the `io` code.
+    pub fn call(&mut self, method: Method) -> Result<Json, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = encode_request(&Request {
+            id: Some(id),
+            method,
+            deadline_ms: self.deadline_ms,
+        });
+        writeln!(self.writer, "{frame}")
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| WireError::new("io", format!("send failed: {e}")))?;
+        loop {
+            match self
+                .frames
+                .next(&mut self.reader, MAX_FRAME)
+                .map_err(|e| WireError::new("io", format!("receive failed: {e}")))?
+            {
+                Frame::Pending => continue,
+                Frame::Eof => return Err(WireError::new("io", "server closed the connection")),
+                Frame::TooLong { limit } => {
+                    return Err(WireError::new(
+                        "io",
+                        format!("response exceeded the {limit}-byte frame limit"),
+                    ))
+                }
+                Frame::NotUtf8 => return Err(WireError::new("io", "response is not valid UTF-8")),
+                Frame::Line(line) => {
+                    let response = parse_response(&line)?;
+                    if response.id != Some(id) {
+                        return Err(WireError::new(
+                            "bad-response",
+                            format!(
+                                "response id {:?} does not match request id {id}",
+                                response.id
+                            ),
+                        ));
+                    }
+                    return response.outcome;
+                }
+            }
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), WireError> {
+        self.call(Method::Ping).map(|_| ())
+    }
+
+    /// Load (or touch) a database; returns its fact count.
+    pub fn load(&mut self, path: &str) -> Result<i64, WireError> {
+        let result = self.call(Method::Load {
+            path: path.to_string(),
+        })?;
+        result
+            .get("facts")
+            .and_then(Json::as_int)
+            .ok_or_else(|| WireError::new("bad-response", "load result missing facts"))
+    }
+
+    /// `certain(query)` on `db`; the boolean verdict.
+    pub fn certain(&mut self, db: &str, query: &str) -> Result<bool, WireError> {
+        let result = self.call(Method::Certain {
+            db: db.to_string(),
+            query: query.to_string(),
+        })?;
+        result
+            .get("certain")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| WireError::new("bad-response", "certain result missing verdict"))
+    }
+
+    /// A whole queries text; verdicts in input order — the same
+    /// `true`/`false` lines `cqa batch` prints.
+    pub fn batch(&mut self, db: &str, queries: &str) -> Result<Vec<bool>, WireError> {
+        let result = self.call(Method::Batch {
+            db: db.to_string(),
+            queries: queries.to_string(),
+        })?;
+        let Some(Json::Arr(verdicts)) = result.get("verdicts") else {
+            return Err(WireError::new(
+                "bad-response",
+                "batch result missing verdicts",
+            ));
+        };
+        verdicts
+            .iter()
+            .map(|v| {
+                v.as_bool()
+                    .ok_or_else(|| WireError::new("bad-response", "non-boolean verdict"))
+            })
+            .collect()
+    }
+
+    /// Brute-force falsification; the raw result object (`outcome`,
+    /// optional `repair`).
+    pub fn falsify(&mut self, db: &str, query: &str, budget: u64) -> Result<Json, WireError> {
+        self.call(Method::Falsify {
+            db: db.to_string(),
+            query: query.to_string(),
+            budget,
+        })
+    }
+
+    /// Server counters as a raw object.
+    pub fn stats(&mut self) -> Result<Json, WireError> {
+        self.call(Method::Stats)
+    }
+
+    /// Ask the server to stop.
+    pub fn shutdown(&mut self) -> Result<(), WireError> {
+        self.call(Method::Shutdown).map(|_| ())
+    }
+}
+
+/// Render batch verdicts exactly as `cqa batch` prints them: one
+/// `true`/`false` per line. The parity suite diffs this against the CLI
+/// byte for byte.
+pub fn render_verdicts(verdicts: &[bool]) -> String {
+    let mut out = String::new();
+    for v in verdicts {
+        out.push_str(if *v { "true\n" } else { "false\n" });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_matches_cli_batch_shape() {
+        assert_eq!(render_verdicts(&[true, false, true]), "true\nfalse\ntrue\n");
+        assert_eq!(render_verdicts(&[]), "");
+    }
+}

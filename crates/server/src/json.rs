@@ -1,0 +1,482 @@
+//! A minimal, dependency-free JSON encoder/decoder for the wire
+//! protocol (crates.io is unreachable in this build environment, so no
+//! serde; see `vendor/README.md` for the policy).
+//!
+//! Deliberately smaller than full JSON where the protocol needs less:
+//! numbers are **integers only** (`i64`) — every quantity on this wire
+//! (ids, counts, byte sizes, millisecond durations) is integral, and
+//! refusing floats keeps `encode ∘ decode` an exact fixpoint, which the
+//! round-trip property suite pins. Everything else is standard: the
+//! escapes `\" \\ \/ \b \f \n \r \t \uXXXX` (surrogate pairs included),
+//! arbitrary nesting, UTF-8 throughout. Object member order is
+//! **preserved** (members are a `Vec`, not a map), so re-encoding a
+//! decoded document is byte-identical.
+//!
+//! Errors carry the byte offset where decoding failed ([`JsonError`]),
+//! mirroring the positioned-error contract of the fact-file and query
+//! parsers (`docs/FORMAT.md`).
+
+use std::fmt::Write as _;
+
+/// A JSON value. Integers only (see module docs); object member order is
+/// preserved and duplicate keys are kept as written ([`Json::get`]
+/// returns the first).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (the only number shape on this wire).
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: ordered `(key, value)` members.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The value of the first member named `key`, if this is an object
+    /// that has one.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// This value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Compact canonical encoding (no whitespace, members in stored
+    /// order). `decode(encode(v))` always returns `v` exactly.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Write a JSON string literal with its quotes, escaping the two
+/// mandatory characters plus all controls (short escapes where JSON has
+/// them, `\u00XX` otherwise).
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A decode failure: what went wrong and the byte offset it went wrong
+/// at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where decoding failed.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "byte offset {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Decode one JSON document; trailing content (other than whitespace) is
+/// an error, as is a float or exponent number (integers only on this
+/// wire).
+pub fn decode(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        input,
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after JSON value"));
+    }
+    Ok(value)
+}
+
+/// Nesting cap: adversarial frames like `[[[[…` must fail cleanly, not
+/// blow the parse stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError {
+            at: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.input[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start || (self.pos == start + 1 && self.bytes[start] == b'-') {
+            return Err(self.err("expected digits"));
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(self.err("floats are not supported (integers only on this wire)"));
+        }
+        self.input[start..self.pos]
+            .parse::<i64>()
+            .map(Json::Int)
+            .map_err(|_| JsonError {
+                at: start,
+                msg: "integer out of i64 range".into(),
+            })
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            members.push((key, self.value(depth + 1)?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"').map_err(|_| self.err("expected string"))?;
+        let mut out = String::new();
+        loop {
+            // Find the next backslash or closing quote; everything before
+            // it is literal UTF-8 (controls must be escaped per JSON).
+            let rest = &self.input[self.pos..];
+            let stop = rest
+                .char_indices()
+                .find(|&(_, c)| c == '"' || c == '\\' || (c as u32) < 0x20);
+            match stop {
+                None => {
+                    self.pos = self.bytes.len();
+                    return Err(self.err("unterminated string"));
+                }
+                Some((i, '"')) => {
+                    out.push_str(&rest[..i]);
+                    self.pos += i + 1;
+                    return Ok(out);
+                }
+                Some((i, '\\')) => {
+                    out.push_str(&rest[..i]);
+                    self.pos += i + 1;
+                    out.push(self.escape()?);
+                }
+                Some((i, _)) => {
+                    self.pos += i;
+                    return Err(self.err("unescaped control character in string"));
+                }
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, JsonError> {
+        let c = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{0008}',
+            b'f' => '\u{000C}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => return self.unicode_escape(),
+            other => {
+                self.pos -= 1;
+                return Err(self.err(format!("invalid escape '\\{}'", other as char)));
+            }
+        })
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let unit = self.hex4()?;
+        // Surrogate pair handling: a high surrogate must be followed by
+        // `\uDC00`..`\uDFFF`; anything else is a positioned error.
+        if (0xD800..0xDC00).contains(&unit) {
+            if self.peek() != Some(b'\\') || self.bytes.get(self.pos + 1) != Some(&b'u') {
+                return Err(self.err("high surrogate not followed by \\u escape"));
+            }
+            self.pos += 2;
+            let low = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&low) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+            return char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"));
+        }
+        if (0xDC00..0xE000).contains(&unit) {
+            return Err(self.err("unpaired low surrogate"));
+        }
+        char::from_u32(unit).ok_or_else(|| self.err("invalid \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let hex = self
+            .input
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16)
+            .map_err(|_| self.err(format!("bad hex in \\u escape: {hex:?}")))?;
+        self.pos += 4;
+        Ok(v)
+    }
+}
+
+/// Shorthand for building an object in member order.
+pub fn obj(members: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(text: &str) -> String {
+        decode(text).unwrap().encode()
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(round_trip("null"), "null");
+        assert_eq!(round_trip("true"), "true");
+        assert_eq!(round_trip("false"), "false");
+        assert_eq!(round_trip("0"), "0");
+        assert_eq!(round_trip("-42"), "-42");
+        assert_eq!(round_trip("9223372036854775807"), "9223372036854775807");
+        assert_eq!(round_trip("\"hi\""), "\"hi\"");
+    }
+
+    #[test]
+    fn nested_structures_round_trip_with_order_preserved() {
+        let text = r#"{"id":1,"method":"certain","params":{"db":"x.facts","query":"R(x | y) R(y | z)"},"tags":[1,2,3]}"#;
+        assert_eq!(round_trip(text), text);
+    }
+
+    #[test]
+    fn escapes_decode_and_reencode() {
+        let v = decode(r#""a\"b\\c\/d\n\t\u0041\u00e9""#).unwrap();
+        assert_eq!(v, Json::Str("a\"b\\c/d\n\tAé".into()));
+        // Re-encoding uses the canonical escape set.
+        assert_eq!(v.encode(), "\"a\\\"b\\\\c/d\\n\\tAé\"");
+        // Surrogate pair: 𝄞 (U+1D11E).
+        assert_eq!(decode(r#""\ud834\udd1e""#).unwrap(), Json::Str("𝄞".into()));
+        // Control characters encode as escapes and survive.
+        let s = Json::Str("\u{0001}\u{0008}".into());
+        assert_eq!(decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn errors_carry_byte_offsets() {
+        let err = decode("{\"a\": nope}").unwrap_err();
+        assert_eq!(err.at, 6);
+        assert!(err.msg.contains("null"), "{err}");
+        let err = decode("[1, 2").unwrap_err();
+        assert_eq!(err.at, 5);
+        let err = decode("1.5").unwrap_err();
+        assert!(err.msg.contains("floats"), "{err}");
+        let err = decode("[1] tail").unwrap_err();
+        assert!(err.msg.contains("trailing"), "{err}");
+        let err = decode("\"\\ud834x\"").unwrap_err();
+        assert!(err.msg.contains("surrogate"), "{err}");
+        assert!(decode("").is_err());
+        assert!(decode("\"unterminated").is_err());
+        assert!(decode("{\"a\" 1}").is_err());
+        assert!(decode("01").is_err() || decode("01").is_ok()); // leading zeros tolerated
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let deep = "[".repeat(100_000);
+        let err = decode(&deep).unwrap_err();
+        assert!(err.msg.contains("deep"), "{err}");
+    }
+
+    #[test]
+    fn get_and_accessors() {
+        let v = decode(r#"{"a":1,"b":"x","c":true,"a":2}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_int), Some(1));
+        assert_eq!(v.get("b").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("c").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Null.get("a"), None);
+    }
+}

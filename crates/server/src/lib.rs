@@ -1,0 +1,39 @@
+//! `cqa serve`: a concurrent consistent-query-answering server.
+//!
+//! The pieces, bottom up:
+//!
+//! * [`json`] — a minimal, dependency-free JSON codec: integers only
+//!   (so `encode ∘ decode` is an exact fixpoint), order-preserving
+//!   objects, positioned decode errors.
+//! * [`protocol`] — line-delimited request/response frames over that
+//!   codec, plus [`FrameReader`](protocol::FrameReader): timeout-safe
+//!   incremental framing that drains oversized lines and survives
+//!   non-UTF-8 garbage.
+//! * [`manager`] — [`SessionManager`]:
+//!   path-keyed [`SharedSession`](cqa::SharedSession)s with
+//!   single-flight loading and LRU eviction under a byte budget.
+//! * [`server`] — the TCP accept loop; query work fans out over one
+//!   shared [`minipool::Pool`], per-request deadlines are enforced at
+//!   pickup, worker panics are contained per request.
+//! * [`client`] — the blocking client behind `cqa client` and the
+//!   parity/load harnesses.
+//!
+//! The wire grammar, error-code table and operational notes live in
+//! `docs/SERVER.md`; the differential guarantee (server verdicts are
+//! byte-identical to single-shot `cqa batch`) is pinned by the
+//! `server_parity` suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod manager;
+pub mod protocol;
+pub mod server;
+
+pub use client::{render_verdicts, Client};
+pub use json::{decode, obj, Json, JsonError};
+pub use manager::{Loader, ManagerStats, SessionManager};
+pub use protocol::{Method, Request, Response, WireError, MAX_FRAME};
+pub use server::{serve, ServeConfig, ServerHandle};

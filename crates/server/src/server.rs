@@ -1,0 +1,602 @@
+//! The `cqa serve` TCP server: accept loop, per-connection framing,
+//! request fan-out over a [`minipool::Pool`].
+//!
+//! Threading model:
+//!
+//! * one **accept thread** owns the listener;
+//! * one lightweight **connection thread** per client runs the framing
+//!   loop (these spend their life blocked on the socket, polling a
+//!   250 ms read timeout so shutdown is prompt);
+//! * all **query work** is funnelled through one shared
+//!   [`minipool::Pool`] of `--threads` workers, so CPU parallelism is
+//!   bounded no matter how many clients connect. A worker panic is
+//!   contained by the pool and surfaced to that one client as an `io`
+//!   error; the connection and the server live on.
+//!
+//! Cancellation is cooperative and coarse: a request carrying
+//! `deadline_ms` is checked when a worker *picks it up* — if it queued
+//! past its deadline (workers busy with requests ahead of it), the
+//! server answers `deadline-exceeded` without computing. A request
+//! already running is never interrupted mid-solve; `docs/SERVER.md`
+//! spells out this contract.
+//!
+//! Shutdown: the `shutdown` method (or [`ServerHandle::shutdown`]) sets
+//! a flag and wakes the accept thread with a throwaway self-connection;
+//! connection loops notice the flag within one poll interval, finish
+//! their in-flight response and exit; the pool drains before the accept
+//! thread joins them and returns.
+
+use crate::json::{obj, Json};
+use crate::manager::{Loader, ManagerStats, SessionManager};
+use crate::protocol::{
+    err_response, ok_response, parse_request, Frame, FrameReader, Method, Request, WireError,
+    MAX_FRAME,
+};
+use cqa::EngineConfig;
+use cqa_query::parse_query;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How often blocked connection reads wake up to check the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Everything `serve` needs. Construct with [`ServeConfig::new`], then
+/// override fields.
+pub struct ServeConfig {
+    /// Bind address; use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Worker threads for query execution; 0 means all cores.
+    pub threads: usize,
+    /// Evict least-recently-used databases past this many approximate
+    /// bytes (`None`: keep everything).
+    pub memory_budget: Option<usize>,
+    /// Per-frame byte cap (both directions).
+    pub max_frame: usize,
+    /// How sessions classify and solve.
+    pub engine: EngineConfig,
+    /// How database paths become databases (the CLI injects its
+    /// fact-file loader; tests inject synthetic ones).
+    pub loader: Loader,
+}
+
+impl ServeConfig {
+    /// Defaults: `127.0.0.1:7878`, all cores, no budget, 1 MiB frames.
+    pub fn new(loader: Loader) -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            threads: 0,
+            memory_budget: None,
+            max_frame: MAX_FRAME,
+            engine: EngineConfig::default(),
+            loader,
+        }
+    }
+}
+
+/// Shared state every connection and worker sees.
+struct ServerCtx {
+    manager: SessionManager,
+    pool: minipool::Pool,
+    threads: usize,
+    max_frame: usize,
+    stop: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    ctx: Arc<ServerCtx>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the OS-assigned port when the config
+    /// asked for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.ctx.addr
+    }
+
+    /// Session-manager counters (tests and `cqa serve --stats` read
+    /// these without a round trip).
+    pub fn manager_stats(&self) -> ManagerStats {
+        self.ctx.manager.stats()
+    }
+
+    /// Stop accepting, let in-flight requests finish, join everything.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.ctx.stop.store(true, Ordering::SeqCst);
+        wake_accept(self.ctx.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Block until the server stops (a client sends `shutdown`, or
+    /// another thread calls [`ServerHandle::shutdown`]). This is what
+    /// `cqa serve` sits in; returns the final session-manager counters
+    /// for the `--stats` report.
+    pub fn wait(mut self) -> ManagerStats {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.ctx.manager.stats()
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Nudge a listener blocked in `accept` so it re-checks the stop flag.
+fn wake_accept(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+}
+
+/// Bind and start serving; returns as soon as the listener is live.
+pub fn serve(config: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let threads = if config.threads == 0 {
+        minipool::max_threads()
+    } else {
+        config.threads
+    };
+    let ctx = Arc::new(ServerCtx {
+        manager: SessionManager::new(config.loader, config.engine, config.memory_budget),
+        pool: minipool::Pool::new(threads),
+        threads,
+        max_frame: config.max_frame,
+        stop: AtomicBool::new(false),
+        addr,
+    });
+    let accept_ctx = Arc::clone(&ctx);
+    let accept = thread::Builder::new()
+        .name("cqa-accept".to_string())
+        .spawn(move || accept_loop(listener, accept_ctx))?;
+    Ok(ServerHandle {
+        ctx,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if ctx.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        conns.retain(|h| !h.is_finished());
+        let conn_ctx = Arc::clone(&ctx);
+        let spawned = thread::Builder::new()
+            .name("cqa-conn".to_string())
+            .spawn(move || {
+                let _ = run_connection(stream, conn_ctx);
+            });
+        if let Ok(h) = spawned {
+            conns.push(h);
+        }
+    }
+    // Stop flag is set: connections exit within one poll interval.
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// One client's framing loop. Protocol errors answer and continue; only
+/// EOF, a hard I/O error or shutdown end the loop.
+fn run_connection(stream: TcpStream, ctx: Arc<ServerCtx>) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut frames = FrameReader::new();
+    loop {
+        if ctx.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let frame = match frames.next(&mut reader, ctx.max_frame) {
+            Ok(f) => f,
+            Err(_) => return Ok(()), // peer reset — nothing to answer
+        };
+        let line = match frame {
+            Frame::Pending => continue,
+            Frame::Eof => return Ok(()),
+            Frame::TooLong { limit } => {
+                let e = WireError::new(
+                    "frame-too-long",
+                    format!("frame exceeds the {limit}-byte limit (dropped; connection resynchronised at the next newline)"),
+                );
+                writeln!(writer, "{}", err_response(None, &e))?;
+                continue;
+            }
+            Frame::NotUtf8 => {
+                let e = WireError::new("bad-utf8", "frame is not valid UTF-8 (dropped)");
+                writeln!(writer, "{}", err_response(None, &e))?;
+                continue;
+            }
+            Frame::Line(line) => line,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse_request(&line) {
+            Err(e) => err_response(None, &e),
+            Ok(req) => {
+                let is_shutdown = matches!(req.method, Method::Shutdown);
+                let response = dispatch(&ctx, req);
+                if is_shutdown {
+                    writeln!(writer, "{response}")?;
+                    writer.flush()?;
+                    ctx.stop.store(true, Ordering::SeqCst);
+                    wake_accept(ctx.addr);
+                    return Ok(());
+                }
+                response
+            }
+        };
+        writeln!(writer, "{response}")?;
+        writer.flush()?;
+    }
+}
+
+/// Hand one request to the pool and wait for its response frame.
+fn dispatch(ctx: &Arc<ServerCtx>, req: Request) -> String {
+    let (tx, rx) = mpsc::channel::<Result<Json, WireError>>();
+    let worker_ctx = Arc::clone(ctx);
+    let enqueued = Instant::now();
+    let method = req.method.clone();
+    let deadline_ms = req.deadline_ms;
+    ctx.pool.execute(move || {
+        let outcome = match deadline_ms {
+            Some(ms) if enqueued.elapsed() > Duration::from_millis(ms) => Err(WireError::new(
+                "deadline-exceeded",
+                format!(
+                    "request waited {}ms in the queue, past its {ms}ms deadline",
+                    enqueued.elapsed().as_millis()
+                ),
+            )),
+            _ => execute(&worker_ctx, &method),
+        };
+        let _ = tx.send(outcome);
+    });
+    let outcome = rx.recv().unwrap_or_else(|_| {
+        // The worker died before answering: its panic was contained by
+        // the pool; this client gets an error, the server keeps going.
+        Err(WireError::new(
+            "io",
+            "worker panicked while executing the request",
+        ))
+    });
+    match outcome {
+        Ok(result) => ok_response(req.id, result),
+        Err(e) => err_response(req.id, &e),
+    }
+}
+
+/// Mirror of `dbfmt::truncate_error_text` (the CLI's fact-file error
+/// convention): cap error excerpts at 120 characters with `…`. The
+/// `server_parity` suite asserts the two layers produce byte-identical
+/// batch error messages, so they cannot drift.
+fn truncate_error_text(line: &str) -> String {
+    const ERROR_TEXT_MAX: usize = 120;
+    let mut text: String = line.chars().take(ERROR_TEXT_MAX).collect();
+    if text.len() < line.len() {
+        text.push('…');
+    }
+    text
+}
+
+/// Execute one method against the session manager. Every error path
+/// returns a coded [`WireError`]; none of them tear the connection down.
+fn execute(ctx: &ServerCtx, method: &Method) -> Result<Json, WireError> {
+    if ctx.stop.load(Ordering::SeqCst) && !matches!(method, Method::Shutdown) {
+        return Err(WireError::new("shutting-down", "server is shutting down"));
+    }
+    let session_for = |db: &str| {
+        ctx.manager
+            .get_or_load(db)
+            .map_err(|msg| WireError::new("load-failed", msg))
+    };
+    match method {
+        Method::Ping => Ok(obj([("pong", Json::Bool(true))])),
+        Method::Load { path } => {
+            let session = session_for(path)?;
+            let db = session.db();
+            Ok(obj([
+                ("db", Json::Str(path.clone())),
+                ("facts", Json::Int(db.len() as i64)),
+                ("blocks", Json::Int(db.block_count() as i64)),
+                ("approx_bytes", Json::Int(session.approx_bytes() as i64)),
+            ]))
+        }
+        Method::Certain { db, query } => {
+            let session = session_for(db)?;
+            let q = parse_query(query).map_err(|e| WireError::new("bad-query", e.to_string()))?;
+            if session.db().signature() != q.signature() {
+                return Err(WireError::new(
+                    "signature-mismatch",
+                    format!(
+                        "query signature {} does not match database signature {}",
+                        q.signature(),
+                        session.db().signature()
+                    ),
+                ));
+            }
+            let ans = session.certain(&q);
+            Ok(obj([
+                ("certain", Json::Bool(ans.certain)),
+                ("answered_by", Json::Str(format!("{:?}", ans.answered_by))),
+                ("budget_exhausted", Json::Bool(ans.budget_exhausted)),
+            ]))
+        }
+        Method::Falsify { db, query, budget } => {
+            let session = session_for(db)?;
+            let q = parse_query(query).map_err(|e| WireError::new("bad-query", e.to_string()))?;
+            if session.db().signature() != q.signature() {
+                return Err(WireError::new(
+                    "signature-mismatch",
+                    format!(
+                        "query signature {} does not match database signature {}",
+                        q.signature(),
+                        session.db().signature()
+                    ),
+                ));
+            }
+            // One solver thread per request: parallelism across
+            // requests comes from the pool, and nesting would
+            // oversubscribe the workers.
+            let outcome = cqa::solvers::certain_brute_parallel(&q, session.db(), *budget, 1);
+            let db_ref = session.db();
+            Ok(match outcome {
+                cqa::solvers::BruteOutcome::Certain => {
+                    obj([("outcome", Json::Str("certain".to_string()))])
+                }
+                cqa::solvers::BruteOutcome::NotCertain(r) => obj([
+                    ("outcome", Json::Str("not-certain".to_string())),
+                    (
+                        "repair",
+                        Json::Arr(
+                            r.facts()
+                                .iter()
+                                .map(|&id| Json::Str(db_ref.fact(id).to_string()))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+                cqa::solvers::BruteOutcome::BudgetExhausted => obj([
+                    ("outcome", Json::Str("budget-exhausted".to_string())),
+                    (
+                        "budget",
+                        Json::Int(i64::try_from(*budget).unwrap_or(i64::MAX)),
+                    ),
+                ]),
+            })
+        }
+        Method::Batch { db, queries } => {
+            let session = session_for(db)?;
+            let mut verdicts = Vec::new();
+            // Same line discipline and error text as `cqa batch`
+            // (shared via cqa_query::query_lines; asserted byte-equal
+            // by the parity suite).
+            for ql in cqa_query::query_lines(queries) {
+                let err_at = |msg: String| {
+                    WireError::new(
+                        "bad-batch",
+                        format!(
+                            "queries line {} (byte offset {}): {msg}\n  | {}",
+                            ql.line,
+                            ql.offset,
+                            truncate_error_text(ql.raw)
+                        ),
+                    )
+                };
+                let q = parse_query(ql.text).map_err(|e| err_at(e.to_string()))?;
+                if session.db().signature() != q.signature() {
+                    return Err(err_at(format!(
+                        "query signature {} does not match database signature {}",
+                        q.signature(),
+                        session.db().signature()
+                    )));
+                }
+                verdicts.push(Json::Bool(session.certain(&q).certain));
+            }
+            if verdicts.is_empty() {
+                return Err(WireError::new(
+                    "bad-batch",
+                    "queries file holds no queries (empty, blank or comment-only)",
+                ));
+            }
+            let count = verdicts.len();
+            Ok(obj([
+                ("verdicts", Json::Arr(verdicts)),
+                ("count", Json::Int(count as i64)),
+            ]))
+        }
+        Method::Stats => {
+            let s = ctx.manager.stats();
+            Ok(obj([
+                ("sessions", Json::Int(s.sessions as i64)),
+                ("loads", Json::Int(s.loads as i64)),
+                ("session_hits", Json::Int(s.session_hits as i64)),
+                ("evictions", Json::Int(s.evictions as i64)),
+                ("resident_bytes", Json::Int(s.resident_bytes as i64)),
+                ("queries", Json::Int(s.queries as i64)),
+                ("distinct_queries", Json::Int(s.distinct_queries as i64)),
+                ("cache_hits", Json::Int(s.cache_hits as i64)),
+                ("threads", Json::Int(ctx.threads as i64)),
+                (
+                    "memory_budget",
+                    ctx.manager
+                        .memory_budget()
+                        .map_or(Json::Null, |b| Json::Int(b as i64)),
+                ),
+            ]))
+        }
+        Method::Shutdown => Ok(obj([("stopping", Json::Bool(true))])),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_response;
+    use cqa_model::{Database, Fact, Signature};
+    use std::io::BufRead;
+
+    /// Synthetic loader: "db:N" is an N-fact chain, anything else fails.
+    fn chain_loader() -> Loader {
+        Arc::new(|path: &str| {
+            let n: usize = path
+                .strip_prefix("db:")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("no such database: {path}"))?;
+            let mut db = Database::new(Signature::new(2, 1).unwrap());
+            for i in 0..n {
+                db.insert(Fact::from_names([format!("a{i}"), format!("a{}", i + 1)]))
+                    .map_err(|e| e.to_string())?;
+            }
+            Ok(db)
+        })
+    }
+
+    fn test_server() -> ServerHandle {
+        let mut config = ServeConfig::new(chain_loader());
+        config.addr = "127.0.0.1:0".to_string();
+        config.threads = 2;
+        serve(config).expect("bind test server")
+    }
+
+    fn roundtrip(stream: &mut TcpStream, reader: &mut impl BufRead, frame: &str) -> String {
+        writeln!(stream, "{frame}").unwrap();
+        stream.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    #[test]
+    fn serve_answers_and_survives_garbage() {
+        let server = test_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+        let pong = roundtrip(
+            &mut stream,
+            &mut reader,
+            r#"{"id":1,"method":"ping","params":{}}"#,
+        );
+        let r = parse_response(&pong).unwrap();
+        assert_eq!(r.id, Some(1));
+        assert!(r.outcome.is_ok());
+
+        // Garbage does not kill the connection.
+        let err = roundtrip(&mut stream, &mut reader, "{not json");
+        assert_eq!(
+            parse_response(&err).unwrap().outcome.unwrap_err().code,
+            "bad-json"
+        );
+        let err = roundtrip(
+            &mut stream,
+            &mut reader,
+            r#"{"id":2,"method":"warp","params":{}}"#,
+        );
+        let e = parse_response(&err).unwrap().outcome.unwrap_err();
+        assert_eq!(e.code, "unknown-method");
+
+        // Still alive: a real query round-trips.
+        let ok = roundtrip(
+            &mut stream,
+            &mut reader,
+            r#"{"id":3,"method":"certain","params":{"db":"db:4","query":"R(x | y) R(y | z)"}}"#,
+        );
+        let r = parse_response(&ok).unwrap();
+        assert_eq!(r.id, Some(3));
+        let result = r.outcome.unwrap();
+        assert!(result.get("certain").and_then(Json::as_bool).is_some());
+
+        // Unknown database: load-failed, connection still fine.
+        let err = roundtrip(
+            &mut stream,
+            &mut reader,
+            r#"{"id":4,"method":"certain","params":{"db":"missing","query":"R(x | y) R(y | z)"}}"#,
+        );
+        let e = parse_response(&err).unwrap().outcome.unwrap_err();
+        assert_eq!(e.code, "load-failed");
+        assert!(e.message.contains("missing"));
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_server() {
+        let server = test_server();
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let bye = roundtrip(
+            &mut stream,
+            &mut reader,
+            r#"{"id":9,"method":"shutdown","params":{}}"#,
+        );
+        assert!(parse_response(&bye).unwrap().outcome.is_ok());
+        // wait() returns because the wire shutdown stopped the accept loop.
+        server.wait();
+        // And the port is released eventually; a fresh bind on the same
+        // addr family works.
+        let _ = TcpListener::bind("127.0.0.1:0").unwrap();
+    }
+
+    #[test]
+    fn oversized_frames_are_dropped_but_the_loop_survives() {
+        let mut config = ServeConfig::new(chain_loader());
+        config.addr = "127.0.0.1:0".to_string();
+        config.threads = 1;
+        config.max_frame = 256;
+        let server = serve(config).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let huge = format!(
+            "{{\"id\":1,\"method\":\"ping\",\"params\":{{\"pad\":\"{}\"}}}}",
+            "x".repeat(1000)
+        );
+        let err = roundtrip(&mut stream, &mut reader, &huge);
+        let e = parse_response(&err).unwrap().outcome.unwrap_err();
+        assert_eq!(e.code, "frame-too-long");
+        assert!(e.message.contains("256"));
+        let pong = roundtrip(
+            &mut stream,
+            &mut reader,
+            r#"{"id":2,"method":"ping","params":{}}"#,
+        );
+        assert!(parse_response(&pong).unwrap().outcome.is_ok());
+    }
+
+    #[test]
+    fn queued_past_deadline_is_refused() {
+        // threads=1 and a deliberately slow first request: the second
+        // request (deadline 0ms) must queue behind it and get refused.
+        let server = test_server();
+        let mut s1 = TcpStream::connect(server.addr()).unwrap();
+        let mut r1 = BufReader::new(s1.try_clone().unwrap());
+        // Prime the session so the deadline test isn't racing a load.
+        let _ = roundtrip(
+            &mut s1,
+            &mut r1,
+            r#"{"id":1,"method":"load","params":{"path":"db:4"}}"#,
+        );
+        let refused = roundtrip(
+            &mut s1,
+            &mut r1,
+            r#"{"id":2,"method":"certain","params":{"db":"db:4","query":"R(x | y) R(y | z)"},"deadline_ms":0}"#,
+        );
+        // With deadline_ms:0 the enqueue-to-pickup latency always
+        // exceeds the deadline (elapsed > 0).
+        let e = parse_response(&refused).unwrap().outcome.unwrap_err();
+        assert_eq!(e.code, "deadline-exceeded");
+    }
+}

@@ -1,0 +1,338 @@
+//! Property + adversarial suite for the `cqa serve` wire protocol.
+//!
+//! Three layers of pinning:
+//!
+//! 1. **codec fixpoints** — `encode ∘ decode ∘ encode` is the identity
+//!    on random `Json` values (the codec is integers-only precisely so
+//!    this holds exactly), and request encode/parse round-trips.
+//! 2. **decoder totality** — random garbage never panics the decoder,
+//!    and every rejection carries a byte offset inside the input.
+//! 3. **connection resilience** — a live server fed truncated,
+//!    oversized, interleaved and non-UTF-8 frames, plus the dbfmt/query
+//!    fuzz regression corpus both as raw frames and embedded as batch
+//!    request bodies, answers every probe and never drops the
+//!    connection loop.
+
+use cqa_server::protocol::{encode_request, parse_request, Method, Request};
+use cqa_server::{decode, obj, serve, Json, Loader, ServeConfig, ServerHandle};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------- codec
+
+/// Strings over a palette that exercises escapes (quotes, backslashes,
+/// controls, non-ASCII, an astral-plane char) without being pure noise.
+fn string_strategy() -> impl Strategy<Value = String> {
+    let palette: Vec<char> = "ab \"\\/\n\t\u{0}\u{1f}é∀🦀".chars().collect();
+    prop::collection::vec(0..palette.len(), 0..8)
+        .prop_map(move |idxs| idxs.into_iter().map(|i| palette[i]).collect())
+}
+
+/// Random `Json` of bounded depth. Leaves at depth 0.
+fn json_strategy(depth: usize) -> BoxedStrategy<Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        any::<i64>().prop_map(Json::Int),
+        string_strategy().prop_map(Json::Str),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = json_strategy(depth - 1);
+    let arr = prop::collection::vec(inner.clone(), 0..4).prop_map(Json::Arr);
+    let member = string_strategy()
+        .prop_flat_map(move |k| json_strategy(depth - 1).prop_map(move |v| (k.clone(), v)));
+    let object = prop::collection::vec(member, 0..4).prop_map(Json::Obj);
+    prop_oneof![leaf, arr, object].boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 160, ..ProptestConfig::default() })]
+
+    #[test]
+    fn encode_decode_encode_is_a_fixpoint(value in json_strategy(3)) {
+        let once = value.encode();
+        let decoded = decode(&once).expect("own encoding must decode");
+        prop_assert_eq!(&decoded, &value, "decode must invert encode");
+        prop_assert_eq!(decoded.encode(), once, "re-encoding must be stable");
+    }
+
+    #[test]
+    fn decoder_is_total_and_errors_are_positioned(
+        garbage in string_strategy(),
+        prefix_len in 0usize..40,
+    ) {
+        // Arbitrary text, plus truncations of valid documents.
+        for input in [
+            garbage.clone(),
+            obj([("k", Json::Str(garbage))]).encode().chars().take(prefix_len).collect(),
+        ] {
+            if let Err(e) = decode(&input) {
+                prop_assert!(e.at <= input.len(), "offset {} beyond input {:?}", e.at, input);
+                prop_assert!(e.to_string().contains("byte offset"));
+            }
+        }
+    }
+
+    #[test]
+    fn request_encode_parse_round_trips(
+        id in any::<i64>(),
+        db in string_strategy(),
+        query in string_strategy(),
+        budget in 0u64..u64::MAX / 2,
+        deadline in 0u64..10_000,
+        pick in 0usize..7,
+    ) {
+        let method = match pick {
+            0 => Method::Ping,
+            1 => Method::Load { path: db.clone() },
+            2 => Method::Certain { db: db.clone(), query: query.clone() },
+            3 => Method::Falsify { db: db.clone(), query: query.clone(), budget },
+            4 => Method::Batch { db, queries: query },
+            5 => Method::Stats,
+            _ => Method::Shutdown,
+        };
+        let req = Request {
+            id: Some(id),
+            method,
+            deadline_ms: if deadline % 2 == 0 { None } else { Some(deadline) },
+        };
+        let frame = encode_request(&req);
+        prop_assert!(!frame.contains('\n'), "frames must be single lines");
+        prop_assert_eq!(parse_request(&frame).expect("own frames parse"), req);
+    }
+}
+
+// ------------------------------------------------- connection resilience
+
+/// Synthetic loader: `"db:N"` is an N-fact chain; anything else fails.
+fn chain_loader() -> Loader {
+    Arc::new(|path: &str| {
+        use cqa_model::{Database, Fact, Signature};
+        let n: usize = path
+            .strip_prefix("db:")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("no such database: {path}"))?;
+        let mut db = Database::new(Signature::new(2, 1).unwrap());
+        for i in 0..n {
+            db.insert(Fact::from_names([format!("a{i}"), format!("a{}", i + 1)]))
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(db)
+    })
+}
+
+fn small_server(max_frame: usize) -> ServerHandle {
+    let mut config = ServeConfig::new(chain_loader());
+    config.addr = "127.0.0.1:0".to_string();
+    config.threads = 2;
+    config.max_frame = max_frame;
+    serve(config).expect("bind test server")
+}
+
+struct RawConn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl RawConn {
+    fn open(server: &ServerHandle) -> RawConn {
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        RawConn { stream, reader }
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).unwrap();
+        self.stream.flush().unwrap();
+    }
+
+    fn recv_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).unwrap();
+        assert!(!line.is_empty(), "server closed the connection");
+        line.trim_end().to_string()
+    }
+
+    /// Send one frame, return the decoded response.
+    fn roundtrip(&mut self, frame: &str) -> Json {
+        self.send_raw(frame.as_bytes());
+        self.send_raw(b"\n");
+        decode(&self.recv_line()).expect("server frames always decode")
+    }
+
+    /// The connection still answers pings — the loop survived.
+    fn assert_alive(&mut self) {
+        let r = self.roundtrip(r#"{"id":999,"method":"ping","params":{}}"#);
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{r:?}");
+    }
+}
+
+fn error_code(response: &Json) -> &str {
+    assert_eq!(response.get("ok"), Some(&Json::Bool(false)), "{response:?}");
+    response
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .expect("error responses carry a code")
+}
+
+#[test]
+fn truncated_frames_error_and_never_kill_the_loop() {
+    let server = small_server(1 << 20);
+    let mut conn = RawConn::open(&server);
+    let full = r#"{"id":1,"method":"certain","params":{"db":"db:4","query":"R(x | y) R(y | z)"}}"#;
+    for cut in [1, 5, 11, 30, full.len() - 1] {
+        let r = conn.roundtrip(&full[..cut]);
+        let code = error_code(&r);
+        assert_eq!(code, "bad-json", "cut at {cut}");
+        // Positioned: the message names a byte offset inside the frame.
+        let msg = r
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap();
+        assert!(msg.contains("byte offset"), "{msg}");
+        conn.assert_alive();
+    }
+}
+
+#[test]
+fn interleaved_partial_writes_assemble_into_one_frame() {
+    let server = small_server(1 << 20);
+    let mut conn = RawConn::open(&server);
+    // A valid request delivered in dribbles (forcing the FrameReader to
+    // buffer across reads) still answers once, correctly.
+    let frame = r#"{"id":7,"method":"certain","params":{"db":"db:4","query":"R(x | y) R(y | z)"}}"#;
+    for chunk in frame.as_bytes().chunks(7) {
+        conn.send_raw(chunk);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    conn.send_raw(b"\n");
+    let r = decode(&conn.recv_line()).unwrap();
+    assert_eq!(r.get("id"), Some(&Json::Int(7)));
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+    assert!(r
+        .get("result")
+        .and_then(|res| res.get("certain"))
+        .and_then(Json::as_bool)
+        .is_some());
+    conn.assert_alive();
+}
+
+#[test]
+fn oversized_and_non_utf8_frames_resync() {
+    let server = small_server(512);
+    let mut conn = RawConn::open(&server);
+    // Oversized: drained, reported, next frame answers.
+    let r = conn.roundtrip(&"x".repeat(4096));
+    assert_eq!(error_code(&r), "frame-too-long");
+    conn.assert_alive();
+    // Non-UTF-8 garbage inside one frame.
+    conn.send_raw(b"\xff\xfe{\"id\":1}\x80\n");
+    let r = decode(&conn.recv_line()).unwrap();
+    assert_eq!(error_code(&r), "bad-utf8");
+    conn.assert_alive();
+    // Many bad frames back to back, then a good one.
+    for _ in 0..20 {
+        conn.send_raw(b"\xc3(\n");
+    }
+    for _ in 0..20 {
+        let r = decode(&conn.recv_line()).unwrap();
+        assert_eq!(error_code(&r), "bad-utf8");
+    }
+    conn.assert_alive();
+}
+
+/// Every file in the fuzz regression corpus, as raw bytes.
+fn fuzz_corpus() -> Vec<(String, Vec<u8>)> {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../fuzz/regressions");
+    let mut files = Vec::new();
+    for family in std::fs::read_dir(root).expect("fuzz corpus directory") {
+        let family = family.unwrap().path();
+        if !family.is_dir() {
+            continue;
+        }
+        for file in std::fs::read_dir(&family).unwrap() {
+            let path = file.unwrap().path();
+            if path.is_file() {
+                files.push((path.display().to_string(), std::fs::read(&path).unwrap()));
+            }
+        }
+    }
+    assert!(!files.is_empty(), "corpus must not be silently empty");
+    files
+}
+
+#[test]
+fn fuzz_corpus_replayed_as_raw_frames_never_kills_the_loop() {
+    let server = small_server(1 << 20);
+    let mut conn = RawConn::open(&server);
+    for (name, bytes) in fuzz_corpus() {
+        // The corpus entry itself, newline-terminated, as one or more
+        // frames (its own newlines split it — so much the better).
+        conn.send_raw(&bytes);
+        if bytes.last() != Some(&b'\n') {
+            conn.send_raw(b"\n");
+        }
+        // Drain whatever the server answered (one response per
+        // non-empty line sent); a ping fence tells us when we caught up
+        // and proves the connection survived `name`.
+        conn.send_raw(br#"{"id":424242,"method":"ping","params":{}}"#);
+        conn.send_raw(b"\n");
+        loop {
+            let line = conn.recv_line();
+            let r = decode(&line)
+                .unwrap_or_else(|e| panic!("unparseable server frame after {name}: {e}: {line}"));
+            if r.get("id") == Some(&Json::Int(424242)) {
+                assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn fuzz_corpus_embedded_as_batch_bodies_gets_coded_errors() {
+    let server = small_server(1 << 20);
+    let mut conn = RawConn::open(&server);
+    for (name, bytes) in fuzz_corpus() {
+        // The corpus entry as the *queries text* of a well-formed batch
+        // request: the server must answer with verdicts or a coded
+        // error (`bad-batch` for malformed queries), never tear down.
+        let body = String::from_utf8_lossy(&bytes).into_owned();
+        let frame = encode_request(&Request {
+            id: Some(1),
+            method: Method::Batch {
+                db: "db:4".to_string(),
+                queries: body,
+            },
+            deadline_ms: None,
+        });
+        let r = conn.roundtrip(&frame);
+        match r.get("ok") {
+            Some(Json::Bool(true)) => {
+                assert!(r
+                    .get("result")
+                    .and_then(|res| res.get("verdicts"))
+                    .is_some());
+            }
+            Some(Json::Bool(false)) => {
+                let code = error_code(&r);
+                assert!(
+                    code == "bad-batch" || code == "signature-mismatch",
+                    "{name}: unexpected code {code}"
+                );
+            }
+            other => panic!("{name}: malformed ok field {other:?}"),
+        }
+        conn.assert_alive();
+    }
+}

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Concurrent load harness for `cqa serve`: many clients × mixed query
+# batches over skewed databases, with a correctness diff against the
+# single-shot CLI and a queries/second summary for BASELINES.md.
+#
+# Tunables (environment):
+#   CLIENTS  concurrent client processes        (default 4)
+#   ROUNDS   batches each client sends per db   (default 5)
+#   FACTS    facts per generated database       (default 20000)
+#   PORT     server port                        (default 7951)
+#   BUDGET   server --memory-budget             (default 64m)
+#
+# The databases come from the `cqa generate --skew` families (the same
+# presets the fleet differential runner rotates through); the batch is
+# the docs/SERVER.md mixed five-query set. Every client's output is
+# diffed against `cqa batch` byte-for-byte before the rate is reported,
+# so a fast-but-wrong server cannot post a number.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLIENTS=${CLIENTS:-4}
+ROUNDS=${ROUNDS:-5}
+FACTS=${FACTS:-20000}
+PORT=${PORT:-7951}
+BUDGET=${BUDGET:-64m}
+ADDR="127.0.0.1:$PORT"
+
+cargo build --release -p cqa-cli >/dev/null
+CQA=target/release/cqa
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/cqa-load.XXXXXX")
+trap 'rm -rf "$work"' EXIT
+
+# Skewed databases: two seeds of the mixed-batch family, the one preset
+# whose key domain scales with the fact count. (uniform/zipf-contested/
+# heavy-hitter keep fleet-scale domains, so at thousands of facts they
+# become enormous-block Cert_k stress shapes — bench material, not
+# serving-throughput material; see BASELINES.md.)
+"$CQA" generate --facts "$FACTS" --skew mixed-batch --seed 41 "$work/mixed-a.facts" >/dev/null
+"$CQA" generate --facts "$FACTS" --skew mixed-batch --seed 42 "$work/mixed-b.facts" >/dev/null
+DBS=("$work/mixed-a.facts" "$work/mixed-b.facts")
+
+cat > "$work/queries.txt" <<'EOF'
+# mixed load batch (docs/SERVER.md)
+R(x | y) R(y | z)
+R(x | y) R(x | z)
+R(y | x) R(x | x)
+R(y | x) R(x | y)
+R(x | y) R(y | z)
+EOF
+QUERIES_PER_BATCH=5
+
+"$CQA" serve --addr "$ADDR" --memory-budget "$BUDGET" --stats &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$work"' EXIT
+
+for _ in $(seq 1 50); do
+  if "$CQA" client "$ADDR" ping >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+"$CQA" client "$ADDR" ping >/dev/null
+
+# Correctness gate: server batch output must be byte-identical to the
+# single-shot CLI on every database before any rate is recorded. The CLI
+# outputs double as the reference for the per-client post-run diff.
+for db in "${DBS[@]}"; do
+  "$CQA" client "$ADDR" batch "$db" "$work/queries.txt" > "$work/server.out"
+  "$CQA" batch "$db" "$work/queries.txt" > "$work/cli-ref-$(basename "$db").out"
+  diff -u "$work/cli-ref-$(basename "$db").out" "$work/server.out" >&2
+done
+echo "load_test: parity gate passed on ${#DBS[@]} databases" >&2
+
+run_client() {
+  local out="$1"
+  for _ in $(seq 1 "$ROUNDS"); do
+    for db in "${DBS[@]}"; do
+      "$CQA" client "$ADDR" batch "$db" "$work/queries.txt" >> "$out"
+    done
+  done
+}
+
+start_ns=$(date +%s%N)
+pids=()
+for c in $(seq 1 "$CLIENTS"); do
+  run_client "$work/client-$c.out" &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do wait "$pid"; done
+elapsed_ns=$(( $(date +%s%N) - start_ns ))
+
+# Post-run correctness: every client saw the same (repeated) verdicts.
+ref="$work/ref.out"
+: > "$ref"
+for _ in $(seq 1 "$ROUNDS"); do
+  for db in "${DBS[@]}"; do cat "$work/cli-ref-$(basename "$db").out"; done
+done >> "$ref"
+for c in $(seq 1 "$CLIENTS"); do
+  diff -u "$ref" "$work/client-$c.out" >&2
+done
+
+queries=$(( CLIENTS * ROUNDS * ${#DBS[@]} * QUERIES_PER_BATCH ))
+"$CQA" client "$ADDR" stats
+"$CQA" client "$ADDR" shutdown >/dev/null
+wait "$SERVER_PID" || true
+
+awk -v q="$queries" -v ns="$elapsed_ns" -v c="$CLIENTS" -v r="$ROUNDS" -v d="${#DBS[@]}" 'BEGIN {
+  s = ns / 1e9
+  printf "load_test: clients=%d rounds=%d dbs=%d queries=%d elapsed=%.2fs qps=%.0f\n", c, r, d, q, s, q / s
+}'

@@ -1,0 +1,273 @@
+//! Differential suite: `cqa serve` answers are **byte-identical** to the
+//! single-shot CLI, under concurrency, at 1 worker thread and at the
+//! default pool width, and across forced mid-run LRU evictions.
+//!
+//! The reference side is the in-process CLI (`cmd_batch`, `cmd_certain`,
+//! `cmd_falsify`); the candidate side talks to a real TCP server through
+//! `cmd_client`, several clients at once. Any drift — verdicts, falsify
+//! witness rendering, even batch error text — fails the diff.
+
+use cqa_cli::server_cli::cmd_client;
+use cqa_cli::{cmd_batch, cmd_certain, cmd_falsify, dbfmt, load_db_file};
+use cqa_query::examples;
+use cqa_server::{serve, Loader, ManagerStats, ServeConfig, ServerHandle};
+use cqa_workloads::skew::SkewFamily;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Bounded falsify budget so brute force stays fast on every family;
+/// both sides use the same number, so outcomes (including
+/// budget-exhausted) stay comparable.
+const FALSIFY_BUDGET: u64 = 200_000;
+
+const QUERIES_TEXT: &str = "# mixed parity batch\n\
+R(x | y) R(y | z)\n\
+R(x | y) R(x | z)\n\
+\n\
+R(y | x) R(x | x)\n\
+R(x | y) R(y | z)\n\
+R(y | x) R(x | y)\n";
+
+const CERTAIN_QUERIES: [&str; 3] = [
+    "R(x | y) R(y | z)",
+    "R(x | y) R(x | z)",
+    "R(y | x) R(x | x)",
+];
+
+/// A scratch directory holding the three skewed parity databases.
+struct Fixture {
+    dir: PathBuf,
+    dbs: Vec<String>,
+    queries_file: String,
+}
+
+impl Fixture {
+    fn new() -> Fixture {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "cqa-server-parity-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let q3 = examples::q3();
+        // Three families, three sizes: enough variety to exercise the
+        // session manager, small enough for debug-build brute force.
+        let shapes = [
+            (SkewFamily::Uniform, 60usize, 11u64),
+            (SkewFamily::MixedBatch, 120, 12),
+            (SkewFamily::HeavyHitter, 48, 13),
+        ];
+        let mut dbs = Vec::new();
+        for (family, facts, seed) in shapes {
+            let db = cqa_workloads::skew::skewed_db(seed, &q3, &family.config(facts));
+            let path = dir.join(format!("{}.facts", family.name()));
+            std::fs::write(&path, dbfmt::write_database(&db)).unwrap();
+            dbs.push(path.display().to_string());
+        }
+        let queries_file = dir.join("queries.txt").display().to_string();
+        std::fs::write(&queries_file, QUERIES_TEXT).unwrap();
+        Fixture {
+            dir,
+            dbs,
+            queries_file,
+        }
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn cli_loader() -> Loader {
+    Arc::new(|path: &str| load_db_file(path).map_err(|e| e.message))
+}
+
+fn start_server(pool_threads: usize, memory_budget: Option<usize>) -> ServerHandle {
+    let mut config = ServeConfig::new(cli_loader());
+    config.addr = "127.0.0.1:0".to_string();
+    config.threads = pool_threads;
+    config.memory_budget = memory_budget;
+    // One solver thread per request, like `cqa serve`: concurrency comes
+    // from the pool, and verdicts are thread-count independent anyway.
+    config.engine = cqa::EngineConfig::default().with_threads(1);
+    serve(config).expect("bind parity server")
+}
+
+/// The single-shot CLI's answers for one database: the exact bytes the
+/// server-side clients must reproduce.
+struct Expected {
+    batch_stdout: String,
+    certain_lines: Vec<String>,
+    falsify_stdout: String,
+}
+
+fn expected_for(db_path: &str) -> Expected {
+    let db = load_db_file(db_path).unwrap();
+    let batch_stdout = cmd_batch(&db, QUERIES_TEXT, Some(1), None, false, false)
+        .unwrap()
+        .stdout;
+    let certain_lines = CERTAIN_QUERIES
+        .iter()
+        .map(|q| {
+            let out = cmd_certain(q, &db, Some(1), None, false, false)
+                .unwrap()
+                .stdout;
+            out.lines()
+                .find(|l| l.starts_with("certain:"))
+                .expect("cmd_certain prints a certain: line")
+                .to_string()
+        })
+        .collect();
+    let falsify_stdout = cmd_falsify(CERTAIN_QUERIES[0], &db, FALSIFY_BUDGET, Some(1), false)
+        .unwrap()
+        .stdout;
+    Expected {
+        batch_stdout,
+        certain_lines,
+        falsify_stdout,
+    }
+}
+
+/// One client's work item: run every request kind against one database
+/// through a fresh `cqa client` connection and diff against the CLI.
+fn run_client_schedule(addr: &str, db_path: &str, expected: &Expected, queries_file: &str) {
+    let batch = cmd_client(&[addr, "batch", db_path, queries_file]).unwrap();
+    assert_eq!(
+        batch.stdout, expected.batch_stdout,
+        "batch verdicts drifted for {db_path}"
+    );
+    for (q, want) in CERTAIN_QUERIES.iter().zip(&expected.certain_lines) {
+        let got = cmd_client(&[addr, "certain", db_path, q]).unwrap();
+        assert_eq!(
+            got.stdout.trim_end(),
+            want.as_str(),
+            "certain drifted: {q} on {db_path}"
+        );
+    }
+    let falsify = cmd_client(&[
+        addr,
+        "falsify",
+        db_path,
+        CERTAIN_QUERIES[0],
+        &FALSIFY_BUDGET.to_string(),
+    ])
+    .unwrap();
+    assert_eq!(
+        falsify.stdout, expected.falsify_stdout,
+        "falsify rendering drifted for {db_path}"
+    );
+}
+
+/// The full differential: N concurrent clients × all databases × mixed
+/// request kinds, each client rotating databases in a different order
+/// (when a memory budget is set, this churns the LRU mid-run).
+fn parity_run(pool_threads: usize, memory_budget: Option<usize>) -> ManagerStats {
+    let fixture = Fixture::new();
+    let expected: Vec<Expected> = fixture.dbs.iter().map(|p| expected_for(p)).collect();
+    let server = start_server(pool_threads, memory_budget);
+    let addr = server.addr().to_string();
+    let expected = Arc::new(expected);
+    let dbs = Arc::new(fixture.dbs.clone());
+    let queries_file = fixture.queries_file.clone();
+    let clients: Vec<_> = (0..6)
+        .map(|c| {
+            let addr = addr.clone();
+            let expected = Arc::clone(&expected);
+            let dbs = Arc::clone(&dbs);
+            let queries_file = queries_file.clone();
+            std::thread::spawn(move || {
+                for round in 0..2 {
+                    for step in 0..dbs.len() {
+                        // Distinct rotations per client: client 0 walks
+                        // 0,1,2, client 1 walks 1,2,0, ... so the LRU
+                        // ordering keeps changing under concurrency.
+                        let i = (c + step + round) % dbs.len();
+                        run_client_schedule(&addr, &dbs[i], &expected[i], &queries_file);
+                    }
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("parity client panicked");
+    }
+    server.manager_stats()
+}
+
+#[test]
+fn server_matches_cli_with_one_worker_thread() {
+    let stats = parity_run(1, None);
+    assert_eq!(stats.evictions, 0, "no budget, no evictions");
+    assert_eq!(stats.sessions, 3, "all three databases stay resident");
+    assert!(stats.cache_hits > 0, "repeat queries must hit the cache");
+}
+
+#[test]
+fn server_matches_cli_with_default_pool() {
+    let stats = parity_run(0, None);
+    assert_eq!(stats.evictions, 0);
+    assert_eq!(stats.sessions, 3);
+}
+
+#[test]
+fn server_matches_cli_across_forced_evictions() {
+    // Budget fits the largest database plus a sliver: at most two
+    // resident at any time, so the 6 clients × 3 databases rotation
+    // forces reload-after-evict over and over — verdicts must not care.
+    let fixture = Fixture::new();
+    let sizes: Vec<usize> = fixture
+        .dbs
+        .iter()
+        .map(|p| load_db_file(p).unwrap().approx_bytes())
+        .collect();
+    drop(fixture);
+    let budget = sizes.iter().copied().max().unwrap() + sizes.iter().copied().min().unwrap() / 2;
+    let stats = parity_run(2, Some(budget));
+    assert!(
+        stats.evictions >= 1,
+        "tight budget must evict mid-run (got {stats:?})"
+    );
+    assert!(
+        stats.loads > 3,
+        "evicted databases must have been reloaded (got {stats:?})"
+    );
+    assert!(stats.resident_bytes <= budget, "{stats:?} over {budget}");
+}
+
+#[test]
+fn batch_error_text_matches_the_cli_byte_for_byte() {
+    // The positioned error for a malformed batch line must be the same
+    // string whether it came from `cqa batch` or over the wire.
+    let fixture = Fixture::new();
+    let bad = "R(x | y) R(y | z)\nR(x x | y) R(y | z)\n";
+    let db = load_db_file(&fixture.dbs[0]).unwrap();
+    let cli_err = cmd_batch(&db, bad, Some(1), None, false, false).unwrap_err();
+    let server = start_server(1, None);
+    let addr = server.addr().to_string();
+    let bad_file = fixture.dir.join("bad.txt");
+    std::fs::write(&bad_file, bad).unwrap();
+    let client_err = cmd_client(&[
+        &addr,
+        "batch",
+        &fixture.dbs[0],
+        &bad_file.display().to_string(),
+    ])
+    .unwrap_err();
+    // `cqa client` wraps the wire error as
+    // "<file>: server error (bad-batch): <message>"; the message half
+    // must equal the CLI text exactly.
+    let marker = "server error (bad-batch): ";
+    let at = client_err
+        .message
+        .find(marker)
+        .unwrap_or_else(|| panic!("unexpected client error shape: {}", client_err.message));
+    assert_eq!(
+        &client_err.message[at + marker.len()..],
+        cli_err.message,
+        "batch error text drifted between the CLI and the wire"
+    );
+}

@@ -8,7 +8,10 @@
 //!
 //! * [`max_threads`] — the host's available parallelism;
 //! * [`par_map`] — map a function over a slice on `n` worker threads,
-//!   preserving input order in the output.
+//!   preserving input order in the output;
+//! * [`Pool`] — a fixed-size dynamic job executor (submit `'static`
+//!   closures at any time; `cqa serve` fans connection handlers out over
+//!   one).
 //!
 //! That is deliberately the *entire* API: per the vendor policy
 //! (`vendor/README.md`), shims cover exactly the surface the workspace
@@ -33,6 +36,7 @@
 
 use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 
 /// The number of hardware threads available to this process, as reported
@@ -98,11 +102,99 @@ where
         .collect()
 }
 
+/// A queued job: boxed so heterogeneous closures share one channel.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size dynamic job executor — the slice of a threadpool crate
+/// the long-lived `cqa serve` process needs. Unlike [`par_map`] (a
+/// scoped, run-to-completion fan-out over a known slice), a [`Pool`]
+/// accepts jobs *over time*: submit a `'static` closure whenever work
+/// arrives (a TCP connection, say) and one of the fixed worker threads
+/// picks it up; excess jobs queue in submission order.
+///
+/// A panicking job is caught on its worker (the worker survives and the
+/// panic count is observable via [`Pool::panicked`]), so one poisoned
+/// request cannot take the executor down. Dropping the pool closes the
+/// queue, lets queued jobs drain, and joins every worker.
+pub struct Pool {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    panicked: Arc<AtomicUsize>,
+}
+
+impl Pool {
+    /// A pool of `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let panicked = Arc::new(AtomicUsize::new(0));
+        let workers = (0..threads)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                let panicked = Arc::clone(&panicked);
+                thread::spawn(move || loop {
+                    // Hold the lock only to receive; a long job must not
+                    // block siblings from picking up the next one.
+                    let job = match receiver.lock() {
+                        Ok(rx) => rx.recv(),
+                        Err(_) => return,
+                    };
+                    match job {
+                        Ok(job) => {
+                            let caught =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                            if caught.is_err() {
+                                panicked.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => return, // queue closed: pool is dropping
+                    }
+                })
+            })
+            .collect();
+        Pool {
+            sender: Some(sender),
+            workers,
+            panicked,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a job; it runs on some worker as soon as one is free.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        if let Some(sender) = &self.sender {
+            // Send can only fail if every worker exited, which only
+            // happens on Drop; ignore rather than panic the caller.
+            let _ = sender.send(Box::new(job));
+        }
+    }
+
+    /// How many jobs have panicked so far (they were caught; their
+    /// workers live on).
+    pub fn panicked(&self) -> usize {
+        self.panicked.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Pool {
+    /// Close the queue, drain remaining jobs, join all workers.
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::collections::HashSet;
-    use std::sync::Mutex;
 
     #[test]
     fn preserves_input_order() {
@@ -199,5 +291,83 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_runs_all_jobs_and_drop_joins() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = Pool::new(4);
+            assert_eq!(pool.threads(), 4);
+            for _ in 0..100 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Drop drains the queue before joining.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn pool_zero_threads_clamps_to_one() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.fetch_add(1, Ordering::Relaxed);
+        });
+        drop(pool);
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_survives_panicking_jobs() {
+        let pool = Pool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..20 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                if i % 2 == 0 {
+                    panic!("job {i} blew up");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // All jobs drain on drop even though half of them panicked.
+        let panicked = {
+            let p = &pool;
+            while p.panicked() + done.load(Ordering::Relaxed) < 20 {
+                thread::yield_now();
+            }
+            p.panicked()
+        };
+        assert_eq!(panicked, 10);
+        assert_eq!(done.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn pool_runs_jobs_concurrently() {
+        // Two workers must be able to hold two jobs in flight at once:
+        // job A waits until job B has started.
+        let started = Arc::new(AtomicUsize::new(0));
+        let pool = Pool::new(2);
+        let (sa, sb) = (Arc::clone(&started), Arc::clone(&started));
+        pool.execute(move || {
+            sa.fetch_add(1, Ordering::SeqCst);
+            while sa.load(Ordering::SeqCst) < 2 {
+                thread::yield_now();
+            }
+        });
+        pool.execute(move || {
+            sb.fetch_add(1, Ordering::SeqCst);
+            while sb.load(Ordering::SeqCst) < 2 {
+                thread::yield_now();
+            }
+        });
+        drop(pool); // would deadlock if the jobs serialised
+        assert_eq!(started.load(Ordering::SeqCst), 2);
     }
 }
