@@ -727,9 +727,10 @@ USAGE:
                [--certain-fraction F] [--skew FAMILY] [--threads N] <out-file>
   cqa fleet    [--queries N] [--dbs M] [--seed S] [--max-facts F] [--corpus]
   cqa serve    [--addr HOST:PORT] [--memory-budget BYTES] [--threads N]
-               [--stats]
-  cqa client   [--deadline-ms N] <addr> ping|stats|shutdown
-  cqa client   [--deadline-ms N] <addr> load <db> | certain <db> \"<query>\"
+               [--max-queue N] [--stats]
+  cqa client   [--deadline-ms N] [--retries N] [--retry-seed S] [--repeat N]
+               <addr> ping|stats|shutdown
+  cqa client   [...same flags] <addr> load <db> | certain <db> \"<query>\"
                | batch <db> <queries-file> | falsify <db> \"<query>\" [budget]
   cqa gadget   \"<query>\" <dimacs-file>
   cqa solve    <dimacs-file>
@@ -764,8 +765,15 @@ OPTIONS:          --threads N   solver / generator threads
 SERVER:           serve answers certain/falsify/batch requests over a
                   line-delimited JSON protocol (spec in docs/SERVER.md),
                   keeping per-database session caches under an optional
-                  LRU --memory-budget (e.g. 64m). client talks to it;
+                  LRU --memory-budget (e.g. 64m). Excess load beyond
+                  --max-queue waiting requests is shed with a coded
+                  `overloaded` error + retry_after_ms hint; per-request
+                  deadlines cancel mid-solve. client talks to it;
                   `client batch` output is byte-identical to `cqa batch`.
+                  client --retries N retries only overloaded/transport
+                  errors (seeded jitter via --retry-seed); --repeat N
+                  reissues a request over one connection and asserts
+                  byte-identical responses.
 FLEET:            differentially validates the classify → route → solve
                   pipeline on a seeded random query fleet crossed with
                   skewed database families (see docs/QUERIES.md).

@@ -8,7 +8,7 @@
 //! the CI smoke diffs.
 
 use crate::{load_db_file, CliError, CmdOut};
-use cqa_server::{serve, Client, Json, Loader, Method, ServeConfig, WireError};
+use cqa_server::{serve, Client, Json, Loader, Method, RetryPolicy, ServeConfig, WireError};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -33,14 +33,17 @@ pub fn parse_bytes(v: &str) -> Result<usize, CliError> {
 }
 
 /// `cqa serve [--addr HOST:PORT] [--memory-budget BYTES] [--threads N]
-/// [--stats]`: run the query server until a client sends `shutdown`.
+/// [--max-queue N] [--stats]`: run the query server until a client
+/// sends `shutdown`.
 ///
 /// `--threads` sizes the shared worker pool (default: all cores); each
 /// request solves single-threaded, so parallelism comes from concurrent
 /// requests and the machine is never oversubscribed. `--memory-budget`
 /// caps resident databases (approximate bytes; LRU eviction past it).
-/// With `--stats`, the final session-manager counters go to stderr on
-/// shutdown.
+/// `--max-queue` bounds how many heavyweight requests may wait beyond
+/// the pool width before new ones are shed with `overloaded` (default:
+/// `max(32, 4×threads)`). With `--stats`, the final session-manager and
+/// overload counters go to stderr on shutdown.
 pub fn cmd_serve(
     args: &[&str],
     threads: Option<usize>,
@@ -48,6 +51,7 @@ pub fn cmd_serve(
 ) -> Result<CmdOut, CliError> {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut memory_budget: Option<usize> = None;
+    let mut max_queue: Option<usize> = None;
     let mut it = args.iter();
     while let Some(&a) = it.next() {
         let mut flag_value = |flag: &str| {
@@ -58,6 +62,13 @@ pub fn cmd_serve(
         match a {
             "--addr" => addr = flag_value(a)?.to_string(),
             "--memory-budget" => memory_budget = Some(parse_bytes(flag_value(a)?)?),
+            "--max-queue" => {
+                let v = flag_value(a)?;
+                max_queue = Some(
+                    v.parse()
+                        .map_err(|_| CliError::new(format!("bad queue bound {v:?}")))?,
+                );
+            }
             other => {
                 return Err(CliError::new(format!("unknown serve option {other:?}")));
             }
@@ -68,6 +79,7 @@ pub fn cmd_serve(
     config.addr = addr.clone();
     config.threads = threads.unwrap_or(0);
     config.memory_budget = memory_budget;
+    config.max_queue = max_queue;
     // One solver thread per request: the pool is the parallelism.
     config.engine = cqa::EngineConfig::default().with_threads(1);
     let handle = serve(config).map_err(|e| CliError {
@@ -98,6 +110,11 @@ pub fn cmd_serve(
             "stats: serve queries={} distinct={} cache-hits={}",
             stats.queries, stats.distinct_queries, stats.cache_hits
         );
+        let _ = writeln!(
+            err,
+            "stats: serve shed={} cancelled={} queue-peak={}",
+            stats.shed, stats.cancelled, stats.queue_peak
+        );
     }
     Ok(CmdOut {
         stdout: "cqa serve: stopped\n".to_string(),
@@ -105,8 +122,9 @@ pub fn cmd_serve(
     })
 }
 
-/// `cqa client [--deadline-ms N] <addr> <request...>`: one request
-/// against a running server. Requests:
+/// `cqa client [--deadline-ms N] [--retries N] [--retry-seed S]
+/// [--repeat N] <addr> <request...>`: one request against a running
+/// server. Requests:
 ///
 /// ```text
 /// cqa client 127.0.0.1:7878 ping
@@ -120,21 +138,55 @@ pub fn cmd_serve(
 ///
 /// Database paths are resolved by the *server*. `batch` prints one
 /// `true`/`false` per query line — exactly `cqa batch` stdout.
+///
+/// `--retries N` retries `overloaded` responses and transport failures
+/// up to N times under bounded exponential backoff with seeded jitter
+/// (`--retry-seed`, default 0); verdicts and all other coded errors are
+/// never retried. `--repeat N` issues the request N times over the one
+/// connection (a persistent-connection benchmark mode), asserts the
+/// responses are byte-identical (`stats` excepted — its counters move),
+/// and prints a single copy.
 pub fn cmd_client(args: &[&str]) -> Result<CmdOut, CliError> {
     let mut deadline_ms: Option<u64> = None;
+    let mut retries: u32 = 0;
+    let mut retry_seed: u64 = 0;
+    let mut repeat: u64 = 1;
     let mut positional: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(&a) = it.next() {
-        if a == "--deadline-ms" {
-            let v = it
-                .next()
-                .ok_or_else(|| CliError::new("--deadline-ms needs a value"))?;
-            deadline_ms = Some(
-                v.parse()
-                    .map_err(|_| CliError::new(format!("bad deadline {v:?}")))?,
-            );
-        } else {
-            positional.push(a);
+        let mut flag_value = |flag: &str| {
+            it.next()
+                .copied()
+                .ok_or_else(|| CliError::new(format!("{flag} needs a value")))
+        };
+        match a {
+            "--deadline-ms" => {
+                let v = flag_value(a)?;
+                deadline_ms = Some(
+                    v.parse()
+                        .map_err(|_| CliError::new(format!("bad deadline {v:?}")))?,
+                );
+            }
+            "--retries" => {
+                let v = flag_value(a)?;
+                retries = v
+                    .parse()
+                    .map_err(|_| CliError::new(format!("bad retry count {v:?}")))?;
+            }
+            "--retry-seed" => {
+                let v = flag_value(a)?;
+                retry_seed = v
+                    .parse()
+                    .map_err(|_| CliError::new(format!("bad retry seed {v:?}")))?;
+            }
+            "--repeat" => {
+                let v = flag_value(a)?;
+                repeat =
+                    v.parse().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                        CliError::new(format!("bad repeat count {v:?} (want >= 1)"))
+                    })?;
+            }
+            _ => positional.push(a),
         }
     }
     let [addr, request @ ..] = positional.as_slice() else {
@@ -142,11 +194,41 @@ pub fn cmd_client(args: &[&str]) -> Result<CmdOut, CliError> {
             "client needs a server address and a request (ping, load, certain, batch, falsify, stats, shutdown)",
         ));
     };
+    if repeat > 1 && request == ["shutdown"] {
+        return Err(CliError::new("--repeat does not apply to shutdown"));
+    }
     let mut client = Client::connect(addr).map_err(|e| CliError {
         message: format!("cannot connect to {addr}: {e}"),
         code: 2,
     })?;
     client.deadline_ms = deadline_ms;
+    if retries > 0 {
+        client.retry = Some(RetryPolicy::new(retries, retry_seed));
+    }
+    let mut first: Option<String> = None;
+    for round in 0..repeat {
+        let out = run_request(&mut client, request)?;
+        match &mut first {
+            None => first = Some(out),
+            // Stats counters legitimately move between rounds; every
+            // other request must answer byte-identically.
+            Some(_) if request == ["stats"] => first = Some(out),
+            Some(prev) if *prev != out => {
+                return Err(CliError::new(format!(
+                    "--repeat round {round} diverged from the first response"
+                )));
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(CmdOut {
+        stdout: first.unwrap_or_default(),
+        stderr: String::new(),
+    })
+}
+
+/// Execute one parsed client request and render its stdout text.
+fn run_request(client: &mut Client, request: &[&str]) -> Result<String, CliError> {
     let wire = |e: WireError| CliError::new(format!("server error ({}): {}", e.code, e.message));
     let mut out = String::new();
     match request {
@@ -228,10 +310,7 @@ pub fn cmd_client(args: &[&str]) -> Result<CmdOut, CliError> {
             ));
         }
     }
-    Ok(CmdOut {
-        stdout: out,
-        stderr: String::new(),
-    })
+    Ok(out)
 }
 
 /// Re-exported for harnesses that drive a request programmatically.
@@ -277,5 +356,21 @@ mod tests {
         assert!(e.message.contains("server address"));
         let e = cmd_client(&["--deadline-ms", "x", "127.0.0.1:1"]).unwrap_err();
         assert!(e.message.contains("bad deadline"));
+        let e = cmd_client(&["--retries", "many", "127.0.0.1:1", "ping"]).unwrap_err();
+        assert!(e.message.contains("bad retry count"));
+        let e = cmd_client(&["--retry-seed", "-1", "127.0.0.1:1", "ping"]).unwrap_err();
+        assert!(e.message.contains("bad retry seed"));
+        let e = cmd_client(&["--repeat", "0", "127.0.0.1:1", "ping"]).unwrap_err();
+        assert!(e.message.contains("bad repeat count"));
+        let e = cmd_client(&["--repeat", "2", "127.0.0.1:1", "shutdown"]).unwrap_err();
+        assert!(e.message.contains("does not apply to shutdown"));
+    }
+
+    #[test]
+    fn serve_rejects_bad_queue_bounds_without_binding() {
+        let e = cmd_serve(&["--max-queue"], None, false).unwrap_err();
+        assert!(e.message.contains("needs a value"));
+        let e = cmd_serve(&["--max-queue", "deep"], None, false).unwrap_err();
+        assert!(e.message.contains("bad queue bound"));
     }
 }

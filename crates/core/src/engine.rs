@@ -23,8 +23,9 @@ use cqa_solvers::components::{
     q_connected_components_if_fragmented, q_connected_components_with_solutions, Component,
 };
 use cqa_solvers::{
-    certain_combined_over, certk_by_components, certk_with_stats, BruteOutcome, CertKConfig,
-    CertKStats, CombinedResult, SolutionSet,
+    certain_combined_over, certain_combined_over_cancellable, certk_by_components,
+    certk_by_components_cancellable, certk_view_cancel_token, certk_with_stats, BruteOutcome,
+    CancelToken, CertKConfig, CertKStats, CombinedResult, SolutionSet,
 };
 use cqa_tripath::SearchConfig;
 
@@ -71,6 +72,19 @@ pub struct CertainAnswer {
     /// the per-component *evidence* (and `certk_stats`) is partial — the
     /// verdict itself is unaffected (Proposition 10.6).
     pub skipped_components: Option<usize>,
+}
+
+/// Evidence from a solve a [`CancelToken`] stopped mid-run. Cancellation
+/// only ever *withholds* a verdict — CQA verdicts are pure functions of
+/// `(db, query)`, so rerunning the solve with a calmer token reproduces
+/// the answer the cancelled run would have produced.
+#[derive(Clone, Debug, Default)]
+pub struct CancelledSolve {
+    /// Partial `Cert_k` statistics accumulated before the cancel was
+    /// observed (aggregated over components on the fan-out routes).
+    /// `None` when the brute-force search was cancelled — it keeps no
+    /// fixpoint counters.
+    pub certk_stats: Option<CertKStats>,
 }
 
 /// Route selection for the PTime `Cert_k` classes
@@ -303,6 +317,23 @@ impl CqaEngine {
         self.certain_with_parts(db, &solutions, comps.as_deref())
     }
 
+    /// [`CqaEngine::certain`] under a [`CancelToken`]: the solver polls
+    /// the token at bounded intervals (once per seeded fact, worklist
+    /// block derivation, or brute-force budget tranche), so a token
+    /// raised — or a deadline expiring — *mid-fixpoint* stops the solve
+    /// within roughly one block's worth of work. `Err` carries the
+    /// partial statistics accumulated before the cancel; a solve that
+    /// completed before observing the cancel keeps its answer.
+    pub fn certain_cancellable(
+        &self,
+        db: &Database,
+        token: &CancelToken,
+    ) -> Result<CertainAnswer, CancelledSolve> {
+        let solutions = SolutionSet::enumerate(&self.query, db);
+        let comps = self.partition_for(db, &solutions);
+        self.certain_with_parts_token(db, &solutions, comps.as_deref(), token)
+    }
+
     /// The component partition [`CqaEngine::certain_with_parts`] wants for
     /// `db`, if any: the routing decision for the `Cert_k` classes, the
     /// full q-connected partition for the Theorem 10.5 combination, and
@@ -392,6 +423,97 @@ impl CqaEngine {
                     skipped_components: None,
                 }
             }
+        }
+    }
+
+    /// [`CqaEngine::certain_with_parts`] under a [`CancelToken`] — the
+    /// same dispatch, routed through the cancellable solver variants.
+    /// Sessions use this to serve deadline-carrying requests from their
+    /// cached intermediates.
+    pub(crate) fn certain_with_parts_token(
+        &self,
+        db: &Database,
+        solutions: &SolutionSet,
+        comps: Option<&[Component<'_>]>,
+        token: &CancelToken,
+    ) -> Result<CertainAnswer, CancelledSolve> {
+        match self.classification.complexity {
+            Complexity::Trivial | Complexity::PTimeCert2 | Complexity::PTimeCertK => {
+                if let Some(comps) = comps {
+                    certk_by_components_cancellable(
+                        &self.query,
+                        comps,
+                        solutions,
+                        self.config.certk,
+                        token,
+                    )
+                    .map(|res| answer_from_components(res, AnsweredBy::ComponentCertK))
+                    .map_err(|partial| CancelledSolve {
+                        certk_stats: Some(partial),
+                    })
+                } else {
+                    certk_view_cancel_token(
+                        &self.query,
+                        &db.full_view(),
+                        solutions,
+                        self.config.certk,
+                        token,
+                    )
+                    .map(|(out, stats)| CertainAnswer {
+                        certain: out.is_certain(),
+                        answered_by: if self.classification.complexity == Complexity::Trivial {
+                            AnsweredBy::Trivial
+                        } else {
+                            AnsweredBy::CertK
+                        },
+                        budget_exhausted: out == cqa_solvers::CertKOutcome::BudgetExhausted,
+                        certk_stats: Some(stats),
+                        components: None,
+                        skipped_components: None,
+                    })
+                    .map_err(|partial| CancelledSolve {
+                        certk_stats: Some(partial),
+                    })
+                }
+            }
+            Complexity::PTimeCombined => {
+                let owned;
+                let comps = match comps {
+                    Some(comps) => comps,
+                    None => {
+                        owned = q_connected_components_with_solutions(&self.query, db, solutions);
+                        &owned
+                    }
+                };
+                certain_combined_over_cancellable(
+                    &self.query,
+                    comps,
+                    solutions,
+                    self.config.certk,
+                    token,
+                )
+                .map(|res| answer_from_components(res, AnsweredBy::Combined))
+                .map_err(|partial| CancelledSolve {
+                    certk_stats: Some(partial),
+                })
+            }
+            Complexity::CoNpComplete => cqa_solvers::certain_brute_with_solutions_token(
+                &self.query,
+                db,
+                solutions,
+                self.config.brute_budget,
+                self.config.certk.threads,
+                token,
+            )
+            .map(|outcome| CertainAnswer {
+                certain: matches!(outcome, BruteOutcome::Certain),
+                answered_by: AnsweredBy::BruteForce,
+                budget_exhausted: matches!(outcome, BruteOutcome::BudgetExhausted),
+                certk_stats: None,
+                components: None,
+                skipped_components: None,
+            })
+            .ok_or(CancelledSolve { certk_stats: None }),
         }
     }
 }
@@ -531,6 +653,57 @@ mod tests {
         let engine = CqaEngine::with_config(examples::q3(), config);
         let chain = engine.certain(&db2(&[["a", "b"], ["b", "c"], ["c", "d"]]));
         assert_eq!(chain.answered_by, AnsweredBy::CertK);
+    }
+
+    #[test]
+    fn cancellable_engine_matches_certain_on_every_route() {
+        // One query per dispatch arm: q3 (Cert_k literal + component),
+        // q6 (combined), q2 (brute force).
+        let calm = CancelToken::new();
+        let raised = CancelToken::new();
+        raised.cancel();
+
+        let q3 = CqaEngine::new(examples::q3());
+        let db = multi_component_db();
+        let want = q3.certain(&db);
+        let got = q3
+            .certain_cancellable(&db, &calm)
+            .expect("a calm token cannot cancel");
+        assert_eq!(format!("{want:?}"), format!("{got:?}"));
+        let cancelled = q3.certain_cancellable(&db, &raised).unwrap_err();
+        assert!(cancelled.certk_stats.is_some(), "fixpoint evidence");
+
+        // Forced component route.
+        let routed = CqaEngine::with_config(
+            examples::q3(),
+            EngineConfig::default().with_route(RoutePolicy::Component),
+        );
+        let want = routed.certain(&db);
+        let got = routed.certain_cancellable(&db, &calm).unwrap();
+        assert_eq!(format!("{want:?}"), format!("{got:?}"));
+        assert_eq!(got.answered_by, AnsweredBy::ComponentCertK);
+        assert!(routed.certain_cancellable(&db, &raised).is_err());
+
+        let q6 = CqaEngine::new(examples::q6());
+        let mut db6 = Database::new(Signature::new(3, 1).unwrap());
+        for f in [["a", "b", "c"], ["c", "a", "b"], ["b", "c", "a"]] {
+            db6.insert(Fact::from_names(f)).unwrap();
+        }
+        let want = q6.certain(&db6);
+        let got = q6.certain_cancellable(&db6, &calm).unwrap();
+        assert_eq!(format!("{want:?}"), format!("{got:?}"));
+        assert!(q6.certain_cancellable(&db6, &raised).is_err());
+
+        let q2 = CqaEngine::new(examples::q2());
+        let mut db4 = Database::new(Signature::new(4, 2).unwrap());
+        db4.insert(Fact::from_names(["a", "b", "a", "c"])).unwrap();
+        db4.insert(Fact::from_names(["b", "c", "a", "d"])).unwrap();
+        let want = q2.certain(&db4);
+        let got = q2.certain_cancellable(&db4, &calm).unwrap();
+        assert_eq!(want.certain, got.certain);
+        assert_eq!(got.answered_by, AnsweredBy::BruteForce);
+        let cancelled = q2.certain_cancellable(&db4, &raised).unwrap_err();
+        assert!(cancelled.certk_stats.is_none(), "brute keeps no counters");
     }
 
     #[test]

@@ -53,7 +53,9 @@ mod shared;
 pub use classify::{
     classify, classify_with, Classification, ClassificationRule, Complexity, Confidence,
 };
-pub use engine::{AnsweredBy, CertainAnswer, CqaEngine, EngineConfig, RoutePolicy, RoutingConfig};
+pub use engine::{
+    AnsweredBy, CancelledSolve, CertainAnswer, CqaEngine, EngineConfig, RoutePolicy, RoutingConfig,
+};
 pub use session::{CqaSession, SessionStats};
 pub use shared::SharedSession;
 

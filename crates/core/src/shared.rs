@@ -27,11 +27,11 @@
 //! the same solvers — which is what the `server_parity` differential
 //! suite pins.
 
-use crate::engine::{CertainAnswer, CqaEngine, EngineConfig};
+use crate::engine::{CancelledSolve, CertainAnswer, CqaEngine, EngineConfig};
 use crate::session::SessionStats;
 use cqa_model::Database;
 use cqa_query::Query;
-use cqa_solvers::SolutionSet;
+use cqa_solvers::{CancelToken, SolutionSet};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -166,6 +166,46 @@ impl SharedSession {
         }
         answer
     }
+
+    /// [`SharedSession::certain`] under a [`CancelToken`]: a cached
+    /// verdict is returned immediately (nothing left to cancel), a first
+    /// solve polls the token mid-fixpoint and returns `Err` with partial
+    /// evidence when it fires.
+    ///
+    /// A cancelled run **never populates the verdict cache** — only a
+    /// completed solve commits its answer, so a later retry (or a
+    /// concurrent patient request) still runs and caches the real
+    /// verdict. The classification and solution enumeration stay under
+    /// their [`OnceLock`]s and are kept even when the solve is
+    /// cancelled: they are pure preparation, and the retry reuses them.
+    /// Racing deadline-carrying first requests for one query may each
+    /// run the solve (unlike [`SharedSession::certain`], which
+    /// single-flights it); the first to finish commits, and both return
+    /// the same pure verdict.
+    pub fn certain_cancellable(
+        &self,
+        query: &Query,
+        token: &CancelToken,
+    ) -> Result<CertainAnswer, CancelledSolve> {
+        let entry = self.entry(query);
+        if let Some(answer) = entry.answer.get() {
+            self.queries.fetch_add(1, Ordering::Relaxed);
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(answer.clone());
+        }
+        let engine = entry
+            .engine
+            .get_or_init(|| CqaEngine::with_config(query.clone(), self.config));
+        let solutions = entry
+            .solutions
+            .get_or_init(|| SolutionSet::enumerate(engine.query(), &self.db));
+        let comps = engine.partition_for(&self.db, solutions);
+        let answer =
+            engine.certain_with_parts_token(&self.db, solutions, comps.as_deref(), token)?;
+        let _ = entry.answer.set(answer.clone());
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        Ok(answer)
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +264,29 @@ mod tests {
         // Every call after the first prepared one is a hit; racing first
         // calls may miss the `hit` flag but never re-enumerate.
         assert!(stats.cache_hits >= 1);
+    }
+
+    #[test]
+    fn cancelled_solve_never_populates_the_cache() {
+        let db = multi_component_db();
+        let session = SharedSession::new(db, EngineConfig::default());
+        let q3 = examples::q3();
+        let raised = CancelToken::new();
+        raised.cancel();
+        assert!(session.certain_cancellable(&q3, &raised).is_err());
+        // The cancelled run committed nothing: the patient retry solves
+        // and gets the real verdict, with zero cache hits so far.
+        assert_eq!(session.stats().cache_hits, 0);
+        let calm = CancelToken::new();
+        let answer = session
+            .certain_cancellable(&q3, &calm)
+            .expect("a calm token cannot cancel");
+        assert!(answer.certain);
+        // And the completed solve did commit: the next call is a hit,
+        // even under a raised token (a cached verdict has nothing left
+        // to cancel).
+        assert!(session.certain_cancellable(&q3, &raised).unwrap().certain);
+        assert_eq!(session.stats().cache_hits, 1);
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! The cancellation-latency acceptance test behind the BASELINES.md
+//! "mid-fixpoint cancellation" row: on a workload whose uncancelled
+//! solve takes seconds, a deadline that expires mid-fixpoint must be
+//! honoured within ~100 ms — roughly one worklist block's worth of
+//! work — not after the whole fixpoint completes.
+//!
+//! The session cache is warmed with an already-cancelled run first
+//! (solution enumeration is deliberately not cancellable — it is pure
+//! preparation and is kept even on cancel), so the timed request
+//! spends its deadline inside the fixpoint proper, which is where the
+//! per-block [`CancelToken`] polls live.
+
+use cqa::solvers::CancelToken;
+use cqa::{EngineConfig, SharedSession};
+use cqa_model::{Database, Fact, Signature};
+use cqa_query::examples;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[test]
+fn mid_fixpoint_cancellation_lands_within_the_latency_budget() {
+    // A 300k-fact chain: q-connected into one huge component, so the
+    // fixpoint grinds through hundreds of thousands of blocks.
+    let mut db = Database::new(Signature::new(2, 1).unwrap());
+    for i in 0..300_000usize {
+        db.insert(Fact::from_names([format!("a{i}"), format!("a{}", i + 1)]))
+            .unwrap();
+    }
+    let q = examples::q3();
+    let session = SharedSession::new(Arc::new(db), EngineConfig::default().with_threads(1));
+
+    // Warm-up under a raised token: enumerates and caches the solution
+    // set, emits no verdict. Its cost is the enumeration share of an
+    // uncancelled cold solve.
+    let raised = CancelToken::new();
+    raised.cancel();
+    let t0 = Instant::now();
+    assert!(
+        session.certain_cancellable(&q, &raised).is_err(),
+        "a cancelled warm-up must not emit a verdict"
+    );
+    let warmup = t0.elapsed();
+
+    // The measured run: the deadline expires mid-fixpoint and must be
+    // honoured within ~100 ms (debug-build overshoot measures ~20 ms;
+    // the rest is scheduler headroom).
+    let deadline = Duration::from_millis(400);
+    let token = CancelToken::deadline_in(deadline);
+    let t1 = Instant::now();
+    let cancelled = session.certain_cancellable(&q, &token);
+    let latency = t1.elapsed();
+    assert!(cancelled.is_err(), "the deadline must cancel this run");
+    let overshoot = latency.saturating_sub(deadline);
+    assert!(
+        overshoot <= Duration::from_millis(100),
+        "cancellation overshot the deadline by {overshoot:?} (latency {latency:?})"
+    );
+
+    // Reference: the same query uncancelled, on the warmed cache. Its
+    // cost plus the warm-up is the uncancelled end-to-end solve, which
+    // must dwarf the deadline for the measurement above to mean
+    // anything.
+    let t2 = Instant::now();
+    let answer = session
+        .certain_cancellable(&q, &CancelToken::new())
+        .expect("calm run must complete");
+    let solve = t2.elapsed();
+    assert!(answer.certain, "the chain family is consistent");
+    assert!(
+        warmup + solve >= Duration::from_secs(2),
+        "workload too small to prove anything: uncancelled {:?}",
+        warmup + solve
+    );
+}

@@ -13,10 +13,17 @@
 //!   path-keyed [`SharedSession`](cqa::SharedSession)s with
 //!   single-flight loading and LRU eviction under a byte budget.
 //! * [`server`] — the TCP accept loop; query work fans out over one
-//!   shared [`minipool::Pool`], per-request deadlines are enforced at
-//!   pickup, worker panics are contained per request.
+//!   shared [`minipool::Pool`] behind a bounded admission queue (excess
+//!   requests are shed with `overloaded` + a `retry_after_ms` hint),
+//!   per-request deadlines are enforced at pickup *and* mid-solve via a
+//!   [`CancelToken`](cqa::solvers::CancelToken) polled inside the
+//!   fixpoint, and worker panics are contained per request.
 //! * [`client`] — the blocking client behind `cqa client` and the
-//!   parity/load harnesses.
+//!   parity/load harnesses, with opt-in bounded exponential backoff
+//!   that retries only `overloaded` and transport errors.
+//! * [`chaos`] — a seeded fault-injection TCP proxy (delays, splits,
+//!   drops, resets) for soak-testing the above under misbehaving
+//!   networks.
 //!
 //! The wire grammar, error-code table and operational notes live in
 //! `docs/SERVER.md`; the differential guarantee (server verdicts are
@@ -26,13 +33,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod json;
 pub mod manager;
 pub mod protocol;
 pub mod server;
 
-pub use client::{render_verdicts, Client};
+pub use chaos::{chaos_proxy, ChaosPlan, ChaosProxy, FaultTally};
+pub use client::{backoff_delays_ms, is_retryable, render_verdicts, Client, RetryPolicy};
 pub use json::{decode, obj, Json, JsonError};
 pub use manager::{Loader, ManagerStats, SessionManager};
 pub use protocol::{Method, Request, Response, WireError, MAX_FRAME};

@@ -62,6 +62,15 @@ pub struct ManagerStats {
     pub distinct_queries: usize,
     /// Per-query cache hits across resident sessions.
     pub cache_hits: usize,
+    /// Requests refused at admission with the `overloaded` code (filled
+    /// in by the server; the manager itself reports 0).
+    pub shed: usize,
+    /// Requests whose deadline expired mid-solve and were answered
+    /// `deadline-exceeded` with partial evidence (server-filled).
+    pub cancelled: usize,
+    /// Peak number of admitted requests waiting for a worker at any one
+    /// instant (server-filled).
+    pub queue_peak: usize,
 }
 
 /// The shared session table behind `cqa serve`.

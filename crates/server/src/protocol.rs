@@ -94,6 +94,10 @@ pub struct WireError {
     pub code: &'static str,
     /// Human-readable detail, with positions where applicable.
     pub message: String,
+    /// Machine-readable backoff hint, only on `overloaded` responses:
+    /// how long (in milliseconds) the client should wait before
+    /// retrying. Other codes leave it `None`.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl WireError {
@@ -102,7 +106,14 @@ impl WireError {
         WireError {
             code,
             message: message.into(),
+            retry_after_ms: None,
         }
+    }
+
+    /// This error with a `retry_after_ms` backoff hint attached.
+    pub fn with_retry_after(mut self, ms: u64) -> WireError {
+        self.retry_after_ms = Some(ms);
+        self
     }
 }
 
@@ -261,16 +272,20 @@ pub fn ok_response(id: Option<i64>, result: Json) -> String {
 /// Build an error response frame (without the trailing newline).
 pub fn err_response(id: Option<i64>, error: &WireError) -> String {
     let id = id.map_or(Json::Null, Json::Int);
+    let mut members = vec![
+        ("code", Json::Str(error.code.to_string())),
+        ("message", Json::Str(error.message.clone())),
+    ];
+    if let Some(ms) = error.retry_after_ms {
+        members.push((
+            "retry_after_ms",
+            Json::Int(i64::try_from(ms).unwrap_or(i64::MAX)),
+        ));
+    }
     obj([
         ("id", id),
         ("ok", Json::Bool(false)),
-        (
-            "error",
-            obj([
-                ("code", Json::Str(error.code.to_string())),
-                ("message", Json::Str(error.message.clone())),
-            ]),
-        ),
+        ("error", obj(members)),
     ])
     .encode()
 }
@@ -319,9 +334,15 @@ pub fn parse_response(frame: &str) -> Result<Response, WireError> {
                 .copied()
                 .find(|k| *k == code)
                 .unwrap_or("error");
+            let mut wire = WireError::new(code, message);
+            if let Some(Json::Int(ms)) = error.get("retry_after_ms") {
+                if *ms >= 0 {
+                    wire.retry_after_ms = Some(*ms as u64);
+                }
+            }
             Ok(Response {
                 id,
-                outcome: Err(WireError::new(code, message)),
+                outcome: Err(wire),
             })
         }
         None => Err(WireError::new(
@@ -345,6 +366,7 @@ pub const KNOWN_CODES: &[&str] = &[
     "bad-batch",
     "signature-mismatch",
     "deadline-exceeded",
+    "overloaded",
     "shutting-down",
     "bad-response",
     "io",
@@ -545,6 +567,20 @@ mod tests {
         let e = parsed.outcome.unwrap_err();
         assert_eq!(e.code, "bad-query");
         assert!(e.message.contains("byte 3"));
+    }
+
+    #[test]
+    fn overloaded_round_trips_its_retry_hint() {
+        let e = WireError::new("overloaded", "server at capacity").with_retry_after(75);
+        let frame = err_response(Some(2), &e);
+        let parsed = parse_response(&frame).unwrap().outcome.unwrap_err();
+        assert_eq!(parsed.code, "overloaded");
+        assert_eq!(parsed.retry_after_ms, Some(75));
+        // Errors without a hint stay hint-free on the wire and back.
+        let plain = err_response(None, &WireError::new("io", "x"));
+        assert!(!plain.contains("retry_after_ms"));
+        let parsed = parse_response(&plain).unwrap().outcome.unwrap_err();
+        assert_eq!(parsed.retry_after_ms, None);
     }
 
     #[test]

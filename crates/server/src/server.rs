@@ -13,12 +13,24 @@
 //!   contained by the pool and surfaced to that one client as an `io`
 //!   error; the connection and the server live on.
 //!
-//! Cancellation is cooperative and coarse: a request carrying
-//! `deadline_ms` is checked when a worker *picks it up* — if it queued
-//! past its deadline (workers busy with requests ahead of it), the
-//! server answers `deadline-exceeded` without computing. A request
-//! already running is never interrupted mid-solve; `docs/SERVER.md`
-//! spells out this contract.
+//! Cancellation is cooperative and fine-grained: a request carrying
+//! `deadline_ms` is checked when a worker *picks it up* (queued past
+//! the deadline → `deadline-exceeded` without computing), and the
+//! remaining allowance is then threaded into the solver as a
+//! [`CancelToken`] polled once per fixpoint block derivation / brute
+//! budget tranche — a deadline that expires *mid-solve* stops the run
+//! within roughly one block's worth of work and answers
+//! `deadline-exceeded` with the partial statistics derived before the
+//! cancel. Cancellation only withholds verdicts (never invents them),
+//! so cancelled requests are always safely retryable.
+//!
+//! Admission control bounds the pending queue: beyond `--threads`
+//! running requests, at most [`ServeConfig::max_queue`] heavyweight
+//! requests may wait; excess ones are shed immediately with the
+//! `overloaded` code and a `retry_after_ms` backoff hint instead of
+//! accumulating unbounded latency. `ping`/`stats`/`shutdown` bypass
+//! admission so an overloaded server stays observable and stoppable.
+//! `docs/SERVER.md` spells out both contracts.
 //!
 //! Shutdown: the `shutdown` method (or [`ServerHandle::shutdown`]) sets
 //! a flag and wakes the accept thread with a throwaway self-connection;
@@ -32,11 +44,12 @@ use crate::protocol::{
     err_response, ok_response, parse_request, Frame, FrameReader, Method, Request, WireError,
     MAX_FRAME,
 };
-use cqa::EngineConfig;
+use cqa::solvers::CancelToken;
+use cqa::{CancelledSolve, EngineConfig};
 use cqa_query::parse_query;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -56,6 +69,13 @@ pub struct ServeConfig {
     pub memory_budget: Option<usize>,
     /// Per-frame byte cap (both directions).
     pub max_frame: usize,
+    /// Admission bound: how many heavyweight requests (`load`,
+    /// `certain`, `falsify`, `batch`) may *wait* for a worker beyond
+    /// the `threads` already running. Excess requests are shed with the
+    /// `overloaded` code. `None` picks `max(32, threads × 4)` — deep
+    /// enough that ordinary connection fan-in never sheds, shallow
+    /// enough to bound queueing latency.
+    pub max_queue: Option<usize>,
     /// How sessions classify and solve.
     pub engine: EngineConfig,
     /// How database paths become databases (the CLI injects its
@@ -71,6 +91,7 @@ impl ServeConfig {
             threads: 0,
             memory_budget: None,
             max_frame: MAX_FRAME,
+            max_queue: None,
             engine: EngineConfig::default(),
             loader,
         }
@@ -83,8 +104,19 @@ struct ServerCtx {
     pool: minipool::Pool,
     threads: usize,
     max_frame: usize,
+    max_queue: usize,
     stop: AtomicBool,
     addr: SocketAddr,
+    /// Heavyweight requests admitted and not yet answered (running or
+    /// waiting for a worker).
+    inflight: AtomicUsize,
+    /// Requests refused at admission (`overloaded`).
+    shed: AtomicUsize,
+    /// Requests whose deadline expired mid-solve (`deadline-exceeded`
+    /// on the cancel path; the pickup-refusal path does not count).
+    cancelled: AtomicUsize,
+    /// Peak of `inflight - threads` (requests actually waiting).
+    queue_peak: AtomicUsize,
 }
 
 /// A running server. Dropping the handle shuts the server down.
@@ -100,10 +132,11 @@ impl ServerHandle {
         self.ctx.addr
     }
 
-    /// Session-manager counters (tests and `cqa serve --stats` read
-    /// these without a round trip).
+    /// Session-manager counters plus the server's overload counters
+    /// (`shed`, `cancelled`, `queue_peak`); tests and `cqa serve
+    /// --stats` read these without a round trip.
     pub fn manager_stats(&self) -> ManagerStats {
-        self.ctx.manager.stats()
+        server_stats(&self.ctx)
     }
 
     /// Stop accepting, let in-flight requests finish, join everything.
@@ -124,8 +157,17 @@ impl ServerHandle {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        self.ctx.manager.stats()
+        server_stats(&self.ctx)
     }
+}
+
+/// Manager counters with the server's own overload counters merged in.
+fn server_stats(ctx: &ServerCtx) -> ManagerStats {
+    let mut stats = ctx.manager.stats();
+    stats.shed = ctx.shed.load(Ordering::Relaxed);
+    stats.cancelled = ctx.cancelled.load(Ordering::Relaxed);
+    stats.queue_peak = ctx.queue_peak.load(Ordering::Relaxed);
+    stats
 }
 
 impl Drop for ServerHandle {
@@ -148,13 +190,19 @@ pub fn serve(config: ServeConfig) -> io::Result<ServerHandle> {
     } else {
         config.threads
     };
+    let max_queue = config.max_queue.unwrap_or_else(|| 32.max(threads * 4));
     let ctx = Arc::new(ServerCtx {
         manager: SessionManager::new(config.loader, config.engine, config.memory_budget),
         pool: minipool::Pool::new(threads),
         threads,
         max_frame: config.max_frame,
+        max_queue,
         stop: AtomicBool::new(false),
         addr,
+        inflight: AtomicUsize::new(0),
+        shed: AtomicUsize::new(0),
+        cancelled: AtomicUsize::new(0),
+        queue_peak: AtomicUsize::new(0),
     });
     let accept_ctx = Arc::clone(&ctx);
     let accept = thread::Builder::new()
@@ -194,6 +242,9 @@ fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>) {
 /// EOF, a hard I/O error or shutdown end the loop.
 fn run_connection(stream: TcpStream, ctx: Arc<ServerCtx>) -> io::Result<()> {
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    // Responses are single small frames; Nagle + delayed ACK would
+    // stall every request after the first on a reused connection.
+    let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut frames = FrameReader::new();
@@ -247,7 +298,43 @@ fn run_connection(stream: TcpStream, ctx: Arc<ServerCtx>) -> io::Result<()> {
 }
 
 /// Hand one request to the pool and wait for its response frame.
+///
+/// Heavyweight methods (`load`, `certain`, `falsify`, `batch`) pass
+/// admission control first: past `threads + max_queue` in flight the
+/// request is shed immediately with `overloaded` and a `retry_after_ms`
+/// hint instead of queueing unboundedly. Control-plane methods always
+/// dispatch, so an overloaded server stays observable and stoppable.
 fn dispatch(ctx: &Arc<ServerCtx>, req: Request) -> String {
+    let heavyweight = matches!(
+        req.method,
+        Method::Load { .. }
+            | Method::Certain { .. }
+            | Method::Falsify { .. }
+            | Method::Batch { .. }
+    );
+    if heavyweight {
+        let inflight = ctx.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        if inflight > ctx.threads + ctx.max_queue {
+            ctx.inflight.fetch_sub(1, Ordering::SeqCst);
+            ctx.shed.fetch_add(1, Ordering::Relaxed);
+            // Scale the hint with how far past capacity we are: the
+            // deeper the overload, the longer the drain.
+            let excess = (inflight - ctx.threads - ctx.max_queue) as u64;
+            let retry_after_ms = (25 * excess).clamp(25, 1000);
+            let e = WireError::new(
+                "overloaded",
+                format!(
+                    "server at capacity ({} requests in flight, queue bound {}); retry in {retry_after_ms}ms",
+                    inflight - 1,
+                    ctx.max_queue
+                ),
+            )
+            .with_retry_after(retry_after_ms);
+            return err_response(req.id, &e);
+        }
+        let waiting = inflight.saturating_sub(ctx.threads);
+        ctx.queue_peak.fetch_max(waiting, Ordering::Relaxed);
+    }
     let (tx, rx) = mpsc::channel::<Result<Json, WireError>>();
     let worker_ctx = Arc::clone(ctx);
     let enqueued = Instant::now();
@@ -262,8 +349,20 @@ fn dispatch(ctx: &Arc<ServerCtx>, req: Request) -> String {
                     enqueued.elapsed().as_millis()
                 ),
             )),
-            _ => execute(&worker_ctx, &method),
+            _ => {
+                // The deadline's remaining allowance rides into the
+                // solver as a token polled mid-fixpoint.
+                let token = deadline_ms.map(|ms| {
+                    CancelToken::deadline_in(
+                        Duration::from_millis(ms).saturating_sub(enqueued.elapsed()),
+                    )
+                });
+                execute(&worker_ctx, &method, token.as_ref())
+            }
         };
+        if heavyweight {
+            worker_ctx.inflight.fetch_sub(1, Ordering::SeqCst);
+        }
         let _ = tx.send(outcome);
     });
     let outcome = rx.recv().unwrap_or_else(|_| {
@@ -293,9 +392,33 @@ fn truncate_error_text(line: &str) -> String {
     text
 }
 
+/// The `deadline-exceeded` answer for a solve the token stopped
+/// mid-run, carrying the partial fixpoint statistics as evidence of the
+/// work done before the cancel.
+fn cancelled_error(ctx: &ServerCtx, partial: &CancelledSolve) -> WireError {
+    ctx.cancelled.fetch_add(1, Ordering::Relaxed);
+    let evidence = match &partial.certk_stats {
+        Some(s) => format!(
+            "derived {} blocks over {} rounds before the cancel",
+            s.blocks_derived, s.rounds
+        ),
+        None => "brute-force search stopped mid-tranche".to_string(),
+    };
+    WireError::new(
+        "deadline-exceeded",
+        format!("deadline expired mid-solve; verdict withheld ({evidence})"),
+    )
+}
+
 /// Execute one method against the session manager. Every error path
-/// returns a coded [`WireError`]; none of them tear the connection down.
-fn execute(ctx: &ServerCtx, method: &Method) -> Result<Json, WireError> {
+/// returns a coded [`WireError`]; none of them tear the connection
+/// down. `token` carries the request's remaining deadline allowance
+/// into the solvers (`None`: solve to completion).
+fn execute(
+    ctx: &ServerCtx,
+    method: &Method,
+    token: Option<&CancelToken>,
+) -> Result<Json, WireError> {
     if ctx.stop.load(Ordering::SeqCst) && !matches!(method, Method::Shutdown) {
         return Err(WireError::new("shutting-down", "server is shutting down"));
     }
@@ -329,7 +452,12 @@ fn execute(ctx: &ServerCtx, method: &Method) -> Result<Json, WireError> {
                     ),
                 ));
             }
-            let ans = session.certain(&q);
+            let ans = match token {
+                Some(token) => session
+                    .certain_cancellable(&q, token)
+                    .map_err(|partial| cancelled_error(ctx, &partial))?,
+                None => session.certain(&q),
+            };
             Ok(obj([
                 ("certain", Json::Bool(ans.certain)),
                 ("answered_by", Json::Str(format!("{:?}", ans.answered_by))),
@@ -352,7 +480,13 @@ fn execute(ctx: &ServerCtx, method: &Method) -> Result<Json, WireError> {
             // One solver thread per request: parallelism across
             // requests comes from the pool, and nesting would
             // oversubscribe the workers.
-            let outcome = cqa::solvers::certain_brute_parallel(&q, session.db(), *budget, 1);
+            let outcome = match token {
+                Some(token) => {
+                    cqa::solvers::certain_brute_cancellable(&q, session.db(), *budget, 1, token)
+                        .ok_or_else(|| cancelled_error(ctx, &CancelledSolve::default()))?
+                }
+                None => cqa::solvers::certain_brute_parallel(&q, session.db(), *budget, 1),
+            };
             let db_ref = session.db();
             Ok(match outcome {
                 cqa::solvers::BruteOutcome::Certain => {
@@ -405,7 +539,13 @@ fn execute(ctx: &ServerCtx, method: &Method) -> Result<Json, WireError> {
                         session.db().signature()
                     )));
                 }
-                verdicts.push(Json::Bool(session.certain(&q).certain));
+                let ans = match token {
+                    Some(token) => session
+                        .certain_cancellable(&q, token)
+                        .map_err(|partial| cancelled_error(ctx, &partial))?,
+                    None => session.certain(&q),
+                };
+                verdicts.push(Json::Bool(ans.certain));
             }
             if verdicts.is_empty() {
                 return Err(WireError::new(
@@ -420,7 +560,7 @@ fn execute(ctx: &ServerCtx, method: &Method) -> Result<Json, WireError> {
             ]))
         }
         Method::Stats => {
-            let s = ctx.manager.stats();
+            let s = server_stats(ctx);
             Ok(obj([
                 ("sessions", Json::Int(s.sessions as i64)),
                 ("loads", Json::Int(s.loads as i64)),
@@ -437,6 +577,10 @@ fn execute(ctx: &ServerCtx, method: &Method) -> Result<Json, WireError> {
                         .memory_budget()
                         .map_or(Json::Null, |b| Json::Int(b as i64)),
                 ),
+                ("max_queue", Json::Int(ctx.max_queue as i64)),
+                ("shed", Json::Int(s.shed as i64)),
+                ("cancelled", Json::Int(s.cancelled as i64)),
+                ("queue_peak", Json::Int(s.queue_peak as i64)),
             ]))
         }
         Method::Shutdown => Ok(obj([("stopping", Json::Bool(true))])),
@@ -450,13 +594,24 @@ mod tests {
     use cqa_model::{Database, Fact, Signature};
     use std::io::BufRead;
 
-    /// Synthetic loader: "db:N" is an N-fact chain, anything else fails.
+    /// Synthetic loader: "db:N" is an N-fact chain; "slow:MS" sleeps
+    /// MS milliseconds and serves a 4-fact chain (for occupancy tests);
+    /// anything else fails.
     fn chain_loader() -> Loader {
         Arc::new(|path: &str| {
-            let n: usize = path
-                .strip_prefix("db:")
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| format!("no such database: {path}"))?;
+            let (n, delay_ms) = if let Some(ms) = path.strip_prefix("slow:") {
+                let ms: u64 = ms.parse().map_err(|_| format!("bad delay: {path}"))?;
+                (4, ms)
+            } else {
+                let n: usize = path
+                    .strip_prefix("db:")
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("no such database: {path}"))?;
+                (n, 0)
+            };
+            if delay_ms > 0 {
+                thread::sleep(Duration::from_millis(delay_ms));
+            }
             let mut db = Database::new(Signature::new(2, 1).unwrap());
             for i in 0..n {
                 db.insert(Fact::from_names([format!("a{i}"), format!("a{}", i + 1)]))
@@ -574,6 +729,86 @@ mod tests {
             r#"{"id":2,"method":"ping","params":{}}"#,
         );
         assert!(parse_response(&pong).unwrap().outcome.is_ok());
+    }
+
+    #[test]
+    fn overload_sheds_with_a_retry_hint_and_counts() {
+        // One worker, zero queue slots: while a slow load occupies the
+        // worker, any further heavyweight request is shed immediately.
+        let mut config = ServeConfig::new(chain_loader());
+        config.addr = "127.0.0.1:0".to_string();
+        config.threads = 1;
+        config.max_queue = Some(0);
+        let server = serve(config).unwrap();
+        let addr = server.addr();
+
+        let occupant = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut r = BufReader::new(s.try_clone().unwrap());
+            roundtrip(
+                &mut s,
+                &mut r,
+                r#"{"id":1,"method":"load","params":{"path":"slow:600"}}"#,
+            )
+        });
+        thread::sleep(Duration::from_millis(150));
+
+        let mut s2 = TcpStream::connect(addr).unwrap();
+        let mut r2 = BufReader::new(s2.try_clone().unwrap());
+        let shed = roundtrip(
+            &mut s2,
+            &mut r2,
+            r#"{"id":2,"method":"certain","params":{"db":"db:4","query":"R(x | y) R(y | z)"}}"#,
+        );
+        let e = parse_response(&shed).unwrap().outcome.unwrap_err();
+        assert_eq!(e.code, "overloaded");
+        let hint = e.retry_after_ms.expect("overloaded carries a hint");
+        assert!((25..=1000).contains(&hint), "hint {hint} out of range");
+
+        // Control-plane methods bypass admission: the overloaded server
+        // is still observable.
+        let pong = roundtrip(&mut s2, &mut r2, r#"{"id":3,"method":"ping","params":{}}"#);
+        assert!(parse_response(&pong).unwrap().outcome.is_ok());
+
+        // The occupant finishes normally; nothing was wedged.
+        let loaded = occupant.join().unwrap();
+        assert!(parse_response(&loaded).unwrap().outcome.is_ok());
+        let stats = server.manager_stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.cancelled, 0);
+    }
+
+    #[test]
+    fn deadline_expiring_mid_solve_cancels_with_partial_evidence() {
+        // A 300k-fact load + solve cannot finish inside 150ms, so
+        // the token expires while the request is running (not queued —
+        // the pool is idle at pickup) and the fixpoint bails at a poll.
+        let server = test_server();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        let refused = roundtrip(
+            &mut s,
+            &mut r,
+            r#"{"id":1,"method":"certain","params":{"db":"db:300000","query":"R(x | y) R(y | z)"},"deadline_ms":150}"#,
+        );
+        let e = parse_response(&refused).unwrap().outcome.unwrap_err();
+        assert_eq!(e.code, "deadline-exceeded");
+        assert!(
+            e.message.contains("mid-solve"),
+            "cancel-path message with evidence, got: {}",
+            e.message
+        );
+        assert_eq!(server.manager_stats().cancelled, 1);
+
+        // The verdict was withheld, not cached: a patient retry still
+        // gets the real answer on the same connection.
+        let ok = roundtrip(
+            &mut s,
+            &mut r,
+            r#"{"id":2,"method":"certain","params":{"db":"db:300000","query":"R(x | y) R(y | z)"}}"#,
+        );
+        let result = parse_response(&ok).unwrap().outcome.unwrap();
+        assert_eq!(result.get("certain"), Some(&Json::Bool(true)));
     }
 
     #[test]

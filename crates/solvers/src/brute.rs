@@ -18,7 +18,7 @@
 //! `threads = 1` reproduces the sequential loop exactly; see
 //! [`certain_brute_parallel`] for the budget/thread-count contract.
 
-use crate::SolutionSet;
+use crate::{CancelToken, SolutionSet};
 use cqa_graph::UnionFind;
 use cqa_model::{BlockId, Database, FactId, Repair};
 use cqa_query::Query;
@@ -182,11 +182,63 @@ pub fn certain_brute_with_solutions_threads(
     budget: u64,
     threads: usize,
 ) -> BruteOutcome {
+    brute_over_components(db, solutions, budget, threads, None)
+        .expect("without a token the search cannot be cancelled")
+}
+
+/// [`certain_brute_parallel`] under a [`CancelToken`]: the search polls
+/// the token once per component start and once per `TOKEN_POLL_NODES`
+/// search nodes (a budget tranche), so a token that expires mid-search
+/// stops every component within one tranche. Returns `None` when the
+/// token cancelled the search before a verdict was reached — a completed
+/// verdict is never discarded, even if the token has expired by the time
+/// it is observed.
+pub fn certain_brute_cancellable(
+    q: &Query,
+    db: &Database,
+    budget: u64,
+    threads: usize,
+    token: &CancelToken,
+) -> Option<BruteOutcome> {
+    let solutions = SolutionSet::enumerate(q, db);
+    certain_brute_with_solutions_token(q, db, &solutions, budget, threads, token)
+}
+
+/// [`certain_brute_cancellable`] with pre-computed solutions — the
+/// engine's session path hands its cached enumeration straight through.
+pub fn certain_brute_with_solutions_token(
+    _q: &Query,
+    db: &Database,
+    solutions: &SolutionSet,
+    budget: u64,
+    threads: usize,
+    token: &CancelToken,
+) -> Option<BruteOutcome> {
+    brute_over_components(db, solutions, budget, threads, Some(token))
+}
+
+/// Search nodes between two token polls: one deadline check per tranche
+/// keeps the clock off the per-node hot path while still bounding the
+/// cancellation latency to a sliver of the search.
+const TOKEN_POLL_NODES: u64 = 1024;
+
+/// The shared component fan-out behind both brute entry points. `None`
+/// iff `token` cancelled the search before any decisive event.
+fn brute_over_components(
+    db: &Database,
+    solutions: &SolutionSet,
+    budget: u64,
+    threads: usize,
+    token: Option<&CancelToken>,
+) -> Option<BruteOutcome> {
     let plan = component_block_orders(db, solutions);
     let nodes = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
 
     let results = minipool::par_map(threads, &plan.orders, |comp| {
+        if token.is_some_and(CancelToken::is_cancelled) {
+            return CompSearch::Cancelled;
+        }
         // Component-sized scratch indexed through plan.local_idx — a
         // search never consults blocks outside its component.
         let mut chosen: Vec<Option<FactId>> = vec![None; comp.len()];
@@ -200,6 +252,7 @@ pub fn certain_brute_with_solutions_threads(
             &nodes,
             budget,
             &stop,
+            token,
         ) {
             Ok(true) => CompSearch::Falsified(
                 comp.iter()
@@ -232,16 +285,22 @@ pub fn certain_brute_with_solutions_threads(
     let mut cancelled = false;
     for r in &results {
         match r {
-            CompSearch::Forces => return BruteOutcome::Certain,
-            CompSearch::OutOfBudget => return BruteOutcome::BudgetExhausted,
+            CompSearch::Forces => return Some(BruteOutcome::Certain),
+            CompSearch::OutOfBudget => return Some(BruteOutcome::BudgetExhausted),
             CompSearch::Cancelled => cancelled = true,
             CompSearch::Falsified(_) => {}
         }
     }
     if cancelled {
-        // Unreachable: a cancellation implies some sibling reported the
-        // decisive event above. Kept total instead of panicking.
-        return BruteOutcome::BudgetExhausted;
+        if token.is_some_and(CancelToken::is_cancelled) {
+            // The token (not a sibling's decisive event) stopped the
+            // search: no verdict.
+            return None;
+        }
+        // Unreachable without a token: a cancellation implies some
+        // sibling reported the decisive event above. Kept total instead
+        // of panicking.
+        return Some(BruteOutcome::BudgetExhausted);
     }
     // All components falsified: assemble the full witness.
     let mut chosen: Vec<Option<FactId>> = vec![None; db.block_count()];
@@ -258,7 +317,7 @@ pub fn certain_brute_with_solutions_threads(
         .map(|(b, c)| c.unwrap_or_else(|| db.block(BlockId(b as u32))[0]))
         .collect();
     let repair = Repair::try_new(db, witness).expect("search produces valid repairs");
-    BruteOutcome::NotCertain(repair)
+    Some(BruteOutcome::NotCertain(repair))
 }
 
 /// Does picking fact `f` complete a solution against already-chosen facts?
@@ -309,6 +368,7 @@ fn search(
     nodes: &AtomicU64,
     budget: u64,
     stop: &AtomicBool,
+    token: Option<&CancelToken>,
 ) -> Result<bool, Interrupt> {
     if stop.load(Ordering::Relaxed) {
         return Err(Interrupt::Cancelled);
@@ -344,8 +404,16 @@ fn search(
     let (b, cands) = best.expect("undecided > 0 implies an undecided block");
     let bl = local[b.idx()] as usize;
     for f in cands {
-        if nodes.fetch_add(1, Ordering::Relaxed) + 1 > budget {
+        let spent = nodes.fetch_add(1, Ordering::Relaxed) + 1;
+        if spent > budget {
             return Err(Interrupt::Budget);
+        }
+        // One deadline check per tranche of the shared node counter:
+        // raise the stop flag so sibling searches bail at their next
+        // entry poll instead of each waiting for its own tranche.
+        if spent % TOKEN_POLL_NODES == 0 && token.is_some_and(CancelToken::is_cancelled) {
+            stop.store(true, Ordering::Relaxed);
+            return Err(Interrupt::Cancelled);
         }
         chosen[bl] = Some(f);
         match search(
@@ -358,6 +426,7 @@ fn search(
             nodes,
             budget,
             stop,
+            token,
         ) {
             Ok(true) => return Ok(true),
             Ok(false) => {}
@@ -516,6 +585,23 @@ mod tests {
                 certain_brute_parallel(&q, &certain, u64::MAX, threads),
                 BruteOutcome::Certain
             ));
+        }
+    }
+
+    #[test]
+    fn token_cancellation_withholds_the_verdict() {
+        let q = examples::q3();
+        let d = db2(&[["a", "b"], ["a", "x"], ["b", "c"]]);
+        // A pre-raised token cancels before any component search starts.
+        let raised = CancelToken::new();
+        raised.cancel();
+        assert!(certain_brute_cancellable(&q, &d, u64::MAX, 1, &raised).is_none());
+        // A calm token reproduces the plain outcome at every thread count.
+        for threads in [1usize, 2, 4] {
+            let calm = CancelToken::new();
+            let got = certain_brute_cancellable(&q, &d, u64::MAX, threads, &calm)
+                .expect("a calm token cannot cancel the search");
+            assert!(matches!(got, BruteOutcome::NotCertain(_)), "{got:?}");
         }
     }
 

@@ -526,16 +526,61 @@ pub fn certk_view_with_stats(
 /// (Proposition 10.6). A `None` carries no statistics: the run was
 /// abandoned mid-flight, so its counters describe no complete evaluation.
 pub fn certk_view_cancellable(
-    _q: &Query,
+    q: &Query,
     view: &DbView<'_>,
     solutions: &SolutionSet,
     cfg: CertKConfig,
     cancel: &AtomicBool,
 ) -> Option<(CertKOutcome, CertKStats)> {
+    certk_view_poll(q, view, solutions, cfg, &mut || {
+        cancel.load(Ordering::Relaxed)
+    })
+    .ok()
+}
+
+/// [`certk_view_with_stats`] under a [`CancelToken`](crate::cancel::CancelToken):
+/// the fixpoint polls
+/// the token at the same bounded intervals as the early-exit flag (once
+/// per seeded fact, once per block derivation), so a token that expires
+/// *mid-fixpoint* stops the run within roughly one block's worth of
+/// work. Unlike [`certk_view_cancellable`], a cancelled run reports its
+/// **partial statistics** (`Err`): the counters describe the work done
+/// before the cancel observation — the evidence a server attaches to a
+/// `deadline-exceeded` answer. The outcome itself is withheld: a
+/// cancelled fixpoint proves nothing either way.
+pub fn certk_view_cancel_token(
+    q: &Query,
+    view: &DbView<'_>,
+    solutions: &SolutionSet,
+    cfg: CertKConfig,
+    token: &crate::CancelToken,
+) -> Result<(CertKOutcome, CertKStats), CertKStats> {
+    certk_view_poll(q, view, solutions, cfg, &mut || token.is_cancelled())
+}
+
+/// Record into `stats` the partial evidence of a cancelled run: steps
+/// consumed so far and the antichain health counters at the cancel
+/// observation.
+fn finalise_partial(stats: &mut CertKStats, chain: &Antichain<'_>, consumed: u64) {
+    stats.steps = consumed;
+    stats.peak_members = chain.peak_live();
+    stats.stale_compacted = chain.stale_compacted();
+}
+
+/// The fixpoint core shared by every public entry point, parameterised
+/// over the cancellation poll. `Err` carries the partial statistics of a
+/// cancelled run.
+pub(crate) fn certk_view_poll(
+    _q: &Query,
+    view: &DbView<'_>,
+    solutions: &SolutionSet,
+    cfg: CertKConfig,
+    cancelled: &mut dyn FnMut() -> bool,
+) -> Result<(CertKOutcome, CertKStats), CertKStats> {
     let db = view.parent();
     let mut stats = CertKStats::default();
     if cfg.k == 0 {
-        return Some((CertKOutcome::NotDerived, stats));
+        return Ok((CertKOutcome::NotDerived, stats));
     }
     let mut chain = Antichain::new(db);
     let mut budget = cfg.node_budget;
@@ -548,8 +593,9 @@ pub fn certk_view_cancellable(
     // q-closed views like components and full views, where the
     // membership test is O(1)).
     for &a in view.fact_ids() {
-        if cancel.load(Ordering::Relaxed) {
-            return None;
+        if cancelled() {
+            finalise_partial(&mut stats, &chain, cfg.node_budget - budget);
+            return Err(stats);
         }
         for &b in solutions.seconds_of(a) {
             if !view.contains_fact(b) {
@@ -594,8 +640,9 @@ pub fn certk_view_cancellable(
         stats.rounds += 1;
         let mut exhausted = false;
         'round: for &b in &current {
-            if cancel.load(Ordering::Relaxed) {
-                return None;
+            if cancelled() {
+                finalise_partial(&mut stats, &chain, cfg.node_budget - budget);
+                return Err(stats);
             }
             stats.blocks_derived += 1;
             let cands = match derive_block(db, view, &chain, b, cfg.k, &mut budget, &mut reqs_cache)
@@ -656,7 +703,7 @@ pub fn certk_view_cancellable(
     };
     stats.peak_members = chain.peak_live();
     stats.stale_compacted = chain.stale_compacted();
-    Some((outcome, stats))
+    Ok((outcome, stats))
 }
 
 /// The ⊆-minimal requirement family
@@ -1133,6 +1180,30 @@ mod tests {
         let want = certk_view_with_stats(&q, &view, &sols, CertKConfig::new(2));
         assert_eq!(got.0, want.0);
         assert_eq!(got.1, want.1);
+    }
+
+    #[test]
+    fn cancel_token_fixpoint_reports_partial_stats() {
+        use crate::CancelToken;
+        let d = db2(&[["a", "b"], ["a", "c"], ["b", "d"], ["c", "d"]]);
+        let q = examples::q3();
+        let sols = SolutionSet::enumerate(&q, &d);
+        let view = d.full_view();
+        // A pre-raised token cancels before any block is derived, and the
+        // partial evidence says so.
+        let raised = CancelToken::new();
+        raised.cancel();
+        let partial = certk_view_cancel_token(&q, &view, &sols, CertKConfig::new(2), &raised)
+            .expect_err("a raised token must cancel the fixpoint");
+        assert_eq!(partial.blocks_derived, 0);
+        assert_eq!(partial.rounds, 0);
+        // A far-deadline token reproduces the deterministic run exactly,
+        // statistics included.
+        let calm = CancelToken::deadline_in(std::time::Duration::from_secs(3600));
+        let got = certk_view_cancel_token(&q, &view, &sols, CertKConfig::new(2), &calm)
+            .expect("a far deadline cannot cancel this fixpoint");
+        let want = certk_view_with_stats(&q, &view, &sols, CertKConfig::new(2));
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -16,12 +16,12 @@
 //! in component order, so the result is identical across thread counts.
 
 use crate::certk::{
-    certk_view_cancellable, certk_view_with_stats, certk_with_solutions, CertKConfig, CertKOutcome,
-    CertKStats,
+    certk_view_cancellable, certk_view_poll, certk_view_with_stats, certk_with_solutions,
+    CertKConfig, CertKOutcome, CertKStats,
 };
 use crate::components::{q_connected_components_with_solutions, Component};
 use crate::matching::{analyze_view, analyze_with_solutions};
-use crate::SolutionSet;
+use crate::{CancelToken, SolutionSet};
 use cqa_model::Database;
 use cqa_query::Query;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -219,6 +219,149 @@ fn certk_by_components_early_exit(
     }
 }
 
+/// How one component's fan-out slot ended under a [`CancelToken`].
+enum Decided {
+    /// Skipped by the early-exit flag (a sibling was certain).
+    Skipped,
+    /// Ran to completion.
+    Done(ComponentVerdict),
+    /// Abandoned because the token cancelled, with the partial fixpoint
+    /// statistics accumulated before the cancel observation (zeroes for
+    /// components that never started).
+    Cancelled(CertKStats),
+}
+
+/// [`certk_by_components`] under a [`CancelToken`]: every in-flight
+/// fixpoint polls the token alongside the early-exit flag, so a token
+/// that expires mid-fan-out stops all components within roughly one
+/// block derivation each. A cancelled run returns `Err` with the
+/// **aggregated partial statistics** of every component that did any
+/// work — the `--stats` evidence a server attaches to a
+/// `deadline-exceeded` answer. A completed fan-out is never discarded:
+/// if every component finished before the token was observed cancelled,
+/// the full [`CombinedResult`] is returned even when the token has
+/// since expired.
+pub fn certk_by_components_cancellable(
+    q: &Query,
+    comps: &[Component<'_>],
+    solutions: &SolutionSet,
+    cfg: CertKConfig,
+    token: &CancelToken,
+) -> Result<CombinedResult, CertKStats> {
+    let cancel = AtomicBool::new(false);
+    let outcomes: Vec<Decided> = minipool::par_map(cfg.threads, comps, |comp| {
+        if token.is_cancelled() {
+            return Decided::Cancelled(CertKStats::default());
+        }
+        if cancel.load(Ordering::Relaxed) {
+            return Decided::Skipped;
+        }
+        let polled = certk_view_poll(q, &comp.view, solutions, cfg, &mut || {
+            token.is_cancelled() || cancel.load(Ordering::Relaxed)
+        });
+        match polled {
+            Ok((out, stats)) => {
+                if out.is_certain() && cfg.early_exit {
+                    cancel.store(true, Ordering::Relaxed);
+                }
+                Decided::Done(ComponentVerdict {
+                    size: comp.len(),
+                    decided_by: DecidedBy::CertK,
+                    certain: out.is_certain(),
+                    budget_exhausted: out == CertKOutcome::BudgetExhausted,
+                    stats: Some(stats),
+                })
+            }
+            // The poll merges both signals; attribute the bail to the
+            // token only when the token actually fired.
+            Err(partial) if token.is_cancelled() => Decided::Cancelled(partial),
+            Err(_) => Decided::Skipped,
+        }
+    });
+    fold_decided(outcomes)
+}
+
+/// [`certain_combined_over`] under a [`CancelToken`]: clique-database
+/// components still go to `¬matching` (one cheap analysis, so the token
+/// is only checked at component start), fixpoint components poll the
+/// token once per block derivation. As in
+/// [`certk_by_components_cancellable`], a cancelled run returns `Err`
+/// with the aggregated partial statistics and a completed fan-out is
+/// never discarded.
+pub fn certain_combined_over_cancellable(
+    q: &Query,
+    comps: &[Component<'_>],
+    solutions: &SolutionSet,
+    cfg: CertKConfig,
+    token: &CancelToken,
+) -> Result<CombinedResult, CertKStats> {
+    let outcomes: Vec<Decided> = minipool::par_map(cfg.threads, comps, |comp| {
+        if token.is_cancelled() {
+            return Decided::Cancelled(CertKStats::default());
+        }
+        let analysis = analyze_view(q, &comp.view, solutions);
+        if analysis.is_clique_database {
+            return Decided::Done(ComponentVerdict {
+                size: comp.len(),
+                decided_by: DecidedBy::Matching,
+                certain: !analysis.accepts,
+                budget_exhausted: false,
+                stats: None,
+            });
+        }
+        match certk_view_poll(q, &comp.view, solutions, cfg, &mut || token.is_cancelled()) {
+            Ok((out, stats)) => Decided::Done(ComponentVerdict {
+                size: comp.len(),
+                decided_by: DecidedBy::CertK,
+                certain: out.is_certain(),
+                budget_exhausted: out == CertKOutcome::BudgetExhausted,
+                stats: Some(stats),
+            }),
+            Err(partial) => Decided::Cancelled(partial),
+        }
+    });
+    fold_decided(outcomes)
+}
+
+/// Fold fan-out slots into a result: any [`Decided::Cancelled`] slot
+/// turns the whole run into `Err` carrying the aggregated partial
+/// statistics. Completed components contribute their counters to that
+/// aggregate — they are evidence of work done before the cancel — but
+/// their verdicts are withheld with everything else.
+fn fold_decided(outcomes: Vec<Decided>) -> Result<CombinedResult, CertKStats> {
+    if outcomes.iter().any(|d| matches!(d, Decided::Cancelled(_))) {
+        let mut agg = CertKStats::default();
+        for d in &outcomes {
+            match d {
+                Decided::Done(v) => {
+                    if let Some(s) = &v.stats {
+                        agg.absorb(s);
+                    }
+                }
+                Decided::Cancelled(s) => agg.absorb(s),
+                Decided::Skipped => {}
+            }
+        }
+        return Err(agg);
+    }
+    let skipped = outcomes
+        .iter()
+        .filter(|d| matches!(d, Decided::Skipped))
+        .count();
+    let components: Vec<ComponentVerdict> = outcomes
+        .into_iter()
+        .filter_map(|d| match d {
+            Decided::Done(v) => Some(v),
+            _ => None,
+        })
+        .collect();
+    Ok(CombinedResult {
+        certain: components.iter().any(|v| v.certain),
+        components,
+        skipped,
+    })
+}
+
 /// The literal statement of Theorem 10.5 — `Cert_k(q) ∨ ¬matching(q)` on
 /// the whole database, without the component optimisation. Kept for
 /// cross-validation against [`certain_combined`].
@@ -390,6 +533,81 @@ mod tests {
         assert!(!det.certain && !eager.certain);
         assert_eq!(eager.skipped, 0);
         assert_eq!(format!("{det:?}"), format!("{eager:?}"));
+    }
+
+    #[test]
+    fn cancellable_fan_out_matches_the_deterministic_path() {
+        let q3 = examples::q3();
+        let mut db = cqa_model::Database::new(Signature::new(2, 1).unwrap());
+        for row in [
+            ["a", "b"],
+            ["b", "c"],
+            ["p", "q"],
+            ["p", "x"],
+            ["q", "r"],
+            ["z", "z"],
+        ] {
+            db.insert(Fact::from_names(row)).unwrap();
+        }
+        let solutions = crate::SolutionSet::enumerate(&q3, &db);
+        let comps = crate::components::q_connected_components_with_solutions(&q3, &db, &solutions);
+        let base = CertKConfig::new(2);
+        // A calm token reproduces the deterministic fan-out exactly, at
+        // every thread count.
+        let calm = CancelToken::new();
+        for threads in [1usize, 2, 4] {
+            let cfg = base.with_threads(threads);
+            let got = certk_by_components_cancellable(&q3, &comps, &solutions, cfg, &calm)
+                .expect("a calm token cannot cancel the fan-out");
+            let want = certk_by_components(&q3, &comps, &solutions, cfg);
+            assert_eq!(format!("{got:?}"), format!("{want:?}"));
+        }
+        // A raised token cancels without emitting any verdict.
+        let raised = CancelToken::new();
+        raised.cancel();
+        let partial =
+            certk_by_components_cancellable(&q3, &comps, &solutions, base.with_threads(1), &raised)
+                .expect_err("a raised token must cancel the fan-out");
+        assert_eq!(
+            partial.blocks_derived, 0,
+            "no component started: {partial:?}"
+        );
+    }
+
+    #[test]
+    fn cancellable_combined_matches_the_deterministic_path() {
+        // Mixed database: a matching-decided triangle plus a fixpoint-
+        // decided falsifiable component.
+        let q6 = examples::q6();
+        let db = q6_db(&[
+            ["a", "b", "c"],
+            ["c", "a", "b"],
+            ["b", "c", "a"],
+            ["p", "q", "r"],
+            ["p", "s", "t"],
+        ]);
+        let solutions = crate::SolutionSet::enumerate(&q6, &db);
+        let comps = q_connected_components_with_solutions(&q6, &db, &solutions);
+        let base = CertKConfig::new(2);
+        let calm = CancelToken::new();
+        for threads in [1usize, 2, 4] {
+            let cfg = base.with_threads(threads);
+            let got = certain_combined_over_cancellable(&q6, &comps, &solutions, cfg, &calm)
+                .expect("a calm token cannot cancel the combined solver");
+            let want = certain_combined_over(&q6, &comps, &solutions, cfg);
+            assert_eq!(format!("{got:?}"), format!("{want:?}"));
+        }
+        let raised = CancelToken::new();
+        raised.cancel();
+        let partial = certain_combined_over_cancellable(
+            &q6,
+            &comps,
+            &solutions,
+            base.with_threads(1),
+            &raised,
+        )
+        .expect_err("a raised token must cancel the combined solver");
+        assert_eq!(partial.blocks_derived, 0, "no component ran: {partial:?}");
     }
 
     #[test]

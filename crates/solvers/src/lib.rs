@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod brute;
+pub mod cancel;
 pub mod certk;
 pub mod combined;
 pub mod components;
@@ -42,15 +43,18 @@ pub mod matching;
 pub mod solution;
 
 pub use brute::{
-    certain_brute, certain_brute_budgeted, certain_brute_parallel, certain_exhaustive, BruteOutcome,
+    certain_brute, certain_brute_budgeted, certain_brute_cancellable, certain_brute_parallel,
+    certain_brute_with_solutions_token, certain_exhaustive, BruteOutcome,
 };
+pub use cancel::CancelToken;
 pub use certk::{
-    cert2, certk, certk_view, certk_view_cancellable, certk_view_with_stats, certk_with_stats,
-    Antichain, CertKConfig, CertKOutcome, CertKStats,
+    cert2, certk, certk_view, certk_view_cancel_token, certk_view_cancellable,
+    certk_view_with_stats, certk_with_stats, Antichain, CertKConfig, CertKOutcome, CertKStats,
 };
 pub use combined::{
-    certain_combined, certain_combined_over, certain_thm105_literal, certk_by_components,
-    CombinedResult, DecidedBy,
+    certain_combined, certain_combined_over, certain_combined_over_cancellable,
+    certain_thm105_literal, certk_by_components, certk_by_components_cancellable, CombinedResult,
+    DecidedBy,
 };
 pub use components::{q_connected_components, Component};
 pub use matching::{

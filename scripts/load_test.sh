@@ -9,6 +9,19 @@
 #   FACTS    facts per generated database       (default 20000)
 #   PORT     server port                        (default 7951)
 #   BUDGET   server --memory-budget             (default 64m)
+#   MODE     throughput | overload              (default throughput)
+#
+# MODE=throughput reports two rates: per-request-process (a fresh `cqa
+# client` process and TCP connection per batch) and persistent (one
+# connection reused across all rounds via `client --repeat`).
+#
+# MODE=overload points many clients at a one-worker server twice — a
+# tight --max-queue (admission control on) vs an effectively unbounded
+# queue (off) — and reports shed count, shed-rate and p99 latency for
+# each; every shed client must still land the exact CLI verdict via
+# --retries, and the tight run must shed at least once or the script
+# fails. Extra knobs: OCLIENTS (default 8), OREQS (default 20), QUEUE
+# (default 2).
 #
 # The databases come from the `cqa generate --skew` families (the same
 # presets the fleet differential runner rotates through); the batch is
@@ -23,13 +36,14 @@ ROUNDS=${ROUNDS:-5}
 FACTS=${FACTS:-20000}
 PORT=${PORT:-7951}
 BUDGET=${BUDGET:-64m}
+MODE=${MODE:-throughput}
 ADDR="127.0.0.1:$PORT"
 
 cargo build --release -p cqa-cli >/dev/null
 CQA=target/release/cqa
 
 work=$(mktemp -d "${TMPDIR:-/tmp}/cqa-load.XXXXXX")
-trap 'rm -rf "$work"' EXIT
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$work"' EXIT
 
 # Skewed databases: two seeds of the mixed-batch family, the one preset
 # whose key domain scales with the fact count. (uniform/zipf-contested/
@@ -50,15 +64,74 @@ R(x | y) R(y | z)
 EOF
 QUERIES_PER_BATCH=5
 
+wait_ready() {
+  for _ in $(seq 1 50); do
+    if "$CQA" client "$ADDR" ping >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  "$CQA" client "$ADDR" ping >/dev/null
+}
+
+if [ "$MODE" = overload ]; then
+  OCLIENTS=${OCLIENTS:-8}
+  OREQS=${OREQS:-20}
+  QUEUE=${QUEUE:-2}
+  QUERY='R(x | y) R(y | z)'
+  DB="${DBS[0]}"
+  REF=$("$CQA" certain "$QUERY" "$DB" | grep '^certain:')
+
+  overload_run() {
+    local max_queue="$1" tag="$2"
+    "$CQA" serve --addr "$ADDR" --threads 1 --max-queue "$max_queue" --stats \
+      2> "$work/serve-$tag.err" &
+    local spid=$!
+    wait_ready
+    local pids=()
+    local c
+    for c in $(seq 1 "$OCLIENTS"); do
+      (
+        for _ in $(seq 1 "$OREQS"); do
+          t0=$(date +%s%N)
+          out=$("$CQA" client --retries 12 --retry-seed "$c" "$ADDR" certain "$DB" "$QUERY")
+          t1=$(date +%s%N)
+          if [ "$out" != "$REF" ]; then
+            echo "overload[$tag] parity break: got '$out' want '$REF'" >&2
+            exit 1
+          fi
+          echo $(( (t1 - t0) / 1000000 )) >> "$work/lat-$tag-$c"
+        done
+      ) &
+      pids+=($!)
+    done
+    local pid
+    for pid in "${pids[@]}"; do wait "$pid"; done
+    "$CQA" client "$ADDR" stats | awk '$1 == "shed" {print $2}' > "$work/shed-$tag"
+    "$CQA" client "$ADDR" shutdown >/dev/null
+    wait "$spid" || true
+    sort -n "$work"/lat-"$tag"-* > "$work/lat-$tag.all"
+    awk -v tag="$tag" -v shed="$(cat "$work/shed-$tag")" \
+        -v total=$(( OCLIENTS * OREQS )) '
+      { a[NR] = $1 }
+      END {
+        i = int(NR * 0.99); if (i < 1) i = 1
+        printf "load_test overload[%s]: requests=%d shed=%d shed-rate=%.2f p99=%dms\n",
+               tag, total, shed, shed / (total + shed), a[i]
+      }' "$work/lat-$tag.all"
+  }
+
+  overload_run "$QUEUE" admission-on
+  overload_run 1000000 admission-off
+  if [ "$(cat "$work/shed-admission-on")" -le 0 ]; then
+    echo "load_test overload: expected at least one shed with --max-queue $QUEUE" >&2
+    exit 1
+  fi
+  exit 0
+fi
+
 "$CQA" serve --addr "$ADDR" --memory-budget "$BUDGET" --stats &
 SERVER_PID=$!
-trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$work"' EXIT
 
-for _ in $(seq 1 50); do
-  if "$CQA" client "$ADDR" ping >/dev/null 2>&1; then break; fi
-  sleep 0.1
-done
-"$CQA" client "$ADDR" ping >/dev/null
+wait_ready
 
 # Correctness gate: server batch output must be byte-identical to the
 # single-shot CLI on every database before any rate is recorded. The CLI
@@ -98,6 +171,36 @@ for c in $(seq 1 "$CLIENTS"); do
   diff -u "$ref" "$work/client-$c.out" >&2
 done
 
+# Persistent-connection mode: the same request volume, but each client
+# reuses ONE connection per database for all its rounds via `--repeat`
+# (which also asserts the repeated responses are byte-identical). The
+# gap between this rate and the one above is pure per-request process +
+# connection setup cost.
+persist_client() {
+  local c="$1"
+  for db in "${DBS[@]}"; do
+    "$CQA" client --repeat "$ROUNDS" "$ADDR" batch "$db" "$work/queries.txt" \
+      > "$work/persist-$c-$(basename "$db").out"
+  done
+}
+
+persist_start_ns=$(date +%s%N)
+pids=()
+for c in $(seq 1 "$CLIENTS"); do
+  persist_client "$c" &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do wait "$pid"; done
+persist_elapsed_ns=$(( $(date +%s%N) - persist_start_ns ))
+
+# `--repeat` prints one copy; it must match the CLI reference exactly.
+for c in $(seq 1 "$CLIENTS"); do
+  for db in "${DBS[@]}"; do
+    diff -u "$work/cli-ref-$(basename "$db").out" \
+            "$work/persist-$c-$(basename "$db").out" >&2
+  done
+done
+
 queries=$(( CLIENTS * ROUNDS * ${#DBS[@]} * QUERIES_PER_BATCH ))
 "$CQA" client "$ADDR" stats
 "$CQA" client "$ADDR" shutdown >/dev/null
@@ -106,4 +209,8 @@ wait "$SERVER_PID" || true
 awk -v q="$queries" -v ns="$elapsed_ns" -v c="$CLIENTS" -v r="$ROUNDS" -v d="${#DBS[@]}" 'BEGIN {
   s = ns / 1e9
   printf "load_test: clients=%d rounds=%d dbs=%d queries=%d elapsed=%.2fs qps=%.0f\n", c, r, d, q, s, q / s
+}'
+awk -v q="$queries" -v ns="$persist_elapsed_ns" 'BEGIN {
+  s = ns / 1e9
+  printf "load_test: persistent-connection elapsed=%.2fs qps=%.0f\n", s, q / s
 }'

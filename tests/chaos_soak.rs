@@ -1,0 +1,190 @@
+//! Chaos soak: clients hammer a real `cqa serve` instance **through**
+//! the seeded fault-injection proxy ([`cqa_server::chaos`]) while it
+//! delays, splits, drops and resets their traffic, and the suite pins
+//! the three overload-hardening guarantees:
+//!
+//! 1. the server never wedges — every round completes inside the
+//!    harness budget and the server still answers directly afterwards;
+//! 2. every completed verdict is byte-identical to the single-shot CLI
+//!    (faults may kill delivery, never flip an answer);
+//! 3. every failure a client observes is a stable coded error or a
+//!    clean reconnect — nothing escapes the error-code table.
+//!
+//! Runs a quick seeded pass by default; CI's chaos smoke stretches the
+//! same test with `CQA_CHAOS_ROUNDS`.
+
+use cqa_cli::{cmd_batch, dbfmt, load_db_file};
+use cqa_query::examples;
+use cqa_server::protocol::KNOWN_CODES;
+use cqa_server::{chaos_proxy, serve, ChaosPlan, Client, Loader, RetryPolicy, ServeConfig};
+use cqa_workloads::skew::SkewFamily;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const QUERIES_TEXT: &str = "R(x | y) R(y | z)\n\
+R(x | y) R(x | z)\n\
+R(y | x) R(x | x)\n\
+R(y | x) R(x | y)\n";
+
+/// One scratch database (skewed, partly contested) plus the CLI's
+/// reference verdicts for it.
+struct Fixture {
+    dir: PathBuf,
+    db_path: String,
+    expected: Vec<bool>,
+}
+
+impl Fixture {
+    fn new() -> Fixture {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "cqa-chaos-soak-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let q3 = examples::q3();
+        let db = cqa_workloads::skew::skewed_db(21, &q3, &SkewFamily::MixedBatch.config(90));
+        let db_path = dir.join("soak.facts").display().to_string();
+        std::fs::write(&db_path, dbfmt::write_database(&db)).unwrap();
+        let reference = cmd_batch(&db, QUERIES_TEXT, Some(1), None, false, false)
+            .unwrap()
+            .stdout;
+        let expected = reference
+            .lines()
+            .map(|l| match l {
+                "true" => true,
+                "false" => false,
+                other => panic!("unexpected batch line {other:?}"),
+            })
+            .collect();
+        Fixture {
+            dir,
+            db_path,
+            expected,
+        }
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn cli_loader() -> Loader {
+    Arc::new(|path: &str| load_db_file(path).map_err(|e| e.message))
+}
+
+#[test]
+fn seeded_chaos_soak_never_wedges_and_verdicts_stay_byte_identical() {
+    let rounds: usize = std::env::var("CQA_CHAOS_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15);
+    let fixture = Fixture::new();
+
+    let mut config = ServeConfig::new(cli_loader());
+    config.addr = "127.0.0.1:0".to_string();
+    config.threads = 2;
+    config.engine = cqa::EngineConfig::default().with_threads(1);
+    let server = serve(config).expect("bind soak server");
+    let server_addr = server.addr();
+
+    let proxy = chaos_proxy(server_addr, ChaosPlan::rough(0xC0A)).expect("bind chaos proxy");
+    let proxy_addr = proxy.addr();
+
+    let expected = Arc::new(fixture.expected.clone());
+    let db_path = Arc::new(fixture.db_path.clone());
+    let clients: Vec<_> = (0..3)
+        .map(|c| {
+            let expected = Arc::clone(&expected);
+            let db_path = Arc::clone(&db_path);
+            std::thread::spawn(move || {
+                let mut coded_failures = 0usize;
+                let mut reconnects = 0usize;
+                let mut verdicts_checked = 0usize;
+                let mut client = Client::connect(proxy_addr).expect("dial proxy");
+                client.retry = Some(RetryPolicy {
+                    retries: 12,
+                    seed: 1000 + c as u64,
+                    base_ms: 5,
+                    cap_ms: 100,
+                });
+                for round in 0..rounds {
+                    // Alternate request shapes so both short (certain)
+                    // and long (batch) frames cross the mangled wire.
+                    let outcome = if round % 2 == 0 {
+                        client.batch(&db_path, QUERIES_TEXT).map(|verdicts| {
+                            assert_eq!(
+                                verdicts, *expected,
+                                "client {c} round {round}: batch verdicts diverged"
+                            );
+                            verdicts.len()
+                        })
+                    } else {
+                        client.certain(&db_path, "R(x | y) R(y | z)").map(|v| {
+                            assert_eq!(
+                                v, expected[0],
+                                "client {c} round {round}: certain verdict diverged"
+                            );
+                            1
+                        })
+                    };
+                    match outcome {
+                        Ok(n) => verdicts_checked += n,
+                        Err(e) => {
+                            // Guarantee 3: nothing outside the table.
+                            assert!(
+                                KNOWN_CODES.contains(&e.code),
+                                "client {c} round {round}: unknown error code {:?} ({})",
+                                e.code,
+                                e.message
+                            );
+                            coded_failures += 1;
+                            if e.code == "io" {
+                                client.reconnect().expect("reconnect after transport loss");
+                                reconnects += 1;
+                            }
+                        }
+                    }
+                }
+                (coded_failures, reconnects, verdicts_checked)
+            })
+        })
+        .collect();
+
+    let mut verdicts_checked = 0usize;
+    for client in clients {
+        let (_, _, checked) = client.join().expect("soak client panicked");
+        verdicts_checked += checked;
+    }
+    assert!(
+        verdicts_checked > 0,
+        "the soak must complete some verdicts, not fail every round"
+    );
+
+    // Guarantee 1: the server itself survived the abuse — a *direct*
+    // connection (no proxy) still answers, with parity intact.
+    let tally = proxy.stop();
+    let mut direct = Client::connect(server_addr).expect("server must still accept");
+    direct.ping().expect("server must still answer ping");
+    let verdicts = direct
+        .batch(&fixture.db_path, QUERIES_TEXT)
+        .expect("direct batch after the storm");
+    assert_eq!(verdicts, fixture.expected, "post-soak verdicts diverged");
+    direct.shutdown().expect("clean shutdown after the storm");
+    let stats = server.wait();
+    assert_eq!(stats.cancelled, 0, "no deadlines were set: {stats:?}");
+
+    // The storm must have actually stormed, in every way the plan
+    // allows — otherwise this test proves nothing.
+    assert!(tally.connections >= 3, "{tally:?}");
+    assert!(tally.delays > 0, "delay die never fired: {tally:?}");
+    assert!(tally.splits > 0, "split die never fired: {tally:?}");
+    assert!(
+        tally.drops + tally.resets > 0,
+        "no connection-loss fault fired: {tally:?}"
+    );
+}

@@ -238,6 +238,80 @@ fn server_matches_cli_across_forced_evictions() {
     assert!(stats.resident_bytes <= budget, "{stats:?} over {budget}");
 }
 
+/// Overload + retry differential: a one-worker, zero-queue server sheds
+/// a storm of clients with `overloaded`, and `--retries` backoff must
+/// carry every one of them to the exact CLI verdict — shedding may
+/// delay an answer, never change it.
+#[test]
+fn shed_clients_eventually_succeed_via_retries_with_zero_divergence() {
+    let fixture = Fixture::new();
+    let expected = expected_for(&fixture.dbs[0]);
+    let want = expected.certain_lines[0].clone();
+    // "slow@<path>" naps before loading, so one request can pin the
+    // single worker while the storm arrives.
+    let loader: Loader = Arc::new(|path: &str| {
+        let path = if let Some(rest) = path.strip_prefix("slow@") {
+            std::thread::sleep(std::time::Duration::from_millis(700));
+            rest
+        } else {
+            path
+        };
+        load_db_file(path).map_err(|e| e.message)
+    });
+    let mut config = ServeConfig::new(loader);
+    config.addr = "127.0.0.1:0".to_string();
+    config.threads = 1;
+    config.max_queue = Some(0); // one in flight, zero waiting
+    config.engine = cqa::EngineConfig::default().with_threads(1);
+    let server = serve(config).expect("bind overload server");
+    let addr = server.addr().to_string();
+    let db0 = fixture.dbs[0].clone();
+
+    let occupant = {
+        let (addr, db0, want) = (addr.clone(), db0.clone(), want.clone());
+        std::thread::spawn(move || {
+            let got = cmd_client(&[&addr, "certain", &format!("slow@{db0}"), CERTAIN_QUERIES[0]])
+                .unwrap();
+            assert_eq!(got.stdout.trim_end(), want, "occupant verdict drifted");
+        })
+    };
+    // Give the occupant time to reach the worker before the storm.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let storm: Vec<_> = (0..5)
+        .map(|c| {
+            let (addr, db0, want) = (addr.clone(), db0.clone(), want.clone());
+            std::thread::spawn(move || {
+                let got = cmd_client(&[
+                    "--retries",
+                    "10",
+                    "--retry-seed",
+                    &c.to_string(),
+                    &addr,
+                    "certain",
+                    &db0,
+                    CERTAIN_QUERIES[0],
+                ])
+                .unwrap_or_else(|e| panic!("storm client {c} never landed: {}", e.message));
+                assert_eq!(
+                    got.stdout.trim_end(),
+                    want,
+                    "storm client {c} verdict drifted"
+                );
+            })
+        })
+        .collect();
+    for client in storm {
+        client.join().expect("storm client panicked");
+    }
+    occupant.join().expect("occupant panicked");
+    let stats = server.manager_stats();
+    assert!(
+        stats.shed >= 1,
+        "a zero-queue server under a 5-client storm must shed (got {stats:?})"
+    );
+    assert_eq!(stats.cancelled, 0, "no deadlines were set: {stats:?}");
+}
+
 #[test]
 fn batch_error_text_matches_the_cli_byte_for_byte() {
     // The positioned error for a malformed batch line must be the same
