@@ -1,0 +1,133 @@
+//! Incremental update vs full recompute: the live-database regime.
+//!
+//! Per size `n` ∈ {10⁵, 10⁶} on the [`cqa_workloads::large`] q3 family,
+//! two delta shapes — a **single fresh fact** and a **1% growth batch**
+//! — each measured two ways:
+//!
+//! * `incremental` — a live [`SharedSession`] *chain* absorbs one more
+//!   delta via `with_delta` (clone-and-patch database, warm-restarted
+//!   `Cert_k` seeded with just the dirty blocks, retained verdicts
+//!   elsewhere) and re-answers `certain(q3)`. The chain is the honest
+//!   steady state: `with_delta` hands its incremental states to the
+//!   successor, so only the *first* update after a cold start pays the
+//!   state build — exactly what a long-lived `cqa serve` session does.
+//!   Each step inserts fresh facts (a repeat insert would be a
+//!   set-semantic no-op and measure nothing); the untimed bench body
+//!   rebuilds the chain from the base whenever batch growth has drifted
+//!   the database >20% off `n`, so growth never compounds into the
+//!   numbers.
+//! * `recompute` — a cold [`CqaEngine`] solves the post-delta database
+//!   from scratch (classification cached; the solve is what's timed).
+//!
+//! Verdicts are asserted identical before timing. The ratio between the
+//! two single-fact numbers at 10⁶ facts is the headline the live-update
+//! layer has to earn (≥10×); medians live in `BASELINES.md`.
+
+use cqa::{CqaEngine, EngineConfig, SharedSession};
+use cqa_model::Fact;
+use cqa_query::examples;
+use cqa_workloads::{large_q3_db, LargeWorkloadConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+fn cfg_for(n: usize) -> LargeWorkloadConfig {
+    LargeWorkloadConfig {
+        seed: 0xA11CE,
+        ..LargeWorkloadConfig::new(n)
+    }
+}
+
+/// `count` facts with keys fresh for `(epoch, i)`: a growth-only delta
+/// opening new singleton blocks (and components) disjoint from the base
+/// domain and from every other epoch's batch.
+fn growth_batch(epoch: u64, count: usize) -> Vec<Fact> {
+    (0..count)
+        .map(|i| Fact::from_names([format!("zfresh-{epoch}-{i}"), format!("zval-{epoch}-{i}")]))
+        .collect()
+}
+
+/// Start a warm update chain off `base`: answer once (classify +
+/// enumerate + solve), absorb one throwaway delta (the documented
+/// cold-once incremental-state build), and return the successor, which
+/// holds the per-query [`QueryDeltaState`](cqa::QueryDeltaState)s every
+/// later `with_delta` patches instead of rebuilding.
+fn warm_chain(
+    base: &Arc<cqa_model::Database>,
+    config: EngineConfig,
+    q3: &cqa_query::Query,
+    epoch: &mut u64,
+) -> SharedSession {
+    let session = SharedSession::new(Arc::clone(base), config);
+    session.certain(q3);
+    *epoch += 1;
+    let (warm, _) = session
+        .with_delta(&growth_batch(*epoch, 1), &[])
+        .expect("warm-up delta applies");
+    warm.certain(q3);
+    warm
+}
+
+fn bench_incremental_update(c: &mut Criterion) {
+    let q3 = examples::q3();
+    let config = EngineConfig::default().with_threads(1);
+    let mut g = c.benchmark_group("incremental_update");
+    g.sample_size(10);
+    for n in [100_000usize, 1_000_000] {
+        let base = Arc::new(large_q3_db(&cfg_for(n)));
+        let engine = CqaEngine::with_config(q3.clone(), config);
+        // Epochs tag every generated fact so no batch is ever re-inserted.
+        let mut epoch: u64 = 0;
+
+        for (shape, count) in [("1fact", 1usize), ("1pct", n / 100)] {
+            // Correctness gate, untimed: the post-delta database the cold
+            // side solves, and the verdict both sides must produce.
+            epoch += 1;
+            let batch = growth_batch(epoch, count);
+            let mut post = (*base).clone();
+            post.apply_delta(&batch, &[]).expect("growth batch applies");
+            let want = engine.certain(&post).certain;
+            {
+                let warm = warm_chain(&base, config, &q3, &mut epoch);
+                let (next, report) = warm.with_delta(&batch, &[]).expect("delta applies");
+                assert!(report.growth_only());
+                assert_eq!(
+                    next.certain(&q3).certain,
+                    want,
+                    "incremental verdict drifted"
+                );
+            }
+
+            // The bench body runs once per sample (every chained step is
+            // ≥ the harness's minimum sample time), so chain upkeep here
+            // stays out of the measurement; the `iter` closure still
+            // advances the chain itself so extra iterations would only
+            // measure more real steps, never a no-op.
+            let mut chain: Option<SharedSession> = None;
+            g.bench_function(BenchmarkId::new(format!("{shape}/incremental"), n), |b| {
+                let stale = match &chain {
+                    None => true,
+                    Some(cur) => cur.db().len() > n + n / 5,
+                };
+                if stale {
+                    chain = Some(warm_chain(&base, config, &q3, &mut epoch));
+                }
+                b.iter(|| {
+                    epoch += 1;
+                    let batch = growth_batch(epoch, count);
+                    let cur = chain.take().expect("chain built before iter");
+                    let (next, _report) = cur.with_delta(&batch, &[]).expect("delta applies");
+                    let verdict = std::hint::black_box(next.certain(&q3).certain);
+                    chain = Some(next);
+                    verdict
+                })
+            });
+            g.bench_function(BenchmarkId::new(format!("{shape}/recompute"), n), |b| {
+                b.iter(|| std::hint::black_box(engine.certain(&post).certain))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_incremental_update);
+criterion_main!(benches);

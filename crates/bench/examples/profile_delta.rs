@@ -1,0 +1,61 @@
+//! Ad-hoc timing breakdown for the live-update path (not a benchmark;
+//! run with `cargo run --release -p cqa-bench --example profile_delta`).
+
+use cqa::{CqaEngine, EngineConfig, SharedSession};
+use cqa_model::Fact;
+use cqa_query::examples;
+use cqa_workloads::{large_q3_db, LargeWorkloadConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let q3 = examples::q3();
+    let config = EngineConfig::default().with_threads(1);
+
+    let t = Instant::now();
+    let base = Arc::new(large_q3_db(&LargeWorkloadConfig {
+        seed: 0xA11CE,
+        ..LargeWorkloadConfig::new(n)
+    }));
+    println!("build {n}: {:?}", t.elapsed());
+
+    let t = Instant::now();
+    let cloned = (*base).clone();
+    println!("db clone: {:?}", t.elapsed());
+    drop(cloned);
+
+    let engine = CqaEngine::with_config(q3.clone(), config);
+    let t = Instant::now();
+    let cold = engine.certain(&base).certain;
+    println!("cold solve: {:?} (certain={cold})", t.elapsed());
+
+    let session = SharedSession::new(Arc::clone(&base), config);
+    let t = Instant::now();
+    session.certain(&q3);
+    println!("session first solve: {:?}", t.elapsed());
+
+    let fresh = |i: usize| Fact::from_names([format!("zf-{i}"), format!("zv-{i}")]);
+
+    let t = Instant::now();
+    let (mut cur, _) = session.with_delta(&[fresh(0)], &[]).unwrap();
+    cur.certain(&q3);
+    println!("first with_delta (cold state build): {:?}", t.elapsed());
+
+    for i in 1..=5 {
+        let t = Instant::now();
+        let (next, report) = cur.with_delta(&[fresh(i)], &[]).unwrap();
+        let v = next.certain(&q3).certain;
+        assert!(report.growth_only());
+        println!(
+            "chained warm with_delta #{i}: {:?} (certain={v})",
+            t.elapsed()
+        );
+        cur = next;
+    }
+    let stats = cur.delta_stats();
+    println!("delta stats: {stats:?}");
+}

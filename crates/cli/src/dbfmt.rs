@@ -24,7 +24,7 @@
 //!   ([`DbFmtError`]), which keeps failures actionable on files far too
 //!   large to eyeball.
 
-use cqa_model::{Database, Elem, Fact, RelId, Signature};
+use cqa_model::{Database, Signature};
 use std::fmt::Write as _;
 use std::io::BufRead;
 
@@ -107,105 +107,10 @@ impl From<DbFmtError> for DbReadError {
     }
 }
 
-/// Parse one fact line: `R(a b | c d)`. Errors are bare messages; the
-/// caller attaches position information.
-fn parse_fact(text: &str) -> Result<(RelId, Vec<Elem>, usize), String> {
-    let text = text.trim();
-    let open = match text.find('(') {
-        Some(i) => i,
-        None => return Err("expected '(' in fact".into()),
-    };
-    let close = match text.rfind(')') {
-        Some(i) if i > open => i,
-        _ => return Err("expected closing ')'".into()),
-    };
-    let rel = match text[..open].trim() {
-        "R" => RelId::R,
-        "R1" => RelId::R1,
-        "R2" => RelId::R2,
-        other => return Err(format!("unknown relation {other:?} (use R, R1 or R2)")),
-    };
-    let trailing = text[close + 1..].trim();
-    if !trailing.is_empty() {
-        return Err(format!("trailing input {trailing:?} after ')'"));
-    }
-    let inner = &text[open + 1..close];
-    // Locate the key/value bar with ⟨…⟩ depth awareness: a '|' inside a
-    // pair element (e.g. `R(⟨a|b⟩ x | y)`) is element payload, not the
-    // separator. Unbalanced brackets are caught by `tokens` below, so a
-    // stray '⟩' here may saturate the depth without masking anything.
-    let mut bar = None;
-    let mut depth = 0usize;
-    for (i, c) in inner.char_indices() {
-        match c {
-            '⟨' => depth += 1,
-            '⟩' => depth = depth.saturating_sub(1),
-            '|' if depth == 0 => {
-                bar = Some(i);
-                break;
-            }
-            _ => {}
-        }
-    }
-    let (key_part, val_part) = match bar {
-        Some(i) => (&inner[..i], &inner[i + 1..]),
-        None => ("", inner),
-    };
-    // Tokenize with awareness of ⟨…⟩ pair elements (which contain commas):
-    // a token is either a balanced ⟨…⟩ group or a run of non-separator
-    // characters. Unbalanced brackets and a second top-level '|' are
-    // errors — silently merging them into an element corrupts the tuple
-    // and breaks the write→parse→write fixpoint.
-    fn tokens(s: &str) -> Result<Vec<Elem>, String> {
-        let mut out = Vec::new();
-        let mut cur = String::new();
-        let mut depth = 0usize;
-        for c in s.chars() {
-            match c {
-                '⟨' => {
-                    depth += 1;
-                    cur.push(c);
-                }
-                '⟩' => {
-                    if depth == 0 {
-                        return Err("stray '⟩' with no matching '⟨'".into());
-                    }
-                    depth -= 1;
-                    cur.push(c);
-                }
-                '|' if depth == 0 => {
-                    return Err(
-                        "unexpected '|' (one key/value separator per fact; a literal '|' \
-                         must sit inside a ⟨…⟩ element)"
-                            .into(),
-                    );
-                }
-                c if depth == 0 && (c.is_whitespace() || c == ',') => {
-                    if !cur.is_empty() {
-                        out.push(Elem::named(std::mem::take(&mut cur)));
-                    }
-                }
-                c => cur.push(c),
-            }
-        }
-        if depth != 0 {
-            return Err(format!("unclosed '⟨' ({depth} open at end of fact)"));
-        }
-        if !cur.is_empty() {
-            out.push(Elem::named(cur));
-        }
-        Ok(out)
-    }
-    let key = tokens(key_part)?;
-    let vals = tokens(val_part)?;
-    let key_len = key.len();
-    let mut tuple = key;
-    tuple.extend(vals);
-    if tuple.is_empty() {
-        return Err("fact with no elements".into());
-    }
-    Ok((rel, tuple, key_len))
-}
+// One fact line — `R(a b | c d)` — is parsed by
+// [`cqa_model::parse_fact_line`]: the grammar is shared with the delta
+// scripts of `cqa update` and the server's `update` verb, so it lives in
+// the model crate next to `Fact` itself.
 
 /// Incremental, line-at-a-time fact-file parser.
 ///
@@ -274,7 +179,8 @@ impl StreamingDbParser {
         if content.is_empty() {
             return Ok(());
         }
-        let (rel, tuple, key_len) = parse_fact(content).map_err(|m| self.error(stripped, m))?;
+        let (fact, key_len) =
+            cqa_model::parse_fact_line(content).map_err(|m| self.error(stripped, m))?;
         let database = match &mut self.db {
             Some(d) => {
                 if key_len != self.sig_key_len {
@@ -287,14 +193,14 @@ impl StreamingDbParser {
                 d
             }
             None => {
-                let sig = Signature::new(tuple.len(), key_len)
+                let sig = Signature::new(fact.arity(), key_len)
                     .map_err(|e| self.error(stripped, e.to_string()))?;
                 self.sig_key_len = key_len;
                 self.db = Some(Database::new(sig));
                 self.db.as_mut().expect("just set")
             }
         };
-        if let Err(e) = database.insert(Fact::new(rel, tuple)) {
+        if let Err(e) = database.insert(fact) {
             return Err(self.error(stripped, e.to_string()));
         }
         Ok(())
@@ -355,22 +261,7 @@ pub fn write_database(db: &Database) -> String {
     for b in db.block_ids() {
         for &id in db.block(b) {
             let f = db.fact(id);
-            let _ = write!(out, "{}(", f.rel());
-            for (i, e) in f.tuple().iter().enumerate() {
-                if i == sig.key_len() {
-                    let _ = write!(out, "| ");
-                }
-                let _ = write!(out, "{e}");
-                if i + 1 != f.arity() {
-                    let _ = write!(out, " ");
-                }
-            }
-            // `l = k`: every position is key, so the bar trails — omitting
-            // it would re-parse the fact with an *empty* key.
-            if sig.key_len() == f.arity() {
-                let _ = write!(out, " |");
-            }
-            let _ = writeln!(out, ")");
+            let _ = writeln!(out, "{}", cqa_model::render_fact_line(f, sig.key_len()));
         }
     }
     out

@@ -420,6 +420,146 @@ pub fn cmd_batch(
     })
 }
 
+/// `cqa update <db-file> <deltas-file> <queries-file> [--threads N]
+/// [--route R] [--recompute] [--stats]`: apply a delta script to a
+/// database and answer a queries file on the result.
+///
+/// By default the queries are answered **incrementally**: they are
+/// solved on the pre-delta database first (warming per-query caches),
+/// the delta is applied through [`cqa::SharedSession::with_delta`]
+/// (patched verdicts, warm-restarted fixpoints), and the post-delta
+/// verdicts are printed. With `recompute`, the delta is applied to the
+/// raw database and every query is solved from scratch. The two modes
+/// must print byte-identical stdout — the CI delta smoke diffs them,
+/// which is the whole point of having both.
+///
+/// The delta script grammar is the signed fact-line format of the
+/// server's `update` method (`+ R(a | b)` / `- R(a | b)`, `#` comments;
+/// see `docs/DELTAS.md`), parsed by [`cqa_server::parse_delta_script`].
+pub fn cmd_update(
+    db: Database,
+    deltas_text: &str,
+    queries_text: &str,
+    threads: Option<usize>,
+    route: Option<RoutePolicy>,
+    recompute: bool,
+    want_stats: bool,
+) -> Result<CmdOut, CliError> {
+    let script = cqa_server::parse_delta_script(deltas_text).map_err(CliError::new)?;
+    if script.is_empty() {
+        return Err(CliError::new(
+            "delta script holds no operations (empty, blank or comment-only)",
+        ));
+    }
+    if let Some(kl) = script.key_len {
+        if kl != db.signature().key_len() {
+            return Err(CliError::new(format!(
+                "delta key length {kl} does not match database signature {}",
+                db.signature()
+            )));
+        }
+    }
+    // Parse every query up front so malformed input fails identically
+    // (and before any solving) on both modes.
+    let mut queries = Vec::new();
+    for ql in cqa_query::query_lines(queries_text) {
+        let err_at = |msg: String| {
+            CliError::new(format!(
+                "queries line {} (byte offset {}): {msg}\n  | {}",
+                ql.line,
+                ql.offset,
+                dbfmt::truncate_error_text(ql.raw)
+            ))
+        };
+        let q = parse_query(ql.text).map_err(|e| err_at(e.to_string()))?;
+        if db.signature() != q.signature() {
+            return Err(err_at(format!(
+                "query signature {} does not match database signature {}",
+                q.signature(),
+                db.signature()
+            )));
+        }
+        queries.push(q);
+    }
+    if queries.is_empty() {
+        return Err(CliError::new(
+            "queries file holds no queries (empty, blank or comment-only)",
+        ));
+    }
+    let mut config = cqa::EngineConfig::default();
+    if let Some(n) = threads {
+        config = config.with_threads(n);
+    }
+    if let Some(policy) = route {
+        config = config.with_route(policy);
+    }
+    let mut out = String::new();
+    let mut err = String::new();
+    let started = std::time::Instant::now();
+    if recompute {
+        let mut db = db;
+        let report = db
+            .apply_delta(&script.inserts, &script.retracts)
+            .map_err(|e| CliError::new(e.to_string()))?;
+        let mut session = CqaSession::new(&db, config);
+        for q in &queries {
+            let _ = writeln!(out, "{}", session.certain(q).certain);
+        }
+        if want_stats {
+            let _ = writeln!(
+                err,
+                "stats: update mode=recompute facts={} inserted={} retracted={}",
+                db.len(),
+                report.inserted.len(),
+                report.retracted.len()
+            );
+        }
+    } else {
+        let session = cqa::SharedSession::new(std::sync::Arc::new(db), config);
+        // Warm the pre-delta caches: this is what makes the incremental
+        // path incremental rather than a fancy cold solve.
+        for q in &queries {
+            let _ = session.certain(q);
+        }
+        let (next, report) = session
+            .with_delta(&script.inserts, &script.retracts)
+            .map_err(|e| CliError::new(e.to_string()))?;
+        for q in &queries {
+            let _ = writeln!(out, "{}", next.certain(q).certain);
+        }
+        if want_stats {
+            let ds = next.delta_stats();
+            let _ = writeln!(
+                err,
+                "stats: update mode=incremental facts={} inserted={} retracted={} \
+                 touched-blocks={} fresh-blocks={} growth-only={}",
+                next.db().len(),
+                report.inserted.len(),
+                report.retracted.len(),
+                report.touched.len(),
+                report.fresh_blocks.len(),
+                report.growth_only()
+            );
+            let _ = writeln!(
+                err,
+                "stats: update delta-applied={} blocks-reseeded={} verdicts-retained={}",
+                ds.delta_applied, ds.blocks_reseeded, ds.verdicts_retained
+            );
+        }
+    }
+    if want_stats {
+        let _ = writeln!(
+            err,
+            "stats: update solve-ms={}",
+            started.elapsed().as_millis()
+        );
+    }
+    Ok(CmdOut {
+        stdout: out,
+        stderr: err,
+    })
+}
+
 /// `cqa falsify <query> <db-file> [budget] [--threads N] [--stats]`:
 /// exhibit a falsifying repair, if any.
 pub fn cmd_falsify(
@@ -722,6 +862,8 @@ USAGE:
   cqa falsify  \"<query>\" <db-file> [node-budget] [--threads N] [--stats]
   cqa batch    <db-file> <queries-file> [--threads N] [--route R]
                [--early-exit] [--stats]
+  cqa update   <db-file> <deltas-file> <queries-file> [--threads N]
+               [--route R] [--recompute] [--stats]
   cqa generate [--facts N] [--inconsistency R] [--min-width A] [--max-width B]
                [--chain-len L] [--seed S] [--contested-width W]
                [--certain-fraction F] [--skew FAMILY] [--threads N] <out-file>
@@ -731,7 +873,8 @@ USAGE:
   cqa client   [--deadline-ms N] [--retries N] [--retry-seed S] [--repeat N]
                <addr> ping|stats|shutdown
   cqa client   [...same flags] <addr> load <db> | certain <db> \"<query>\"
-               | batch <db> <queries-file> | falsify <db> \"<query>\" [budget]
+               | batch <db> <queries-file> | update <db> <deltas-file>
+               | falsify <db> \"<query>\" [budget]
   cqa gadget   \"<query>\" <dimacs-file>
   cqa solve    <dimacs-file>
 
@@ -739,6 +882,12 @@ QUERY SYNTAX:     R(x u | x y) R(u y | x z)   (key positions before '|')
 DB FILE SYNTAX:   one fact per line, e.g.  R(alice | bob)   ('#' comments);
                   full specification in docs/FORMAT.md. certain/falsify/batch
                   stream the file line-at-a-time (any size).
+DELTAS FILE:      update: one signed fact per line — `+ R(a | b)` inserts
+                  (the '+' is optional), `- R(a | b)` retracts; '#'
+                  comments. Applied atomically; default mode re-answers
+                  the queries incrementally (warm-restarted fixpoints),
+                  --recompute solves from scratch. The two print
+                  byte-identical verdicts (CI diffs them). docs/DELTAS.md.
 QUERIES FILE:     batch: one query per line, '#' comments, blank lines
                   skipped; one true/false verdict per line on stdout.
                   The database is loaded and analysed once (per-query
@@ -1290,5 +1439,53 @@ R(x | y) R(x | z)
     fn gadget_rejects_queries_without_fork_tripath() {
         let err = cmd_gadget("R(x | y z) R(z | x y)", "p cnf 2 2\n1 2 0\n-1 -2 0\n").unwrap_err();
         assert!(err.message.contains("fork"), "{err}");
+    }
+
+    #[test]
+    fn update_incremental_matches_recompute() {
+        // A mixed insert/retract script over the 4-fact diamond; two
+        // queries so both cache entries get patched.
+        let deltas = "# grow then shrink\n+ R(dave | emma)\n- R(alice | carol)\n";
+        let queries = "R(x | y) R(y | z)\n# comment\nR(x | y) R(z | y)\n";
+        let inc = cmd_update(db(DB), deltas, queries, None, None, false, true).unwrap();
+        let rec = cmd_update(db(DB), deltas, queries, None, None, true, false).unwrap();
+        assert_eq!(
+            inc.stdout, rec.stdout,
+            "incremental and from-scratch verdicts must be byte-identical"
+        );
+        assert_eq!(inc.stdout.lines().count(), 2, "{}", inc.stdout);
+        assert!(inc.stderr.contains("mode=incremental"), "{}", inc.stderr);
+        assert!(inc.stderr.contains("delta-applied=1"), "{}", inc.stderr);
+        // Forced routes agree too (the incremental path is
+        // component-shaped regardless; only verdicts must match).
+        for route in [RoutePolicy::Literal, RoutePolicy::Component] {
+            let routed =
+                cmd_update(db(DB), deltas, queries, None, Some(route), false, false).unwrap();
+            assert_eq!(routed.stdout, rec.stdout, "{route:?}");
+        }
+    }
+
+    #[test]
+    fn update_rejects_bad_inputs_with_positions() {
+        let e = cmd_update(db(DB), "# nothing\n", Q3, None, None, false, false).unwrap_err();
+        assert!(e.message.contains("no operations"), "{e}");
+        let e = cmd_update(db(DB), "+ nope\n", Q3, None, None, false, false).unwrap_err();
+        assert!(e.message.contains("delta line 1"), "{e}");
+        let e = cmd_update(db(DB), "+ R(a b |)\n", Q3, None, None, false, false).unwrap_err();
+        assert!(e.message.contains("key length 2"), "{e}");
+        let e =
+            cmd_update(db(DB), "+ R(a | b)\n", "# none\n", None, None, false, false).unwrap_err();
+        assert!(e.message.contains("no queries"), "{e}");
+        let e = cmd_update(
+            db(DB),
+            "+ R(a | b)\n",
+            "nonsense\n",
+            None,
+            None,
+            false,
+            false,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("queries line 1"), "{e}");
     }
 }

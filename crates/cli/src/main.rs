@@ -5,8 +5,8 @@ use cqa_cli::fleet::cmd_fleet;
 use cqa_cli::server_cli::{cmd_client, cmd_serve};
 use cqa_cli::{
     cmd_batch, cmd_certain, cmd_classify, cmd_falsify, cmd_gadget, cmd_generate, cmd_solve,
-    load_db_file, take_early_exit_flag, take_route_flag, take_stats_flag, take_threads_flag, usage,
-    CliError, CmdOut,
+    cmd_update, load_db_file, take_early_exit_flag, take_route_flag, take_stats_flag,
+    take_threads_flag, usage, CliError, CmdOut,
 };
 use std::process::ExitCode;
 
@@ -35,19 +35,25 @@ fn run() -> Result<CmdOut, CliError> {
                 | Some(&"falsify")
                 | Some(&"generate")
                 | Some(&"batch")
+                | Some(&"update")
                 | Some(&"serve")
         )
     {
         return Err(CliError {
             message:
-                "--threads only applies to `certain`, `falsify`, `batch`, `generate` and `serve`"
+                "--threads only applies to `certain`, `falsify`, `batch`, `update`, `generate` and `serve`"
                     .to_string(),
             code: 2,
         });
     }
-    if route.is_some() && !matches!(positional.first(), Some(&"certain") | Some(&"batch")) {
+    if route.is_some()
+        && !matches!(
+            positional.first(),
+            Some(&"certain") | Some(&"batch") | Some(&"update")
+        )
+    {
         return Err(CliError {
-            message: "--route only applies to `certain` and `batch`".to_string(),
+            message: "--route only applies to `certain`, `batch` and `update`".to_string(),
             code: 2,
         });
     }
@@ -60,11 +66,11 @@ fn run() -> Result<CmdOut, CliError> {
     if want_stats
         && !matches!(
             positional.first(),
-            Some(&"certain") | Some(&"falsify") | Some(&"batch") | Some(&"serve")
+            Some(&"certain") | Some(&"falsify") | Some(&"batch") | Some(&"update") | Some(&"serve")
         )
     {
         return Err(CliError {
-            message: "--stats only applies to `certain`, `falsify`, `batch` and `serve`"
+            message: "--stats only applies to `certain`, `falsify`, `batch`, `update` and `serve`"
                 .to_string(),
             code: 2,
         });
@@ -93,6 +99,34 @@ fn run() -> Result<CmdOut, CliError> {
             message: format!("{queries_file}: {}", e.message),
             code: e.code,
         }),
+        ["update", rest @ ..] => {
+            // `--recompute` switches to the from-scratch oracle mode;
+            // the CI delta smoke diffs its stdout against the default
+            // incremental mode.
+            let mut recompute = false;
+            let mut files = Vec::new();
+            for &a in rest {
+                match a {
+                    "--recompute" => recompute = true,
+                    other => files.push(other),
+                }
+            }
+            let [db_file, deltas_file, queries_file] = files.as_slice() else {
+                return Err(CliError {
+                    message: "update needs <db-file> <deltas-file> <queries-file>".to_string(),
+                    code: 2,
+                });
+            };
+            cmd_update(
+                load_db_file(db_file)?,
+                &read(deltas_file)?,
+                &read(queries_file)?,
+                threads,
+                route,
+                recompute,
+                want_stats,
+            )
+        }
         ["falsify", q, file] => cmd_falsify(q, &load_db_file(file)?, u64::MAX, threads, want_stats),
         ["falsify", q, file, budget] => {
             let b: u64 = budget.parse().map_err(|_| CliError {

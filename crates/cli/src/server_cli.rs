@@ -115,6 +115,11 @@ pub fn cmd_serve(
             "stats: serve shed={} cancelled={} queue-peak={}",
             stats.shed, stats.cancelled, stats.queue_peak
         );
+        let _ = writeln!(
+            err,
+            "stats: serve delta-applied={} blocks-reseeded={} verdicts-retained={}",
+            stats.delta_applied, stats.blocks_reseeded, stats.verdicts_retained
+        );
     }
     Ok(CmdOut {
         stdout: "cqa serve: stopped\n".to_string(),
@@ -131,6 +136,7 @@ pub fn cmd_serve(
 /// cqa client 127.0.0.1:7878 load     <db-path>
 /// cqa client 127.0.0.1:7878 certain  <db-path> "<query>"
 /// cqa client 127.0.0.1:7878 batch    <db-path> <queries-file>
+/// cqa client 127.0.0.1:7878 update   <db-path> <deltas-file>
 /// cqa client 127.0.0.1:7878 falsify  <db-path> "<query>" [budget]
 /// cqa client 127.0.0.1:7878 stats
 /// cqa client 127.0.0.1:7878 shutdown
@@ -191,7 +197,7 @@ pub fn cmd_client(args: &[&str]) -> Result<CmdOut, CliError> {
     }
     let [addr, request @ ..] = positional.as_slice() else {
         return Err(CliError::new(
-            "client needs a server address and a request (ping, load, certain, batch, falsify, stats, shutdown)",
+            "client needs a server address and a request (ping, load, certain, batch, update, falsify, stats, shutdown)",
         ));
     };
     if repeat > 1 && request == ["shutdown"] {
@@ -255,6 +261,30 @@ fn run_request(client: &mut Client, request: &[&str]) -> Result<String, CliError
             })?;
             out.push_str(&cqa_server::render_verdicts(&verdicts));
         }
+        ["update", db, deltas_file] => {
+            let text = std::fs::read_to_string(deltas_file).map_err(|e| CliError {
+                message: format!("cannot read {deltas_file}: {e}"),
+                code: 2,
+            })?;
+            let result = client.update(db, &text).map_err(|e| CliError {
+                message: format!("{deltas_file}: server error ({}): {}", e.code, e.message),
+                code: 1,
+            })?;
+            let n = |key: &str| result.get(key).and_then(Json::as_int).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "updated {db}: +{} -{} facts={} touched-blocks={} fresh-blocks={} growth-only={}",
+                n("inserted"),
+                n("retracted"),
+                n("facts"),
+                n("touched_blocks"),
+                n("fresh_blocks"),
+                result
+                    .get("growth_only")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+            );
+        }
         ["falsify", db, query] | ["falsify", db, query, _] => {
             let budget = match request {
                 [_, _, _, b] => b
@@ -306,7 +336,7 @@ fn run_request(client: &mut Client, request: &[&str]) -> Result<String, CliError
         }
         _ => {
             return Err(CliError::new(
-                "unknown client request (want ping, load, certain, batch, falsify, stats or shutdown)",
+                "unknown client request (want ping, load, certain, batch, update, falsify, stats or shutdown)",
             ));
         }
     }

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod classify;
+mod delta;
 mod engine;
 mod session;
 mod shared;
@@ -53,6 +54,7 @@ mod shared;
 pub use classify::{
     classify, classify_with, Classification, ClassificationRule, Complexity, Confidence,
 };
+pub use delta::{DeltaStats, QueryDeltaState};
 pub use engine::{
     AnsweredBy, CancelledSolve, CertainAnswer, CqaEngine, EngineConfig, RoutePolicy, RoutingConfig,
 };

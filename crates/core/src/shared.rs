@@ -26,10 +26,25 @@
 //! query feeds the same solutions and the same routing decision into
 //! the same solvers — which is what the `server_parity` differential
 //! suite pins.
+//!
+//! ## Live updates
+//!
+//! A session's database is immutable, which is what makes the verdict
+//! cache sound — so an *update* produces a **successor session**
+//! ([`SharedSession::with_delta`]): the delta is applied to a clone of
+//! the database, and every query already answered here is carried over
+//! with its verdict *patched incrementally* (via
+//! [`QueryDeltaState`](crate::QueryDeltaState) — untouched q-connected
+//! components keep their verdicts, dirty ones re-solve warm or cold).
+//! The predecessor stays fully consistent for in-flight holders; the
+//! `cqa serve` manager swaps the successor in atomically, so a request
+//! always sees either the whole old state or the whole new one, never a
+//! half-applied hybrid. See `docs/DELTAS.md`.
 
+use crate::delta::{DeltaStats, QueryDeltaState};
 use crate::engine::{CancelledSolve, CertainAnswer, CqaEngine, EngineConfig};
 use crate::session::SessionStats;
-use cqa_model::Database;
+use cqa_model::{Database, DeltaReport, Fact, ModelError};
 use cqa_query::Query;
 use cqa_solvers::{CancelToken, SolutionSet};
 use std::collections::HashMap;
@@ -69,6 +84,12 @@ pub struct SharedSession {
     db: Arc<Database>,
     config: EngineConfig,
     entries: Mutex<HashMap<String, Arc<SharedEntry>>>,
+    /// Incremental per-query caches, keyed like `entries`. Populated by
+    /// [`SharedSession::with_delta`] on the successor it builds; drained
+    /// from the predecessor (its verdict cache stays valid — the states
+    /// are pure acceleration for the *next* delta).
+    delta: Mutex<HashMap<String, QueryDeltaState>>,
+    delta_stats: Mutex<DeltaStats>,
     queries: AtomicUsize,
     distinct: AtomicUsize,
     cache_hits: AtomicUsize,
@@ -82,6 +103,8 @@ impl SharedSession {
             db,
             config,
             entries: Mutex::new(HashMap::new()),
+            delta: Mutex::new(HashMap::new()),
+            delta_stats: Mutex::new(DeltaStats::default()),
             queries: AtomicUsize::new(0),
             distinct: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
@@ -206,6 +229,101 @@ impl SharedSession {
         self.queries.fetch_add(1, Ordering::Relaxed);
         Ok(answer)
     }
+
+    /// Lifetime incremental-update counters (summed over this session and
+    /// the predecessors it was derived from).
+    pub fn delta_stats(&self) -> DeltaStats {
+        *self.delta_stats.lock().expect("delta stats lock poisoned")
+    }
+
+    /// Apply a delta and return the **successor session**: a new
+    /// [`SharedSession`] owning the post-delta database, with every query
+    /// this session has already answered carried over — its verdict
+    /// patched incrementally rather than re-solved from scratch.
+    ///
+    /// Per carried query (see [`QueryDeltaState`](crate::QueryDeltaState)):
+    /// untouched q-connected components keep their verdicts verbatim;
+    /// components in the dirty region re-solve — *warm* (antichain
+    /// snapshot + touched-blocks worklist) on growth-only deltas, *cold*
+    /// otherwise. coNP-complete queries carry nothing (their next request
+    /// re-solves lazily), and queries whose first solve never completed
+    /// are dropped. The incremental states themselves move to the
+    /// successor, so a *chain* of updates keeps patching instead of
+    /// rebuilding; this session keeps answering from its own (still
+    /// valid) caches, it just can't accelerate a second `with_delta`.
+    ///
+    /// Observability counters (`queries`, `distinct_queries`,
+    /// `cache_hits`, [`DeltaStats`]) carry over so a served database's
+    /// stats stay monotone across updates.
+    ///
+    /// Errors (arity mismatch) leave this session untouched.
+    pub fn with_delta(
+        &self,
+        inserts: &[Fact],
+        retracts: &[Fact],
+    ) -> Result<(SharedSession, DeltaReport), ModelError> {
+        let mut db = (*self.db).clone();
+        let report = db.apply_delta(inserts, retracts)?;
+        let db = Arc::new(db);
+        let mut step = DeltaStats {
+            delta_applied: 1,
+            ..DeltaStats::default()
+        };
+        // Drain our incremental states: they are chained onto the
+        // successor (a state patched past the delta no longer describes
+        // *our* database).
+        let mut old_states =
+            std::mem::take(&mut *self.delta.lock().expect("session delta lock poisoned"));
+        let entries = self.entries.lock().expect("session map lock poisoned");
+        let mut next_entries: HashMap<String, Arc<SharedEntry>> = HashMap::new();
+        let mut next_states: HashMap<String, QueryDeltaState> = HashMap::new();
+        for (key, entry) in entries.iter() {
+            if entry.answer.get().is_none() {
+                continue; // never fully answered: nothing worth carrying
+            }
+            let state = match old_states.remove(key) {
+                Some(mut state) => {
+                    let s = state.apply(&db, &report);
+                    step.blocks_reseeded += s.blocks_reseeded;
+                    step.verdicts_retained += s.verdicts_retained;
+                    Some(state)
+                }
+                None => {
+                    // First update for this query: convert the cached
+                    // verdict into an incremental state by solving the
+                    // post-delta database per component (cold once; every
+                    // later delta patches).
+                    let engine = entry
+                        .engine
+                        .get()
+                        .expect("an answered entry always has its engine")
+                        .clone();
+                    QueryDeltaState::new(engine, &db)
+                }
+            };
+            if let Some(state) = state {
+                let fresh = SharedEntry::default();
+                let _ = fresh.engine.set(state.engine().clone());
+                let _ = fresh.answer.set(state.answer());
+                next_entries.insert(key.clone(), Arc::new(fresh));
+                next_states.insert(key.clone(), state);
+            }
+        }
+        drop(entries);
+        let mut stats = self.delta_stats();
+        stats.absorb(&step);
+        let next = SharedSession {
+            db,
+            config: self.config,
+            entries: Mutex::new(next_entries),
+            delta: Mutex::new(next_states),
+            delta_stats: Mutex::new(stats),
+            queries: AtomicUsize::new(self.queries.load(Ordering::Relaxed)),
+            distinct: AtomicUsize::new(self.distinct.load(Ordering::Relaxed)),
+            cache_hits: AtomicUsize::new(self.cache_hits.load(Ordering::Relaxed)),
+        };
+        Ok((next, report))
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +405,77 @@ mod tests {
         // to cancel).
         assert!(session.certain_cancellable(&q3, &raised).unwrap().certain);
         assert_eq!(session.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn with_delta_patches_cached_verdicts() {
+        let db = db2(&[["a", "b"], ["p", "q"], ["p", "x"]]);
+        let session = SharedSession::new(db, EngineConfig::default());
+        let q3 = examples::q3();
+        assert!(!session.certain(&q3).certain);
+
+        // Growth delta completes the chain: the successor's cached
+        // verdict flips without a from-scratch solve.
+        let (s1, report) = session
+            .with_delta(&[Fact::from_names(["b", "c"])], &[])
+            .unwrap();
+        assert!(report.growth_only());
+        assert!(s1.certain(&q3).certain);
+        assert_eq!(s1.delta_stats().delta_applied, 1);
+        // The carried verdict is a cache hit, and predecessor counters
+        // carried over (1 query + this hit).
+        assert_eq!(s1.stats().queries, 2);
+        assert!(s1.stats().cache_hits >= 1);
+        // The predecessor still answers from its own, unchanged database.
+        assert!(!session.certain(&q3).certain);
+
+        // A retract chains off the successor's incremental state.
+        let (s2, report) = s1.with_delta(&[], &[Fact::from_names(["b", "c"])]).unwrap();
+        assert!(!report.growth_only());
+        assert!(!s2.certain(&q3).certain);
+        assert_eq!(s2.delta_stats().delta_applied, 2);
+        assert!(s2.delta_stats().verdicts_retained > 0);
+
+        // Differential: every successor agrees with a cold engine on its
+        // own database.
+        for s in [&s1, &s2] {
+            let cold = CqaEngine::new(q3.clone()).certain(s.db());
+            assert_eq!(s.certain(&q3).certain, cold.certain);
+        }
+    }
+
+    #[test]
+    fn with_delta_drops_unanswered_and_brute_force_queries() {
+        let mut db = cqa_model::Database::new(Signature::new(4, 2).unwrap());
+        db.insert(Fact::from_names(["a", "b", "a", "c"])).unwrap();
+        db.insert(Fact::from_names(["b", "c", "a", "d"])).unwrap();
+        let session = SharedSession::new(Arc::new(db), EngineConfig::default());
+        let q2 = examples::q2();
+        let before = session.certain(&q2);
+
+        let (next, _) = session
+            .with_delta(&[Fact::from_names(["x", "y", "z", "w"])], &[])
+            .unwrap();
+        // The coNP query was not carried: the next request re-solves
+        // against the new database (still correct, just not incremental).
+        let after = next.certain(&q2);
+        assert_eq!(
+            after.certain,
+            CqaEngine::new(q2.clone()).certain(next.db()).certain
+        );
+        assert_eq!(before.answered_by, after.answered_by);
+    }
+
+    #[test]
+    fn with_delta_rejects_bad_arity_and_leaves_session_intact() {
+        let db = db2(&[["a", "b"]]);
+        let session = SharedSession::new(db, EngineConfig::default());
+        let q3 = examples::q3();
+        assert!(!session.certain(&q3).certain);
+        let err = session.with_delta(&[Fact::from_names(["a", "b", "c"])], &[]);
+        assert!(err.is_err());
+        assert!(!session.certain(&q3).certain);
+        assert_eq!(session.delta_stats().delta_applied, 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! # cqa-fuzz — structure-aware fuzz targets for the input layer
 //!
-//! Five deterministic [`minifuzz`] targets guard the public boundary the
+//! Six deterministic [`minifuzz`] targets guard the public boundary the
 //! ROADMAP's "CQA-as-a-service" goal exposes:
 //!
 //! * [`targets::dbfmt`] — the fact-file parser
@@ -18,7 +18,12 @@
 //! * [`querydiff::querydiff`] — the dual: mutate the *query* (generated
 //!   or concrete text) and drive the whole
 //!   classify → route → solve pipeline on a skewed database via
-//!   [`cqa_cli::fleet::QueryHarness`].
+//!   [`cqa_cli::fleet::QueryHarness`];
+//! * [`deltadiff::deltadiff`] — mutate generated *delta scripts* and
+//!   chain them through the incremental session path
+//!   (`SharedSession::with_delta`), asserting every engine route answers
+//!   identically to from-scratch recomputation and to the budgeted brute
+//!   force after every step.
 //!
 //! Targets are *structure-aware*: a clean parse error is a
 //! [`Verdict::Reject`] (the desired outcome for hostile input); a
@@ -35,11 +40,13 @@
 //! cargo run --release -p cqa-fuzz -- dbfmt --iters 1000000 --seed 7
 //! cargo run --release -p cqa-fuzz -- differential --time-secs 60
 //! cargo run --release -p cqa-fuzz -- querydiff --time-secs 60
+//! cargo run --release -p cqa-fuzz -- deltadiff --time-secs 60
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod deltadiff;
 pub mod diff;
 pub mod querydiff;
 pub mod targets;
@@ -48,7 +55,7 @@ pub use minifuzz::{Config, Report, Verdict};
 
 use std::path::{Path, PathBuf};
 
-/// The five fuzz targets, by name.
+/// The six fuzz targets, by name.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TargetKind {
     /// Fact-file parser (`cqa_cli::dbfmt`).
@@ -61,16 +68,20 @@ pub enum TargetKind {
     Differential,
     /// Query-mutating differential over the fleet harness.
     QueryDiff,
+    /// Delta-script-mutating differential over the incremental session
+    /// path vs from-scratch recomputation.
+    DeltaDiff,
 }
 
 impl TargetKind {
     /// All targets, in the order the `all` CLI mode runs them.
-    pub const ALL: [TargetKind; 5] = [
+    pub const ALL: [TargetKind; 6] = [
         TargetKind::Dbfmt,
         TargetKind::Query,
         TargetKind::Batch,
         TargetKind::Differential,
         TargetKind::QueryDiff,
+        TargetKind::DeltaDiff,
     ];
 
     /// Parse a CLI / directory name.
@@ -81,6 +92,7 @@ impl TargetKind {
             "batch" => Some(TargetKind::Batch),
             "differential" => Some(TargetKind::Differential),
             "querydiff" => Some(TargetKind::QueryDiff),
+            "deltadiff" => Some(TargetKind::DeltaDiff),
             _ => None,
         }
     }
@@ -93,6 +105,7 @@ impl TargetKind {
             TargetKind::Batch => "batch",
             TargetKind::Differential => "differential",
             TargetKind::QueryDiff => "querydiff",
+            TargetKind::DeltaDiff => "deltadiff",
         }
     }
 
@@ -104,6 +117,7 @@ impl TargetKind {
             TargetKind::Batch => targets::batch,
             TargetKind::Differential => diff::differential,
             TargetKind::QueryDiff => querydiff::querydiff,
+            TargetKind::DeltaDiff => deltadiff::deltadiff,
         }
     }
 
@@ -156,8 +170,9 @@ impl TargetKind {
                 }
                 dict
             }
-            // The differential script is positional bytes, not a grammar.
-            TargetKind::Differential => Vec::new(),
+            // The differential and deltadiff scripts are positional
+            // bytes, not a grammar.
+            TargetKind::Differential | TargetKind::DeltaDiff => Vec::new(),
             // The querydiff tail is query syntax: reuse the grammar atoms
             // so mutations land on the query text, not just the header.
             TargetKind::QueryDiff => vec![
@@ -206,6 +221,22 @@ impl TargetKind {
                     s.push(family);
                     s.push(3);
                     s.extend_from_slice(b"abcdef");
+                    seeds.push(s);
+                }
+                seeds
+            }
+            TargetKind::DeltaDiff => {
+                // 8 seed bytes, a family byte, a size byte, then 4-byte
+                // delta steps (step seed ×2, shape, mutation). Mutation
+                // byte 200 % 6 == 2 swaps lines — a parse-preserving op —
+                // so every family seed is accepted, not rejected.
+                let mut seeds = Vec::new();
+                for family in 0u8..deltadiff::DELTA_FAMILIES {
+                    let mut s = b"seedseed".to_vec();
+                    s.push(family);
+                    s.push(4);
+                    s.extend_from_slice(&[7, 1, family % 3, 200]);
+                    s.extend_from_slice(&[3, 2, (family + 1) % 3, 200]);
                     seeds.push(s);
                 }
                 seeds

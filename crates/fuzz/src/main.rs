@@ -1,7 +1,7 @@
 //! `cqa-fuzz` — run the fuzz targets from the command line.
 //!
 //! ```text
-//! cqa-fuzz <dbfmt|query|batch|differential|querydiff|all>
+//! cqa-fuzz <dbfmt|query|batch|differential|querydiff|deltadiff|all>
 //!          [--seed S] [--iters N] [--time-secs T] [--max-crashes M]
 //! ```
 //!

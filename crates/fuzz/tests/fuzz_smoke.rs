@@ -60,6 +60,13 @@ fn querydiff_target_smoke() {
 }
 
 #[test]
+fn deltadiff_target_smoke() {
+    // Each accepted iteration chains delta steps through shared sessions
+    // and re-solves from scratch per route, so the slice is small.
+    smoke(TargetKind::DeltaDiff, 300, 120);
+}
+
+#[test]
 fn fuzz_runs_replay_deterministically() {
     let cfg = Config {
         seed: 42,

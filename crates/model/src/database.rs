@@ -5,12 +5,20 @@
 //! when every block is a singleton. We maintain the block partition
 //! incrementally under insertion, which makes block lookups O(1) and keeps
 //! repair enumeration allocation-free per step.
+//!
+//! Databases are *live*: [`Database::apply_delta`] inserts and retracts
+//! facts in place. Ids stay stable across deltas — retraction tombstones
+//! the fact's slot instead of renumbering, so caches keyed by [`FactId`]
+//! or [`BlockId`] (solution sets, antichains, component partitions) stay
+//! valid for every untouched fact. See `docs/DELTAS.md`.
 
 use crate::{Elem, Fact, ModelError, RelId, Signature};
 use std::collections::HashMap;
 use std::fmt;
 
-/// Index of a fact inside its [`Database`]. Stable: facts are append-only.
+/// Index of a fact inside its [`Database`]. Stable: insertion never
+/// renumbers, and retraction leaves a tombstoned slot behind rather than
+/// shifting later ids.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct FactId(pub u32);
 
@@ -34,6 +42,40 @@ impl BlockId {
 
 type BlockKey = (RelId, Box<[Elem]>);
 
+/// Tombstone marker in `fact_block` for retracted fact slots.
+const DEAD: BlockId = BlockId(u32::MAX);
+
+/// Summary of one [`Database::apply_delta`] call: which facts actually
+/// changed and which blocks were perturbed. No-op operations (inserting a
+/// present fact, retracting an absent one) are not recorded — deltas are
+/// set-semantic and idempotent.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Ids of facts this delta added, in insertion order.
+    pub inserted: Vec<FactId>,
+    /// Ids of facts this delta removed (the ids are now tombstones).
+    pub retracted: Vec<FactId>,
+    /// Blocks that gained or lost at least one fact, ascending, deduped.
+    pub touched: Vec<BlockId>,
+    /// Subset of `touched`: blocks that held no fact before the delta.
+    pub fresh_blocks: Vec<BlockId>,
+}
+
+impl DeltaReport {
+    /// `true` iff the delta changed nothing.
+    pub fn is_noop(&self) -> bool {
+        self.inserted.is_empty() && self.retracted.is_empty()
+    }
+
+    /// `true` iff the delta only populated brand-new blocks: nothing was
+    /// retracted and no pre-existing block changed. `Cert_k` is monotone
+    /// under this kind of growth, which is exactly when a warm-restarted
+    /// fixpoint is sound (see `docs/DELTAS.md`).
+    pub fn growth_only(&self) -> bool {
+        self.retracted.is_empty() && self.touched.len() == self.fresh_blocks.len()
+    }
+}
+
 /// An in-memory database of facts sharing one signature.
 ///
 /// All relations in a database share the signature `[k, l]` — the paper's
@@ -47,6 +89,10 @@ pub struct Database {
     blocks: Vec<Vec<FactId>>,
     by_key: HashMap<BlockKey, BlockId>,
     dedup: HashMap<Fact, FactId>,
+    /// Facts minus tombstones. Equals `facts.len()` until a retraction.
+    live_facts: usize,
+    /// Blocks holding at least one live fact.
+    live_blocks: usize,
 }
 
 impl Database {
@@ -59,6 +105,8 @@ impl Database {
             blocks: Vec::new(),
             by_key: HashMap::new(),
             dedup: HashMap::new(),
+            live_facts: 0,
+            live_blocks: 0,
         }
     }
 
@@ -87,20 +135,101 @@ impl Database {
         let key: BlockKey = (fact.rel(), fact.key(&self.sig).to_vec().into_boxed_slice());
         let block = match self.by_key.get(&key) {
             Some(&b) => {
+                // The block may have been emptied by an earlier retraction;
+                // refilling it revives the same BlockId.
+                if self.blocks[b.idx()].is_empty() {
+                    self.live_blocks += 1;
+                }
                 self.blocks[b.idx()].push(id);
                 b
             }
             None => {
                 let b = BlockId(u32::try_from(self.blocks.len()).expect("too many blocks"));
+                assert!(b != DEAD, "too many blocks");
                 self.blocks.push(vec![id]);
                 self.by_key.insert(key, b);
+                self.live_blocks += 1;
                 b
             }
         };
         self.dedup.insert(fact.clone(), id);
         self.facts.push(fact);
         self.fact_block.push(block);
+        self.live_facts += 1;
         Ok(id)
+    }
+
+    /// Apply a batch of insertions and retractions in place, retractions
+    /// first. Returns a [`DeltaReport`] of what actually changed.
+    ///
+    /// Deltas are set-semantic: inserting a fact already present and
+    /// retracting one that is absent are no-ops, so re-applying the same
+    /// delta (e.g. a retried wire `update`) leaves the fact set unchanged.
+    /// Retraction tombstones the fact's slot — every other [`FactId`] and
+    /// [`BlockId`] keeps its meaning, which is what lets solution sets,
+    /// antichain snapshots and component partitions be patched instead of
+    /// rebuilt. An emptied block keeps its id and revives if a key-equal
+    /// fact is inserted later.
+    ///
+    /// # Errors
+    /// Rejects the whole delta — mutating nothing — if any fact's arity
+    /// differs from the database signature.
+    pub fn apply_delta(
+        &mut self,
+        inserts: &[Fact],
+        retracts: &[Fact],
+    ) -> Result<DeltaReport, ModelError> {
+        for f in inserts.iter().chain(retracts) {
+            if f.arity() != self.sig.arity() {
+                return Err(ModelError::ArityMismatch {
+                    expected: self.sig.arity(),
+                    got: f.arity(),
+                });
+            }
+        }
+        // block -> whether it held a fact before this delta started.
+        let mut touched: HashMap<BlockId, bool> = HashMap::new();
+        let mut report = DeltaReport::default();
+        for f in retracts {
+            let Some(&id) = self.dedup.get(f) else {
+                continue;
+            };
+            let b = self.fact_block[id.idx()];
+            touched.entry(b).or_insert(true);
+            self.dedup.remove(f);
+            let members = &mut self.blocks[b.idx()];
+            members.retain(|&m| m != id);
+            if members.is_empty() {
+                self.live_blocks -= 1;
+            }
+            self.fact_block[id.idx()] = DEAD;
+            self.live_facts -= 1;
+            report.retracted.push(id);
+        }
+        for f in inserts {
+            if self.dedup.contains_key(f) {
+                continue;
+            }
+            let key: BlockKey = (f.rel(), f.key(&self.sig).to_vec().into_boxed_slice());
+            let was_nonempty = self
+                .by_key
+                .get(&key)
+                .is_some_and(|b| !self.blocks[b.idx()].is_empty());
+            let id = self.insert(f.clone())?;
+            touched
+                .entry(self.fact_block[id.idx()])
+                .or_insert(was_nonempty);
+            report.inserted.push(id);
+        }
+        let mut ts: Vec<(BlockId, bool)> = touched.into_iter().collect();
+        ts.sort_unstable_by_key(|&(b, _)| b);
+        for (b, was_nonempty) in ts {
+            report.touched.push(b);
+            if !was_nonempty {
+                report.fresh_blocks.push(b);
+            }
+        }
+        Ok(report)
     }
 
     /// Insert many facts; returns their ids in order.
@@ -111,37 +240,65 @@ impl Database {
         facts.into_iter().map(|f| self.insert(f)).collect()
     }
 
-    /// Number of facts (the paper's database *size* `n`).
+    /// Number of live facts (the paper's database *size* `n`).
     pub fn len(&self) -> usize {
+        self.live_facts
+    }
+
+    /// `true` iff the database has no live facts.
+    pub fn is_empty(&self) -> bool {
+        self.live_facts == 0
+    }
+
+    /// Number of live (non-empty) blocks.
+    pub fn block_count(&self) -> usize {
+        self.live_blocks
+    }
+
+    /// Upper bound of the fact-id space: live facts plus tombstoned slots
+    /// left behind by retractions. Use this — not [`Database::len`] — to
+    /// size arrays indexed by raw [`FactId`] values.
+    pub fn fact_slots(&self) -> usize {
         self.facts.len()
     }
 
-    /// `true` iff the database has no facts.
-    pub fn is_empty(&self) -> bool {
-        self.facts.is_empty()
-    }
-
-    /// Number of blocks.
-    pub fn block_count(&self) -> usize {
+    /// Upper bound of the block-id space, counting emptied blocks.
+    pub fn block_slots(&self) -> usize {
         self.blocks.len()
     }
 
-    /// The fact with the given id.
+    /// `true` while no retraction has left holes: every fact slot is live
+    /// and every block non-empty, so raw ids are dense `0..len` indices.
+    pub fn is_dense(&self) -> bool {
+        self.live_facts == self.facts.len() && self.live_blocks == self.blocks.len()
+    }
+
+    /// `true` iff the id refers to a live (non-retracted) fact.
+    pub fn is_live(&self, id: FactId) -> bool {
+        self.fact_block.get(id.idx()).is_some_and(|&b| b != DEAD)
+    }
+
+    /// The fact with the given id. A retracted id still resolves to its
+    /// old fact value — the slot is kept so ids stay stable; check
+    /// [`Database::is_live`] when liveness matters.
     pub fn fact(&self, id: FactId) -> &Fact {
         &self.facts[id.idx()]
     }
 
-    /// Iterator over `(id, fact)` pairs.
+    /// Iterator over live `(id, fact)` pairs.
     pub fn facts(&self) -> impl Iterator<Item = (FactId, &Fact)> {
         self.facts
             .iter()
             .enumerate()
+            .filter(|&(i, _)| self.fact_block[i] != DEAD)
             .map(|(i, f)| (FactId(i as u32), f))
     }
 
-    /// All fact ids.
+    /// All live fact ids, ascending.
     pub fn fact_ids(&self) -> impl Iterator<Item = FactId> + '_ {
-        (0..self.facts.len() as u32).map(FactId)
+        (0..self.facts.len() as u32)
+            .map(FactId)
+            .filter(|id| self.fact_block[id.idx()] != DEAD)
     }
 
     /// The id of `fact`, if present.
@@ -154,9 +311,11 @@ impl Database {
         self.dedup.contains_key(fact)
     }
 
-    /// The block a fact belongs to.
+    /// The block a fact belongs to. The id must be live.
     pub fn block_of(&self, id: FactId) -> BlockId {
-        self.fact_block[id.idx()]
+        let b = self.fact_block[id.idx()];
+        debug_assert!(b != DEAD, "block_of on a retracted fact id");
+        b
     }
 
     /// The facts of a block.
@@ -164,19 +323,23 @@ impl Database {
         &self.blocks[b.idx()]
     }
 
-    /// Iterator over all block ids.
-    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
-        (0..self.blocks.len() as u32).map(BlockId)
+    /// Iterator over all live (non-empty) block ids, ascending.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len() as u32)
+            .map(BlockId)
+            .filter(|b| !self.blocks[b.idx()].is_empty())
     }
 
-    /// Key-equality of two facts in this database, `a ∼ b`.
+    /// Key-equality of two facts in this database, `a ∼ b`. Both ids must
+    /// be live.
     pub fn key_equal(&self, a: FactId, b: FactId) -> bool {
+        debug_assert!(self.is_live(a) && self.is_live(b));
         self.fact_block[a.idx()] == self.fact_block[b.idx()]
     }
 
     /// `true` iff no block holds two distinct facts (Section 2).
     pub fn is_consistent(&self) -> bool {
-        self.blocks.iter().all(|b| b.len() == 1)
+        self.blocks.iter().all(|b| b.len() <= 1)
     }
 
     /// Approximate resident size of this database in bytes, for memory
@@ -203,7 +366,9 @@ impl Database {
     pub fn repair_count(&self) -> u128 {
         let mut n: u128 = 1;
         for b in &self.blocks {
-            n = n.saturating_mul(b.len() as u128);
+            if !b.is_empty() {
+                n = n.saturating_mul(b.len() as u128);
+            }
         }
         n
     }
@@ -353,6 +518,107 @@ mod tests {
         d1.absorb(&d2).unwrap();
         assert_eq!(d1.len(), 2);
         assert_eq!(d1.block_count(), 1);
+    }
+
+    #[test]
+    fn apply_delta_reports_touched_and_fresh_blocks() {
+        let mut db = db_2_1(&[["a", "1"], ["a", "2"], ["b", "1"]]);
+        let rep = db
+            .apply_delta(
+                &[
+                    Fact::from_names(["a", "3"]), // existing block
+                    Fact::from_names(["c", "1"]), // brand-new block
+                ],
+                &[Fact::from_names(["b", "1"])],
+            )
+            .unwrap();
+        assert_eq!(rep.inserted.len(), 2);
+        assert_eq!(rep.retracted.len(), 1);
+        assert_eq!(rep.touched.len(), 3);
+        assert_eq!(rep.fresh_blocks.len(), 1);
+        assert!(!rep.growth_only());
+        assert_eq!(db.len(), 4);
+        assert_eq!(db.block_count(), 2); // b's block is now empty
+        assert_eq!(db.block_slots(), 3);
+        assert!(!db.is_dense());
+    }
+
+    #[test]
+    fn apply_delta_is_idempotent() {
+        let mut db = db_2_1(&[["a", "1"], ["b", "1"]]);
+        let ins = [Fact::from_names(["c", "1"])];
+        let del = [Fact::from_names(["b", "1"])];
+        db.apply_delta(&ins, &del).unwrap();
+        let facts_after: Vec<Fact> = db.facts().map(|(_, f)| f.clone()).collect();
+        let rep2 = db.apply_delta(&ins, &del).unwrap();
+        assert!(rep2.is_noop());
+        let facts_again: Vec<Fact> = db.facts().map(|(_, f)| f.clone()).collect();
+        assert_eq!(facts_after, facts_again);
+    }
+
+    #[test]
+    fn retraction_keeps_surviving_ids_stable() {
+        let mut db = db_2_1(&[["a", "1"], ["a", "2"], ["b", "1"]]);
+        let a2 = db.id_of(&Fact::from_names(["a", "2"])).unwrap();
+        let b1 = db.id_of(&Fact::from_names(["b", "1"])).unwrap();
+        let rep = db
+            .apply_delta(&[], &[Fact::from_names(["a", "1"])])
+            .unwrap();
+        let a1 = rep.retracted[0];
+        assert!(!db.is_live(a1));
+        assert!(db.is_live(a2));
+        assert_eq!(db.id_of(&Fact::from_names(["a", "2"])), Some(a2));
+        assert_eq!(db.id_of(&Fact::from_names(["b", "1"])), Some(b1));
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.fact_slots(), 3);
+        let ids: Vec<FactId> = db.fact_ids().collect();
+        assert_eq!(ids, vec![a2, b1]);
+        assert!(db.is_consistent());
+        assert_eq!(db.repair_count(), 1);
+    }
+
+    #[test]
+    fn emptied_block_revives_with_its_old_id() {
+        let mut db = db_2_1(&[["a", "1"], ["b", "1"]]);
+        let old_block = db.block_of(db.id_of(&Fact::from_names(["a", "1"])).unwrap());
+        db.apply_delta(&[], &[Fact::from_names(["a", "1"])])
+            .unwrap();
+        assert_eq!(db.block_count(), 1);
+        let rep = db
+            .apply_delta(&[Fact::from_names(["a", "9"])], &[])
+            .unwrap();
+        assert_eq!(db.block_of(rep.inserted[0]), old_block);
+        // The block existed before (as an empty shell) but held no fact, so
+        // for warm-restart purposes it counts as fresh.
+        assert_eq!(rep.fresh_blocks, vec![old_block]);
+        assert!(rep.growth_only());
+    }
+
+    #[test]
+    fn growth_only_rejects_existing_block_touches() {
+        let mut db = db_2_1(&[["a", "1"]]);
+        let grow = db
+            .apply_delta(&[Fact::from_names(["b", "7"])], &[])
+            .unwrap();
+        assert!(grow.growth_only());
+        let touch = db
+            .apply_delta(&[Fact::from_names(["a", "2"])], &[])
+            .unwrap();
+        assert!(!touch.growth_only());
+    }
+
+    #[test]
+    fn apply_delta_rejects_bad_arity_atomically() {
+        let mut db = db_2_1(&[["a", "1"]]);
+        let err = db
+            .apply_delta(
+                &[Fact::from_names(["x", "y"])],
+                &[Fact::from_names(["a", "1", "oops"])],
+            )
+            .unwrap_err();
+        assert!(matches!(err, ModelError::ArityMismatch { .. }));
+        assert_eq!(db.len(), 1);
+        assert!(!db.contains(&Fact::from_names(["x", "y"])));
     }
 
     #[test]

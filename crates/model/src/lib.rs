@@ -9,7 +9,8 @@
 //!   form the primary key,
 //! * [`Fact`]s `R(ē)` with key tuples, key sets and active domains,
 //! * [`Database`]s — finite fact sets partitioned into *blocks* of
-//!   key-equal facts,
+//!   key-equal facts, mutable in place via [`Database::apply_delta`]
+//!   (id-stable insert/retract with a [`DeltaReport`] of touched blocks),
 //! * [`Repair`]s — one fact per block — and exhaustive [`RepairIter`]
 //!   enumeration,
 //! * [`DbView`]s — borrowed, copy-free, block-aligned views of a subset
@@ -34,13 +35,15 @@ mod elem;
 mod fact;
 mod repair;
 mod schema;
+mod textline;
 mod view;
 
-pub use database::{BlockId, Database, FactId};
+pub use database::{BlockId, Database, DeltaReport, FactId};
 pub use elem::{Elem, ElemData};
 pub use fact::Fact;
 pub use repair::{Repair, RepairIter};
 pub use schema::{RelId, Signature};
+pub use textline::{parse_fact_line, render_fact_line};
 pub use view::DbView;
 
 /// Errors produced by the model layer.

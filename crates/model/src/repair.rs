@@ -8,9 +8,13 @@
 
 use crate::{BlockId, Database, FactId};
 
-/// One repair of a database: a choice of one fact per block.
+/// One repair of a database: a choice of one fact per (live) block.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Repair {
+    /// The live block ids, ascending. A database that has seen retractions
+    /// can have gaps in its block-id space, so positions in `choice` are
+    /// resolved through this list rather than by raw id.
+    blocks: Vec<BlockId>,
     choice: Vec<FactId>,
 }
 
@@ -19,38 +23,49 @@ impl Repair {
     ///
     /// # Panics
     /// Panics if the choice vector does not pick exactly one fact from every
-    /// block of `db`, in block order. Use [`Repair::try_new`] for validation.
+    /// live block of `db`, in block order. Use [`Repair::try_new`] for
+    /// validation.
     pub fn new(db: &Database, choice: Vec<FactId>) -> Repair {
         Repair::try_new(db, choice).expect("invalid repair choice")
     }
 
     /// Build a repair, validating the choice vector against the database.
+    /// Choices are expected in [`Database::block_ids`] order.
     pub fn try_new(db: &Database, choice: Vec<FactId>) -> Result<Repair, crate::ModelError> {
         if choice.len() != db.block_count() {
             return Err(crate::ModelError::BadRepair {
                 reason: "choice length differs from block count",
             });
         }
+        let blocks: Vec<BlockId> = db.block_ids().collect();
         for (i, &id) in choice.iter().enumerate() {
-            if db.block_of(id) != BlockId(i as u32) {
+            if db.block_of(id) != blocks[i] {
                 return Err(crate::ModelError::BadRepair {
                     reason: "fact chosen for the wrong block",
                 });
             }
         }
-        Ok(Repair { choice })
+        Ok(Repair { blocks, choice })
     }
 
     /// The repair that picks the first fact of every block.
     pub fn first(db: &Database) -> Repair {
         Repair {
+            blocks: db.block_ids().collect(),
             choice: db.block_ids().map(|b| db.block(b)[0]).collect(),
         }
     }
 
     /// The fact chosen for block `b`.
+    ///
+    /// # Panics
+    /// Panics if `b` is not a block of the repair's database.
     pub fn chosen(&self, b: BlockId) -> FactId {
-        self.choice[b.idx()]
+        let i = self
+            .blocks
+            .binary_search(&b)
+            .expect("not a block of this repair");
+        self.choice[i]
     }
 
     /// All chosen facts, in block order.
@@ -60,7 +75,7 @@ impl Repair {
 
     /// `true` iff this repair contains the fact.
     pub fn contains(&self, db: &Database, id: FactId) -> bool {
-        self.choice[db.block_of(id).idx()] == id
+        self.chosen(db.block_of(id)) == id
     }
 
     /// The paper's `r[a → a′]`: the repair obtained by replacing the fact
@@ -70,9 +85,16 @@ impl Repair {
     /// Panics if `a` and `a_new` are not key-equal (`a ∼ a′` is required).
     pub fn replace(&self, db: &Database, a: FactId, a_new: FactId) -> Repair {
         assert!(db.key_equal(a, a_new), "r[a → a′] requires a ∼ a′");
+        let i = self
+            .blocks
+            .binary_search(&db.block_of(a))
+            .expect("not a block of this repair");
         let mut choice = self.choice.clone();
-        choice[db.block_of(a).idx()] = a_new;
-        Repair { choice }
+        choice[i] = a_new;
+        Repair {
+            blocks: self.blocks.clone(),
+            choice,
+        }
     }
 
     /// Number of facts in the repair (= number of blocks of `db`).
@@ -92,6 +114,8 @@ impl Repair {
 /// [`Database::repair_count`] before iterating if you care about blow-up.
 pub struct RepairIter<'a> {
     db: &'a Database,
+    /// The live block ids being enumerated over, ascending.
+    blocks: Vec<BlockId>,
     /// Per-block position of the current choice inside the block, or `None`
     /// when exhausted (or before the first call for an empty DB marker).
     cursor: Option<Vec<usize>>,
@@ -101,9 +125,11 @@ impl<'a> RepairIter<'a> {
     /// Start enumerating the repairs of `db`. Even the empty database has
     /// exactly one repair (the empty one).
     pub fn new(db: &'a Database) -> RepairIter<'a> {
+        let blocks: Vec<BlockId> = db.block_ids().collect();
         RepairIter {
             db,
-            cursor: Some(vec![0; db.block_count()]),
+            cursor: Some(vec![0; blocks.len()]),
+            blocks,
         }
     }
 }
@@ -114,16 +140,17 @@ impl<'a> Iterator for RepairIter<'a> {
     fn next(&mut self) -> Option<Repair> {
         let cursor = self.cursor.as_mut()?;
         let repair = Repair {
+            blocks: self.blocks.clone(),
             choice: cursor
                 .iter()
                 .enumerate()
-                .map(|(b, &i)| self.db.block(BlockId(b as u32))[i])
+                .map(|(b, &i)| self.db.block(self.blocks[b])[i])
                 .collect(),
         };
         // Advance the odometer.
         let mut done = true;
         for (b, slot) in cursor.iter_mut().enumerate() {
-            let size = self.db.block(BlockId(b as u32)).len();
+            let size = self.db.block(self.blocks[b]).len();
             if *slot + 1 < size {
                 *slot += 1;
                 done = false;

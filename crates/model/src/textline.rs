@@ -1,0 +1,192 @@
+//! The one-fact text line: `R(a b | c d)`.
+//!
+//! This is the atom both the fact-file format (`crates/cli`'s `dbfmt`)
+//! and the delta-script grammar (`cqa update`, the server's `update`
+//! verb, `cqa_workloads::deltas`) are built from, so it lives here, next
+//! to [`Fact`] itself — one grammar, one parser, one renderer, and the
+//! `render ∘ parse` fixpoint is pinned once.
+//!
+//! A line names the relation (`R`, `R1` or `R2`), then the tuple with a
+//! single `|` bar after the key positions; elements are whitespace- or
+//! comma-separated names, with `⟨…⟩` pair elements allowed to contain
+//! separators and bars. The bar makes every line *self-describing*: its
+//! position is the key length, independent of any database signature
+//! (`docs/FORMAT.md` specifies the corner cases).
+
+use crate::{Elem, Fact, RelId};
+use std::fmt::Write as _;
+
+/// Parse one fact line: `R(a b | c d)`. Returns the fact and the key
+/// length the bar position declares (`R(a b | c)` → 2; a bar-free line
+/// declares an empty key). Errors are bare messages; callers attach
+/// position information.
+pub fn parse_fact_line(text: &str) -> Result<(Fact, usize), String> {
+    let text = text.trim();
+    let open = match text.find('(') {
+        Some(i) => i,
+        None => return Err("expected '(' in fact".into()),
+    };
+    let close = match text.rfind(')') {
+        Some(i) if i > open => i,
+        _ => return Err("expected closing ')'".into()),
+    };
+    let rel = match text[..open].trim() {
+        "R" => RelId::R,
+        "R1" => RelId::R1,
+        "R2" => RelId::R2,
+        other => return Err(format!("unknown relation {other:?} (use R, R1 or R2)")),
+    };
+    let trailing = text[close + 1..].trim();
+    if !trailing.is_empty() {
+        return Err(format!("trailing input {trailing:?} after ')'"));
+    }
+    let inner = &text[open + 1..close];
+    // Locate the key/value bar with ⟨…⟩ depth awareness: a '|' inside a
+    // pair element (e.g. `R(⟨a|b⟩ x | y)`) is element payload, not the
+    // separator. Unbalanced brackets are caught by `tokens` below, so a
+    // stray '⟩' here may saturate the depth without masking anything.
+    let mut bar = None;
+    let mut depth = 0usize;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '⟨' => depth += 1,
+            '⟩' => depth = depth.saturating_sub(1),
+            '|' if depth == 0 => {
+                bar = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let (key_part, val_part) = match bar {
+        Some(i) => (&inner[..i], &inner[i + 1..]),
+        None => ("", inner),
+    };
+    // Tokenize with awareness of ⟨…⟩ pair elements (which contain commas):
+    // a token is either a balanced ⟨…⟩ group or a run of non-separator
+    // characters. Unbalanced brackets and a second top-level '|' are
+    // errors — silently merging them into an element corrupts the tuple
+    // and breaks the write→parse→write fixpoint.
+    fn tokens(s: &str) -> Result<Vec<Elem>, String> {
+        let mut out = Vec::new();
+        let mut cur = String::new();
+        let mut depth = 0usize;
+        for c in s.chars() {
+            match c {
+                '⟨' => {
+                    depth += 1;
+                    cur.push(c);
+                }
+                '⟩' => {
+                    if depth == 0 {
+                        return Err("stray '⟩' with no matching '⟨'".into());
+                    }
+                    depth -= 1;
+                    cur.push(c);
+                }
+                '|' if depth == 0 => {
+                    return Err(
+                        "unexpected '|' (one key/value separator per fact; a literal '|' \
+                         must sit inside a ⟨…⟩ element)"
+                            .into(),
+                    );
+                }
+                c if depth == 0 && (c.is_whitespace() || c == ',') => {
+                    if !cur.is_empty() {
+                        out.push(Elem::named(std::mem::take(&mut cur)));
+                    }
+                }
+                c => cur.push(c),
+            }
+        }
+        if depth != 0 {
+            return Err(format!("unclosed '⟨' ({depth} open at end of fact)"));
+        }
+        if !cur.is_empty() {
+            out.push(Elem::named(cur));
+        }
+        Ok(out)
+    }
+    let key = tokens(key_part)?;
+    let vals = tokens(val_part)?;
+    let key_len = key.len();
+    let mut tuple = key;
+    tuple.extend(vals);
+    if tuple.is_empty() {
+        return Err("fact with no elements".into());
+    }
+    Ok((Fact::new(rel, tuple), key_len))
+}
+
+/// Render one fact as a parseable line: `R(a b | c d)`, with the bar
+/// after `key_len` positions. The inverse of [`parse_fact_line`] —
+/// unlike [`Fact`]'s `Display`, which omits the bar and is therefore
+/// *not* re-parseable with the right key.
+///
+/// A full-key fact renders with a trailing bar (`R(a b |)`): omitting it
+/// would re-parse the fact with an empty key.
+///
+/// # Panics
+/// Panics if `key_len` exceeds the fact's arity.
+pub fn render_fact_line(f: &Fact, key_len: usize) -> String {
+    assert!(key_len <= f.arity(), "key length exceeds fact arity");
+    let mut out = String::new();
+    let _ = write!(out, "{}(", f.rel());
+    for (i, e) in f.tuple().iter().enumerate() {
+        if i == key_len {
+            let _ = write!(out, "| ");
+        }
+        let _ = write!(out, "{e}");
+        if i + 1 != f.arity() {
+            let _ = write!(out, " ");
+        }
+    }
+    if key_len == f.arity() {
+        let _ = write!(out, " |");
+    }
+    let _ = write!(out, ")");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_round_trip() {
+        for line in [
+            "R(a b | c d)",
+            "R1(k | v)",
+            "R2(x |)",
+            "R(⟨a,b⟩ | ⟨c,d⟩)",
+            "R(| a b)",
+        ] {
+            let (fact, key_len) = parse_fact_line(line).unwrap();
+            let rendered = render_fact_line(&fact, key_len);
+            let (fact2, key_len2) = parse_fact_line(&rendered).unwrap();
+            assert_eq!(fact, fact2, "{line}");
+            assert_eq!(key_len, key_len2, "{line}");
+        }
+    }
+
+    #[test]
+    fn full_key_fact_keeps_its_trailing_bar() {
+        let (fact, key_len) = parse_fact_line("R(a b |)").unwrap();
+        assert_eq!(key_len, 2);
+        assert_eq!(render_fact_line(&fact, key_len), "R(a b |)");
+    }
+
+    #[test]
+    fn bad_lines_are_rejected() {
+        for bad in ["R a b", "R(a b", "Q(a | b)", "R()", "R(a | b | c)", "R(⟨a)"] {
+            assert!(parse_fact_line(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn pair_elements_may_contain_bars_and_commas() {
+        let (fact, key_len) = parse_fact_line("R(⟨a|b⟩ x | y)").unwrap();
+        assert_eq!(key_len, 2);
+        assert_eq!(fact.arity(), 3);
+    }
+}

@@ -126,25 +126,30 @@ impl<'a> DbView<'a> {
 
     /// `true` iff the fact (parent id) belongs to the view.
     pub fn contains_fact(&self, id: FactId) -> bool {
-        if self.is_full() {
+        // Identity fast path only when raw ids are dense 0..len indices —
+        // after a retraction the parent has tombstoned slots and full
+        // coverage no longer implies identity.
+        if self.is_full() && self.db.is_dense() {
             return id.idx() < self.db.len();
         }
         self.facts.binary_search(&id).is_ok()
     }
 
     /// Dense position of a view fact in `0..len()`, or `None` when the
-    /// fact is not part of the view. `O(1)` on a full view.
+    /// fact is not part of the view. `O(1)` on a full view of a dense
+    /// (never-retracted-from) database.
     pub fn local_fact_index(&self, id: FactId) -> Option<usize> {
-        if self.is_full() {
+        if self.is_full() && self.db.is_dense() {
             return (id.idx() < self.db.len()).then(|| id.idx());
         }
         self.facts.binary_search(&id).ok()
     }
 
     /// Dense position of a view block in `0..block_count()`, or `None`
-    /// when the block is not part of the view. `O(1)` on a full view.
+    /// when the block is not part of the view. `O(1)` on a full view of a
+    /// dense database.
     pub fn local_block_index(&self, b: BlockId) -> Option<usize> {
-        if self.blocks.len() == self.db.block_count() {
+        if self.blocks.len() == self.db.block_count() && self.db.is_dense() {
             return (b.idx() < self.blocks.len()).then(|| b.idx());
         }
         self.blocks.binary_search(&b).ok()
@@ -247,6 +252,27 @@ mod tests {
         assert_eq!(owned.len(), 2);
         assert!(owned.contains(&Fact::from_names(["a", "1"])));
         assert!(owned.contains(&Fact::from_names(["a", "2"])));
+    }
+
+    #[test]
+    fn full_view_over_tombstoned_db_uses_search_not_identity() {
+        let mut db = db_2_1(&[["a", "1"], ["b", "2"], ["c", "3"]]);
+        let rep = db
+            .apply_delta(&[], &[Fact::from_names(["a", "1"])])
+            .unwrap();
+        let dead = rep.retracted[0];
+        let v = db.full_view();
+        assert!(v.is_full());
+        assert_eq!(v.len(), 2);
+        assert!(!v.contains_fact(dead));
+        assert_eq!(v.local_fact_index(dead), None);
+        for (i, (id, f)) in v.facts().enumerate() {
+            assert_eq!(v.local_fact_index(id), Some(i));
+            assert_eq!(f, db.fact(id));
+        }
+        for (i, &b) in v.blocks().iter().enumerate() {
+            assert_eq!(v.local_block_index(b), Some(i));
+        }
     }
 
     #[test]

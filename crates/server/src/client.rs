@@ -253,6 +253,18 @@ impl Client {
             .collect()
     }
 
+    /// Apply a delta script to `db` atomically; the raw result object
+    /// (`facts`, `inserted`, `retracted`, `touched_blocks`,
+    /// `fresh_blocks`, `growth_only`). Updates are set-semantic, so a
+    /// retried `update` (after `overloaded` or a transport error) is
+    /// harmless.
+    pub fn update(&mut self, db: &str, deltas: &str) -> Result<Json, WireError> {
+        self.call(Method::Update {
+            db: db.to_string(),
+            deltas: deltas.to_string(),
+        })
+    }
+
     /// Brute-force falsification; the raw result object (`outcome`,
     /// optional `repair`).
     pub fn falsify(&mut self, db: &str, query: &str, budget: u64) -> Result<Json, WireError> {

@@ -1,0 +1,133 @@
+//! Delta scripts: the text grammar of the `update` verb and `cqa update`.
+//!
+//! One operation per line:
+//!
+//! ```text
+//! # comments and blank lines are skipped
+//! + R(a | b)      # insert (the '+' is optional: bare lines insert)
+//! - R(c | d)      # retract
+//! ```
+//!
+//! Fact lines use the same self-describing grammar as fact files —
+//! [`cqa_model::parse_fact_line`], bar position = key length — so a
+//! delta script is just a fact file with signs. The whole script is one
+//! atomic unit: servers apply all of it or none of it
+//! ([`SessionManager::apply_update`](crate::SessionManager::apply_update)).
+
+use cqa_model::{parse_fact_line, Fact};
+
+/// A parsed delta script: what to insert and what to retract.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaScript {
+    /// Facts to insert, in script order.
+    pub inserts: Vec<Fact>,
+    /// Facts to retract, in script order.
+    pub retracts: Vec<Fact>,
+    /// The key length every fact line declared (bar position), `None`
+    /// for an empty script. Callers validate it against the target
+    /// database's signature; [`parse_delta_script`] already rejects
+    /// scripts whose lines disagree with each other.
+    pub key_len: Option<usize>,
+}
+
+impl DeltaScript {
+    /// `true` iff the script holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.retracts.is_empty()
+    }
+
+    /// Total operations.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.retracts.len()
+    }
+}
+
+/// Bounded excerpt of an offending line (same convention as the batch
+/// and fact-file loaders).
+fn excerpt(line: &str) -> String {
+    const MAX: usize = 120;
+    let mut text: String = line.chars().take(MAX).collect();
+    if text.len() < line.len() {
+        text.push('…');
+    }
+    text
+}
+
+/// Parse a delta script. Errors carry the 1-based line number and a
+/// bounded excerpt of the offending line, in the same shape the batch
+/// loader reports.
+pub fn parse_delta_script(text: &str) -> Result<DeltaScript, String> {
+    let mut script = DeltaScript::default();
+    for (i, raw) in text.lines().enumerate() {
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let err_at = |msg: String| {
+            format!(
+                "delta line {}: {msg}\n  | {}",
+                i + 1,
+                excerpt(raw.trim_end())
+            )
+        };
+        let (retract, rest) = match content.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, content.strip_prefix('+').unwrap_or(content)),
+        };
+        let (fact, key_len) = parse_fact_line(rest).map_err(err_at)?;
+        match script.key_len {
+            None => script.key_len = Some(key_len),
+            Some(want) if want != key_len => {
+                return Err(err_at(format!(
+                    "key length {key_len} differs from the script's first fact's {want}"
+                )));
+            }
+            Some(_) => {}
+        }
+        if retract {
+            script.retracts.push(fact);
+        } else {
+            script.inserts.push(fact);
+        }
+    }
+    Ok(script)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_signs_comments_and_bare_lines() {
+        let script = parse_delta_script(
+            "# a mixed script\n+ R(a | b)\nR(c | d)  # bare line inserts\n- R(e | f)\n\n",
+        )
+        .unwrap();
+        assert_eq!(script.inserts.len(), 2);
+        assert_eq!(script.retracts.len(), 1);
+        assert_eq!(script.key_len, Some(1));
+        assert_eq!(script.len(), 3);
+        assert_eq!(script.retracts[0], Fact::from_names(["e", "f"]));
+    }
+
+    #[test]
+    fn empty_script_is_empty_not_an_error() {
+        let script = parse_delta_script("# nothing\n\n").unwrap();
+        assert!(script.is_empty());
+        assert_eq!(script.key_len, None);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_delta_script("+ R(a | b)\n+ nope\n").unwrap_err();
+        assert!(err.contains("delta line 2"), "{err}");
+        assert!(err.contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn inconsistent_key_lengths_are_rejected() {
+        let err = parse_delta_script("+ R(a | b)\n- R(a b |)\n").unwrap_err();
+        assert!(err.contains("key length 2"), "{err}");
+        assert!(err.contains("delta line 2"), "{err}");
+    }
+}

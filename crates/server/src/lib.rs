@@ -9,9 +9,14 @@
 //!   codec, plus [`FrameReader`](protocol::FrameReader): timeout-safe
 //!   incremental framing that drains oversized lines and survives
 //!   non-UTF-8 garbage.
+//! * [`deltas`] — the signed-fact-line grammar of the `update` verb
+//!   ([`parse_delta_script`]): a delta script is a fact file whose
+//!   lines may carry `+`/`-` signs.
 //! * [`manager`] — [`SessionManager`]:
 //!   path-keyed [`SharedSession`](cqa::SharedSession)s with
-//!   single-flight loading and LRU eviction under a byte budget.
+//!   single-flight loading and LRU eviction under a byte budget;
+//!   [`SessionManager::apply_update`] applies a delta atomically by
+//!   swapping in a warm successor session.
 //! * [`server`] — the TCP accept loop; query work fans out over one
 //!   shared [`minipool::Pool`] behind a bounded admission queue (excess
 //!   requests are shed with `overloaded` + a `retry_after_ms` hint),
@@ -35,6 +40,7 @@
 
 pub mod chaos;
 pub mod client;
+pub mod deltas;
 pub mod json;
 pub mod manager;
 pub mod protocol;
@@ -42,7 +48,8 @@ pub mod server;
 
 pub use chaos::{chaos_proxy, ChaosPlan, ChaosProxy, FaultTally};
 pub use client::{backoff_delays_ms, is_retryable, render_verdicts, Client, RetryPolicy};
+pub use deltas::{parse_delta_script, DeltaScript};
 pub use json::{decode, obj, Json, JsonError};
-pub use manager::{Loader, ManagerStats, SessionManager};
+pub use manager::{Loader, ManagerStats, SessionManager, UpdateError};
 pub use protocol::{Method, Request, Response, WireError, MAX_FRAME};
 pub use server::{serve, ServeConfig, ServerHandle};

@@ -22,7 +22,7 @@
 //! [`Database::approx_bytes`]: cqa_model::Database::approx_bytes
 
 use cqa::{EngineConfig, SharedSession};
-use cqa_model::Database;
+use cqa_model::{Database, DeltaReport, Fact};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -71,7 +71,38 @@ pub struct ManagerStats {
     /// Peak number of admitted requests waiting for a worker at any one
     /// instant (server-filled).
     pub queue_peak: usize,
+    /// Deltas applied across resident sessions (successor sessions carry
+    /// their predecessors' counters, so an updated database's count is
+    /// monotone; evicted sessions take theirs with them).
+    pub delta_applied: u64,
+    /// Blocks seeded into warm-restart worklists across resident
+    /// sessions — the dirty frontier incremental re-solves started from.
+    pub blocks_reseeded: u64,
+    /// Component verdicts retained verbatim across deltas (untouched
+    /// q-connected components), across resident sessions.
+    pub verdicts_retained: u64,
 }
+
+/// Why an [`SessionManager::apply_update`] failed. Maps onto the wire
+/// codes `load-failed` / `bad-delta`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The target database could not be loaded.
+    LoadFailed(String),
+    /// The delta itself was rejected (arity or key-length mismatch with
+    /// the database's signature). The session is unchanged.
+    BadDelta(String),
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::LoadFailed(m) | UpdateError::BadDelta(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
 
 /// The shared session table behind `cqa serve`.
 pub struct SessionManager {
@@ -79,6 +110,10 @@ pub struct SessionManager {
     config: EngineConfig,
     memory_budget: Option<usize>,
     slots: Mutex<HashMap<String, Arc<Slot>>>,
+    /// Serialises [`SessionManager::apply_update`]s: two concurrent
+    /// updates to one path must chain (successor of successor), never
+    /// fork from the same predecessor and silently lose one delta.
+    update_lock: Mutex<()>,
     clock: AtomicU64,
     loads: AtomicUsize,
     session_hits: AtomicUsize,
@@ -99,6 +134,7 @@ impl SessionManager {
             config,
             memory_budget,
             slots: Mutex::new(HashMap::new()),
+            update_lock: Mutex::new(()),
             clock: AtomicU64::new(1),
             loads: AtomicUsize::new(0),
             session_hits: AtomicUsize::new(0),
@@ -159,6 +195,62 @@ impl SessionManager {
         }
     }
 
+    /// Apply an insert/retract delta to the database at `path`, loading
+    /// it first if absent, and **atomically swap in the successor
+    /// session**: the predecessor's answered queries are carried over
+    /// with their verdicts patched incrementally
+    /// ([`SharedSession::with_delta`]).
+    ///
+    /// Atomicity: the successor is fully built *before* the table slot
+    /// is replaced under the map lock, so a concurrent request sees
+    /// either the whole pre-delta session or the whole post-delta one —
+    /// never a half-applied hybrid. In-flight holders of the predecessor
+    /// keep answering against the old (consistent) database, exactly as
+    /// eviction already allows. Concurrent updates are serialised, so
+    /// every delta lands on the latest successor and none is lost.
+    ///
+    /// `key_len`, when supplied (the delta-script parser reports the key
+    /// length its fact lines declared), is validated against the
+    /// database's signature — `Database::apply_delta` alone only checks
+    /// arity, and silently reinterpreting `R(a | b c)` against a
+    /// 2-key signature would corrupt blocks.
+    pub fn apply_update(
+        &self,
+        path: &str,
+        inserts: &[Fact],
+        retracts: &[Fact],
+        key_len: Option<usize>,
+    ) -> Result<(Arc<SharedSession>, DeltaReport), UpdateError> {
+        let _serial = self.update_lock.lock().expect("update lock poisoned");
+        let session = self.get_or_load(path).map_err(UpdateError::LoadFailed)?;
+        if let Some(kl) = key_len {
+            let sig = *session.db().signature();
+            if kl != sig.key_len() {
+                return Err(UpdateError::BadDelta(format!(
+                    "delta key length {kl} does not match database signature {sig}"
+                )));
+            }
+        }
+        let (next, report) = session
+            .with_delta(inserts, retracts)
+            .map_err(|e| UpdateError::BadDelta(e.to_string()))?;
+        let next = Arc::new(next);
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut slots = self.slots.lock().expect("manager map lock poisoned");
+            let slot = Arc::new(Slot {
+                cell: OnceLock::new(),
+                last_used: AtomicU64::new(stamp),
+            });
+            // A fresh OnceLock is always settable; the Err arm is
+            // unreachable (and the value lacks Debug for expect()).
+            let _ = slot.cell.set(Ok(Arc::clone(&next)));
+            slots.insert(path.to_string(), slot);
+        }
+        self.enforce_budget(path);
+        Ok((next, report))
+    }
+
     /// Evict least-recently-used resident sessions (never `keep`) until
     /// the budget fits. Slots still mid-load have unknown size and are
     /// skipped; they are accounted when their own load completes.
@@ -216,6 +308,10 @@ impl SessionManager {
             stats.queries += s.queries;
             stats.distinct_queries += s.distinct_queries;
             stats.cache_hits += s.cache_hits;
+            let d = session.delta_stats();
+            stats.delta_applied += d.delta_applied;
+            stats.blocks_reseeded += d.blocks_reseeded;
+            stats.verdicts_retained += d.verdicts_retained;
         }
         stats
     }
@@ -415,5 +511,61 @@ mod tests {
         assert!(stats.loads >= 5);
         assert!(stats.loads + stats.session_hits <= 64);
         assert!(stats.sessions <= 2);
+    }
+
+    #[test]
+    fn apply_update_swaps_in_a_warm_successor_atomically() {
+        let (m, calls) = manager(None);
+        let before = m.get_or_load("db:2").unwrap();
+        // Answer a query first so the successor has a verdict to carry.
+        let q3 = examples::q3();
+        let was_certain = before.certain(&q3).certain;
+        let grow = [Fact::from_names(["a2", "a3"])];
+        let (after, report) = m.apply_update("db:2", &grow, &[], Some(1)).unwrap();
+        assert_eq!(report.inserted.len(), 1);
+        assert!(report.growth_only());
+        // In-flight holders keep their consistent snapshot; the manager
+        // now serves the successor, and nothing was reloaded from disk.
+        assert_eq!(before.db().len(), 2);
+        assert_eq!(before.certain(&q3).certain, was_certain);
+        assert_eq!(after.db().len(), 3);
+        let served = m.get_or_load("db:2").unwrap();
+        assert!(Arc::ptr_eq(&served, &after), "successor is resident");
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "no reload");
+        // The delta counters surface through manager stats.
+        let stats = m.stats();
+        assert_eq!(stats.delta_applied, 1);
+        // Chained deltas accumulate (set semantics: re-inserting is a
+        // no-op delta but still counts as an application).
+        let (_, report) = m.apply_update("db:2", &grow, &[], Some(1)).unwrap();
+        assert!(report.inserted.is_empty(), "set semantics: no-op re-insert");
+        assert_eq!(m.stats().delta_applied, 2);
+    }
+
+    #[test]
+    fn apply_update_rejects_bad_deltas_and_missing_databases() {
+        let (m, _) = manager(None);
+        let err = m
+            .apply_update("nope", &[], &[], None)
+            .err()
+            .expect("load must fail");
+        assert!(matches!(err, UpdateError::LoadFailed(_)), "{err}");
+        // Key length 2 against the chain loader's [2, 1] signature.
+        let f = [Fact::from_names(["x", "y"])];
+        let err = m
+            .apply_update("db:2", &f, &[], Some(2))
+            .err()
+            .expect("bad key len");
+        assert!(matches!(err, UpdateError::BadDelta(_)), "{err}");
+        // A wrong-arity fact is caught by the model layer.
+        let f3 = [Fact::from_names(["x", "y", "z"])];
+        let err = m
+            .apply_update("db:2", &f3, &[], Some(1))
+            .err()
+            .expect("bad arity");
+        assert!(matches!(err, UpdateError::BadDelta(_)), "{err}");
+        // The session survives every rejected delta untouched.
+        assert_eq!(m.get_or_load("db:2").unwrap().db().len(), 2);
+        assert_eq!(m.stats().delta_applied, 0);
     }
 }

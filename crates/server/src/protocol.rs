@@ -80,6 +80,18 @@ pub enum Method {
         /// Queries text.
         queries: String,
     },
+    /// Apply an insert/retract delta to a loaded (or lazily loaded)
+    /// database, patching its cached verdicts incrementally. The delta
+    /// text is a `\n`-separated script: `+ R(a | b)` inserts (the `+` is
+    /// optional), `- R(a | b)` retracts, `#` comments and blank lines are
+    /// skipped. Atomic per request: on any error the session is
+    /// unchanged.
+    Update {
+        /// Database path (the session key).
+        db: String,
+        /// Delta script text.
+        deltas: String,
+    },
     /// Server + session-manager counters.
     Stats,
     /// Stop accepting connections and exit cleanly.
@@ -194,13 +206,17 @@ pub fn parse_request(frame: &str) -> Result<Request, WireError> {
             db: str_param("db")?,
             queries: str_param("queries")?,
         },
+        "update" => Method::Update {
+            db: str_param("db")?,
+            deltas: str_param("deltas")?,
+        },
         "stats" => Method::Stats,
         "shutdown" => Method::Shutdown,
         other => {
             return Err(WireError::new(
                 "unknown-method",
                 format!(
-                    "unknown method {other:?} (want ping, load, certain, falsify, batch, stats or shutdown)"
+                    "unknown method {other:?} (want ping, load, certain, falsify, batch, update, stats or shutdown)"
                 ),
             ))
         }
@@ -244,6 +260,13 @@ pub fn encode_request(req: &Request) -> String {
             obj([
                 ("db", Json::Str(db.clone())),
                 ("queries", Json::Str(queries.clone())),
+            ]),
+        ),
+        Method::Update { db, deltas } => (
+            "update",
+            obj([
+                ("db", Json::Str(db.clone())),
+                ("deltas", Json::Str(deltas.clone())),
             ]),
         ),
         Method::Stats => ("stats", obj([])),
@@ -364,6 +387,7 @@ pub const KNOWN_CODES: &[&str] = &[
     "load-failed",
     "bad-query",
     "bad-batch",
+    "bad-delta",
     "signature-mismatch",
     "deadline-exceeded",
     "overloaded",
@@ -534,6 +558,14 @@ mod tests {
                     queries: "# mix\nR(x | y) R(y | z)\n".into(),
                 },
                 deadline_ms: None,
+            },
+            Request {
+                id: Some(9),
+                method: Method::Update {
+                    db: "x.facts".into(),
+                    deltas: "# grow\n+ R(a | b)\n- R(c | d)\n".into(),
+                },
+                deadline_ms: Some(500),
             },
             Request {
                 id: Some(9),

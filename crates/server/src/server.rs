@@ -39,7 +39,7 @@
 //! thread joins them and returns.
 
 use crate::json::{obj, Json};
-use crate::manager::{Loader, ManagerStats, SessionManager};
+use crate::manager::{Loader, ManagerStats, SessionManager, UpdateError};
 use crate::protocol::{
     err_response, ok_response, parse_request, Frame, FrameReader, Method, Request, WireError,
     MAX_FRAME,
@@ -70,7 +70,8 @@ pub struct ServeConfig {
     /// Per-frame byte cap (both directions).
     pub max_frame: usize,
     /// Admission bound: how many heavyweight requests (`load`,
-    /// `certain`, `falsify`, `batch`) may *wait* for a worker beyond
+    /// `certain`, `falsify`, `batch`, `update`) may *wait* for a worker
+    /// beyond
     /// the `threads` already running. Excess requests are shed with the
     /// `overloaded` code. `None` picks `max(32, threads × 4)` — deep
     /// enough that ordinary connection fan-in never sheds, shallow
@@ -299,7 +300,8 @@ fn run_connection(stream: TcpStream, ctx: Arc<ServerCtx>) -> io::Result<()> {
 
 /// Hand one request to the pool and wait for its response frame.
 ///
-/// Heavyweight methods (`load`, `certain`, `falsify`, `batch`) pass
+/// Heavyweight methods (`load`, `certain`, `falsify`, `batch`,
+/// `update`) pass
 /// admission control first: past `threads + max_queue` in flight the
 /// request is shed immediately with `overloaded` and a `retry_after_ms`
 /// hint instead of queueing unboundedly. Control-plane methods always
@@ -311,6 +313,7 @@ fn dispatch(ctx: &Arc<ServerCtx>, req: Request) -> String {
             | Method::Certain { .. }
             | Method::Falsify { .. }
             | Method::Batch { .. }
+            | Method::Update { .. }
     );
     if heavyweight {
         let inflight = ctx.inflight.fetch_add(1, Ordering::SeqCst) + 1;
@@ -559,6 +562,36 @@ fn execute(
                 ("count", Json::Int(count as i64)),
             ]))
         }
+        Method::Update { db, deltas } => {
+            // Updates are atomic and set-semantic (idempotent), so a
+            // client that times out may safely retry; the deadline is
+            // enforced at pickup only — once `apply_update` starts the
+            // whole delta lands or none of it does.
+            let script = crate::deltas::parse_delta_script(deltas)
+                .map_err(|e| WireError::new("bad-delta", e))?;
+            if script.is_empty() {
+                return Err(WireError::new(
+                    "bad-delta",
+                    "delta script holds no operations (empty, blank or comment-only)",
+                ));
+            }
+            let (session, report) = ctx
+                .manager
+                .apply_update(db, &script.inserts, &script.retracts, script.key_len)
+                .map_err(|e| match e {
+                    UpdateError::LoadFailed(msg) => WireError::new("load-failed", msg),
+                    UpdateError::BadDelta(msg) => WireError::new("bad-delta", msg),
+                })?;
+            Ok(obj([
+                ("db", Json::Str(db.clone())),
+                ("facts", Json::Int(session.db().len() as i64)),
+                ("inserted", Json::Int(report.inserted.len() as i64)),
+                ("retracted", Json::Int(report.retracted.len() as i64)),
+                ("touched_blocks", Json::Int(report.touched.len() as i64)),
+                ("fresh_blocks", Json::Int(report.fresh_blocks.len() as i64)),
+                ("growth_only", Json::Bool(report.growth_only())),
+            ]))
+        }
         Method::Stats => {
             let s = server_stats(ctx);
             Ok(obj([
@@ -581,6 +614,9 @@ fn execute(
                 ("shed", Json::Int(s.shed as i64)),
                 ("cancelled", Json::Int(s.cancelled as i64)),
                 ("queue_peak", Json::Int(s.queue_peak as i64)),
+                ("delta_applied", Json::Int(s.delta_applied as i64)),
+                ("blocks_reseeded", Json::Int(s.blocks_reseeded as i64)),
+                ("verdicts_retained", Json::Int(s.verdicts_retained as i64)),
             ]))
         }
         Method::Shutdown => Ok(obj([("stopping", Json::Bool(true))])),
@@ -685,6 +721,105 @@ mod tests {
         let e = parse_response(&err).unwrap().outcome.unwrap_err();
         assert_eq!(e.code, "load-failed");
         assert!(e.message.contains("missing"));
+    }
+
+    #[test]
+    fn update_patches_verdicts_live_and_surfaces_counters() {
+        let server = test_server();
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        let mut r = BufReader::new(s.try_clone().unwrap());
+
+        // db:1 is the lone fact a0→a1: no two-step path, not certain.
+        let v = roundtrip(
+            &mut s,
+            &mut r,
+            r#"{"id":1,"method":"certain","params":{"db":"db:1","query":"R(x | y) R(y | z)"}}"#,
+        );
+        let v = parse_response(&v).unwrap().outcome.unwrap();
+        assert_eq!(v.get("certain").and_then(Json::as_bool), Some(false));
+
+        // Grow the chain; the session's cached verdict is patched, not
+        // recomputed from scratch.
+        let up = roundtrip(
+            &mut s,
+            &mut r,
+            r##"{"id":2,"method":"update","params":{"db":"db:1","deltas":"# grow\n+ R(a1 | a2)\n"}}"##,
+        );
+        let u = parse_response(&up).unwrap().outcome.unwrap();
+        assert_eq!(u.get("facts").and_then(Json::as_int), Some(2));
+        assert_eq!(u.get("inserted").and_then(Json::as_int), Some(1));
+        assert_eq!(u.get("retracted").and_then(Json::as_int), Some(0));
+        assert_eq!(u.get("growth_only").and_then(Json::as_bool), Some(true));
+
+        let v = roundtrip(
+            &mut s,
+            &mut r,
+            r#"{"id":3,"method":"certain","params":{"db":"db:1","query":"R(x | y) R(y | z)"}}"#,
+        );
+        let v = parse_response(&v).unwrap().outcome.unwrap();
+        assert_eq!(v.get("certain").and_then(Json::as_bool), Some(true));
+
+        // Retract it again: the verdict flips back; not growth-only.
+        let up = roundtrip(
+            &mut s,
+            &mut r,
+            r#"{"id":4,"method":"update","params":{"db":"db:1","deltas":"- R(a1 | a2)\n"}}"#,
+        );
+        let u = parse_response(&up).unwrap().outcome.unwrap();
+        assert_eq!(u.get("retracted").and_then(Json::as_int), Some(1));
+        assert_eq!(u.get("growth_only").and_then(Json::as_bool), Some(false));
+        let v = roundtrip(
+            &mut s,
+            &mut r,
+            r#"{"id":5,"method":"certain","params":{"db":"db:1","query":"R(x | y) R(y | z)"}}"#,
+        );
+        let v = parse_response(&v).unwrap().outcome.unwrap();
+        assert_eq!(v.get("certain").and_then(Json::as_bool), Some(false));
+
+        // The delta counters surface in stats.
+        let st = roundtrip(&mut s, &mut r, r#"{"id":6,"method":"stats","params":{}}"#);
+        let st = parse_response(&st).unwrap().outcome.unwrap();
+        assert_eq!(st.get("delta_applied").and_then(Json::as_int), Some(2));
+
+        // Error paths, all non-fatal to the connection: unparsable
+        // script, empty script, key length clashing with the database
+        // signature, unknown database.
+        for (id, frame, code) in [
+            (
+                7,
+                r#"{"id":7,"method":"update","params":{"db":"db:1","deltas":"+ nope"}}"#,
+                "bad-delta",
+            ),
+            (
+                8,
+                r##"{"id":8,"method":"update","params":{"db":"db:1","deltas":"# only comments\n"}}"##,
+                "bad-delta",
+            ),
+            (
+                9,
+                r#"{"id":9,"method":"update","params":{"db":"db:1","deltas":"+ R(a b |)"}}"#,
+                "bad-delta",
+            ),
+            (
+                10,
+                r#"{"id":10,"method":"update","params":{"db":"missing","deltas":"+ R(a | b)"}}"#,
+                "load-failed",
+            ),
+        ] {
+            let err = roundtrip(&mut s, &mut r, frame);
+            let resp = parse_response(&err).unwrap();
+            assert_eq!(resp.id, Some(id));
+            assert_eq!(resp.outcome.unwrap_err().code, code, "frame {id}");
+        }
+
+        // Still alive and still on the retracted database.
+        let v = roundtrip(
+            &mut s,
+            &mut r,
+            r#"{"id":11,"method":"load","params":{"path":"db:1"}}"#,
+        );
+        let v = parse_response(&v).unwrap().outcome.unwrap();
+        assert_eq!(v.get("facts").and_then(Json::as_int), Some(1));
     }
 
     #[test]

@@ -60,8 +60,14 @@ struct ComponentPlan {
 
 /// Group blocks into q-connected components and order each component's
 /// blocks by BFS along solution edges (locality for the backtracker).
+///
+/// Indexed by raw block id, sized to [`Database::block_slots`]: on a live
+/// database retractions leave emptied block slots behind, which are *not*
+/// blocks of the current instance — a slot with no facts must neither be
+/// searched (it would look unfillable and wrongly force `q`) nor shadow a
+/// live block whose raw id exceeds the live-block count.
 fn component_block_orders(db: &Database, solutions: &SolutionSet) -> ComponentPlan {
-    let n = db.block_count();
+    let n = db.block_slots();
     let mut uf = UnionFind::new(n);
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
     for &(a, b) in solutions.pairs() {
@@ -77,6 +83,11 @@ fn component_block_orders(db: &Database, solutions: &SolutionSet) -> ComponentPl
     let groups = uf.groups();
     let mut out = Vec::with_capacity(groups.len());
     for group in groups {
+        // Emptied block slots are singletons (solution edges only touch
+        // live facts); drop them rather than searching a vacuous block.
+        if group.len() == 1 && db.block(BlockId(group[0] as u32)).is_empty() {
+            continue;
+        }
         let mut order: Vec<BlockId> = Vec::with_capacity(group.len());
         let mut in_group = vec![false; n];
         for &b in &group {
@@ -302,8 +313,10 @@ fn brute_over_components(
         // of panicking.
         return Some(BruteOutcome::BudgetExhausted);
     }
-    // All components falsified: assemble the full witness.
-    let mut chosen: Vec<Option<FactId>> = vec![None; db.block_count()];
+    // All components falsified: assemble the full witness. Indexed by raw
+    // block id (sparse after retractions), then read back over the live
+    // blocks only.
+    let mut chosen: Vec<Option<FactId>> = vec![None; db.block_slots()];
     for r in &results {
         if let CompSearch::Falsified(pairs) = r {
             for &(b, f) in pairs {
@@ -311,10 +324,9 @@ fn brute_over_components(
             }
         }
     }
-    let witness: Vec<FactId> = chosen
-        .iter()
-        .enumerate()
-        .map(|(b, c)| c.unwrap_or_else(|| db.block(BlockId(b as u32))[0]))
+    let witness: Vec<FactId> = db
+        .block_ids()
+        .map(|b| chosen[b.idx()].unwrap_or_else(|| db.block(b)[0]))
         .collect();
     let repair = Repair::try_new(db, witness).expect("search produces valid repairs");
     Some(BruteOutcome::NotCertain(repair))
@@ -517,6 +529,38 @@ mod tests {
             out,
             BruteOutcome::BudgetExhausted | BruteOutcome::NotCertain(_)
         ));
+    }
+
+    #[test]
+    fn sparse_databases_after_retraction_decide_correctly() {
+        // Retraction tombstones a fact and can empty a block while every
+        // other raw id keeps its meaning — so raw block ids are no longer
+        // dense in 0..block_count(). The component planner must neither
+        // treat the emptied slot as an unfillable block (which would force
+        // q vacuously) nor drop live blocks whose raw id exceeds the live
+        // count.
+        let q = examples::q3();
+        let mut d = db2(&[["a", "a"], ["p", "q"], ["p", "x"], ["q", "r"]]);
+        assert!(certain_brute(&q, &d));
+        // Retract the self-loop: its block empties, d goes sparse, and the
+        // p/q component alone is falsifiable (repair {px, qr}).
+        let rep = d.apply_delta(&[], &[Fact::from_names(["a", "a"])]).unwrap();
+        assert_eq!(rep.retracted.len(), 1);
+        assert!(!d.is_dense());
+        let out = certain_brute_budgeted(&q, &d, u64::MAX);
+        match out {
+            BruteOutcome::NotCertain(r) => {
+                let px = d.id_of(&Fact::from_names(["p", "x"])).unwrap();
+                assert!(r.contains(&d, px));
+            }
+            other => panic!("expected NotCertain, got {other:?}"),
+        }
+        assert!(!certain_exhaustive(&q, &d));
+        // Grow past the tombstone: a fresh block with a raw id beyond the
+        // live count must still be searched.
+        d.apply_delta(&[Fact::from_names(["b", "b"])], &[]).unwrap();
+        assert!(certain_brute(&q, &d));
+        assert!(certain_exhaustive(&q, &d));
     }
 
     #[test]

@@ -558,6 +558,211 @@ pub fn certk_view_cancel_token(
     certk_view_poll(q, view, solutions, cfg, &mut || token.is_cancelled())
 }
 
+/// An owned snapshot of a **completed** `Cert_k` fixpoint over one view:
+/// the reached antichain membership plus the outcome it proved. Produced
+/// by [`certk_view_snapshot`] / [`certk_view_warm`] and fed back into
+/// [`certk_view_warm`] after a *growth-only* delta (only previously empty
+/// blocks gained facts, nothing was retracted) to re-answer in time
+/// proportional to the delta's neighbourhood instead of the whole view.
+///
+/// Reuse is sound only under growth: every old repair restriction still
+/// exists, so old members stay derivable, and `Cert_k` is monotone in the
+/// derivable sets. Any retract, or an insert into an already occupied
+/// block, can *shrink* the fixpoint (the paper's operator is not monotone
+/// in the database) — callers must fall back to a cold run there, which
+/// the engine's delta layer does via `cqa_model::DeltaReport::growth_only`.
+/// Snapshots of [`BudgetExhausted`](CertKOutcome::BudgetExhausted) runs
+/// are not reusable either (the fixpoint never converged):
+/// [`reusable`](CertKWarmState::reusable) gates both entry points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CertKWarmState {
+    /// Antichain members at convergence (empty when `has_empty`: ∅ covers
+    /// everything, so no other member survives).
+    members: Vec<Vec<FactId>>,
+    /// Whether ∅ was derived (the view is certain, and stays certain
+    /// under growth — warm restarts return immediately).
+    has_empty: bool,
+    /// Outcome the snapshot proved.
+    outcome: CertKOutcome,
+}
+
+impl CertKWarmState {
+    /// Outcome the snapshotted run proved.
+    pub fn outcome(&self) -> CertKOutcome {
+        self.outcome
+    }
+
+    /// Whether this snapshot may seed a warm restart: the run converged
+    /// (did not exhaust its budget). The *delta* must additionally be
+    /// growth-only — that is the caller's obligation, checked against
+    /// `DeltaReport::growth_only`.
+    pub fn reusable(&self) -> bool {
+        self.outcome != CertKOutcome::BudgetExhausted
+    }
+
+    /// Number of antichain members in the snapshot (0 when ∅ ∈ Δ).
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The snapshotted membership, for differential assertions: each
+    /// member sorted ascending, members in insertion order. ∅ is
+    /// represented by [`has_empty`](Self::has_empty) — when the query
+    /// was proved certain the iterator is empty.
+    pub fn members(&self) -> impl Iterator<Item = &[FactId]> + '_ {
+        self.members.iter().map(Vec::as_slice)
+    }
+
+    /// Whether ∅ was derived — the snapshotted view is certain.
+    pub fn has_empty(&self) -> bool {
+        self.has_empty
+    }
+
+    /// Merge sibling snapshots into one reusable state — the warm seed
+    /// for a view that is the disjoint union of the inputs' views (e.g.
+    /// q-connected components merged by a growth delta). Memberships of
+    /// disjoint views are mutually incomparable, so the union is again an
+    /// antichain; ∅ in any input makes the union certain. The merged
+    /// outcome is `Certain` if any input proved it, else `NotDerived` —
+    /// exhausted inputs poison the merge (`reusable` turns false).
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a CertKWarmState>) -> CertKWarmState {
+        let mut out = CertKWarmState {
+            members: Vec::new(),
+            has_empty: false,
+            outcome: CertKOutcome::NotDerived,
+        };
+        for p in parts {
+            if p.outcome == CertKOutcome::BudgetExhausted {
+                out.outcome = CertKOutcome::BudgetExhausted;
+            }
+            if p.has_empty {
+                out.has_empty = true;
+                if out.outcome != CertKOutcome::BudgetExhausted {
+                    out.outcome = CertKOutcome::Certain;
+                }
+            }
+            out.members.extend(p.members.iter().cloned());
+        }
+        if out.has_empty {
+            out.members.clear();
+        }
+        out
+    }
+}
+
+/// [`certk_view_with_stats`] that additionally captures a
+/// [`CertKWarmState`] snapshot of the reached antichain, the cold half of
+/// the warm-restart protocol: run this once, keep the snapshot, and after
+/// each growth-only delta hand it to [`certk_view_warm`] instead of
+/// rerunning from scratch.
+pub fn certk_view_snapshot(
+    q: &Query,
+    view: &DbView<'_>,
+    solutions: &SolutionSet,
+    cfg: CertKConfig,
+) -> (CertKOutcome, CertKStats, CertKWarmState) {
+    let (outcome, stats, snap) =
+        certk_view_poll_warm(q, view, solutions, cfg, &mut || false, None, true)
+            .unwrap_or_else(|_| unreachable!("a never-raised poll cannot interrupt the fixpoint"));
+    (outcome, stats, snap.expect("capture was requested"))
+}
+
+/// Warm-restart `Cert_k(q)` on `view` from a prior snapshot after a
+/// growth-only delta. `changed_facts` are the facts inserted since the
+/// snapshot (the delta's inserts, every one in a block that was empty at
+/// snapshot time); `dirty_blocks` are their blocks — the initial
+/// dirty-block worklist. The prior antichain is preloaded, only pairs
+/// involving `changed_facts` are seeded (through `insert_tracked`, so
+/// seed-touched old blocks join the worklist too), and requirement
+/// families are recomputed lazily for visited blocks only — untouched
+/// regions of the view are never rescanned. Returns the outcome, the
+/// (warm) run's statistics and a fresh snapshot for the next delta.
+///
+/// The reached membership — and hence the outcome — is **identical** to a
+/// cold run on the post-delta view: the closure is confluent and the old
+/// blocks were already converged against the preloaded members. The
+/// statistics differ, of course; that is the point
+/// (`blocks_skipped` counts the blocks the warm start never visited).
+///
+/// # Panics
+///
+/// Debug-asserts that `warm` is [`reusable`](CertKWarmState::reusable).
+/// The growth-only precondition on the delta is *not* checkable from the
+/// post-delta view alone and remains the caller's obligation.
+pub fn certk_view_warm(
+    q: &Query,
+    view: &DbView<'_>,
+    solutions: &SolutionSet,
+    cfg: CertKConfig,
+    warm: &CertKWarmState,
+    changed_facts: &[FactId],
+    dirty_blocks: &[BlockId],
+) -> (CertKOutcome, CertKStats, CertKWarmState) {
+    let init = WarmInit {
+        state: warm,
+        changed_facts,
+        dirty_blocks,
+    };
+    let (outcome, stats, snap) =
+        certk_view_poll_warm(q, view, solutions, cfg, &mut || false, Some(init), true)
+            .unwrap_or_else(|_| unreachable!("a never-raised poll cannot interrupt the fixpoint"));
+    (outcome, stats, snap.expect("capture was requested"))
+}
+
+/// [`certk_view_warm`] under a [`CancelToken`](crate::cancel::CancelToken),
+/// polled at the same bounded intervals as [`certk_view_cancel_token`].
+/// `Err` carries the partial statistics of a cancelled run — no snapshot
+/// is produced (an interrupted antichain proves nothing).
+#[allow(clippy::too_many_arguments)]
+pub fn certk_view_warm_cancel_token(
+    q: &Query,
+    view: &DbView<'_>,
+    solutions: &SolutionSet,
+    cfg: CertKConfig,
+    warm: &CertKWarmState,
+    changed_facts: &[FactId],
+    dirty_blocks: &[BlockId],
+    token: &crate::CancelToken,
+) -> Result<(CertKOutcome, CertKStats, CertKWarmState), CertKStats> {
+    let init = WarmInit {
+        state: warm,
+        changed_facts,
+        dirty_blocks,
+    };
+    let (outcome, stats, snap) = certk_view_poll_warm(
+        q,
+        view,
+        solutions,
+        cfg,
+        &mut || token.is_cancelled(),
+        Some(init),
+        true,
+    )?;
+    Ok((outcome, stats, snap.expect("capture was requested")))
+}
+
+/// [`certk_view_snapshot`] under a
+/// [`CancelToken`](crate::cancel::CancelToken) — the cold,
+/// snapshot-capturing counterpart of [`certk_view_cancel_token`].
+pub fn certk_view_snapshot_cancel_token(
+    q: &Query,
+    view: &DbView<'_>,
+    solutions: &SolutionSet,
+    cfg: CertKConfig,
+    token: &crate::CancelToken,
+) -> Result<(CertKOutcome, CertKStats, CertKWarmState), CertKStats> {
+    let (outcome, stats, snap) = certk_view_poll_warm(
+        q,
+        view,
+        solutions,
+        cfg,
+        &mut || token.is_cancelled(),
+        None,
+        true,
+    )?;
+    Ok((outcome, stats, snap.expect("capture was requested")))
+}
+
 /// Record into `stats` the partial evidence of a cancelled run: steps
 /// consumed so far and the antichain health counters at the cancel
 /// observation.
@@ -571,19 +776,78 @@ fn finalise_partial(stats: &mut CertKStats, chain: &Antichain<'_>, consumed: u64
 /// over the cancellation poll. `Err` carries the partial statistics of a
 /// cancelled run.
 pub(crate) fn certk_view_poll(
-    _q: &Query,
+    q: &Query,
     view: &DbView<'_>,
     solutions: &SolutionSet,
     cfg: CertKConfig,
     cancelled: &mut dyn FnMut() -> bool,
 ) -> Result<(CertKOutcome, CertKStats), CertKStats> {
+    certk_view_poll_warm(q, view, solutions, cfg, cancelled, None, false)
+        .map(|(outcome, stats, _)| (outcome, stats))
+}
+
+/// Warm-restart input for [`certk_view_poll_warm`]: a completed prior
+/// fixpoint plus the delta since its snapshot.
+struct WarmInit<'w> {
+    state: &'w CertKWarmState,
+    /// Facts inserted since the snapshot (must all live in fresh blocks).
+    changed_facts: &'w [FactId],
+    /// Blocks to seed the worklist with: the delta's blocks.
+    dirty_blocks: &'w [BlockId],
+}
+
+/// The fixpoint core, optionally warm-started and optionally capturing a
+/// reusable snapshot of the reached antichain.
+///
+/// A warm start preloads the prior run's antichain, seeds only pairs
+/// involving `changed_facts`, and begins the worklist at `dirty_blocks`
+/// (plus whatever the new seeds touch) instead of every block. This is
+/// sound and complete **only for growth-only deltas** — every fact added
+/// since the snapshot lives in a block that held no fact at snapshot time
+/// (see `docs/DELTAS.md` for the monotonicity argument); any other delta
+/// must run cold. The reached membership is identical to a cold run:
+/// the closure is confluent and the old blocks were already converged
+/// with respect to the preloaded members, so the worklist invariant
+/// ("a block not queued derives nothing new") holds from the start.
+fn certk_view_poll_warm(
+    _q: &Query,
+    view: &DbView<'_>,
+    solutions: &SolutionSet,
+    cfg: CertKConfig,
+    cancelled: &mut dyn FnMut() -> bool,
+    warm: Option<WarmInit<'_>>,
+    capture: bool,
+) -> Result<(CertKOutcome, CertKStats, Option<CertKWarmState>), CertKStats> {
     let db = view.parent();
     let mut stats = CertKStats::default();
     if cfg.k == 0 {
-        return Ok((CertKOutcome::NotDerived, stats));
+        let snap = capture.then(|| CertKWarmState {
+            members: Vec::new(),
+            has_empty: false,
+            outcome: CertKOutcome::NotDerived,
+        });
+        return Ok((CertKOutcome::NotDerived, stats, snap));
     }
     let mut chain = Antichain::new(db);
     let mut budget = cfg.node_budget;
+
+    // Blocks the warm seeds touch — queued alongside the dirty blocks.
+    let mut seed_dirty: Vec<FactId> = Vec::new();
+    if let Some(w) = &warm {
+        debug_assert!(
+            w.state.outcome != CertKOutcome::BudgetExhausted,
+            "cannot warm-restart from an exhausted (non-converged) fixpoint"
+        );
+        // Preload the prior antichain. Members are mutually incomparable
+        // and contain only old facts, so no insert prunes another.
+        if w.state.has_empty {
+            chain.insert(Vec::new());
+        } else {
+            for m in &w.state.members {
+                chain.insert(m.clone());
+            }
+        }
+    }
 
     // Seeds: solutions within the view that fit in a k-set. Iterating
     // view facts in id order visits the pairs in the same order the
@@ -591,36 +855,103 @@ pub(crate) fn certk_view_poll(
     // seed order exactly. Partners outside the view are skipped — that
     // *is* the restriction of the solution set to the view (a no-op on
     // q-closed views like components and full views, where the
-    // membership test is O(1)).
-    for &a in view.fact_ids() {
-        if cancelled() {
-            finalise_partial(&mut stats, &chain, cfg.node_budget - budget);
-            return Err(stats);
+    // membership test is O(1)). A warm restart seeds only the pairs
+    // involving facts added since the snapshot — every other pair was
+    // already seeded (and is covered by the preloaded members).
+    let seed = |a: FactId,
+                b: FactId,
+                chain: &mut Antichain<'_>,
+                stats: &mut CertKStats,
+                changed: &mut Vec<FactId>| {
+        if a == b {
+            stats.inserted += chain.insert_tracked(vec![a], changed) as usize;
+        } else if !db.key_equal(a, b) && cfg.k >= 2 {
+            let mut s = vec![a, b];
+            s.sort_unstable();
+            stats.inserted += chain.insert_tracked(s, changed) as usize;
         }
-        for &b in solutions.seconds_of(a) {
-            if !view.contains_fact(b) {
-                continue;
+        // Distinct key-equal facts can never share a repair: no seed.
+    };
+    match &warm {
+        None => {
+            for &a in view.fact_ids() {
+                if cancelled() {
+                    finalise_partial(&mut stats, &chain, cfg.node_budget - budget);
+                    return Err(stats);
+                }
+                for &b in solutions.seconds_of(a) {
+                    if !view.contains_fact(b) {
+                        continue;
+                    }
+                    if a == b {
+                        stats.inserted += chain.insert(vec![a]) as usize;
+                    } else if !db.key_equal(a, b) && cfg.k >= 2 {
+                        let mut s = vec![a, b];
+                        s.sort_unstable();
+                        stats.inserted += chain.insert(s) as usize;
+                    }
+                    // Distinct key-equal facts never share a repair: no seed.
+                }
             }
-            if a == b {
-                stats.inserted += chain.insert(vec![a]) as usize;
-            } else if !db.key_equal(a, b) && cfg.k >= 2 {
-                let mut s = vec![a, b];
-                s.sort_unstable();
-                stats.inserted += chain.insert(s) as usize;
+        }
+        Some(w) if !w.state.has_empty => {
+            for &a in w.changed_facts {
+                if !view.contains_fact(a) {
+                    continue;
+                }
+                if cancelled() {
+                    finalise_partial(&mut stats, &chain, cfg.node_budget - budget);
+                    return Err(stats);
+                }
+                for &b in solutions.seconds_of(a) {
+                    if view.contains_fact(b) {
+                        seed(a, b, &mut chain, &mut stats, &mut seed_dirty);
+                    }
+                }
+                for &c in solutions.firsts_of(a) {
+                    // (a, a) was handled above; (c, a) with old c is a pair
+                    // the cold run would have found from c's side.
+                    if c != a && view.contains_fact(c) {
+                        seed(c, a, &mut chain, &mut stats, &mut seed_dirty);
+                    }
+                }
             }
-            // Distinct key-equal facts can never share a repair: no seed.
+        }
+        Some(_) => {
+            // ∅ was already derived; growth keeps the query certain.
         }
     }
 
     let blocks = view.blocks();
     let nb = blocks.len();
     // Dirty-block worklist, drained in generations ("rounds"): the first
-    // generation holds every block; afterwards a block re-enters only
-    // when a member touching one of its facts is inserted or pruned —
+    // generation holds every block (cold) or only the delta's blocks and
+    // whatever the new seeds touched (warm); afterwards a block re-enters
+    // only when a member touching one of its facts is inserted or pruned —
     // derive_block's output depends on the chain solely through the
     // requirement families of the block's facts, so an untouched block
     // cannot produce a new (uncovered) candidate and is safe to skip.
-    let mut current: Vec<BlockId> = blocks.to_vec();
+    let mut current: Vec<BlockId> = match &warm {
+        None => blocks.to_vec(),
+        Some(w) => {
+            let mut cur: Vec<BlockId> = w
+                .dirty_blocks
+                .iter()
+                .copied()
+                .filter(|&b| view.local_block_index(b).is_some())
+                .collect();
+            cur.extend(
+                seed_dirty
+                    .iter()
+                    .map(|&f| db.block_of(f))
+                    .filter(|&b| view.local_block_index(b).is_some()),
+            );
+            cur.sort_unstable();
+            cur.dedup();
+            stats.blocks_skipped += nb - cur.len();
+            cur
+        }
+    };
     let mut next: Vec<BlockId> = Vec::new();
     // queued[i]: view block i is already in `next`.
     let mut queued = vec![false; nb];
@@ -703,7 +1034,16 @@ pub(crate) fn certk_view_poll(
     };
     stats.peak_members = chain.peak_live();
     stats.stale_compacted = chain.stale_compacted();
-    Ok((outcome, stats))
+    let snap = capture.then(|| CertKWarmState {
+        members: if chain.has_empty() {
+            Vec::new()
+        } else {
+            chain.live_members().map(<[FactId]>::to_vec).collect()
+        },
+        has_empty: chain.has_empty(),
+        outcome,
+    });
+    Ok((outcome, stats, snap))
 }
 
 /// The ⊆-minimal requirement family
@@ -1346,5 +1686,173 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Canonical form of a snapshot's membership for differential
+    /// assertions: (∅ derived, members sorted).
+    fn membership(s: &CertKWarmState) -> (bool, Vec<Vec<FactId>>) {
+        let mut m: Vec<Vec<FactId>> = s.members().map(<[FactId]>::to_vec).collect();
+        m.sort();
+        (s.has_empty(), m)
+    }
+
+    #[test]
+    fn warm_restart_matches_cold_across_chained_growth_deltas() {
+        let q = examples::q3();
+        let cfg = CertKConfig::new(2);
+        let mut d = db2(&[["a", "b"], ["a", "x"]]);
+        let sols = SolutionSet::enumerate(&q, &d);
+        let (out0, _, mut warm) = certk_view_snapshot(&q, &d.full_view(), &sols, cfg);
+        assert_eq!(out0, CertKOutcome::NotDerived);
+
+        // Two growth-only steps; the second tips the query into certainty.
+        let steps: [&[[&str; 2]]; 2] = [&[["b", "c"]], &[["x", "y"]]];
+        for step in steps {
+            let facts: Vec<Fact> = step
+                .iter()
+                .map(|r| Fact::from_names(r.iter().copied()))
+                .collect();
+            let report = d.apply_delta(&facts, &[]).unwrap();
+            assert!(report.growth_only());
+            let sols = SolutionSet::enumerate(&q, &d);
+            let (warm_out, _, warm_next) = certk_view_warm(
+                &q,
+                &d.full_view(),
+                &sols,
+                cfg,
+                &warm,
+                &report.inserted,
+                &report.touched,
+            );
+            let (cold_out, _, cold_snap) = certk_view_snapshot(&q, &d.full_view(), &sols, cfg);
+            assert_eq!(warm_out, cold_out, "outcome diverged on {d:?}");
+            assert_eq!(
+                membership(&warm_next),
+                membership(&cold_snap),
+                "antichain membership diverged on {d:?}"
+            );
+            warm = warm_next;
+        }
+        assert_eq!(warm.outcome(), CertKOutcome::Certain);
+    }
+
+    #[test]
+    fn warm_restart_from_certain_snapshot_returns_without_deriving() {
+        let q = examples::q3();
+        let cfg = CertKConfig::new(2);
+        let mut d = db2(&[["a", "b"], ["b", "c"]]);
+        let sols = SolutionSet::enumerate(&q, &d);
+        let (out0, _, warm) = certk_view_snapshot(&q, &d.full_view(), &sols, cfg);
+        assert_eq!(out0, CertKOutcome::Certain);
+
+        let report = d.apply_delta(&[Fact::from_names(["p", "q"])], &[]).unwrap();
+        let sols = SolutionSet::enumerate(&q, &d);
+        let (out, stats, snap) = certk_view_warm(
+            &q,
+            &d.full_view(),
+            &sols,
+            cfg,
+            &warm,
+            &report.inserted,
+            &report.touched,
+        );
+        // Growth keeps a certain view certain; ∅ short-circuits the loop.
+        assert_eq!(out, CertKOutcome::Certain);
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(stats.blocks_derived, 0);
+        assert!(snap.has_empty());
+    }
+
+    #[test]
+    fn warm_restart_visits_only_the_delta_neighbourhood() {
+        let q = examples::q3();
+        let cfg = CertKConfig::new(2);
+        // 50 isolated edges x_i -> y_i: no solutions, 50 blocks.
+        let mut d = Database::new(Signature::new(2, 1).unwrap());
+        for i in 0..50 {
+            d.insert(Fact::from_names([format!("x{i}"), format!("y{i}")]))
+                .unwrap();
+        }
+        let sols = SolutionSet::enumerate(&q, &d);
+        let (_, cold0, warm) = certk_view_snapshot(&q, &d.full_view(), &sols, cfg);
+        assert_eq!(cold0.blocks_derived, 50);
+
+        // One new edge continues x0 -> y0: only its neighbourhood is dirty.
+        let report = d
+            .apply_delta(&[Fact::from_names(["y0", "z"])], &[])
+            .unwrap();
+        let sols = SolutionSet::enumerate(&q, &d);
+        let (out, warm_stats, warm_snap) = certk_view_warm(
+            &q,
+            &d.full_view(),
+            &sols,
+            cfg,
+            &warm,
+            &report.inserted,
+            &report.touched,
+        );
+        let (cold_out, cold_stats, cold_snap) = certk_view_snapshot(&q, &d.full_view(), &sols, cfg);
+        assert_eq!(out, cold_out);
+        assert_eq!(membership(&warm_snap), membership(&cold_snap));
+        assert!(
+            warm_stats.blocks_derived <= 4,
+            "warm run visited {} blocks",
+            warm_stats.blocks_derived
+        );
+        assert!(cold_stats.blocks_derived >= 51);
+        assert!(warm_stats.blocks_skipped >= 47);
+    }
+
+    #[test]
+    fn merged_component_snapshots_seed_a_joint_warm_restart() {
+        let q = examples::q3();
+        let cfg = CertKConfig::new(2);
+        let mut d = db2(&[["a", "b"], ["c", "d"]]);
+        let sols = SolutionSet::enumerate(&q, &d);
+        // Snapshot each q-connected component separately, as the engine's
+        // per-component cache does.
+        let comps = crate::components::q_connected_components_with_solutions(&q, &d, &sols);
+        assert_eq!(comps.len(), 2);
+        let snaps: Vec<CertKWarmState> = comps
+            .iter()
+            .map(|c| certk_view_snapshot(&q, &c.view, &sols, cfg).2)
+            .collect();
+        let merged = CertKWarmState::merged(&snaps);
+        assert!(merged.reusable());
+
+        // A growth delta bridges the components: b -> c in a fresh block.
+        let report = d.apply_delta(&[Fact::from_names(["b", "c"])], &[]).unwrap();
+        assert!(report.growth_only());
+        let sols = SolutionSet::enumerate(&q, &d);
+        let (out, _, snap) = certk_view_warm(
+            &q,
+            &d.full_view(),
+            &sols,
+            cfg,
+            &merged,
+            &report.inserted,
+            &report.touched,
+        );
+        let (cold_out, _, cold_snap) = certk_view_snapshot(&q, &d.full_view(), &sols, cfg);
+        assert_eq!(out, cold_out);
+        assert_eq!(membership(&snap), membership(&cold_snap));
+    }
+
+    #[test]
+    fn exhausted_snapshots_are_not_reusable() {
+        let q = examples::q3();
+        let d = db2(&[["a", "b"], ["b", "c"], ["c", "d"], ["d", "e"]]);
+        let sols = SolutionSet::enumerate(&q, &d);
+        let cfg = CertKConfig {
+            k: 2,
+            node_budget: 1,
+            threads: 1,
+            early_exit: false,
+        };
+        let (out, _, snap) = certk_view_snapshot(&q, &d.full_view(), &sols, cfg);
+        assert_eq!(out, CertKOutcome::BudgetExhausted);
+        assert!(!snap.reusable());
+        let merged = CertKWarmState::merged([&snap]);
+        assert!(!merged.reusable());
     }
 }

@@ -22,8 +22,9 @@
 
 use crate::SolutionSet;
 use cqa_graph::UnionFind;
-use cqa_model::{Database, DbView, FactId};
+use cqa_model::{BlockId, Database, DbView, DeltaReport, FactId};
 use cqa_query::Query;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One q-connected component: a borrowed, block-aligned view into the
 /// parent database.
@@ -70,17 +71,8 @@ pub fn q_connected_components_with_solutions<'a>(
     db: &'a Database,
     solutions: &SolutionSet,
 ) -> Vec<Component<'a>> {
-    let mut uf = block_union_find(db, solutions);
-    uf.groups()
-        .into_iter()
-        .map(|block_group| Component {
-            view: db.view_of_blocks(
-                block_group
-                    .into_iter()
-                    .map(|bi| cqa_model::BlockId(bi as u32)),
-            ),
-        })
-        .collect()
+    let uf = block_union_find(db, solutions);
+    groups_to_components(db, uf)
 }
 
 /// The q-connected partition, materialised only when it splits into at
@@ -96,31 +88,233 @@ pub fn q_connected_components_if_fragmented<'a>(
     min_components: usize,
 ) -> Option<Vec<Component<'a>>> {
     let mut uf = block_union_find(db, solutions);
-    let count = (0..db.block_count()).filter(|&b| uf.find(b) == b).count();
+    // Only live blocks count: an emptied (tombstoned) block is a stale
+    // singleton in the id space, never a component.
+    let count = db
+        .block_ids()
+        .filter(|b| uf.find(b.idx()) == b.idx())
+        .count();
     if count < min_components {
         return None;
     }
-    Some(
-        uf.groups()
-            .into_iter()
-            .map(|block_group| Component {
-                view: db.view_of_blocks(
-                    block_group
-                        .into_iter()
-                        .map(|bi| cqa_model::BlockId(bi as u32)),
-                ),
-            })
-            .collect(),
-    )
+    Some(groups_to_components(db, uf))
 }
 
-/// Union-find over blocks joined by solution edges.
+/// Union-find over the block-id *space* (tombstoned slots included, so raw
+/// ids index directly), joined by solution edges. Emptied blocks hold no
+/// live facts, appear in no solution, and therefore stay singletons.
 fn block_union_find(db: &Database, solutions: &SolutionSet) -> UnionFind {
-    let mut uf = UnionFind::new(db.block_count());
+    let mut uf = UnionFind::new(db.block_slots());
     for &(a, b) in solutions.pairs() {
         uf.union(db.block_of(a).idx(), db.block_of(b).idx());
     }
     uf
+}
+
+/// Materialise union-find groups as component views, dropping the stale
+/// singleton groups of emptied blocks.
+fn groups_to_components(db: &Database, mut uf: UnionFind) -> Vec<Component<'_>> {
+    uf.groups()
+        .into_iter()
+        .filter(|g| {
+            g.iter()
+                .any(|&bi| !db.block(cqa_model::BlockId(bi as u32)).is_empty())
+        })
+        .map(|block_group| Component {
+            view: db.view_of_blocks(
+                block_group
+                    .into_iter()
+                    .map(|bi| cqa_model::BlockId(bi as u32)),
+            ),
+        })
+        .collect()
+}
+
+/// What one [`DynamicComponents::apply`] did to the partition.
+#[derive(Clone, Debug, Default)]
+pub struct ComponentDeltaReport {
+    /// Component ids dissolved by the delta (merged, split or emptied).
+    pub dropped: Vec<u32>,
+    /// Fresh component ids covering the dirty region, ascending. These are
+    /// the components whose verdicts must be (re-)established.
+    pub created: Vec<u32>,
+    /// For each created component: the dropped components whose blocks it
+    /// absorbed, ascending. A created component whose lineage is empty is
+    /// built purely from fresh blocks.
+    pub lineage: HashMap<u32, Vec<u32>>,
+    /// Components left untouched — their cached verdicts stay valid.
+    pub retained: usize,
+}
+
+/// A q-connected partition maintained across [`Database::apply_delta`]s.
+///
+/// Components carry stable numeric ids: an untouched component keeps its
+/// id (and therefore any verdict cached under it), while every component
+/// in the dirty region — touched blocks, their components, and any
+/// component a new solution edge reaches — is dissolved and re-partitioned
+/// under fresh ids. Insertions that bridge two components thus merge them
+/// into one fresh component; retractions that cut a component apart split
+/// it into several. Cost per delta is `O(dirty region)`, not `O(db)`.
+#[derive(Clone, Debug)]
+pub struct DynamicComponents {
+    comp_of_block: HashMap<BlockId, u32>,
+    blocks_of_comp: BTreeMap<u32, Vec<BlockId>>,
+    next: u32,
+}
+
+impl DynamicComponents {
+    /// Partition `db` from scratch (same result as
+    /// [`q_connected_components_with_solutions`]).
+    pub fn new(db: &Database, solutions: &SolutionSet) -> DynamicComponents {
+        let mut dc = DynamicComponents {
+            comp_of_block: HashMap::new(),
+            blocks_of_comp: BTreeMap::new(),
+            next: 0,
+        };
+        let pool: Vec<BlockId> = db.block_ids().collect();
+        for group in partition_pool(db, solutions, &pool) {
+            dc.admit(group);
+        }
+        dc
+    }
+
+    fn admit(&mut self, group: Vec<BlockId>) -> u32 {
+        let id = self.next;
+        self.next += 1;
+        for &b in &group {
+            self.comp_of_block.insert(b, id);
+        }
+        self.blocks_of_comp.insert(id, group);
+        id
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.blocks_of_comp.len()
+    }
+
+    /// `true` iff the partition has no components.
+    pub fn is_empty(&self) -> bool {
+        self.blocks_of_comp.is_empty()
+    }
+
+    /// Component ids, ascending.
+    pub fn ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.blocks_of_comp.keys().copied()
+    }
+
+    /// The blocks of a component, ascending.
+    pub fn blocks_of(&self, id: u32) -> &[BlockId] {
+        &self.blocks_of_comp[&id]
+    }
+
+    /// The component a block belongs to, if any.
+    pub fn comp_of_block(&self, b: BlockId) -> Option<u32> {
+        self.comp_of_block.get(&b).copied()
+    }
+
+    /// The component as a copy-free view of `db`.
+    pub fn view_of<'a>(&self, db: &'a Database, id: u32) -> DbView<'a> {
+        db.view_of_blocks(self.blocks_of(id).iter().copied())
+    }
+
+    /// Fold a database delta into the partition. `solutions` must already
+    /// be the post-delta solution set (see `IncrementalSolutions`).
+    pub fn apply(
+        &mut self,
+        db: &Database,
+        solutions: &SolutionSet,
+        report: &DeltaReport,
+    ) -> ComponentDeltaReport {
+        let before = self.blocks_of_comp.len();
+        // Dirty components: those of touched blocks, plus every component
+        // a brand-new solution edge reaches (insert-side merges).
+        let mut dirty: BTreeSet<u32> = BTreeSet::new();
+        for &b in &report.touched {
+            if let Some(&c) = self.comp_of_block.get(&b) {
+                dirty.insert(c);
+            }
+        }
+        for &f in &report.inserted {
+            for &g in solutions.seconds_of(f).iter().chain(solutions.firsts_of(f)) {
+                if let Some(&c) = self.comp_of_block.get(&db.block_of(g)) {
+                    dirty.insert(c);
+                }
+            }
+        }
+        // The dirty block pool: blocks of dirty components (still live)
+        // plus live touched blocks not yet in any component (fresh ones).
+        let mut lineage_of_block: HashMap<BlockId, u32> = HashMap::new();
+        let mut pool: Vec<BlockId> = Vec::new();
+        for &c in &dirty {
+            for &b in &self.blocks_of_comp[&c] {
+                lineage_of_block.insert(b, c);
+                if !db.block(b).is_empty() {
+                    pool.push(b);
+                }
+            }
+        }
+        for &b in &report.touched {
+            if !lineage_of_block.contains_key(&b) && !db.block(b).is_empty() {
+                pool.push(b);
+            }
+        }
+        pool.sort_unstable();
+        pool.dedup();
+        let dropped: Vec<u32> = dirty.iter().copied().collect();
+        for &c in &dirty {
+            for b in self.blocks_of_comp.remove(&c).unwrap_or_default() {
+                self.comp_of_block.remove(&b);
+            }
+        }
+        let mut out = ComponentDeltaReport {
+            dropped,
+            retained: before - dirty.len(),
+            ..ComponentDeltaReport::default()
+        };
+        for group in partition_pool(db, solutions, &pool) {
+            let mut parents: Vec<u32> = group
+                .iter()
+                .filter_map(|b| lineage_of_block.get(b).copied())
+                .collect();
+            parents.sort_unstable();
+            parents.dedup();
+            let id = self.admit(group);
+            out.lineage.insert(id, parents);
+            out.created.push(id);
+        }
+        out
+    }
+}
+
+/// Group a closed set of blocks into q-connected components, deterministic
+/// in the pool order: groups come out ordered by their smallest block.
+/// Every solution edge incident to a pool block must stay inside the pool
+/// (true for a full partition and for the dirty-region closure built by
+/// [`DynamicComponents::apply`]).
+fn partition_pool(db: &Database, solutions: &SolutionSet, pool: &[BlockId]) -> Vec<Vec<BlockId>> {
+    let local: HashMap<BlockId, usize> = pool.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    let mut uf = UnionFind::new(pool.len());
+    for (i, &b) in pool.iter().enumerate() {
+        for &f in db.block(b) {
+            for &g in solutions.seconds_of(f) {
+                match local.get(&db.block_of(g)) {
+                    Some(&j) => {
+                        uf.union(i, j);
+                    }
+                    None => debug_assert!(false, "solution edge escapes the block pool"),
+                }
+            }
+        }
+    }
+    let mut by_root: HashMap<usize, Vec<BlockId>> = HashMap::new();
+    for (i, &b) in pool.iter().enumerate() {
+        by_root.entry(uf.find(i)).or_default().push(b);
+    }
+    let mut out: Vec<Vec<BlockId>> = by_root.into_values().collect();
+    // Pool is ascending, so each group's first entry is its minimum.
+    out.sort_unstable_by_key(|g| g[0]);
+    out
 }
 
 #[cfg(test)]
@@ -203,5 +397,91 @@ mod tests {
     fn empty_database_yields_no_components() {
         let d = Database::new(Signature::new(2, 1).unwrap());
         assert!(q_connected_components(&examples::q3(), &d).is_empty());
+    }
+
+    /// The dynamic partition, as a set of block sets, must equal the
+    /// from-scratch partition.
+    fn assert_matches_scratch(q: &Query, db: &Database, dc: &DynamicComponents) {
+        let mut dynamic: Vec<Vec<cqa_model::BlockId>> =
+            dc.ids().map(|c| dc.blocks_of(c).to_vec()).collect();
+        dynamic.sort();
+        let mut scratch: Vec<Vec<cqa_model::BlockId>> = q_connected_components(q, db)
+            .iter()
+            .map(|c| c.view.blocks().to_vec())
+            .collect();
+        scratch.sort();
+        assert_eq!(dynamic, scratch);
+    }
+
+    #[test]
+    fn dynamic_components_merge_on_insert() {
+        let q = examples::q3();
+        let mut db = db2(&[["a", "b"], ["b", "c"], ["p", "q"], ["q", "r"]]);
+        let mut inc = crate::IncrementalSolutions::new(&q, &db);
+        let mut dc = DynamicComponents::new(&db, inc.solutions());
+        assert_eq!(dc.len(), 2);
+        let old_ids: Vec<u32> = dc.ids().collect();
+        // Bridge the two chains: c -> p.
+        let rep = db
+            .apply_delta(&[Fact::from_names(["c", "p"])], &[])
+            .unwrap();
+        inc.apply_delta(&db, &rep);
+        let out = dc.apply(&db, inc.solutions(), &rep);
+        assert_eq!(dc.len(), 1);
+        assert_eq!(out.created.len(), 1);
+        assert_eq!(out.lineage[&out.created[0]], old_ids);
+        assert_eq!(out.retained, 0);
+        assert_matches_scratch(&q, &db, &dc);
+    }
+
+    #[test]
+    fn dynamic_components_split_on_retract() {
+        let q = examples::q3();
+        let mut db = db2(&[["a", "b"], ["b", "c"], ["c", "d"], ["z", "w"]]);
+        let mut inc = crate::IncrementalSolutions::new(&q, &db);
+        let mut dc = DynamicComponents::new(&db, inc.solutions());
+        assert_eq!(dc.len(), 2);
+        // Cut the chain in the middle: {ab} and {cd} disconnect.
+        let rep = db
+            .apply_delta(&[], &[Fact::from_names(["b", "c"])])
+            .unwrap();
+        inc.apply_delta(&db, &rep);
+        let out = dc.apply(&db, inc.solutions(), &rep);
+        assert_eq!(dc.len(), 3);
+        assert_eq!(out.dropped.len(), 1);
+        assert_eq!(out.created.len(), 2);
+        // The isolated {zw} component was untouched and keeps its verdicts.
+        assert_eq!(out.retained, 1);
+        assert_matches_scratch(&q, &db, &dc);
+    }
+
+    #[test]
+    fn dynamic_components_track_mixed_delta_scripts() {
+        let q = examples::q3();
+        let mut db = db2(&[["a", "b"], ["b", "c"]]);
+        let mut inc = crate::IncrementalSolutions::new(&q, &db);
+        let mut dc = DynamicComponents::new(&db, inc.solutions());
+        type Rows<'a> = Vec<[&'a str; 2]>;
+        let scripts: Vec<(Rows, Rows)> = vec![
+            (vec![["c", "d"], ["x", "y"]], vec![]),
+            (vec![["y", "z"]], vec![["b", "c"]]),
+            (vec![["b", "c"], ["d", "x"]], vec![["a", "b"]]),
+            (vec![], vec![["c", "d"], ["x", "y"]]),
+            (vec![["a", "b"]], vec![["y", "z"]]),
+        ];
+        for (ins, del) in scripts {
+            let ins: Vec<Fact> = ins
+                .iter()
+                .map(|r| Fact::from_names(r.iter().copied()))
+                .collect();
+            let del: Vec<Fact> = del
+                .iter()
+                .map(|r| Fact::from_names(r.iter().copied()))
+                .collect();
+            let rep = db.apply_delta(&ins, &del).unwrap();
+            inc.apply_delta(&db, &rep);
+            dc.apply(&db, inc.solutions(), &rep);
+            assert_matches_scratch(&q, &db, &dc);
+        }
     }
 }

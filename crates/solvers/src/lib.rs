@@ -48,16 +48,18 @@ pub use brute::{
 };
 pub use cancel::CancelToken;
 pub use certk::{
-    cert2, certk, certk_view, certk_view_cancel_token, certk_view_cancellable,
+    cert2, certk, certk_view, certk_view_cancel_token, certk_view_cancellable, certk_view_snapshot,
+    certk_view_snapshot_cancel_token, certk_view_warm, certk_view_warm_cancel_token,
     certk_view_with_stats, certk_with_stats, Antichain, CertKConfig, CertKOutcome, CertKStats,
+    CertKWarmState,
 };
 pub use combined::{
     certain_combined, certain_combined_over, certain_combined_over_cancellable,
     certain_thm105_literal, certk_by_components, certk_by_components_cancellable, CombinedResult,
     DecidedBy,
 };
-pub use components::{q_connected_components, Component};
+pub use components::{q_connected_components, Component, ComponentDeltaReport, DynamicComponents};
 pub use matching::{
     analyze_view, certain_by_matching, is_clique_database, matching_accepts, MatchingAnalysis,
 };
-pub use solution::SolutionSet;
+pub use solution::{IncrementalSolutions, SolutionSet};

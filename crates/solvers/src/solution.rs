@@ -126,11 +126,174 @@ impl SolutionSet {
     /// vertices are the facts of `db`, an edge `{a, b}` iff `D ⊨ q{a b}`,
     /// plus a self-loop on `a` iff `q(a a)`.
     pub fn graph(&self, db: &Database) -> Undirected {
-        let mut g = Undirected::new(db.len());
+        // Sized by the id space, not the live count — after a retraction
+        // the database has tombstoned slots and ids are not dense.
+        let mut g = Undirected::new(db.fact_slots());
         for &(a, b) in &self.pairs {
             g.add_edge(a.idx(), b.idx());
         }
         g
+    }
+
+    /// Record a solution pair during incremental maintenance. Returns
+    /// `false` when the pair was already present.
+    pub(crate) fn insert_pair(&mut self, a: FactId, b: FactId) -> bool {
+        let fresh = !self.pair_set.contains(&(a, b));
+        self.push(a, b);
+        fresh
+    }
+
+    /// Drop every pair with an endpoint among `dead`, fixing all indexes.
+    /// One `O(pairs)` sweep regardless of how many facts die.
+    pub(crate) fn remove_facts(&mut self, dead: &[FactId]) {
+        if dead.is_empty() {
+            return;
+        }
+        let dead_set: HashSet<FactId> = dead.iter().copied().collect();
+        for &f in dead {
+            for b in self.by_first.remove(&f).unwrap_or_default() {
+                self.pair_set.remove(&(f, b));
+                if let Some(v) = self.by_second.get_mut(&b) {
+                    v.retain(|&x| x != f);
+                }
+            }
+            for a in self.by_second.remove(&f).unwrap_or_default() {
+                self.pair_set.remove(&(a, f));
+                if let Some(v) = self.by_first.get_mut(&a) {
+                    v.retain(|&x| x != f);
+                }
+            }
+        }
+        self.pairs
+            .retain(|&(a, b)| !dead_set.contains(&a) && !dead_set.contains(&b));
+    }
+}
+
+/// A [`SolutionSet`] that can be patched in place after a
+/// [`Database::apply_delta`], avoiding a full re-enumeration.
+///
+/// Keeps the hash-join's two probe indexes alive between deltas: facts
+/// matching the `A` pattern and facts matching the `B` pattern, each keyed
+/// by their projection onto the query's shared variables. Inserting a fact
+/// then costs one probe per side, and retracting costs the removal of its
+/// incident pairs — `O(delta × degree)` instead of `O(n)`.
+#[derive(Clone, Debug)]
+pub struct IncrementalSolutions {
+    q: Query,
+    shared: Vec<Var>,
+    /// First position of each shared variable inside `B`.
+    probe_positions: Vec<usize>,
+    set: SolutionSet,
+    a_index: HashMap<Vec<Elem>, Vec<FactId>>,
+    b_index: HashMap<Vec<Elem>, Vec<FactId>>,
+}
+
+impl IncrementalSolutions {
+    /// Enumerate the solutions of `q` in `db` and keep the join indexes
+    /// for later deltas.
+    pub fn new(q: &Query, db: &Database) -> IncrementalSolutions {
+        let shared: Vec<Var> = q.shared_vars().into_iter().collect();
+        let probe_positions: Vec<usize> = shared.iter().map(|v| q.b().positions_of(v)[0]).collect();
+        let mut inc = IncrementalSolutions {
+            q: q.clone(),
+            shared,
+            probe_positions,
+            set: SolutionSet::default(),
+            a_index: HashMap::new(),
+            b_index: HashMap::new(),
+        };
+        for (id, fact) in db.facts() {
+            inc.add_fact(id, fact);
+        }
+        inc
+    }
+
+    /// The maintained solution set. Equal (as a set of pairs) to a fresh
+    /// [`SolutionSet::enumerate`] on the current database; pair *order*
+    /// may differ, which no verdict depends on.
+    pub fn solutions(&self) -> &SolutionSet {
+        &self.set
+    }
+
+    /// The query the solutions are maintained for.
+    pub fn query(&self) -> &Query {
+        &self.q
+    }
+
+    /// Patch the set after `db.apply_delta` produced `report`. `db` must
+    /// be the post-delta database (retracted ids still resolve through
+    /// their tombstoned slots).
+    pub fn apply_delta(&mut self, db: &Database, report: &cqa_model::DeltaReport) {
+        for &id in &report.retracted {
+            let fact = db.fact(id);
+            if let Some(k) = self.a_projection(fact) {
+                if let Some(v) = self.a_index.get_mut(&k) {
+                    v.retain(|&x| x != id);
+                }
+            }
+            if let Some(k) = self.b_projection(fact) {
+                if let Some(v) = self.b_index.get_mut(&k) {
+                    v.retain(|&x| x != id);
+                }
+            }
+        }
+        self.set.remove_facts(&report.retracted);
+        for &id in &report.inserted {
+            self.add_fact(id, db.fact(id));
+        }
+    }
+
+    /// Projection of an `A`-matching fact onto the shared variables.
+    fn a_projection(&self, fact: &cqa_model::Fact) -> Option<Vec<Elem>> {
+        let mut mu = Subst::new();
+        if !mu.match_atom(self.q.a(), fact) {
+            return None;
+        }
+        Some(
+            self.shared
+                .iter()
+                .map(|v| mu.get(v).expect("shared variable must be bound by A"))
+                .collect(),
+        )
+    }
+
+    /// Projection of a `B`-matching fact onto the shared variables.
+    fn b_projection(&self, fact: &cqa_model::Fact) -> Option<Vec<Elem>> {
+        let mut mu = Subst::new();
+        if !mu.match_atom(self.q.b(), fact) {
+            return None;
+        }
+        Some(self.probe_positions.iter().map(|&i| fact.at(i)).collect())
+    }
+
+    fn add_fact(&mut self, id: FactId, fact: &cqa_model::Fact) {
+        let a_key = self.a_projection(fact);
+        let b_key = self.b_projection(fact);
+        if let Some(k) = &a_key {
+            if let Some(cands) = self.b_index.get(k) {
+                for &b in cands {
+                    self.set.insert_pair(id, b);
+                }
+            }
+        }
+        if let Some(k) = &b_key {
+            if let Some(cands) = self.a_index.get(k) {
+                for &a in cands {
+                    self.set.insert_pair(a, id);
+                }
+            }
+        }
+        if let (Some(ka), Some(kb)) = (&a_key, &b_key) {
+            if ka == kb {
+                self.set.insert_pair(id, id);
+            }
+        }
+        if let Some(k) = a_key {
+            self.a_index.entry(k).or_default().push(id);
+        }
+        if let Some(k) = b_key {
+            self.b_index.entry(k).or_default().push(id);
+        }
     }
 }
 
@@ -239,6 +402,73 @@ mod tests {
         assert!(!satisfies(&sols, &[ab, xy]));
         assert!(!satisfies(&sols, &[ab]));
         assert!(!satisfies(&sols, &[]));
+    }
+
+    fn sorted_pairs(s: &SolutionSet) -> Vec<(FactId, FactId)> {
+        let mut v = s.pairs().to_vec();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn incremental_solutions_track_deltas() {
+        let q = examples::q3();
+        let mut db = db_from(
+            Signature::new(2, 1).unwrap(),
+            &[&["a", "b"], &["b", "c"], &["x", "y"]],
+        );
+        let mut inc = IncrementalSolutions::new(&q, &db);
+        assert_eq!(
+            sorted_pairs(inc.solutions()),
+            sorted_pairs(&SolutionSet::enumerate(&q, &db))
+        );
+        // Insert a chain extension and a self-loop, retract the x edge.
+        let rep = db
+            .apply_delta(
+                &[Fact::from_names(["c", "d"]), Fact::from_names(["e", "e"])],
+                &[Fact::from_names(["x", "y"])],
+            )
+            .unwrap();
+        inc.apply_delta(&db, &rep);
+        assert_eq!(
+            sorted_pairs(inc.solutions()),
+            sorted_pairs(&SolutionSet::enumerate(&q, &db))
+        );
+        let ee = db.id_of(&Fact::from_names(["e", "e"])).unwrap();
+        assert!(inc.solutions().self_loop(ee));
+        // Retract a fact that participates in pairs; indexes must shrink.
+        let rep = db
+            .apply_delta(&[], &[Fact::from_names(["b", "c"])])
+            .unwrap();
+        inc.apply_delta(&db, &rep);
+        assert_eq!(
+            sorted_pairs(inc.solutions()),
+            sorted_pairs(&SolutionSet::enumerate(&q, &db))
+        );
+        let ab = db.id_of(&Fact::from_names(["a", "b"])).unwrap();
+        assert!(inc.solutions().seconds_of(ab).is_empty());
+    }
+
+    #[test]
+    fn incremental_solutions_survive_reinsertion() {
+        // Retract then re-insert the same fact: the fact gets a fresh id
+        // and the pair set must match a from-scratch enumeration.
+        let q = examples::q3();
+        let mut db = db_from(Signature::new(2, 1).unwrap(), &[&["a", "b"], &["b", "c"]]);
+        let mut inc = IncrementalSolutions::new(&q, &db);
+        let rep = db
+            .apply_delta(&[], &[Fact::from_names(["b", "c"])])
+            .unwrap();
+        inc.apply_delta(&db, &rep);
+        let rep = db
+            .apply_delta(&[Fact::from_names(["b", "c"])], &[])
+            .unwrap();
+        inc.apply_delta(&db, &rep);
+        assert_eq!(
+            sorted_pairs(inc.solutions()),
+            sorted_pairs(&SolutionSet::enumerate(&q, &db))
+        );
+        assert_eq!(inc.solutions().len(), 1);
     }
 
     #[test]

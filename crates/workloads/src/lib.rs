@@ -17,16 +17,24 @@
 //!   distribution, plus a streaming fact-file writer;
 //! * [`queries`] — seeded random two-atom query fleets for the
 //!   classifier → router → solver differential pipeline;
+//! * [`deltas`] — seeded insert/retract scripts over a base database
+//!   (touch-locality knob: same-block vs cross-component) for the
+//!   incremental-update differential layer;
 //! * [`skew`] — production-skew database families (Zipfian key
 //!   popularity, heavy-hitter blocks, mixed certain/contested batches).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod deltas;
 pub mod large;
 pub mod queries;
 pub mod skew;
 
+pub use deltas::{
+    random_delta_ops, render_delta_script, split_delta_ops, DeltaLocality, DeltaOp,
+    DeltaScriptConfig,
+};
 pub use queries::{
     derive_seed, random_distinct_queries, random_queries, random_query, GeneratedQuery,
     QueryGenConfig,

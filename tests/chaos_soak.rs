@@ -77,6 +77,155 @@ fn cli_loader() -> Loader {
     Arc::new(|path: &str| load_db_file(path).map_err(|e| e.message))
 }
 
+/// Torn-update soak: clients race the *same* idempotent delta script
+/// through the chaos proxy (which drops, splits and resets mid-frame)
+/// while others keep querying. The invariant: **no half-applied
+/// session.** Every completed batch answers exactly like the pre-delta
+/// database or exactly like the post-delta database — never a mixture —
+/// and once any update has succeeded, the session is post-delta for
+/// good. A connection killed mid-update may lose the *reply*, never
+/// tear the *application*: the swap is atomic under the manager lock.
+#[test]
+fn torn_updates_never_yield_a_half_applied_session() {
+    let rounds: usize = std::env::var("CQA_CHAOS_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+    let fixture = Fixture::new();
+
+    // One mixed delta (an insert *and* a retract: the shape where a torn
+    // half-application would answer differently than the whole delta).
+    // The inserted fresh self-loop fact forms a singleton block, so
+    // `R(y | x) R(x | x)` becomes certain in every repair — a guaranteed
+    // verdict flip, making tearing *visible* to the invariant below.
+    let pre_expected = fixture.expected.clone();
+    let mut replay = load_db_file(&fixture.db_path).unwrap();
+    let first_resident = replay.facts().next().map(|(_, f)| f.clone()).unwrap();
+    let ops = vec![
+        cqa_workloads::DeltaOp::Retract(first_resident),
+        cqa_workloads::DeltaOp::Insert(cqa_model::Fact::from_names(["selfloop", "selfloop"])),
+    ];
+    let deltas_text = cqa_workloads::render_delta_script(&ops, replay.signature().key_len());
+    let (inserts, retracts) = cqa_workloads::split_delta_ops(&ops);
+    let report = replay.apply_delta(&inserts, &retracts).unwrap();
+    assert!(!report.is_noop() && !report.growth_only());
+    let post_expected: Vec<bool> = cmd_batch(&replay, QUERIES_TEXT, Some(1), None, false, false)
+        .unwrap()
+        .stdout
+        .lines()
+        .map(|l| l == "true")
+        .collect();
+    assert_ne!(
+        pre_expected, post_expected,
+        "the soak delta must flip at least one verdict, or tearing is invisible"
+    );
+
+    let mut config = ServeConfig::new(cli_loader());
+    config.addr = "127.0.0.1:0".to_string();
+    config.threads = 2;
+    config.engine = cqa::EngineConfig::default().with_threads(1);
+    let server = serve(config).expect("bind torn-update server");
+    let server_addr = server.addr();
+    let proxy = chaos_proxy(server_addr, ChaosPlan::rough(0x7EA2)).expect("bind chaos proxy");
+    let proxy_addr = proxy.addr();
+
+    let pre = Arc::new(pre_expected);
+    let post = Arc::new(post_expected);
+    let db_path = Arc::new(fixture.db_path.clone());
+    let deltas_text = Arc::new(deltas_text);
+    let clients: Vec<_> = (0..3)
+        .map(|c| {
+            let (pre, post) = (Arc::clone(&pre), Arc::clone(&post));
+            let db_path = Arc::clone(&db_path);
+            let deltas_text = Arc::clone(&deltas_text);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(proxy_addr).expect("dial proxy");
+                client.retry = Some(RetryPolicy {
+                    retries: 12,
+                    seed: 3000 + c as u64,
+                    base_ms: 5,
+                    cap_ms: 100,
+                });
+                let mut updated = false;
+                let mut checked = 0usize;
+                for round in 0..rounds {
+                    // Client 0 keeps re-applying the delta (idempotent, so
+                    // wire retries and repeats are safe); the others query.
+                    if c == 0 && round % 2 == 0 {
+                        match client.update(&db_path, &deltas_text) {
+                            Ok(_) => updated = true,
+                            Err(e) => {
+                                assert!(
+                                    KNOWN_CODES.contains(&e.code),
+                                    "client {c} round {round}: unknown code {:?} ({})",
+                                    e.code,
+                                    e.message
+                                );
+                                if e.code == "io" {
+                                    client.reconnect().expect("reconnect after loss");
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                    match client.batch(&db_path, QUERIES_TEXT) {
+                        Ok(verdicts) => {
+                            assert!(
+                                verdicts == *pre || verdicts == *post,
+                                "client {c} round {round}: half-applied answers {verdicts:?} \
+                                 (pre {pre:?}, post {post:?})"
+                            );
+                            if updated {
+                                assert_eq!(
+                                    verdicts, *post,
+                                    "client {c} round {round}: session reverted after own update"
+                                );
+                            }
+                            checked += 1;
+                        }
+                        Err(e) => {
+                            assert!(
+                                KNOWN_CODES.contains(&e.code),
+                                "client {c} round {round}: unknown code {:?} ({})",
+                                e.code,
+                                e.message
+                            );
+                            if e.code == "io" {
+                                client.reconnect().expect("reconnect after loss");
+                            }
+                        }
+                    }
+                }
+                (updated, checked)
+            })
+        })
+        .collect();
+    let mut any_updated = false;
+    let mut checked = 0usize;
+    for client in clients {
+        let (updated, n) = client.join().expect("torn-update client panicked");
+        any_updated |= updated;
+        checked += n;
+    }
+    assert!(checked > 0, "the soak must complete some batches");
+
+    // The server survived; a direct connection settles the final state.
+    proxy.stop();
+    let mut direct = Client::connect(server_addr).expect("server must still accept");
+    let final_verdicts = direct
+        .batch(&fixture.db_path, QUERIES_TEXT)
+        .expect("direct batch after the storm");
+    let stats_applied = server.manager_stats().delta_applied;
+    if any_updated || stats_applied > 0 {
+        // At least one application landed (even if its reply was lost):
+        // the session must be fully post-delta.
+        assert_eq!(final_verdicts, *post, "final state is not the whole delta");
+    } else {
+        assert_eq!(final_verdicts, *pre, "no update landed, yet the db moved");
+    }
+    direct.shutdown().expect("clean shutdown after the storm");
+}
+
 #[test]
 fn seeded_chaos_soak_never_wedges_and_verdicts_stay_byte_identical() {
     let rounds: usize = std::env::var("CQA_CHAOS_ROUNDS")

@@ -312,6 +312,166 @@ fn shed_clients_eventually_succeed_via_retries_with_zero_divergence() {
     assert_eq!(stats.cancelled, 0, "no deadlines were set: {stats:?}");
 }
 
+/// Live updates under concurrency: a deterministic chain of delta
+/// scripts is applied over the wire while several clients keep querying,
+/// with barriers separating the epochs. Every epoch's answers — from
+/// every client — must be byte-identical to a single-threaded replay
+/// that applies the same deltas to an in-memory database and runs the
+/// plain CLI. This is the serve-side acceptance gate of the incremental
+/// path: warm-restarted sessions may never drift from recomputation,
+/// and an update must never tear (queries see exactly the pre- or
+/// post-update database, nothing in between — epochs pin which).
+#[test]
+fn updates_interleaved_with_queries_match_single_threaded_replay() {
+    let fixture = Fixture::new();
+    let db_path = fixture.dbs[0].clone();
+
+    // Single-threaded replay: evolve an in-memory copy through three
+    // seeded delta scripts, recording the CLI's answers per epoch.
+    let mut replay = load_db_file(&db_path).unwrap();
+    let key_len = replay.signature().key_len();
+    let mut script_files: Vec<String> = Vec::new();
+    let mut epoch_expected: Vec<Expected> = vec![expected_for(&db_path)];
+    for (i, (seed, insert_ratio, locality)) in [
+        (401u64, 0.6, cqa_workloads::DeltaLocality::SameBlock),
+        (402, 0.6, cqa_workloads::DeltaLocality::Mixed),
+        // Pure growth: the epoch that exercises the warm-restart fast
+        // path (blocks_reseeded) rather than cold component re-solves.
+        (403, 1.0, cqa_workloads::DeltaLocality::CrossComponent),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let cfg = cqa_workloads::DeltaScriptConfig {
+            ops: 10,
+            insert_ratio,
+            locality,
+            domain: 5,
+        };
+        let ops = cqa_workloads::random_delta_ops(seed, &replay, &cfg);
+        let text = cqa_workloads::render_delta_script(&ops, key_len);
+        let path = fixture.dir.join(format!("delta-{i}.txt"));
+        std::fs::write(&path, &text).unwrap();
+        script_files.push(path.display().to_string());
+        let (inserts, retracts) = cqa_workloads::split_delta_ops(&ops);
+        let report = replay.apply_delta(&inserts, &retracts).unwrap();
+        assert!(!report.is_noop(), "epoch {i} delta must change the db");
+        // The CLI reference answers come from the evolved in-memory
+        // database, written out so expected_for can reload it.
+        let state_path = fixture.dir.join(format!("state-{i}.facts"));
+        std::fs::write(&state_path, dbfmt::write_database(&replay)).unwrap();
+        epoch_expected.push(expected_for(&state_path.display().to_string()));
+    }
+
+    let server = start_server(0, None);
+    let addr = server.addr().to_string();
+    let epochs = script_files.len();
+    let clients = 4usize;
+    let barrier = Arc::new(std::sync::Barrier::new(clients));
+    let epoch_expected = Arc::new(epoch_expected);
+    let script_files = Arc::new(script_files);
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let db_path = db_path.clone();
+            let queries_file = fixture.queries_file.clone();
+            let barrier = Arc::clone(&barrier);
+            let epoch_expected = Arc::clone(&epoch_expected);
+            let script_files = Arc::clone(&script_files);
+            std::thread::spawn(move || {
+                for epoch in 0..=epochs {
+                    // Everyone queries the settled epoch concurrently.
+                    barrier.wait();
+                    run_client_schedule(&addr, &db_path, &epoch_expected[epoch], &queries_file);
+                    barrier.wait();
+                    // One client advances the epoch over the wire; the
+                    // barrier pair means no query is in flight across
+                    // the swap, so each epoch's parity is exact.
+                    if epoch < epochs && c == epoch % clients {
+                        let out =
+                            cmd_client(&[&addr, "update", &db_path, &script_files[epoch]]).unwrap();
+                        assert!(
+                            out.stdout.starts_with(&format!("updated {db_path}:")),
+                            "unexpected update output: {}",
+                            out.stdout
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("update parity client panicked");
+    }
+    let stats = server.manager_stats();
+    assert_eq!(stats.delta_applied, epochs as u64, "{stats:?}");
+    assert_eq!(
+        stats.loads, 1,
+        "updates must patch, never reload: {stats:?}"
+    );
+    assert!(stats.blocks_reseeded > 0, "{stats:?}");
+}
+
+/// Concurrent identical updates are set-semantic: when every client
+/// races to apply the *same* delta script (the wire-retry shape), all of
+/// them succeed, the delta lands exactly once per application with no
+/// double effects, and the final answers equal the single replay.
+#[test]
+fn racing_identical_updates_stay_idempotent() {
+    let fixture = Fixture::new();
+    let db_path = fixture.dbs[2].clone();
+    let mut replay = load_db_file(&db_path).unwrap();
+    let key_len = replay.signature().key_len();
+    let cfg = cqa_workloads::DeltaScriptConfig {
+        ops: 8,
+        insert_ratio: 0.5,
+        locality: cqa_workloads::DeltaLocality::Mixed,
+        domain: 4,
+    };
+    let ops = cqa_workloads::random_delta_ops(77, &replay, &cfg);
+    let script_file = fixture.dir.join("race-delta.txt");
+    std::fs::write(
+        &script_file,
+        cqa_workloads::render_delta_script(&ops, key_len),
+    )
+    .unwrap();
+    let (inserts, retracts) = cqa_workloads::split_delta_ops(&ops);
+    replay.apply_delta(&inserts, &retracts).unwrap();
+    let state_path = fixture.dir.join("race-state.facts");
+    std::fs::write(&state_path, dbfmt::write_database(&replay)).unwrap();
+    let expected = expected_for(&state_path.display().to_string());
+    let final_facts = replay.len();
+
+    let server = start_server(0, None);
+    let addr = server.addr().to_string();
+    let script = script_file.display().to_string();
+    let handles: Vec<_> = (0..5)
+        .map(|_| {
+            let (addr, db_path, script) = (addr.clone(), db_path.clone(), script.clone());
+            std::thread::spawn(move || {
+                let out = cmd_client(&[&addr, "update", &db_path, &script]).unwrap();
+                // Whoever lands after the first application sees a pure
+                // no-op — never an error, never a double effect.
+                assert!(
+                    out.stdout.contains(&format!("facts={final_facts}")),
+                    "post-update fact count drifted: {}",
+                    out.stdout
+                );
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("racing update client panicked");
+    }
+    run_client_schedule(&addr, &db_path, &expected, &fixture.queries_file);
+    let stats = server.manager_stats();
+    assert_eq!(
+        stats.delta_applied, 5,
+        "every race entrant applied: {stats:?}"
+    );
+    assert_eq!(stats.loads, 1, "{stats:?}");
+}
+
 #[test]
 fn batch_error_text_matches_the_cli_byte_for_byte() {
     // The positioned error for a malformed batch line must be the same
